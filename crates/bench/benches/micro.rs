@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks: real-time (not simulated-time) performance
+//! of the library itself — the costs a host application pays.
+
+use cedar_btree::{BTree, MemStore};
+use cedar_disk::{CpuModel, SimDisk};
+use cedar_fsd::{FsdConfig, FsdVolume};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn tiny_fsd() -> FsdVolume {
+    FsdVolume::format(
+        SimDisk::tiny(),
+        FsdConfig {
+            nt_pages: 64,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_fsd_ops(c: &mut Criterion) {
+    c.bench_function("fsd_create_small_x50", |b| {
+        b.iter_batched_ref(
+            tiny_fsd,
+            |vol| {
+                for i in 0..50 {
+                    vol.create(&format!("f{i}"), b"payload").unwrap();
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    c.bench_function("fsd_open", |b| {
+        let mut vol = tiny_fsd();
+        for i in 0..100 {
+            vol.create(&format!("f{i:03}"), b"payload").unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let f = vol.open(&format!("f{:03}", i % 100), None).unwrap();
+            i += 1;
+            std::hint::black_box(f);
+        })
+    });
+
+    c.bench_function("fsd_crash_recovery", |b| {
+        b.iter_batched(
+            || {
+                let mut vol = tiny_fsd();
+                for i in 0..100 {
+                    vol.create(&format!("f{i:03}"), b"payload").unwrap();
+                }
+                vol.force().unwrap();
+                let mut disk = vol.into_disk();
+                disk.crash_now();
+                disk.reboot();
+                disk
+            },
+            |disk| {
+                let (vol, report) = FsdVolume::boot(
+                    disk,
+                    FsdConfig {
+                        nt_pages: 64,
+                        log_sectors: 256,
+                        cpu: CpuModel::FREE,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                std::hint::black_box((vol.free_sectors(), report));
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    c.bench_function("btree_insert_1000", |b| {
+        b.iter_batched_ref(
+            || MemStore::new(1024),
+            |store| {
+                let mut t = BTree::create(store).unwrap();
+                for i in 0..1000u32 {
+                    t.insert(store, format!("key{i:06}").as_bytes(), b"value")
+                        .unwrap();
+                }
+                std::hint::black_box(t.root());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("btree_get", |b| {
+        let mut store = MemStore::new(1024);
+        let mut t = BTree::create(&mut store).unwrap();
+        for i in 0..1000u32 {
+            t.insert(&mut store, format!("key{i:06}").as_bytes(), b"value")
+                .unwrap();
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let k = format!("key{:06}", i % 1000);
+            i += 1;
+            std::hint::black_box(t.get(&mut store, k.as_bytes()).unwrap());
+        })
+    });
+}
+
+fn bench_log(c: &mut Criterion) {
+    use cedar_fsd::log::{encode_record, PageTarget};
+    c.bench_function("log_encode_record_14_pages", |b| {
+        let images: Vec<(PageTarget, Vec<u8>)> = (0..14)
+            .map(|i| {
+                (
+                    PageTarget::NtSector { page: i, sector: 0 },
+                    vec![i as u8; 512],
+                )
+            })
+            .collect();
+        b.iter(|| std::hint::black_box(encode_record(&images, 1, 1, true)));
+    });
+}
+
+criterion_group!(benches, bench_fsd_ops, bench_btree, bench_log);
+criterion_main!(benches);

@@ -1,0 +1,170 @@
+//! Table 5 — "FSD and 4.2 BSD Performance Measured in Percent of CPU and
+//! Disk Bandwidth" (the paper takes the 4.2 BSD values from \[McKu84\]).
+//!
+//! Method. A large file is streamed sequentially on each system and the
+//! *simulated elapsed disk time* is measured:
+//!
+//! * **FSD** reads/writes its contiguous runs extent-at-a-time; the
+//!   read-ahead of the era keeps the channel busy across requests, so
+//!   request preparation is overlapped CPU. Its bandwidth loss is only
+//!   track/cylinder boundaries — our simulated controller delivers more
+//!   of the raw rate than the Dorado's IOP did (97 % vs the paper's
+//!   ~80 %), a documented substitution;
+//! * **4.2-style FFS** transfers block at a time over rotationally
+//!   *interleaved* blocks, so the disk spins over a one-block gap between
+//!   transfers — bandwidth is structurally capped near 50 % (the paper's
+//!   47 %). The per-block CPU (documented in `FfsConfig`) overlaps the
+//!   gap via DMA, which is exactly what the interleave is for.
+//!
+//! %bandwidth = transfer time / elapsed; %CPU = CPU time / elapsed, with
+//! CPU fully overlapped with the disk (both machines did DMA). The FFS
+//! write path's per-block cost (allocation + copyin) is what drove
+//! 4.2 BSD to 95 % CPU.
+
+use cedar_bench::Table;
+use cedar_disk::SECTOR_BYTES;
+
+/// Streamed file size: 4 MB.
+const FILE_PAGES: u32 = 8192;
+/// FSD request size: one track per request, read-ahead keeping the
+/// channel busy (prep time fully overlapped).
+const FSD_CHUNK: u32 = 38;
+/// Overlapped per-request CPU (request preparation + completion).
+const FSD_REQ_PREP_US: u64 = 1_000;
+
+struct Util {
+    cpu_pct: f64,
+    bw_pct: f64,
+}
+
+fn fsd_stream(write: bool) -> Util {
+    // CPU charges are accounted analytically (they overlap the disk via
+    // DMA), so the volume itself runs with a free CPU model.
+    let mut vol = cedar_fsd::FsdVolume::format(
+        cedar_disk::SimDisk::trident_t300(cedar_disk::SimClock::new()),
+        cedar_fsd::FsdConfig {
+            cpu: cedar_disk::CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let clock = vol.clock();
+    vol.create("stream/big", &vec![0u8; FILE_PAGES as usize * SECTOR_BYTES])
+        .unwrap();
+    let mut f = vol.open("stream/big", None).unwrap();
+    vol.read_page(&mut f, 0).unwrap(); // Verify the leader outside the stream.
+
+    let chunk = vec![0u8; FSD_CHUNK as usize * SECTOR_BYTES];
+    vol.disk_mut().reset_stats();
+    let t0 = clock.now();
+    let mut cpu_us = 0u64;
+    let mut page = 0;
+    while page < FILE_PAGES {
+        let take = FSD_CHUNK.min(FILE_PAGES - page);
+        if write {
+            vol.write_pages(&mut f, page, &chunk[..take as usize * SECTOR_BYTES])
+                .unwrap();
+        } else {
+            vol.read_pages(&mut f, page, take).unwrap();
+        }
+        // Request preparation overlaps the transfer (read-ahead).
+        cpu_us += FSD_REQ_PREP_US;
+        page += take;
+    }
+    let elapsed = (clock.now() - t0) as f64;
+    let stats = vol.disk_stats();
+    // Per-sector copy cost (the Dorado's block move), overlapped.
+    cpu_us += cedar_disk::CpuModel::DORADO.per_sector_us * FILE_PAGES as u64;
+    Util {
+        cpu_pct: 100.0 * cpu_us as f64 / elapsed,
+        bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+    }
+}
+
+fn ffs_stream(write: bool) -> Util {
+    let mut fs = cedar_ffs::Ffs::format(
+        cedar_disk::SimDisk::trident_t300(cedar_disk::SimClock::new()),
+        cedar_ffs::FfsConfig {
+            cpu: cedar_disk::CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let config = cedar_ffs::FfsConfig::default();
+    let clock = fs.clock();
+    let bytes = FILE_PAGES as usize * SECTOR_BYTES;
+    if write {
+        // The create itself is the streaming write: data blocks go out
+        // block at a time over the interleaved layout.
+        fs.disk_mut().reset_stats();
+        let t0 = clock.now();
+        fs.create("big", &vec![0u8; bytes]).unwrap();
+        let elapsed = (clock.now() - t0) as f64;
+        let stats = fs.disk_stats();
+        let blocks = (bytes / cedar_ffs::BLOCK_BYTES) as u64;
+        let cpu_us = blocks * config.write_block_cpu_us;
+        return Util {
+            cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0) as f64,
+            bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+        };
+    }
+    fs.create("big", &vec![0u8; bytes]).unwrap();
+    fs.drop_caches();
+    let f = fs.open("big").unwrap();
+    fs.disk_mut().reset_stats();
+    let t0 = clock.now();
+    let blocks = f.inode.blocks() as usize;
+    for i in 0..blocks {
+        fs.read_block_of(&f, i).unwrap();
+    }
+    let elapsed = (clock.now() - t0) as f64;
+    let stats = fs.disk_stats();
+    let cpu_us = blocks as u64 * config.read_block_cpu_us;
+    Util {
+        cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0),
+        bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+    }
+}
+
+fn main() {
+    println!("Reproducing Table 5: percent of CPU and disk bandwidth delivered");
+    println!("(4 MB sequential stream; CPU overlapped with the disk via DMA)");
+
+    let fsd_r = fsd_stream(false);
+    let fsd_w = fsd_stream(true);
+    let ffs_r = ffs_stream(false);
+    let ffs_w = ffs_stream(true);
+
+    let mut t = Table::new(
+        "Table 5. FSD and 4.2 BSD Performance Measured in Percent of CPU and Disk Bandwidth",
+        &[
+            "op",
+            "FSD %CPU",
+            "FSD %BW",
+            "4.2 %CPU",
+            "4.2 %BW",
+            "paper FSD",
+            "paper 4.2",
+        ],
+    );
+    t.row(&[
+        "read".into(),
+        format!("{:.0}", fsd_r.cpu_pct),
+        format!("{:.0}", fsd_r.bw_pct),
+        format!("{:.0}", ffs_r.cpu_pct),
+        format!("{:.0}", ffs_r.bw_pct),
+        "27 / 79".into(),
+        "54 / 47".into(),
+    ]);
+    t.row(&[
+        "write".into(),
+        format!("{:.0}", fsd_w.cpu_pct),
+        format!("{:.0}", fsd_w.bw_pct),
+        format!("{:.0}", ffs_w.cpu_pct),
+        format!("{:.0}", ffs_w.bw_pct),
+        "28 / 80".into(),
+        "95 / 47".into(),
+    ]);
+    t.print();
+    println!("\n(paper columns are %CPU / %bandwidth)");
+}

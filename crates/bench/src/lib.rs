@@ -1,0 +1,15 @@
+//! Shared harness code for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or in-text
+//! measurement of the paper (the index lives in `DESIGN.md`); this
+//! library holds what they share — volume construction on the paper's
+//! 300 MB Trident-class disk, [`cedar_workload::Workbench`] adapters for
+//! the three file systems, and table rendering.
+
+pub mod adapters;
+pub mod report;
+pub mod setup;
+
+pub use adapters::{CfsBench, FfsBench, FsdBench};
+pub use report::Table;
+pub use setup::{cfs_t300, ffs_t300, fsd_t300, populate, ms};

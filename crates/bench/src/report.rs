@@ -1,0 +1,98 @@
+//! Plain-text table rendering in the paper's style.
+
+/// A simple aligned table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n{}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("  ");
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    s.push_str(&format!("{:<w$}", cell, w = widths[i] + 2));
+                } else {
+                    s.push_str(&format!("{:>w$}", cell, w = widths[i] + 2));
+                }
+            }
+            s
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
+        out.push_str(&"  ".chars().chain("-".repeat(total - 2).chars()).collect::<String>());
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a speed-up/ratio with two decimals and an `×`.
+pub fn ratio(a: f64, b: f64) -> String {
+    format!("{:.2}x", a / b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("Demo", &["op", "value"]);
+        t.row(&["create".into(), "42".into()]);
+        t.row(&["x".into(), "123456".into()]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("create"));
+        assert!(s.contains("123456"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

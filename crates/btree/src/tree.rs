@@ -1,0 +1,860 @@
+//! B-tree algorithms: lookup, insert with splits, delete with
+//! steal/merge rebalancing, and ordered range scans.
+//!
+//! The tree is deliberately stateless apart from the root page id: every
+//! operation takes the [`PageStore`] explicitly, because the two file
+//! systems wrap very different stores around the same algorithms. Pages are
+//! written children-first, which is exactly the order that leaves a
+//! *torn* multi-page update visible to a crash in CFS (the failure FSD's
+//! logging removes).
+
+use crate::node::{Node, MAX_ENTRY_FRACTION};
+use crate::store::{PageId, PageStore, StoreError};
+use std::fmt;
+
+/// Errors from tree operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BTreeError {
+    /// The underlying page store failed.
+    Store(StoreError),
+    /// A page did not decode as a valid node, or tree structure is
+    /// inconsistent — in CFS this is what a crash mid-split produces.
+    Corrupt(String),
+    /// The entry is too large to ever fit in a node.
+    EntryTooLarge {
+        /// Encoded size of the offending entry.
+        size: usize,
+        /// Largest admissible encoded entry size for this page size.
+        max: usize,
+    },
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Store(e) => write!(f, "store error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt b-tree: {msg}"),
+            Self::EntryTooLarge { size, max } => {
+                write!(f, "entry of {size} bytes exceeds maximum {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+impl From<StoreError> for BTreeError {
+    fn from(e: StoreError) -> Self {
+        Self::Store(e)
+    }
+}
+
+type Result<T> = std::result::Result<T, BTreeError>;
+
+/// Outcome of an insert one level down: the child split, promoting `sep`.
+struct Split {
+    sep: Vec<u8>,
+    right: PageId,
+}
+
+/// A B-tree rooted at a page in some [`PageStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BTree {
+    root: PageId,
+}
+
+impl BTree {
+    /// Largest admissible encoded entry (`4 + key + value` bytes) for a
+    /// given page size; a node can always hold at least
+    /// [`MAX_ENTRY_FRACTION`] such entries.
+    pub fn max_entry_size(page_size: usize) -> usize {
+        (page_size - 3) / MAX_ENTRY_FRACTION
+    }
+
+    /// Creates a new empty tree in `store`.
+    pub fn create<S: PageStore>(store: &mut S) -> Result<Self> {
+        let root = store.alloc_page()?;
+        store.write_page(root, &Node::empty_leaf().encode(store.page_size()))?;
+        Ok(Self { root })
+    }
+
+    /// Reattaches to an existing tree rooted at `root`.
+    pub fn open(root: PageId) -> Self {
+        Self { root }
+    }
+
+    /// The current root page id. The owner must persist this across
+    /// restarts (it changes when the root splits or collapses).
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    fn load<S: PageStore>(store: &mut S, id: PageId) -> Result<Node> {
+        let page = store.read_page(id)?;
+        Node::decode(&page).map_err(|e| BTreeError::Corrupt(format!("page {id}: {e}")))
+    }
+
+    fn save<S: PageStore>(store: &mut S, id: PageId, node: &Node) -> Result<()> {
+        store.write_page(id, &node.encode(store.page_size()))?;
+        Ok(())
+    }
+
+    /// Index of the child an operation on `key` routes to.
+    fn route(keys: &[Vec<u8>], key: &[u8]) -> usize {
+        keys.partition_point(|sep| sep.as_slice() <= key)
+    }
+
+    // ----- lookup -------------------------------------------------------------
+
+    /// Returns the value stored under `key`, if any.
+    pub fn get<S: PageStore>(&self, store: &mut S, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut id = self.root;
+        loop {
+            match Self::load(store, id)? {
+                Node::Leaf(entries) => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+                Node::Internal { keys, children } => {
+                    id = children[Self::route(&keys, key)];
+                }
+            }
+        }
+    }
+
+    // ----- insert -------------------------------------------------------------
+
+    /// Inserts `key → value`, returning the previous value if the key was
+    /// already present.
+    pub fn insert<S: PageStore>(
+        &mut self,
+        store: &mut S,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let entry_size = 4 + key.len() + value.len();
+        let max = Self::max_entry_size(store.page_size());
+        if entry_size > max {
+            return Err(BTreeError::EntryTooLarge {
+                size: entry_size,
+                max,
+            });
+        }
+        let (old, split) = Self::insert_rec(store, self.root, key, value)?;
+        if let Some(split) = split {
+            // The root split: grow the tree by one level.
+            let new_root = store.alloc_page()?;
+            let node = Node::Internal {
+                keys: vec![split.sep],
+                children: vec![self.root, split.right],
+            };
+            Self::save(store, new_root, &node)?;
+            self.root = new_root;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec<S: PageStore>(
+        store: &mut S,
+        id: PageId,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<(Option<Vec<u8>>, Option<Split>)> {
+        let node = Self::load(store, id)?;
+        match node {
+            Node::Leaf(mut entries) => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(std::mem::replace(&mut entries[i].1, value.to_vec())),
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                let node = Node::Leaf(entries);
+                if node.fits(store.page_size()) {
+                    Self::save(store, id, &node)?;
+                    return Ok((old, None));
+                }
+                // Split the leaf by accumulated encoded size.
+                let Node::Leaf(entries) = node else {
+                    unreachable!()
+                };
+                let (left, right) = split_leaf(entries, store.page_size());
+                let sep = right[0].0.clone();
+                let right_id = store.alloc_page()?;
+                Self::save(store, right_id, &Node::Leaf(right))?;
+                Self::save(store, id, &Node::Leaf(left))?;
+                Ok((
+                    old,
+                    Some(Split {
+                        sep,
+                        right: right_id,
+                    }),
+                ))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = Self::route(&keys, key);
+                let (old, child_split) = Self::insert_rec(store, children[idx], key, value)?;
+                let Some(cs) = child_split else {
+                    return Ok((old, None));
+                };
+                keys.insert(idx, cs.sep);
+                children.insert(idx + 1, cs.right);
+                let node = Node::Internal { keys, children };
+                if node.fits(store.page_size()) {
+                    Self::save(store, id, &node)?;
+                    return Ok((old, None));
+                }
+                let Node::Internal { keys, children } = node else {
+                    unreachable!()
+                };
+                let (left, promoted, right) = split_internal(keys, children, store.page_size());
+                let right_id = store.alloc_page()?;
+                Self::save(store, right_id, &right)?;
+                Self::save(store, id, &left)?;
+                Ok((
+                    old,
+                    Some(Split {
+                        sep: promoted,
+                        right: right_id,
+                    }),
+                ))
+            }
+        }
+    }
+
+    // ----- delete -------------------------------------------------------------
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn delete<S: PageStore>(&mut self, store: &mut S, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let (old, _) = Self::delete_rec(store, self.root, key)?;
+        // If the root is an internal node with a single child, collapse it.
+        if let Node::Internal { keys, children } = Self::load(store, self.root)? {
+            if keys.is_empty() {
+                let only = children[0];
+                store.free_page(self.root)?;
+                self.root = only;
+            }
+        }
+        Ok(old)
+    }
+
+    /// Returns `(old value, child underflowed)`.
+    fn delete_rec<S: PageStore>(
+        store: &mut S,
+        id: PageId,
+        key: &[u8],
+    ) -> Result<(Option<Vec<u8>>, bool)> {
+        let node = Self::load(store, id)?;
+        let threshold = store.page_size() / 3;
+        match node {
+            Node::Leaf(mut entries) => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Some(entries.remove(i).1),
+                    Err(_) => return Ok((None, false)),
+                };
+                let node = Node::Leaf(entries);
+                let under = node.encoded_size() < threshold;
+                Self::save(store, id, &node)?;
+                Ok((old, under))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                let idx = Self::route(&keys, key);
+                let (old, child_under) = Self::delete_rec(store, children[idx], key)?;
+                if old.is_none() || !child_under {
+                    return Ok((old, false));
+                }
+                Self::rebalance_child(store, &mut keys, &mut children, idx)?;
+                let node = Node::Internal { keys, children };
+                let under = node.encoded_size() < threshold;
+                Self::save(store, id, &node)?;
+                Ok((old, under))
+            }
+        }
+    }
+
+    /// Restores the size invariant of `children[idx]` by stealing from or
+    /// merging with an adjacent sibling, updating `keys`/`children` in
+    /// place.
+    fn rebalance_child<S: PageStore>(
+        store: &mut S,
+        keys: &mut Vec<Vec<u8>>,
+        children: &mut Vec<PageId>,
+        idx: usize,
+    ) -> Result<()> {
+        // Prefer the right sibling; fall back to the left (idx 0 has none
+        // on the left, the last child none on the right).
+        let (left_idx, right_idx) = if idx + 1 < children.len() {
+            (idx, idx + 1)
+        } else if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            return Ok(()); // Root child with no siblings: nothing to do.
+        };
+        let left_id = children[left_idx];
+        let right_id = children[right_idx];
+        let left = Self::load(store, left_id)?;
+        let right = Self::load(store, right_id)?;
+        let page_size = store.page_size();
+        let threshold = page_size / 3;
+        let sep = keys[left_idx].clone();
+
+        match (left, right) {
+            (Node::Leaf(mut l), Node::Leaf(mut r)) => {
+                let merged_size =
+                    Node::Leaf(Vec::new()).encoded_size() + leaf_payload(&l) + leaf_payload(&r);
+                if merged_size <= page_size {
+                    // Merge right into left; drop the separator.
+                    l.append(&mut r);
+                    Self::save(store, left_id, &Node::Leaf(l))?;
+                    store.free_page(right_id)?;
+                    keys.remove(left_idx);
+                    children.remove(right_idx);
+                } else {
+                    // Steal: move entries across until both sides are above
+                    // threshold (possible because together they exceed a
+                    // page while each entry is small).
+                    while Node::Leaf(l.clone()).encoded_size() < threshold {
+                        l.push(r.remove(0));
+                    }
+                    while Node::Leaf(r.clone()).encoded_size() < threshold {
+                        r.insert(0, l.pop().expect("donor leaf empty"));
+                    }
+                    keys[left_idx] = r[0].0.clone();
+                    Self::save(store, left_id, &Node::Leaf(l))?;
+                    Self::save(store, right_id, &Node::Leaf(r))?;
+                }
+            }
+            (
+                Node::Internal {
+                    keys: mut lk,
+                    children: mut lc,
+                },
+                Node::Internal {
+                    keys: mut rk,
+                    children: mut rc,
+                },
+            ) => {
+                let merged = {
+                    let mut keys = lk.clone();
+                    keys.push(sep.clone());
+                    keys.extend(rk.iter().cloned());
+                    let mut ch = lc.clone();
+                    ch.extend(rc.iter().cloned());
+                    Node::Internal { keys, children: ch }
+                };
+                if merged.fits(page_size) {
+                    Self::save(store, left_id, &merged)?;
+                    store.free_page(right_id)?;
+                    keys.remove(left_idx);
+                    children.remove(right_idx);
+                } else {
+                    // Rotate one entry through the parent separator.
+                    let left_size = Node::Internal {
+                        keys: lk.clone(),
+                        children: lc.clone(),
+                    }
+                    .encoded_size();
+                    let mut sep = sep;
+    let internal_size = |keys: &[Vec<u8>]| -> usize {
+                        3 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
+                    };
+                    if left_size < threshold {
+                        // Borrow from the right sibling.
+                        while internal_size(&lk) < threshold {
+                            lk.push(std::mem::replace(&mut sep, rk.remove(0)));
+                            lc.push(rc.remove(0));
+                        }
+                    } else {
+                        // Borrow from the left sibling.
+                        while internal_size(&rk) < threshold {
+                            rk.insert(0, std::mem::replace(&mut sep, lk.pop().expect("donor")));
+                            rc.insert(0, lc.pop().expect("donor"));
+                        }
+                    }
+                    keys[left_idx] = sep;
+                    Self::save(
+                        store,
+                        left_id,
+                        &Node::Internal {
+                            keys: lk,
+                            children: lc,
+                        },
+                    )?;
+                    Self::save(
+                        store,
+                        right_id,
+                        &Node::Internal {
+                            keys: rk,
+                            children: rc,
+                        },
+                    )?;
+                }
+            }
+            _ => {
+                return Err(BTreeError::Corrupt(
+                    "siblings at different levels".to_string(),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    // ----- scans --------------------------------------------------------------
+
+    /// Visits all entries with `lo <= key < hi` (unbounded above when `hi`
+    /// is `None`) in key order. The callback returns `false` to stop early.
+    pub fn for_each_range<S: PageStore>(
+        &self,
+        store: &mut S,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        Self::scan_rec(store, self.root, lo, hi, f)?;
+        Ok(())
+    }
+
+    /// Visits every entry in key order.
+    pub fn for_each<S: PageStore>(
+        &self,
+        store: &mut S,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<()> {
+        self.for_each_range(store, &[], None, f)
+    }
+
+    /// Collects all entries with `lo <= key < hi` (test/demo convenience).
+    pub fn collect_range<S: PageStore>(
+        &self,
+        store: &mut S,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each_range(store, lo, hi, &mut |k, v| {
+            out.push((k.to_vec(), v.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Number of entries in the tree (full scan).
+    pub fn len<S: PageStore>(&self, store: &mut S) -> Result<usize> {
+        let mut n = 0;
+        self.for_each(store, &mut |_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+
+    /// Returns `false` if the callback stopped the scan.
+    fn scan_rec<S: PageStore>(
+        store: &mut S,
+        id: PageId,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        f: &mut dyn FnMut(&[u8], &[u8]) -> bool,
+    ) -> Result<bool> {
+        match Self::load(store, id)? {
+            Node::Leaf(entries) => {
+                for (k, v) in &entries {
+                    if k.as_slice() < lo {
+                        continue;
+                    }
+                    if let Some(hi) = hi {
+                        if k.as_slice() >= hi {
+                            return Ok(false);
+                        }
+                    }
+                    if !f(k, v) {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Node::Internal { keys, children } => {
+                let start = keys.partition_point(|sep| sep.as_slice() <= lo);
+                let end = match hi {
+                    Some(hi) => keys.partition_point(|sep| sep.as_slice() < hi),
+                    None => keys.len(),
+                };
+                for &child in &children[start..=end] {
+                    if !Self::scan_rec(store, child, lo, hi, f)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    // ----- integrity ------------------------------------------------------------
+
+    /// Exhaustively checks the structural invariants: uniform leaf depth,
+    /// key ordering within and across nodes, separator correctness, and
+    /// that every node fits its page. Used by tests and by the FSD
+    /// consistency checker.
+    pub fn check_invariants<S: PageStore>(&self, store: &mut S) -> Result<()> {
+        Self::check_rec(store, self.root, None, None)?;
+        Ok(())
+    }
+
+    /// Returns the subtree depth.
+    fn check_rec<S: PageStore>(
+        store: &mut S,
+        id: PageId,
+        lower: Option<&[u8]>,
+        upper: Option<&[u8]>,
+    ) -> Result<usize> {
+        let node = Self::load(store, id)?;
+        if !node.fits(store.page_size()) {
+            return Err(BTreeError::Corrupt(format!("page {id} overflows")));
+        }
+        let in_bounds = |k: &[u8]| {
+            lower.is_none_or(|lo| k >= lo) && upper.is_none_or(|hi| k < hi)
+        };
+        match node {
+            Node::Leaf(entries) => {
+                for w in entries.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        return Err(BTreeError::Corrupt(format!("page {id} keys unsorted")));
+                    }
+                }
+                for (k, _) in &entries {
+                    if !in_bounds(k) {
+                        return Err(BTreeError::Corrupt(format!(
+                            "page {id} key out of separator bounds"
+                        )));
+                    }
+                }
+                Ok(0)
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err(BTreeError::Corrupt(format!("page {id} malformed")));
+                }
+                for w in keys.windows(2) {
+                    if w[0] >= w[1] {
+                        return Err(BTreeError::Corrupt(format!("page {id} seps unsorted")));
+                    }
+                }
+                for k in &keys {
+                    if !in_bounds(k) {
+                        return Err(BTreeError::Corrupt(format!(
+                            "page {id} separator out of bounds"
+                        )));
+                    }
+                }
+                let mut depth = None;
+                for (i, &child) in children.iter().enumerate() {
+                    let lo = if i == 0 {
+                        lower
+                    } else {
+                        Some(keys[i - 1].as_slice())
+                    };
+                    let hi = if i == keys.len() {
+                        upper
+                    } else {
+                        Some(keys[i].as_slice())
+                    };
+                    let d = Self::check_rec(store, child, lo, hi)?;
+                    if *depth.get_or_insert(d) != d {
+                        return Err(BTreeError::Corrupt(format!(
+                            "page {id} children at unequal depths"
+                        )));
+                    }
+                }
+                Ok(depth.unwrap_or(0) + 1)
+            }
+        }
+    }
+}
+
+/// Splits leaf entries at roughly half the encoded payload.
+fn split_leaf(
+    entries: Vec<(Vec<u8>, Vec<u8>)>,
+    page_size: usize,
+) -> (Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>) {
+    let total: usize = entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum();
+    let mut acc = 0;
+    let mut split_at = entries.len() - 1; // Right side always gets ≥ 1 entry.
+    for (i, (k, v)) in entries.iter().enumerate() {
+        acc += 4 + k.len() + v.len();
+        if acc >= total / 2 && i + 1 < entries.len() {
+            split_at = i + 1;
+            break;
+        }
+    }
+    let split_at = split_at.max(1);
+    let mut left = entries;
+    let right = left.split_off(split_at);
+    debug_assert!(Node::Leaf(left.clone()).fits(page_size));
+    debug_assert!(Node::Leaf(right.clone()).fits(page_size));
+    (left, right)
+}
+
+/// Splits an overfull internal node, returning `(left, promoted key, right)`.
+fn split_internal(
+    keys: Vec<Vec<u8>>,
+    children: Vec<PageId>,
+    page_size: usize,
+) -> (Node, Vec<u8>, Node) {
+    let total: usize = keys.iter().map(|k| 2 + k.len() + 4).sum();
+    let mut acc = 0;
+    let mut mid = keys.len() / 2;
+    for (i, k) in keys.iter().enumerate() {
+        acc += 2 + k.len() + 4;
+        if acc >= total / 2 && i + 1 < keys.len() {
+            mid = i;
+            break;
+        }
+    }
+    let mid = mid.clamp(1, keys.len() - 2).max(1);
+    let mut keys = keys;
+    let mut children = children;
+    let right_keys = keys.split_off(mid + 1);
+    let promoted = keys.pop().expect("mid >= 1");
+    let right_children = children.split_off(mid + 1);
+    let left = Node::Internal { keys, children };
+    let right = Node::Internal {
+        keys: right_keys,
+        children: right_children,
+    };
+    debug_assert!(left.fits(page_size));
+    debug_assert!(right.fits(page_size));
+    (left, promoted, right)
+}
+
+/// Encoded payload bytes of leaf entries (without the node header).
+fn leaf_payload(entries: &[(Vec<u8>, Vec<u8>)]) -> usize {
+    entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemStore;
+
+    const PS: usize = 256;
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("key{i:06}").into_bytes()
+    }
+
+    fn val(i: u32) -> Vec<u8> {
+        format!("value-{i}").into_bytes()
+    }
+
+    #[test]
+    fn empty_tree_lookup_misses() {
+        let mut s = MemStore::new(PS);
+        let t = BTree::create(&mut s).unwrap();
+        assert_eq!(t.get(&mut s, b"nope").unwrap(), None);
+        assert_eq!(t.len(&mut s).unwrap(), 0);
+    }
+
+    #[test]
+    fn insert_get_single() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        assert_eq!(t.insert(&mut s, b"a", b"1").unwrap(), None);
+        assert_eq!(t.get(&mut s, b"a").unwrap(), Some(b"1".to_vec()));
+    }
+
+    #[test]
+    fn insert_replaces_and_returns_old() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        t.insert(&mut s, b"a", b"1").unwrap();
+        assert_eq!(t.insert(&mut s, b"a", b"2").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(&mut s, b"a").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.len(&mut s).unwrap(), 1);
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..500 {
+            t.insert(&mut s, &key(i * 7919 % 500), &val(i)).unwrap();
+        }
+        t.check_invariants(&mut s).unwrap();
+        let all = t.collect_range(&mut s, &[], None).unwrap();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+        for i in 0..500 {
+            assert!(t.get(&mut s, &key(i)).unwrap().is_some(), "missing {i}");
+        }
+    }
+
+    #[test]
+    fn delete_missing_returns_none() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        t.insert(&mut s, b"a", b"1").unwrap();
+        assert_eq!(t.delete(&mut s, b"b").unwrap(), None);
+        assert_eq!(t.len(&mut s).unwrap(), 1);
+    }
+
+    #[test]
+    fn delete_returns_value_and_removes() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        t.insert(&mut s, b"a", b"1").unwrap();
+        assert_eq!(t.delete(&mut s, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(&mut s, b"a").unwrap(), None);
+    }
+
+    #[test]
+    fn delete_everything_shrinks_tree_to_root() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..300 {
+            t.insert(&mut s, &key(i), &val(i)).unwrap();
+        }
+        for i in 0..300 {
+            assert!(t.delete(&mut s, &key(i)).unwrap().is_some(), "{i}");
+            t.check_invariants(&mut s).unwrap();
+        }
+        assert_eq!(t.len(&mut s).unwrap(), 0);
+        // All pages but the root leaf were returned to the store.
+        assert_eq!(s.live_pages(), 1);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_matches_model() {
+        use std::collections::BTreeMap;
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        let mut model = BTreeMap::new();
+        let mut x: u64 = 12345;
+        for step in 0..3000u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = key((x >> 33) as u32 % 200);
+            if x % 3 == 0 {
+                let got = t.delete(&mut s, &k).unwrap();
+                assert_eq!(got, model.remove(&k), "step {step}");
+            } else {
+                let v = val(step);
+                let got = t.insert(&mut s, &k, &v).unwrap();
+                assert_eq!(got, model.insert(k, v), "step {step}");
+            }
+        }
+        t.check_invariants(&mut s).unwrap();
+        let all = t.collect_range(&mut s, &[], None).unwrap();
+        assert_eq!(all.len(), model.len());
+        for ((k, v), (mk, mv)) in all.iter().zip(model.iter()) {
+            assert_eq!((k, v), (mk, mv));
+        }
+    }
+
+    #[test]
+    fn range_scan_respects_bounds() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..100 {
+            t.insert(&mut s, &key(i), &val(i)).unwrap();
+        }
+        let r = t
+            .collect_range(&mut s, &key(10), Some(&key(20)))
+            .unwrap();
+        assert_eq!(r.len(), 10);
+        assert_eq!(r[0].0, key(10));
+        assert_eq!(r[9].0, key(19));
+    }
+
+    #[test]
+    fn range_scan_early_stop() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..100 {
+            t.insert(&mut s, &key(i), &val(i)).unwrap();
+        }
+        let mut seen = 0;
+        t.for_each(&mut s, &mut |_, _| {
+            seen += 1;
+            seen < 5
+        })
+        .unwrap();
+        assert_eq!(seen, 5);
+    }
+
+    #[test]
+    fn prefix_scan_finds_directory() {
+        // List a "subdirectory" by name prefix, the way FS enumerates.
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for d in ["docs", "src", "tmp"] {
+            for i in 0..20 {
+                t.insert(&mut s, format!("{d}/f{i:02}").as_bytes(), b"x")
+                    .unwrap();
+            }
+        }
+        let r = t.collect_range(&mut s, b"src/", Some(b"src0")).unwrap();
+        assert_eq!(r.len(), 20);
+        assert!(r.iter().all(|(k, _)| k.starts_with(b"src/")));
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        let big = vec![0u8; PS];
+        assert!(matches!(
+            t.insert(&mut s, b"k", &big),
+            Err(BTreeError::EntryTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn root_survives_reopen() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..200 {
+            t.insert(&mut s, &key(i), &val(i)).unwrap();
+        }
+        let reopened = BTree::open(t.root());
+        assert_eq!(
+            reopened.get(&mut s, &key(123)).unwrap(),
+            Some(val(123))
+        );
+    }
+
+    #[test]
+    fn large_values_near_max_entry() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        let max = BTree::max_entry_size(PS);
+        let v = vec![7u8; max - 4 - 8];
+        for i in 0..50u32 {
+            t.insert(&mut s, format!("big{i:04}").as_bytes(), &v).unwrap();
+        }
+        t.check_invariants(&mut s).unwrap();
+        assert_eq!(t.len(&mut s).unwrap(), 50);
+    }
+
+    #[test]
+    fn corrupt_page_surfaces_as_corrupt_error() {
+        let mut s = MemStore::new(PS);
+        let mut t = BTree::create(&mut s).unwrap();
+        for i in 0..100 {
+            t.insert(&mut s, &key(i), &val(i)).unwrap();
+        }
+        // Smash the root.
+        s.write_page(t.root(), &vec![0xFF; PS]).unwrap();
+        assert!(matches!(
+            t.get(&mut s, &key(1)),
+            Err(BTreeError::Corrupt(_))
+        ));
+    }
+}

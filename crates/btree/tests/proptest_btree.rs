@@ -1,0 +1,117 @@
+//! Property tests: the page-oriented B-tree behaves exactly like
+//! `std::collections::BTreeMap` under arbitrary operation sequences, while
+//! maintaining its structural invariants and never leaking pages.
+
+use cedar_btree::{BTree, MemStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Delete(Vec<u8>),
+    Get(Vec<u8>),
+    Range(Vec<u8>, Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space so inserts and deletes collide often.
+    (0u32..64).prop_map(|i| format!("k{i:03}").into_bytes())
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Entry size 4 + 4 + vlen must stay below the smallest generated
+        // page size's max entry: (128 - 3) / 4 = 31.
+        (arb_key(), proptest::collection::vec(any::<u8>(), 0..22))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        arb_key().prop_map(Op::Delete),
+        arb_key().prop_map(Op::Get),
+        (arb_key(), arb_key()).prop_map(|(a, b)| Op::Range(a, b)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_std_btreemap(ops in proptest::collection::vec(arb_op(), 1..400), page_size in 128usize..1024) {
+        let mut store = MemStore::new(page_size);
+        let mut tree = BTree::create(&mut store).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let got = tree.insert(&mut store, k, v).unwrap();
+                    let want = model.insert(k.clone(), v.clone());
+                    prop_assert_eq!(got, want);
+                }
+                Op::Delete(k) => {
+                    let got = tree.delete(&mut store, k).unwrap();
+                    let want = model.remove(k);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Get(k) => {
+                    let got = tree.get(&mut store, k).unwrap();
+                    let want = model.get(k).cloned();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(a, b) => {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let got = tree.collect_range(&mut store, lo, Some(hi)).unwrap();
+                    let want: Vec<_> = model
+                        .range::<Vec<u8>, _>(lo.clone()..hi.clone())
+                        .map(|(k, v)| (k.clone(), v.clone()))
+                        .collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+
+        tree.check_invariants(&mut store).unwrap();
+
+        // Full scan equals the model, in order.
+        let got = tree.collect_range(&mut store, &[], None).unwrap();
+        let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pages_not_leaked_after_full_delete(
+        keys in proptest::collection::btree_set(arb_key(), 1..150),
+        page_size in 128usize..512,
+    ) {
+        let mut store = MemStore::new(page_size);
+        let mut tree = BTree::create(&mut store).unwrap();
+        for k in &keys {
+            tree.insert(&mut store, k, b"some value bytes").unwrap();
+        }
+        for k in &keys {
+            prop_assert!(tree.delete(&mut store, k).unwrap().is_some());
+        }
+        prop_assert_eq!(tree.len(&mut store).unwrap(), 0);
+        // Only the root leaf remains live.
+        prop_assert_eq!(store.live_pages(), 1);
+    }
+
+    #[test]
+    fn invariants_hold_after_every_mutation(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut store = MemStore::new(192); // Small pages: frequent splits/merges.
+        let mut tree = BTree::create(&mut store).unwrap();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&mut store, k, v).unwrap();
+                }
+                Op::Delete(k) => {
+                    tree.delete(&mut store, k).unwrap();
+                }
+                _ => continue,
+            }
+            tree.check_invariants(&mut store).unwrap();
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! File header sectors.
+//!
+//! "In CFS, a file has two kinds of sectors: header sectors and data
+//! sectors. Header sectors contain file properties (e.g., the file's name,
+//! length and create date) and a run table describing the extents of the
+//! file. The header sectors serve about the same purpose as the inodes do
+//! in the UNIX file system, but have a different implementation." (§2).
+//!
+//! A header occupies [`HEADER_SECTORS`] consecutive sectors whose labels
+//! mark them `Header` pages 0 and 1 of the owning file. Note the
+//! redundancy Table 1 shows: the name and version live both here and in
+//! the name table, and the run table can be recomputed from the labels —
+//! which is exactly what the scavenger exploits.
+
+use crate::error::CfsError;
+use cedar_disk::SECTOR_BYTES;
+use cedar_vol::codec::{Reader, Writer};
+use cedar_vol::{FileName, RunTable};
+
+/// Consecutive sectors in a file header.
+pub const HEADER_SECTORS: u32 = 2;
+
+/// Bytes in an encoded header.
+pub const HEADER_BYTES: usize = HEADER_SECTORS as usize * SECTOR_BYTES;
+
+/// Magic number identifying a header.
+pub const HEADER_MAGIC: u32 = 0xCF5_EAD0;
+
+/// A decoded file header.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Unique id of the file (matches the labels and the name table).
+    pub uid: u64,
+    /// The file's name and version (replicating the name table — Table 1).
+    pub name: FileName,
+    /// Number of old versions to keep.
+    pub keep: u32,
+    /// Logical length in bytes.
+    pub byte_size: u64,
+    /// Creation time (simulated microseconds).
+    pub create_time: u64,
+    /// The file's data extents.
+    pub run_table: RunTable,
+}
+
+impl FileHeader {
+    /// Encodes into [`HEADER_BYTES`] bytes (two sectors).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(HEADER_MAGIC)
+            .u64(self.uid)
+            .str16(self.name.name.as_bytes())
+            .u32(self.name.version)
+            .u32(self.keep)
+            .u64(self.byte_size)
+            .u64(self.create_time)
+            .bytes(&self.run_table.encode());
+        let mut bytes = w.into_bytes();
+        assert!(bytes.len() <= HEADER_BYTES, "header overflow");
+        bytes.resize(HEADER_BYTES, 0);
+        bytes
+    }
+
+    /// Decodes a header, verifying the magic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CfsError> {
+        let mut r = Reader::new(bytes);
+        let bad = |m: String| CfsError::Corrupt(format!("file header: {m}"));
+        if r.u32().map_err(bad)? != HEADER_MAGIC {
+            return Err(CfsError::Corrupt("bad header magic".into()));
+        }
+        let uid = r.u64().map_err(bad)?;
+        let name_bytes = r.str16().map_err(bad)?.to_vec();
+        let version = r.u32().map_err(bad)?;
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| CfsError::Corrupt("header name not UTF-8".into()))?;
+        let name = FileName::new(name, version).map_err(CfsError::Corrupt)?;
+        let keep = r.u32().map_err(bad)?;
+        let byte_size = r.u64().map_err(bad)?;
+        let create_time = r.u64().map_err(bad)?;
+        let run_table = RunTable::decode(&mut r).map_err(bad)?;
+        Ok(Self {
+            uid,
+            name,
+            keep,
+            byte_size,
+            create_time,
+            run_table,
+        })
+    }
+
+    /// Maximum data runs a header can describe (limited by the two-sector
+    /// size; creation fails with `NoSpace` if free space is so fragmented
+    /// a file would need more).
+    pub fn max_runs() -> usize {
+        // Fixed fields worst case: 4 + 8 + (2 + 64) + 4 + 4 + 8 + 8 + 2.
+        (HEADER_BYTES - 104) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_vol::Run;
+
+    fn sample() -> FileHeader {
+        FileHeader {
+            uid: 0xDEAD_BEEF,
+            name: FileName::new("docs/memo.tioga", 3).unwrap(),
+            keep: 2,
+            byte_size: 1234,
+            create_time: 987654,
+            run_table: RunTable::from_runs([Run::new(100, 3), Run::new(500, 1)]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        assert_eq!(FileHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            FileHeader::decode(&bytes),
+            Err(CfsError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = sample().encode();
+        assert!(FileHeader::decode(&bytes[..16]).is_err());
+    }
+
+    #[test]
+    fn max_runs_is_generous() {
+        assert!(FileHeader::max_runs() > 50);
+    }
+
+    #[test]
+    fn empty_file_header_roundtrip() {
+        let h = FileHeader {
+            uid: 1,
+            name: FileName::new("empty", 1).unwrap(),
+            keep: 0,
+            byte_size: 0,
+            create_time: 0,
+            run_table: RunTable::new(),
+        };
+        assert_eq!(FileHeader::decode(&h.encode()).unwrap(), h);
+    }
+}

@@ -1,0 +1,245 @@
+//! CFS on-disk layout and boot page.
+//!
+//! ```text
+//! sector 0                 boot page (NOT replicated — FSD added that)
+//! sectors 1 .. v           VAM hint save area
+//! sectors v .. n           name table region (pages of 4 sectors)
+//! sectors n .. end         data area (headers + file data)
+//! ```
+//!
+//! The name table sits at the *front* of the volume — central placement of
+//! hot structures is one of FSD's improvements (§5.1), so the baseline
+//! deliberately lacks it.
+
+use cedar_disk::{DiskGeometry, SectorAddr, SECTOR_BYTES};
+use cedar_vol::codec::{Reader, Writer};
+
+/// Sectors per name-table page. CFS name-table pages "spanned multiple
+/// disk pages and a partial write could corrupt a name table page" (§5.3)
+/// — reproducing that tearability is the point of the multi-sector page.
+pub const NT_PAGE_SECTORS: u32 = 4;
+
+/// Bytes per name-table page.
+pub const NT_PAGE_BYTES: usize = NT_PAGE_SECTORS as usize * SECTOR_BYTES;
+
+/// Magic number identifying a CFS boot page.
+pub const BOOT_MAGIC: u32 = 0xCF5_B007;
+
+/// Computed sector layout of a CFS volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CfsLayout {
+    /// Total sectors on the volume.
+    pub total_sectors: u32,
+    /// The boot page sector (always 0).
+    pub boot_sector: SectorAddr,
+    /// First sector of the VAM hint save area.
+    pub vam_start: SectorAddr,
+    /// Sectors in the VAM save area.
+    pub vam_sectors: u32,
+    /// First sector of the name table region.
+    pub nt_start: SectorAddr,
+    /// Name-table pages in the region (each [`NT_PAGE_SECTORS`] sectors).
+    pub nt_pages: u32,
+    /// First data sector.
+    pub data_start: SectorAddr,
+}
+
+impl CfsLayout {
+    /// Computes the layout for a geometry. `nt_pages` of zero selects a
+    /// default scaled to the volume (one name-table page per 256 sectors).
+    pub fn compute(geometry: &DiskGeometry, nt_pages: u32) -> Self {
+        let total = geometry.total_sectors();
+        let nt_pages = if nt_pages == 0 {
+            (total / 256).clamp(8, 3072)
+        } else {
+            nt_pages
+        };
+        // The boot page bitmap must track every name-table page.
+        assert!(
+            nt_pages as usize <= (SECTOR_BYTES - 40) * 8,
+            "name table bitmap overflows the boot page"
+        );
+        let vam_bytes = 4 + (total as usize).div_ceil(64) * 8;
+        let vam_sectors = vam_bytes.div_ceil(SECTOR_BYTES) as u32;
+        let vam_start = 1;
+        let nt_start = vam_start + vam_sectors;
+        let data_start = nt_start + nt_pages * NT_PAGE_SECTORS;
+        assert!(data_start < total, "volume too small for CFS layout");
+        Self {
+            total_sectors: total,
+            boot_sector: 0,
+            vam_start,
+            vam_sectors,
+            nt_start,
+            nt_pages,
+            data_start,
+        }
+    }
+
+    /// First sector of name-table page `page`.
+    pub fn nt_sector(&self, page: u32) -> SectorAddr {
+        assert!(page < self.nt_pages);
+        self.nt_start + page * NT_PAGE_SECTORS
+    }
+
+    /// The data area bounds `[start, end)`.
+    pub fn data_area(&self) -> (SectorAddr, SectorAddr) {
+        (self.data_start, self.total_sectors)
+    }
+}
+
+/// The CFS boot page: volume root pointers, persisted once per mutation
+/// of the name-table page bitmap or tree root. A single unreplicated
+/// sector — one of the fragilities FSD fixes (§5.8, error class 5).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BootPage {
+    /// Root page id of the name-table B-tree.
+    pub nt_root: u32,
+    /// Boots so far; part of uid generation.
+    pub boot_count: u32,
+    /// Whether the VAM save area holds a valid hint.
+    pub vam_valid: bool,
+    /// Allocation bitmap for name-table pages (bit set ⇒ page in use).
+    pub nt_bitmap: Vec<u64>,
+}
+
+impl BootPage {
+    /// A fresh boot page for a volume with `nt_pages` name-table pages.
+    pub fn new(nt_pages: u32) -> Self {
+        Self {
+            nt_root: 0,
+            boot_count: 0,
+            vam_valid: false,
+            nt_bitmap: vec![0; (nt_pages as usize).div_ceil(64)],
+        }
+    }
+
+    /// Encodes into one sector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(BOOT_MAGIC)
+            .u32(self.nt_root)
+            .u32(self.boot_count)
+            .u8(self.vam_valid as u8)
+            .u16(self.nt_bitmap.len() as u16);
+        for word in &self.nt_bitmap {
+            w.u64(*word);
+        }
+        let mut bytes = w.into_bytes();
+        assert!(bytes.len() <= SECTOR_BYTES, "boot page overflow");
+        bytes.resize(SECTOR_BYTES, 0);
+        bytes
+    }
+
+    /// Decodes from a sector.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != BOOT_MAGIC {
+            return Err("bad boot page magic".into());
+        }
+        let nt_root = r.u32()?;
+        let boot_count = r.u32()?;
+        let vam_valid = r.u8()? != 0;
+        let words = r.u16()? as usize;
+        let mut nt_bitmap = Vec::with_capacity(words);
+        for _ in 0..words {
+            nt_bitmap.push(r.u64()?);
+        }
+        Ok(Self {
+            nt_root,
+            boot_count,
+            vam_valid,
+            nt_bitmap,
+        })
+    }
+
+    /// Allocates a name-table page from the bitmap.
+    pub fn alloc_nt_page(&mut self, nt_pages: u32) -> Option<u32> {
+        for page in 0..nt_pages {
+            let (w, b) = (page as usize / 64, page % 64);
+            if self.nt_bitmap[w] >> b & 1 == 0 {
+                self.nt_bitmap[w] |= 1 << b;
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    /// Frees a name-table page.
+    pub fn free_nt_page(&mut self, page: u32) {
+        let (w, b) = (page as usize / 64, page % 64);
+        self.nt_bitmap[w] &= !(1 << b);
+    }
+
+    /// Returns `true` if a name-table page is allocated.
+    pub fn nt_page_in_use(&self, page: u32) -> bool {
+        let (w, b) = (page as usize / 64, page % 64);
+        self.nt_bitmap[w] >> b & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_regions_are_disjoint_and_ordered() {
+        let l = CfsLayout::compute(&DiskGeometry::TRIDENT_T300, 0);
+        assert_eq!(l.boot_sector, 0);
+        assert!(l.vam_start > l.boot_sector);
+        assert!(l.nt_start >= l.vam_start + l.vam_sectors);
+        assert!(l.data_start == l.nt_start + l.nt_pages * NT_PAGE_SECTORS);
+        assert!(l.data_start < l.total_sectors);
+    }
+
+    #[test]
+    fn tiny_layout_fits() {
+        let l = CfsLayout::compute(&DiskGeometry::TINY, 0);
+        assert!(l.nt_pages >= 8);
+        assert!(l.data_start < l.total_sectors / 2);
+    }
+
+    #[test]
+    fn nt_sector_addresses_pages() {
+        let l = CfsLayout::compute(&DiskGeometry::TINY, 8);
+        assert_eq!(l.nt_sector(0), l.nt_start);
+        assert_eq!(l.nt_sector(1), l.nt_start + 4);
+    }
+
+    #[test]
+    fn boot_page_roundtrip() {
+        let mut b = BootPage::new(100);
+        b.nt_root = 7;
+        b.boot_count = 3;
+        b.vam_valid = true;
+        b.alloc_nt_page(100);
+        let decoded = BootPage::decode(&b.encode()).unwrap();
+        assert_eq!(decoded, b);
+    }
+
+    #[test]
+    fn boot_page_rejects_garbage() {
+        assert!(BootPage::decode(&[0u8; SECTOR_BYTES]).is_err());
+        assert!(BootPage::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn nt_bitmap_alloc_free() {
+        let mut b = BootPage::new(10);
+        let p0 = b.alloc_nt_page(10).unwrap();
+        let p1 = b.alloc_nt_page(10).unwrap();
+        assert_ne!(p0, p1);
+        assert!(b.nt_page_in_use(p0));
+        b.free_nt_page(p0);
+        assert!(!b.nt_page_in_use(p0));
+        assert_eq!(b.alloc_nt_page(10), Some(p0));
+    }
+
+    #[test]
+    fn nt_bitmap_exhaustion() {
+        let mut b = BootPage::new(2);
+        assert!(b.alloc_nt_page(2).is_some());
+        assert!(b.alloc_nt_page(2).is_some());
+        assert_eq!(b.alloc_nt_page(2), None);
+    }
+}

@@ -1,0 +1,43 @@
+//! CFS — the *old* Cedar File System, reproduced as the paper's baseline.
+//!
+//! CFS (described in \[Schr85\] and §2 of the paper) keeps three mutually
+//! redundant structures on disk:
+//!
+//! * the **file name table** — a B-tree mapping `name!version` to a small
+//!   entry holding the uid and the disk address of the file's header;
+//! * **header sectors** — two sectors per file holding the properties
+//!   (name, length, create date, keep) and the run table, like UNIX inodes
+//!   but per-file and relocating;
+//! * **labels** — the Trident per-sector label field, checked in microcode
+//!   on every transfer, identifying the owning file, page number and page
+//!   type.
+//!
+//! Updates are synchronous and *non-atomic*: a crash in the middle of a
+//! B-tree split, or a torn multi-sector name-table page write, leaves the
+//! name table inconsistent, and the repair is the **scavenger** — a full
+//! scan of every label on the volume that rebuilds the name table and the
+//! free map, taking the better part of an hour on a 300 MB disk (§5.3,
+//! Table 2). The VAM free-page bitmap is only a hint with no invariants:
+//! allocation *verifies* candidate pages are free by reading their labels
+//! before claiming them (§2), which is where CFS's six-I/O file create
+//! comes from.
+//!
+//! A one-byte file create performs, per the paper's §6 script: verify free
+//! pages (read labels), write header labels, write data labels, write the
+//! header, update the file name table, write the byte, and rewrite the
+//! header.
+
+pub mod error;
+pub mod header;
+pub mod layout;
+pub mod nametable;
+pub mod scavenge;
+pub mod volume;
+
+pub use error::CfsError;
+pub use header::FileHeader;
+pub use layout::CfsLayout;
+pub use volume::{CfsConfig, CfsFile, CfsVolume};
+
+/// Result alias for CFS operations.
+pub type Result<T> = std::result::Result<T, CfsError>;

@@ -1,0 +1,346 @@
+//! The scavenger: CFS's crash recovery.
+//!
+//! "It is possible to scavenge the file system: by reading the labels and
+//! interpreting some of the disk sectors, file system structural
+//! information, such as the free page map and the file name table, can be
+//! reconstructed." (§2). The price is a full pass over every label on the
+//! volume plus a random-access pass over every file header plus a rebuild
+//! of the whole name table — "a slow operation (an hour or more on a 300
+//! megabyte disk)" (§5.3). FSD's two-second log redo exists to kill this.
+//!
+//! Faithfully to the original (§5.8), the run tables are reconstructed
+//! *from the labels*; the header contributes the name and properties. A
+//! file whose header is lost loses its identity and its sectors are freed
+//! (relabelled) as orphans.
+
+use crate::error::CfsError;
+use crate::header::{FileHeader, HEADER_SECTORS};
+use crate::layout::BootPage;
+use crate::nametable::{CfsNtStore, NtEntry};
+use crate::volume::CfsVolume;
+use crate::Result;
+use cedar_btree::BTree;
+use cedar_disk::{clock::Micros, Label, PageKind};
+use cedar_vol::{Run, RunTable, Vam};
+use std::collections::{HashMap, HashSet};
+
+/// What a scavenge found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScavengeReport {
+    /// Files whose header and labels were recovered into the new name
+    /// table.
+    pub files_recovered: usize,
+    /// Headers that were unreadable or undecodable (their files are lost).
+    pub damaged_headers: usize,
+    /// Sectors owned by no surviving file, relabelled free.
+    pub orphan_sectors: u32,
+    /// Simulated time the scavenge took.
+    pub duration_us: Micros,
+    /// Disk operations performed.
+    pub ios: u64,
+}
+
+impl CfsVolume {
+    /// Scavenges the volume: rebuilds the name table and the VAM from the
+    /// labels and headers. This is the *only* recovery CFS has after a
+    /// crash corrupts the name table or invalidates the VAM hint.
+    pub fn scavenge(&mut self) -> Result<ScavengeReport> {
+        let mut report = ScavengeReport::default();
+        let (disk, cpu, layout, ..) = self.parts();
+        let t0 = disk.clock().now();
+        let io0 = disk.stats().total_ops();
+        cpu.op();
+
+        let geometry = *disk.geometry();
+        let spt = geometry.sectors_per_track as usize;
+        let total = geometry.total_sectors();
+
+        // Pass 1: read every label, track by track, interpreting each.
+        let mut labels: Vec<Label> = Vec::with_capacity(total as usize);
+        let mut addr = 0u32;
+        while addr < total {
+            let n = spt.min((total - addr) as usize);
+            labels.extend(disk.read_labels(addr, n)?);
+            cpu.labels(n as u64);
+            addr += n as u32;
+        }
+
+        // Interpret: collect per-file sectors (page-numbered) and header
+        // addresses.
+        let mut file_sectors: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
+        let mut headers: Vec<(u64, u32)> = Vec::new();
+        for (addr, label) in labels.iter().enumerate() {
+            let addr = addr as u32;
+            match label.kind {
+                PageKind::Data => {
+                    file_sectors.entry(label.uid).or_default().push((label.page, addr));
+                }
+                PageKind::Header if label.page == 0 => headers.push((label.uid, addr)),
+                _ => {}
+            }
+        }
+
+        // Pass 2: read every header (random access across the volume).
+        let mut recovered: Vec<(FileHeader, u32)> = Vec::new();
+        let mut live: HashSet<u64> = HashSet::new();
+        for &(uid, haddr) in &headers {
+            let hlabels: Vec<Label> = (0..HEADER_SECTORS)
+                .map(|i| Label::new(uid, i, PageKind::Header))
+                .collect();
+            let header = match disk
+                .read_checked(haddr, HEADER_SECTORS as usize, &hlabels)
+                .map_err(CfsError::from)
+                .and_then(|raw| FileHeader::decode(&raw))
+            {
+                Ok(h) => h,
+                Err(e) if e.is_crash() => return Err(e),
+                Err(_) => {
+                    report.damaged_headers += 1;
+                    continue;
+                }
+            };
+            cpu.entries(1);
+            // Rebuild the run table from the labels: the labels are the
+            // ground truth for which sectors the file owns.
+            let mut sectors = file_sectors.remove(&uid).unwrap_or_default();
+            sectors.sort_unstable();
+            let rt = RunTable::from_runs(
+                sectors.iter().map(|&(_, addr)| Run::new(addr, 1)),
+            );
+            let mut header = header;
+            let label_pages = rt.pages();
+            if label_pages < header.run_table.pages() {
+                // Header claims more than the labels prove: trust labels,
+                // shrink the byte count accordingly.
+                header.byte_size = header
+                    .byte_size
+                    .min(label_pages as u64 * cedar_disk::SECTOR_BYTES as u64);
+            }
+            header.run_table = rt;
+            live.insert(uid);
+            recovered.push((header, haddr));
+        }
+
+        // Build the new VAM from the labels: everything not owned by a
+        // surviving file (and outside the system areas) is free.
+        let mut vam = Vam::new_all_allocated(total);
+        let (dlo, dhi) = layout.data_area();
+        let mut orphans: Vec<u32> = Vec::new();
+        for addr in dlo..dhi {
+            let label = labels[addr as usize];
+            let orphan = match label.kind {
+                PageKind::Free => {
+                    vam.free_run(Run::new(addr, 1));
+                    false
+                }
+                PageKind::Data | PageKind::Header | PageKind::Leader => {
+                    !live.contains(&label.uid)
+                }
+                _ => false,
+            };
+            if orphan {
+                orphans.push(addr);
+                vam.free_run(Run::new(addr, 1));
+            }
+        }
+
+        // Pass 3: relabel orphaned sectors free, batching contiguous runs.
+        report.orphan_sectors = orphans.len() as u32;
+        let mut i = 0;
+        while i < orphans.len() {
+            let start = orphans[i];
+            let mut len = 1u32;
+            while i + (len as usize) < orphans.len()
+                && orphans[i + len as usize] == start + len
+            {
+                len += 1;
+            }
+            disk.write_labels(start, &vec![Label::FREE; len as usize], None)?;
+            i += len as usize;
+        }
+
+        // Rebuild the name table from scratch, write-through, in disk
+        // discovery order (effectively random name order — part of why
+        // the real scavenger was so slow).
+        let mut boot = BootPage::new(layout.nt_pages);
+        let mut cache = HashMap::new();
+        let mut boot_dirty = false;
+        let layout_copy = *layout;
+        let mut tree = {
+            let mut store = CfsNtStore {
+                disk,
+                cpu,
+                layout: &layout_copy,
+                cache: &mut cache,
+                boot: &mut boot,
+                boot_dirty: &mut boot_dirty,
+            };
+            BTree::create(&mut store)?
+        };
+        for (header, haddr) in &recovered {
+            let entry = NtEntry {
+                uid: header.uid,
+                header_addr: *haddr,
+                keep: header.keep,
+            };
+            // Rewrite the header too: the run table may have been
+            // corrected from the labels.
+            let hlabels: Vec<Label> = (0..HEADER_SECTORS)
+                .map(|i| Label::new(header.uid, i, PageKind::Header))
+                .collect();
+            disk.write_checked(*haddr, &header.encode(), &hlabels)?;
+            let mut store = CfsNtStore {
+                disk,
+                cpu,
+                layout: &layout_copy,
+                cache: &mut cache,
+                boot: &mut boot,
+                boot_dirty: &mut boot_dirty,
+            };
+            tree.insert(&mut store, &header.name.to_key(), &entry.encode())?;
+            cpu.entries(1);
+        }
+        report.files_recovered = recovered.len();
+
+        // Install the rebuilt state (the boot count carries forward inside
+        // `rebuild_after_scavenge`).
+        boot.nt_root = tree.root();
+        self.rebuild_after_scavenge(vam, boot, tree, cache);
+        self.finish_scavenge_boot_page()?;
+
+        let clock = self.clock();
+        report.duration_us = clock.now() - t0;
+        report.ios = self.disk_stats().total_ops() - io0;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::CfsConfig;
+    use cedar_disk::{CpuModel, SimDisk};
+
+    fn tiny() -> CfsVolume {
+        CfsVolume::format(
+            SimDisk::tiny(),
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::FREE,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scavenge_recovers_files_after_name_table_loss() {
+        let mut v = tiny();
+        let mut datas = Vec::new();
+        for i in 0..10 {
+            let data = vec![i as u8 + 1; 700];
+            v.create(&format!("dir/f{i}"), &data).unwrap();
+            datas.push(data);
+        }
+        // Smash the whole name table region on disk, then reboot so the
+        // in-memory page cache cannot mask the damage.
+        let nt_start = v.layout().nt_start;
+        let nt_len = v.layout().nt_pages * 4;
+        for s in nt_start..nt_start + nt_len {
+            v.disk_mut().wild_write(s, 0xFF);
+        }
+        let (mut v, _) = CfsVolume::boot(
+            v.into_disk(),
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::FREE,
+            },
+        )
+        .unwrap();
+        assert!(v.open("dir/f0", None).is_err());
+
+        let report = v.scavenge().unwrap();
+        assert_eq!(report.files_recovered, 10);
+        assert_eq!(report.damaged_headers, 0);
+        for i in 0..10 {
+            let f = v.open(&format!("dir/f{i}"), None).unwrap();
+            assert_eq!(v.read_file(&f).unwrap(), datas[i]);
+        }
+    }
+
+    #[test]
+    fn scavenge_frees_orphans() {
+        let mut v = tiny();
+        v.create("live", b"keep me").unwrap();
+        // Simulate a crash mid-create: data labels claimed, no header.
+        let orphan_uid = 0xDEAD;
+        v.disk_mut()
+            .write_labels(
+                1000,
+                &[
+                    cedar_disk::Label::new(orphan_uid, 0, PageKind::Data),
+                    cedar_disk::Label::new(orphan_uid, 1, PageKind::Data),
+                ],
+                None,
+            )
+            .unwrap();
+        let report = v.scavenge().unwrap();
+        assert_eq!(report.files_recovered, 1);
+        assert_eq!(report.orphan_sectors, 2);
+        // The orphan sectors are free again.
+        assert_eq!(v.disk_mut().peek_label(1000), cedar_disk::Label::FREE);
+    }
+
+    #[test]
+    fn scavenge_rebuilds_vam() {
+        let mut v = tiny();
+        v.create("a", &vec![1; 2048]).unwrap();
+        v.create("b", &vec![2; 1024]).unwrap();
+        let free_before = v.free_sectors();
+        // Crash (no shutdown): VAM hint lost.
+        let mut disk = v.into_disk();
+        disk.crash_now();
+        disk.reboot();
+        let (mut v2, loaded) = CfsVolume::boot(
+            disk,
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::FREE,
+            },
+        )
+        .unwrap();
+        assert!(!loaded);
+        v2.scavenge().unwrap();
+        assert_eq!(v2.free_sectors(), free_before);
+        // And allocation works again.
+        v2.create("c", b"new").unwrap();
+    }
+
+    #[test]
+    fn scavenge_drops_files_with_damaged_headers() {
+        let mut v = tiny();
+        let f = v.create("victim", &vec![7; 1024]).unwrap();
+        v.create("survivor", b"ok").unwrap();
+        v.disk_mut().damage_sector(f.header_addr);
+        let report = v.scavenge().unwrap();
+        assert_eq!(report.damaged_headers, 1);
+        assert_eq!(report.files_recovered, 1);
+        assert!(v.open("victim", None).is_err());
+        // The victim's data sectors were orphaned and freed.
+        assert!(report.orphan_sectors >= 2);
+        let s = v.open("survivor", None).unwrap();
+        assert_eq!(v.read_file(&s).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn scavenge_is_expensive_in_ios() {
+        let mut v = tiny();
+        for i in 0..20 {
+            v.create(&format!("f{i}"), &vec![0; 512]).unwrap();
+        }
+        let report = v.scavenge().unwrap();
+        // At minimum: every track's labels + every header + the NT rebuild.
+        let tracks = 2048 / 16;
+        assert!(report.ios as u32 >= tracks, "ios = {}", report.ios);
+        assert!(report.duration_us > 0);
+    }
+}

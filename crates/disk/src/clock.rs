@@ -1,0 +1,119 @@
+//! Simulated time.
+//!
+//! All time in the reproduction is *simulated*: it advances only when the
+//! disk performs work or when a component explicitly charges CPU time. This
+//! makes every benchmark deterministic, which is what lets us reproduce the
+//! paper's exact I/O counts and stable wall-clock shapes.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// One microsecond, the base unit of simulated time.
+pub type Micros = u64;
+
+/// A shared handle to the simulation clock.
+///
+/// Cloning a `SimClock` yields another handle to the *same* clock; the disk
+/// and the file system each hold one. The clock is single-threaded by design
+/// (the paper's system is a single-user workstation file system).
+///
+/// # Examples
+///
+/// ```
+/// use cedar_disk::SimClock;
+/// let clock = SimClock::new();
+/// let view = clock.clone();
+/// clock.advance(250);
+/// assert_eq!(view.now(), 250);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: Rc<Cell<Micros>>,
+}
+
+impl SimClock {
+    /// Creates a clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current simulated time in microseconds.
+    pub fn now(&self) -> Micros {
+        self.now.get()
+    }
+
+    /// Advances the clock by `delta` microseconds.
+    pub fn advance(&self, delta: Micros) {
+        self.now.set(self.now.get() + delta);
+    }
+
+    /// Advances the clock to `target` if it is in the future; otherwise does
+    /// nothing. Returns the amount of time actually waited.
+    pub fn advance_to(&self, target: Micros) -> Micros {
+        let now = self.now.get();
+        if target > now {
+            self.now.set(target);
+            target - now
+        } else {
+            0
+        }
+    }
+}
+
+/// Converts milliseconds to [`Micros`].
+pub const fn millis(ms: u64) -> Micros {
+    ms * 1_000
+}
+
+/// Converts seconds to [`Micros`].
+pub const fn seconds(s: u64) -> Micros {
+    s * 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        assert_eq!(SimClock::new().now(), 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let c = SimClock::new();
+        c.advance(10);
+        c.advance(32);
+        assert_eq!(c.now(), 42);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let a = SimClock::new();
+        let b = a.clone();
+        b.advance(7);
+        assert_eq!(a.now(), 7);
+    }
+
+    #[test]
+    fn advance_to_future_waits() {
+        let c = SimClock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(150), 50);
+        assert_eq!(c.now(), 150);
+    }
+
+    #[test]
+    fn advance_to_past_is_noop() {
+        let c = SimClock::new();
+        c.advance(100);
+        assert_eq!(c.advance_to(50), 0);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(millis(3), 3_000);
+        assert_eq!(seconds(2), 2_000_000);
+    }
+}

@@ -1,0 +1,69 @@
+//! Disk error types.
+
+use crate::label::Label;
+use crate::SectorAddr;
+use std::fmt;
+
+/// Errors surfaced by the simulated disk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiskError {
+    /// The sector is damaged (media flaw or a torn write left it
+    /// detectably bad). Reading it fails; writing it repairs it.
+    BadSector(SectorAddr),
+    /// A label check failed: the label on disk did not match what the file
+    /// system expected. This is how CFS detects wild writes and many
+    /// software bugs (§2).
+    LabelMismatch {
+        /// The sector whose label mismatched.
+        addr: SectorAddr,
+        /// What the file system expected to find.
+        expected: Label,
+        /// What was actually on the disk.
+        found: Label,
+    },
+    /// The address (or address + length) is beyond the end of the volume.
+    OutOfRange(SectorAddr),
+    /// The machine crashed: a scheduled crash point fired. All further I/O
+    /// fails with this error until the disk is rebooted with
+    /// [`crate::SimDisk::reboot`]. File systems must unwind and recover.
+    Crashed,
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadSector(a) => write!(f, "bad sector {a}"),
+            Self::LabelMismatch {
+                addr,
+                expected,
+                found,
+            } => write!(
+                f,
+                "label mismatch at sector {addr}: expected {expected:?}, found {found:?}"
+            ),
+            Self::OutOfRange(a) => write!(f, "sector {a} out of range"),
+            Self::Crashed => write!(f, "machine crashed"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::PageKind;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(DiskError::BadSector(42).to_string(), "bad sector 42");
+        assert_eq!(DiskError::Crashed.to_string(), "machine crashed");
+        let msg = DiskError::LabelMismatch {
+            addr: 3,
+            expected: Label::new(1, 0, PageKind::Data),
+            found: Label::FREE,
+        }
+        .to_string();
+        assert!(msg.contains("sector 3"));
+    }
+}

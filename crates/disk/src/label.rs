@@ -1,0 +1,94 @@
+//! Trident-style sector labels.
+//!
+//! On the Trident interface every sector carries a label field that is
+//! checked in microcode before the sector's data is read or written (§2).
+//! The old Cedar file system (CFS) marks each sector with the owning file's
+//! unique id, the page number within the file, and the page type; a mismatch
+//! during I/O surfaces software bugs and wild writes immediately, and a full
+//! scan of the labels lets the *scavenger* rebuild the name table and free
+//! map.
+//!
+//! FSD, the paper's new design, deliberately does **not** use labels — that
+//! is the whole point ("a new, label-free design is required", §3) — but the
+//! simulator keeps the label plane so the CFS baseline and its scavenger can
+//! be reproduced faithfully.
+
+/// The role a sector plays, as recorded in its label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum PageKind {
+    /// Unallocated sector.
+    Free = 0,
+    /// CFS file header sector (properties + run table).
+    Header = 1,
+    /// File data sector.
+    Data = 2,
+    /// FSD leader page (software-check page preceding the data).
+    Leader = 3,
+    /// File name table sector.
+    NameTable = 4,
+    /// Log file sector.
+    Log = 5,
+    /// Boot-critical sector (root pointers, saved VAM, etc.).
+    Boot = 6,
+}
+
+/// A sector label: who owns this sector and what it is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label {
+    /// Unique id of the owning file (0 for system structures).
+    pub uid: u64,
+    /// Page number within the owning file.
+    pub page: u32,
+    /// What the sector is used for.
+    pub kind: PageKind,
+}
+
+impl Label {
+    /// The label of an unallocated sector.
+    pub const FREE: Self = Self {
+        uid: 0,
+        page: 0,
+        kind: PageKind::Free,
+    };
+
+    /// Creates a label.
+    pub const fn new(uid: u64, page: u32, kind: PageKind) -> Self {
+        Self { uid, page, kind }
+    }
+
+    /// Returns `true` if this sector is unallocated.
+    pub fn is_free(&self) -> bool {
+        self.kind == PageKind::Free
+    }
+}
+
+impl Default for Label {
+    fn default() -> Self {
+        Self::FREE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_label_is_free() {
+        assert!(Label::default().is_free());
+    }
+
+    #[test]
+    fn data_label_is_not_free() {
+        assert!(!Label::new(7, 0, PageKind::Data).is_free());
+    }
+
+    #[test]
+    fn labels_compare_by_all_fields() {
+        let a = Label::new(1, 2, PageKind::Data);
+        assert_ne!(a, Label::new(1, 3, PageKind::Data));
+        assert_ne!(a, Label::new(2, 2, PageKind::Data));
+        assert_ne!(a, Label::new(1, 2, PageKind::Header));
+        assert_eq!(a, Label::new(1, 2, PageKind::Data));
+    }
+}

@@ -1,0 +1,100 @@
+//! I/O accounting.
+//!
+//! Tables 3 and 4 of the paper are measured in disk I/Os; Table 2 in wall
+//! clock. [`DiskStats`] tracks both: operation and sector counts, and a
+//! breakdown of where simulated time went (seeking, rotating, transferring).
+
+use crate::clock::Micros;
+
+/// Cumulative disk statistics.
+///
+/// An *operation* is one `read`/`write` call (one "disk I/O" in the paper's
+/// counting); it may transfer several sectors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Number of read operations.
+    pub reads: u64,
+    /// Number of write operations.
+    pub writes: u64,
+    /// Number of label-only operations (reads or writes of the label plane).
+    pub label_ops: u64,
+    /// Total sectors read.
+    pub sectors_read: u64,
+    /// Total sectors written.
+    pub sectors_written: u64,
+    /// Long seeks performed.
+    pub seeks: u64,
+    /// Short seeks performed (≤ the drive's short-seek threshold).
+    pub short_seeks: u64,
+    /// Time spent seeking.
+    pub seek_us: Micros,
+    /// Time spent waiting for rotation.
+    pub rotation_us: Micros,
+    /// Time spent transferring data.
+    pub transfer_us: Micros,
+}
+
+impl DiskStats {
+    /// Total disk I/O operations (reads + writes + label-only ops).
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.label_ops
+    }
+
+    /// Total time the disk was busy.
+    pub fn busy_us(&self) -> Micros {
+        self.seek_us + self.rotation_us + self.transfer_us
+    }
+
+    /// Returns the difference `self - earlier`, for measuring a window.
+    pub fn since(&self, earlier: &DiskStats) -> DiskStats {
+        DiskStats {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            label_ops: self.label_ops - earlier.label_ops,
+            sectors_read: self.sectors_read - earlier.sectors_read,
+            sectors_written: self.sectors_written - earlier.sectors_written,
+            seeks: self.seeks - earlier.seeks,
+            short_seeks: self.short_seeks - earlier.short_seeks,
+            seek_us: self.seek_us - earlier.seek_us,
+            rotation_us: self.rotation_us - earlier.rotation_us,
+            transfer_us: self.transfer_us - earlier.transfer_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_components() {
+        let s = DiskStats {
+            reads: 2,
+            writes: 3,
+            label_ops: 1,
+            seek_us: 10,
+            rotation_us: 20,
+            transfer_us: 30,
+            ..Default::default()
+        };
+        assert_eq!(s.total_ops(), 6);
+        assert_eq!(s.busy_us(), 60);
+    }
+
+    #[test]
+    fn since_subtracts_fieldwise() {
+        let a = DiskStats {
+            reads: 5,
+            sectors_read: 50,
+            ..Default::default()
+        };
+        let b = DiskStats {
+            reads: 2,
+            sectors_read: 20,
+            ..Default::default()
+        };
+        let d = a.since(&b);
+        assert_eq!(d.reads, 3);
+        assert_eq!(d.sectors_read, 30);
+    }
+}

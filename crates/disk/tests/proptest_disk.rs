@@ -1,0 +1,138 @@
+//! Property tests for the simulated disk: contents behave like a byte
+//! store, time only moves forward, the accounting identities hold, and
+//! crash plans tear writes exactly per the paper's failure model.
+
+use cedar_disk::{CrashPlan, DiskGeometry, DiskTiming, SimClock, SimDisk, SECTOR_BYTES};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const TOTAL: u32 = 2048; // TINY geometry.
+
+fn disk() -> SimDisk {
+    SimDisk::new(DiskGeometry::TINY, DiskTiming::TINY, SimClock::new())
+}
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write(u32, u8, u8), // start, sectors, fill byte
+    Read(u32, u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..TOTAL, 1u8..8, any::<u8>()).prop_map(|(s, n, b)| Op::Write(s, n, b)),
+        (0u32..TOTAL, 1u8..8).prop_map(|(s, n)| Op::Read(s, n)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn behaves_like_a_sector_store(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut d = disk();
+        let clock = d.clock();
+        let mut model: HashMap<u32, u8> = HashMap::new(); // sector → fill byte
+        let mut last_time = clock.now();
+
+        for op in &ops {
+            match op {
+                Op::Write(start, n, byte) => {
+                    let n = (*n as u32).min(TOTAL - start) as usize;
+                    if n == 0 { continue; }
+                    d.write(*start, &vec![*byte; n * SECTOR_BYTES]).unwrap();
+                    for i in 0..n as u32 {
+                        model.insert(start + i, *byte);
+                    }
+                }
+                Op::Read(start, n) => {
+                    let n = (*n as u32).min(TOTAL - start) as usize;
+                    if n == 0 { continue; }
+                    let data = d.read(*start, n).unwrap();
+                    for i in 0..n {
+                        let want = model.get(&(start + i as u32)).copied().unwrap_or(0);
+                        prop_assert!(
+                            data[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES]
+                                .iter()
+                                .all(|&b| b == want),
+                            "sector {} read {} wanted {}",
+                            start + i as u32,
+                            data[i * SECTOR_BYTES],
+                            want
+                        );
+                    }
+                }
+            }
+            // Time is monotone and every operation costs something.
+            let now = clock.now();
+            prop_assert!(now > last_time, "clock did not advance");
+            last_time = now;
+        }
+
+        // Accounting identities.
+        let s = d.stats();
+        prop_assert_eq!(s.busy_us(), s.seek_us + s.rotation_us + s.transfer_us);
+        prop_assert_eq!(
+            s.transfer_us,
+            (s.sectors_read + s.sectors_written) * d.timing().sector_us()
+        );
+        prop_assert!(clock.now() >= s.busy_us());
+    }
+
+    #[test]
+    fn crash_plan_tears_exactly_at_the_budget(
+        budget in 0u64..12,
+        tail in 0u8..3,
+        start in 0u32..(TOTAL - 16),
+        n in 1u8..16,
+    ) {
+        let mut d = disk();
+        d.schedule_crash(CrashPlan {
+            after_sector_writes: budget,
+            damaged_tail: tail,
+        });
+        let n = n as usize;
+        let r = d.write(start, &vec![0xAAu8; n * SECTOR_BYTES]);
+        d.reboot();
+        if (n as u64) <= budget {
+            // The write completed before the budget ran out.
+            prop_assert!(r.is_ok());
+            for i in 0..n as u32 {
+                prop_assert!(!d.peek_damaged(start + i));
+            }
+        } else {
+            prop_assert!(r.is_err());
+            let boundary = budget as u32;
+            // Sectors before the boundary are durable.
+            for i in 0..boundary {
+                prop_assert_eq!(d.read(start + i, 1).unwrap()[0], 0xAA);
+            }
+            // Up to `tail` sectors at the boundary are damaged (bounded
+            // by the end of the write).
+            let tail_end = (boundary + tail as u32).min(n as u32);
+            for i in boundary..tail_end {
+                prop_assert!(d.peek_damaged(start + i), "sector {i} should be torn");
+            }
+            // Everything after the tail never happened.
+            for i in tail_end..n as u32 {
+                prop_assert!(!d.peek_damaged(start + i));
+                prop_assert_eq!(d.read(start + i, 1).unwrap()[0], 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rotational_position_is_consistent(start in 0u32..(TOTAL - 8)) {
+        // Reading sector s then s+1 back-to-back never waits on rotation:
+        // the head is right there.
+        let mut d = disk();
+        d.read(start, 1).unwrap();
+        let before = d.stats();
+        d.read(start + 1, 1).unwrap();
+        let delta = d.stats().since(&before);
+        if d.geometry().cylinder_of(start) == d.geometry().cylinder_of(start + 1) {
+            prop_assert_eq!(delta.rotation_us, 0);
+            prop_assert_eq!(delta.seek_us, 0);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Cylinder-group allocation: inode and block bitmaps, locality policy,
+//! and rotational interleave.
+//!
+//! FFS places a new file's inode in its directory's cylinder group and
+//! its data blocks near the inode; logically consecutive data blocks are
+//! spaced `interleave` block slots apart so the CPU can start on block
+//! *n* while the disk spins over the gap before *n + 1* — the mechanism
+//! that caps 4.2 BSD sequential transfers near half the raw bandwidth
+//! (Table 5's 47 %).
+
+use crate::layout::FfsLayout;
+use crate::{BlockNo, Ino};
+use cedar_vol::codec::{Reader, Writer};
+
+/// One cylinder group's in-memory allocation state, persisted in its
+/// header block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CgState {
+    /// Inode bitmap (bit set ⇒ in use).
+    pub inode_bitmap: Vec<u64>,
+    /// Data-block bitmap, relative to the group's first data block.
+    pub block_bitmap: Vec<u64>,
+}
+
+fn get(bm: &[u64], i: u32) -> bool {
+    bm[i as usize / 64] >> (i % 64) & 1 == 1
+}
+
+fn set(bm: &mut [u64], i: u32, v: bool) {
+    if v {
+        bm[i as usize / 64] |= 1 << (i % 64);
+    } else {
+        bm[i as usize / 64] &= !(1 << (i % 64));
+    }
+}
+
+impl CgState {
+    /// A fresh, empty group.
+    pub fn new(layout: &FfsLayout) -> Self {
+        Self {
+            inode_bitmap: vec![0; (layout.inodes_per_cg as usize).div_ceil(64)],
+            block_bitmap: vec![0; (layout.data_blocks_per_cg() as usize).div_ceil(64)],
+        }
+    }
+
+    /// Allocates an inode slot within the group, returning its index.
+    pub fn alloc_inode_slot(&mut self, layout: &FfsLayout) -> Option<u32> {
+        (0..layout.inodes_per_cg).find(|&i| !get(&self.inode_bitmap, i)).map(|i| {
+            set(&mut self.inode_bitmap, i, true);
+            i
+        })
+    }
+
+    /// Frees an inode slot.
+    pub fn free_inode_slot(&mut self, slot: u32) {
+        set(&mut self.inode_bitmap, slot, false);
+    }
+
+    /// Returns whether an inode slot is allocated.
+    pub fn inode_in_use(&self, slot: u32) -> bool {
+        get(&self.inode_bitmap, slot)
+    }
+
+    /// Allocates a data block, preferring the slot `interleave + 1`
+    /// positions after `prev` (rotational spacing), else the first free.
+    /// Returns the index relative to the group's data start.
+    pub fn alloc_block_slot(
+        &mut self,
+        layout: &FfsLayout,
+        prev: Option<u32>,
+        interleave: u32,
+    ) -> Option<u32> {
+        let n = layout.data_blocks_per_cg();
+        if let Some(p) = prev {
+            let want = p + 1 + interleave;
+            if want < n && !get(&self.block_bitmap, want) {
+                set(&mut self.block_bitmap, want, true);
+                return Some(want);
+            }
+        }
+        (0..n).find(|&i| !get(&self.block_bitmap, i)).map(|i| {
+            set(&mut self.block_bitmap, i, true);
+            i
+        })
+    }
+
+    /// Frees a data block slot.
+    pub fn free_block_slot(&mut self, slot: u32) {
+        set(&mut self.block_bitmap, slot, false);
+    }
+
+    /// Returns whether a data block slot is allocated.
+    pub fn block_in_use(&self, slot: u32) -> bool {
+        get(&self.block_bitmap, slot)
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self, layout: &FfsLayout) -> u32 {
+        let used: u32 = self.block_bitmap.iter().map(|w| w.count_ones()).sum();
+        layout.data_blocks_per_cg() - used
+    }
+
+    /// Encodes into the group's header block.
+    pub fn encode(&self, block_bytes: usize) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(self.inode_bitmap.len() as u16);
+        for word in &self.inode_bitmap {
+            w.u64(*word);
+        }
+        w.u16(self.block_bitmap.len() as u16);
+        for word in &self.block_bitmap {
+            w.u64(*word);
+        }
+        let mut b = w.into_bytes();
+        assert!(b.len() <= block_bytes, "cg header overflow");
+        b.resize(block_bytes, 0);
+        b
+    }
+
+    /// Decodes from the group's header block.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        let ni = r.u16()? as usize;
+        let mut inode_bitmap = Vec::with_capacity(ni);
+        for _ in 0..ni {
+            inode_bitmap.push(r.u64()?);
+        }
+        let nb = r.u16()? as usize;
+        let mut block_bitmap = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            block_bitmap.push(r.u64()?);
+        }
+        Ok(Self {
+            inode_bitmap,
+            block_bitmap,
+        })
+    }
+}
+
+/// Converts `(group, data slot)` to an absolute block number.
+pub fn slot_to_block(layout: &FfsLayout, g: u32, slot: u32) -> BlockNo {
+    layout.cg_data_start(g) + slot
+}
+
+/// Converts an absolute data block back to `(group, slot)`.
+pub fn block_to_slot(layout: &FfsLayout, b: BlockNo) -> Option<(u32, u32)> {
+    let g = layout.group_of_block(b)?;
+    (b >= layout.cg_data_start(g)).then(|| (g, b - layout.cg_data_start(g)))
+}
+
+/// Converts `(group, inode slot)` to an inode number.
+pub fn slot_to_ino(layout: &FfsLayout, g: u32, slot: u32) -> Ino {
+    g * layout.inodes_per_cg + slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_disk::DiskGeometry;
+
+    fn layout() -> FfsLayout {
+        FfsLayout::compute(&DiskGeometry::TINY)
+    }
+
+    #[test]
+    fn inode_alloc_free_roundtrip() {
+        let l = layout();
+        let mut cg = CgState::new(&l);
+        let a = cg.alloc_inode_slot(&l).unwrap();
+        let b = cg.alloc_inode_slot(&l).unwrap();
+        assert_ne!(a, b);
+        assert!(cg.inode_in_use(a));
+        cg.free_inode_slot(a);
+        assert!(!cg.inode_in_use(a));
+        assert_eq!(cg.alloc_inode_slot(&l), Some(a));
+    }
+
+    #[test]
+    fn block_alloc_respects_interleave() {
+        let l = layout();
+        let mut cg = CgState::new(&l);
+        let first = cg.alloc_block_slot(&l, None, 1).unwrap();
+        let second = cg.alloc_block_slot(&l, Some(first), 1).unwrap();
+        let third = cg.alloc_block_slot(&l, Some(second), 1).unwrap();
+        assert_eq!(second, first + 2, "one-slot rotational gap");
+        assert_eq!(third, second + 2);
+    }
+
+    #[test]
+    fn interleave_falls_back_when_slot_taken() {
+        let l = layout();
+        let mut cg = CgState::new(&l);
+        let a = cg.alloc_block_slot(&l, None, 1).unwrap();
+        // Steal the interleaved successor.
+        let want = a + 2;
+        assert!(!cg.block_in_use(want));
+        let _ = cg.alloc_block_slot(&l, Some(want - 2), 1).unwrap(); // Takes it.
+        let next = cg.alloc_block_slot(&l, Some(a), 1).unwrap();
+        assert_ne!(next, want);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let l = layout();
+        let mut cg = CgState::new(&l);
+        for _ in 0..l.data_blocks_per_cg() {
+            assert!(cg.alloc_block_slot(&l, None, 0).is_some());
+        }
+        assert_eq!(cg.alloc_block_slot(&l, None, 0), None);
+        assert_eq!(cg.free_blocks(&l), 0);
+    }
+
+    #[test]
+    fn cg_state_roundtrip() {
+        let l = layout();
+        let mut cg = CgState::new(&l);
+        cg.alloc_inode_slot(&l);
+        cg.alloc_block_slot(&l, None, 1);
+        let decoded = CgState::decode(&cg.encode(crate::BLOCK_BYTES)).unwrap();
+        assert_eq!(decoded, cg);
+    }
+
+    #[test]
+    fn slot_block_conversions() {
+        let l = layout();
+        let b = slot_to_block(&l, 1, 5);
+        assert_eq!(block_to_slot(&l, b), Some((1, 5)));
+        assert_eq!(block_to_slot(&l, 0), None);
+        assert_eq!(block_to_slot(&l, l.cg_header(1)), None);
+    }
+}

@@ -1,0 +1,169 @@
+//! Inodes: 128 bytes, 10 direct blocks, one single-indirect and one
+//! double-indirect pointer (enough for ~64 MB files at 1 KB blocks).
+
+use crate::{BlockNo, FfsError, Result, BLOCK_BYTES};
+use cedar_vol::codec::{Reader, Writer};
+
+/// Direct block pointers per inode.
+pub const NDIRECT: usize = 10;
+
+/// Block pointers per indirect block.
+pub const PTRS_PER_BLOCK: usize = BLOCK_BYTES / 4;
+
+/// What an inode describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum InodeKind {
+    /// Unallocated.
+    Free = 0,
+    /// Regular file.
+    File = 1,
+    /// Directory.
+    Dir = 2,
+}
+
+/// An in-memory inode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Inode {
+    /// What this inode is.
+    pub kind: InodeKind,
+    /// Link count.
+    pub nlink: u16,
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time (simulated microseconds).
+    pub mtime: u64,
+    /// Direct block pointers (0 = hole/unassigned).
+    pub direct: [BlockNo; NDIRECT],
+    /// Single-indirect block pointer.
+    pub indirect: BlockNo,
+    /// Double-indirect block pointer.
+    pub dindirect: BlockNo,
+}
+
+impl Inode {
+    /// A zeroed, free inode.
+    pub fn free() -> Self {
+        Self {
+            kind: InodeKind::Free,
+            nlink: 0,
+            size: 0,
+            mtime: 0,
+            direct: [0; NDIRECT],
+            indirect: 0,
+            dindirect: 0,
+        }
+    }
+
+    /// A fresh inode of the given kind.
+    pub fn new(kind: InodeKind, mtime: u64) -> Self {
+        Self {
+            kind,
+            nlink: 1,
+            mtime,
+            ..Self::free()
+        }
+    }
+
+    /// Number of data blocks the size implies.
+    pub fn blocks(&self) -> u32 {
+        (self.size as usize).div_ceil(BLOCK_BYTES) as u32
+    }
+
+    /// Largest logical block index addressable by this format.
+    pub fn max_blocks() -> usize {
+        NDIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK
+    }
+
+    /// Encodes into its 128-byte on-disk slot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(self.kind as u8)
+            .u16(self.nlink)
+            .u64(self.size)
+            .u64(self.mtime);
+        for d in self.direct {
+            w.u32(d);
+        }
+        w.u32(self.indirect).u32(self.dindirect);
+        let mut b = w.into_bytes();
+        assert!(b.len() <= 128);
+        b.resize(128, 0);
+        b
+    }
+
+    /// Decodes from a 128-byte slot.
+    pub fn decode(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let bad = |m: String| FfsError::Corrupt(format!("inode: {m}"));
+        let kind = match r.u8().map_err(bad)? {
+            0 => InodeKind::Free,
+            1 => InodeKind::File,
+            2 => InodeKind::Dir,
+            k => return Err(FfsError::Corrupt(format!("bad inode kind {k}"))),
+        };
+        let nlink = r.u16().map_err(bad)?;
+        let size = r.u64().map_err(bad)?;
+        let mtime = r.u64().map_err(bad)?;
+        let mut direct = [0u32; NDIRECT];
+        for d in &mut direct {
+            *d = r.u32().map_err(bad)?;
+        }
+        Ok(Self {
+            kind,
+            nlink,
+            size,
+            mtime,
+            direct,
+            indirect: r.u32().map_err(bad)?,
+            dindirect: r.u32().map_err(bad)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut i = Inode::new(InodeKind::File, 42);
+        i.size = 12345;
+        i.direct[0] = 100;
+        i.direct[9] = 900;
+        i.indirect = 77;
+        i.dindirect = 88;
+        assert_eq!(Inode::decode(&i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn free_inode_roundtrip() {
+        let i = Inode::free();
+        assert_eq!(Inode::decode(&i.encode()).unwrap(), i);
+    }
+
+    #[test]
+    fn blocks_from_size() {
+        let mut i = Inode::new(InodeKind::File, 0);
+        assert_eq!(i.blocks(), 0);
+        i.size = 1;
+        assert_eq!(i.blocks(), 1);
+        i.size = BLOCK_BYTES as u64;
+        assert_eq!(i.blocks(), 1);
+        i.size = BLOCK_BYTES as u64 + 1;
+        assert_eq!(i.blocks(), 2);
+    }
+
+    #[test]
+    fn max_file_is_large() {
+        // 10 + 256 + 65536 blocks ≈ 64 MB at 1 KB blocks.
+        assert!(Inode::max_blocks() * BLOCK_BYTES > 60 << 20);
+    }
+
+    #[test]
+    fn decode_rejects_garbage_kind() {
+        let mut b = Inode::free().encode();
+        b[0] = 9;
+        assert!(Inode::decode(&b).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! FFS on-disk layout: superblock and cylinder groups.
+//!
+//! ```text
+//! block 0      superblock
+//! group g:     [cg header block][inode blocks][data blocks]
+//! ```
+//!
+//! Each cylinder group carries its own inode table and free bitmaps, so
+//! related metadata and data stay radially close — the locality trick
+//! McKusick et al. introduced and §7 of the Cedar paper credits for the
+//! small inode traffic in the list/read benchmarks.
+
+use crate::{BlockNo, Ino, BLOCK_BYTES, BLOCK_SECTORS};
+use cedar_disk::DiskGeometry;
+use cedar_vol::codec::{Reader, Writer};
+
+/// Magic number identifying the superblock.
+pub const SB_MAGIC: u32 = 0xFF5_0011;
+
+/// Inodes per inode block (128-byte inodes).
+pub const INODES_PER_BLOCK: u32 = (BLOCK_BYTES / 128) as u32;
+
+/// The computed FFS layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FfsLayout {
+    /// Total blocks on the volume.
+    pub total_blocks: u32,
+    /// Blocks per cylinder group (header + inode table + data).
+    pub blocks_per_cg: u32,
+    /// Inodes per cylinder group.
+    pub inodes_per_cg: u32,
+    /// Number of cylinder groups.
+    pub groups: u32,
+}
+
+impl FfsLayout {
+    /// Computes a layout: one cylinder group per two physical cylinders,
+    /// with one inode per four data blocks (roughly 4 KB of data per
+    /// inode, the FFS default density).
+    pub fn compute(geometry: &DiskGeometry) -> Self {
+        let total_blocks = geometry.total_sectors() / BLOCK_SECTORS;
+        let blocks_per_cg = (geometry.sectors_per_cylinder() * 2 / BLOCK_SECTORS).max(64);
+        let groups = total_blocks / blocks_per_cg; // Tail blocks unused.
+        let inodes_per_cg =
+            ((blocks_per_cg / 4) / INODES_PER_BLOCK * INODES_PER_BLOCK).max(INODES_PER_BLOCK);
+        Self {
+            total_blocks,
+            blocks_per_cg,
+            inodes_per_cg,
+            groups,
+        }
+    }
+
+    /// Blocks occupied by one group's inode table.
+    pub fn inode_blocks_per_cg(&self) -> u32 {
+        self.inodes_per_cg / INODES_PER_BLOCK
+    }
+
+    /// First block of cylinder group `g`.
+    pub fn cg_start(&self, g: u32) -> BlockNo {
+        1 + g * self.blocks_per_cg // Block 0 is the superblock.
+    }
+
+    /// The cg header block of group `g`.
+    pub fn cg_header(&self, g: u32) -> BlockNo {
+        self.cg_start(g)
+    }
+
+    /// First inode-table block of group `g`.
+    pub fn cg_inode_start(&self, g: u32) -> BlockNo {
+        self.cg_start(g) + 1
+    }
+
+    /// First data block of group `g`.
+    pub fn cg_data_start(&self, g: u32) -> BlockNo {
+        self.cg_inode_start(g) + self.inode_blocks_per_cg()
+    }
+
+    /// One past the last block of group `g`.
+    pub fn cg_end(&self, g: u32) -> BlockNo {
+        self.cg_start(g) + self.blocks_per_cg
+    }
+
+    /// Data blocks per group.
+    pub fn data_blocks_per_cg(&self) -> u32 {
+        self.blocks_per_cg - 1 - self.inode_blocks_per_cg()
+    }
+
+    /// Total inodes on the volume.
+    pub fn total_inodes(&self) -> u32 {
+        self.groups * self.inodes_per_cg
+    }
+
+    /// The group holding inode `ino`.
+    pub fn group_of_ino(&self, ino: Ino) -> u32 {
+        ino / self.inodes_per_cg
+    }
+
+    /// The block and byte offset holding inode `ino`.
+    pub fn inode_location(&self, ino: Ino) -> (BlockNo, usize) {
+        let g = self.group_of_ino(ino);
+        let within = ino % self.inodes_per_cg;
+        let block = self.cg_inode_start(g) + within / INODES_PER_BLOCK;
+        let offset = (within % INODES_PER_BLOCK) as usize * 128;
+        (block, offset)
+    }
+
+    /// The group holding data block `b` (`None` for the superblock or
+    /// trailing unused blocks).
+    pub fn group_of_block(&self, b: BlockNo) -> Option<u32> {
+        if b == 0 {
+            return None;
+        }
+        let g = (b - 1) / self.blocks_per_cg;
+        (g < self.groups).then_some(g)
+    }
+
+    /// Encodes the superblock into one block.
+    pub fn encode_superblock(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(SB_MAGIC)
+            .u32(self.total_blocks)
+            .u32(self.blocks_per_cg)
+            .u32(self.inodes_per_cg)
+            .u32(self.groups);
+        let mut b = w.into_bytes();
+        b.resize(BLOCK_BYTES, 0);
+        b
+    }
+
+    /// Decodes a superblock.
+    pub fn decode_superblock(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != SB_MAGIC {
+            return Err("bad superblock magic".into());
+        }
+        Ok(Self {
+            total_blocks: r.u32()?,
+            blocks_per_cg: r.u32()?,
+            inodes_per_cg: r.u32()?,
+            groups: r.u32()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consistent_on_trident() {
+        let l = FfsLayout::compute(&DiskGeometry::TRIDENT_T300);
+        assert!(l.groups > 100, "{l:?}");
+        assert!(l.total_inodes() > 10_000);
+        assert_eq!(
+            l.blocks_per_cg,
+            1 + l.inode_blocks_per_cg() + l.data_blocks_per_cg()
+        );
+        assert!(l.cg_end(l.groups - 1) <= l.total_blocks);
+    }
+
+    #[test]
+    fn inode_locations_are_within_their_group() {
+        let l = FfsLayout::compute(&DiskGeometry::TINY);
+        for ino in [0, 1, l.inodes_per_cg - 1, l.inodes_per_cg, l.total_inodes() - 1] {
+            let g = l.group_of_ino(ino);
+            let (block, off) = l.inode_location(ino);
+            assert!(block >= l.cg_inode_start(g));
+            assert!(block < l.cg_data_start(g));
+            assert!(off + 128 <= BLOCK_BYTES);
+        }
+    }
+
+    #[test]
+    fn group_of_block_roundtrip() {
+        let l = FfsLayout::compute(&DiskGeometry::TINY);
+        assert_eq!(l.group_of_block(0), None);
+        for g in 0..l.groups {
+            assert_eq!(l.group_of_block(l.cg_start(g)), Some(g));
+            assert_eq!(l.group_of_block(l.cg_end(g) - 1), Some(g));
+        }
+    }
+
+    #[test]
+    fn superblock_roundtrip() {
+        let l = FfsLayout::compute(&DiskGeometry::TINY);
+        let decoded = FfsLayout::decode_superblock(&l.encode_superblock()).unwrap();
+        assert_eq!(decoded, l);
+        assert!(FfsLayout::decode_superblock(&[0u8; BLOCK_BYTES]).is_err());
+    }
+}

@@ -1,0 +1,485 @@
+//! The name-table page cache and its logged page store.
+//!
+//! "Updates are applied to buffered copies of pages, but the copies are
+//! not forced to disk — they are just written to the log." (§5.3). This
+//! module provides:
+//!
+//! * [`NtCache`] — cached name-table pages. Each page tracks its current
+//!   image, the *baseline* (the image as of its last log force or home
+//!   write — what the group-commit code diffs against to log only changed
+//!   sectors), which third of the log its newest log copy lives in, and
+//!   whether the home copies on disk are stale;
+//! * [`NtMeta`] — name-table logical page 0: the B-tree root pointer and
+//!   the page-allocation bitmap. It travels through the same cache and
+//!   log as every other page, which is what makes multi-page tree updates
+//!   atomic;
+//! * [`FsdNtStore`] — the [`PageStore`] the B-tree runs on: reads fall
+//!   through to the double-written home copies ("When a page is read,
+//!   both copies are read and checked", §5.1), writes touch only the
+//!   cache and the pending-commit set.
+
+use crate::layout::FsdLayout;
+use crate::{NT_PAGE_BYTES, NT_PAGE_SECTORS};
+use cedar_btree::{PageId, PageStore, StoreError};
+use cedar_disk::{Cpu, DiskError, SimDisk};
+use cedar_vol::codec::{Reader, Writer};
+use std::collections::{BTreeSet, HashMap};
+
+/// Magic number identifying the name-table meta page.
+pub const NT_META_MAGIC: u32 = 0xF5D_3E7B;
+
+/// A cached name-table page.
+#[derive(Clone, Debug)]
+pub struct CachedPage {
+    /// Current content (may include uncommitted updates).
+    pub image: Vec<u8>,
+    /// Content as of the last log force or home write; `None` means the
+    /// page was freshly allocated and every sector must be logged at the
+    /// next force.
+    pub baseline: Option<Vec<u8>>,
+    /// The log third holding the page's newest log copy, if any.
+    pub last_logged_third: Option<u8>,
+    /// `true` when logged changes have not yet been written to the home
+    /// copies.
+    pub needs_home: bool,
+    /// Approximate-LRU stamp.
+    pub last_used: u64,
+}
+
+/// The name-table page cache.
+///
+/// Unbounded by default; with a capacity set (the Dorado's memory was
+/// finite), clean pages are evicted approximately-LRU. Pages that are
+/// dirty (pending commit) or whose home copies are stale are pinned —
+/// "the cache is maintained such that the 'dirty but logged' pages are
+/// kept in the cache" (§5.3).
+#[derive(Debug, Default)]
+pub struct NtCache {
+    /// Cached pages by logical page id.
+    pub pages: HashMap<PageId, CachedPage>,
+    /// Maximum resident pages; 0 = unbounded.
+    pub capacity: usize,
+    /// Monotone use counter for the LRU stamps.
+    pub tick: u64,
+}
+
+impl NtCache {
+    /// Creates an empty, unbounded cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a cache bounded to `capacity` pages (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// Bumps and returns the use counter.
+    pub fn stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts clean LRU pages until within capacity. Pages in `pinned`
+    /// (the pending-commit set) and pages with stale homes stay resident;
+    /// the meta page (0) is always pinned.
+    pub fn evict_to_capacity(&mut self, pinned: &std::collections::BTreeSet<PageId>) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.pages.len() > self.capacity {
+            let victim = self
+                .pages
+                .iter()
+                .filter(|(id, p)| {
+                    **id != 0 && !p.needs_home && !pinned.contains(id)
+                })
+                .min_by_key(|(_, p)| p.last_used)
+                .map(|(id, _)| *id);
+            match victim {
+                Some(id) => {
+                    self.pages.remove(&id);
+                }
+                None => break, // Everything resident is pinned.
+            }
+        }
+    }
+}
+
+/// The decoded name-table meta page (logical page 0).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NtMeta {
+    /// Root page of the name-table B-tree.
+    pub root: u32,
+    /// Page-allocation bitmap (bit set ⇒ page in use; bit 0 is the meta
+    /// page itself).
+    pub bitmap: Vec<u64>,
+}
+
+impl NtMeta {
+    /// A fresh meta page for `nt_pages` logical pages, with only the meta
+    /// page itself allocated.
+    pub fn new(nt_pages: u32) -> Self {
+        let mut bitmap = vec![0u64; (nt_pages as usize).div_ceil(64)];
+        bitmap[0] |= 1; // Page 0 is the meta page.
+        Self { root: 0, bitmap }
+    }
+
+    /// Encodes into a full name-table page.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(NT_META_MAGIC).u32(self.root).u16(self.bitmap.len() as u16);
+        for word in &self.bitmap {
+            w.u64(*word);
+        }
+        let mut bytes = w.into_bytes();
+        assert!(bytes.len() <= NT_PAGE_BYTES, "NT meta overflow");
+        bytes.resize(NT_PAGE_BYTES, 0);
+        bytes
+    }
+
+    /// Decodes from a name-table page.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != NT_META_MAGIC {
+            return Err("bad NT meta magic".into());
+        }
+        let root = r.u32()?;
+        let words = r.u16()? as usize;
+        let mut bitmap = Vec::with_capacity(words);
+        for _ in 0..words {
+            bitmap.push(r.u64()?);
+        }
+        Ok(Self { root, bitmap })
+    }
+
+    /// Allocates a page from the bitmap.
+    pub fn alloc(&mut self, nt_pages: u32) -> Option<u32> {
+        for page in 1..nt_pages {
+            let (w, b) = (page as usize / 64, page % 64);
+            if self.bitmap[w] >> b & 1 == 0 {
+                self.bitmap[w] |= 1 << b;
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    /// Frees a page in the bitmap.
+    pub fn free(&mut self, page: u32) {
+        assert_ne!(page, 0, "cannot free the meta page");
+        let (w, b) = (page as usize / 64, page % 64);
+        self.bitmap[w] &= !(1 << b);
+    }
+
+    /// Returns `true` if the page is allocated.
+    pub fn in_use(&self, page: u32) -> bool {
+        let (w, b) = (page as usize / 64, page % 64);
+        self.bitmap[w] >> b & 1 == 1
+    }
+}
+
+fn to_store_err(e: DiskError) -> StoreError {
+    match e {
+        DiskError::Crashed => StoreError::Crashed,
+        other => StoreError::Io(other.to_string()),
+    }
+}
+
+/// The logged page store backing the FSD name-table B-tree.
+pub struct FsdNtStore<'a> {
+    /// The disk (reads only; writes stay in the cache).
+    pub disk: &'a mut SimDisk,
+    /// CPU charger.
+    pub cpu: &'a Cpu,
+    /// Volume layout.
+    pub layout: &'a FsdLayout,
+    /// The page cache.
+    pub cache: &'a mut NtCache,
+    /// Pages dirtied since the last group commit.
+    pub pending: &'a mut BTreeSet<PageId>,
+}
+
+impl FsdNtStore<'_> {
+    /// Reads a page through the cache, falling back to the home copies.
+    pub fn read_through(&mut self, id: PageId) -> Result<Vec<u8>, StoreError> {
+        let stamp = self.cache.stamp();
+        if let Some(p) = self.cache.pages.get_mut(&id) {
+            p.last_used = stamp;
+            return Ok(p.image.clone());
+        }
+        // "When a page is read, both copies are read and checked." A
+        // damaged copy is silently repaired from its twin at the next
+        // home write.
+        let (a, a_mask) = self
+            .disk
+            .read_allow_damage(self.layout.nt_a_sector(id), NT_PAGE_SECTORS as usize)
+            .map_err(to_store_err)?;
+        let (b, b_mask) = self
+            .disk
+            .read_allow_damage(self.layout.nt_b_sector(id), NT_PAGE_SECTORS as usize)
+            .map_err(to_store_err)?;
+        let a_ok = a_mask.iter().all(|&d| !d);
+        let b_ok = b_mask.iter().all(|&d| !d);
+        let image = if a_ok {
+            a
+        } else if b_ok {
+            b
+        } else {
+            // Salvage sector by sector: the failure model says at most two
+            // consecutive sectors die, so A and B never lose the same one.
+            let mut img = Vec::with_capacity(NT_PAGE_BYTES);
+            for i in 0..NT_PAGE_SECTORS as usize {
+                let range = i * cedar_disk::SECTOR_BYTES..(i + 1) * cedar_disk::SECTOR_BYTES;
+                if !a_mask[i] {
+                    img.extend_from_slice(&a[range]);
+                } else if !b_mask[i] {
+                    img.extend_from_slice(&b[range]);
+                } else {
+                    return Err(StoreError::Io(format!(
+                        "name table page {id}: sector {i} lost in both copies"
+                    )));
+                }
+            }
+            img
+        };
+        self.cache.pages.insert(
+            id,
+            CachedPage {
+                image: image.clone(),
+                baseline: Some(image.clone()),
+                last_logged_third: None,
+                needs_home: !a_ok || !b_ok,
+                last_used: stamp,
+            },
+        );
+        self.cache.evict_to_capacity(self.pending);
+        Ok(image)
+    }
+}
+
+impl PageStore for FsdNtStore<'_> {
+    fn page_size(&self) -> usize {
+        NT_PAGE_BYTES
+    }
+
+    fn read_page(&mut self, id: PageId) -> Result<Vec<u8>, StoreError> {
+        self.cpu.btree_nodes(1);
+        self.read_through(id)
+    }
+
+    fn write_page(&mut self, id: PageId, data: &[u8]) -> Result<(), StoreError> {
+        self.cpu.btree_nodes(1);
+        // No disk write: updates live in the cache until group commit
+        // logs them (§5.3).
+        let stamp = self.cache.stamp();
+        match self.cache.pages.get_mut(&id) {
+            Some(p) => {
+                p.image = data.to_vec();
+                p.last_used = stamp;
+            }
+            None => {
+                self.cache.pages.insert(
+                    id,
+                    CachedPage {
+                        image: data.to_vec(),
+                        baseline: None, // Fresh page: log every sector.
+                        last_logged_third: None,
+                        needs_home: false,
+                        last_used: stamp,
+                    },
+                );
+            }
+        }
+        self.pending.insert(id);
+        self.cache.evict_to_capacity(self.pending);
+        Ok(())
+    }
+
+    fn alloc_page(&mut self) -> Result<PageId, StoreError> {
+        let meta_raw = self.read_through(0)?;
+        let mut meta = NtMeta::decode(&meta_raw).map_err(StoreError::Io)?;
+        let page = meta.alloc(self.layout.nt_pages).ok_or(StoreError::Full)?;
+        self.write_page(0, &meta.encode())?;
+        Ok(page)
+    }
+
+    fn free_page(&mut self, id: PageId) -> Result<(), StoreError> {
+        let meta_raw = self.read_through(0)?;
+        let mut meta = NtMeta::decode(&meta_raw).map_err(StoreError::Io)?;
+        meta.free(id);
+        self.write_page(0, &meta.encode())?;
+        self.cache.pages.remove(&id);
+        self.pending.remove(&id);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_disk::{CpuModel, DiskGeometry, SimClock};
+
+    fn setup() -> (SimDisk, Cpu, FsdLayout) {
+        let disk = SimDisk::tiny();
+        let cpu = Cpu::new(disk.clock(), CpuModel::FREE);
+        let layout = FsdLayout::compute(&DiskGeometry::TINY, 16, 128);
+        (disk, cpu, layout)
+    }
+
+    #[test]
+    fn meta_roundtrip_and_alloc() {
+        let mut m = NtMeta::new(100);
+        assert!(m.in_use(0));
+        let p = m.alloc(100).unwrap();
+        assert_eq!(p, 1);
+        m.root = 7;
+        let decoded = NtMeta::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert!(decoded.in_use(1));
+    }
+
+    #[test]
+    fn meta_free_and_exhaustion() {
+        let mut m = NtMeta::new(3);
+        assert_eq!(m.alloc(3), Some(1));
+        assert_eq!(m.alloc(3), Some(2));
+        assert_eq!(m.alloc(3), None);
+        m.free(1);
+        assert_eq!(m.alloc(3), Some(1));
+    }
+
+    #[test]
+    fn writes_do_not_touch_disk() {
+        let (mut disk, cpu, layout) = setup();
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        store.write_page(3, &vec![7u8; NT_PAGE_BYTES]).unwrap();
+        assert_eq!(store.disk.stats().writes, 0);
+        assert!(store.pending.contains(&3));
+        assert_eq!(store.read_page(3).unwrap(), vec![7u8; NT_PAGE_BYTES]);
+        // Fresh page: baseline None → everything logs at next force.
+        assert!(store.cache.pages[&3].baseline.is_none());
+    }
+
+    #[test]
+    fn miss_reads_both_copies() {
+        let (mut disk, cpu, layout) = setup();
+        disk.write(layout.nt_a_sector(2), &vec![5u8; NT_PAGE_BYTES])
+            .unwrap();
+        disk.write(layout.nt_b_sector(2), &vec![5u8; NT_PAGE_BYTES])
+            .unwrap();
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        let before = store.disk.stats().reads;
+        assert_eq!(store.read_page(2).unwrap(), vec![5u8; NT_PAGE_BYTES]);
+        assert_eq!(store.disk.stats().reads - before, 2);
+        // Second read hits the cache.
+        let before = store.disk.stats().reads;
+        store.read_page(2).unwrap();
+        assert_eq!(store.disk.stats().reads, before);
+    }
+
+    #[test]
+    fn damaged_copy_a_read_from_b() {
+        let (mut disk, cpu, layout) = setup();
+        disk.write(layout.nt_a_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        disk.write(layout.nt_b_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        disk.damage_sector(layout.nt_a_sector(2));
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        assert_eq!(store.read_page(2).unwrap(), vec![1u8; NT_PAGE_BYTES]);
+        // The page is flagged for a repairing home write.
+        assert!(store.cache.pages[&2].needs_home);
+    }
+
+    #[test]
+    fn cross_copy_sector_salvage() {
+        let (mut disk, cpu, layout) = setup();
+        disk.write(layout.nt_a_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        disk.write(layout.nt_b_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        // Different sectors damaged in each copy: salvage combines them.
+        disk.damage_sector(layout.nt_a_sector(2));
+        disk.damage_sector(layout.nt_b_sector(2) + 1);
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        assert_eq!(store.read_page(2).unwrap(), vec![1u8; NT_PAGE_BYTES]);
+    }
+
+    #[test]
+    fn same_sector_lost_in_both_copies_is_io_error() {
+        let (mut disk, cpu, layout) = setup();
+        disk.damage_sector(layout.nt_a_sector(2));
+        disk.damage_sector(layout.nt_b_sector(2));
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        assert!(matches!(store.read_page(2), Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn alloc_free_through_meta_page() {
+        let (mut disk, cpu, layout) = setup();
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        // Seed the meta page in cache (as format does).
+        store.write_page(0, &NtMeta::new(16).encode()).unwrap();
+        let p = store.alloc_page().unwrap();
+        assert_eq!(p, 1);
+        let meta = NtMeta::decode(&store.read_page(0).unwrap()).unwrap();
+        assert!(meta.in_use(1));
+        store.free_page(p).unwrap();
+        let meta = NtMeta::decode(&store.read_page(0).unwrap()).unwrap();
+        assert!(!meta.in_use(1));
+        // All of that happened without any disk writes.
+        assert_eq!(store.disk.stats().writes, 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! FSD name-table entries.
+//!
+//! "FSD moves all the header information from the file headers directly
+//! into the file name table" (§4). A local file's entry carries the full
+//! Table 1 set — text name, version, keep, uid, run table, byte size,
+//! create time — so `open` and `list` need no per-file disk read. The
+//! name table also holds symbolic links to remote files and cached copies
+//! of remote files (§4); cached copies carry the *last-used-time* whose
+//! lazy, group-committed update is the paper's one-page log record example
+//! (§5.4).
+
+use crate::error::FsdError;
+use cedar_disk::SectorAddr;
+use cedar_vol::codec::{Reader, Writer};
+use cedar_vol::RunTable;
+
+/// What kind of name-table entry this is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryKind {
+    /// An ordinary local file.
+    Local,
+    /// A symbolic link to a file on a file server.
+    SymLink {
+        /// The remote name the link resolves to.
+        target: String,
+    },
+    /// A locally cached copy of a remote file.
+    CachedRemote {
+        /// Simulated time the cached copy was last used.
+        last_used: u64,
+    },
+}
+
+/// A decoded name-table entry (the value under a `name!version` key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileEntry {
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// The file's unique id.
+    pub uid: u64,
+    /// Number of old versions to keep.
+    pub keep: u32,
+    /// Logical length in bytes.
+    pub byte_size: u64,
+    /// Creation time (simulated microseconds).
+    pub create_time: u64,
+    /// Sector of the leader page (always `first data sector − 1` when the
+    /// allocation succeeded contiguously; stored explicitly so empty files
+    /// keep their leader).
+    pub leader_addr: SectorAddr,
+    /// The data extents (not including the leader page).
+    pub run_table: RunTable,
+}
+
+impl FileEntry {
+    /// Encodes the entry.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match &self.kind {
+            EntryKind::Local => {
+                w.u8(1);
+            }
+            EntryKind::SymLink { target } => {
+                w.u8(2).str16(target.as_bytes());
+            }
+            EntryKind::CachedRemote { last_used } => {
+                w.u8(3).u64(*last_used);
+            }
+        }
+        w.u64(self.uid)
+            .u32(self.keep)
+            .u64(self.byte_size)
+            .u64(self.create_time)
+            .u32(self.leader_addr)
+            .bytes(&self.run_table.encode());
+        w.into_bytes()
+    }
+
+    /// Decodes an entry.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FsdError> {
+        let mut r = Reader::new(bytes);
+        let bad = |m: String| FsdError::Check(format!("name table entry: {m}"));
+        let kind = match r.u8().map_err(bad)? {
+            1 => EntryKind::Local,
+            2 => {
+                let t = r.str16().map_err(bad)?.to_vec();
+                EntryKind::SymLink {
+                    target: String::from_utf8(t)
+                        .map_err(|_| FsdError::Check("symlink target not UTF-8".into()))?,
+                }
+            }
+            3 => EntryKind::CachedRemote {
+                last_used: r.u64().map_err(bad)?,
+            },
+            k => return Err(FsdError::Check(format!("unknown entry kind {k}"))),
+        };
+        Ok(Self {
+            kind,
+            uid: r.u64().map_err(bad)?,
+            keep: r.u32().map_err(bad)?,
+            byte_size: r.u64().map_err(bad)?,
+            create_time: r.u64().map_err(bad)?,
+            leader_addr: r.u32().map_err(bad)?,
+            run_table: RunTable::decode(&mut r).map_err(bad)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_vol::Run;
+
+    fn local() -> FileEntry {
+        FileEntry {
+            kind: EntryKind::Local,
+            uid: 42,
+            keep: 2,
+            byte_size: 999,
+            create_time: 123456,
+            leader_addr: 5000,
+            run_table: RunTable::from_runs([Run::new(5001, 2)]),
+        }
+    }
+
+    #[test]
+    fn local_roundtrip() {
+        let e = local();
+        assert_eq!(FileEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn symlink_roundtrip() {
+        let e = FileEntry {
+            kind: EntryKind::SymLink {
+                target: "[server]<dir>file.mesa!4".into(),
+            },
+            run_table: RunTable::new(),
+            leader_addr: 0,
+            ..local()
+        };
+        assert_eq!(FileEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn cached_remote_roundtrip() {
+        let e = FileEntry {
+            kind: EntryKind::CachedRemote { last_used: 777 },
+            ..local()
+        };
+        assert_eq!(FileEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind_and_truncation() {
+        assert!(FileEntry::decode(&[9]).is_err());
+        let bytes = local().encode();
+        assert!(FileEntry::decode(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn entry_is_compact_enough_for_nt_pages() {
+        // With a 64-byte name key, entry + key must fit the B-tree's
+        // per-entry budget for 1024-byte pages: (1024 - 3) / 4 = 255.
+        let mut e = local();
+        for i in 0..10 {
+            e.run_table.push(Run::new(9000 + i * 10, 1));
+        }
+        let max_key = 64 + 5;
+        assert!(4 + max_key + e.encode().len() <= 255);
+    }
+}

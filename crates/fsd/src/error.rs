@@ -1,0 +1,110 @@
+//! FSD error type.
+
+use cedar_btree::BTreeError;
+use cedar_disk::DiskError;
+use cedar_vol::AllocError;
+use std::fmt;
+
+/// Errors from FSD operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsdError {
+    /// Underlying disk failure.
+    Disk(DiskError),
+    /// A structural inconsistency the software checks caught (leader
+    /// mismatch, bad page decode, failed invariant).
+    Check(String),
+    /// No such file.
+    NotFound(String),
+    /// The volume is out of space.
+    NoSpace,
+    /// Invalid file name.
+    BadName(String),
+    /// Page number beyond the end of the file.
+    OutOfRange {
+        /// Requested logical page.
+        page: u32,
+        /// File length in pages.
+        pages: u32,
+    },
+    /// The operation target is the wrong kind of entry (e.g. reading a
+    /// symbolic link as a file).
+    WrongKind(&'static str),
+}
+
+impl FsdError {
+    /// Returns `true` if the error is the machine crashing.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Self::Disk(DiskError::Crashed))
+    }
+}
+
+impl fmt::Display for FsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disk(e) => write!(f, "disk: {e}"),
+            Self::Check(m) => write!(f, "consistency check failed: {m}"),
+            Self::NotFound(n) => write!(f, "file not found: {n}"),
+            Self::NoSpace => write!(f, "volume full"),
+            Self::BadName(m) => write!(f, "bad file name: {m}"),
+            Self::OutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (file has {pages})")
+            }
+            Self::WrongKind(k) => write!(f, "wrong entry kind: expected {k}"),
+        }
+    }
+}
+
+impl std::error::Error for FsdError {}
+
+impl From<DiskError> for FsdError {
+    fn from(e: DiskError) -> Self {
+        Self::Disk(e)
+    }
+}
+
+impl From<BTreeError> for FsdError {
+    fn from(e: BTreeError) -> Self {
+        match e {
+            BTreeError::Store(cedar_btree::StoreError::Crashed) => {
+                Self::Disk(DiskError::Crashed)
+            }
+            BTreeError::Store(cedar_btree::StoreError::Full) => Self::NoSpace,
+            BTreeError::Store(s) => Self::Check(format!("name table store: {s}")),
+            BTreeError::Corrupt(m) => Self::Check(m),
+            BTreeError::EntryTooLarge { size, max } => {
+                Self::BadName(format!("entry too large: {size} > {max}"))
+            }
+        }
+    }
+}
+
+impl From<cedar_btree::StoreError> for FsdError {
+    fn from(e: cedar_btree::StoreError) -> Self {
+        Self::from(BTreeError::Store(e))
+    }
+}
+
+impl From<AllocError> for FsdError {
+    fn from(_: AllocError) -> Self {
+        Self::NoSpace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_detection() {
+        assert!(FsdError::from(DiskError::Crashed).is_crash());
+        assert!(!FsdError::NoSpace.is_crash());
+    }
+
+    #[test]
+    fn btree_full_maps_to_no_space() {
+        assert_eq!(
+            FsdError::from(BTreeError::Store(cedar_btree::StoreError::Full)),
+            FsdError::NoSpace
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! FSD on-disk layout and boot pages.
+//!
+//! ```text
+//! 0           boot page copy A
+//! 1           (blank — copies are never adjacent, §5.3)
+//! 2           boot page copy B
+//! 4 ..        VAM save area copy A, blank, copy B
+//! small area  small-file data, growing up from the front (§5.6)
+//! NT copy A   ┐
+//! log         ├ the hot metadata, preallocated near the central
+//! NT copy B   ┘ cylinders to minimize head motion (§5.1, §5.3)
+//! big area    big-file data, growing down from the end
+//! ```
+//!
+//! "Two kinds of pages needed in booting could become bad: they are now
+//! replicated" (§5.8): the boot page and the log meta page each live in
+//! two non-adjacent sectors.
+
+use cedar_disk::{DiskGeometry, SectorAddr, SECTOR_BYTES};
+use cedar_vol::codec::{Reader, Writer};
+
+use crate::NT_PAGE_SECTORS;
+
+/// Magic number identifying an FSD boot page.
+pub const BOOT_MAGIC: u32 = 0xF5D_B007;
+
+/// Computed sector layout of an FSD volume.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsdLayout {
+    /// Total sectors on the volume.
+    pub total_sectors: u32,
+    /// Boot page copy A (sector 0).
+    pub boot_a: SectorAddr,
+    /// Boot page copy B (sector 2).
+    pub boot_b: SectorAddr,
+    /// First sector of VAM save copy A.
+    pub vam_a: SectorAddr,
+    /// First sector of VAM save copy B.
+    pub vam_b: SectorAddr,
+    /// Sectors per VAM save copy.
+    pub vam_sectors: u32,
+    /// First sector of the small-file data area.
+    pub small_start: SectorAddr,
+    /// First sector of name-table region copy A.
+    pub nt_a_start: SectorAddr,
+    /// First sector of the log region.
+    pub log_start: SectorAddr,
+    /// Sectors in the log region (including its meta pages).
+    pub log_sectors: u32,
+    /// First sector of name-table region copy B.
+    pub nt_b_start: SectorAddr,
+    /// Logical name-table pages per copy.
+    pub nt_pages: u32,
+    /// One past the last sector of the central metadata region (the big
+    /// area runs from here to the end of the volume).
+    pub central_end: SectorAddr,
+}
+
+impl FsdLayout {
+    /// Computes the layout. Zero for `nt_pages` or `log_sectors` selects
+    /// geometry-scaled defaults.
+    pub fn compute(geometry: &DiskGeometry, nt_pages: u32, log_sectors: u32) -> Self {
+        let total = geometry.total_sectors();
+        let nt_pages = if nt_pages == 0 {
+            (total / 256).clamp(16, 4096)
+        } else {
+            nt_pages
+        };
+        let log_sectors = if log_sectors == 0 {
+            // Two cylinders' worth by default, at least 128 sectors.
+            (2 * geometry.sectors_per_cylinder()).max(128)
+        } else {
+            log_sectors
+        };
+
+        let vam_bytes = 4 + (total as usize).div_ceil(64) * 8;
+        let vam_sectors = vam_bytes.div_ceil(SECTOR_BYTES) as u32;
+        let vam_a = 4;
+        let vam_b = vam_a + vam_sectors + 1; // One blank between copies.
+        let small_start = vam_b + vam_sectors;
+
+        let nt_sectors = nt_pages * NT_PAGE_SECTORS;
+        let central_len = 2 * nt_sectors + log_sectors;
+        let center = total / 2;
+        let nt_a_start = center
+            .saturating_sub(central_len / 2)
+            .max(small_start + 1);
+        let log_start = nt_a_start + nt_sectors;
+        let nt_b_start = log_start + log_sectors;
+        let central_end = nt_b_start + nt_sectors;
+        assert!(
+            central_end < total,
+            "volume too small for FSD layout ({central_end} >= {total})"
+        );
+        assert!(
+            nt_a_start > small_start,
+            "no room for the small-file area"
+        );
+        Self {
+            total_sectors: total,
+            boot_a: 0,
+            boot_b: 2,
+            vam_a,
+            vam_b,
+            vam_sectors,
+            small_start,
+            nt_a_start,
+            log_start,
+            log_sectors,
+            nt_b_start,
+            nt_pages,
+            central_end,
+        }
+    }
+
+    /// Sector address of name-table page `page` in copy A.
+    pub fn nt_a_sector(&self, page: u32) -> SectorAddr {
+        assert!(page < self.nt_pages);
+        self.nt_a_start + page * NT_PAGE_SECTORS
+    }
+
+    /// Sector address of name-table page `page` in copy B.
+    pub fn nt_b_sector(&self, page: u32) -> SectorAddr {
+        assert!(page < self.nt_pages);
+        self.nt_b_start + page * NT_PAGE_SECTORS
+    }
+
+    /// The data area bounds `[lo, hi)`; the central metadata region inside
+    /// is excluded by being marked allocated in the VAM.
+    pub fn data_area(&self) -> (SectorAddr, SectorAddr) {
+        (self.small_start, self.total_sectors)
+    }
+
+    /// Returns `true` if `addr` lies in a system region (boot, VAM save,
+    /// name table or log) rather than the data area.
+    pub fn is_system(&self, addr: SectorAddr) -> bool {
+        addr < self.small_start || (self.nt_a_start..self.central_end).contains(&addr)
+    }
+}
+
+/// The FSD boot page, replicated at sectors 0 and 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsdBootPage {
+    /// Boots so far (part of uid generation and log-record validation).
+    pub boot_count: u32,
+    /// Whether the VAM save area holds a properly saved VAM (§5.5).
+    pub vam_valid: bool,
+    /// Whether the volume runs the §5.3 VAM-logging extension: the save
+    /// area is a base image that log redo patches, so it stays valid
+    /// across crashes.
+    pub vam_logged: bool,
+}
+
+impl FsdBootPage {
+    /// Encodes into one sector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(BOOT_MAGIC)
+            .u32(self.boot_count)
+            .u8(self.vam_valid as u8)
+            .u8(self.vam_logged as u8);
+        let mut bytes = w.into_bytes();
+        bytes.resize(SECTOR_BYTES, 0);
+        bytes
+    }
+
+    /// Decodes from a sector.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != BOOT_MAGIC {
+            return Err("bad FSD boot page magic".into());
+        }
+        Ok(Self {
+            boot_count: r.u32()?,
+            vam_valid: r.u8()? != 0,
+            vam_logged: r.u8()? != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_ordered_and_disjoint() {
+        let l = FsdLayout::compute(&DiskGeometry::TRIDENT_T300, 0, 0);
+        assert!(l.boot_b > l.boot_a + 1, "boot copies must not be adjacent");
+        assert!(l.vam_b > l.vam_a + l.vam_sectors, "VAM copies not adjacent");
+        assert!(l.small_start < l.nt_a_start);
+        assert_eq!(l.log_start, l.nt_a_start + l.nt_pages * 2);
+        assert_eq!(l.nt_b_start, l.log_start + l.log_sectors);
+        assert!(l.central_end < l.total_sectors);
+    }
+
+    #[test]
+    fn metadata_sits_near_central_cylinders() {
+        let g = DiskGeometry::TRIDENT_T300;
+        let l = FsdLayout::compute(&g, 0, 0);
+        let log_cyl = g.cylinder_of(l.log_start);
+        let mid = g.cylinders / 2;
+        assert!(
+            log_cyl.abs_diff(mid) < 20,
+            "log at cylinder {log_cyl}, center {mid}"
+        );
+    }
+
+    #[test]
+    fn nt_copies_have_independent_addresses() {
+        let l = FsdLayout::compute(&DiskGeometry::TINY, 16, 128);
+        for p in 0..16 {
+            let a = l.nt_a_sector(p);
+            let b = l.nt_b_sector(p);
+            assert!(b > a + 1, "page {p} copies adjacent");
+        }
+    }
+
+    #[test]
+    fn is_system_covers_all_regions() {
+        let l = FsdLayout::compute(&DiskGeometry::TINY, 16, 128);
+        assert!(l.is_system(0));
+        assert!(l.is_system(l.vam_a));
+        assert!(l.is_system(l.nt_a_start));
+        assert!(l.is_system(l.log_start));
+        assert!(l.is_system(l.nt_b_start));
+        assert!(!l.is_system(l.small_start));
+        assert!(!l.is_system(l.total_sectors - 1));
+    }
+
+    #[test]
+    fn boot_page_roundtrip() {
+        let b = FsdBootPage {
+            boot_count: 9,
+            vam_valid: true,
+            vam_logged: true,
+        };
+        assert_eq!(FsdBootPage::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn boot_page_rejects_garbage() {
+        assert!(FsdBootPage::decode(&[0u8; SECTOR_BYTES]).is_err());
+    }
+}

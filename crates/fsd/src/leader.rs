@@ -1,0 +1,143 @@
+//! Leader pages.
+//!
+//! "Files in FSD consist of a single leader page and the data pages. The
+//! leader page doesn't contain any information needed for operation, but
+//! provides an optional check for the proper operation of the system.
+//! Leader pages and the file name table are different data structures that
+//! are mutually checking." (§5.2). Per Table 1 a leader holds the uid, the
+//! preamble of the run table and a checksum of the run table.
+//!
+//! The leader sits on the sector immediately before the first data page,
+//! so verifying it costs only one extra sector transfer piggybacked on the
+//! first data access (§5.7).
+
+use crate::entry::FileEntry;
+use crate::error::FsdError;
+use cedar_disk::SECTOR_BYTES;
+use cedar_vol::codec::{Reader, Writer};
+use cedar_vol::Run;
+
+/// Magic number identifying a leader page.
+pub const LEADER_MAGIC: u32 = 0xF5D_1EAD;
+
+/// A decoded leader page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaderPage {
+    /// The owning file's uid.
+    pub uid: u64,
+    /// First run of the file's run table (Table 1: "preamble of run
+    /// table").
+    pub preamble: Run,
+    /// Checksum of the full run table (Table 1).
+    pub run_checksum: u64,
+}
+
+impl LeaderPage {
+    /// Builds the leader for a file entry.
+    pub fn for_entry(entry: &FileEntry) -> Self {
+        Self {
+            uid: entry.uid,
+            preamble: entry.run_table.preamble(),
+            run_checksum: entry.run_table.checksum(),
+        }
+    }
+
+    /// Encodes into one sector.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(LEADER_MAGIC)
+            .u64(self.uid)
+            .u32(self.preamble.start)
+            .u32(self.preamble.len)
+            .u64(self.run_checksum);
+        let mut bytes = w.into_bytes();
+        bytes.resize(SECTOR_BYTES, 0);
+        bytes
+    }
+
+    /// Decodes from a sector.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FsdError> {
+        let mut r = Reader::new(bytes);
+        let bad = |m: String| FsdError::Check(format!("leader page: {m}"));
+        if r.u32().map_err(bad)? != LEADER_MAGIC {
+            return Err(FsdError::Check("bad leader magic".into()));
+        }
+        Ok(Self {
+            uid: r.u64().map_err(bad)?,
+            preamble: Run::new(r.u32().map_err(bad)?, r.u32().map_err(bad)?),
+            run_checksum: r.u64().map_err(bad)?,
+        })
+    }
+
+    /// Verifies this leader against the name-table entry — the mutual
+    /// check of §5.2. Returns a [`FsdError::Check`] describing the first
+    /// mismatch.
+    pub fn verify(&self, entry: &FileEntry) -> Result<(), FsdError> {
+        if self.uid != entry.uid {
+            return Err(FsdError::Check(format!(
+                "leader uid {} != entry uid {}",
+                self.uid, entry.uid
+            )));
+        }
+        if self.preamble != entry.run_table.preamble() {
+            return Err(FsdError::Check("leader run-table preamble mismatch".into()));
+        }
+        if self.run_checksum != entry.run_table.checksum() {
+            return Err(FsdError::Check("leader run-table checksum mismatch".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+    use cedar_vol::RunTable;
+
+    fn entry() -> FileEntry {
+        FileEntry {
+            kind: EntryKind::Local,
+            uid: 99,
+            keep: 0,
+            byte_size: 1024,
+            create_time: 0,
+            leader_addr: 499,
+            run_table: RunTable::from_runs([Run::new(500, 2)]),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let l = LeaderPage::for_entry(&entry());
+        assert_eq!(LeaderPage::decode(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn verify_accepts_matching_entry() {
+        let e = entry();
+        LeaderPage::for_entry(&e).verify(&e).unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_uid_mismatch() {
+        let e = entry();
+        let mut l = LeaderPage::for_entry(&e);
+        l.uid = 98;
+        assert!(l.verify(&e).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_run_table_change() {
+        let mut e = entry();
+        let l = LeaderPage::for_entry(&e);
+        e.run_table.push(Run::new(900, 1));
+        assert!(l.verify(&e).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(LeaderPage::decode(&[0u8; SECTOR_BYTES]).is_err());
+        assert!(LeaderPage::decode(&[]).is_err());
+    }
+}

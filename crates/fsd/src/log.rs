@@ -1,0 +1,793 @@
+//! The FSD log: a circular physical redo log divided into thirds.
+//!
+//! # Record format (§5.3)
+//!
+//! "Each log entry is comprised of a header page, a blank page, a copy of
+//! the header page, the data pages being logged, an end page, copies of
+//! the data pages being logged, and a copy of the end page. The same data
+//! is never written to adjacent pages."
+//!
+//! ```text
+//! offset:   0   1     2    3 .. 3+n-1   3+n   4+n .. 3+2n   4+2n
+//! content:  H  blank  H'   D₁ .. Dₙ      E     D₁' .. Dₙ'     E'
+//! ```
+//!
+//! A record with `n` data pages occupies `2n + 5` sectors — the paper's
+//! arithmetic exactly: one logged page is a 7-sector record, 14 pages a
+//! 33-sector record, 39 pages the observed 83-sector maximum.
+//!
+//! Failure of the write at any point is detectable: the end pages must
+//! match the header (sequence number, boot count, page count, checksum),
+//! and any single or double damaged sector is correctable from its copy
+//! because copies are never adjacent to their originals.
+//!
+//! # Thirds (§5.3)
+//!
+//! "The log is divided into thirds... When the current log write is about
+//! to enter a new third... Any pages logged in this new third, but not
+//! logged in a later third, are written to the file name table by the
+//! logging code... This simple algorithm averages 5/6ths of the log in
+//! use." A pointer to the first valid record in the oldest third lives in
+//! page zero of the log region, replicated in page two.
+
+use crate::error::FsdError;
+use crate::Result;
+use cedar_disk::{SectorAddr, SimDisk, SECTOR_BYTES};
+use cedar_vol::codec::{fnv1a, Reader, Writer};
+use std::collections::VecDeque;
+
+/// First data offset inside the log region (0 = meta A, 1 = blank,
+/// 2 = meta B).
+pub const DATA_START: u32 = 3;
+
+/// Hard cap on data pages per record (bounded by header capacity).
+pub const MAX_IMAGES_HARD: usize = 48;
+
+const HDR_MAGIC: u32 = 0xF5D_0106;
+const END_MAGIC: u32 = 0xF5D_E0D5;
+const META_MAGIC: u32 = 0xF5D_3E7A;
+
+/// Where a logged sector image is (re)written during recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageTarget {
+    /// Sector `sector` of name-table logical page `page` — recovery
+    /// writes it to *both* name-table copies.
+    NtSector {
+        /// Logical name-table page.
+        page: u32,
+        /// Sector index within the page.
+        sector: u32,
+    },
+    /// A leader page at an absolute sector address.
+    Leader {
+        /// The leader's sector.
+        addr: SectorAddr,
+    },
+    /// Sector `index` of the VAM save area — recovery writes it to both
+    /// save copies. Only produced when the §5.3 VAM-logging extension is
+    /// enabled ([`crate::FsdConfig::log_vam`]).
+    VamSector {
+        /// Sector index within the save area.
+        index: u32,
+    },
+}
+
+/// A decoded log record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogRecord {
+    /// Sequence number (consecutive along the chain).
+    pub seq: u64,
+    /// Boot count when the record was written.
+    pub boot_count: u32,
+    /// `true` on the last record of a group commit. A force larger than
+    /// one record spans several; recovery drops a trailing group whose
+    /// terminator never landed, keeping every force atomic.
+    pub group_end: bool,
+    /// The logged sector images.
+    pub images: Vec<(PageTarget, Vec<u8>)>,
+}
+
+/// The replicated log meta page: where recovery starts reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LogMeta {
+    /// Offset (within the log region) of the first valid record.
+    pub oldest_offset: u32,
+    /// Sequence number of that record.
+    pub oldest_seq: u64,
+    /// Boot count of the epoch that wrote the log.
+    pub boot_count: u32,
+}
+
+impl LogMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(META_MAGIC)
+            .u32(self.oldest_offset)
+            .u64(self.oldest_seq)
+            .u32(self.boot_count);
+        let mut b = w.into_bytes();
+        b.resize(SECTOR_BYTES, 0);
+        b
+    }
+
+    fn decode(bytes: &[u8]) -> std::result::Result<Self, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != META_MAGIC {
+            return Err("bad log meta magic".into());
+        }
+        Ok(Self {
+            oldest_offset: r.u32()?,
+            oldest_seq: r.u64()?,
+            boot_count: r.u32()?,
+        })
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LiveRecord {
+    offset: u32,
+    seq: u64,
+}
+
+/// The in-memory state of the running log.
+#[derive(Debug)]
+pub struct Log {
+    /// First sector of the log region on disk.
+    start: SectorAddr,
+    /// Total sectors in the region (meta + data).
+    size: u32,
+    boot_count: u32,
+    write_pos: u32,
+    next_seq: u64,
+    current_third: u8,
+    live: VecDeque<LiveRecord>,
+    oldest: (u32, u64),
+    max_images: usize,
+}
+
+impl Log {
+    /// Creates a fresh, empty log (used at format time and after boot-time
+    /// redo empties the log). Call [`Self::write_meta`] afterwards to
+    /// persist the pointer.
+    pub fn fresh(start: SectorAddr, size: u32, boot_count: u32) -> Self {
+        let third_len = (size - DATA_START) / 3;
+        let max_images = MAX_IMAGES_HARD.min(((third_len.saturating_sub(5)) / 2) as usize);
+        assert!(max_images >= 1, "log region too small: {size} sectors");
+        Self {
+            start,
+            size,
+            boot_count,
+            write_pos: DATA_START,
+            next_seq: 1,
+            current_third: 0,
+            live: VecDeque::new(),
+            oldest: (DATA_START, 1),
+            max_images,
+        }
+    }
+
+    /// Largest number of images a single record may carry on this log.
+    pub fn max_images(&self) -> usize {
+        self.max_images
+    }
+
+    /// Number of live (replayable) records.
+    pub fn live_records(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Sectors of log data area currently holding live records
+    /// (for the 5/6-utilization measurement).
+    pub fn live_span_sectors(&self) -> u32 {
+        match (self.live.front(), self.live.back()) {
+            (Some(f), Some(_)) => {
+                if self.write_pos >= f.offset {
+                    self.write_pos - f.offset
+                } else {
+                    (self.size - f.offset) + (self.write_pos - DATA_START)
+                }
+            }
+            _ => 0,
+        }
+    }
+
+    /// Total data-area sectors.
+    pub fn data_sectors(&self) -> u32 {
+        self.size - DATA_START
+    }
+
+    fn third_len(&self) -> u32 {
+        (self.size - DATA_START) / 3
+    }
+
+    fn third_of(&self, offset: u32) -> u8 {
+        (((offset - DATA_START) / self.third_len()) as u8).min(2)
+    }
+
+    /// Writes the replicated meta pages (offsets 0 and 2 of the region).
+    pub fn write_meta(&self, disk: &mut SimDisk) -> Result<()> {
+        let meta = LogMeta {
+            oldest_offset: self.oldest.0,
+            oldest_seq: self.oldest.1,
+            boot_count: self.boot_count,
+        };
+        let bytes = meta.encode();
+        disk.write(self.start, &bytes)?;
+        disk.write(self.start + 2, &bytes)?;
+        Ok(())
+    }
+
+    /// Reads the meta page, falling back to the replica on damage.
+    pub fn read_meta(disk: &mut SimDisk, log_start: SectorAddr) -> Result<LogMeta> {
+        for addr in [log_start, log_start + 2] {
+            match disk.read(addr, 1) {
+                Ok(bytes) => {
+                    if let Ok(meta) = LogMeta::decode(&bytes) {
+                        return Ok(meta);
+                    }
+                }
+                Err(cedar_disk::DiskError::Crashed) => {
+                    return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
+                }
+                Err(_) => continue,
+            }
+        }
+        Err(FsdError::Check("both log meta copies unreadable".into()))
+    }
+
+    /// Appends one record. `flush` is called once for each third the
+    /// record *enters* (reclaiming it), before the record is written — the
+    /// volume uses it to write home every page whose only log copy lives
+    /// in that third.
+    ///
+    /// Returns `(seq, third)` where `third` is the third the record starts
+    /// in (the page-tracking tag).
+    pub fn append(
+        &mut self,
+        disk: &mut SimDisk,
+        images: &[(PageTarget, Vec<u8>)],
+        group_end: bool,
+        mut flush: impl FnMut(&mut SimDisk, u8) -> Result<()>,
+    ) -> Result<(u64, u8)> {
+        let n = images.len();
+        assert!(n > 0 && n <= self.max_images, "record of {n} images");
+        let len = 2 * n as u32 + 5;
+        let mut pos = self.write_pos;
+        if pos + len > self.size {
+            pos = DATA_START;
+        }
+        let t_start = self.third_of(pos);
+        let t_end = self.third_of(pos + len - 1);
+        let mut entered = Vec::new();
+        if t_start != self.current_third {
+            entered.push(t_start);
+        }
+        if t_end != t_start {
+            entered.push(t_end);
+        }
+        for &t in &entered {
+            flush(disk, t)?;
+            // Drop live records in the reclaimed third.
+            while let Some(front) = self.live.front() {
+                if self.third_of(front.offset) == t {
+                    self.live.pop_front();
+                } else {
+                    break;
+                }
+            }
+            self.oldest = self
+                .live
+                .front()
+                .map(|r| (r.offset, r.seq))
+                .unwrap_or((pos, self.next_seq));
+            self.write_meta(disk)?;
+            self.current_third = t;
+        }
+
+        let seq = self.next_seq;
+        let bytes = encode_record(images, seq, self.boot_count, group_end);
+        debug_assert_eq!(bytes.len(), len as usize * SECTOR_BYTES);
+        // "Data spread over the disk can be logically and atomically
+        // updated with a single disk write to the log."
+        disk.write(self.start + pos, &bytes)?;
+        self.next_seq += 1;
+        self.live.push_back(LiveRecord { offset: pos, seq });
+        if self.live.len() == 1 {
+            self.oldest = (pos, seq);
+        }
+        self.write_pos = pos + len;
+        Ok((seq, t_start))
+    }
+}
+
+/// Encodes a record into its `2n + 5` sector on-disk form.
+pub fn encode_record(
+    images: &[(PageTarget, Vec<u8>)],
+    seq: u64,
+    boot_count: u32,
+    group_end: bool,
+) -> Vec<u8> {
+    let n = images.len();
+    assert!(n <= MAX_IMAGES_HARD);
+    let mut data = Vec::with_capacity(n * SECTOR_BYTES);
+    for (_, img) in images {
+        assert_eq!(img.len(), SECTOR_BYTES, "image must be one sector");
+        data.extend_from_slice(img);
+    }
+    let checksum = fnv1a(&data);
+
+    let mut header = Writer::new();
+    header
+        .u32(HDR_MAGIC)
+        .u64(seq)
+        .u32(boot_count)
+        .u8(group_end as u8)
+        .u16(n as u16);
+    for (t, _) in images {
+        match t {
+            PageTarget::NtSector { page, sector } => {
+                header.u8(0).u32(*page).u32(*sector);
+            }
+            PageTarget::Leader { addr } => {
+                header.u8(1).u32(*addr).u32(0);
+            }
+            PageTarget::VamSector { index } => {
+                header.u8(2).u32(*index).u32(0);
+            }
+        }
+    }
+    let mut header = header.into_bytes();
+    assert!(header.len() <= SECTOR_BYTES, "header overflow");
+    header.resize(SECTOR_BYTES, 0);
+
+    let mut end = Writer::new();
+    end.u32(END_MAGIC)
+        .u64(seq)
+        .u32(boot_count)
+        .u16(n as u16)
+        .u64(checksum);
+    let mut end = end.into_bytes();
+    end.resize(SECTOR_BYTES, 0);
+
+    let mut out = Vec::with_capacity((2 * n + 5) * SECTOR_BYTES);
+    out.extend_from_slice(&header); // H
+    out.extend_from_slice(&[0u8; SECTOR_BYTES]); // blank
+    out.extend_from_slice(&header); // H'
+    out.extend_from_slice(&data); // D₁..Dₙ
+    out.extend_from_slice(&end); // E
+    out.extend_from_slice(&data); // D₁'..Dₙ'
+    out.extend_from_slice(&end); // E'
+    out
+}
+
+struct DecodedHeader {
+    seq: u64,
+    boot_count: u32,
+    group_end: bool,
+    targets: Vec<PageTarget>,
+}
+
+fn decode_header(bytes: &[u8]) -> std::result::Result<DecodedHeader, String> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != HDR_MAGIC {
+        return Err("bad header magic".into());
+    }
+    let seq = r.u64()?;
+    let boot_count = r.u32()?;
+    let group_end = r.u8()? != 0;
+    let n = r.u16()? as usize;
+    if n > MAX_IMAGES_HARD {
+        return Err("impossible page count".into());
+    }
+    let mut targets = Vec::with_capacity(n);
+    for _ in 0..n {
+        let kind = r.u8()?;
+        let a = r.u32()?;
+        let b = r.u32()?;
+        targets.push(match kind {
+            0 => PageTarget::NtSector { page: a, sector: b },
+            1 => PageTarget::Leader { addr: a },
+            2 => PageTarget::VamSector { index: a },
+            k => return Err(format!("bad target kind {k}")),
+        });
+    }
+    Ok(DecodedHeader {
+        seq,
+        boot_count,
+        group_end,
+        targets,
+    })
+}
+
+struct DecodedEnd {
+    seq: u64,
+    boot_count: u32,
+    n: usize,
+    checksum: u64,
+}
+
+fn decode_end(bytes: &[u8]) -> std::result::Result<DecodedEnd, String> {
+    let mut r = Reader::new(bytes);
+    if r.u32()? != END_MAGIC {
+        return Err("bad end magic".into());
+    }
+    Ok(DecodedEnd {
+        seq: r.u64()?,
+        boot_count: r.u32()?,
+        n: r.u16()? as usize,
+        checksum: r.u64()?,
+    })
+}
+
+/// Attempts to decode the record at `offset`; returns the record and its
+/// sector length, or `None` if no valid record with sequence `expected`
+/// starts there (end of log, torn write, or unrecoverable damage).
+fn read_record_at(
+    disk: &mut SimDisk,
+    log_start: SectorAddr,
+    log_size: u32,
+    offset: u32,
+    expected_seq: u64,
+) -> Result<Option<(LogRecord, u32)>> {
+    if offset + 5 > log_size {
+        return Ok(None);
+    }
+    // Header pair: H at +0, H' at +2 (never both lost under the 1–2
+    // consecutive sector failure model).
+    let (head_bytes, head_mask) = disk.read_allow_damage(log_start + offset, 3)?;
+    let header = [0usize, 2]
+        .iter()
+        .find_map(|&i| {
+            if head_mask[i] {
+                return None;
+            }
+            decode_header(&head_bytes[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES]).ok()
+        })
+        .filter(|h| h.seq == expected_seq);
+    let Some(header) = header else {
+        return Ok(None);
+    };
+    let n = header.targets.len() as u32;
+    let len = 2 * n + 5;
+    if offset + len > log_size {
+        return Ok(None);
+    }
+    // Body: D₁..Dₙ, E, D₁'..Dₙ', E'.
+    let (body, mask) = disk.read_allow_damage(log_start + offset + 3, (2 * n + 2) as usize)?;
+    let sector = |i: usize| &body[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
+    let end = [n as usize, (2 * n + 1) as usize]
+        .iter()
+        .find_map(|&i| {
+            if mask[i] {
+                return None;
+            }
+            decode_end(sector(i)).ok()
+        })
+        .filter(|e| {
+            e.seq == header.seq && e.boot_count == header.boot_count && e.n == n as usize
+        });
+    let Some(end) = end else {
+        return Ok(None); // Torn record: header written, tail missing.
+    };
+    // Reconstruct each data page from the original or its copy.
+    let mut data = Vec::with_capacity(n as usize * SECTOR_BYTES);
+    for i in 0..n as usize {
+        let orig = i;
+        let copy = n as usize + 1 + i;
+        if !mask[orig] {
+            data.extend_from_slice(sector(orig));
+        } else if !mask[copy] {
+            data.extend_from_slice(sector(copy));
+        } else {
+            return Err(FsdError::Check(format!(
+                "log record {}: data page {i} and its copy both damaged",
+                header.seq
+            )));
+        }
+    }
+    if fnv1a(&data) != end.checksum {
+        return Ok(None); // Torn mid-record: stale bytes where data should be.
+    }
+    let images = header
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (*t, data[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES].to_vec()))
+        .collect();
+    Ok(Some((
+        LogRecord {
+            seq: header.seq,
+            boot_count: header.boot_count,
+            group_end: header.group_end,
+            images,
+        },
+        len,
+    )))
+}
+
+/// Scans the live record chain starting from the meta pointer — the core
+/// of crash recovery. Records are returned oldest first.
+pub fn scan_records(
+    disk: &mut SimDisk,
+    log_start: SectorAddr,
+    log_size: u32,
+    meta: &LogMeta,
+) -> Result<Vec<LogRecord>> {
+    let mut records = Vec::new();
+    let mut pos = meta.oldest_offset;
+    let mut expected = meta.oldest_seq;
+    loop {
+        if pos + 5 > log_size {
+            pos = DATA_START;
+        }
+        match read_record_at(disk, log_start, log_size, pos, expected)? {
+            Some((rec, len)) => {
+                records.push(rec);
+                pos += len;
+                expected += 1;
+            }
+            None => {
+                // The writer may have wrapped where we did not expect it.
+                if pos != DATA_START {
+                    if let Some((rec, len)) =
+                        read_record_at(disk, log_start, log_size, DATA_START, expected)?
+                    {
+                        records.push(rec);
+                        pos = DATA_START + len;
+                        expected += 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+        }
+    }
+    // Atomic group commit: drop a trailing group whose terminator never
+    // made it to disk.
+    while records.last().is_some_and(|r| !r.group_end) {
+        records.pop();
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_disk::{CrashPlan, DiskGeometry, DiskTiming, SimClock};
+
+    const LOG_START: u32 = 100;
+    const LOG_SIZE: u32 = 303; // Thirds of 100 sectors each.
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::TINY, DiskTiming::TINY, SimClock::new())
+    }
+
+    fn img(tag: u8) -> Vec<u8> {
+        vec![tag; SECTOR_BYTES]
+    }
+
+    fn nt(page: u32, sector: u32, tag: u8) -> (PageTarget, Vec<u8>) {
+        (PageTarget::NtSector { page, sector }, img(tag))
+    }
+
+    fn no_flush(_: &mut SimDisk, _: u8) -> Result<()> {
+        Ok(())
+    }
+
+    #[test]
+    fn record_sector_arithmetic_matches_paper() {
+        // One data page → 7 sectors; 14 pages → 33; 39 pages → 83 (§5.4).
+        for (n, sectors) in [(1usize, 7usize), (14, 33), (39, 83)] {
+            let images: Vec<_> = (0..n).map(|i| nt(i as u32, 0, i as u8)).collect();
+            let bytes = encode_record(&images, 1, 1, true);
+            assert_eq!(bytes.len() / SECTOR_BYTES, sectors);
+        }
+    }
+
+    #[test]
+    fn append_then_scan_roundtrip() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        log.append(&mut d, &[nt(5, 0, 0xAA), nt(5, 1, 0xBB)], true, no_flush)
+            .unwrap();
+        log.append(
+            &mut d,
+            &[(PageTarget::Leader { addr: 900 }, img(0xCC))],
+            true,
+            no_flush,
+        )
+        .unwrap();
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 1);
+        assert_eq!(recs[0].images.len(), 2);
+        assert_eq!(recs[0].images[0].0, PageTarget::NtSector { page: 5, sector: 0 });
+        assert_eq!(recs[1].images[0].0, PageTarget::Leader { addr: 900 });
+        assert_eq!(recs[1].images[0].1, img(0xCC));
+    }
+
+    #[test]
+    fn empty_log_scans_to_nothing() {
+        let mut d = disk();
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        assert!(scan_records(&mut d, LOG_START, LOG_SIZE, &meta)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn meta_survives_first_copy_damage() {
+        let mut d = disk();
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        d.damage_sector(LOG_START);
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        assert_eq!(meta.oldest_offset, DATA_START);
+    }
+
+    #[test]
+    fn single_damaged_data_sector_recovered_from_copy() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
+            .unwrap();
+        // Damage the first data original (record at offset 3; D₁ at +3).
+        d.damage_sector(LOG_START + DATA_START + 3);
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].images[0].1, img(0x11));
+    }
+
+    #[test]
+    fn two_adjacent_damaged_sectors_recovered() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
+            .unwrap();
+        // The paper's failure model: two consecutive sectors die. Take out
+        // D₂ and E (offsets +4 and +5 of the record at 3).
+        d.damage_sector(LOG_START + DATA_START + 4);
+        d.damage_sector(LOG_START + DATA_START + 5);
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].images[1].1, img(0x22));
+    }
+
+    #[test]
+    fn header_damage_recovered_from_copy() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        log.append(&mut d, &[nt(1, 0, 3)], true, no_flush).unwrap();
+        d.damage_sector(LOG_START + DATA_START); // H
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        assert_eq!(
+            scan_records(&mut d, LOG_START, LOG_SIZE, &meta)
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn torn_record_write_is_not_replayed() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        log.append(&mut d, &[nt(1, 0, 1)], true, no_flush).unwrap();
+        // Second append crashes after 4 sectors (H, blank, H', D₁) — the
+        // end page never lands.
+        d.schedule_crash(CrashPlan {
+            after_sector_writes: 4,
+            damaged_tail: 1,
+        });
+        let err = log
+            .append(&mut d, &[nt(2, 0, 2), nt(3, 0, 3)], true, no_flush)
+            .unwrap_err();
+        assert!(err.is_crash());
+        d.reboot();
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        assert_eq!(recs.len(), 1, "only the first record survives");
+        assert_eq!(recs[0].seq, 1);
+    }
+
+    #[test]
+    fn wraparound_chain_scans_correctly() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        // Each 10-image record is 25 sectors; 300/25 = 12 per lap. Write
+        // 30: the log wraps twice.
+        for i in 0..30u8 {
+            let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
+            log.append(&mut d, &images, true, no_flush).unwrap();
+        }
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        assert!(!recs.is_empty());
+        // The chain is consecutive and ends at the newest record.
+        for w in recs.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+        }
+        assert_eq!(recs.last().unwrap().seq, 30);
+        assert_eq!(recs.last().unwrap().images[0].1, img(29));
+    }
+
+    #[test]
+    fn flush_called_once_per_entered_third() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        let mut entered: Vec<u8> = Vec::new();
+        // 25-sector records; third boundaries at offsets 3, 103, 203.
+        for i in 0..13u8 {
+            let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
+            log.append(&mut d, &images, true, |_, t| {
+                entered.push(t);
+                Ok(())
+            })
+            .unwrap();
+        }
+        // Offsets: 3,28,53,78 (third 0), 103.. (enters 1 — record at 103
+        // was already in third 1 after spanning? offsets 3+25k: 103 starts
+        // third 1, 203 third 2, 303 wraps → third 0 again.
+        assert!(entered.contains(&1));
+        assert!(entered.contains(&2));
+        assert_eq!(entered.iter().filter(|&&t| t == 1).count(), 1);
+    }
+
+    #[test]
+    fn log_utilization_approaches_five_sixths() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        let mut samples = Vec::new();
+        for i in 0..200u32 {
+            let images: Vec<_> = (0..10).map(|j| nt(j, 0, i as u8)).collect();
+            log.append(&mut d, &images, true, no_flush).unwrap();
+            if i > 50 {
+                samples.push(log.live_span_sectors() as f64 / log.data_sectors() as f64);
+            }
+        }
+        let avg = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!(
+            (0.6..0.95).contains(&avg),
+            "steady-state log utilization {avg:.2} should be near 5/6"
+        );
+    }
+
+    #[test]
+    fn stale_records_from_previous_lap_not_replayed() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        log.write_meta(&mut d).unwrap();
+        for i in 0..20u8 {
+            let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
+            log.append(&mut d, &images, true, no_flush).unwrap();
+        }
+        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        // Every replayed record must carry a seq >= the meta pointer's.
+        assert!(recs.iter().all(|r| r.seq >= meta.oldest_seq));
+        // And the newest record is present.
+        assert_eq!(recs.last().unwrap().seq, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "record of")]
+    fn oversized_record_rejected() {
+        let mut d = disk();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let images: Vec<_> = (0..49).map(|j| nt(j, 0, 0)).collect();
+        let _ = log.append(&mut d, &images, true, no_flush);
+    }
+}

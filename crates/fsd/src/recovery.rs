@@ -1,0 +1,309 @@
+//! Crash recovery (§5.9): log redo, then (at worst) VAM reconstruction.
+//!
+//! "Recovery is fast and easy. There are two types of recovery. First, the
+//! VAM can be reconstructed using the name table... Second, the file name
+//! table and leaders are recovered from the log. The log is a physical
+//! redo log and the algorithm to perform recovery is simple. Log records
+//! are read and the copies of pages in the log are written to disk.
+//! Recovery rarely takes more than two seconds on the current hardware."
+//!
+//! Table 2's headline: crash recovery drops from 3600+ seconds (the CFS
+//! scavenge) to 25 seconds worst case (log redo plus VAM rebuild).
+//! Recovery is idempotent — a crash *during* recovery simply means the
+//! next boot redoes the same images.
+
+use crate::cache::{FsdNtStore, NtCache, NtMeta};
+use crate::layout::{FsdBootPage, FsdLayout};
+use crate::log::{self, Log, PageTarget};
+use crate::volume::{FsdConfig, FsdVolume};
+use crate::{FsdError, Result};
+use cedar_btree::BTree;
+use cedar_disk::clock::Micros;
+use cedar_disk::{Cpu, SimDisk};
+use cedar_vol::{AllocPolicy, Allocator, Run, Vam};
+use std::collections::{BTreeSet, HashMap};
+
+/// What boot-time recovery did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Log records replayed.
+    pub records_replayed: u64,
+    /// Sector images written back to their homes.
+    pub images_redone: u64,
+    /// Whether the VAM had to be reconstructed from the name table
+    /// (`false` means a properly saved VAM was loaded).
+    pub vam_reconstructed: bool,
+    /// Files walked during VAM reconstruction.
+    pub files_scanned: u64,
+    /// Simulated time spent on log redo.
+    pub redo_us: Micros,
+    /// Simulated time spent loading or reconstructing the VAM.
+    pub vam_us: Micros,
+}
+
+impl RecoveryReport {
+    /// Total recovery time.
+    pub fn total_us(&self) -> Micros {
+        self.redo_us + self.vam_us
+    }
+}
+
+impl FsdVolume {
+    /// Boots an FSD volume: replays the log, then loads or reconstructs
+    /// the VAM. This is the whole of FSD crash recovery.
+    pub fn boot(disk: SimDisk, config: FsdConfig) -> Result<(FsdVolume, RecoveryReport)> {
+        Self::try_boot(disk, config).map_err(|(e, _)| e)
+    }
+
+    /// Like [`Self::boot`], but returns the disk alongside the error when
+    /// recovery itself is interrupted (e.g. by a crash mid-redo) — the
+    /// platters survive a power cycle, so the caller can boot again.
+    pub fn try_boot(
+        mut disk: SimDisk,
+        config: FsdConfig,
+    ) -> std::result::Result<(FsdVolume, RecoveryReport), (FsdError, SimDisk)> {
+        let layout = FsdLayout::compute(disk.geometry(), config.nt_pages, config.log_sectors);
+        let cpu = Cpu::new(disk.clock(), config.cpu);
+        let mut report = RecoveryReport::default();
+
+        let (boot, vam_was_valid) = match redo_phase(&mut disk, &layout, &cpu, &mut report) {
+            Ok(x) => x,
+            Err(e) => return Err((e, disk)),
+        };
+
+        let (dlo, dhi) = layout.data_area();
+        let mut vol = FsdVolume {
+            log: Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count),
+            disk,
+            cpu,
+            layout,
+            boot,
+            tree: BTree::open(0),
+            cache: NtCache::with_capacity(config.cache_pages),
+            pending_pages: BTreeSet::new(),
+            leaders: HashMap::new(),
+            vam: Vam::new_all_allocated(layout.total_sectors),
+            alloc: Allocator::new(
+                AllocPolicy::SplitAreas {
+                    small_threshold: config.small_threshold,
+                },
+                dlo,
+                dhi,
+            ),
+            uid_counter: 0,
+            last_force: 0,
+            commit_interval: config.commit_interval_us,
+            vam_hint_on_disk: false,
+            commit_stats: Default::default(),
+            vam_baseline: None,
+            vam_home: HashMap::new(),
+        };
+        vol.last_force = vol.clock().now();
+
+        match vol.finish_boot(vam_was_valid, &mut report) {
+            Ok(()) => Ok((vol, report)),
+            Err(e) => Err((e, vol.into_disk())),
+        }
+    }
+
+    /// Phase 2: reattach the tree and establish the VAM.
+    fn finish_boot(&mut self, vam_was_valid: bool, report: &mut RecoveryReport) -> Result<()> {
+        let root = {
+            let mut store = FsdNtStore {
+                disk: &mut self.disk,
+                cpu: &self.cpu,
+                layout: &self.layout,
+                cache: &mut self.cache,
+                pending: &mut self.pending_pages,
+            };
+            let raw = store
+                .read_through(0)
+                .map_err(cedar_btree::BTreeError::Store)?;
+            NtMeta::decode(&raw).map_err(FsdError::Check)?.root
+        };
+        self.tree = BTree::open(root);
+
+        let t1 = self.clock().now();
+        // Under the §5.3 VAM-logging extension the save area is a base
+        // image the redo sweep just patched: it is current as of the last
+        // commit whether or not the shutdown was clean.
+        let trust_saved = vam_was_valid || self.boot.vam_logged;
+        let mut need_rebuild = !trust_saved;
+        if trust_saved {
+            match read_saved_vam(&mut self.disk, &self.layout) {
+                Ok(vam) => self.vam = vam,
+                Err(e) if e.is_crash() => return Err(e),
+                // §5.8, error class 4: "the VAM can have disk errors;
+                // these are recovered by reconstructing the VAM."
+                Err(_) => need_rebuild = true,
+            }
+        }
+        if need_rebuild {
+            report.vam_reconstructed = true;
+            report.files_scanned = self.reconstruct_vam()?;
+        }
+        if self.boot.vam_logged {
+            // New log epoch: write a fresh base image and restart the
+            // delta chain from it.
+            self.save_vam_and_mark_valid()?;
+            self.vam_baseline = Some(self.padded_vam_bytes());
+        }
+        report.vam_us = self.clock().now() - t1;
+        Ok(())
+    }
+
+    /// Rebuilds the VAM by walking the name table: everything in the data
+    /// area is free except the pages the entries claim (§5.5).
+    fn reconstruct_vam(&mut self) -> Result<u64> {
+        let mut vam = Vam::new_all_allocated(self.layout.total_sectors);
+        vam.free_run(Run::new(
+            self.layout.small_start,
+            self.layout.nt_a_start - self.layout.small_start,
+        ));
+        vam.free_run(Run::new(
+            self.layout.central_end,
+            self.layout.total_sectors - self.layout.central_end,
+        ));
+        let mut entries: Vec<Vec<u8>> = Vec::new();
+        let tree = self.tree;
+        {
+            let mut store = FsdNtStore {
+                disk: &mut self.disk,
+                cpu: &self.cpu,
+                layout: &self.layout,
+                cache: &mut self.cache,
+                pending: &mut self.pending_pages,
+            };
+            tree.for_each(&mut store, &mut |_, v| {
+                entries.push(v.to_vec());
+                true
+            })?;
+        }
+        let files = entries.len() as u64;
+        self.cpu.entries(files);
+        for raw in entries {
+            let entry = crate::entry::FileEntry::decode(&raw)?;
+            if entry.leader_addr != 0 {
+                vam.allocate_run(Run::new(entry.leader_addr, 1));
+            }
+            for r in entry.run_table.runs() {
+                vam.allocate_run(*r);
+            }
+        }
+        self.vam = vam;
+        Ok(files)
+    }
+}
+
+/// Phase 1: read the boot page, replay the log, start a new epoch.
+fn redo_phase(
+    disk: &mut SimDisk,
+    layout: &FsdLayout,
+    cpu: &Cpu,
+    report: &mut RecoveryReport,
+) -> Result<(FsdBootPage, bool)> {
+    let t0 = disk.clock().now();
+
+    // Boot page: copy A, falling back to copy B (§5.8, error class 5).
+    let mut boot = read_boot_page(disk, layout)?;
+
+    // Log redo: read the chain from the replicated meta pointer, compute
+    // the final image of every touched sector in memory (records are in
+    // sequence order, so the last image of a sector wins), then write
+    // everything home in one sorted sweep with contiguous sectors merged
+    // into single transfers. This is what keeps redo under two seconds.
+    let meta = Log::read_meta(disk, layout.log_start)?;
+    let records = log::scan_records(disk, layout.log_start, layout.log_sectors, &meta)?;
+    let mut final_images: std::collections::BTreeMap<u32, Vec<u8>> =
+        std::collections::BTreeMap::new();
+    for rec in &records {
+        for (target, img) in &rec.images {
+            match target {
+                PageTarget::NtSector { page, sector } => {
+                    final_images.insert(layout.nt_a_sector(*page) + sector, img.clone());
+                    final_images.insert(layout.nt_b_sector(*page) + sector, img.clone());
+                }
+                PageTarget::Leader { addr } => {
+                    final_images.insert(*addr, img.clone());
+                }
+                PageTarget::VamSector { index } => {
+                    final_images.insert(layout.vam_a + index, img.clone());
+                    final_images.insert(layout.vam_b + index, img.clone());
+                }
+            }
+            report.images_redone += 1;
+        }
+        cpu.sectors(rec.images.len() as u64);
+    }
+    report.records_replayed = records.len() as u64;
+    let mut batch_start: Option<u32> = None;
+    let mut batch: Vec<u8> = Vec::new();
+    let flush =
+        |disk: &mut SimDisk, start: Option<u32>, bytes: &mut Vec<u8>| -> Result<()> {
+            if let Some(start) = start {
+                disk.write(start, bytes)?;
+            }
+            bytes.clear();
+            Ok(())
+        };
+    let mut prev: Option<u32> = None;
+    for (addr, img) in &final_images {
+        if prev.is_some_and(|p| p + 1 == *addr) {
+            batch.extend_from_slice(img);
+        } else {
+            flush(disk, batch_start, &mut batch)?;
+            batch_start = Some(*addr);
+            batch.extend_from_slice(img);
+        }
+        prev = Some(*addr);
+    }
+    flush(disk, batch_start, &mut batch)?;
+
+    // New epoch: bump the boot count, clear the VAM flag on disk, and
+    // start a fresh (empty) log — the homes are now current.
+    let vam_was_valid = boot.vam_valid;
+    boot.boot_count += 1;
+    boot.vam_valid = false;
+    let boot_bytes = boot.encode();
+    disk.write(layout.boot_a, &boot_bytes)?;
+    disk.write(layout.boot_b, &boot_bytes)?;
+    Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count).write_meta(disk)?;
+    report.redo_us = disk.clock().now() - t0;
+    Ok((boot, vam_was_valid))
+}
+
+/// Reads the boot page, preferring copy A.
+fn read_boot_page(disk: &mut SimDisk, layout: &FsdLayout) -> Result<FsdBootPage> {
+    for addr in [layout.boot_a, layout.boot_b] {
+        match disk.read(addr, 1) {
+            Ok(bytes) => {
+                if let Ok(b) = FsdBootPage::decode(&bytes) {
+                    return Ok(b);
+                }
+            }
+            Err(cedar_disk::DiskError::Crashed) => {
+                return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
+            }
+            Err(_) => continue,
+        }
+    }
+    Err(FsdError::Check("both boot page copies unreadable".into()))
+}
+
+/// Reads the saved VAM, falling back to its replica.
+fn read_saved_vam(disk: &mut SimDisk, layout: &FsdLayout) -> Result<Vam> {
+    for addr in [layout.vam_a, layout.vam_b] {
+        match disk.read(addr, layout.vam_sectors as usize) {
+            Ok(bytes) => {
+                if let Ok(v) = Vam::from_bytes(&bytes) {
+                    return Ok(v);
+                }
+            }
+            Err(cedar_disk::DiskError::Crashed) => {
+                return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
+            }
+            Err(_) => continue,
+        }
+    }
+    Err(FsdError::Check("both VAM save copies unreadable".into()))
+}

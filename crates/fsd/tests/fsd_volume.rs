@@ -1,0 +1,487 @@
+//! FSD volume behaviour: the paper's operational claims, tested one by
+//! one against the public API.
+
+use cedar_disk::{CpuModel, SimDisk};
+use cedar_fsd::{EntryKind, FsdConfig, FsdError, FsdVolume};
+
+fn config() -> FsdConfig {
+    FsdConfig {
+        nt_pages: 16,
+        log_sectors: 128,
+        cpu: CpuModel::FREE,
+        ..FsdConfig::default()
+    }
+}
+
+fn tiny() -> FsdVolume {
+    FsdVolume::format(SimDisk::tiny(), config()).unwrap()
+}
+
+#[test]
+fn create_open_read_roundtrip() {
+    let mut v = tiny();
+    let data = b"hello fsd".to_vec();
+    v.create("memo.txt", &data).unwrap();
+    let mut f = v.open("memo.txt", None).unwrap();
+    assert_eq!(f.name.version, 1);
+    assert_eq!(f.byte_size(), data.len() as u64);
+    assert_eq!(v.read_file(&mut f).unwrap(), data);
+}
+
+#[test]
+fn versions_accumulate_and_resolve() {
+    let mut v = tiny();
+    v.create("f", b"one").unwrap();
+    v.create("f", b"two").unwrap();
+    let mut newest = v.open("f", None).unwrap();
+    assert_eq!(newest.name.version, 2);
+    assert_eq!(v.read_file(&mut newest).unwrap(), b"two");
+    let mut old = v.open("f", Some(1)).unwrap();
+    assert_eq!(v.read_file(&mut old).unwrap(), b"one");
+}
+
+#[test]
+fn empty_file_has_leader_only() {
+    let mut v = tiny();
+    v.create("empty", b"").unwrap();
+    let mut f = v.open("empty", None).unwrap();
+    assert_eq!(f.pages(), 0);
+    assert_eq!(v.read_file(&mut f).unwrap(), b"");
+    assert_ne!(f.entry.leader_addr, 0);
+}
+
+#[test]
+fn multi_page_roundtrip_and_page_reads() {
+    let mut v = tiny();
+    let data: Vec<u8> = (0..3000u32).map(|i| (i % 251) as u8).collect();
+    v.create("big", &data).unwrap();
+    let mut f = v.open("big", None).unwrap();
+    assert_eq!(f.pages(), 6);
+    assert_eq!(v.read_file(&mut f).unwrap(), data);
+    let p2 = v.read_page(&mut f, 2).unwrap();
+    assert_eq!(&p2[..], &data[1024..1536]);
+    assert!(matches!(
+        v.read_page(&mut f, 6),
+        Err(FsdError::OutOfRange { .. })
+    ));
+}
+
+#[test]
+fn create_costs_one_synchronous_io() {
+    // "A file create typically does one I/O synchronously: the
+    // combination of the write of the leader and data pages." (§4)
+    let mut v = tiny();
+    v.create("warm", b"w").unwrap(); // Warm the name-table cache.
+    let before = v.disk_stats();
+    v.create("one-byte", b"x").unwrap();
+    let delta = v.disk_stats().since(&before);
+    assert_eq!(delta.total_ops(), 1, "{delta:?}");
+    assert_eq!(delta.writes, 1);
+    assert_eq!(delta.sectors_written, 2); // Leader + one data page.
+}
+
+#[test]
+fn open_does_no_io() {
+    let mut v = tiny();
+    v.create("f", b"data").unwrap();
+    let before = v.disk_stats();
+    v.open("f", None).unwrap();
+    let delta = v.disk_stats().since(&before);
+    assert_eq!(delta.total_ops(), 0, "{delta:?}");
+}
+
+#[test]
+fn delete_does_no_synchronous_io() {
+    let mut v = tiny();
+    v.create("f", &vec![1u8; 2048]).unwrap();
+    let before = v.disk_stats();
+    v.delete("f", None).unwrap();
+    let delta = v.disk_stats().since(&before);
+    assert_eq!(delta.total_ops(), 0, "{delta:?}");
+    assert!(matches!(v.open("f", None), Err(FsdError::NotFound(_))));
+}
+
+#[test]
+fn list_needs_no_per_file_io_and_returns_properties() {
+    let mut v = tiny();
+    for i in 0..20 {
+        v.create(&format!("dir/f{i:02}"), &vec![0u8; 512 * (i % 3 + 1)])
+            .unwrap();
+    }
+    let before = v.disk_stats();
+    let l = v.list("dir/").unwrap();
+    let delta = v.disk_stats().since(&before);
+    assert_eq!(l.len(), 20);
+    assert_eq!(l[0].1.byte_size, 512);
+    assert_eq!(delta.total_ops(), 0, "{delta:?}");
+}
+
+#[test]
+fn deleted_pages_not_reusable_until_commit() {
+    // §5.5: "the pages are not really free until the delete is
+    // committed... Pages in deleted files are kept in a shadow bitmap."
+    let mut v = tiny();
+    v.create("f", &vec![1u8; 4096]).unwrap();
+    let free_after_create = v.free_sectors();
+    v.delete("f", None).unwrap();
+    assert_eq!(v.free_sectors(), free_after_create);
+    v.force().unwrap();
+    assert_eq!(v.free_sectors(), free_after_create + 9); // Leader + 8 data.
+}
+
+#[test]
+fn group_commit_batches_many_updates_into_one_force() {
+    let mut v = tiny();
+    for i in 0..10 {
+        v.create(&format!("f{i}"), b"x").unwrap();
+    }
+    let stats0 = v.commit_stats();
+    v.force().unwrap();
+    let stats = v.commit_stats();
+    assert_eq!(stats.forces - stats0.forces, 1);
+    // All ten creates' metadata rode in that one force.
+    assert!(stats.images_logged > stats0.images_logged);
+}
+
+#[test]
+fn commit_daemon_fires_on_interval() {
+    let mut v = tiny();
+    v.create("f", b"x").unwrap();
+    let forces0 = v.commit_stats().forces;
+    // Half a second of idle time passes; the next operation triggers the
+    // deferred force.
+    v.advance_time(600_000).unwrap();
+    assert_eq!(v.commit_stats().forces, forces0 + 1);
+}
+
+#[test]
+fn one_property_update_is_a_seven_sector_record() {
+    // §5.4: "If this were the only update during a group commit period,
+    // then it would be recorded as a one data page record. This is logged
+    // in seven 512 byte sectors."
+    let mut v = tiny();
+    v.create_cached("[srv]cached.doc", b"remote bytes").unwrap();
+    v.force().unwrap();
+    let s0 = v.commit_stats();
+    // Open updates only the last-used-time in one name-table sector.
+    let f = v.open("[srv]cached.doc", None).unwrap();
+    assert!(matches!(f.entry.kind, EntryKind::CachedRemote { .. }));
+    v.force().unwrap();
+    let s1 = v.commit_stats();
+    assert_eq!(s1.records - s0.records, 1);
+    assert_eq!(s1.images_logged - s0.images_logged, 1);
+    assert_eq!(s1.log_sectors_written - s0.log_sectors_written, 7);
+}
+
+#[test]
+fn leader_verified_on_first_access_piggybacked() {
+    let mut v = tiny();
+    v.create("f", b"abc").unwrap();
+    let mut f = v.open("f", None).unwrap();
+    let before = v.disk_stats();
+    let data = v.read_page(&mut f, 0).unwrap();
+    let delta = v.disk_stats().since(&before);
+    assert_eq!(&data[..3], b"abc");
+    // Leader + data page 0 in ONE transfer (§5.7).
+    assert_eq!(delta.reads, 1);
+    assert_eq!(delta.sectors_read, 2);
+    // Second read: leader already verified, single sector.
+    let before = v.disk_stats();
+    v.read_page(&mut f, 0).unwrap();
+    assert_eq!(v.disk_stats().since(&before).sectors_read, 1);
+}
+
+#[test]
+fn corrupted_leader_caught_by_software_check() {
+    let mut v = tiny();
+    v.create("f", b"abc").unwrap();
+    v.shutdown().unwrap();
+    let mut f = v.open("f", None).unwrap();
+    let leader_addr = f.entry.leader_addr;
+    v.disk_mut().wild_write(leader_addr, 0x55);
+    assert!(matches!(
+        v.read_page(&mut f, 0),
+        Err(FsdError::Check(_))
+    ));
+}
+
+#[test]
+fn write_page_persists() {
+    let mut v = tiny();
+    v.create("f", &vec![0u8; 1024]).unwrap();
+    let mut f = v.open("f", None).unwrap();
+    v.write_page(&mut f, 1, &[9u8; 512]).unwrap();
+    assert_eq!(v.read_page(&mut f, 1).unwrap(), vec![9u8; 512]);
+}
+
+#[test]
+fn extend_and_truncate_roundtrip() {
+    let mut v = tiny();
+    v.create("f", &vec![7u8; 1024]).unwrap();
+    let mut f = v.open("f", None).unwrap();
+    v.extend(&mut f, 3).unwrap();
+    assert_eq!(f.pages(), 5);
+    v.write_page(&mut f, 4, &[3u8; 512]).unwrap();
+    assert_eq!(v.read_page(&mut f, 4).unwrap(), vec![3u8; 512]);
+    // Reopen: the entry in the name table reflects the extension.
+    let f2 = v.open("f", None).unwrap();
+    assert_eq!(f2.pages(), 5);
+    v.truncate(&mut f, 1).unwrap();
+    assert_eq!(f.pages(), 1);
+    let f3 = v.open("f", None).unwrap();
+    assert_eq!(f3.pages(), 1);
+    assert_eq!(f3.byte_size(), 512);
+}
+
+#[test]
+fn extended_file_leader_still_verifies() {
+    let mut v = tiny();
+    v.create("f", &vec![7u8; 512]).unwrap();
+    let mut f = v.open("f", None).unwrap();
+    v.extend(&mut f, 2).unwrap();
+    // Fresh handle: leader check must pass against the *new* run table,
+    // even before the new leader image reaches the disk.
+    let mut f2 = v.open("f", None).unwrap();
+    assert_eq!(v.read_page(&mut f2, 0).unwrap(), vec![7u8; 512]);
+    // After shutdown the leader is home; verify from disk too.
+    v.shutdown().unwrap();
+    let mut f3 = v.open("f", None).unwrap();
+    assert_eq!(v.read_page(&mut f3, 0).unwrap(), vec![7u8; 512]);
+}
+
+#[test]
+fn symlink_entries_roundtrip() {
+    let mut v = tiny();
+    v.create_symlink("link", "[server]<dir>real.file!3").unwrap();
+    let f = v.open("link", None).unwrap();
+    match &f.entry.kind {
+        EntryKind::SymLink { target } => assert_eq!(target, "[server]<dir>real.file!3"),
+        k => panic!("wrong kind {k:?}"),
+    }
+    let mut f = f;
+    assert!(matches!(
+        v.read_file(&mut f),
+        Err(FsdError::WrongKind(_))
+    ));
+}
+
+#[test]
+fn survives_clean_shutdown_and_boot() {
+    let mut v = tiny();
+    v.create("persist", b"forever").unwrap();
+    let free = {
+        v.force().unwrap();
+        v.free_sectors()
+    };
+    v.shutdown().unwrap();
+    let (mut v2, report) = FsdVolume::boot(v.into_disk(), config()).unwrap();
+    assert!(!report.vam_reconstructed, "clean shutdown saved the VAM");
+    assert_eq!(v2.free_sectors(), free);
+    let mut f = v2.open("persist", None).unwrap();
+    assert_eq!(v2.read_file(&mut f).unwrap(), b"forever");
+    v2.verify().unwrap();
+}
+
+#[test]
+fn uids_unique_across_boots() {
+    let mut v = tiny();
+    let f1 = v.create("a", b"1").unwrap();
+    v.shutdown().unwrap();
+    let (mut v2, _) = FsdVolume::boot(v.into_disk(), config()).unwrap();
+    let f2 = v2.create("b", b"2").unwrap();
+    assert_ne!(f1.entry.uid, f2.entry.uid);
+}
+
+#[test]
+fn many_files_split_the_tree_and_survive_reboot() {
+    let mut v = tiny();
+    for i in 0..120 {
+        v.create(&format!("dir/file{i:03}"), &vec![(i % 251) as u8; 512])
+            .unwrap();
+    }
+    v.verify().unwrap();
+    v.shutdown().unwrap();
+    let (mut v2, _) = FsdVolume::boot(v.into_disk(), config()).unwrap();
+    v2.verify().unwrap();
+    assert_eq!(v2.list("dir/").unwrap().len(), 120);
+    let mut f = v2.open("dir/file077", None).unwrap();
+    assert_eq!(v2.read_file(&mut f).unwrap(), vec![77u8; 512]);
+}
+
+#[test]
+fn nt_page_damage_in_one_copy_is_transparent() {
+    let mut v = tiny();
+    for i in 0..40 {
+        v.create(&format!("f{i:02}"), b"x").unwrap();
+    }
+    v.shutdown().unwrap();
+    let mut disk = v.into_disk();
+    // Damage several sectors of name-table copy A.
+    let layout = cedar_fsd::FsdLayout::compute(disk.geometry(), 16, 128);
+    for p in 0..4 {
+        disk.damage_sector(layout.nt_a_sector(p));
+    }
+    let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
+    v2.verify().unwrap();
+    assert_eq!(v2.list("").unwrap().len(), 40);
+}
+
+#[test]
+fn boot_page_damage_falls_back_to_replica() {
+    let mut v = tiny();
+    v.create("f", b"x").unwrap();
+    v.shutdown().unwrap();
+    let mut disk = v.into_disk();
+    disk.damage_sector(0); // Boot copy A.
+    let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
+    assert!(v2.open("f", None).is_ok());
+}
+
+#[test]
+fn vam_save_damage_falls_back_to_replica() {
+    let mut v = tiny();
+    v.create("f", &vec![1u8; 1024]).unwrap();
+    v.shutdown().unwrap();
+    let free = v.free_sectors();
+    let layout = *v.layout();
+    let mut disk = v.into_disk();
+    disk.damage_sector(layout.vam_a);
+    let (v2, report) = FsdVolume::boot(disk, config()).unwrap();
+    assert!(!report.vam_reconstructed);
+    assert_eq!(v2.free_sectors(), free);
+}
+
+#[test]
+fn keep_prunes_old_versions_on_create() {
+    let mut v = tiny();
+    v.create("doc", b"v1").unwrap();
+    v.set_keep("doc", 2).unwrap();
+    for i in 2..=6 {
+        v.create("doc", format!("v{i}").as_bytes()).unwrap();
+    }
+    // Keep = 2: only versions 5 and 6 remain.
+    let versions: Vec<u32> = v
+        .list("doc")
+        .unwrap()
+        .into_iter()
+        .map(|(n, _)| n.version)
+        .collect();
+    assert_eq!(versions, vec![5, 6]);
+    assert!(v.open("doc", Some(4)).is_err());
+    let mut newest = v.open("doc", None).unwrap();
+    assert_eq!(v.read_file(&mut newest).unwrap(), b"v6");
+    // The pruned versions' pages come back after the commit.
+    let free_before = v.free_sectors();
+    v.force().unwrap();
+    assert!(v.free_sectors() >= free_before);
+    v.verify().unwrap();
+}
+
+#[test]
+fn keep_zero_retains_all_versions() {
+    let mut v = tiny();
+    for i in 1..=5 {
+        v.create("doc", format!("v{i}").as_bytes()).unwrap();
+    }
+    assert_eq!(v.list("doc").unwrap().len(), 5);
+}
+
+#[test]
+fn keep_is_inherited_by_new_versions() {
+    let mut v = tiny();
+    v.create("doc", b"v1").unwrap();
+    v.set_keep("doc", 1).unwrap();
+    v.create("doc", b"v2").unwrap();
+    let newest = v.open("doc", None).unwrap();
+    assert_eq!(newest.entry.keep, 1);
+    assert_eq!(v.list("doc").unwrap().len(), 1, "only the newest survives");
+}
+
+#[test]
+fn set_keep_on_missing_file_errors() {
+    let mut v = tiny();
+    assert!(matches!(
+        v.set_keep("ghost", 3),
+        Err(FsdError::NotFound(_))
+    ));
+}
+
+#[test]
+fn bounded_cache_evicts_clean_pages_and_stays_correct() {
+    let mut v = FsdVolume::format(
+        SimDisk::tiny(),
+        FsdConfig {
+            nt_pages: 64,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            cache_pages: 6,
+            ..FsdConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..120 {
+        v.create(&format!("dir/file{i:03}"), &vec![(i % 251) as u8; 600])
+            .unwrap();
+    }
+    v.force().unwrap();
+    // Everything is still reachable and correct through the tiny cache.
+    v.verify().unwrap();
+    for i in (0..120).step_by(7) {
+        let mut f = v.open(&format!("dir/file{i:03}"), None).unwrap();
+        assert_eq!(v.read_file(&mut f).unwrap(), vec![(i % 251) as u8; 600]);
+    }
+    // Unpin everything (write homes), then trigger an eviction sweep:
+    // the cache shrinks to capacity and re-reads cost I/O again.
+    v.shutdown().unwrap();
+    v.create("dir/trigger", b"x").unwrap();
+    let before = v.disk_stats();
+    v.list("dir/").unwrap();
+    assert!(
+        v.disk_stats().since(&before).reads > 0,
+        "a 6-page cache cannot hold the whole name table"
+    );
+    // ...and crash recovery still works with a bounded cache.
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (mut v2, _) = FsdVolume::boot(
+        d,
+        FsdConfig {
+            nt_pages: 64,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            cache_pages: 6,
+            ..FsdConfig::default()
+        },
+    )
+    .unwrap();
+    v2.verify().unwrap();
+    assert_eq!(v2.list("dir/").unwrap().len(), 120);
+}
+
+#[test]
+fn bounded_cache_never_evicts_dirty_pages() {
+    let mut v = FsdVolume::format(
+        SimDisk::tiny(),
+        FsdConfig {
+            nt_pages: 64,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            cache_pages: 4,
+            // Never auto-force: dirty pages must survive in the cache.
+            commit_interval_us: u64::MAX / 2,
+            ..FsdConfig::default()
+        },
+    )
+    .unwrap();
+    for i in 0..60 {
+        v.create(&format!("f{i:02}"), b"pin me").unwrap();
+    }
+    // Nothing forced yet: all updates still uncommitted, yet intact.
+    for i in 0..60 {
+        let mut f = v.open(&format!("f{i:02}"), None).unwrap();
+        assert_eq!(v.read_file(&mut f).unwrap(), b"pin me");
+    }
+    v.force().unwrap();
+    v.verify().unwrap();
+}

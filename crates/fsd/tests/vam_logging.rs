@@ -1,0 +1,170 @@
+//! The §5.3 VAM-logging extension: "VAM logging would greatly decrease
+//! worst case crash recovery time from about twenty five seconds to
+//! about two seconds." The paper left it unimplemented; this crate
+//! implements it behind `FsdConfig::log_vam` and these tests hold it to
+//! the same crash-consistency bar as the base system.
+
+use cedar_disk::{CpuModel, CrashPlan, SimDisk};
+use cedar_fsd::{FsdConfig, FsdVolume};
+
+fn config(log_vam: bool) -> FsdConfig {
+    FsdConfig {
+        nt_pages: 24,
+        log_sectors: 160,
+        cpu: CpuModel::FREE,
+        log_vam,
+        ..FsdConfig::default()
+    }
+}
+
+fn tiny(log_vam: bool) -> FsdVolume {
+    FsdVolume::format(SimDisk::tiny(), config(log_vam)).unwrap()
+}
+
+#[test]
+fn recovery_skips_vam_reconstruction() {
+    let mut v = tiny(true);
+    for i in 0..60 {
+        v.create(&format!("f{i:02}"), &vec![1u8; 900]).unwrap();
+    }
+    v.force().unwrap();
+    let free = v.free_sectors();
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (v2, report) = FsdVolume::boot(d, config(true)).unwrap();
+    assert!(
+        !report.vam_reconstructed,
+        "the logged VAM must make reconstruction unnecessary"
+    );
+    assert_eq!(v2.free_sectors(), free, "the recovered free map is exact");
+}
+
+#[test]
+fn recovered_vam_agrees_after_deletes() {
+    let mut v = tiny(true);
+    for i in 0..40 {
+        v.create(&format!("f{i:02}"), &vec![1u8; 1500]).unwrap();
+    }
+    for i in (0..40).step_by(2) {
+        v.delete(&format!("f{i:02}"), None).unwrap();
+    }
+    v.force().unwrap(); // Commits the shadow frees and logs the VAM.
+    let free = v.free_sectors();
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (mut v2, report) = FsdVolume::boot(d, config(true)).unwrap();
+    assert!(!report.vam_reconstructed);
+    assert_eq!(v2.free_sectors(), free);
+    // No survivor tramples another: allocate heavily and re-verify.
+    for i in 0..30 {
+        if v2.create(&format!("new{i:02}"), &vec![9u8; 1200]).is_err() {
+            break;
+        }
+    }
+    for i in (1..40).step_by(2) {
+        let mut f = v2.open(&format!("f{i:02}"), None).unwrap();
+        assert_eq!(v2.read_file(&mut f).unwrap(), vec![1u8; 1500]);
+    }
+    v2.verify().unwrap();
+}
+
+#[test]
+fn uncommitted_frees_stay_uncommitted_across_crash() {
+    let mut v = tiny(true);
+    v.create("victim", &vec![2u8; 2048]).unwrap();
+    v.force().unwrap();
+    let committed_free = v.free_sectors();
+    v.delete("victim", None).unwrap();
+    // Crash before the delete commits: the recovered VAM must still hold
+    // the victim's pages allocated (the file is back).
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (mut v2, _) = FsdVolume::boot(d, config(true)).unwrap();
+    assert_eq!(v2.free_sectors(), committed_free);
+    let mut f = v2.open("victim", None).unwrap();
+    assert_eq!(v2.read_file(&mut f).unwrap(), vec![2u8; 2048]);
+}
+
+#[test]
+fn crash_mid_force_keeps_vam_at_previous_commit() {
+    let mut v = tiny(true);
+    v.create("stable", b"v1").unwrap();
+    v.force().unwrap();
+    let free = v.free_sectors();
+    for i in 0..5 {
+        v.create(&format!("burst{i}"), &vec![0u8; 700]).unwrap();
+    }
+    v.disk_mut().schedule_crash(CrashPlan {
+        after_sector_writes: 3,
+        damaged_tail: 1,
+    });
+    assert!(v.force().is_err());
+    let mut d = v.into_disk();
+    d.reboot();
+    let (v2, report) = FsdVolume::boot(d, config(true)).unwrap();
+    assert!(!report.vam_reconstructed);
+    assert_eq!(
+        v2.free_sectors(),
+        free,
+        "torn force: the VAM rolls back with the name table"
+    );
+}
+
+#[test]
+fn survives_log_wrap_with_vam_deltas() {
+    let mut v = tiny(true);
+    for round in 0..60 {
+        v.create(&format!("wrap{round:03}"), b"w").unwrap();
+        v.force().unwrap();
+    }
+    let free = v.free_sectors();
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (mut v2, report) = FsdVolume::boot(d, config(true)).unwrap();
+    assert!(!report.vam_reconstructed);
+    assert_eq!(v2.free_sectors(), free);
+    v2.verify().unwrap();
+    for round in 0..60 {
+        assert!(v2.open(&format!("wrap{round:03}"), None).is_ok());
+    }
+}
+
+#[test]
+fn damaged_save_copy_falls_back_to_replica_then_rebuild() {
+    let mut v = tiny(true);
+    v.create("f", &vec![1u8; 1024]).unwrap();
+    v.force().unwrap();
+    let free = v.free_sectors();
+    let layout = *v.layout();
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    // One damaged copy: replica serves.
+    d.damage_sector(layout.vam_a);
+    let (v2, report) = FsdVolume::boot(d.clone(), config(true)).unwrap();
+    assert!(!report.vam_reconstructed);
+    assert_eq!(v2.free_sectors(), free);
+    // Both copies damaged: either the redo sweep repairs the damaged
+    // sectors from the logged images, or recovery degrades to
+    // reconstruction — the free map is exact either way.
+    d.damage_sector(layout.vam_b);
+    let (v3, _report) = FsdVolume::boot(d, config(true)).unwrap();
+    assert_eq!(v3.free_sectors(), free);
+}
+
+#[test]
+fn vam_logging_off_still_reconstructs() {
+    // Control: the base system without the extension keeps its behaviour.
+    let mut v = tiny(false);
+    v.create("f", b"x").unwrap();
+    v.force().unwrap();
+    let mut d = v.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (_, report) = FsdVolume::boot(d, config(false)).unwrap();
+    assert!(report.vam_reconstructed);
+}

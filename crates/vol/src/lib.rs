@@ -1,0 +1,27 @@
+//! Shared volume vocabulary for the Cedar file systems.
+//!
+//! Both CFS (the old, label-based system) and FSD (the paper's logging +
+//! group-commit reimplementation) manage the same physical resources: runs
+//! of sectors, a free-page bitmap (the **VAM**, Volume Allocation Map), and
+//! name-ordered keys in a B-tree file name table. This crate holds those
+//! common pieces:
+//!
+//! * [`runtable`] — extents ("runs") and run tables, including the checksum
+//!   FSD stores in leader pages;
+//! * [`vam`] — the VAM bitmap plus the *shadow* bitmap FSD uses to defer
+//!   frees until the deleting operation commits (§5.5);
+//! * [`alloc`] — run allocation policies: the old fragmenting single-area
+//!   first fit, and FSD's split big/small areas (§5.6);
+//! * [`name`] — `name!version` keys with an order-preserving encoding;
+//! * [`codec`] — little helpers for the hand-rolled on-disk encodings.
+
+pub mod alloc;
+pub mod codec;
+pub mod name;
+pub mod runtable;
+pub mod vam;
+
+pub use alloc::{AllocError, AllocPolicy, Allocator};
+pub use name::FileName;
+pub use runtable::{Run, RunTable};
+pub use vam::Vam;

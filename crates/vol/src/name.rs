@@ -1,0 +1,171 @@
+//! File names and their order-preserving key encoding.
+//!
+//! Cedar files are named `name!version` — "Both systems support versions
+//! for files. Most files are written exactly once." (§5.3). The name table
+//! B-tree is keyed so that all versions of a file sort together, newest
+//! last, and a directory listing is a key-range scan over a name prefix.
+
+use std::fmt;
+
+/// Maximum length of a file name in bytes (keeps name-table entries within
+/// the B-tree's per-entry budget).
+pub const MAX_NAME_LEN: usize = 64;
+
+/// A versioned file name.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FileName {
+    /// The textual name (no NUL bytes; at most [`MAX_NAME_LEN`] bytes).
+    pub name: String,
+    /// The version number (1 is the first version).
+    pub version: u32,
+}
+
+impl FileName {
+    /// Creates a validated file name.
+    pub fn new(name: &str, version: u32) -> Result<Self, String> {
+        if name.is_empty() {
+            return Err("empty file name".into());
+        }
+        if name.len() > MAX_NAME_LEN {
+            return Err(format!(
+                "file name of {} bytes exceeds maximum {MAX_NAME_LEN}",
+                name.len()
+            ));
+        }
+        if name.bytes().any(|b| b == 0) {
+            return Err("file name contains NUL".into());
+        }
+        Ok(Self {
+            name: name.to_string(),
+            version,
+        })
+    }
+
+    /// Encodes to a B-tree key: `name ++ 0x00 ++ version(BE)`. The NUL
+    /// terminator keeps `"ab"` sorting before `"ab0"`-prefixed longer
+    /// names' versions, and the big-endian version sorts versions
+    /// numerically.
+    pub fn to_key(&self) -> Vec<u8> {
+        let mut k = Vec::with_capacity(self.name.len() + 5);
+        k.extend_from_slice(self.name.as_bytes());
+        k.push(0);
+        k.extend_from_slice(&self.version.to_be_bytes());
+        k
+    }
+
+    /// Decodes a key produced by [`Self::to_key`].
+    pub fn from_key(key: &[u8]) -> Result<Self, String> {
+        if key.len() < 5 {
+            return Err("key too short".into());
+        }
+        let (name_part, tail) = key.split_at(key.len() - 5);
+        if tail[0] != 0 {
+            return Err("missing NUL separator".into());
+        }
+        let name = std::str::from_utf8(name_part)
+            .map_err(|_| "non-UTF-8 name".to_string())?
+            .to_string();
+        let version = u32::from_be_bytes(tail[1..].try_into().unwrap());
+        Self::new(&name, version)
+    }
+
+    /// Key-range `[lo, hi)` covering every version of exactly `name`.
+    pub fn versions_range(name: &str) -> (Vec<u8>, Vec<u8>) {
+        let mut lo = name.as_bytes().to_vec();
+        lo.push(0);
+        let mut hi = name.as_bytes().to_vec();
+        hi.push(1);
+        (lo, hi)
+    }
+
+    /// Key-range `[lo, hi)` covering every name starting with `prefix`
+    /// (a directory listing).
+    pub fn prefix_range(prefix: &str) -> (Vec<u8>, Vec<u8>) {
+        let lo = prefix.as_bytes().to_vec();
+        let mut hi = prefix.as_bytes().to_vec();
+        // Increment the last byte, dropping trailing 0xFF bytes.
+        while let Some(last) = hi.last_mut() {
+            if *last < 0xFF {
+                *last += 1;
+                return (lo, hi);
+            }
+            hi.pop();
+        }
+        // All-0xFF prefix: unbounded above; use the maximal key.
+        (lo, vec![0xFF; MAX_NAME_LEN + 5])
+    }
+}
+
+impl fmt::Display for FileName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}!{}", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_roundtrip() {
+        let n = FileName::new("docs/paper.tioga", 7).unwrap();
+        assert_eq!(FileName::from_key(&n.to_key()).unwrap(), n);
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(FileName::new("", 1).is_err());
+        assert!(FileName::new("a\0b", 1).is_err());
+        assert!(FileName::new(&"x".repeat(65), 1).is_err());
+        assert!(FileName::new(&"x".repeat(64), 1).is_ok());
+    }
+
+    #[test]
+    fn versions_sort_numerically() {
+        let k1 = FileName::new("f", 2).unwrap().to_key();
+        let k2 = FileName::new("f", 10).unwrap().to_key();
+        assert!(k1 < k2); // Big-endian: 2 < 10 as bytes too.
+        let k255 = FileName::new("f", 255).unwrap().to_key();
+        let k256 = FileName::new("f", 256).unwrap().to_key();
+        assert!(k255 < k256);
+    }
+
+    #[test]
+    fn short_name_sorts_before_longer() {
+        let ab = FileName::new("ab", 999).unwrap().to_key();
+        let ab0 = FileName::new("ab0", 1).unwrap().to_key();
+        assert!(ab < ab0);
+    }
+
+    #[test]
+    fn versions_range_covers_exact_name_only() {
+        let (lo, hi) = FileName::versions_range("file");
+        let inside = FileName::new("file", 1).unwrap().to_key();
+        let inside_hi = FileName::new("file", u32::MAX).unwrap().to_key();
+        let outside = FileName::new("file2", 1).unwrap().to_key();
+        assert!(lo <= inside && inside < hi);
+        assert!(inside_hi < hi);
+        assert!(outside >= hi);
+    }
+
+    #[test]
+    fn prefix_range_covers_directory() {
+        let (lo, hi) = FileName::prefix_range("src/");
+        for name in ["src/a", "src/zzz"] {
+            let k = FileName::new(name, 3).unwrap().to_key();
+            assert!(lo <= k && k < hi, "{name}");
+        }
+        let other = FileName::new("tmp/a", 1).unwrap().to_key();
+        assert!(other >= hi);
+        let before = FileName::new("abc", 1).unwrap().to_key();
+        assert!(before < lo);
+    }
+
+    #[test]
+    fn display_uses_bang_version() {
+        assert_eq!(
+            FileName::new("memo.txt", 3).unwrap().to_string(),
+            "memo.txt!3"
+        );
+    }
+}

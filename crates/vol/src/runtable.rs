@@ -1,0 +1,279 @@
+//! Runs (extents) and run tables.
+//!
+//! Cedar's File Package "allocates pages in runs (often called extents)"
+//! (§5.6). A file's run table maps its logical pages to disk sectors; in
+//! CFS it lived in the header sectors, in FSD it moved into the file name
+//! table, with a preamble and checksum kept in the leader page as a
+//! software check (Table 1).
+
+use crate::codec::{fnv1a, Reader, Writer};
+use cedar_disk::SectorAddr;
+
+/// A contiguous run of sectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Run {
+    /// First sector of the run.
+    pub start: SectorAddr,
+    /// Number of sectors.
+    pub len: u32,
+}
+
+impl Run {
+    /// Creates a run.
+    pub const fn new(start: SectorAddr, len: u32) -> Self {
+        Self { start, len }
+    }
+
+    /// One-past-the-end sector address.
+    pub fn end(&self) -> SectorAddr {
+        self.start + self.len
+    }
+
+    /// Returns `true` if `addr` falls inside the run.
+    pub fn contains(&self, addr: SectorAddr) -> bool {
+        (self.start..self.end()).contains(&addr)
+    }
+}
+
+/// A file's run table: logical pages in order, as a sequence of runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunTable {
+    runs: Vec<Run>,
+}
+
+impl RunTable {
+    /// Creates an empty run table (a zero-page file).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a run table from runs, coalescing adjacent ones.
+    pub fn from_runs(runs: impl IntoIterator<Item = Run>) -> Self {
+        let mut rt = Self::new();
+        for r in runs {
+            rt.push(r);
+        }
+        rt
+    }
+
+    /// The runs, in logical-page order.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// Total number of pages (sectors) in the file.
+    pub fn pages(&self) -> u32 {
+        self.runs.iter().map(|r| r.len).sum()
+    }
+
+    /// Returns `true` if the table has no pages.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Appends a run at the logical end, coalescing with the last run when
+    /// physically adjacent.
+    pub fn push(&mut self, run: Run) {
+        if run.len == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.end() == run.start {
+                last.len += run.len;
+                return;
+            }
+        }
+        self.runs.push(run);
+    }
+
+    /// Maps a logical page number to its sector address.
+    pub fn sector_of(&self, page: u32) -> Option<SectorAddr> {
+        let mut skip = page;
+        for r in &self.runs {
+            if skip < r.len {
+                return Some(r.start + skip);
+            }
+            skip -= r.len;
+        }
+        None
+    }
+
+    /// Splits the logical range `[page, pages())` off the tail, returning
+    /// the removed runs — used when a file is contracted.
+    pub fn truncate(&mut self, page: u32) -> Vec<Run> {
+        let mut removed = Vec::new();
+        let mut remaining = page;
+        let mut keep = Vec::new();
+        for r in self.runs.drain(..) {
+            if remaining >= r.len {
+                remaining -= r.len;
+                keep.push(r);
+            } else if remaining > 0 {
+                keep.push(Run::new(r.start, remaining));
+                removed.push(Run::new(r.start + remaining, r.len - remaining));
+                remaining = 0;
+            } else {
+                removed.push(r);
+            }
+        }
+        self.runs = keep;
+        removed
+    }
+
+    /// Longest contiguous logical extent starting at `page`: the sector of
+    /// `page` plus how many logically-following pages are physically
+    /// consecutive. Lets callers batch multi-sector transfers.
+    pub fn extent_at(&self, page: u32) -> Option<Run> {
+        let mut skip = page;
+        for r in &self.runs {
+            if skip < r.len {
+                return Some(Run::new(r.start + skip, r.len - skip));
+            }
+            skip -= r.len;
+        }
+        None
+    }
+
+    /// Encodes the table: `[count u16][ (start u32, len u32)* ]`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(self.runs.len() as u16);
+        for r in &self.runs {
+            w.u32(r.start).u32(r.len);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a table encoded by [`Self::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, String> {
+        let count = r.u16()? as usize;
+        let mut runs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let start = r.u32()?;
+            let len = r.u32()?;
+            if len == 0 {
+                return Err("zero-length run".into());
+            }
+            runs.push(Run::new(start, len));
+        }
+        Ok(Self { runs })
+    }
+
+    /// Checksum over the encoded table — stored in FSD leader pages
+    /// ("checksum of run table", Table 1) and verified on first access.
+    pub fn checksum(&self) -> u64 {
+        fnv1a(&self.encode())
+    }
+
+    /// The first run (or a zero run if empty) — the "preamble of run
+    /// table" stored in FSD leader pages (Table 1).
+    pub fn preamble(&self) -> Run {
+        self.runs.first().copied().unwrap_or(Run::new(0, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_has_no_pages() {
+        let rt = RunTable::new();
+        assert_eq!(rt.pages(), 0);
+        assert_eq!(rt.sector_of(0), None);
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn push_coalesces_adjacent_runs() {
+        let mut rt = RunTable::new();
+        rt.push(Run::new(10, 5));
+        rt.push(Run::new(15, 3));
+        rt.push(Run::new(30, 2));
+        assert_eq!(rt.runs().len(), 2);
+        assert_eq!(rt.pages(), 10);
+    }
+
+    #[test]
+    fn zero_length_push_ignored() {
+        let mut rt = RunTable::new();
+        rt.push(Run::new(5, 0));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn sector_of_walks_runs() {
+        let rt = RunTable::from_runs([Run::new(10, 2), Run::new(50, 3)]);
+        assert_eq!(rt.sector_of(0), Some(10));
+        assert_eq!(rt.sector_of(1), Some(11));
+        assert_eq!(rt.sector_of(2), Some(50));
+        assert_eq!(rt.sector_of(4), Some(52));
+        assert_eq!(rt.sector_of(5), None);
+    }
+
+    #[test]
+    fn extent_at_returns_remaining_contiguity() {
+        let rt = RunTable::from_runs([Run::new(10, 4), Run::new(50, 2)]);
+        assert_eq!(rt.extent_at(1), Some(Run::new(11, 3)));
+        assert_eq!(rt.extent_at(4), Some(Run::new(50, 2)));
+        assert_eq!(rt.extent_at(6), None);
+    }
+
+    #[test]
+    fn truncate_splits_runs() {
+        let mut rt = RunTable::from_runs([Run::new(10, 4), Run::new(50, 4)]);
+        let removed = rt.truncate(5);
+        assert_eq!(rt.pages(), 5);
+        assert_eq!(removed, vec![Run::new(51, 3)]);
+        let removed = rt.truncate(0);
+        assert_eq!(rt.pages(), 0);
+        assert_eq!(removed, vec![Run::new(10, 4), Run::new(50, 1)]);
+    }
+
+    #[test]
+    fn truncate_at_boundary_removes_whole_runs() {
+        let mut rt = RunTable::from_runs([Run::new(10, 4), Run::new(50, 4)]);
+        let removed = rt.truncate(4);
+        assert_eq!(rt.runs(), &[Run::new(10, 4)]);
+        assert_eq!(removed, vec![Run::new(50, 4)]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rt = RunTable::from_runs([Run::new(10, 4), Run::new(50, 4), Run::new(7, 1)]);
+        let bytes = rt.encode();
+        let got = RunTable::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(got, rt);
+    }
+
+    #[test]
+    fn decode_rejects_zero_length_run() {
+        let mut w = Writer::new();
+        w.u16(1).u32(5).u32(0);
+        let b = w.into_bytes();
+        assert!(RunTable::decode(&mut Reader::new(&b)).is_err());
+    }
+
+    #[test]
+    fn checksum_changes_with_content() {
+        let a = RunTable::from_runs([Run::new(1, 1)]);
+        let b = RunTable::from_runs([Run::new(2, 1)]);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn preamble_is_first_run() {
+        let rt = RunTable::from_runs([Run::new(9, 2), Run::new(50, 1)]);
+        assert_eq!(rt.preamble(), Run::new(9, 2));
+        assert_eq!(RunTable::new().preamble(), Run::new(0, 0));
+    }
+
+    #[test]
+    fn run_contains() {
+        let r = Run::new(10, 3);
+        assert!(!r.contains(9));
+        assert!(r.contains(10));
+        assert!(r.contains(12));
+        assert!(!r.contains(13));
+    }
+}

@@ -1,0 +1,324 @@
+//! The Volume Allocation Map.
+//!
+//! "The Cedar File Package keeps a bit vector as a hint for which disk
+//! pages are free. This is called the Volume Allocation Map (VAM)." (§2).
+//! In CFS the VAM is only a hint — labels are the truth. In FSD the VAM is
+//! kept entirely in volatile memory during operation (§5.5) and either
+//! saved at controlled shutdown or reconstructed from the name table; a
+//! *shadow* bitmap holds the pages of deleted-but-uncommitted files, which
+//! move to the VAM proper when the delete commits.
+
+use crate::runtable::Run;
+use cedar_disk::SectorAddr;
+
+/// A free-page bitmap: bit set ⇒ sector free.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vam {
+    words: Vec<u64>,
+    sectors: u32,
+    /// Pages freed by uncommitted deletes: not yet allocatable (§5.5).
+    shadow: Vec<u64>,
+}
+
+impl Vam {
+    /// Creates a VAM for `sectors` sectors, all marked allocated
+    /// (callers free the regions that are actually available).
+    pub fn new_all_allocated(sectors: u32) -> Self {
+        let n = (sectors as usize).div_ceil(64);
+        Self {
+            words: vec![0; n],
+            sectors,
+            shadow: vec![0; n],
+        }
+    }
+
+    /// Number of sectors covered.
+    pub fn sectors(&self) -> u32 {
+        self.sectors
+    }
+
+    /// Returns `true` if `addr` is free (and not shadow-held).
+    pub fn is_free(&self, addr: SectorAddr) -> bool {
+        assert!(addr < self.sectors);
+        let (w, b) = (addr as usize / 64, addr % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// Marks a run free (immediately allocatable).
+    pub fn free_run(&mut self, run: Run) {
+        for a in run.start..run.end() {
+            assert!(a < self.sectors, "free of sector {a} out of range");
+            let (w, b) = (a as usize / 64, a % 64);
+            self.words[w] |= 1 << b;
+        }
+    }
+
+    /// Marks a run allocated.
+    pub fn allocate_run(&mut self, run: Run) {
+        for a in run.start..run.end() {
+            assert!(a < self.sectors, "allocate of sector {a} out of range");
+            let (w, b) = (a as usize / 64, a % 64);
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Records a run in the shadow bitmap: freed by a delete that has not
+    /// yet committed, so not yet allocatable.
+    pub fn shadow_free_run(&mut self, run: Run) {
+        for a in run.start..run.end() {
+            let (w, b) = (a as usize / 64, a % 64);
+            self.shadow[w] |= 1 << b;
+        }
+    }
+
+    /// Commits all shadow frees: "When a commit occurs, the pages marked
+    /// free in the shadow bitmap are marked free in the VAM" (§5.5).
+    pub fn commit_shadow(&mut self) {
+        for (w, s) in self.words.iter_mut().zip(self.shadow.iter_mut()) {
+            *w |= *s;
+            *s = 0;
+        }
+    }
+
+    /// Number of pages currently shadow-held.
+    pub fn shadow_count(&self) -> u32 {
+        self.shadow.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of free sectors.
+    pub fn free_count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Finds a free run of exactly `len` sectors within `[lo, hi)`,
+    /// scanning forward from `from` (clamped into the range). Returns the
+    /// run without marking it allocated.
+    pub fn find_free_run(
+        &self,
+        len: u32,
+        lo: SectorAddr,
+        hi: SectorAddr,
+        from: SectorAddr,
+    ) -> Option<Run> {
+        if len == 0 || lo >= hi {
+            return None;
+        }
+        let scan = |start: SectorAddr, end: SectorAddr| -> Option<Run> {
+            let mut run_start = start;
+            let mut run_len = 0u32;
+            for a in start..end {
+                if self.is_free(a) {
+                    if run_len == 0 {
+                        run_start = a;
+                    }
+                    run_len += 1;
+                    if run_len == len {
+                        return Some(Run::new(run_start, len));
+                    }
+                } else {
+                    run_len = 0;
+                }
+            }
+            None
+        };
+        let from = from.clamp(lo, hi);
+        scan(from, hi).or_else(|| scan(lo, (from + len).min(hi)))
+    }
+
+    /// Finds the *largest* free run within `[lo, hi)` of length at most
+    /// `cap`, searching backward preference for big-area allocation.
+    pub fn find_largest_free_run(&self, lo: SectorAddr, hi: SectorAddr, cap: u32) -> Option<Run> {
+        let mut best: Option<Run> = None;
+        let mut run_start = lo;
+        let mut run_len = 0u32;
+        for a in lo..hi {
+            if self.is_free(a) {
+                if run_len == 0 {
+                    run_start = a;
+                }
+                run_len += 1;
+                if run_len >= cap {
+                    return Some(Run::new(run_start, cap));
+                }
+            } else {
+                if run_len > best.map_or(0, |r| r.len) {
+                    best = Some(Run::new(run_start, run_len));
+                }
+                run_len = 0;
+            }
+        }
+        if run_len > best.map_or(0, |r| r.len) {
+            best = Some(Run::new(run_start, run_len));
+        }
+        best
+    }
+
+    /// Counts free extents and the largest free extent in `[lo, hi)` —
+    /// the fragmentation metrics for the allocator ablation (§5.6).
+    pub fn fragmentation(&self, lo: SectorAddr, hi: SectorAddr) -> (u32, u32) {
+        let mut extents = 0;
+        let mut largest = 0;
+        let mut run = 0u32;
+        for a in lo..hi {
+            if self.is_free(a) {
+                run += 1;
+            } else {
+                if run > 0 {
+                    extents += 1;
+                    largest = largest.max(run);
+                }
+                run = 0;
+            }
+        }
+        if run > 0 {
+            extents += 1;
+            largest = largest.max(run);
+        }
+        (extents, largest)
+    }
+
+    /// Serializes the bitmap (not the shadow — shadow state is volatile by
+    /// definition) for the controlled-shutdown save (§5.5).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8 + 4);
+        out.extend_from_slice(&self.sectors.to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Restores a bitmap saved by [`Self::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 4 {
+            return Err("VAM save truncated".into());
+        }
+        let sectors = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let n = (sectors as usize).div_ceil(64);
+        if bytes.len() < 4 + n * 8 {
+            return Err("VAM save truncated".into());
+        }
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            let at = 4 + i * 8;
+            words.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+        }
+        Ok(Self {
+            words,
+            sectors,
+            shadow: vec![0; n],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vam_with_free(sectors: u32, free: Run) -> Vam {
+        let mut v = Vam::new_all_allocated(sectors);
+        v.free_run(free);
+        v
+    }
+
+    #[test]
+    fn new_vam_is_fully_allocated() {
+        let v = Vam::new_all_allocated(100);
+        assert_eq!(v.free_count(), 0);
+        assert!(!v.is_free(0));
+    }
+
+    #[test]
+    fn free_then_allocate_roundtrip() {
+        let mut v = Vam::new_all_allocated(100);
+        v.free_run(Run::new(10, 5));
+        assert_eq!(v.free_count(), 5);
+        assert!(v.is_free(12));
+        v.allocate_run(Run::new(10, 2));
+        assert_eq!(v.free_count(), 3);
+        assert!(!v.is_free(10));
+        assert!(v.is_free(12));
+    }
+
+    #[test]
+    fn find_free_run_scans_forward_with_wrap() {
+        let mut v = Vam::new_all_allocated(128);
+        v.free_run(Run::new(5, 3));
+        v.free_run(Run::new(60, 10));
+        // From 20, the forward scan finds 60.
+        assert_eq!(v.find_free_run(4, 0, 128, 20), Some(Run::new(60, 4)));
+        // A run of 3 from 70 wraps around to 5.
+        assert_eq!(v.find_free_run(3, 0, 128, 70), Some(Run::new(5, 3)));
+        // No run of 11 exists.
+        assert_eq!(v.find_free_run(11, 0, 128, 0), None);
+    }
+
+    #[test]
+    fn find_free_run_respects_bounds() {
+        let v = vam_with_free(128, Run::new(5, 20));
+        assert_eq!(v.find_free_run(4, 10, 128, 0), Some(Run::new(10, 4)));
+        assert_eq!(v.find_free_run(4, 0, 8, 0), None); // Only 3 free below 8.
+    }
+
+    #[test]
+    fn shadow_frees_not_allocatable_until_commit() {
+        let mut v = Vam::new_all_allocated(64);
+        v.shadow_free_run(Run::new(8, 4));
+        assert_eq!(v.free_count(), 0);
+        assert_eq!(v.shadow_count(), 4);
+        assert_eq!(v.find_free_run(2, 0, 64, 0), None);
+        v.commit_shadow();
+        assert_eq!(v.free_count(), 4);
+        assert_eq!(v.shadow_count(), 0);
+        assert_eq!(v.find_free_run(2, 0, 64, 0), Some(Run::new(8, 2)));
+    }
+
+    #[test]
+    fn largest_free_run_found() {
+        let mut v = Vam::new_all_allocated(128);
+        v.free_run(Run::new(5, 3));
+        v.free_run(Run::new(20, 9));
+        v.free_run(Run::new(100, 6));
+        assert_eq!(
+            v.find_largest_free_run(0, 128, 100),
+            Some(Run::new(20, 9))
+        );
+        // Cap short-circuits.
+        assert_eq!(v.find_largest_free_run(0, 128, 2), Some(Run::new(5, 2)));
+        // Empty region.
+        assert_eq!(v.find_largest_free_run(40, 90, 10), None);
+    }
+
+    #[test]
+    fn fragmentation_counts_extents() {
+        let mut v = Vam::new_all_allocated(64);
+        v.free_run(Run::new(0, 4));
+        v.free_run(Run::new(10, 2));
+        v.free_run(Run::new(62, 2));
+        let (extents, largest) = v.fragmentation(0, 64);
+        assert_eq!(extents, 3);
+        assert_eq!(largest, 4);
+    }
+
+    #[test]
+    fn save_restore_roundtrip() {
+        let mut v = Vam::new_all_allocated(200);
+        v.free_run(Run::new(3, 7));
+        v.free_run(Run::new(150, 20));
+        v.shadow_free_run(Run::new(100, 5)); // Volatile: not saved.
+        let restored = Vam::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(restored.free_count(), v.free_count());
+        assert_eq!(restored.shadow_count(), 0);
+        assert!(restored.is_free(5));
+        assert!(!restored.is_free(100));
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        assert!(Vam::from_bytes(&[1, 2]).is_err());
+        let v = Vam::new_all_allocated(200);
+        let mut b = v.to_bytes();
+        b.truncate(b.len() - 1);
+        assert!(Vam::from_bytes(&b).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the volume substrates: the allocator never hands
+//! out a sector twice, the VAM's arithmetic is exact, and run tables
+//! agree with their flattened form under every operation sequence.
+
+use cedar_vol::{AllocPolicy, Allocator, Run, RunTable, Vam};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const AREA: u32 = 4096;
+
+#[derive(Clone, Debug)]
+enum AllocOp {
+    Alloc(u32),
+    FreeOldest,
+    FreeNewest,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (1u32..200).prop_map(AllocOp::Alloc),
+            1 => Just(AllocOp::FreeOldest),
+            1 => Just(AllocOp::FreeNewest),
+        ],
+        1..120,
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = AllocPolicy> {
+    prop_oneof![
+        Just(AllocPolicy::SingleArea),
+        (4u32..64).prop_map(|t| AllocPolicy::SplitAreas { small_threshold: t }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_never_double_allocates(ops in arb_ops(), policy in arb_policy()) {
+        let mut vam = Vam::new_all_allocated(AREA);
+        vam.free_run(Run::new(0, AREA));
+        let mut alloc = Allocator::new(policy, 0, AREA);
+        let mut live: Vec<RunTable> = Vec::new();
+        let mut owned: HashSet<u32> = HashSet::new();
+
+        for op in &ops {
+            match op {
+                AllocOp::Alloc(pages) => {
+                    match alloc.allocate(&mut vam, *pages) {
+                        Ok(rt) => {
+                            prop_assert_eq!(rt.pages(), *pages);
+                            for r in rt.runs() {
+                                prop_assert!(r.end() <= AREA, "run out of bounds: {:?}", r);
+                                for a in r.start..r.end() {
+                                    prop_assert!(
+                                        owned.insert(a),
+                                        "sector {a} allocated twice"
+                                    );
+                                }
+                            }
+                            live.push(rt);
+                        }
+                        Err(_) => {
+                            // Full is acceptable; nothing must have leaked.
+                        }
+                    }
+                }
+                AllocOp::FreeOldest | AllocOp::FreeNewest => {
+                    let rt = if matches!(op, AllocOp::FreeOldest) {
+                        if live.is_empty() { continue; }
+                        live.remove(0)
+                    } else {
+                        match live.pop() {
+                            Some(rt) => rt,
+                            None => continue,
+                        }
+                    };
+                    alloc.free(&mut vam, &rt, false);
+                    for r in rt.runs() {
+                        for a in r.start..r.end() {
+                            owned.remove(&a);
+                        }
+                    }
+                }
+            }
+            // The VAM's free count always complements the owned set.
+            prop_assert_eq!(vam.free_count() as usize, AREA as usize - owned.len());
+        }
+    }
+
+    #[test]
+    fn shadow_commit_preserves_totals(
+        frees in proptest::collection::vec((0u32..AREA, 1u32..16), 1..30),
+    ) {
+        let mut vam = Vam::new_all_allocated(AREA);
+        let mut expected = 0u32;
+        let mut marked: HashSet<u32> = HashSet::new();
+        for (start, len) in frees {
+            let end = (start + len).min(AREA);
+            for a in start..end {
+                if marked.insert(a) {
+                    expected += 1;
+                }
+            }
+            vam.shadow_free_run(Run::new(start, end - start));
+        }
+        prop_assert_eq!(vam.free_count(), 0);
+        vam.commit_shadow();
+        prop_assert_eq!(vam.free_count(), expected);
+        prop_assert_eq!(vam.shadow_count(), 0);
+    }
+
+    #[test]
+    fn find_free_run_returns_free_sectors(
+        holes in proptest::collection::vec((0u32..AREA, 1u32..32), 1..20),
+        want in 1u32..24,
+        from in 0u32..AREA,
+    ) {
+        let mut vam = Vam::new_all_allocated(AREA);
+        for (start, len) in &holes {
+            let end = (*start + *len).min(AREA);
+            vam.free_run(Run::new(*start, end - *start));
+        }
+        if let Some(run) = vam.find_free_run(want, 0, AREA, from) {
+            prop_assert_eq!(run.len, want);
+            for a in run.start..run.end() {
+                prop_assert!(vam.is_free(a));
+            }
+        }
+    }
+
+    #[test]
+    fn run_table_matches_flat_model(
+        runs in proptest::collection::vec((0u32..100_000, 1u32..40), 0..20),
+        truncate_at in 0u32..400,
+    ) {
+        let mut rt = RunTable::new();
+        let mut flat: Vec<u32> = Vec::new();
+        for (start, len) in runs {
+            rt.push(Run::new(start, len));
+            flat.extend(start..start + len);
+        }
+        prop_assert_eq!(rt.pages() as usize, flat.len());
+        for (page, &sector) in flat.iter().enumerate() {
+            prop_assert_eq!(rt.sector_of(page as u32), Some(sector));
+            // extent_at starts at the same sector and stays contiguous.
+            let e = rt.extent_at(page as u32).unwrap();
+            prop_assert_eq!(e.start, sector);
+            for k in 0..e.len as usize {
+                prop_assert_eq!(flat.get(page + k).copied(), Some(sector + k as u32));
+            }
+        }
+        prop_assert_eq!(rt.sector_of(flat.len() as u32), None);
+
+        // Truncation removes exactly the tail.
+        let mut rt2 = rt.clone();
+        let removed = rt2.truncate(truncate_at);
+        let keep = (truncate_at as usize).min(flat.len());
+        prop_assert_eq!(rt2.pages() as usize, keep);
+        let removed_flat: Vec<u32> = removed
+            .iter()
+            .flat_map(|r| r.start..r.end())
+            .collect();
+        prop_assert_eq!(&removed_flat, &flat[keep..]);
+
+        // Encode/decode roundtrip.
+        let bytes = rt.encode();
+        let decoded =
+            RunTable::decode(&mut cedar_vol::codec::Reader::new(&bytes)).unwrap();
+        prop_assert_eq!(decoded, rt);
+    }
+}

@@ -1,0 +1,14 @@
+//! Workload generators for the Cedar FS reproduction.
+//!
+//! Everything here is pure data: a workload is a vector of
+//! [`steps::Step`]s that the benchmark harness replays against any of the
+//! three file systems through the [`steps::Workbench`] adapter trait.
+//! Generators are seeded and fully deterministic.
+
+pub mod makedo;
+pub mod sizes;
+pub mod steps;
+
+pub use makedo::makedo_workload;
+pub use sizes::SizeDistribution;
+pub use steps::{Step, Workbench, WorkloadStats};

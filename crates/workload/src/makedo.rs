@@ -1,0 +1,181 @@
+//! A MakeDo-like compile workload.
+//!
+//! "The MakeDo program used as a benchmark is typical of clients that
+//! intensively use the file system" (§7), and "Bulk updates are often
+//! done to the file name table \[Schm82\]. These updates are normally
+//! localized to a subdirectory" (§5.4). The workload below captures that
+//! shape: list the package directory, read the sources and their cached
+//! interface files, compile (create object files and a new version of
+//! each output, deleting the stale one), and finish with a bulk
+//! property touch over the whole subdirectory — the hot-spot pattern
+//! group commit wins on.
+
+use crate::sizes::SizeDistribution;
+use crate::steps::Step;
+
+/// Parameters of the MakeDo-like workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MakeDoParams {
+    /// Source files in the package.
+    pub sources: usize,
+    /// Cached remote interface files consulted per compile.
+    pub interfaces: usize,
+    /// Rounds of compilation (each round touches every source).
+    pub rounds: usize,
+    /// RNG seed for file sizes.
+    pub seed: u64,
+}
+
+impl Default for MakeDoParams {
+    fn default() -> Self {
+        Self {
+            sources: 25,
+            interfaces: 40,
+            rounds: 2,
+            seed: 1987,
+        }
+    }
+}
+
+/// Builds the workload. The returned steps are split into a *setup*
+/// phase (populating the package — run before measurement starts) and
+/// the *measured* compile phase.
+pub fn makedo_workload(params: MakeDoParams) -> (Vec<Step>, Vec<Step>) {
+    let mut sizes = SizeDistribution::new(params.seed);
+    let mut setup = Vec::new();
+    let mut measured = Vec::new();
+
+    // Setup: the package sources and the interface cache already exist.
+    for i in 0..params.sources {
+        setup.push(Step::Create {
+            name: format!("pkg/Source{i:03}.mesa"),
+            bytes: sizes.sample(),
+        });
+    }
+    for i in 0..params.interfaces {
+        setup.push(Step::Create {
+            name: format!("cache/Interface{i:03}.bcd"),
+            bytes: sizes.sample().min(8_000),
+        });
+    }
+    // A previous build's outputs, to be superseded.
+    for i in 0..params.sources {
+        setup.push(Step::Create {
+            name: format!("pkg/Source{i:03}.bcd"),
+            bytes: sizes.sample().min(20_000),
+        });
+    }
+
+    // Measured: the compile.
+    for _round in 0..params.rounds {
+        measured.push(Step::List {
+            prefix: "pkg/".into(),
+        });
+        for i in 0..params.sources {
+            // Read the source and a few interfaces (two read fully, three
+            // more merely consulted — the last-used-time touch of §5.4).
+            measured.push(Step::Read {
+                name: format!("pkg/Source{i:03}.mesa"),
+            });
+            for j in 0..2 {
+                measured.push(Step::Read {
+                    name: format!("cache/Interface{:03}.bcd", (i * 2 + j) % params.interfaces),
+                });
+            }
+            for j in 0..3 {
+                measured.push(Step::Touch {
+                    name: format!("cache/Interface{:03}.bcd", (i * 3 + j) % params.interfaces),
+                });
+            }
+            // Replace the output: delete stale, create fresh.
+            measured.push(Step::Delete {
+                name: format!("pkg/Source{i:03}.bcd"),
+            });
+            measured.push(Step::Create {
+                name: format!("pkg/Source{i:03}.bcd"),
+                bytes: sizes.sample().min(20_000),
+            });
+        }
+        // The bulk property update over the subdirectory (§5.4).
+        for i in 0..params.sources {
+            measured.push(Step::Touch {
+                name: format!("pkg/Source{i:03}.bcd"),
+            });
+        }
+        measured.push(Step::List {
+            prefix: "pkg/".into(),
+        });
+    }
+    (setup, measured)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let (s1, m1) = makedo_workload(MakeDoParams::default());
+        let (s2, m2) = makedo_workload(MakeDoParams::default());
+        assert_eq!(s1, s2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn workload_has_the_right_shape() {
+        let p = MakeDoParams::default();
+        let (setup, measured) = makedo_workload(p);
+        // Setup creates sources + interfaces + old outputs.
+        let setup_creates = setup
+            .iter()
+            .filter(|s| matches!(s, Step::Create { .. }))
+            .count();
+        assert_eq!(setup_creates, p.sources * 2 + p.interfaces);
+        // Measured: every round deletes and recreates every output.
+        let deletes = measured
+            .iter()
+            .filter(|s| matches!(s, Step::Delete { .. }))
+            .count();
+        assert_eq!(deletes, p.sources * p.rounds);
+        // And performs the bulk touch.
+        let touches = measured
+            .iter()
+            .filter(|s| matches!(s, Step::Touch { .. }))
+            .count();
+        assert_eq!(touches, p.rounds * (p.sources * 3 + p.sources));
+    }
+
+    #[test]
+    fn every_measured_name_exists_when_needed() {
+        // Replaying against a simple model must not hit a missing file.
+        use crate::steps::{run, Workbench};
+        use std::collections::HashMap;
+        #[derive(Default)]
+        struct M(HashMap<String, u64>);
+        impl Workbench for M {
+            fn create(&mut self, n: &str, d: &[u8]) -> Result<(), String> {
+                self.0.insert(n.into(), d.len() as u64);
+                Ok(())
+            }
+            fn read(&mut self, n: &str) -> Result<Vec<u8>, String> {
+                self.0
+                    .get(n)
+                    .map(|&l| vec![0; l as usize])
+                    .ok_or(format!("missing {n}"))
+            }
+            fn touch(&mut self, n: &str) -> Result<(), String> {
+                self.0.contains_key(n).then_some(()).ok_or(format!("missing {n}"))
+            }
+            fn delete(&mut self, n: &str) -> Result<(), String> {
+                self.0.remove(n).map(|_| ()).ok_or(format!("missing {n}"))
+            }
+            fn list(&mut self, p: &str) -> Result<usize, String> {
+                Ok(self.0.keys().filter(|k| k.starts_with(p)).count())
+            }
+        }
+        let (setup, measured) = makedo_workload(MakeDoParams::default());
+        let mut m = M::default();
+        run(&setup, &mut m).unwrap();
+        run(&measured, &mut m).unwrap();
+    }
+}

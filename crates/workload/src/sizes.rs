@@ -1,0 +1,96 @@
+//! The paper's file-size distribution.
+//!
+//! §5.6: "A large fraction of files are small. A measurement of one
+//! system shows 50% of files are less that 4,000 bytes but use only 8% of
+//! the sectors." The sampler below reproduces both numbers: half the
+//! files are uniform in 1..4000 bytes, and the other half follow a
+//! long-tailed distribution calibrated so the small half holds ~8 % of
+//! the total sectors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sector size used for the sector-count arithmetic.
+const SECTOR: u64 = 512;
+
+/// A two-population file-size sampler.
+#[derive(Clone, Debug)]
+pub struct SizeDistribution {
+    rng: StdRng,
+}
+
+impl SizeDistribution {
+    /// Creates a sampler with a fixed seed (deterministic workloads).
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one file size in bytes.
+    pub fn sample(&mut self) -> u64 {
+        if self.rng.gen_bool(0.5) {
+            // Small file: under 4000 bytes.
+            self.rng.gen_range(1..4000)
+        } else {
+            // Large file: log-uniform between 4 KB and ~80 KB, mean
+            // ≈ 25 KB, so the small half ends up holding ≈ 8 % of the
+            // sectors.
+            let exp = self.rng.gen_range(12.0f64..16.3);
+            exp.exp2() as u64
+        }
+    }
+
+    /// Draws `n` sizes.
+    pub fn sample_many(&mut self, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Fraction of files under 4000 bytes and the fraction of total sectors
+/// they occupy — the paper's (0.50, 0.08) measurement.
+pub fn small_file_shares(sizes: &[u64]) -> (f64, f64) {
+    let sectors = |b: u64| b.div_ceil(SECTOR);
+    let small: Vec<u64> = sizes.iter().copied().filter(|&b| b < 4000).collect();
+    let small_sectors: u64 = small.iter().map(|&b| sectors(b)).sum();
+    let total_sectors: u64 = sizes.iter().map(|&b| sectors(b)).sum();
+    (
+        small.len() as f64 / sizes.len() as f64,
+        small_sectors as f64 / total_sectors as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = SizeDistribution::new(7).sample_many(100);
+        let b = SizeDistribution::new(7).sample_many(100);
+        assert_eq!(a, b);
+        let c = SizeDistribution::new(8).sample_many(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reproduces_the_papers_measurement() {
+        let sizes = SizeDistribution::new(42).sample_many(20_000);
+        let (count_share, sector_share) = small_file_shares(&sizes);
+        assert!(
+            (0.46..0.54).contains(&count_share),
+            "small-file count share {count_share:.3} (paper: 0.50)"
+        );
+        assert!(
+            (0.05..0.12).contains(&sector_share),
+            "small-file sector share {sector_share:.3} (paper: 0.08)"
+        );
+    }
+
+    #[test]
+    fn sizes_are_positive_and_bounded() {
+        let sizes = SizeDistribution::new(1).sample_many(1000);
+        assert!(sizes.iter().all(|&b| b >= 1));
+        assert!(sizes.iter().all(|&b| b < 1 << 20), "under a megabyte");
+    }
+}

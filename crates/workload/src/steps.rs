@@ -1,0 +1,173 @@
+//! Workload steps and the adapter trait the harness drives file systems
+//! through.
+
+/// One step of a replayable workload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Create a file of the given size (content is generated
+    /// deterministically from the name).
+    Create {
+        /// File name (path-like).
+        name: String,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Open a file and read all of it.
+    Read {
+        /// File name.
+        name: String,
+    },
+    /// Open a file without reading (property access / cache touch).
+    Touch {
+        /// File name.
+        name: String,
+    },
+    /// Delete a file.
+    Delete {
+        /// File name.
+        name: String,
+    },
+    /// List a directory (by name prefix) with properties.
+    List {
+        /// Directory prefix.
+        prefix: String,
+    },
+}
+
+/// The adapter each file system implements so one workload replays
+/// against all three (the adapters live in the bench crate).
+pub trait Workbench {
+    /// Creates a file.
+    fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String>;
+    /// Opens and reads a file fully.
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, String>;
+    /// Opens a file without reading its data.
+    fn touch(&mut self, name: &str) -> Result<(), String>;
+    /// Deletes a file.
+    fn delete(&mut self, name: &str) -> Result<(), String>;
+    /// Lists a directory with properties, returning the entry count.
+    fn list(&mut self, prefix: &str) -> Result<usize, String>;
+}
+
+/// Aggregate results of a workload run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Steps executed.
+    pub steps: u64,
+    /// Bytes written via creates.
+    pub bytes_written: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Entries returned by lists.
+    pub listed: u64,
+}
+
+/// Deterministic file content derived from the name (verifiable on read).
+pub fn content_for(name: &str, bytes: u64) -> Vec<u8> {
+    let seed = name
+        .bytes()
+        .fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
+    (0..bytes)
+        .map(|i| (seed.wrapping_add(i).wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
+        .collect()
+}
+
+/// Replays a workload against a file system.
+pub fn run(steps: &[Step], bench: &mut dyn Workbench) -> Result<WorkloadStats, String> {
+    let mut stats = WorkloadStats::default();
+    for step in steps {
+        stats.steps += 1;
+        match step {
+            Step::Create { name, bytes } => {
+                let data = content_for(name, *bytes);
+                bench.create(name, &data)?;
+                stats.bytes_written += bytes;
+            }
+            Step::Read { name } => {
+                stats.bytes_read += bench.read(name)?.len() as u64;
+            }
+            Step::Touch { name } => bench.touch(name)?,
+            Step::Delete { name } => bench.delete(name)?,
+            Step::List { prefix } => {
+                stats.listed += bench.list(prefix)? as u64;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A trivial in-memory workbench for testing the replay loop.
+    #[derive(Default)]
+    struct MemBench {
+        files: HashMap<String, Vec<u8>>,
+    }
+
+    impl Workbench for MemBench {
+        fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String> {
+            self.files.insert(name.into(), data.to_vec());
+            Ok(())
+        }
+        fn read(&mut self, name: &str) -> Result<Vec<u8>, String> {
+            self.files.get(name).cloned().ok_or_else(|| "missing".into())
+        }
+        fn touch(&mut self, name: &str) -> Result<(), String> {
+            self.files
+                .contains_key(name)
+                .then_some(())
+                .ok_or_else(|| "missing".into())
+        }
+        fn delete(&mut self, name: &str) -> Result<(), String> {
+            self.files.remove(name).map(|_| ()).ok_or_else(|| "missing".into())
+        }
+        fn list(&mut self, prefix: &str) -> Result<usize, String> {
+            Ok(self.files.keys().filter(|k| k.starts_with(prefix)).count())
+        }
+    }
+
+    #[test]
+    fn replay_accumulates_stats() {
+        let steps = vec![
+            Step::Create {
+                name: "d/a".into(),
+                bytes: 100,
+            },
+            Step::Create {
+                name: "d/b".into(),
+                bytes: 50,
+            },
+            Step::Read { name: "d/a".into() },
+            Step::List { prefix: "d/".into() },
+            Step::Delete { name: "d/b".into() },
+        ];
+        let mut bench = MemBench::default();
+        let stats = run(&steps, &mut bench).unwrap();
+        assert_eq!(stats.steps, 5);
+        assert_eq!(stats.bytes_written, 150);
+        assert_eq!(stats.bytes_read, 100);
+        assert_eq!(stats.listed, 2);
+        assert!(bench.files.contains_key("d/a"));
+        assert!(!bench.files.contains_key("d/b"));
+    }
+
+    #[test]
+    fn content_is_deterministic_and_name_dependent() {
+        assert_eq!(content_for("x", 32), content_for("x", 32));
+        assert_ne!(content_for("x", 32), content_for("y", 32));
+        assert_eq!(content_for("x", 0).len(), 0);
+    }
+
+    #[test]
+    fn replay_propagates_errors() {
+        let steps = vec![Step::Read {
+            name: "absent".into(),
+        }];
+        assert!(run(&steps, &mut MemBench::default()).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! The §5.4 hot-spot story: a bulk property update over a subdirectory,
+//! batched by group commit.
+//!
+//! Opening a cached remote file refreshes its last-used-time — a one-
+//! sector name-table change. Without grouping, every open would force a
+//! seven-sector log record; with the half-second group commit, dozens of
+//! updates (often hitting the *same* hot name-table pages) ride in one
+//! record.
+//!
+//! Run with `cargo run --release --example bulk_update`.
+
+use cedar_fs_repro::disk::{SimClock, SimDisk};
+use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
+
+const CACHED_FILES: usize = 120;
+
+fn run(commit_interval_us: u64) -> (u64, u64) {
+    let disk = SimDisk::trident_t300(SimClock::new());
+    let mut vol = FsdVolume::format(
+        disk,
+        FsdConfig {
+            commit_interval_us,
+            ..Default::default()
+        },
+    )
+    .expect("format");
+
+    // The cache directory: copies of remote files, as FS kept them.
+    for i in 0..CACHED_FILES {
+        vol.create_cached(&format!("cache/Compiler{i:03}.bcd"), &vec![0u8; 3000])
+            .expect("create cached");
+    }
+    vol.force().expect("settle");
+    vol.disk_mut().reset_stats();
+    let stats0 = vol.commit_stats();
+
+    // The bulk update: a build consults every cached interface. Each
+    // open refreshes a last-used-time; the client "computes" ~50 ms
+    // between opens.
+    for i in 0..CACHED_FILES {
+        vol.open(&format!("cache/Compiler{i:03}.bcd"), None).expect("open");
+        vol.advance_time(50_000).expect("tick");
+    }
+    vol.force().expect("final commit");
+
+    let ops = vol.disk_stats().total_ops();
+    let records = vol.commit_stats().records - stats0.records;
+    (ops, records)
+}
+
+fn main() {
+    println!(
+        "Bulk update: {CACHED_FILES} cached-file opens, each refreshing a \
+         last-used-time\n"
+    );
+    let (grouped_ops, grouped_records) = run(500_000);
+    let (solo_ops, solo_records) = run(0);
+
+    println!("group commit every 0.5 s:   {grouped_ops:4} disk ops, {grouped_records:3} log records");
+    println!("commit after every open:    {solo_ops:4} disk ops, {solo_records:3} log records");
+    println!(
+        "\ngroup commit reduction: {:.2}x fewer I/Os (the paper's bulk runs saw 2.98x\n\
+         for metadata; \"the log is consumed more slowly and written less often\")",
+        solo_ops as f64 / grouped_ops as f64
+    );
+    assert!(solo_ops > grouped_ops * 2);
+}

@@ -1,0 +1,26 @@
+//! The §6 analytic model, shown working: print the scripts for the CFS
+//! and FSD operations in the paper's own style, with the predicted times
+//! for the Dorado/Trident constants.
+//!
+//! Run with `cargo run --example performance_model`.
+
+use cedar_fs_repro::model::ops::ModelParams;
+use cedar_fs_repro::model::{cfs_ops, fsd_ops};
+
+fn main() {
+    let params = ModelParams::dorado_t300();
+    println!(
+        "The §6 method: \"analyze the algorithm to find out where it will do\n\
+         I/O's... take this rotational and radial position into account\".\n\
+         Scripts for the Dorado + Trident T-300 constants:\n"
+    );
+    for p in cfs_ops(&params) {
+        println!("{}", p.script.render(&params.timing, params.cylinders));
+    }
+    for p in fsd_ops(&params) {
+        println!("{}", p.script.render(&params.timing, params.cylinders));
+    }
+    println!(
+        "Compare against the simulator with:\n  cargo run -p cedar-bench --bin model_validation --release"
+    );
+}

@@ -1,0 +1,192 @@
+//! `cedarfs` — a command-line tool around the FSD library.
+//!
+//! The volume lives in a host-file disk image; every invocation boots it
+//! (running FSD's log-redo recovery), performs the operation, and — by
+//! default — shuts down cleanly. `--crash` skips the shutdown, leaving
+//! the image exactly as a power failure would, so the next invocation
+//! demonstrates recovery.
+//!
+//! ```text
+//! cedarfs format  vol.img [--tiny] [--log-vam]
+//! cedarfs put     vol.img <name> <host-file> [--crash]
+//! cedarfs get     vol.img <name> [host-file]
+//! cedarfs ls      vol.img [prefix]
+//! cedarfs rm      vol.img <name> [--crash]
+//! cedarfs stat    vol.img
+//! ```
+
+use cedar_fs_repro::disk::{SimClock, SimDisk};
+use cedar_fs_repro::fsd::{FsdConfig, FsdVolume, RecoveryReport};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  cedarfs format  <image> [--tiny] [--log-vam]\n  \
+         cedarfs put     <image> <name> <host-file> [--crash]\n  \
+         cedarfs get     <image> <name> [host-file]\n  \
+         cedarfs ls      <image> [prefix]\n  \
+         cedarfs rm      <image> <name> [--crash]\n  \
+         cedarfs stat    <image>\n\n\
+         --crash skips the clean shutdown, leaving the image as a power\n\
+         failure would; the next invocation runs FSD crash recovery."
+    );
+    ExitCode::from(2)
+}
+
+fn boot(image: &str) -> Result<(FsdVolume, RecoveryReport), String> {
+    let disk = SimDisk::load_image(image, SimClock::new())
+        .map_err(|e| format!("open {image}: {e}"))?;
+    FsdVolume::boot(disk, FsdConfig::default()).map_err(|e| format!("boot: {e}"))
+}
+
+fn finish(mut vol: FsdVolume, image: &str, crash: bool) -> Result<(), String> {
+    if crash {
+        vol.force().map_err(|e| format!("force: {e}"))?;
+        eprintln!("(simulating a crash: no clean shutdown)");
+        let mut disk = vol.into_disk();
+        disk.crash_now();
+        disk.reboot();
+        disk.save_image(image).map_err(|e| format!("save {image}: {e}"))
+    } else {
+        vol.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        vol.into_disk()
+            .save_image(image)
+            .map_err(|e| format!("save {image}: {e}"))
+    }
+}
+
+fn report_recovery(r: &RecoveryReport) {
+    if r.records_replayed > 0 || r.vam_reconstructed {
+        eprintln!(
+            "recovery: {} log records replayed, VAM {} ({:.2} s simulated)",
+            r.records_replayed,
+            if r.vam_reconstructed {
+                "reconstructed from the name table"
+            } else {
+                "loaded"
+            },
+            r.total_us() as f64 / 1e6
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| a.starts_with("--")).collect();
+    let pos: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    let crash = flags.contains(&"--crash");
+
+    match pos.as_slice() {
+        ["format", image] => {
+            let disk = if flags.contains(&"--tiny") {
+                SimDisk::tiny()
+            } else {
+                SimDisk::trident_t300(SimClock::new())
+            };
+            let config = FsdConfig {
+                log_vam: flags.contains(&"--log-vam"),
+                ..FsdConfig::default()
+            };
+            let mut vol =
+                FsdVolume::format(disk, config).map_err(|e| format!("format: {e}"))?;
+            vol.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+            vol.into_disk()
+                .save_image(image)
+                .map_err(|e| format!("save {image}: {e}"))?;
+            println!("formatted {image}");
+            Ok(())
+        }
+        ["put", image, name, host] => {
+            let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
+            let (mut vol, r) = boot(image)?;
+            report_recovery(&r);
+            let f = vol.create(name, &data).map_err(|e| format!("create: {e}"))?;
+            println!("{} <- {} ({} bytes)", f.name, host, data.len());
+            finish(vol, image, crash)
+        }
+        ["get", image, name] | ["get", image, name, _] => {
+            let (mut vol, r) = boot(image)?;
+            report_recovery(&r);
+            let mut f = vol
+                .open(name, None)
+                .map_err(|e| format!("open {name}: {e}"))?;
+            let data = vol.read_file(&mut f).map_err(|e| format!("read: {e}"))?;
+            match pos.get(3) {
+                Some(host) => {
+                    std::fs::write(host, &data).map_err(|e| format!("write {host}: {e}"))?;
+                    println!("{} -> {} ({} bytes)", f.name, host, data.len());
+                }
+                None => {
+                    use std::io::Write;
+                    std::io::stdout()
+                        .write_all(&data)
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            finish(vol, image, false)
+        }
+        ["ls", image] | ["ls", image, _] => {
+            let prefix = pos.get(2).copied().unwrap_or("");
+            let (mut vol, r) = boot(image)?;
+            report_recovery(&r);
+            let listing = vol.list(prefix).map_err(|e| format!("list: {e}"))?;
+            for (name, entry) in &listing {
+                println!(
+                    "{:>10}  {:>6} pages  uid {:016x}  {}",
+                    entry.byte_size,
+                    entry.run_table.pages(),
+                    entry.uid,
+                    name
+                );
+            }
+            eprintln!("{} entries", listing.len());
+            finish(vol, image, false)
+        }
+        ["rm", image, name] => {
+            let (mut vol, r) = boot(image)?;
+            report_recovery(&r);
+            vol.delete(name, None).map_err(|e| format!("delete: {e}"))?;
+            println!("removed {name}");
+            finish(vol, image, crash)
+        }
+        ["stat", image] => {
+            let (vol, r) = boot(image)?;
+            report_recovery(&r);
+            let l = vol.layout();
+            let g = *SimDisk::load_image(image, SimClock::new())
+                .map_err(|e| e.to_string())?
+                .geometry();
+            println!(
+                "geometry: {} cylinders x {} heads x {} sectors ({} MB)",
+                g.cylinders,
+                g.heads,
+                g.sectors_per_track,
+                g.total_sectors() as u64 * 512 / 1_000_000
+            );
+            println!(
+                "layout: log {} sectors @ {}, name table {} pages x2 (@ {} and {})",
+                l.log_sectors, l.log_start, l.nt_pages, l.nt_a_start, l.nt_b_start
+            );
+            println!(
+                "free: {} sectors ({} MB)",
+                vol.free_sectors(),
+                vol.free_sectors() as u64 * 512 / 1_000_000
+            );
+            finish(vol, image, false)
+        }
+        _ => Err("bad arguments".into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if e == "bad arguments" {
+                return usage();
+            }
+            eprintln!("cedarfs: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # cedar-fs-repro
+//!
+//! A reproduction of Robert Hagmann's **"Reimplementing the Cedar File
+//! System Using Logging and Group Commit"** (SOSP 1987) as a Rust
+//! workspace: the paper's file system (**FSD**), the old label-based
+//! system it replaced (**CFS**), a 4.2/4.3-BSD-style **FFS** baseline,
+//! the §6 analytic disk model, and a deterministic simulated disk that
+//! stands in for the Dorado's Trident drive.
+//!
+//! This crate is the facade: it re-exports every workspace crate and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cedar_fs_repro::disk::{SimClock, SimDisk};
+//! use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
+//!
+//! // A simulated 300 MB Trident-class drive, formatted as an FSD volume.
+//! let disk = SimDisk::trident_t300(SimClock::new());
+//! let mut vol = FsdVolume::format(disk, FsdConfig::default()).unwrap();
+//!
+//! // Create, open, read — creates cost one synchronous I/O; opens none.
+//! vol.create("docs/memo.tioga", b"group commit!").unwrap();
+//! let mut file = vol.open("docs/memo.tioga", None).unwrap();
+//! assert_eq!(vol.read_file(&mut file).unwrap(), b"group commit!");
+//!
+//! // Make everything durable, then survive a crash.
+//! vol.force().unwrap();
+//! let mut platters = vol.into_disk();
+//! platters.crash_now();
+//! platters.reboot();
+//! let (mut vol, report) = FsdVolume::boot(platters, FsdConfig::default()).unwrap();
+//! assert!(vol.open("docs/memo.tioga", None).is_ok());
+//! assert!(report.total_us() < 30_000_000, "recovery in seconds, not hours");
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the experiment index, and
+//! `EXPERIMENTS.md` for paper-vs-measured results of every table.
+
+/// The simulated Trident-class disk: geometry, timing, labels, faults.
+pub use cedar_disk as disk;
+
+/// The page-oriented B-tree both name tables are built on.
+pub use cedar_btree as btree;
+
+/// Shared volume vocabulary: run tables, the VAM, allocation policies.
+pub use cedar_vol as vol;
+
+/// The old Cedar File System (labels + headers + scavenger) — baseline.
+pub use cedar_cfs as cfs;
+
+/// FSD, the paper's contribution: logging + group commit.
+pub use cedar_fsd as fsd;
+
+/// The BSD FFS-style baseline for Tables 4 and 5.
+pub use cedar_ffs as ffs;
+
+/// The §6 analytic performance model.
+pub use cedar_model as model;
+
+/// Deterministic workload generators (sizes, MakeDo).
+pub use cedar_workload as workload;

@@ -1,0 +1,106 @@
+//! End-to-end test of the `cedarfs` CLI: a volume image on the host
+//! filesystem survives process boundaries, and a `--crash` invocation
+//! leaves an image the next invocation recovers.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_cedarfs")
+}
+
+struct Dir(PathBuf);
+
+impl Dir {
+    fn new(tag: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cedarfs-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        Dir(p)
+    }
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Dir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn cedarfs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn put_get_ls_rm_roundtrip() {
+    let dir = Dir::new("roundtrip");
+    let img = dir.path("vol.img");
+    let src = dir.path("src.txt");
+    let dst = dir.path("dst.txt");
+    std::fs::write(&src, b"bytes through the cli").unwrap();
+
+    assert!(run(&["format", &img, "--tiny"]).0);
+    assert!(run(&["put", &img, "docs/file.txt", &src]).0);
+    let (ok, stdout, _) = run(&["ls", &img]);
+    assert!(ok);
+    assert!(stdout.contains("docs/file.txt!1"), "{stdout}");
+    assert!(run(&["get", &img, "docs/file.txt", &dst]).0);
+    assert_eq!(
+        std::fs::read(&dst).unwrap(),
+        b"bytes through the cli".to_vec()
+    );
+    assert!(run(&["rm", &img, "docs/file.txt"]).0);
+    let (ok, stdout, _) = run(&["ls", &img]);
+    assert!(ok);
+    assert!(!stdout.contains("docs/file.txt"));
+}
+
+#[test]
+fn crash_flag_forces_recovery_on_next_run() {
+    let dir = Dir::new("crash");
+    let img = dir.path("vol.img");
+    let src = dir.path("src.txt");
+    std::fs::write(&src, b"survives the crash").unwrap();
+
+    assert!(run(&["format", &img, "--tiny"]).0);
+    let (ok, _, stderr) = run(&["put", &img, "f", &src, "--crash"]);
+    assert!(ok);
+    assert!(stderr.contains("simulating a crash"), "{stderr}");
+    // The next invocation must report VAM reconstruction and still see
+    // the committed file.
+    let (ok, stdout, stderr) = run(&["ls", &img]);
+    assert!(ok);
+    assert!(
+        stderr.contains("reconstructed from the name table"),
+        "{stderr}"
+    );
+    assert!(stdout.contains("f!1"), "{stdout}");
+}
+
+#[test]
+fn stat_reports_layout() {
+    let dir = Dir::new("stat");
+    let img = dir.path("vol.img");
+    assert!(run(&["format", &img, "--tiny"]).0);
+    let (ok, stdout, _) = run(&["stat", &img]);
+    assert!(ok);
+    assert!(stdout.contains("geometry:"));
+    assert!(stdout.contains("name table"));
+    assert!(stdout.contains("free:"));
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+    let (ok, _, _) = run(&["get", "/definitely/not/an/image", "x"]);
+    assert!(!ok);
+}

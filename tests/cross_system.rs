@@ -1,0 +1,218 @@
+//! Cross-system equivalence: one workload, three file systems, the same
+//! observable contents — the file systems differ in cost and robustness,
+//! never in semantics.
+
+use cedar_fs_repro::cfs::{CfsConfig, CfsVolume};
+use cedar_fs_repro::disk::{CpuModel, SimClock, SimDisk};
+use cedar_fs_repro::ffs::{Ffs, FfsConfig};
+use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
+use cedar_workload::makedo::MakeDoParams;
+use cedar_workload::steps::{content_for, run, Step};
+use cedar_workload::{makedo_workload, Workbench};
+
+/// Minimal local adapters (the full ones live in `cedar-bench`; the
+/// facade tests exercise the raw public APIs directly).
+struct C(CfsVolume);
+impl Workbench for C {
+    fn create(&mut self, n: &str, d: &[u8]) -> Result<(), String> {
+        self.0.create(n, d).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn read(&mut self, n: &str) -> Result<Vec<u8>, String> {
+        let f = self.0.open(n, None).map_err(|e| e.to_string())?;
+        self.0.read_file(&f).map_err(|e| e.to_string())
+    }
+    fn touch(&mut self, n: &str) -> Result<(), String> {
+        self.0.open(n, None).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn delete(&mut self, n: &str) -> Result<(), String> {
+        self.0.delete(n, None).map_err(|e| e.to_string())
+    }
+    fn list(&mut self, p: &str) -> Result<usize, String> {
+        self.0.list(p).map(|l| l.len()).map_err(|e| e.to_string())
+    }
+}
+
+struct F(FsdVolume);
+impl Workbench for F {
+    fn create(&mut self, n: &str, d: &[u8]) -> Result<(), String> {
+        self.0.create(n, d).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn read(&mut self, n: &str) -> Result<Vec<u8>, String> {
+        let mut f = self.0.open(n, None).map_err(|e| e.to_string())?;
+        self.0.read_file(&mut f).map_err(|e| e.to_string())
+    }
+    fn touch(&mut self, n: &str) -> Result<(), String> {
+        self.0.open(n, None).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn delete(&mut self, n: &str) -> Result<(), String> {
+        self.0.delete(n, None).map_err(|e| e.to_string())
+    }
+    fn list(&mut self, p: &str) -> Result<usize, String> {
+        self.0.list(p).map(|l| l.len()).map_err(|e| e.to_string())
+    }
+}
+
+struct U(Ffs);
+impl Workbench for U {
+    fn create(&mut self, n: &str, d: &[u8]) -> Result<(), String> {
+        // Auto-mkdir parents.
+        let mut at = String::new();
+        let parts: Vec<&str> = n.split('/').collect();
+        for comp in &parts[..parts.len() - 1] {
+            if !at.is_empty() {
+                at.push('/');
+            }
+            at.push_str(comp);
+            if self.0.lookup(&at).is_err() {
+                self.0.mkdir(&at).map_err(|e| e.to_string())?;
+            }
+        }
+        self.0.create(n, d).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn read(&mut self, n: &str) -> Result<Vec<u8>, String> {
+        let f = self.0.open(n).map_err(|e| e.to_string())?;
+        self.0.read_file(&f).map_err(|e| e.to_string())
+    }
+    fn touch(&mut self, n: &str) -> Result<(), String> {
+        self.0.open(n).map(|_| ()).map_err(|e| e.to_string())
+    }
+    fn delete(&mut self, n: &str) -> Result<(), String> {
+        self.0.unlink(n).map_err(|e| e.to_string())
+    }
+    fn list(&mut self, p: &str) -> Result<usize, String> {
+        self.0
+            .list(p.trim_end_matches('/'))
+            .map(|l| l.len())
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[test]
+fn makedo_final_state_identical_across_systems() {
+    let params = MakeDoParams {
+        sources: 8,
+        interfaces: 12,
+        rounds: 1,
+        seed: 4,
+    };
+    let (setup, measured) = makedo_workload(params);
+
+    let mut cfs = C(CfsVolume::format(
+        SimDisk::tiny(),
+        CfsConfig {
+            nt_pages: 64,
+            cpu: CpuModel::FREE,
+        },
+    )
+    .unwrap());
+    let mut fsd = F(FsdVolume::format(
+        SimDisk::tiny(),
+        FsdConfig {
+            nt_pages: 96,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap());
+    let mut ffs = U(Ffs::format(
+        SimDisk::tiny(),
+        FfsConfig {
+            cpu: CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap());
+
+    for bench in [&mut cfs as &mut dyn Workbench, &mut fsd, &mut ffs] {
+        run(&setup, bench).unwrap();
+        run(&measured, bench).unwrap();
+    }
+
+    // The same files exist everywhere with the same contents.
+    for i in 0..8 {
+        let name = format!("pkg/Source{i:03}.bcd");
+        let a = cfs.read(&name).unwrap();
+        let b = fsd.read(&name).unwrap();
+        let c = ffs.read(&name).unwrap();
+        assert_eq!(a, b, "{name}: CFS vs FSD");
+        assert_eq!(b, c, "{name}: FSD vs FFS");
+    }
+    assert_eq!(cfs.list("pkg/").unwrap(), 16); // Sources + outputs.
+    // FSD accumulated versions: the *newest* set matches; names count
+    // includes versions, so compare via the latest reads above instead.
+    assert_eq!(ffs.list("pkg/").unwrap(), 16);
+}
+
+#[test]
+fn contents_survive_any_systems_full_cycle() {
+    // Write → shutdown/sync → reboot → read, each system through its own
+    // persistence path, all yielding the written bytes.
+    let data = content_for("cycle", 7000);
+
+    let mut cfs =
+        CfsVolume::format(SimDisk::tiny(), CfsConfig::default()).unwrap();
+    cfs.create("cycle", &data).unwrap();
+    cfs.shutdown().unwrap();
+    let (mut cfs, _) = CfsVolume::boot(cfs.into_disk(), CfsConfig::default()).unwrap();
+    let f = cfs.open("cycle", None).unwrap();
+    assert_eq!(cfs.read_file(&f).unwrap(), data);
+
+    let mut fsd =
+        FsdVolume::format(SimDisk::tiny(), FsdConfig { nt_pages: 64, log_sectors: 256, ..Default::default() }).unwrap();
+    fsd.create("cycle", &data).unwrap();
+    fsd.shutdown().unwrap();
+    let (mut fsd, _) = FsdVolume::boot(
+        fsd.into_disk(),
+        FsdConfig {
+            nt_pages: 64,
+            log_sectors: 256,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut f = fsd.open("cycle", None).unwrap();
+    assert_eq!(fsd.read_file(&mut f).unwrap(), data);
+
+    let mut ffs = Ffs::format(SimDisk::tiny(), FfsConfig::default()).unwrap();
+    ffs.create("cycle", &data).unwrap();
+    ffs.sync().unwrap();
+    let mut ffs = Ffs::mount(ffs.into_disk(), FfsConfig::default()).unwrap();
+    let f = ffs.open("cycle").unwrap();
+    assert_eq!(ffs.read_file(&f).unwrap(), data);
+}
+
+#[test]
+fn workload_steps_replay_deterministically() {
+    // Two identical FSD volumes fed the same steps end in identical disk
+    // states (the foundation of every measurement in this repo).
+    let build = || {
+        let mut vol = FsdVolume::format(
+            SimDisk::tiny(),
+            FsdConfig {
+                nt_pages: 64,
+                log_sectors: 256,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let steps = vec![
+            Step::Create {
+                name: "a/x".into(),
+                bytes: 900,
+            },
+            Step::Create {
+                name: "a/y".into(),
+                bytes: 3000,
+            },
+            Step::Delete { name: "a/x".into() },
+            Step::List { prefix: "a/".into() },
+        ];
+        let mut b = F(vol);
+        run(&steps, &mut b).unwrap();
+        vol = b.0;
+        vol.force().unwrap();
+        (vol.disk_stats(), vol.clock().now(), vol.free_sectors())
+    };
+    assert_eq!(build(), build());
+}

@@ -1,10 +1,42 @@
-//! Criterion micro-benchmarks: real-time (not simulated-time) performance
-//! of the library itself — the costs a host application pays.
+//! Micro-benchmarks: real-time (not simulated-time) performance of the
+//! library itself — the costs a host application pays.
+//!
+//! Hand-rolled harness (the build environment has no crates.io access,
+//! so Criterion is out): each benchmark runs a warm-up, then reports the
+//! median per-iteration wall time over a fixed number of timed batches.
 
 use cedar_btree::{BTree, MemStore};
 use cedar_disk::{CpuModel, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
+
+/// Times `iters`-iteration batches of `f`, printing the median batch.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    const BATCHES: usize = 15;
+    // Warm-up.
+    for _ in 0..iters.max(1) / 2 + 1 {
+        f();
+    }
+    let mut per_iter_ns: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[BATCHES / 2];
+    let (value, unit) = if median >= 1e6 {
+        (median / 1e6, "ms")
+    } else if median >= 1e3 {
+        (median / 1e3, "us")
+    } else {
+        (median, "ns")
+    };
+    println!("{name:<32} {value:>10.2} {unit}/iter  ({iters} iters x {BATCHES} batches)");
+}
 
 fn tiny_fsd() -> FsdVolume {
     FsdVolume::format(
@@ -19,80 +51,63 @@ fn tiny_fsd() -> FsdVolume {
     .unwrap()
 }
 
-fn bench_fsd_ops(c: &mut Criterion) {
-    c.bench_function("fsd_create_small_x50", |b| {
-        b.iter_batched_ref(
-            tiny_fsd,
-            |vol| {
-                for i in 0..50 {
-                    vol.create(&format!("f{i}"), b"payload").unwrap();
-                }
-            },
-            BatchSize::LargeInput,
-        )
+fn bench_fsd_ops() {
+    bench("fsd_create_small_x50", 20, || {
+        let mut vol = tiny_fsd();
+        for i in 0..50 {
+            vol.create(&format!("f{i}"), b"payload").unwrap();
+        }
+        std::hint::black_box(vol.free_sectors());
     });
 
-    c.bench_function("fsd_open", |b| {
+    {
         let mut vol = tiny_fsd();
         for i in 0..100 {
             vol.create(&format!("f{i:03}"), b"payload").unwrap();
         }
         let mut i = 0u32;
-        b.iter(|| {
+        bench("fsd_open", 5000, || {
             let f = vol.open(&format!("f{:03}", i % 100), None).unwrap();
             i += 1;
             std::hint::black_box(f);
-        })
-    });
+        });
+    }
 
-    c.bench_function("fsd_crash_recovery", |b| {
-        b.iter_batched(
-            || {
-                let mut vol = tiny_fsd();
-                for i in 0..100 {
-                    vol.create(&format!("f{i:03}"), b"payload").unwrap();
-                }
-                vol.force().unwrap();
-                let mut disk = vol.into_disk();
-                disk.crash_now();
-                disk.reboot();
-                disk
+    bench("fsd_crash_recovery", 10, || {
+        let mut vol = tiny_fsd();
+        for i in 0..100 {
+            vol.create(&format!("f{i:03}"), b"payload").unwrap();
+        }
+        vol.force().unwrap();
+        let mut disk = vol.into_disk();
+        disk.crash_now();
+        disk.reboot();
+        let (vol, report) = FsdVolume::boot(
+            disk,
+            FsdConfig {
+                nt_pages: 64,
+                log_sectors: 256,
+                cpu: CpuModel::FREE,
+                ..Default::default()
             },
-            |disk| {
-                let (vol, report) = FsdVolume::boot(
-                    disk,
-                    FsdConfig {
-                        nt_pages: 64,
-                        log_sectors: 256,
-                        cpu: CpuModel::FREE,
-                        ..Default::default()
-                    },
-                )
-                .unwrap();
-                std::hint::black_box((vol.free_sectors(), report));
-            },
-            BatchSize::LargeInput,
         )
+        .unwrap();
+        std::hint::black_box((vol.free_sectors(), report));
     });
 }
 
-fn bench_btree(c: &mut Criterion) {
-    c.bench_function("btree_insert_1000", |b| {
-        b.iter_batched_ref(
-            || MemStore::new(1024),
-            |store| {
-                let mut t = BTree::create(store).unwrap();
-                for i in 0..1000u32 {
-                    t.insert(store, format!("key{i:06}").as_bytes(), b"value")
-                        .unwrap();
-                }
-                std::hint::black_box(t.root());
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_btree() {
+    bench("btree_insert_1000", 50, || {
+        let mut store = MemStore::new(1024);
+        let mut t = BTree::create(&mut store).unwrap();
+        for i in 0..1000u32 {
+            t.insert(&mut store, format!("key{i:06}").as_bytes(), b"value")
+                .unwrap();
+        }
+        std::hint::black_box(t.root());
     });
 
-    c.bench_function("btree_get", |b| {
+    {
         let mut store = MemStore::new(1024);
         let mut t = BTree::create(&mut store).unwrap();
         for i in 0..1000u32 {
@@ -100,28 +115,31 @@ fn bench_btree(c: &mut Criterion) {
                 .unwrap();
         }
         let mut i = 0u32;
-        b.iter(|| {
+        bench("btree_get", 10_000, || {
             let k = format!("key{:06}", i % 1000);
             i += 1;
             std::hint::black_box(t.get(&mut store, k.as_bytes()).unwrap());
-        })
-    });
+        });
+    }
 }
 
-fn bench_log(c: &mut Criterion) {
+fn bench_log() {
     use cedar_fsd::log::{encode_record, PageTarget};
-    c.bench_function("log_encode_record_14_pages", |b| {
-        let images: Vec<(PageTarget, Vec<u8>)> = (0..14)
-            .map(|i| {
-                (
-                    PageTarget::NtSector { page: i, sector: 0 },
-                    vec![i as u8; 512],
-                )
-            })
-            .collect();
-        b.iter(|| std::hint::black_box(encode_record(&images, 1, 1, true)));
+    let images: Vec<(PageTarget, Vec<u8>)> = (0..14)
+        .map(|i| {
+            (
+                PageTarget::NtSector { page: i, sector: 0 },
+                vec![i as u8; 512],
+            )
+        })
+        .collect();
+    bench("log_encode_record_14_pages", 5000, || {
+        std::hint::black_box(encode_record(&images, 1, 1, true));
     });
 }
 
-criterion_group!(benches, bench_fsd_ops, bench_btree, bench_log);
-criterion_main!(benches);
+fn main() {
+    bench_fsd_ops();
+    bench_btree();
+    bench_log();
+}

@@ -6,6 +6,7 @@
 //! Generators are seeded and fully deterministic.
 
 pub mod makedo;
+pub mod rng;
 pub mod sizes;
 pub mod steps;
 

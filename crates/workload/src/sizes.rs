@@ -7,8 +7,7 @@
 //! long-tailed distribution calibrated so the small half holds ~8 % of
 //! the total sectors.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::WorkloadRng;
 
 /// Sector size used for the sector-count arithmetic.
 const SECTOR: u64 = 512;
@@ -16,27 +15,27 @@ const SECTOR: u64 = 512;
 /// A two-population file-size sampler.
 #[derive(Clone, Debug)]
 pub struct SizeDistribution {
-    rng: StdRng,
+    rng: WorkloadRng,
 }
 
 impl SizeDistribution {
     /// Creates a sampler with a fixed seed (deterministic workloads).
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: WorkloadRng::new(seed),
         }
     }
 
     /// Draws one file size in bytes.
     pub fn sample(&mut self) -> u64 {
-        if self.rng.gen_bool(0.5) {
+        if self.rng.chance(0.5) {
             // Small file: under 4000 bytes.
-            self.rng.gen_range(1..4000)
+            self.rng.range(1, 4000)
         } else {
             // Large file: log-uniform between 4 KB and ~80 KB, mean
             // ≈ 25 KB, so the small half ends up holding ≈ 8 % of the
             // sectors.
-            let exp = self.rng.gen_range(12.0f64..16.3);
+            let exp = self.rng.range_f64(12.0, 16.3);
             exp.exp2() as u64
         }
     }

@@ -1,0 +1,8 @@
+#!/usr/bin/env sh
+# The CI gate, runnable locally. Mirrors .github/workflows/ci.yml.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+cargo fmt --check

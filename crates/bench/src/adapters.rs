@@ -1,145 +1,28 @@
-//! [`Workbench`] adapters: one workload, three file systems.
+//! Backend access for the benchmark binaries.
+//!
+//! Historically this module defined `CfsBench` / `FsdBench` /
+//! `FfsBench` — wrapper structs adapting each backend's bespoke
+//! signatures to a string-erroring `Workbench` shim. That shim has been
+//! promoted to the first-class [`FileSystem`] trait in `cedar-vol`,
+//! implemented by every backend directly (`fs_impl.rs` in each crate),
+//! so the adapters are gone and this module is a prelude: the trait,
+//! its error type, and the three volume types, one `use` away for the
+//! `src/bin/` table generators.
 
-use cedar_cfs::CfsVolume;
-use cedar_ffs::Ffs;
-use cedar_fsd::FsdVolume;
-use cedar_workload::Workbench;
-use std::collections::HashSet;
-
-/// Data transfers go to the disk in 4 KB requests (eight sectors), the
-/// buffer size of the era — so reading a 20 KB file costs several I/Os
-/// on *every* file system, as it did in the paper's MakeDo measurements.
-const CHUNK_PAGES: u32 = 8;
-
-/// CFS behind the workbench interface.
-pub struct CfsBench(pub CfsVolume);
-
-impl Workbench for CfsBench {
-    fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String> {
-        self.0.create(name, data).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn read(&mut self, name: &str) -> Result<Vec<u8>, String> {
-        let f = self.0.open(name, None).map_err(|e| e.to_string())?;
-        let mut out = Vec::new();
-        let mut page = 0;
-        while page < f.pages() {
-            let take = CHUNK_PAGES.min(f.pages() - page);
-            out.extend(self.0.read_pages(&f, page, take).map_err(|e| e.to_string())?);
-            page += take;
-        }
-        out.truncate(f.header.byte_size as usize);
-        Ok(out)
-    }
-    fn touch(&mut self, name: &str) -> Result<(), String> {
-        self.0.open(name, None).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn delete(&mut self, name: &str) -> Result<(), String> {
-        self.0.delete(name, None).map_err(|e| e.to_string())
-    }
-    fn list(&mut self, prefix: &str) -> Result<usize, String> {
-        self.0.list(prefix).map(|l| l.len()).map_err(|e| e.to_string())
-    }
-}
-
-/// FSD behind the workbench interface. `Touch` opens the file, which on
-/// cached-remote entries refreshes the last-used-time (the §5.4 hot-spot
-/// update).
-pub struct FsdBench(pub FsdVolume);
-
-impl Workbench for FsdBench {
-    fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String> {
-        self.0.create(name, data).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn read(&mut self, name: &str) -> Result<Vec<u8>, String> {
-        let mut f = self.0.open(name, None).map_err(|e| e.to_string())?;
-        let mut out = Vec::new();
-        let mut page = 0;
-        while page < f.pages() {
-            let take = CHUNK_PAGES.min(f.pages() - page);
-            out.extend(
-                self.0
-                    .read_pages(&mut f, page, take)
-                    .map_err(|e| e.to_string())?,
-            );
-            page += take;
-        }
-        out.truncate(f.byte_size() as usize);
-        Ok(out)
-    }
-    fn touch(&mut self, name: &str) -> Result<(), String> {
-        self.0.open(name, None).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn delete(&mut self, name: &str) -> Result<(), String> {
-        self.0.delete(name, None).map_err(|e| e.to_string())
-    }
-    fn list(&mut self, prefix: &str) -> Result<usize, String> {
-        self.0.list(prefix).map(|l| l.len()).map_err(|e| e.to_string())
-    }
-}
-
-/// FFS behind the workbench interface. FFS needs real directories, so
-/// the adapter creates missing parents on the fly.
-pub struct FfsBench {
-    /// The volume.
-    pub fs: Ffs,
-    made: HashSet<String>,
-}
-
-impl FfsBench {
-    /// Wraps a volume.
-    pub fn new(fs: Ffs) -> Self {
-        Self {
-            fs,
-            made: HashSet::new(),
-        }
-    }
-
-    fn ensure_parents(&mut self, name: &str) -> Result<(), String> {
-        let mut at = String::new();
-        let parts: Vec<&str> = name.split('/').collect();
-        for comp in &parts[..parts.len().saturating_sub(1)] {
-            if !at.is_empty() {
-                at.push('/');
-            }
-            at.push_str(comp);
-            if self.made.insert(at.clone()) && self.fs.lookup(&at).is_err() {
-                self.fs.mkdir(&at).map_err(|e| e.to_string())?;
-            }
-        }
-        Ok(())
-    }
-}
-
-impl Workbench for FfsBench {
-    fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String> {
-        self.ensure_parents(name)?;
-        self.fs.create(name, data).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn read(&mut self, name: &str) -> Result<Vec<u8>, String> {
-        let f = self.fs.open(name).map_err(|e| e.to_string())?;
-        self.fs.read_file(&f).map_err(|e| e.to_string())
-    }
-    fn touch(&mut self, name: &str) -> Result<(), String> {
-        self.fs.open(name).map(|_| ()).map_err(|e| e.to_string())
-    }
-    fn delete(&mut self, name: &str) -> Result<(), String> {
-        self.fs.unlink(name).map_err(|e| e.to_string())
-    }
-    fn list(&mut self, prefix: &str) -> Result<usize, String> {
-        let dir = prefix.trim_end_matches('/');
-        self.fs.list(dir).map(|l| l.len()).map_err(|e| e.to_string())
-    }
-}
+pub use cedar_cfs::CfsVolume;
+pub use cedar_ffs::Ffs;
+pub use cedar_fsd::FsdVolume;
+pub use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsStats};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use cedar_disk::{CpuModel, SimDisk};
-    use cedar_workload::{makedo_workload, steps::run};
+    use cedar_workload::{makedo_workload, steps::run, MakeDoParams};
 
     #[test]
     fn makedo_replays_on_all_three_file_systems() {
-        let params = cedar_workload::makedo::MakeDoParams {
+        let params = MakeDoParams {
             sources: 5,
             interfaces: 8,
             rounds: 1,
@@ -147,45 +30,39 @@ mod tests {
         };
         let (setup, measured) = makedo_workload(params);
 
-        let mut cfs = CfsBench(
-            CfsVolume::format(
-                SimDisk::tiny(),
-                cedar_cfs::CfsConfig {
-                    nt_pages: 32,
-                    cpu: CpuModel::FREE,
-                },
-            )
-            .unwrap(),
-        );
-        run(&setup, &mut cfs).unwrap();
-        run(&measured, &mut cfs).unwrap();
+        let mut cfs = CfsVolume::format(
+            SimDisk::tiny(),
+            cedar_cfs::CfsConfig {
+                nt_pages: 32,
+                cpu: CpuModel::FREE,
+            },
+        )
+        .unwrap();
+        let mut fsd = FsdVolume::format(
+            SimDisk::tiny(),
+            cedar_fsd::FsdConfig {
+                nt_pages: 48,
+                log_sectors: 128,
+                cpu: CpuModel::FREE,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut ffs = Ffs::format(
+            SimDisk::tiny(),
+            cedar_ffs::FfsConfig {
+                cpu: CpuModel::FREE,
+                ..Default::default()
+            },
+        )
+        .unwrap();
 
-        let mut fsd = FsdBench(
-            FsdVolume::format(
-                SimDisk::tiny(),
-                cedar_fsd::FsdConfig {
-                    nt_pages: 48,
-                    log_sectors: 128,
-                    cpu: CpuModel::FREE,
-                    ..Default::default()
-                },
-            )
-            .unwrap(),
-        );
-        run(&setup, &mut fsd).unwrap();
-        run(&measured, &mut fsd).unwrap();
-
-        let mut ffs = FfsBench::new(
-            Ffs::format(
-                SimDisk::tiny(),
-                cedar_ffs::FfsConfig {
-                    cpu: CpuModel::FREE,
-                    ..Default::default()
-                },
-            )
-            .unwrap(),
-        );
-        run(&setup, &mut ffs).unwrap();
-        run(&measured, &mut ffs).unwrap();
+        let backends: [&mut dyn FileSystem; 3] = [&mut cfs, &mut fsd, &mut ffs];
+        for fs in backends {
+            let s = run(&setup, fs).unwrap();
+            let m = run(&measured, fs).unwrap();
+            assert_eq!(s.steps, setup.len() as u64, "{}", fs.kind());
+            assert_eq!(m.steps, measured.len() as u64, "{}", fs.kind());
+        }
     }
 }

@@ -99,7 +99,9 @@ fn main() {
 
     // The ablation.
     let single = churn(AllocPolicy::SingleArea);
-    let split = churn(AllocPolicy::SplitAreas { small_threshold: 32 });
+    let split = churn(AllocPolicy::SplitAreas {
+        small_threshold: 32,
+    });
     let mut t = Table::new(
         "Fragmentation after churn at 40% occupancy (ablation: §5.6 policy)",
         &["measure", "single area (CFS)", "split areas (FSD)"],

@@ -64,7 +64,8 @@ fn run_with(commit_interval_us: u64, log_sectors: u32) -> RunResult {
             .unwrap();
     }
     for i in 0..40 {
-        vol.create(&format!("pkg/Out{i:02}.bcd"), &vec![0u8; 4096]).unwrap();
+        vol.create(&format!("pkg/Out{i:02}.bcd"), &vec![0u8; 4096])
+            .unwrap();
     }
     vol.force().unwrap();
     vol.disk_mut().reset_stats();
@@ -76,7 +77,8 @@ fn run_with(commit_interval_us: u64, log_sectors: u32) -> RunResult {
     for _round in 0..ROUNDS {
         for i in 0..CACHED {
             // Consulting the cached copy refreshes its last-used-time.
-            vol.open(&format!("cache/Interface{i:03}.bcd"), None).unwrap();
+            vol.open(&format!("cache/Interface{i:03}.bcd"), None)
+                .unwrap();
             vol.advance_time(100_000).unwrap();
             if i % 8 == 0 {
                 let out = format!("pkg/Out{:02}.bcd", (i / 8) % 40);
@@ -114,7 +116,13 @@ fn main() {
 
     let mut t = Table::new(
         "Logging with vs without group commit (disk I/Os during the bulk update)",
-        &["traffic", "per-op commit", "group commit", "reduction", "paper"],
+        &[
+            "traffic",
+            "per-op commit",
+            "group commit",
+            "reduction",
+            "paper",
+        ],
     );
     t.row(&[
         "metadata I/Os".into(),
@@ -171,7 +179,11 @@ fn main() {
         "Ablation: commit interval x log size (metadata I/Os for the same workload)",
         &["interval", "log", "metadata I/Os", "records"],
     );
-    for (interval, label_i) in [(250_000u64, "0.25 s"), (500_000, "0.5 s"), (2_000_000, "2 s")] {
+    for (interval, label_i) in [
+        (250_000u64, "0.25 s"),
+        (500_000, "0.5 s"),
+        (2_000_000, "2 s"),
+    ] {
         for (log, label_l) in [(722u32, "1 cyl"), (1444, "2 cyl"), (4332, "6 cyl")] {
             let r = run_with(interval, log);
             t.row(&[

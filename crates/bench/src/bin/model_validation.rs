@@ -78,7 +78,8 @@ fn measure_fsd() -> Vec<(String, u64)> {
     let mut f = vol.create("d/reader", &vec![0u8; 1 << 20]).unwrap();
     vol.read_page(&mut f, 0).unwrap();
     let read_page = mean_us(&clock, ITERS, |i| {
-        vol.read_page(&mut f, (i as u32 * 1009 + 13) % 2048).unwrap();
+        vol.read_page(&mut f, (i as u32 * 1009 + 13) % 2048)
+            .unwrap();
     });
     let delete = mean_us(&clock, ITERS, |i| {
         vol.delete(&format!("d/s{i:03}"), None).unwrap();

@@ -10,7 +10,7 @@
 //! the paper's file-size distribution, plus a sweep of FSD recovery
 //! time against population.
 
-use cedar_bench::{cfs_t300, ffs_t300, populate, CfsBench, FfsBench, FsdBench, Table};
+use cedar_bench::{cfs_t300, ffs_t300, populate, Table};
 use cedar_disk::{SimClock, SimDisk};
 use cedar_fsd::FsdConfig;
 
@@ -21,14 +21,13 @@ fn fsd_recovery_with(files: usize, log_vam: bool) -> cedar_fsd::RecoveryReport {
         log_vam,
         ..FsdConfig::default()
     };
-    let vol = cedar_fsd::FsdVolume::format(SimDisk::trident_t300(SimClock::new()), config)
+    let mut vol = cedar_fsd::FsdVolume::format(SimDisk::trident_t300(SimClock::new()), config)
         .expect("format");
-    let mut bench = FsdBench(vol);
-    populate(&mut bench, "pop", files, 5);
-    let mut vol = bench.0;
+    populate(&mut vol, "pop", files, 5);
     // A burst of recent activity leaves work in the log.
     for i in 0..40 {
-        vol.create(&format!("recent/r{i:02}"), &vec![1u8; 2048]).unwrap();
+        vol.create(&format!("recent/r{i:02}"), &vec![1u8; 2048])
+            .unwrap();
     }
     vol.force().unwrap();
     let mut disk = vol.into_disk();
@@ -51,10 +50,9 @@ fn fsd_recovery(files: usize) -> cedar_fsd::RecoveryReport {
 }
 
 fn cfs_scavenge(files: usize) -> cedar_cfs::scavenge::ScavengeReport {
-    let vol = cfs_t300();
-    let mut bench = CfsBench(vol);
-    populate(&mut bench, "pop", files, 5);
-    let mut disk = bench.0.into_disk();
+    let mut vol = cfs_t300();
+    populate(&mut vol, "pop", files, 5);
+    let mut disk = vol.into_disk();
     disk.crash_now();
     disk.reboot();
     let (mut vol, loaded) =
@@ -64,10 +62,9 @@ fn cfs_scavenge(files: usize) -> cedar_cfs::scavenge::ScavengeReport {
 }
 
 fn ffs_fsck(files: usize) -> cedar_ffs::FsckReport {
-    let fs = ffs_t300();
-    let mut bench = FfsBench::new(fs);
-    populate(&mut bench, "pop", files, 5);
-    let mut disk = bench.fs.into_disk();
+    let mut fs = ffs_t300();
+    populate(&mut fs, "pop", files, 5);
+    let mut disk = fs.into_disk();
     disk.crash_now();
     disk.reboot();
     let mut fs = cedar_ffs::Ffs::mount(disk, cedar_ffs::FfsConfig::default()).unwrap();
@@ -147,7 +144,13 @@ fn main() {
     let logged = fsd_recovery_with(FILES, true);
     let mut t = Table::new(
         "Ablation: the §5.3 VAM-logging extension (3000 files)",
-        &["configuration", "redo (s)", "VAM (s)", "total (s)", "paper prediction"],
+        &[
+            "configuration",
+            "redo (s)",
+            "VAM (s)",
+            "total (s)",
+            "paper prediction",
+        ],
     );
     t.row(&[
         "base FSD (reconstruct VAM)".into(),

@@ -9,7 +9,7 @@
 //! what factor) is the reproduction target.
 
 use cedar_bench::report::f2;
-use cedar_bench::{cfs_t300, fsd_t300, ms, populate, CfsBench, FsdBench, Table};
+use cedar_bench::{cfs_t300, fsd_t300, ms, populate, Table};
 
 const POP_FILES: usize = 4000;
 const SMALL_ITERS: usize = 40;
@@ -37,11 +37,9 @@ struct Measured {
 }
 
 fn measure_cfs() -> Measured {
-    let vol = cfs_t300();
+    let mut vol = cfs_t300();
     let clock = vol.clock();
-    let mut bench = CfsBench(vol);
-    populate(&mut bench, "pop", POP_FILES, 11);
-    let mut vol = bench.0;
+    populate(&mut vol, "pop", POP_FILES, 11);
     let big = vec![0u8; MEGABYTE];
 
     let small_create = mean_us(&clock, SMALL_ITERS, |i| {
@@ -99,11 +97,9 @@ fn measure_cfs() -> Measured {
 }
 
 fn measure_fsd() -> Measured {
-    let vol = fsd_t300();
+    let mut vol = fsd_t300();
     let clock = vol.clock();
-    let mut bench = FsdBench(vol);
-    populate(&mut bench, "pop", POP_FILES, 11);
-    let mut vol = bench.0;
+    populate(&mut vol, "pop", POP_FILES, 11);
     let big = vec![0u8; MEGABYTE];
 
     let small_create = mean_us(&clock, SMALL_ITERS, |i| {
@@ -186,12 +182,47 @@ fn main() {
             ps.into(),
         ]);
     };
-    row("Small create", cfs.small_create, fsd.small_create, "264", "70", "3.77");
-    row("Large create", cfs.large_create, fsd.large_create, "7674", "2730", "2.81");
+    row(
+        "Small create",
+        cfs.small_create,
+        fsd.small_create,
+        "264",
+        "70",
+        "3.77",
+    );
+    row(
+        "Large create",
+        cfs.large_create,
+        fsd.large_create,
+        "7674",
+        "2730",
+        "2.81",
+    );
     row("Open", cfs.open, fsd.open, "51.2", "11.7", "4.38");
-    row("Open + Read", cfs.open_read, fsd.open_read, "68.5", "35.4", "1.94");
-    row("Small delete", cfs.small_delete, fsd.small_delete, "214", "15", "14.5");
-    row("Large delete", cfs.large_delete, fsd.large_delete, "2692", "118", "22.8");
+    row(
+        "Open + Read",
+        cfs.open_read,
+        fsd.open_read,
+        "68.5",
+        "35.4",
+        "1.94",
+    );
+    row(
+        "Small delete",
+        cfs.small_delete,
+        fsd.small_delete,
+        "214",
+        "15",
+        "14.5",
+    );
+    row(
+        "Large delete",
+        cfs.large_delete,
+        fsd.large_delete,
+        "2692",
+        "118",
+        "22.8",
+    );
     row("Read page", cfs.read_page, fsd.read_page, "41", "41", "1.0");
     t.row(&[
         "Crash recovery".into(),

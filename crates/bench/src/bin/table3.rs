@@ -3,11 +3,11 @@
 //! Rows: 100 small creates, list 100 files, read 100 small files, and
 //! the MakeDo compile workload. Counts are disk operations (reads +
 //! writes + label operations), exactly what the paper counts; FSD's
-//! numbers include its amortized log forces.
+//! numbers include its amortized log forces. Both systems are driven
+//! through the same `FileSystem` trait.
 
-use cedar_bench::{cfs_t300, fsd_t300, CfsBench, FsdBench, Table};
-use cedar_workload::makedo::MakeDoParams;
-use cedar_workload::{makedo_workload, steps::run, Workbench};
+use cedar_bench::{cfs_t300, fsd_t300, FileSystem, Table};
+use cedar_workload::{makedo_workload, steps::run, MakeDoParams};
 
 struct Counts {
     creates: u64,
@@ -16,38 +16,35 @@ struct Counts {
     makedo: u64,
 }
 
-fn ops<B: Workbench>(
-    bench: &mut B,
-    stats: impl Fn(&mut B) -> u64,
-    f: impl FnOnce(&mut B),
-) -> u64 {
-    let before = stats(bench);
-    f(bench);
-    stats(bench) - before
+fn ops(fs: &mut dyn FileSystem, f: impl FnOnce(&mut dyn FileSystem)) -> u64 {
+    let before = fs.stats().disk.total_ops();
+    f(fs);
+    fs.stats().disk.total_ops() - before
 }
 
-fn measure<B: Workbench>(mut bench: B, stats: impl Fn(&mut B) -> u64 + Copy) -> Counts {
+fn measure(fs: &mut dyn FileSystem) -> Counts {
     // 100 small creates (one data page each) in one directory.
-    let creates = ops(&mut bench, stats, |b| {
+    let creates = ops(fs, |fs| {
         for i in 0..100 {
-            b.create(&format!("d3/f{i:03}"), b"one page of data").unwrap();
+            fs.create(&format!("d3/f{i:03}"), b"one page of data")
+                .unwrap();
         }
     });
     // List the directory with properties.
-    let list = ops(&mut bench, stats, |b| {
-        assert_eq!(b.list("d3/").unwrap(), 100);
+    let list = ops(fs, |fs| {
+        assert_eq!(fs.list("d3/").unwrap().len(), 100);
     });
     // Read all 100 files.
-    let reads = ops(&mut bench, stats, |b| {
+    let reads = ops(fs, |fs| {
         for i in 0..100 {
-            b.read(&format!("d3/f{i:03}")).unwrap();
+            fs.read(&format!("d3/f{i:03}")).unwrap();
         }
     });
     // MakeDo.
     let (setup, measured) = makedo_workload(MakeDoParams::default());
-    run(&setup, &mut bench).unwrap();
-    let makedo = ops(&mut bench, stats, |b| {
-        run(&measured, b).unwrap();
+    run(&setup, fs).unwrap();
+    let makedo = ops(fs, |fs| {
+        run(&measured, fs).unwrap();
     });
     Counts {
         creates,
@@ -60,12 +57,20 @@ fn measure<B: Workbench>(mut bench: B, stats: impl Fn(&mut B) -> u64 + Copy) -> 
 fn main() {
     println!("Reproducing Table 3: CFS vs FSD disk I/Os");
 
-    let cfs = measure(CfsBench(cfs_t300()), |b| b.0.disk_stats().total_ops());
-    let fsd = measure(FsdBench(fsd_t300()), |b| b.0.disk_stats().total_ops());
+    let cfs = measure(&mut cfs_t300());
+    let fsd = measure(&mut fsd_t300());
 
     let mut t = Table::new(
         "Table 3. CFS to FSD Performance Measured in Disk I/O's",
-        &["workload", "CFS", "FSD", "ratio", "paper CFS", "paper FSD", "paper ratio"],
+        &[
+            "workload",
+            "CFS",
+            "FSD",
+            "ratio",
+            "paper CFS",
+            "paper FSD",
+            "paper ratio",
+        ],
     );
     let mut row = |name: &str, c: u64, f: u64, pc: &str, pf: &str, pr: &str| {
         t.row(&[
@@ -78,9 +83,23 @@ fn main() {
             pr.into(),
         ]);
     };
-    row("100 small creates", cfs.creates, fsd.creates, "874", "149", "5.87");
+    row(
+        "100 small creates",
+        cfs.creates,
+        fsd.creates,
+        "874",
+        "149",
+        "5.87",
+    );
     row("list 100 files", cfs.list, fsd.list, "146", "3", "48.7");
-    row("read 100 small files", cfs.reads, fsd.reads, "262", "101", "2.69");
+    row(
+        "read 100 small files",
+        cfs.reads,
+        fsd.reads,
+        "262",
+        "101",
+        "2.69",
+    );
     row("MakeDo", cfs.makedo, fsd.makedo, "1975", "1299", "1.52");
     t.print();
     println!(

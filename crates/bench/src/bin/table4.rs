@@ -24,7 +24,8 @@ fn measure_fsd() -> Counts {
 
     let t0 = io(&vol);
     for i in 0..100 {
-        vol.create(&format!("d4/f{i:03}"), b"one page of data").unwrap();
+        vol.create(&format!("d4/f{i:03}"), b"one page of data")
+            .unwrap();
     }
     vol.force().unwrap();
     let creates = io(&vol) - t0;
@@ -39,7 +40,11 @@ fn measure_fsd() -> Counts {
         vol.read_file(&mut f).unwrap();
     }
     let reads = io(&vol) - t0;
-    Counts { creates, list, reads }
+    Counts {
+        creates,
+        list,
+        reads,
+    }
 }
 
 fn measure_ffs() -> Counts {
@@ -49,7 +54,8 @@ fn measure_ffs() -> Counts {
 
     let t0 = io(&fs);
     for i in 0..100 {
-        fs.create(&format!("d4/f{i:03}"), b"one page of data").unwrap();
+        fs.create(&format!("d4/f{i:03}"), b"one page of data")
+            .unwrap();
     }
     fs.sync().unwrap();
     let creates = io(&fs) - t0;
@@ -66,7 +72,11 @@ fn measure_ffs() -> Counts {
         fs.read_file(&f).unwrap();
     }
     let reads = io(&fs) - t0;
-    Counts { creates, list, reads }
+    Counts {
+        creates,
+        list,
+        reads,
+    }
 }
 
 fn main() {
@@ -97,8 +107,22 @@ fn main() {
             pr.into(),
         ]);
     };
-    row("100 small creates", fsd.creates, ffs.creates, "149", "308", "2.07");
+    row(
+        "100 small creates",
+        fsd.creates,
+        ffs.creates,
+        "149",
+        "308",
+        "2.07",
+    );
     row("list 100 files", fsd.list, ffs.list, "3", "9", "3");
-    row("read 100 small files", fsd.reads, ffs.reads, "101", "106", "1.05");
+    row(
+        "read 100 small files",
+        fsd.reads,
+        ffs.reads,
+        "101",
+        "106",
+        "1.05",
+    );
     t.print();
 }

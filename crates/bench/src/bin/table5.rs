@@ -104,7 +104,7 @@ fn ffs_stream(write: bool) -> Util {
         let blocks = (bytes / cedar_ffs::BLOCK_BYTES) as u64;
         let cpu_us = blocks * config.write_block_cpu_us;
         return Util {
-            cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0) as f64,
+            cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0),
             bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
         };
     }

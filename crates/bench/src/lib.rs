@@ -3,13 +3,16 @@
 //! Every binary in `src/bin/` regenerates one table or in-text
 //! measurement of the paper (the index lives in `DESIGN.md`); this
 //! library holds what they share — volume construction on the paper's
-//! 300 MB Trident-class disk, [`cedar_workload::Workbench`] adapters for
-//! the three file systems, and table rendering.
+//! 300 MB Trident-class disk, the `cedar_vol::fs::FileSystem` trait
+//! everything is driven through, the multi-client scheduler driver,
+//! and table rendering.
 
 pub mod adapters;
+pub mod driver;
 pub mod report;
 pub mod setup;
 
-pub use adapters::{CfsBench, FfsBench, FsdBench};
+pub use adapters::{CedarFsError, FileSystem};
+pub use driver::{drive_clients, MultiClientRun};
 pub use report::Table;
-pub use setup::{cfs_t300, ffs_t300, fsd_t300, populate, ms};
+pub use setup::{cfs_t300, ffs_t300, fsd_t300, ms, populate};

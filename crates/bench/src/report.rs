@@ -49,7 +49,12 @@ impl Table {
         out.push_str(&line(&self.header, &widths));
         out.push('\n');
         let total: usize = widths.iter().sum::<usize>() + 2 * widths.len() + 2;
-        out.push_str(&"  ".chars().chain("-".repeat(total - 2).chars()).collect::<String>());
+        out.push_str(
+            &"  "
+                .chars()
+                .chain("-".repeat(total - 2).chars())
+                .collect::<String>(),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&line(row, &widths));

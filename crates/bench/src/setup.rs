@@ -31,9 +31,10 @@ pub fn ffs_t300() -> Ffs {
 }
 
 /// Populates a volume with `files` files drawn from the paper's size
-/// distribution under `prefix`, through any workbench. Returns the names.
+/// distribution under `prefix`, through the [`FileSystem`] trait.
+/// Returns the names.
 pub fn populate(
-    bench: &mut dyn cedar_workload::Workbench,
+    fs: &mut dyn cedar_vol::fs::FileSystem,
     prefix: &str,
     files: usize,
     seed: u64,
@@ -43,8 +44,7 @@ pub fn populate(
     for i in 0..files {
         let name = format!("{prefix}/pop{i:05}");
         let bytes = sizes.sample() as usize;
-        bench
-            .create(&name, &vec![0u8; bytes])
+        fs.create(&name, &vec![0u8; bytes])
             .unwrap_or_else(|e| panic!("populate {name} ({bytes} B): {e}"));
         names.push(name);
     }

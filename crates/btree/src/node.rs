@@ -135,10 +135,8 @@ impl Node {
             LEAF_TAG => {
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let klen =
-                        u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
-                    let vlen =
-                        u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+                    let vlen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
                     let k = take(&mut at, klen)?.to_vec();
                     let v = take(&mut at, vlen)?.to_vec();
                     entries.push((k, v));
@@ -150,8 +148,7 @@ impl Node {
                 let mut keys = Vec::with_capacity(count);
                 children.push(u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()));
                 for _ in 0..count {
-                    let klen =
-                        u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+                    let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
                     keys.push(take(&mut at, klen)?.to_vec());
                     children.push(u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()));
                 }

@@ -364,7 +364,7 @@ impl BTree {
                     }
                     .encoded_size();
                     let mut sep = sep;
-    let internal_size = |keys: &[Vec<u8>]| -> usize {
+                    let internal_size = |keys: &[Vec<u8>]| -> usize {
                         3 + 4 + keys.iter().map(|k| 2 + k.len() + 4).sum::<usize>()
                     };
                     if left_size < threshold {
@@ -520,9 +520,7 @@ impl BTree {
         if !node.fits(store.page_size()) {
             return Err(BTreeError::Corrupt(format!("page {id} overflows")));
         }
-        let in_bounds = |k: &[u8]| {
-            lower.is_none_or(|lo| k >= lo) && upper.is_none_or(|hi| k < hi)
-        };
+        let in_bounds = |k: &[u8]| lower.is_none_or(|lo| k >= lo) && upper.is_none_or(|hi| k < hi);
         match node {
             Node::Leaf(entries) => {
                 for w in entries.windows(2) {
@@ -580,11 +578,11 @@ impl BTree {
     }
 }
 
+/// Key/value pairs of one leaf page.
+type LeafEntries = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Splits leaf entries at roughly half the encoded payload.
-fn split_leaf(
-    entries: Vec<(Vec<u8>, Vec<u8>)>,
-    page_size: usize,
-) -> (Vec<(Vec<u8>, Vec<u8>)>, Vec<(Vec<u8>, Vec<u8>)>) {
+fn split_leaf(entries: LeafEntries, page_size: usize) -> (LeafEntries, LeafEntries) {
     let total: usize = entries.iter().map(|(k, v)| 4 + k.len() + v.len()).sum();
     let mut acc = 0;
     let mut split_at = entries.len() - 1; // Right side always gets ≥ 1 entry.
@@ -739,7 +737,9 @@ mod tests {
         let mut model = BTreeMap::new();
         let mut x: u64 = 12345;
         for step in 0..3000u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = key((x >> 33) as u32 % 200);
             if x % 3 == 0 {
                 let got = t.delete(&mut s, &k).unwrap();
@@ -765,9 +765,7 @@ mod tests {
         for i in 0..100 {
             t.insert(&mut s, &key(i), &val(i)).unwrap();
         }
-        let r = t
-            .collect_range(&mut s, &key(10), Some(&key(20)))
-            .unwrap();
+        let r = t.collect_range(&mut s, &key(10), Some(&key(20))).unwrap();
         assert_eq!(r.len(), 10);
         assert_eq!(r[0].0, key(10));
         assert_eq!(r[9].0, key(19));
@@ -824,10 +822,7 @@ mod tests {
             t.insert(&mut s, &key(i), &val(i)).unwrap();
         }
         let reopened = BTree::open(t.root());
-        assert_eq!(
-            reopened.get(&mut s, &key(123)).unwrap(),
-            Some(val(123))
-        );
+        assert_eq!(reopened.get(&mut s, &key(123)).unwrap(), Some(val(123)));
     }
 
     #[test]
@@ -837,7 +832,8 @@ mod tests {
         let max = BTree::max_entry_size(PS);
         let v = vec![7u8; max - 4 - 8];
         for i in 0..50u32 {
-            t.insert(&mut s, format!("big{i:04}").as_bytes(), &v).unwrap();
+            t.insert(&mut s, format!("big{i:04}").as_bytes(), &v)
+                .unwrap();
         }
         t.check_invariants(&mut s).unwrap();
         assert_eq!(t.len(&mut s).unwrap(), 50);

@@ -65,9 +65,7 @@ impl From<DiskError> for CfsError {
 impl From<BTreeError> for CfsError {
     fn from(e: BTreeError) -> Self {
         match e {
-            BTreeError::Store(cedar_btree::StoreError::Crashed) => {
-                Self::Disk(DiskError::Crashed)
-            }
+            BTreeError::Store(cedar_btree::StoreError::Crashed) => Self::Disk(DiskError::Crashed),
             BTreeError::Store(s) => Self::Corrupt(format!("name table store: {s}")),
             BTreeError::Corrupt(m) => Self::Corrupt(m),
             BTreeError::EntryTooLarge { size, max } => {

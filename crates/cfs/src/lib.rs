@@ -28,6 +28,7 @@
 //! header.
 
 pub mod error;
+pub mod fs_impl;
 pub mod header;
 pub mod layout;
 pub mod nametable;

@@ -92,7 +92,11 @@ impl PageStore for CfsNtStore<'_> {
         }
         let data = self
             .disk
-            .read_checked(self.layout.nt_sector(id), NT_PAGE_SECTORS as usize, &nt_labels(id))
+            .read_checked(
+                self.layout.nt_sector(id),
+                NT_PAGE_SECTORS as usize,
+                &nt_labels(id),
+            )
             .map_err(to_store_err)?;
         self.cache.insert(id, data.clone());
         Ok(data)

@@ -73,7 +73,10 @@ impl CfsVolume {
             let addr = addr as u32;
             match label.kind {
                 PageKind::Data => {
-                    file_sectors.entry(label.uid).or_default().push((label.page, addr));
+                    file_sectors
+                        .entry(label.uid)
+                        .or_default()
+                        .push((label.page, addr));
                 }
                 PageKind::Header if label.page == 0 => headers.push((label.uid, addr)),
                 _ => {}
@@ -104,9 +107,7 @@ impl CfsVolume {
             // ground truth for which sectors the file owns.
             let mut sectors = file_sectors.remove(&uid).unwrap_or_default();
             sectors.sort_unstable();
-            let rt = RunTable::from_runs(
-                sectors.iter().map(|&(_, addr)| Run::new(addr, 1)),
-            );
+            let rt = RunTable::from_runs(sectors.iter().map(|&(_, addr)| Run::new(addr, 1)));
             let mut header = header;
             let label_pages = rt.pages();
             if label_pages < header.run_table.pages() {
@@ -133,9 +134,7 @@ impl CfsVolume {
                     vam.free_run(Run::new(addr, 1));
                     false
                 }
-                PageKind::Data | PageKind::Header | PageKind::Leader => {
-                    !live.contains(&label.uid)
-                }
+                PageKind::Data | PageKind::Header | PageKind::Leader => !live.contains(&label.uid),
                 _ => false,
             };
             if orphan {
@@ -150,9 +149,7 @@ impl CfsVolume {
         while i < orphans.len() {
             let start = orphans[i];
             let mut len = 1u32;
-            while i + (len as usize) < orphans.len()
-                && orphans[i + len as usize] == start + len
-            {
+            while i + (len as usize) < orphans.len() && orphans[i + len as usize] == start + len {
                 len += 1;
             }
             disk.write_labels(start, &vec![Label::FREE; len as usize], None)?;

@@ -148,8 +148,8 @@ impl CfsVolume {
         let layout = CfsLayout::compute(disk.geometry(), config.nt_pages);
         let cpu = Cpu::new(disk.clock(), config.cpu);
         let raw = disk.read(layout.boot_sector, 1)?;
-        let mut boot = BootPage::decode(&raw)
-            .map_err(|m| CfsError::Corrupt(format!("boot page: {m}")))?;
+        let mut boot =
+            BootPage::decode(&raw).map_err(|m| CfsError::Corrupt(format!("boot page: {m}")))?;
         boot.boot_count += 1;
 
         let vam_loaded = boot.vam_valid;
@@ -429,9 +429,7 @@ impl CfsVolume {
         }
         self.tree = tree;
         match last {
-            Some(k) => Ok(FileName::from_key(&k)
-                .map_err(CfsError::Corrupt)?
-                .version),
+            Some(k) => Ok(FileName::from_key(&k).map_err(CfsError::Corrupt)?.version),
             None => Ok(0),
         }
     }
@@ -464,8 +462,11 @@ impl CfsVolume {
         let mut page = 0u32;
         for run in data_rt.runs() {
             let labels = Self::data_labels(uid, page, run.len);
-            self.disk
-                .write_labels(run.start, &labels, Some(&vec![Label::FREE; run.len as usize]))?;
+            self.disk.write_labels(
+                run.start,
+                &labels,
+                Some(&vec![Label::FREE; run.len as usize]),
+            )?;
             page += run.len;
         }
 
@@ -491,7 +492,10 @@ impl CfsVolume {
         let mut tree = self.tree;
         {
             let mut store = nt_store!(self);
-            if tree.insert(&mut store, &fname.to_key(), &entry.encode())?.is_some() {
+            if tree
+                .insert(&mut store, &fname.to_key(), &entry.encode())?
+                .is_some()
+            {
                 return Err(CfsError::Exists(fname.to_string()));
             }
         }
@@ -516,7 +520,13 @@ impl CfsVolume {
 
     /// Writes `data` across the extents of `rt` starting at logical page
     /// `first_page`, one label-checked write per extent.
-    fn write_extents(&mut self, uid: u64, rt: &RunTable, first_page: u32, data: &[u8]) -> Result<()> {
+    fn write_extents(
+        &mut self,
+        uid: u64,
+        rt: &RunTable,
+        first_page: u32,
+        data: &[u8],
+    ) -> Result<()> {
         let mut page = 0u32;
         let mut offset = 0usize;
         self.cpu.sectors(data.len().div_ceil(SECTOR_BYTES) as u64);
@@ -605,7 +615,10 @@ impl CfsVolume {
                 .expect("page within file");
             let take = extent.len.min(page + count - at);
             let labels = Self::data_labels(file.uid, at, take);
-            out.extend(self.disk.read_checked(extent.start, take as usize, &labels)?);
+            out.extend(
+                self.disk
+                    .read_checked(extent.start, take as usize, &labels)?,
+            );
             at += take;
         }
         self.cpu.sectors(count as u64);
@@ -619,7 +632,10 @@ impl CfsVolume {
         let mut page = 0u32;
         for run in file.header.run_table.runs() {
             let labels = Self::data_labels(file.uid, page, run.len);
-            out.extend(self.disk.read_checked(run.start, run.len as usize, &labels)?);
+            out.extend(
+                self.disk
+                    .read_checked(run.start, run.len as usize, &labels)?,
+            );
             page += run.len;
         }
         self.cpu.sectors(file.pages() as u64);

@@ -335,7 +335,7 @@ impl SimDisk {
         self.attribute(start);
         self.position_to(start);
         let mut out = Vec::with_capacity(n * SECTOR_BYTES);
-        for i in 0..n {
+        for (i, &want) in expected.iter().enumerate() {
             let addr = start + i as u32;
             self.charge_transfer(addr, i == 0);
             self.stats.sectors_read += 1;
@@ -343,10 +343,10 @@ impl SimDisk {
             if s.damaged {
                 return Err(DiskError::BadSector(addr));
             }
-            if s.label != expected[i] {
+            if s.label != want {
                 return Err(DiskError::LabelMismatch {
                     addr,
-                    expected: expected[i],
+                    expected: want,
                     found: s.label,
                 });
             }
@@ -366,7 +366,7 @@ impl SimDisk {
         new_labels: Option<&[Label]>,
     ) -> Result<()> {
         assert!(
-            data.len() % SECTOR_BYTES == 0,
+            data.len().is_multiple_of(SECTOR_BYTES),
             "write length must be a whole number of sectors"
         );
         let n = data.len() / SECTOR_BYTES;
@@ -827,10 +827,7 @@ mod tests {
         let mut d = SimDisk::tiny();
         d.crash_now();
         assert!(matches!(d.read(0, 1), Err(DiskError::Crashed)));
-        assert!(matches!(
-            d.write(0, &sector_of(0)),
-            Err(DiskError::Crashed)
-        ));
+        assert!(matches!(d.write(0, &sector_of(0)), Err(DiskError::Crashed)));
         d.reboot();
         assert!(d.read(0, 1).is_ok());
     }

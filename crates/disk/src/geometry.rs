@@ -79,9 +79,7 @@ impl DiskGeometry {
 
     /// Maps a physical position back to a linear sector address.
     pub fn to_addr(&self, chs: Chs) -> SectorAddr {
-        chs.cylinder * self.sectors_per_cylinder()
-            + chs.head * self.sectors_per_track
-            + chs.sector
+        chs.cylinder * self.sectors_per_cylinder() + chs.head * self.sectors_per_track + chs.sector
     }
 
     /// Returns the cylinder containing `addr`.

@@ -32,7 +32,7 @@ pub mod label;
 pub mod stats;
 pub mod timing;
 
-pub use clock::SimClock;
+pub use clock::{Micros, SimClock};
 pub use cpu::{Cpu, CpuModel};
 pub use disk::{CrashPlan, SimDisk};
 pub use error::DiskError;

@@ -45,10 +45,11 @@ impl CgState {
 
     /// Allocates an inode slot within the group, returning its index.
     pub fn alloc_inode_slot(&mut self, layout: &FfsLayout) -> Option<u32> {
-        (0..layout.inodes_per_cg).find(|&i| !get(&self.inode_bitmap, i)).map(|i| {
-            set(&mut self.inode_bitmap, i, true);
-            i
-        })
+        (0..layout.inodes_per_cg)
+            .find(|&i| !get(&self.inode_bitmap, i))
+            .inspect(|&i| {
+                set(&mut self.inode_bitmap, i, true);
+            })
     }
 
     /// Frees an inode slot.
@@ -78,9 +79,8 @@ impl CgState {
                 return Some(want);
             }
         }
-        (0..n).find(|&i| !get(&self.block_bitmap, i)).map(|i| {
+        (0..n).find(|&i| !get(&self.block_bitmap, i)).inspect(|&i| {
             set(&mut self.block_bitmap, i, true);
-            i
         })
     }
 

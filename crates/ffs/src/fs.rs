@@ -163,6 +163,14 @@ impl Ffs {
         self.disk.stats()
     }
 
+    /// Free data space, in sectors.
+    pub fn free_sectors(&self) -> u64 {
+        self.cgs
+            .iter()
+            .map(|cg| cg.free_blocks(&self.layout) as u64 * BLOCK_SECTORS as u64)
+            .sum()
+    }
+
     /// The clock.
     pub fn clock(&self) -> SimClock {
         self.disk.clock()
@@ -620,7 +628,8 @@ impl Ffs {
     /// Reads a whole file, block at a time (each block is its own disk
     /// request — the 4.2 BSD I/O pattern the interleave exists for).
     pub fn read_file(&mut self, file: &FfsFile) -> Result<Vec<u8>> {
-        self.cpu.sectors(file.inode.blocks() as u64 * BLOCK_SECTORS as u64);
+        self.cpu
+            .sectors(file.inode.blocks() as u64 * BLOCK_SECTORS as u64);
         self.read_file_bytes(&file.inode)
     }
 

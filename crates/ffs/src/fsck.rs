@@ -166,7 +166,7 @@ mod tests {
         assert_eq!(report.dirs, 2); // Root + d.
         assert_eq!(report.orphan_inodes, 0);
         assert!(report.blocks_marked >= 20); // 2 data blocks per file + dir.
-        // Files still readable afterwards.
+                                             // Files still readable afterwards.
         let f = fs.open("d/f3").unwrap();
         assert_eq!(fs.read_file(&f).unwrap(), vec![1u8; 1500]);
     }
@@ -222,8 +222,7 @@ mod tests {
         fs.create("one", b"x").unwrap();
         fs.sync().unwrap();
         let report = fs.fsck().unwrap();
-        let inode_blocks =
-            fs.layout().groups * fs.layout().inode_blocks_per_cg();
+        let inode_blocks = fs.layout().groups * fs.layout().inode_blocks_per_cg();
         assert!(
             report.ios as u32 >= inode_blocks / 2,
             "ios {} < {}",

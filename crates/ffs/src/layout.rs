@@ -162,7 +162,13 @@ mod tests {
     #[test]
     fn inode_locations_are_within_their_group() {
         let l = FfsLayout::compute(&DiskGeometry::TINY);
-        for ino in [0, 1, l.inodes_per_cg - 1, l.inodes_per_cg, l.total_inodes() - 1] {
+        for ino in [
+            0,
+            1,
+            l.inodes_per_cg - 1,
+            l.inodes_per_cg,
+            l.total_inodes() - 1,
+        ] {
             let g = l.group_of_ino(ino);
             let (block, off) = l.inode_location(ino);
             assert!(block >= l.cg_inode_start(g));

@@ -23,6 +23,7 @@
 
 pub mod alloc;
 pub mod fs;
+pub mod fs_impl;
 pub mod fsck;
 pub mod inode;
 pub mod layout;

@@ -94,9 +94,7 @@ impl NtCache {
             let victim = self
                 .pages
                 .iter()
-                .filter(|(id, p)| {
-                    **id != 0 && !p.needs_home && !pinned.contains(id)
-                })
+                .filter(|(id, p)| **id != 0 && !p.needs_home && !pinned.contains(id))
                 .min_by_key(|(_, p)| p.last_used)
                 .map(|(id, _)| *id);
             match victim {
@@ -131,7 +129,9 @@ impl NtMeta {
     /// Encodes into a full name-table page.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u32(NT_META_MAGIC).u32(self.root).u16(self.bitmap.len() as u16);
+        w.u32(NT_META_MAGIC)
+            .u32(self.root)
+            .u16(self.bitmap.len() as u16);
         for word in &self.bitmap {
             w.u64(*word);
         }

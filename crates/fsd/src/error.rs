@@ -65,9 +65,7 @@ impl From<DiskError> for FsdError {
 impl From<BTreeError> for FsdError {
     fn from(e: BTreeError) -> Self {
         match e {
-            BTreeError::Store(cedar_btree::StoreError::Crashed) => {
-                Self::Disk(DiskError::Crashed)
-            }
+            BTreeError::Store(cedar_btree::StoreError::Crashed) => Self::Disk(DiskError::Crashed),
             BTreeError::Store(cedar_btree::StoreError::Full) => Self::NoSpace,
             BTreeError::Store(s) => Self::Check(format!("name table store: {s}")),
             BTreeError::Corrupt(m) => Self::Check(m),

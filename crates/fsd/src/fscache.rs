@@ -228,7 +228,7 @@ mod tests {
         fs.open_remote("b").unwrap();
         fs.volume.clock().advance(1_000_000);
         fs.open_remote("a").unwrap(); // "a" is now the most recent.
-        // Probe through list(): an open would itself refresh the stamp.
+                                      // Probe through list(): an open would itself refresh the stamp.
         let lu = |fs: &mut CachingFs<MemServer>, n: &str| -> u64 {
             let want = cache_name(n, 1);
             fs.volume

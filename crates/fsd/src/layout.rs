@@ -82,9 +82,7 @@ impl FsdLayout {
         let nt_sectors = nt_pages * NT_PAGE_SECTORS;
         let central_len = 2 * nt_sectors + log_sectors;
         let center = total / 2;
-        let nt_a_start = center
-            .saturating_sub(central_len / 2)
-            .max(small_start + 1);
+        let nt_a_start = center.saturating_sub(central_len / 2).max(small_start + 1);
         let log_start = nt_a_start + nt_sectors;
         let nt_b_start = log_start + log_sectors;
         let central_end = nt_b_start + nt_sectors;
@@ -92,10 +90,7 @@ impl FsdLayout {
             central_end < total,
             "volume too small for FSD layout ({central_end} >= {total})"
         );
-        assert!(
-            nt_a_start > small_start,
-            "no room for the small-file area"
-        );
+        assert!(nt_a_start > small_start, "no room for the small-file area");
         Self {
             total_sectors: total,
             boot_a: 0,

@@ -31,11 +31,13 @@
 pub mod cache;
 pub mod entry;
 pub mod error;
+pub mod fs_impl;
 pub mod fscache;
 pub mod layout;
 pub mod leader;
 pub mod log;
 pub mod recovery;
+pub mod sched;
 pub mod volume;
 
 pub use entry::{EntryKind, FileEntry};
@@ -44,6 +46,7 @@ pub use fscache::{CachingFs, FileServer, MemServer};
 pub use layout::FsdLayout;
 pub use leader::LeaderPage;
 pub use recovery::RecoveryReport;
+pub use sched::{ClientHandle, CommitScheduler, LatencyStats, SchedConfig, SchedReport};
 pub use volume::{FsdConfig, FsdFile, FsdVolume};
 
 /// Result alias for FSD operations.

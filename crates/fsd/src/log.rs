@@ -171,6 +171,13 @@ impl Log {
         self.max_images
     }
 
+    /// Sector images that fit into one third of the log as a single
+    /// record chain (each image costs two sectors plus five of record
+    /// overhead).
+    pub fn third_capacity_images(&self) -> usize {
+        ((self.third_len().saturating_sub(5)) / 2) as usize
+    }
+
     /// Number of live (replayable) records.
     pub fn live_records(&self) -> usize {
         self.live.len()
@@ -463,9 +470,7 @@ fn read_record_at(
             }
             decode_end(sector(i)).ok()
         })
-        .filter(|e| {
-            e.seq == header.seq && e.boot_count == header.boot_count && e.n == n as usize
-        });
+        .filter(|e| e.seq == header.seq && e.boot_count == header.boot_count && e.n == n as usize);
     let Some(end) = end else {
         return Ok(None); // Torn record: header written, tail missing.
     };
@@ -603,7 +608,10 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].seq, 1);
         assert_eq!(recs[0].images.len(), 2);
-        assert_eq!(recs[0].images[0].0, PageTarget::NtSector { page: 5, sector: 0 });
+        assert_eq!(
+            recs[0].images[0].0,
+            PageTarget::NtSector { page: 5, sector: 0 }
+        );
         assert_eq!(recs[1].images[0].0, PageTarget::Leader { addr: 900 });
         assert_eq!(recs[1].images[0].1, img(0xCC));
     }

@@ -58,6 +58,9 @@ impl FsdVolume {
     /// Like [`Self::boot`], but returns the disk alongside the error when
     /// recovery itself is interrupted (e.g. by a crash mid-redo) — the
     /// platters survive a power cycle, so the caller can boot again.
+    // The Err variant intentionally hands the (large) SimDisk back to
+    // the caller: the platters survive a power cycle mid-recovery.
+    #[allow(clippy::result_large_err)]
     pub fn try_boot(
         mut disk: SimDisk,
         config: FsdConfig,
@@ -238,14 +241,13 @@ fn redo_phase(
     report.records_replayed = records.len() as u64;
     let mut batch_start: Option<u32> = None;
     let mut batch: Vec<u8> = Vec::new();
-    let flush =
-        |disk: &mut SimDisk, start: Option<u32>, bytes: &mut Vec<u8>| -> Result<()> {
-            if let Some(start) = start {
-                disk.write(start, bytes)?;
-            }
-            bytes.clear();
-            Ok(())
-        };
+    let flush = |disk: &mut SimDisk, start: Option<u32>, bytes: &mut Vec<u8>| -> Result<()> {
+        if let Some(start) = start {
+            disk.write(start, bytes)?;
+        }
+        bytes.clear();
+        Ok(())
+    };
     let mut prev: Option<u32> = None;
     for (addr, img) in &final_images {
         if prev.is_some_and(|p| p + 1 == *addr) {

@@ -277,6 +277,33 @@ impl FsdVolume {
         self.commit_stats
     }
 
+    /// Replaces the commit-daemon interval. A scheduler layered above the
+    /// volume (see [`crate::sched::CommitScheduler`]) sets this to
+    /// `Micros::MAX` to take ownership of all forcing.
+    pub fn set_commit_interval(&mut self, us: Micros) {
+        self.commit_interval = us;
+    }
+
+    /// Conservative upper bound on the sector images the next force will
+    /// log: every sector of every dirty name-table page plus every staged
+    /// leader. The true record is usually smaller (only *changed* sectors
+    /// are logged), so callers use this for backpressure, never capacity.
+    pub fn pending_meta_images(&self) -> usize {
+        self.pending_pages.len() * NT_PAGE_SECTORS as usize
+            + self
+                .leaders
+                .values()
+                .filter(|ls| ls.unlogged.is_some())
+                .count()
+    }
+
+    /// Images that fit in one log third — the natural batch bound: a
+    /// force near this size spans a whole third and triggers immediate
+    /// reclamation ("the log is forced long before [overflow]", §5.3).
+    pub fn log_third_capacity_images(&self) -> usize {
+        self.log.third_capacity_images()
+    }
+
     /// Free data sectors (excluding shadow-held pages).
     pub fn free_sectors(&self) -> u32 {
         self.vam.free_count()
@@ -376,10 +403,7 @@ impl FsdVolume {
             for i in 0..self.layout.vam_sectors {
                 let range = i as usize * SECTOR_BYTES..(i as usize + 1) * SECTOR_BYTES;
                 if current[range.clone()] != baseline[range.clone()] {
-                    images.push((
-                        PageTarget::VamSector { index: i },
-                        current[range].to_vec(),
-                    ));
+                    images.push((PageTarget::VamSector { index: i }, current[range].to_vec()));
                     logged_vam.push(i);
                 }
             }
@@ -452,7 +476,10 @@ impl FsdVolume {
             .or_else(|| {
                 (0..NT_PAGE_SECTORS).find_map(|s| {
                     third_of_image(
-                        &PageTarget::NtSector { page: id, sector: s },
+                        &PageTarget::NtSector {
+                            page: id,
+                            sector: s,
+                        },
                         &images,
                     )
                 })
@@ -581,7 +608,9 @@ impl FsdVolume {
     fn update_meta_root(&mut self) -> Result<()> {
         let root = self.tree.root();
         let mut store = nt_store!(self);
-        let raw = store.read_through(0).map_err(cedar_btree::BTreeError::Store)?;
+        let raw = store
+            .read_through(0)
+            .map_err(cedar_btree::BTreeError::Store)?;
         let mut meta = NtMeta::decode(&raw).map_err(FsdError::Check)?;
         if meta.root != root {
             meta.root = root;
@@ -646,15 +675,22 @@ impl FsdVolume {
         self.update_meta_root()
     }
 
-    /// Force early if the pending set is approaching the record cap
-    /// ("the log is forced long before" overflow, §5.3).
+    /// Force early if the pending set is approaching a log third ("the
+    /// log is forced long before" overflow, §5.3). The threshold scales
+    /// with the log: a bigger log absorbs bigger batches, exactly the
+    /// §5.4 "bigger log … improves these factors" lever.
     fn force_if_bulky(&mut self) -> Result<()> {
-        if self.pending_pages.len() * NT_PAGE_SECTORS as usize + self.leaders.len()
-            >= self.log.max_images().saturating_sub(6).max(2)
-        {
+        if self.pending_meta_images() >= self.bulky_threshold() {
             self.force()?;
         }
         Ok(())
+    }
+
+    /// Pending-image level at which the volume forces on its own:
+    /// three-quarters of a log third (conservatively estimated images
+    /// stay well inside the third the force lands in).
+    pub fn bulky_threshold(&self) -> usize {
+        (self.log.third_capacity_images() * 3 / 4).max(2)
     }
 
     // ----- operations --------------------------------------------------------------
@@ -672,12 +708,7 @@ impl FsdVolume {
         self.create_kind(name, data, Some(EntryKind::CachedRemote { last_used: now }))
     }
 
-    fn create_kind(
-        &mut self,
-        name: &str,
-        data: &[u8],
-        kind: Option<EntryKind>,
-    ) -> Result<FsdFile> {
+    fn create_kind(&mut self, name: &str, data: &[u8], kind: Option<EntryKind>) -> Result<FsdFile> {
         self.maybe_force()?;
         self.cpu.op();
         self.invalidate_vam_hint()?;
@@ -944,9 +975,7 @@ impl FsdVolume {
         if !file.leader_verified && file.entry.leader_addr != 0 {
             file.leader_verified = true;
             let first = file.entry.run_table.extent_at(page);
-            if page == 0
-                && first.is_some_and(|e| e.start == file.entry.leader_addr + 1)
-            {
+            if page == 0 && first.is_some_and(|e| e.start == file.entry.leader_addr + 1) {
                 // Piggyback the leader check on the first transfer (§5.7).
                 let extent = first.expect("checked");
                 let take = extent.len.min(count);
@@ -972,12 +1001,7 @@ impl FsdVolume {
 
     /// Writes `count` consecutive logical pages from `data`, batching
     /// transfers along physical extents.
-    pub fn write_pages(
-        &mut self,
-        file: &mut FsdFile,
-        page: u32,
-        data: &[u8],
-    ) -> Result<()> {
+    pub fn write_pages(&mut self, file: &mut FsdFile, page: u32, data: &[u8]) -> Result<()> {
         assert_eq!(data.len() % SECTOR_BYTES, 0);
         let count = (data.len() / SECTOR_BYTES) as u32;
         if page + count > file.pages() {
@@ -1075,10 +1099,7 @@ impl FsdVolume {
         for r in removed {
             self.vam.shadow_free_run(r);
         }
-        file.entry.byte_size = file
-            .entry
-            .byte_size
-            .min(pages as u64 * SECTOR_BYTES as u64);
+        file.entry.byte_size = file.entry.byte_size.min(pages as u64 * SECTOR_BYTES as u64);
         let fname = file.name.clone();
         let entry = file.entry.clone();
         self.put_entry(&fname, &entry)?;
@@ -1093,10 +1114,7 @@ impl FsdVolume {
             return;
         }
         let img = LeaderPage::for_entry(entry).encode();
-        self.leaders
-            .entry(entry.leader_addr)
-            .or_default()
-            .unlogged = Some(img);
+        self.leaders.entry(entry.leader_addr).or_default().unlogged = Some(img);
     }
 
     /// Deletes a version of `name` (the newest when `version` is `None`).

@@ -127,9 +127,8 @@ fn multi_page_tree_update_is_atomic_across_crash() {
         let mut disk = v.into_disk();
         disk.reboot();
         let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
-        v2.verify().unwrap_or_else(|e| {
-            panic!("tree corrupt after crash at {crash_after}: {e}")
-        });
+        v2.verify()
+            .unwrap_or_else(|e| panic!("tree corrupt after crash at {crash_after}: {e}"));
         // All seeds are committed and present.
         for i in 0..60 {
             assert!(

@@ -199,10 +199,7 @@ fn corrupted_leader_caught_by_software_check() {
     let mut f = v.open("f", None).unwrap();
     let leader_addr = f.entry.leader_addr;
     v.disk_mut().wild_write(leader_addr, 0x55);
-    assert!(matches!(
-        v.read_page(&mut f, 0),
-        Err(FsdError::Check(_))
-    ));
+    assert!(matches!(v.read_page(&mut f, 0), Err(FsdError::Check(_))));
 }
 
 #[test]
@@ -252,17 +249,15 @@ fn extended_file_leader_still_verifies() {
 #[test]
 fn symlink_entries_roundtrip() {
     let mut v = tiny();
-    v.create_symlink("link", "[server]<dir>real.file!3").unwrap();
+    v.create_symlink("link", "[server]<dir>real.file!3")
+        .unwrap();
     let f = v.open("link", None).unwrap();
     match &f.entry.kind {
         EntryKind::SymLink { target } => assert_eq!(target, "[server]<dir>real.file!3"),
         k => panic!("wrong kind {k:?}"),
     }
     let mut f = f;
-    assert!(matches!(
-        v.read_file(&mut f),
-        Err(FsdError::WrongKind(_))
-    ));
+    assert!(matches!(v.read_file(&mut f), Err(FsdError::WrongKind(_))));
 }
 
 #[test]
@@ -400,10 +395,7 @@ fn keep_is_inherited_by_new_versions() {
 #[test]
 fn set_keep_on_missing_file_errors() {
     let mut v = tiny();
-    assert!(matches!(
-        v.set_keep("ghost", 3),
-        Err(FsdError::NotFound(_))
-    ));
+    assert!(matches!(v.set_keep("ghost", 3), Err(FsdError::NotFound(_))));
 }
 
 #[test]

@@ -16,5 +16,5 @@
 pub mod ops;
 pub mod script;
 
-pub use ops::{fsd_ops, cfs_ops, Prediction};
+pub use ops::{cfs_ops, fsd_ops, Prediction};
 pub use script::{Script, Step};

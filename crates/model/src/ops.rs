@@ -95,8 +95,8 @@ pub fn fsd_ops(params: &ModelParams) -> Vec<Prediction> {
         .step("tree insert (3 cached nodes)", nodes(cpu, 3))
         .step("entry encode", Step::Cpu(cpu.entry_us))
         .step("copy 2 sectors", Step::Cpu(cpu.per_sector_us * 2));
-    let create_cpu = cpu.op_overhead_us + 5 * cpu.btree_node_us + cpu.entry_us
-        + cpu.per_sector_us * 2;
+    let create_cpu =
+        cpu.op_overhead_us + 5 * cpu.btree_node_us + cpu.entry_us + cpu.per_sector_us * 2;
     s = s
         .step(
             "write leader+data: rotational join (adjacent to previous create)",
@@ -393,7 +393,10 @@ mod tests {
         assert!(create > 2.0, "small create speedup {create:.2}");
         assert!(open > 1.5, "open speedup {open:.2}");
         assert!(delete > 2.0, "small delete speedup {delete:.2}");
-        assert!((1.5..6.0).contains(&large), "large create speedup {large:.2}");
+        assert!(
+            (1.5..6.0).contains(&large),
+            "large create speedup {large:.2}"
+        );
         // The paper's delete speedup (14.5×) towers over the others
         // because the Dorado's CFS delete was nearly all disk time; with
         // our faster simulated CPU constants the delete and create

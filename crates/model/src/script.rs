@@ -205,7 +205,9 @@ mod tests {
 
     #[test]
     fn render_mentions_every_step() {
-        let s = Script::new("op").step("a", Step::Latency).step("b", Step::Revolution);
+        let s = Script::new("op")
+            .step("a", Step::Latency)
+            .step("b", Step::Revolution);
         let text = s.render(&T, CYLS);
         assert!(text.contains("1) a"));
         assert!(text.contains("2) b"));

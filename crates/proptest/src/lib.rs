@@ -30,11 +30,9 @@ impl TestRng {
     /// Seeds from a test name and case index, so every test explores a
     /// distinct but reproducible input sequence.
     pub fn deterministic(name: &str, case: u64) -> Self {
-        let h = name
-            .bytes()
-            .fold(0xcbf29ce484222325u64, |h, b| {
-                (h ^ b as u64).wrapping_mul(0x100000001b3)
-            });
+        let h = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100000001b3)
+        });
         Self {
             state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
         }
@@ -240,7 +238,7 @@ pub mod collection {
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len = (&self.range).sample(rng);
+            let len = self.range.sample(rng);
             (0..len).map(|_| self.element.sample(rng)).collect()
         }
     }
@@ -267,7 +265,7 @@ pub mod collection {
     {
         type Value = BTreeSet<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
-            let want = (&self.range).sample(rng).max(1);
+            let want = self.range.sample(rng).max(1);
             let mut out = BTreeSet::new();
             // Bounded attempts: a small element domain may not have
             // `want` distinct values.

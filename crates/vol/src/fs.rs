@@ -1,0 +1,194 @@
+//! The unified file-system interface.
+//!
+//! All three systems in this repo — CFS (labels), FSD (logging + group
+//! commit), and the FFS baseline — expose the same client-visible
+//! operations: make a file, read it back, list by name, remove it.
+//! Historically each backend had its own signatures (`&CfsFile` vs
+//! `&mut FsdFile`, `delete` vs `unlink`, three different list return
+//! types) and the bench crate papered over the differences with a
+//! string-erroring `Workbench` shim. [`FileSystem`] is that shim
+//! promoted to a first-class trait: one object-safe interface every
+//! backend implements directly, with a shared [`CedarFsError`] instead
+//! of stringified errors.
+//!
+//! # Contract
+//!
+//! Names are flat, path-like strings (`doc/plan.txt`). The trait hides
+//! each backend's organization behind one rule: **after any sequence of
+//! operations, the visible name → contents map is identical on every
+//! backend.**
+//!
+//! * [`FileSystem::create`] makes `name`'s contents become `data`. On
+//!   the versioned Cedar systems an existing name gains a new version;
+//!   FFS replaces the file. Either way a subsequent `read` sees `data`.
+//! * [`FileSystem::write`] is the overwrite verb; its default
+//!   implementation delegates to `create` (which already has
+//!   replace-on-exists semantics).
+//! * [`FileSystem::list`] returns the newest version of every file whose
+//!   full name starts with `prefix`, sorted by name — on FFS this walks
+//!   subdirectories recursively so the flat-namespace systems and the
+//!   directory-tree system produce the same listing.
+//! * [`FileSystem::sync`] makes everything durable: FSD forces the log,
+//!   FFS flushes delayed writes, CFS (all-synchronous) does nothing.
+
+use crate::name::MAX_NAME_LEN;
+use cedar_disk::{DiskError, DiskStats, Micros};
+use std::fmt;
+
+/// Data transfers go to the disk in 4 KB requests (eight sectors), the
+/// buffer size of the era — so reading a 20 KB file costs several I/Os
+/// on *every* file system, as it did in the paper's MakeDo measurements.
+/// Backends use this as the chunk size for [`FileSystem::read`].
+pub const CHUNK_PAGES: u32 = 8;
+
+/// One error type across every backend.
+///
+/// Each backend keeps its own internal error enum (they carry
+/// backend-specific detail like CFS scavenge hints) and provides a
+/// `From` impl into this one, so trait methods can use `?` directly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CedarFsError {
+    /// Underlying (simulated) disk failure.
+    Disk(DiskError),
+    /// On-disk structure damage — name table, directory, or label.
+    Corrupt(String),
+    /// No such file.
+    NotFound(String),
+    /// The name already exists and the backend cannot version it.
+    Exists(String),
+    /// The volume is out of space.
+    NoSpace,
+    /// Malformed file name.
+    BadName(String),
+    /// A page or block index beyond the end of the file.
+    OutOfRange(String),
+    /// The entry exists but is the wrong kind (directory, symlink…).
+    WrongKind(String),
+}
+
+impl fmt::Display for CedarFsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Disk(e) => write!(f, "disk: {e}"),
+            Self::Corrupt(m) => write!(f, "corrupt: {m}"),
+            Self::NotFound(n) => write!(f, "file not found: {n}"),
+            Self::Exists(n) => write!(f, "file exists: {n}"),
+            Self::NoSpace => write!(f, "volume full"),
+            Self::BadName(m) => write!(f, "bad file name: {m}"),
+            Self::OutOfRange(m) => write!(f, "out of range: {m}"),
+            Self::WrongKind(m) => write!(f, "wrong entry kind: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CedarFsError {}
+
+impl From<DiskError> for CedarFsError {
+    fn from(e: DiskError) -> Self {
+        Self::Disk(e)
+    }
+}
+
+impl CedarFsError {
+    /// True when the error is the simulated power failure surfacing —
+    /// callers treat this as "stop the run", not an operation failure.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, Self::Disk(DiskError::Crashed))
+    }
+}
+
+/// Validates a client-visible file name (shared by backends that do not
+/// already have a stricter rule).
+pub fn validate_name(name: &str) -> Result<(), CedarFsError> {
+    if name.is_empty() || name.len() > MAX_NAME_LEN || name.bytes().any(|b| b == 0) {
+        return Err(CedarFsError::BadName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// What a file looks like from the outside: the newest version's name,
+/// version number (always 1 on FFS, which has no versions), and logical
+/// length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileInfo {
+    /// Full path-like name.
+    pub name: String,
+    /// Version number of the newest version (1-based).
+    pub version: u32,
+    /// Logical length in bytes.
+    pub bytes: u64,
+}
+
+/// Snapshot of a volume's accumulated costs, for benchmark reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FsStats {
+    /// Disk operation counts and time breakdown.
+    pub disk: DiskStats,
+    /// Simulated time on the volume's clock, µs.
+    pub now_us: Micros,
+    /// Free space remaining, in sectors (0 if the backend cannot say).
+    pub free_sectors: u64,
+}
+
+/// The unified interface all three file systems implement.
+///
+/// Object-safe: benches, workloads, and tests take `&mut dyn FileSystem`
+/// and run identically against every backend.
+pub trait FileSystem {
+    /// Short backend tag ("cfs", "fsd", "ffs") for reports.
+    fn kind(&self) -> &'static str;
+
+    /// Makes `name`'s contents become `data` (new file, new version, or
+    /// replacement — see the module docs). Returns the new instance.
+    fn create(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError>;
+
+    /// Opens the newest version without reading data (property access /
+    /// cache touch — FSD refreshes cached-remote last-used times here).
+    fn open(&mut self, name: &str) -> Result<FileInfo, CedarFsError>;
+
+    /// Reads the newest version fully, in [`CHUNK_PAGES`]-page requests.
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, CedarFsError>;
+
+    /// Overwrites `name` with `data`. Default: delegates to [`Self::create`],
+    /// whose contract already replaces visible contents.
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        self.create(name, data)
+    }
+
+    /// Deletes the newest version of `name` (the only version, for
+    /// workloads that keep one; FFS unlinks the file).
+    fn delete(&mut self, name: &str) -> Result<(), CedarFsError>;
+
+    /// Newest version of every file whose full name starts with
+    /// `prefix`, sorted by name.
+    fn list(&mut self, prefix: &str) -> Result<Vec<FileInfo>, CedarFsError>;
+
+    /// Makes all completed operations durable.
+    fn sync(&mut self) -> Result<(), CedarFsError>;
+
+    /// Accumulated simulated costs.
+    fn stats(&self) -> FsStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_stable() {
+        assert_eq!(
+            CedarFsError::NotFound("a/b".into()).to_string(),
+            "file not found: a/b"
+        );
+        assert_eq!(CedarFsError::NoSpace.to_string(), "volume full");
+        assert!(CedarFsError::Disk(DiskError::Crashed).is_crash());
+        assert!(!CedarFsError::NoSpace.is_crash());
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(validate_name("ok/name.txt").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("bad\0name").is_err());
+    }
+}

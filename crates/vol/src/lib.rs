@@ -13,15 +13,19 @@
 //! * [`alloc`] — run allocation policies: the old fragmenting single-area
 //!   first fit, and FSD's split big/small areas (§5.6);
 //! * [`name`] — `name!version` keys with an order-preserving encoding;
-//! * [`codec`] — little helpers for the hand-rolled on-disk encodings.
+//! * [`codec`] — little helpers for the hand-rolled on-disk encodings;
+//! * [`fs`] — the unified [`fs::FileSystem`] trait all three backends
+//!   (CFS, FSD, FFS) implement, with the shared [`fs::CedarFsError`].
 
 pub mod alloc;
 pub mod codec;
+pub mod fs;
 pub mod name;
 pub mod runtable;
 pub mod vam;
 
 pub use alloc::{AllocError, AllocPolicy, Allocator};
+pub use fs::{CedarFsError, FileInfo, FileSystem, FsStats};
 pub use name::FileName;
 pub use runtable::{Run, RunTable};
 pub use vam::Vam;

@@ -279,10 +279,7 @@ mod tests {
         v.free_run(Run::new(5, 3));
         v.free_run(Run::new(20, 9));
         v.free_run(Run::new(100, 6));
-        assert_eq!(
-            v.find_largest_free_run(0, 128, 100),
-            Some(Run::new(20, 9))
-        );
+        assert_eq!(v.find_largest_free_run(0, 128, 100), Some(Run::new(20, 9)));
         // Cap short-circuits.
         assert_eq!(v.find_largest_free_run(0, 128, 2), Some(Run::new(5, 2)));
         // Empty region.

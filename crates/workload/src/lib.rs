@@ -1,15 +1,22 @@
 //! Workload generators for the Cedar FS reproduction.
 //!
 //! Everything here is pure data: a workload is a vector of
-//! [`steps::Step`]s that the benchmark harness replays against any of the
-//! three file systems through the [`steps::Workbench`] adapter trait.
-//! Generators are seeded and fully deterministic.
+//! [`steps::Step`]s that the benchmark harness replays against any
+//! backend through the `cedar_vol::fs::FileSystem` trait. Generators
+//! are seeded and fully deterministic. [`multi`] stamps out N
+//! independent think-timed client scripts for the group-commit
+//! scheduler; [`memfs::MemFs`] is the in-memory model conformance
+//! tests compare real backends against.
 
 pub mod makedo;
+pub mod memfs;
+pub mod multi;
 pub mod rng;
 pub mod sizes;
 pub mod steps;
 
-pub use makedo::makedo_workload;
+pub use makedo::{makedo_workload, MakeDoParams};
+pub use memfs::MemFs;
+pub use multi::{multi_client_workload, ClientScript, MultiClientParams, TimedStep};
 pub use sizes::SizeDistribution;
-pub use steps::{Step, Workbench, WorkloadStats};
+pub use steps::{Step, WorkloadStats};

@@ -147,34 +147,12 @@ mod tests {
 
     #[test]
     fn every_measured_name_exists_when_needed() {
-        // Replaying against a simple model must not hit a missing file.
-        use crate::steps::{run, Workbench};
-        use std::collections::HashMap;
-        #[derive(Default)]
-        struct M(HashMap<String, u64>);
-        impl Workbench for M {
-            fn create(&mut self, n: &str, d: &[u8]) -> Result<(), String> {
-                self.0.insert(n.into(), d.len() as u64);
-                Ok(())
-            }
-            fn read(&mut self, n: &str) -> Result<Vec<u8>, String> {
-                self.0
-                    .get(n)
-                    .map(|&l| vec![0; l as usize])
-                    .ok_or(format!("missing {n}"))
-            }
-            fn touch(&mut self, n: &str) -> Result<(), String> {
-                self.0.contains_key(n).then_some(()).ok_or(format!("missing {n}"))
-            }
-            fn delete(&mut self, n: &str) -> Result<(), String> {
-                self.0.remove(n).map(|_| ()).ok_or(format!("missing {n}"))
-            }
-            fn list(&mut self, p: &str) -> Result<usize, String> {
-                Ok(self.0.keys().filter(|k| k.starts_with(p)).count())
-            }
-        }
+        // Replaying against the in-memory model must not hit a missing
+        // file.
+        use crate::memfs::MemFs;
+        use crate::steps::run;
         let (setup, measured) = makedo_workload(MakeDoParams::default());
-        let mut m = M::default();
+        let mut m = MemFs::default();
         run(&setup, &mut m).unwrap();
         run(&measured, &mut m).unwrap();
     }

@@ -1,0 +1,118 @@
+//! An in-memory reference [`FileSystem`] with Cedar versioning
+//! semantics.
+//!
+//! Used as the *model* in conformance tests: replay a script against
+//! `MemFs` and against a real backend and the visible name → contents
+//! map must match. It simulates nothing — no clock, no disk — so its
+//! [`FileSystem::stats`] are all zero.
+
+use cedar_vol::fs::{validate_name, CedarFsError, FileInfo, FileSystem, FsStats};
+use std::collections::BTreeMap;
+
+/// In-memory versioned file store.
+#[derive(Clone, Debug, Default)]
+pub struct MemFs {
+    /// name → stack of version contents (index 0 is version 1).
+    files: BTreeMap<String, Vec<Vec<u8>>>,
+}
+
+impl MemFs {
+    fn newest(&self, name: &str) -> Result<(&Vec<u8>, u32), CedarFsError> {
+        let versions = self
+            .files
+            .get(name)
+            .ok_or_else(|| CedarFsError::NotFound(name.to_string()))?;
+        Ok((versions.last().unwrap(), versions.len() as u32))
+    }
+}
+
+impl FileSystem for MemFs {
+    fn kind(&self) -> &'static str {
+        "mem"
+    }
+
+    fn create(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        validate_name(name)?;
+        let versions = self.files.entry(name.to_string()).or_default();
+        versions.push(data.to_vec());
+        Ok(FileInfo {
+            name: name.to_string(),
+            version: versions.len() as u32,
+            bytes: data.len() as u64,
+        })
+    }
+
+    fn open(&mut self, name: &str) -> Result<FileInfo, CedarFsError> {
+        let (data, version) = self.newest(name)?;
+        Ok(FileInfo {
+            name: name.to_string(),
+            version,
+            bytes: data.len() as u64,
+        })
+    }
+
+    fn read(&mut self, name: &str) -> Result<Vec<u8>, CedarFsError> {
+        Ok(self.newest(name)?.0.clone())
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), CedarFsError> {
+        let versions = self
+            .files
+            .get_mut(name)
+            .ok_or_else(|| CedarFsError::NotFound(name.to_string()))?;
+        versions.pop();
+        if versions.is_empty() {
+            self.files.remove(name);
+        }
+        Ok(())
+    }
+
+    fn list(&mut self, prefix: &str) -> Result<Vec<FileInfo>, CedarFsError> {
+        Ok(self
+            .files
+            .range(prefix.to_string()..)
+            .take_while(|(name, _)| name.starts_with(prefix))
+            .map(|(name, versions)| FileInfo {
+                name: name.clone(),
+                version: versions.len() as u32,
+                bytes: versions.last().unwrap().len() as u64,
+            })
+            .collect())
+    }
+
+    fn sync(&mut self) -> Result<(), CedarFsError> {
+        Ok(())
+    }
+
+    fn stats(&self) -> FsStats {
+        FsStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_stack_and_unstack() {
+        let mut fs = MemFs::default();
+        fs.create("a", b"1").unwrap();
+        let info = fs.create("a", b"22").unwrap();
+        assert_eq!((info.version, info.bytes), (2, 2));
+        assert_eq!(fs.read("a").unwrap(), b"22");
+        fs.delete("a").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"1");
+        fs.delete("a").unwrap();
+        assert!(matches!(fs.read("a"), Err(CedarFsError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_is_prefix_filtered_and_sorted() {
+        let mut fs = MemFs::default();
+        for n in ["b/x", "a/y", "a/x", "c"] {
+            fs.create(n, b"d").unwrap();
+        }
+        let names: Vec<String> = fs.list("a/").unwrap().into_iter().map(|i| i.name).collect();
+        assert_eq!(names, vec!["a/x", "a/y"]);
+    }
+}

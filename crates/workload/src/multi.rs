@@ -1,0 +1,179 @@
+//! Multi-client workload generation.
+//!
+//! §5.4's case for group commit is *concurrency*: "the log is only
+//! forced once for all of these transactions" when many clients commit
+//! inside one half-second window. This module stamps out N independent
+//! MakeDo-style clients, each under its own `c{nn}/` namespace with its
+//! own derived seed and its own *think times* — the simulated pause
+//! between a client's operations. The commit scheduler interleaves the
+//! scripts by ready time; more clients means more operations per window
+//! and fewer log forces per operation.
+//!
+//! Everything is derived from one `u64` seed, so a given
+//! (seed, clients) pair always produces the identical interleaving.
+
+use crate::makedo::{makedo_workload, MakeDoParams};
+use crate::rng::WorkloadRng;
+use crate::steps::Step;
+
+/// One step plus the client's think time *before* issuing it, in
+/// simulated microseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedStep {
+    /// Pause before the step (editor time, compile CPU, coffee).
+    pub think_us: u64,
+    /// The operation.
+    pub step: Step,
+}
+
+/// One simulated client's full script.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientScript {
+    /// Client index (0-based).
+    pub id: usize,
+    /// Namespace prefix (`c{id:02}`); every name in the script is under it.
+    pub prefix: String,
+    /// Population steps, replayed before measurement with no think time.
+    pub setup: Vec<Step>,
+    /// The measured, think-timed operation stream.
+    pub steps: Vec<TimedStep>,
+}
+
+/// Parameters for the multi-client workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiClientParams {
+    /// Number of simulated clients.
+    pub clients: usize,
+    /// Per-client MakeDo shape (sources/interfaces/rounds).
+    pub makedo: MakeDoParams,
+    /// Think time range `[lo, hi)` in µs, uniform per step.
+    pub think_us: (u64, u64),
+    /// Master seed; per-client seeds are derived from it.
+    pub seed: u64,
+}
+
+impl Default for MultiClientParams {
+    fn default() -> Self {
+        Self {
+            clients: 8,
+            makedo: MakeDoParams {
+                sources: 6,
+                interfaces: 10,
+                rounds: 1,
+                seed: 0, // replaced per client
+            },
+            // Mean 100 ms: a busy interactive client (§7 calls MakeDo
+            // "typical of clients that intensively use the file system").
+            think_us: (50_000, 150_000),
+            seed: 1987,
+        }
+    }
+}
+
+/// Builds N deterministic, namespace-disjoint client scripts.
+pub fn multi_client_workload(params: MultiClientParams) -> Vec<ClientScript> {
+    assert!(params.clients >= 1, "need at least one client");
+    assert!(params.think_us.0 < params.think_us.1, "empty think range");
+    (0..params.clients)
+        .map(|id| {
+            // Distinct size streams and think streams per client.
+            let derived = params
+                .seed
+                .wrapping_add((id as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            let (setup, measured) = makedo_workload(MakeDoParams {
+                seed: derived,
+                ..params.makedo
+            });
+            let prefix = format!("c{id:02}");
+            let mut think = WorkloadRng::new(derived ^ 0x7468696e6b); // "think"
+            ClientScript {
+                id,
+                setup: setup.iter().map(|s| s.prefixed(&prefix)).collect(),
+                steps: measured
+                    .iter()
+                    .map(|s| TimedStep {
+                        think_us: think.range(params.think_us.0, params.think_us.1),
+                        step: s.prefixed(&prefix),
+                    })
+                    .collect(),
+                prefix,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memfs::MemFs;
+    use crate::steps::{run, run_step, WorkloadStats};
+
+    #[test]
+    fn deterministic_and_client_disjoint() {
+        let p = MultiClientParams {
+            clients: 3,
+            ..Default::default()
+        };
+        let a = multi_client_workload(p);
+        let b = multi_client_workload(p);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Namespaces are disjoint and scripts differ across clients.
+        for c in &a {
+            for t in &c.steps {
+                let name = match &t.step {
+                    Step::Create { name, .. }
+                    | Step::Read { name }
+                    | Step::Touch { name }
+                    | Step::Delete { name } => name,
+                    Step::List { prefix } => prefix,
+                };
+                assert!(name.starts_with(&format!("{}/", c.prefix)), "{name}");
+            }
+        }
+        assert_ne!(a[0].steps[0].think_us, a[1].steps[0].think_us);
+    }
+
+    #[test]
+    fn scripts_replay_cleanly_in_any_interleaving() {
+        // All clients against one shared store, round-robin interleaved:
+        // disjoint namespaces mean no script sees another's files.
+        let clients = multi_client_workload(MultiClientParams {
+            clients: 4,
+            ..Default::default()
+        });
+        let mut fs = MemFs::default();
+        for c in &clients {
+            run(&c.setup, &mut fs).unwrap();
+        }
+        let mut stats = WorkloadStats::default();
+        let mut cursors = vec![0usize; clients.len()];
+        loop {
+            let mut progressed = false;
+            for (i, c) in clients.iter().enumerate() {
+                if cursors[i] < c.steps.len() {
+                    run_step(&c.steps[cursors[i]].step, &mut fs, &mut stats).unwrap();
+                    cursors[i] += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        assert_eq!(
+            stats.steps,
+            clients.iter().map(|c| c.steps.len() as u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn think_times_are_in_range() {
+        let p = MultiClientParams::default();
+        for c in multi_client_workload(p) {
+            for t in &c.steps {
+                assert!((p.think_us.0..p.think_us.1).contains(&t.think_us));
+            }
+        }
+    }
+}

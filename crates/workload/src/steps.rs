@@ -1,5 +1,10 @@
-//! Workload steps and the adapter trait the harness drives file systems
-//! through.
+//! Workload steps and the replay loop.
+//!
+//! A workload is pure data — a vector of [`Step`]s — replayed against
+//! any backend through the [`FileSystem`] trait (`cedar_vol::fs`), so
+//! one generated script drives CFS, FSD, and FFS identically.
+
+use cedar_vol::fs::{CedarFsError, FileSystem};
 
 /// One step of a replayable workload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,19 +39,22 @@ pub enum Step {
     },
 }
 
-/// The adapter each file system implements so one workload replays
-/// against all three (the adapters live in the bench crate).
-pub trait Workbench {
-    /// Creates a file.
-    fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String>;
-    /// Opens and reads a file fully.
-    fn read(&mut self, name: &str) -> Result<Vec<u8>, String>;
-    /// Opens a file without reading its data.
-    fn touch(&mut self, name: &str) -> Result<(), String>;
-    /// Deletes a file.
-    fn delete(&mut self, name: &str) -> Result<(), String>;
-    /// Lists a directory with properties, returning the entry count.
-    fn list(&mut self, prefix: &str) -> Result<usize, String>;
+impl Step {
+    /// Rewrites the step to live under `prefix/` — how one script is
+    /// stamped out per client in the multi-client workload.
+    pub fn prefixed(&self, prefix: &str) -> Step {
+        let p = |n: &str| format!("{prefix}/{n}");
+        match self {
+            Step::Create { name, bytes } => Step::Create {
+                name: p(name),
+                bytes: *bytes,
+            },
+            Step::Read { name } => Step::Read { name: p(name) },
+            Step::Touch { name } => Step::Touch { name: p(name) },
+            Step::Delete { name } => Step::Delete { name: p(name) },
+            Step::List { prefix: pre } => Step::List { prefix: p(pre) },
+        }
+    }
 }
 
 /// Aggregate results of a workload run.
@@ -62,38 +70,58 @@ pub struct WorkloadStats {
     pub listed: u64,
 }
 
+impl WorkloadStats {
+    /// Accumulates another run's totals into this one.
+    pub fn absorb(&mut self, other: &WorkloadStats) {
+        self.steps += other.steps;
+        self.bytes_written += other.bytes_written;
+        self.bytes_read += other.bytes_read;
+        self.listed += other.listed;
+    }
+}
+
 /// Deterministic file content derived from the name (verifiable on read).
 pub fn content_for(name: &str, bytes: u64) -> Vec<u8> {
-    let seed = name
-        .bytes()
-        .fold(0xcbf29ce484222325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100000001b3)
-        });
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
     (0..bytes)
         .map(|i| (seed.wrapping_add(i).wrapping_mul(0x9E3779B97F4A7C15) >> 56) as u8)
         .collect()
 }
 
+/// Executes a single step, folding its effect into `stats`.
+pub fn run_step(
+    step: &Step,
+    fs: &mut dyn FileSystem,
+    stats: &mut WorkloadStats,
+) -> Result<(), CedarFsError> {
+    stats.steps += 1;
+    match step {
+        Step::Create { name, bytes } => {
+            let data = content_for(name, *bytes);
+            fs.create(name, &data)?;
+            stats.bytes_written += bytes;
+        }
+        Step::Read { name } => {
+            stats.bytes_read += fs.read(name)?.len() as u64;
+        }
+        Step::Touch { name } => {
+            fs.open(name)?;
+        }
+        Step::Delete { name } => fs.delete(name)?,
+        Step::List { prefix } => {
+            stats.listed += fs.list(prefix)?.len() as u64;
+        }
+    }
+    Ok(())
+}
+
 /// Replays a workload against a file system.
-pub fn run(steps: &[Step], bench: &mut dyn Workbench) -> Result<WorkloadStats, String> {
+pub fn run(steps: &[Step], fs: &mut dyn FileSystem) -> Result<WorkloadStats, CedarFsError> {
     let mut stats = WorkloadStats::default();
     for step in steps {
-        stats.steps += 1;
-        match step {
-            Step::Create { name, bytes } => {
-                let data = content_for(name, *bytes);
-                bench.create(name, &data)?;
-                stats.bytes_written += bytes;
-            }
-            Step::Read { name } => {
-                stats.bytes_read += bench.read(name)?.len() as u64;
-            }
-            Step::Touch { name } => bench.touch(name)?,
-            Step::Delete { name } => bench.delete(name)?,
-            Step::List { prefix } => {
-                stats.listed += bench.list(prefix)? as u64;
-            }
-        }
+        run_step(step, fs, &mut stats)?;
     }
     Ok(stats)
 }
@@ -101,35 +129,7 @@ pub fn run(steps: &[Step], bench: &mut dyn Workbench) -> Result<WorkloadStats, S
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
-
-    /// A trivial in-memory workbench for testing the replay loop.
-    #[derive(Default)]
-    struct MemBench {
-        files: HashMap<String, Vec<u8>>,
-    }
-
-    impl Workbench for MemBench {
-        fn create(&mut self, name: &str, data: &[u8]) -> Result<(), String> {
-            self.files.insert(name.into(), data.to_vec());
-            Ok(())
-        }
-        fn read(&mut self, name: &str) -> Result<Vec<u8>, String> {
-            self.files.get(name).cloned().ok_or_else(|| "missing".into())
-        }
-        fn touch(&mut self, name: &str) -> Result<(), String> {
-            self.files
-                .contains_key(name)
-                .then_some(())
-                .ok_or_else(|| "missing".into())
-        }
-        fn delete(&mut self, name: &str) -> Result<(), String> {
-            self.files.remove(name).map(|_| ()).ok_or_else(|| "missing".into())
-        }
-        fn list(&mut self, prefix: &str) -> Result<usize, String> {
-            Ok(self.files.keys().filter(|k| k.starts_with(prefix)).count())
-        }
-    }
+    use crate::memfs::MemFs;
 
     #[test]
     fn replay_accumulates_stats() {
@@ -143,17 +143,18 @@ mod tests {
                 bytes: 50,
             },
             Step::Read { name: "d/a".into() },
-            Step::List { prefix: "d/".into() },
+            Step::List {
+                prefix: "d/".into(),
+            },
             Step::Delete { name: "d/b".into() },
         ];
-        let mut bench = MemBench::default();
-        let stats = run(&steps, &mut bench).unwrap();
+        let mut fs = MemFs::default();
+        let stats = run(&steps, &mut fs).unwrap();
         assert_eq!(stats.steps, 5);
         assert_eq!(stats.bytes_written, 150);
         assert_eq!(stats.bytes_read, 100);
         assert_eq!(stats.listed, 2);
-        assert!(bench.files.contains_key("d/a"));
-        assert!(!bench.files.contains_key("d/b"));
+        assert_eq!(fs.list("d/").unwrap().len(), 1);
     }
 
     #[test]
@@ -168,6 +169,30 @@ mod tests {
         let steps = vec![Step::Read {
             name: "absent".into(),
         }];
-        assert!(run(&steps, &mut MemBench::default()).is_err());
+        assert!(run(&steps, &mut MemFs::default()).is_err());
+    }
+
+    #[test]
+    fn prefixing_rewrites_every_name() {
+        let s = Step::Create {
+            name: "pkg/a".into(),
+            bytes: 1,
+        };
+        assert_eq!(
+            s.prefixed("c07"),
+            Step::Create {
+                name: "c07/pkg/a".into(),
+                bytes: 1
+            }
+        );
+        let l = Step::List {
+            prefix: "pkg/".into(),
+        };
+        assert_eq!(
+            l.prefixed("c07"),
+            Step::List {
+                prefix: "c07/pkg/".into()
+            }
+        );
     }
 }

@@ -38,7 +38,8 @@ fn run(commit_interval_us: u64) -> (u64, u64) {
     // open refreshes a last-used-time; the client "computes" ~50 ms
     // between opens.
     for i in 0..CACHED_FILES {
-        vol.open(&format!("cache/Compiler{i:03}.bcd"), None).expect("open");
+        vol.open(&format!("cache/Compiler{i:03}.bcd"), None)
+            .expect("open");
         vol.advance_time(50_000).expect("tick");
     }
     vol.force().expect("final commit");
@@ -56,7 +57,9 @@ fn main() {
     let (grouped_ops, grouped_records) = run(500_000);
     let (solo_ops, solo_records) = run(0);
 
-    println!("group commit every 0.5 s:   {grouped_ops:4} disk ops, {grouped_records:3} log records");
+    println!(
+        "group commit every 0.5 s:   {grouped_ops:4} disk ops, {grouped_records:3} log records"
+    );
     println!("commit after every open:    {solo_ops:4} disk ops, {solo_records:3} log records");
     println!(
         "\ngroup commit reduction: {:.2}x fewer I/Os (the paper's bulk runs saw 2.98x\n\

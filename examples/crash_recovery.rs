@@ -15,13 +15,15 @@ fn main() {
     let disk = SimDisk::trident_t300(SimClock::new());
     let mut fsd = FsdVolume::format(disk, FsdConfig::default()).expect("format");
     for i in 0..FILES {
-        fsd.create(&format!("work/file{i:04}"), &vec![7u8; 1500]).unwrap();
+        fsd.create(&format!("work/file{i:04}"), &vec![7u8; 1500])
+            .unwrap();
     }
     fsd.force().expect("commit the burst");
     // Ten more files after the last commit — then the machine dies with a
     // torn write (two damaged sectors, the paper's worst failure).
     for i in 0..10 {
-        fsd.create(&format!("work/late{i}"), b"uncommitted").unwrap();
+        fsd.create(&format!("work/late{i}"), b"uncommitted")
+            .unwrap();
     }
     fsd.disk_mut().schedule_crash(CrashPlan {
         after_sector_writes: 3,
@@ -63,13 +65,17 @@ fn main() {
     let disk = SimDisk::trident_t300(SimClock::new());
     let mut cfs = CfsVolume::format(disk, CfsConfig::default()).expect("format");
     for i in 0..FILES {
-        cfs.create(&format!("work/file{i:04}"), &vec![7u8; 1500]).unwrap();
+        cfs.create(&format!("work/file{i:04}"), &vec![7u8; 1500])
+            .unwrap();
     }
     let mut platters = cfs.into_disk();
     platters.crash_now();
     platters.reboot();
     let (mut cfs, vam_ok) = CfsVolume::boot(platters, CfsConfig::default()).expect("boot");
-    println!("CFS boots, but the VAM hint is {}", if vam_ok { "valid" } else { "stale" });
+    println!(
+        "CFS boots, but the VAM hint is {}",
+        if vam_ok { "valid" } else { "stale" }
+    );
     println!("  (no allocation is possible until the scavenger runs)");
     let report = cfs.scavenge().expect("scavenge");
     println!(

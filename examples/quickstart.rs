@@ -22,8 +22,11 @@ fn main() {
     // until the next half-second group commit.
     let before = vol.disk_stats();
     for i in 0..10 {
-        vol.create(&format!("docs/note{i}.tioga"), format!("note {i}").as_bytes())
-            .expect("create");
+        vol.create(
+            &format!("docs/note{i}.tioga"),
+            format!("note {i}").as_bytes(),
+        )
+        .expect("create");
     }
     let delta = vol.disk_stats().since(&before);
     println!(
@@ -50,7 +53,8 @@ fn main() {
     println!("note3 contains {:?}", String::from_utf8_lossy(&data));
 
     // Versions: creating the same name again makes version 2.
-    vol.create("docs/note3.tioga", b"note 3, revised").expect("create v2");
+    vol.create("docs/note3.tioga", b"note 3, revised")
+        .expect("create v2");
     let newest = vol.open("docs/note3.tioga", None).expect("open newest");
     println!(
         "newest version of note3 is !{} ({} bytes)",

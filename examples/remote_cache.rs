@@ -18,18 +18,16 @@ fn main() {
     }
     server.publish("[Ivy]<Cedar>Compiler.bcd", &vec![0xC0; 150_000]);
 
-    let vol = FsdVolume::format(
-        SimDisk::trident_t300(SimClock::new()),
-        FsdConfig::default(),
-    )
-    .expect("format");
+    let vol = FsdVolume::format(SimDisk::trident_t300(SimClock::new()), FsdConfig::default())
+        .expect("format");
     let mut fs = CachingFs::new(vol, server);
 
     // A build consults the compiler and every interface: first round
     // fetches, later rounds hit the cache.
     for round in 0..3 {
         let before = fs.server.fetches;
-        fs.read_remote("[Ivy]<Cedar>Compiler.bcd").expect("compiler");
+        fs.read_remote("[Ivy]<Cedar>Compiler.bcd")
+            .expect("compiler");
         for i in 0..8 {
             fs.read_remote(&format!("[Ivy]<Cedar>Interface{i}.bcd"))
                 .expect("interface");
@@ -43,9 +41,11 @@ fn main() {
     }
 
     // A new compiler release: only that file is refetched.
-    fs.server.publish("[Ivy]<Cedar>Compiler.bcd", &vec![0xC1; 160_000]);
+    fs.server
+        .publish("[Ivy]<Cedar>Compiler.bcd", &vec![0xC1; 160_000]);
     let before = fs.server.fetches;
-    fs.read_remote("[Ivy]<Cedar>Compiler.bcd").expect("compiler v2");
+    fs.read_remote("[Ivy]<Cedar>Compiler.bcd")
+        .expect("compiler v2");
     println!(
         "after a new release: {} fetch (old version still cached, immutable)",
         fs.server.fetches - before

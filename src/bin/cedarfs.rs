@@ -17,6 +17,7 @@
 
 use cedar_fs_repro::disk::{SimClock, SimDisk};
 use cedar_fs_repro::fsd::{FsdConfig, FsdVolume, RecoveryReport};
+use cedar_fs_repro::vol::fs::FileSystem;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -34,8 +35,8 @@ fn usage() -> ExitCode {
 }
 
 fn boot(image: &str) -> Result<(FsdVolume, RecoveryReport), String> {
-    let disk = SimDisk::load_image(image, SimClock::new())
-        .map_err(|e| format!("open {image}: {e}"))?;
+    let disk =
+        SimDisk::load_image(image, SimClock::new()).map_err(|e| format!("open {image}: {e}"))?;
     FsdVolume::boot(disk, FsdConfig::default()).map_err(|e| format!("boot: {e}"))
 }
 
@@ -46,7 +47,8 @@ fn finish(mut vol: FsdVolume, image: &str, crash: bool) -> Result<(), String> {
         let mut disk = vol.into_disk();
         disk.crash_now();
         disk.reboot();
-        disk.save_image(image).map_err(|e| format!("save {image}: {e}"))
+        disk.save_image(image)
+            .map_err(|e| format!("save {image}: {e}"))
     } else {
         vol.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         vol.into_disk()
@@ -72,8 +74,16 @@ fn report_recovery(r: &RecoveryReport) {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| a.starts_with("--")).collect();
-    let pos: Vec<&str> = args.iter().map(|s| s.as_str()).filter(|a| !a.starts_with("--")).collect();
+    let flags: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| a.starts_with("--"))
+        .collect();
+    let pos: Vec<&str> = args
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let crash = flags.contains(&"--crash");
 
     match pos.as_slice() {
@@ -87,8 +97,7 @@ fn run() -> Result<(), String> {
                 log_vam: flags.contains(&"--log-vam"),
                 ..FsdConfig::default()
             };
-            let mut vol =
-                FsdVolume::format(disk, config).map_err(|e| format!("format: {e}"))?;
+            let mut vol = FsdVolume::format(disk, config).map_err(|e| format!("format: {e}"))?;
             vol.shutdown().map_err(|e| format!("shutdown: {e}"))?;
             vol.into_disk()
                 .save_image(image)
@@ -100,21 +109,21 @@ fn run() -> Result<(), String> {
             let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            let f = vol.create(name, &data).map_err(|e| format!("create: {e}"))?;
+            // File operations go through the unified `FileSystem` trait —
+            // the same interface the benches and conformance tests use.
+            let f =
+                FileSystem::create(&mut vol, name, &data).map_err(|e| format!("create: {e}"))?;
             println!("{} <- {} ({} bytes)", f.name, host, data.len());
             finish(vol, image, crash)
         }
         ["get", image, name] | ["get", image, name, _] => {
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            let mut f = vol
-                .open(name, None)
-                .map_err(|e| format!("open {name}: {e}"))?;
-            let data = vol.read_file(&mut f).map_err(|e| format!("read: {e}"))?;
+            let data = FileSystem::read(&mut vol, name).map_err(|e| format!("read {name}: {e}"))?;
             match pos.get(3) {
                 Some(host) => {
                     std::fs::write(host, &data).map_err(|e| format!("write {host}: {e}"))?;
-                    println!("{} -> {} ({} bytes)", f.name, host, data.len());
+                    println!("{name} -> {host} ({} bytes)", data.len());
                 }
                 None => {
                     use std::io::Write;
@@ -129,15 +138,9 @@ fn run() -> Result<(), String> {
             let prefix = pos.get(2).copied().unwrap_or("");
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            let listing = vol.list(prefix).map_err(|e| format!("list: {e}"))?;
-            for (name, entry) in &listing {
-                println!(
-                    "{:>10}  {:>6} pages  uid {:016x}  {}",
-                    entry.byte_size,
-                    entry.run_table.pages(),
-                    entry.uid,
-                    name
-                );
+            let listing = FileSystem::list(&mut vol, prefix).map_err(|e| format!("list: {e}"))?;
+            for f in &listing {
+                println!("{:>10}  v{:<3}  {}", f.bytes, f.version, f.name);
             }
             eprintln!("{} entries", listing.len());
             finish(vol, image, false)
@@ -145,7 +148,7 @@ fn run() -> Result<(), String> {
         ["rm", image, name] => {
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            vol.delete(name, None).map_err(|e| format!("delete: {e}"))?;
+            FileSystem::delete(&mut vol, name).map_err(|e| format!("delete: {e}"))?;
             println!("removed {name}");
             finish(vol, image, crash)
         }

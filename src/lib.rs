@@ -10,29 +10,67 @@
 //! This crate is the facade: it re-exports every workspace crate and
 //! hosts the runnable examples and cross-crate integration tests.
 //!
+//! All three systems implement the unified [`FileSystem`]
+//! (`cedar_vol::fs::FileSystem`) trait — one interface, one
+//! `CedarFsError`, identical visible semantics (a conformance test
+//! holds them to it) — and FSD additionally offers the §5.4
+//! multi-client [`CommitScheduler`](cedar_fsd::CommitScheduler), which
+//! batches operations from many clients into one log force per commit
+//! window.
+//!
+//! [`FileSystem`]: cedar_vol::fs::FileSystem
+//!
 //! ## Quick start
 //!
 //! ```
 //! use cedar_fs_repro::disk::{SimClock, SimDisk};
 //! use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
+//! use cedar_fs_repro::vol::fs::FileSystem; // the unified trait
 //!
 //! // A simulated 300 MB Trident-class drive, formatted as an FSD volume.
 //! let disk = SimDisk::trident_t300(SimClock::new());
 //! let mut vol = FsdVolume::format(disk, FsdConfig::default()).unwrap();
 //!
-//! // Create, open, read — creates cost one synchronous I/O; opens none.
-//! vol.create("docs/memo.tioga", b"group commit!").unwrap();
-//! let mut file = vol.open("docs/memo.tioga", None).unwrap();
-//! assert_eq!(vol.read_file(&mut file).unwrap(), b"group commit!");
+//! // Create, read, list — through the same trait CFS and FFS implement
+//! // (a `&mut dyn FileSystem` works identically on every backend).
+//! let fs: &mut dyn FileSystem = &mut vol;
+//! fs.create("docs/memo.tioga", b"group commit!").unwrap();
+//! assert_eq!(fs.read("docs/memo.tioga").unwrap(), b"group commit!");
+//! assert_eq!(fs.list("docs/").unwrap()[0].name, "docs/memo.tioga");
 //!
 //! // Make everything durable, then survive a crash.
-//! vol.force().unwrap();
+//! fs.sync().unwrap();
 //! let mut platters = vol.into_disk();
 //! platters.crash_now();
 //! platters.reboot();
 //! let (mut vol, report) = FsdVolume::boot(platters, FsdConfig::default()).unwrap();
-//! assert!(vol.open("docs/memo.tioga", None).is_ok());
+//! let fs: &mut dyn FileSystem = &mut vol;
+//! assert!(fs.open("docs/memo.tioga").is_ok());
 //! assert!(report.total_us() < 30_000_000, "recovery in seconds, not hours");
+//! ```
+//!
+//! ## Group commit across clients (§5.4)
+//!
+//! ```
+//! use cedar_fs_repro::disk::SimDisk;
+//! use cedar_fs_repro::fsd::{CommitScheduler, FsdConfig, FsdVolume, SchedConfig};
+//! use cedar_fs_repro::vol::fs::FileSystem;
+//!
+//! let vol = FsdVolume::format(SimDisk::tiny(), FsdConfig::default()).unwrap();
+//! let mut sched = CommitScheduler::new(vol, SchedConfig::default());
+//!
+//! // Eight clients, each a `FileSystem` handle over the shared batch.
+//! for client in 0..8 {
+//!     sched
+//!         .client(client)
+//!         .create(&format!("c{client}/out.bcd"), b"compiled")
+//!         .unwrap();
+//! }
+//! let deadline = sched.now() + 500_000;
+//! sched.advance_to(deadline).unwrap(); // the window expires...
+//! let report = sched.report();
+//! assert_eq!(report.ops, 8);
+//! assert_eq!(report.log_forces, 1); // ...and ONE force commits all eight.
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and

@@ -30,7 +30,10 @@ impl Drop for Dir {
 }
 
 fn run(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(bin()).args(args).output().expect("spawn cedarfs");
+    let out = Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn cedarfs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -50,7 +53,9 @@ fn put_get_ls_rm_roundtrip() {
     assert!(run(&["put", &img, "docs/file.txt", &src]).0);
     let (ok, stdout, _) = run(&["ls", &img]);
     assert!(ok);
-    assert!(stdout.contains("docs/file.txt!1"), "{stdout}");
+    // Trait-driven `ls`: "<bytes>  v<version>  <name>".
+    assert!(stdout.contains("v1"), "{stdout}");
+    assert!(stdout.contains("docs/file.txt"), "{stdout}");
     assert!(run(&["get", &img, "docs/file.txt", &dst]).0);
     assert_eq!(
         std::fs::read(&dst).unwrap(),
@@ -81,7 +86,10 @@ fn crash_flag_forces_recovery_on_next_run() {
         stderr.contains("reconstructed from the name table"),
         "{stderr}"
     );
-    assert!(stdout.contains("f!1"), "{stdout}");
+    assert!(
+        stdout.contains("v1") && stdout.contains("  f\n"),
+        "{stdout}"
+    );
 }
 
 #[test]

@@ -191,6 +191,9 @@ fn fsd_open_and_delete_do_no_io_where_cfs_must() {
         cfs.open(&format!("f{i}"), None).unwrap();
         fsd.open(&format!("f{i}"), None).unwrap();
     }
-    assert!(cfs.disk_stats().total_ops() - cfs0 >= 20, "CFS reads a header per open");
+    assert!(
+        cfs.disk_stats().total_ops() - cfs0 >= 20,
+        "CFS reads a header per open"
+    );
     assert_eq!(fsd.disk_stats().total_ops() - fsd0, 0, "FSD opens are free");
 }

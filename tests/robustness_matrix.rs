@@ -218,7 +218,10 @@ fn class6_log_record_damage() {
     d.damage_sector(layout.log_start + 5);
     d.damage_sector(layout.log_start + 6);
     let (mut fsd, report) = FsdVolume::boot(d, fsd_config()).unwrap();
-    assert!(report.records_replayed >= 1, "the damaged record still replays");
+    assert!(
+        report.records_replayed >= 1,
+        "the damaged record still replays"
+    );
     let mut f = fsd.open("committed", None).unwrap();
     assert_eq!(fsd.read_file(&mut f).unwrap(), b"precious");
 }
@@ -255,7 +258,10 @@ fn cfs_unreplicated_name_table_loses_reads() {
     // Every lookup that needs a damaged page fails...
     let lost = (0..30)
         .filter(|i| {
-            matches!(cfs.open(&format!("f{i:02}"), None), Err(CfsError::Disk(_) | CfsError::Corrupt(_)))
+            matches!(
+                cfs.open(&format!("f{i:02}"), None),
+                Err(CfsError::Disk(_) | CfsError::Corrupt(_))
+            )
         })
         .count();
     assert!(lost > 0, "the unreplicated table must lose something");

@@ -6,3 +6,4 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace

@@ -1,0 +1,193 @@
+//! The ratchet allowlist: today's accepted findings, checked in, only
+//! allowed to shrink.
+//!
+//! Format: one entry per line, tab-separated:
+//!
+//! ```text
+//! rule<TAB>file<TAB>item<TAB>count<TAB>snippet
+//! ```
+//!
+//! Blank lines and lines starting with `#` are comments. Entries are keyed
+//! by (rule, file, enclosing item, snippet) rather than line numbers so
+//! unrelated edits do not invalidate them; `count` is how many identical
+//! sites the item contains. A finding with no allowlist budget fails the
+//! run; an allowlist entry with leftover budget is *stale* and also fails
+//! (`stale-allowlist` findings) — the ratchet never loosens silently.
+
+use crate::{AnalyzeError, Finding};
+use std::collections::BTreeMap;
+
+/// Parsed allowlist: key -> remaining budget.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeMap<(String, String, String, String), u32>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (everything is a finding).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the allowlist text.
+    pub fn parse(text: &str) -> Result<Self, AnalyzeError> {
+        let mut entries = BTreeMap::new();
+        for (no, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(5, '\t').collect();
+            let [rule, file, item, count, snippet] = parts.as_slice() else {
+                return Err(AnalyzeError::BadAllowlist(format!(
+                    "line {}: expected 5 tab-separated fields",
+                    no + 1
+                )));
+            };
+            let count: u32 = count.parse().map_err(|_| {
+                AnalyzeError::BadAllowlist(format!("line {}: bad count {count:?}", no + 1))
+            })?;
+            let key = (
+                rule.to_string(),
+                file.to_string(),
+                item.to_string(),
+                snippet.to_string(),
+            );
+            *entries.entry(key).or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads the allowlist from a file; a missing file is an empty list.
+    pub fn load(path: &std::path::Path) -> Result<Self, AnalyzeError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(AnalyzeError::Io(format!("{}: {e}", path.display()))),
+        }
+    }
+
+    /// Applies the allowlist: returns (unallowed findings, stale findings).
+    pub fn apply(&self, findings: Vec<Finding>) -> (Vec<Finding>, Vec<Finding>) {
+        let mut budget = self.entries.clone();
+        let mut kept = Vec::new();
+        for f in findings {
+            match budget.get_mut(&f.key()) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => kept.push(f),
+            }
+        }
+        let stale = budget
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((rule, file, item, snippet), n)| Finding {
+                rule: "stale-allowlist",
+                file: file.clone(),
+                line: 0,
+                item,
+                snippet: snippet.clone(),
+                message: format!(
+                    "allowlist entry for rule `{rule}` ({snippet}) has {n} unused \
+                     occurrence(s) — the site was fixed; delete the entry to ratchet down"
+                ),
+            })
+            .collect();
+        (kept, stale)
+    }
+
+    /// Renders findings as allowlist text (for `--emit-allow`).
+    pub fn emit(findings: &[Finding]) -> String {
+        let mut counts: BTreeMap<(String, String, String, String), u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(f.key()).or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# cedar-lint ratchet allowlist. One tab-separated entry per accepted\n\
+             # site: rule<TAB>file<TAB>item<TAB>count<TAB>snippet.\n\
+             # This file only shrinks: new findings and stale entries both fail CI.\n",
+        );
+        for ((rule, file, item, snippet), n) in counts {
+            out.push_str(&format!("{rule}\t{file}\t{item}\t{n}\t{snippet}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, file: &str, item: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            item: item.into(),
+            snippet: snippet.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_budget() {
+        let findings = vec![
+            f("panic-ratchet", "a.rs", "go", "unwrap()"),
+            f("panic-ratchet", "a.rs", "go", "unwrap()"),
+            f("cast-safety", "b.rs", "-", "len() as u16"),
+        ];
+        let text = Allowlist::emit(&findings);
+        let allow = Allowlist::parse(&text).unwrap();
+        assert_eq!(allow.len(), 2);
+        let (kept, stale) = allow.apply(findings);
+        assert!(kept.is_empty());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn new_site_fails() {
+        let allow = Allowlist::parse("panic-ratchet\ta.rs\tgo\t1\tunwrap()\n").unwrap();
+        let (kept, stale) = allow.apply(vec![
+            f("panic-ratchet", "a.rs", "go", "unwrap()"),
+            f("panic-ratchet", "a.rs", "go", "unwrap()"), // One too many.
+        ]);
+        assert_eq!(kept.len(), 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn stale_entry_fails() {
+        let allow = Allowlist::parse("panic-ratchet\ta.rs\tgo\t2\tunwrap()\n").unwrap();
+        let (kept, stale) = allow.apply(vec![f("panic-ratchet", "a.rs", "go", "unwrap()")]);
+        assert!(kept.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "stale-allowlist");
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let allow = Allowlist::parse("# hi\n\npanic-ratchet\ta\tb\t1\tc\n").unwrap();
+        assert_eq!(allow.len(), 1);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Allowlist::parse("too few fields").is_err());
+        assert!(Allowlist::parse("a\tb\tc\tNaN\td").is_err());
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let allow = Allowlist::load(std::path::Path::new("/nonexistent/xyz.allow")).unwrap();
+        assert!(allow.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! cedar-lint: the workspace's static invariant checker.
+//!
+//! Usage:
+//!
+//! ```text
+//! cedar-lint [--workspace] [--root <path>] [--allowlist <path>]
+//!            [--json] [--emit-allow]
+//! ```
+//!
+//! Scans the Cedar workspace for layering violations, panic sites,
+//! lock-order hazards, duplicated layout constants, truncating casts, and
+//! unsafe-code hygiene. Exits 0 when clean, 1 on findings (including stale
+//! allowlist entries), 2 on usage or I/O errors.
+//!
+//! `--emit-allow` prints the current findings in allowlist format (for
+//! seeding `cedar-lint.allow`); the run itself exits 0.
+
+use cedar_analyze::allowlist::Allowlist;
+use cedar_analyze::config::Config;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Opts {
+    root: Option<PathBuf>,
+    allowlist: Option<PathBuf>,
+    json: bool,
+    emit_allow: bool,
+}
+
+const USAGE: &str = "usage: cedar-lint [--workspace] [--root <path>] \
+                     [--allowlist <path>] [--json] [--emit-allow]";
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        allowlist: None,
+        json: false,
+        emit_allow: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => {} // The default (and only) scan scope.
+            "--json" => opts.json = true,
+            "--emit-allow" => opts.emit_allow = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(v));
+            }
+            "--allowlist" => {
+                let v = it.next().ok_or("--allowlist needs a path")?;
+                opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Finds the workspace root: the given path, or the nearest ancestor of the
+/// current directory containing both `Cargo.toml` and `crates/`.
+fn find_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(p) = explicit {
+        return Ok(p);
+    }
+    let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &cwd;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Ok(dir.to_path_buf());
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => {
+                return Err(format!(
+                    "no workspace root (Cargo.toml + crates/) above {}",
+                    cwd.display()
+                ))
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match find_root(opts.root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("cedar-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = Config::cedar();
+
+    if opts.emit_allow {
+        // Scan with an empty allowlist and print everything found.
+        return match cedar_analyze::run(&root, &config, &Allowlist::empty()) {
+            Ok(report) => {
+                print!("{}", Allowlist::emit(&report.findings));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cedar-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let allow_path = opts
+        .allowlist
+        .unwrap_or_else(|| root.join("cedar-lint.allow"));
+    let allow = match Allowlist::load(&allow_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cedar-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cedar_analyze::run(&root, &config, &allow) {
+        Ok(report) => {
+            if opts.json {
+                println!("{}", report.json());
+            } else {
+                print!("{}", report.human());
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cedar-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

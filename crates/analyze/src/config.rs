@@ -1,0 +1,190 @@
+//! Rule configuration: the workspace's layer map and rule scopes, as data.
+//!
+//! Everything repo-specific lives here so fixture tests can run the same
+//! rules over synthetic workspaces.
+
+use std::collections::BTreeMap;
+
+/// A duplicated-constant pattern for the const-consistency rule.
+#[derive(Clone, Debug)]
+pub struct KnownConst {
+    /// The literal value that must not be written out by hand.
+    pub value: u128,
+    /// The canonical constant to use instead.
+    pub const_name: &'static str,
+    /// Crates the rule applies in (empty = all crates).
+    pub crates: Vec<&'static str>,
+    /// Files allowed to spell the literal (the definition site).
+    pub defining_files: Vec<&'static str>,
+}
+
+/// Full rule configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// crate key -> workspace crates it may import (by `use` ident, e.g.
+    /// `cedar_disk`). Crates absent from the map are unconstrained.
+    pub allowed_imports: BTreeMap<&'static str, Vec<&'static str>>,
+    /// Crates whose non-test code may perform raw sector I/O on a disk
+    /// receiver.
+    pub raw_io_crates: Vec<&'static str>,
+    /// Method names that constitute raw sector I/O on a `…disk` receiver.
+    pub io_methods: Vec<&'static str>,
+    /// Files (by relative path) allowed to address log-region sectors.
+    pub log_region_files: Vec<&'static str>,
+    /// Identifier tokens that address the log region.
+    pub log_region_idents: Vec<&'static str>,
+    /// Crates covered by the panic-freedom ratchet.
+    pub panic_crates: Vec<&'static str>,
+    /// Crates covered by the cast-safety rule.
+    pub cast_crates: Vec<&'static str>,
+    /// Layout constants whose width-changing `as` casts are flagged
+    /// (name, defining files where the cast is permitted).
+    pub cast_const_idents: Vec<(&'static str, Vec<&'static str>)>,
+    /// Duplicated-constant patterns.
+    pub known_consts: Vec<KnownConst>,
+    /// Files forming the commit path: a lock held across a disk write or
+    /// log force here is a finding.
+    pub commit_path_files: Vec<&'static str>,
+    /// Method names that force/write on the commit path.
+    pub force_methods: Vec<&'static str>,
+    /// Crates whose `src/lib.rs` must carry `#![deny(unsafe_code)]`.
+    pub deny_unsafe_crates: Vec<&'static str>,
+}
+
+impl Config {
+    /// The Cedar workspace's configuration.
+    pub fn cedar() -> Self {
+        let mut allowed_imports: BTreeMap<&'static str, Vec<&'static str>> = BTreeMap::new();
+        // The layer cake, bottom to top. A crate may import strictly
+        // lower layers; `bench`, the CLI and the facade go through the
+        // `FileSystem` trait for file operations (enforced separately by
+        // the raw-I/O check) but may name lower crates for setup.
+        allowed_imports.insert("disk", vec![]);
+        allowed_imports.insert("btree", vec![]);
+        allowed_imports.insert("proptest", vec![]);
+        allowed_imports.insert("analyze", vec![]);
+        allowed_imports.insert("vol", vec!["cedar_disk"]);
+        allowed_imports.insert("model", vec!["cedar_disk"]);
+        allowed_imports.insert("cfs", vec!["cedar_disk", "cedar_vol", "cedar_btree"]);
+        allowed_imports.insert("fsd", vec!["cedar_disk", "cedar_vol", "cedar_btree"]);
+        allowed_imports.insert("ffs", vec!["cedar_disk", "cedar_vol"]);
+        allowed_imports.insert("workload", vec!["cedar_disk", "cedar_vol"]);
+        allowed_imports.insert(
+            "bench",
+            vec![
+                "cedar_disk",
+                "cedar_vol",
+                "cedar_cfs",
+                "cedar_fsd",
+                "cedar_ffs",
+                "cedar_model",
+                "cedar_workload",
+            ],
+        );
+        allowed_imports.insert(
+            "root",
+            vec![
+                "cedar_disk",
+                "cedar_btree",
+                "cedar_vol",
+                "cedar_cfs",
+                "cedar_fsd",
+                "cedar_ffs",
+                "cedar_model",
+                "cedar_workload",
+                "cedar_fs_repro",
+            ],
+        );
+        Self {
+            allowed_imports,
+            raw_io_crates: vec!["disk", "btree", "vol", "cfs", "fsd", "ffs"],
+            io_methods: vec![
+                "read",
+                "write",
+                "read_checked",
+                "write_checked",
+                "write_with_labels",
+                "read_allow_damage",
+                "read_labels",
+                "write_labels",
+            ],
+            log_region_files: vec![
+                "crates/fsd/src/log.rs",
+                "crates/fsd/src/recovery.rs",
+                "crates/fsd/src/layout.rs",
+            ],
+            log_region_idents: vec!["log_start", "log_sectors"],
+            panic_crates: vec!["disk", "btree", "vol", "cfs", "fsd", "ffs", "analyze"],
+            cast_crates: vec!["disk", "btree", "vol", "cfs", "fsd", "ffs"],
+            cast_const_idents: vec![
+                ("SECTOR_BYTES", vec!["crates/disk/src/lib.rs"]),
+                ("BLOCK_SECTORS", vec!["crates/ffs/src/lib.rs"]),
+                ("INODES_PER_BLOCK", vec!["crates/ffs/src/layout.rs"]),
+                ("INODE_BYTES", vec!["crates/ffs/src/lib.rs"]),
+            ],
+            known_consts: vec![
+                KnownConst {
+                    value: 512,
+                    const_name: "cedar_disk::SECTOR_BYTES",
+                    // The analyzer and the proptest shim legitimately spell
+                    // 512 (this table, shrink budgets); everything that
+                    // touches sectors must use the constant.
+                    crates: vec![
+                        "disk", "btree", "vol", "cfs", "fsd", "ffs", "model", "workload", "bench",
+                        "root",
+                    ],
+                    defining_files: vec!["crates/disk/src/lib.rs"],
+                },
+                KnownConst {
+                    value: 1024,
+                    const_name: "cedar_ffs::BLOCK_BYTES",
+                    crates: vec!["ffs"],
+                    defining_files: vec!["crates/ffs/src/lib.rs"],
+                },
+                KnownConst {
+                    value: 128,
+                    const_name: "cedar_ffs::INODE_BYTES",
+                    crates: vec!["ffs"],
+                    defining_files: vec!["crates/ffs/src/lib.rs"],
+                },
+            ],
+            commit_path_files: vec![
+                "crates/fsd/src/sched.rs",
+                "crates/fsd/src/volume.rs",
+                "crates/fsd/src/log.rs",
+            ],
+            force_methods: vec![
+                "write",
+                "write_checked",
+                "write_with_labels",
+                "write_labels",
+                "force",
+                "append",
+                "write_meta",
+            ],
+            deny_unsafe_crates: vec![
+                "disk", "btree", "vol", "cfs", "fsd", "ffs", "model", "workload", "bench",
+                "proptest", "analyze", "root",
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_config_is_coherent() {
+        let c = Config::cedar();
+        // Every raw-I/O crate is a known crate in the import map.
+        for k in &c.raw_io_crates {
+            assert!(c.allowed_imports.contains_key(k), "{k} missing");
+        }
+        // The log module itself must be allowed to address the log.
+        assert!(c.log_region_files.contains(&"crates/fsd/src/log.rs"));
+        // The checker lints itself.
+        assert!(c.panic_crates.contains(&"analyze"));
+        assert!(c.deny_unsafe_crates.contains(&"analyze"));
+    }
+}

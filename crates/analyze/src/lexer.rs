@@ -1,0 +1,374 @@
+//! A minimal Rust lexer: just enough to strip comments, strings (including
+//! raw strings), and char literals so the rules never match inside them.
+//!
+//! The token stream keeps identifiers, numeric literals, and single-character
+//! punctuation with line numbers. Comments are preserved *separately* (the
+//! unsafe-hygiene rule looks for `// SAFETY:` annotations); string and char
+//! literal contents are dropped and replaced by a single `Str` token so that
+//! token adjacency (e.g. `assert!("...")`) is preserved.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// A string, byte-string, raw-string, or char literal (contents dropped).
+    Str,
+    /// A lifetime (`'a`), kept distinct from char literals.
+    Lifetime,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Identifier / literal text (empty for `Str`).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its line span (a block comment may span several lines).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// First line of the comment.
+    pub line: u32,
+    /// Last line of the comment.
+    pub end_line: u32,
+    /// Raw comment text, including the `//` or `/* */` delimiters.
+    pub text: String,
+}
+
+/// Lexed file: tokens plus the comments that were stripped.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: unterminated constructs are tolerated by
+/// consuming to end of input (the compiler, not the linter, rejects them).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+            }
+            b'"' => {
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let start_line = line;
+                i = skip_raw_or_byte_string(b, i, &mut line);
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime vs char literal. `'ident` not followed by a
+                // closing quote is a lifetime; everything else is a char.
+                if is_lifetime(b, i) {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line,
+                    });
+                } else {
+                    i = skip_char_literal(b, i, &mut line);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            _ if c == b'_' || (c as char).is_ascii_alphabetic() => {
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ if (c as char).is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                // Numbers may contain digits, `_`, base prefixes, hex
+                // letters, suffixes, and a decimal point.
+                while i < b.len()
+                    && (b[i] == b'_' || b[i] == b'.' || (b[i] as char).is_ascii_alphanumeric())
+                {
+                    // `0..10` is a range, not a float: stop at `..`.
+                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// True if position `i` (at `r` or `b`) starts a raw string (`r"`, `r#"`),
+/// byte string (`b"`), or raw byte string (`br"`, `br#"`).
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        while j < b.len() && b[j] == b'#' {
+            j += 1;
+        }
+    }
+    // A plain `b` must be directly followed by a quote (`b"` or `b'`).
+    j < b.len() && (b[j] == b'"' || (b[j] == b'\'' && j == i + 1))
+}
+
+/// Skips a raw/byte string starting at `i`; returns the index past its end.
+fn skip_raw_or_byte_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < b.len() && b[i] == b'\'' {
+        return skip_char_literal(b, i, line); // b'x'
+    }
+    let mut hashes = 0usize;
+    if i < b.len() && b[i] == b'r' {
+        i += 1;
+        while i < b.len() && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if i < b.len() && b[i] == b'"' {
+        if hashes == 0 && b[i.saturating_sub(1)] != b'r' && b[i.saturating_sub(1)] != b'#' {
+            // Plain byte string `b"..."`: escapes apply.
+            return skip_string(b, i, line);
+        }
+        i += 1;
+        // Raw string: ends at `"` followed by `hashes` `#`s; no escapes.
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+                i += 1;
+                continue;
+            }
+            if b[i] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < b.len() && b[i + 1 + k] == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skips a normal (escaped) string literal starting at the `"` at `i`.
+fn skip_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // Opening quote.
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a char literal starting at the `'` (or `b'`) at `i`.
+fn skip_char_literal(b: &[u8], mut i: usize, _line: &mut u32) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // Opening quote.
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Distinguishes `'a` (lifetime) from `'a'` (char literal) at the `'` at `i`.
+fn is_lifetime(b: &[u8], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if first != b'_' && !(first as char).is_ascii_alphabetic() {
+        return false; // `'\n'`, `'9'`… are char literals.
+    }
+    // Scan the identifier; a closing quote right after means char literal.
+    let mut j = i + 1;
+    while j < b.len() && (b[j] == b'_' || (b[j] as char).is_ascii_alphanumeric()) {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let l = lex("a // unwrap()\n/* panic! */ b /* nested /* x */ y */ c");
+        assert_eq!(idents("a // unwrap()\n/* panic! */ b"), vec!["a", "b"]);
+        assert_eq!(l.comments.len(), 3);
+        assert!(l.comments[0].text.contains("unwrap"));
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        assert_eq!(idents(r#"a ".unwrap()" b"#), vec!["a", "b"]);
+        assert_eq!(idents(r##"a r#".unwrap()"# b"##), vec!["a", "b"]);
+        assert_eq!(idents(r#"a b".unwrap()" c"#), vec!["a", "c"]);
+        assert_eq!(idents("a \"esc \\\" .unwrap()\" b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert!(l.tokens.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("x") && t.line == 0));
+    }
+
+    #[test]
+    fn numbers_keep_text_and_ranges_split() {
+        let l = lex("0..512 0x200 1_024usize 3.5");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "512", "0x200", "1_024usize", "3.5"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n\nc");
+        let lines: Vec<_> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_block_comment_spans() {
+        let l = lex("/* a\nb\nc */ x");
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[0].end_line, 3);
+        assert_eq!(l.tokens[0].line, 3);
+    }
+}

@@ -1,0 +1,121 @@
+//! `cedar-analyze`: an in-tree static invariant checker for the Cedar FS
+//! workspace.
+//!
+//! The paper's reliability story rests on protocol obligations the Rust
+//! compiler cannot see: only the log module may address log-region sectors,
+//! the name table is always double-written, recovery must never panic
+//! mid-redo. This crate states those obligations as machine-checked rules
+//! over the workspace source, using a hand-rolled lexer (the build
+//! environment has no crates.io access, so no `syn`).
+//!
+//! Rule families (each finding carries its rule id):
+//!
+//! * **layering** — import DAG between workspace crates, raw sector I/O
+//!   confined to the volume layer, log-region addressing confined to
+//!   `cedar_fsd::{log, recovery}`.
+//! * **panic-ratchet** — no `unwrap()/expect()/panic!()` in non-test
+//!   library code; existing sites live in a checked-in allowlist that only
+//!   shrinks (new sites and stale entries both fail).
+//! * **lock-order** — per-function lock acquisition sequences with one
+//!   level of intra-workspace call propagation; cycles in the lock-order
+//!   graph and locks held across disk-write/log-force calls on the commit
+//!   path are findings.
+//! * **const-consistency** — integer literals duplicating layout constants
+//!   (`SECTOR_BYTES`, FFS block/inode sizes) instead of deriving them.
+//! * **cast-safety** — truncating `as` casts in sector/page arithmetic
+//!   (`.len() as u16`, narrowing casts of computed values, width-changing
+//!   casts of layout constants).
+//! * **unsafe-hygiene** — every library crate declares
+//!   `#![deny(unsafe_code)]` (or `forbid`); any `unsafe` elsewhere needs a
+//!   `// SAFETY:` comment.
+//!
+//! The `cedar-lint` binary scans the workspace (including this crate),
+//! prints a human table or JSON, and exits nonzero on findings — it is a
+//! tier-1 CI gate (see `ci.sh`).
+
+#![deny(unsafe_code)]
+
+pub mod allowlist;
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use config::Config;
+pub use report::Report;
+
+/// One finding: a rule violation at a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`layering`, `panic-ratchet`, `lock-order`,
+    /// `const-consistency`, `cast-safety`, `unsafe-hygiene`,
+    /// `stale-allowlist`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Enclosing function (or `-`).
+    pub item: String,
+    /// Short normalized snippet used as the allowlist key.
+    pub snippet: String,
+    /// Human explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Allowlist key: identifies a site independent of line numbers.
+    pub fn key(&self) -> (String, String, String, String) {
+        (
+            self.rule.to_string(),
+            self.file.clone(),
+            self.item.clone(),
+            self.snippet.clone(),
+        )
+    }
+}
+
+/// Checker errors (I/O and usage — rules themselves never error).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Filesystem error reading the workspace.
+    Io(String),
+    /// The root does not look like the expected workspace.
+    BadRoot(String),
+    /// Allowlist file is malformed.
+    BadAllowlist(String),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(m) => write!(f, "i/o error: {m}"),
+            Self::BadRoot(m) => write!(f, "bad workspace root: {m}"),
+            Self::BadAllowlist(m) => write!(f, "bad allowlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Runs every rule over the workspace at `root`, applies the allowlist,
+/// and returns the report. `allow` is the parsed allowlist (empty for
+/// none).
+pub fn run(
+    root: &std::path::Path,
+    config: &Config,
+    allow: &allowlist::Allowlist,
+) -> Result<Report, AnalyzeError> {
+    let files = workspace::load_workspace(root, config)?;
+    let mut findings = Vec::new();
+    findings.extend(rules::layering::check(&files, config));
+    findings.extend(rules::panics::check(&files, config));
+    findings.extend(rules::locks::check(&files, config));
+    findings.extend(rules::consts::check(&files, config));
+    findings.extend(rules::casts::check(&files, config));
+    findings.extend(rules::unsafety::check(&files, config));
+    let (kept, stale) = allow.apply(findings);
+    Ok(Report::new(kept, stale, files.len()))
+}

@@ -1,0 +1,396 @@
+//! Lock-order heuristic: extract per-function lock-acquisition sequences,
+//! propagate one level of intra-workspace calls, detect cycles in the
+//! lock-order graph, and flag locks held across disk-write/log-force calls
+//! on the commit path.
+//!
+//! An *acquisition* is a call `path.lock()` (std `Mutex`; `RwLock`'s
+//! `read()/write()` collide with disk I/O names and are deliberately out
+//! of scope — the workspace uses `Mutex` only). The lock identity is the
+//! receiver path with a leading `self.` stripped, so `self.mu` in two
+//! methods is the same lock. An acquisition bound with `let g = …` is
+//! *held* until the end of the function (a conservative over-approximation
+//! of guard scope); a temporary `x.lock().op()` is released immediately.
+//!
+//! Edges `a → b` mean "a held while acquiring b". One level of call
+//! propagation: if `f` holds `a` and later calls `g`, and `g` (any
+//! same-named workspace fn — conservative) acquires `b`, that also adds
+//! `a → b`. A cycle in the resulting graph is a potential deadlock; the
+//! report names both conflicting acquisition sites.
+
+use crate::config::Config;
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{method_call_at, receiver_path};
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lock acquisition site.
+#[derive(Clone, Debug)]
+struct Acq {
+    lock: String,
+    file: String,
+    line: u32,
+    item: String,
+    /// Bound to a `let` guard (held to end of function).
+    held: bool,
+}
+
+/// Per-function extraction.
+#[derive(Clone, Debug, Default)]
+struct FnLocks {
+    acquisitions: Vec<Acq>,
+    /// Called function/method names after each token index, with lines.
+    calls: Vec<(String, u32)>,
+}
+
+/// Runs the lock-order checks.
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    // fn name -> merged lock info (same-named fns merge conservatively).
+    let mut fns: BTreeMap<String, FnLocks> = BTreeMap::new();
+    let mut order: Vec<(String, String)> = Vec::new(); // For determinism.
+    for f in files {
+        if f.is_aux {
+            continue;
+        }
+        for (name, start, end) in f.fn_spans() {
+            if f.is_test_line(*start) {
+                continue;
+            }
+            let fl = extract(f, *start, *end);
+            if fl.acquisitions.is_empty() && fl.calls.is_empty() {
+                continue;
+            }
+            order.push((name.clone(), f.rel.clone()));
+            let entry = fns.entry(name.clone()).or_default();
+            entry.acquisitions.extend(fl.acquisitions);
+            entry.calls.extend(fl.calls);
+        }
+    }
+
+    // Build edges: (from lock, to lock) -> (from site, to site).
+    let mut edges: BTreeMap<(String, String), (Acq, Acq)> = BTreeMap::new();
+    for fl in fns.values() {
+        // Intra-function ordering.
+        for (i, a) in fl.acquisitions.iter().enumerate() {
+            if !a.held {
+                continue;
+            }
+            for b in fl.acquisitions.iter().skip(i + 1) {
+                if a.lock != b.lock {
+                    edges
+                        .entry((a.lock.clone(), b.lock.clone()))
+                        .or_insert_with(|| (a.clone(), b.clone()));
+                }
+            }
+        }
+        // One level of call propagation.
+        for a in &fl.acquisitions {
+            if !a.held {
+                continue;
+            }
+            for (callee, call_line) in &fl.calls {
+                if *call_line < a.line {
+                    continue; // Call precedes the acquisition.
+                }
+                if let Some(g) = fns.get(callee) {
+                    for b in &g.acquisitions {
+                        if a.lock != b.lock {
+                            edges
+                                .entry((a.lock.clone(), b.lock.clone()))
+                                .or_insert_with(|| (a.clone(), b.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = cycle_findings(&edges);
+    out.extend(held_across_force(files, config));
+    out
+}
+
+/// Extracts acquisitions and calls from one function's token span.
+fn extract(f: &SourceFile, start: u32, end: u32) -> FnLocks {
+    let toks = &f.tokens;
+    let mut fl = FnLocks::default();
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        if line < start || line > end {
+            continue;
+        }
+        if let Some((_, name_idx)) = method_call_at(toks, i, &["lock"]) {
+            let recv = receiver_path(toks, i);
+            if recv.is_empty() {
+                continue;
+            }
+            let lock = normalize_lock(&recv);
+            fl.acquisitions.push(Acq {
+                lock,
+                file: f.rel.clone(),
+                line: toks[name_idx].line,
+                item: f.enclosing_fn(toks[name_idx].line).to_string(),
+                held: is_let_bound(toks, i, &recv),
+            });
+        } else if toks[i].kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks[i].text != "lock"
+            && !matches!(
+                toks[i].text.as_str(),
+                "if" | "while" | "match" | "return" | "for"
+            )
+            && i.checked_sub(1).is_none_or(|k| !toks[k].is_ident("fn"))
+        {
+            // A call to `name(` — free function or method; recorded for
+            // one-level propagation. `fn name(` is the declaration itself,
+            // not a call, and must not self-propagate.
+            fl.calls.push((toks[i].text.clone(), line));
+        }
+    }
+    fl
+}
+
+/// Lock identity: receiver path minus a leading `self`.
+fn normalize_lock(recv: &[String]) -> String {
+    let segs: Vec<&str> = recv
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| !(*i == 0 && *s == "self"))
+        .map(|(_, s)| s.as_str())
+        .collect();
+    segs.join(".")
+}
+
+/// True if the acquisition whose receiver starts `recv.len()` idents before
+/// the `.` at `dot` is bound by `let` (scanning back for `let x =` on the
+/// same statement).
+fn is_let_bound(toks: &[Tok], dot: usize, recv: &[String]) -> bool {
+    // Receiver occupies (2 * len - 1) tokens before the dot at minimum
+    // (idents and dots); walk back past it, then expect `= ident [mut] let`.
+    let mut j = dot;
+    let mut remaining = recv.len();
+    while remaining > 0 && j > 0 {
+        j -= 1;
+        if toks[j].kind == TokKind::Ident {
+            remaining -= 1;
+        }
+    }
+    // Skip over `&`, `*` borrows.
+    while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].is_punct('*')) {
+        j -= 1;
+    }
+    if j == 0 || !toks[j - 1].is_punct('=') {
+        return false;
+    }
+    // Walk back over the pattern: ident, optional `mut`, optional type
+    // annotation is not handled (rare for guards) — then require `let`.
+    let mut k = j - 1;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_ident("let") {
+            return true;
+        }
+        if t.kind == TokKind::Ident || t.is_punct(':') || t.is_punct('_') {
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+/// DFS cycle detection over the lock-order graph; one finding per cycle.
+fn cycle_findings(edges: &BTreeMap<(String, String), (Acq, Acq)>) -> Vec<Finding> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (a, b) in edges.keys() {
+        adj.entry(a.as_str()).or_default().push(b.as_str());
+    }
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    // For each node, find a path back to itself.
+    for start in adj.keys().copied().collect::<Vec<_>>() {
+        let mut stack = vec![(start, vec![start.to_string()])];
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            let Some(nexts) = adj.get(node) else { continue };
+            for next in nexts {
+                if *next == start {
+                    // Canonicalize the cycle so each is reported once.
+                    let mut cyc = path.clone();
+                    let min_pos = cyc
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.as_str())
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cyc.rotate_left(min_pos);
+                    if !reported.insert(cyc.clone()) {
+                        continue;
+                    }
+                    let fwd = &edges[&(path[path.len() - 1].clone(), start.to_string())];
+                    // The edge that completes the cycle and the edge that
+                    // opened it: both conflicting acquisition sites.
+                    let back_key = (cyc[0].clone(), cyc[(1) % cyc.len()].clone());
+                    let opening = edges.get(&back_key).unwrap_or(fwd);
+                    out.push(Finding {
+                        rule: "lock-order",
+                        file: fwd.1.file.clone(),
+                        line: fwd.1.line,
+                        item: fwd.1.item.clone(),
+                        snippet: format!("cycle:{}", cyc.join("->")),
+                        message: format!(
+                            "lock-order cycle {} -> {}: `{}` acquired at \
+                             {}:{} (in `{}`) while `{}` order is established at \
+                             {}:{} (in `{}`) — potential deadlock",
+                            cyc.join(" -> "),
+                            cyc[0],
+                            fwd.1.lock,
+                            fwd.1.file,
+                            fwd.1.line,
+                            fwd.1.item,
+                            opening.1.lock,
+                            opening.0.file,
+                            opening.0.line,
+                            opening.0.item,
+                        ),
+                    });
+                } else if !path.iter().any(|p| p == next) && seen.insert((*next).to_string()) {
+                    let mut p = path.clone();
+                    p.push((*next).to_string());
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Flags a held lock guard live across a disk-write/log-force call in the
+/// commit-path files.
+fn held_across_force(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !config.commit_path_files.iter().any(|p| *p == f.rel) {
+            continue;
+        }
+        let toks = &f.tokens;
+        for (fn_name, start, end) in f.fn_spans() {
+            if f.is_test_line(*start) {
+                continue;
+            }
+            let mut held: Vec<(String, u32)> = Vec::new();
+            for i in 0..toks.len() {
+                let line = toks[i].line;
+                if line < *start || line > *end {
+                    continue;
+                }
+                if let Some((_, idx)) = method_call_at(toks, i, &["lock"]) {
+                    let recv = receiver_path(toks, i);
+                    if !recv.is_empty() && is_let_bound(toks, i, &recv) {
+                        held.push((normalize_lock(&recv), toks[idx].line));
+                    }
+                    continue;
+                }
+                let force: Vec<&str> = config.force_methods.clone();
+                if let Some((method, idx)) = method_call_at(toks, i, &force) {
+                    if let Some((lock, lock_line)) = held.first() {
+                        out.push(Finding {
+                            rule: "lock-order",
+                            file: f.rel.clone(),
+                            line: toks[idx].line,
+                            item: fn_name.clone(),
+                            snippet: format!("{lock} held across {method}()"),
+                            message: format!(
+                                "lock `{lock}` (acquired line {lock_line}) is held \
+                                 across `{method}()` on the commit path: a log \
+                                 force under a lock serializes every client \
+                                 behind the disk (§5.4 group commit wants the \
+                                 wait outside the lock)"
+                            ),
+                        });
+                        break; // One finding per function is enough signal.
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(rel.into(), "fsd".into(), false, src)
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "fn f() { let a = A.lock(); let b = B.lock(); }\n\
+                   fn g() { let a = A.lock(); let b = B.lock(); }\n";
+        assert!(check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar()).is_empty());
+    }
+
+    #[test]
+    fn two_fn_cycle_detected_with_both_sites() {
+        let src = "fn f() { let a = A.lock(); let b = B.lock(); }\n\
+                   fn g() { let b = B.lock(); let a = A.lock(); }\n";
+        let out = check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].snippet.starts_with("cycle:"));
+        // Both conflicting acquisition sites (lines 1 and 2) are named.
+        assert!(out[0].message.contains(":1"), "{}", out[0].message);
+        assert!(out[0].message.contains(":2"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn transient_lock_not_an_edge() {
+        // `A.lock().push(x)` releases immediately: no hold, no cycle.
+        let src = "fn f() { A.lock().push(1); let b = B.lock(); }\n\
+                   fn g() { let b = B.lock(); A.lock().push(1); }\n";
+        assert!(check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar()).is_empty());
+    }
+
+    #[test]
+    fn one_level_call_propagation() {
+        let src = "fn f() { let a = A.lock(); helper(); }\n\
+                   fn helper() { let b = B.lock(); }\n\
+                   fn g() { let b = B.lock(); let a = A.lock(); }\n";
+        let out = check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar());
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn self_receivers_unify_across_methods() {
+        let src = "impl S {\n\
+                   fn f(&self) { let a = self.mu.lock(); let b = self.nu.lock(); }\n\
+                   fn g(&self) { let b = self.nu.lock(); let a = self.mu.lock(); }\n\
+                   }\n";
+        let out = check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar());
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn held_across_force_on_commit_path() {
+        let src = "fn settle(&mut self) { let g = self.mu.lock(); self.vol.force(); }\n";
+        let out = check(&[file("crates/fsd/src/sched.rs", src)], &Config::cedar());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].snippet.contains("held across force()"));
+    }
+
+    #[test]
+    fn force_off_commit_path_not_flagged() {
+        let src = "fn settle(&mut self) { let g = self.mu.lock(); self.vol.force(); }\n";
+        let out = check(&[file("crates/fsd/src/cache.rs", src)], &Config::cedar());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n\
+                   fn f() { let a = A.lock(); let b = B.lock(); }\n\
+                   fn g() { let b = B.lock(); let a = A.lock(); }\n}\n";
+        assert!(check(&[file("crates/fsd/src/a.rs", src)], &Config::cedar()).is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Workspace discovery: walks `crates/*/{src,tests,benches,examples}` and
+//! the root crate's `src/`, `tests/`, `examples/`, loading every `.rs`
+//! file in deterministic order.
+
+use crate::config::Config;
+use crate::source::{self, SourceFile};
+use crate::AnalyzeError;
+use std::path::{Path, PathBuf};
+
+/// Loads every workspace source file under `root`.
+pub fn load_workspace(root: &Path, _config: &Config) -> Result<Vec<SourceFile>, AnalyzeError> {
+    if !root.join("crates").is_dir() {
+        return Err(AnalyzeError::BadRoot(format!(
+            "{} has no crates/ directory",
+            root.display()
+        )));
+    }
+    let mut rels = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dirs(&crates_dir)? {
+        for kind in ["src", "tests", "benches", "examples"] {
+            collect_rs(
+                &root.join("crates").join(&krate).join(kind),
+                root,
+                &mut rels,
+            )?;
+        }
+    }
+    for kind in ["src", "tests", "examples", "benches"] {
+        collect_rs(&root.join(kind), root, &mut rels)?;
+    }
+    rels.sort();
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        // Fixture workspaces inside `tests/fixtures` of the analyze crate
+        // are scanned as aux files of their containing crate; skip them —
+        // they contain deliberate violations.
+        if rel.contains("/fixtures/") {
+            continue;
+        }
+        files.push(source::load(root, &rel).map_err(|e| AnalyzeError::Io(format!("{rel}: {e}")))?);
+    }
+    Ok(files)
+}
+
+/// Sorted immediate subdirectory names of `dir`.
+fn sorted_dirs(dir: &Path) -> Result<Vec<String>, AnalyzeError> {
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| AnalyzeError::Io(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError::Io(e.to_string()))?;
+        if entry.path().is_dir() {
+            if let Some(name) = entry.file_name().to_str() {
+                out.push(name.to_string());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects workspace-relative paths of `.rs` files under `dir`.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> Result<(), AnalyzeError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack: Vec<PathBuf> = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&d).map_err(|e| AnalyzeError::Io(format!("{}: {e}", d.display())))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| AnalyzeError::Io(e.to_string()))?;
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = p.strip_prefix(root) {
+                    let rel = rel
+                        .to_str()
+                        .map(|s| s.replace('\\', "/"))
+                        .unwrap_or_default();
+                    if !rel.is_empty() {
+                        out.push(rel);
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_this_workspace() {
+        // The analyze crate lives at <root>/crates/analyze.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let files = load_workspace(root, &Config::cedar()).expect("load");
+        assert!(files.iter().any(|f| f.rel == "crates/fsd/src/log.rs"));
+        assert!(files.iter().any(|f| f.rel == "src/lib.rs"));
+        // Fixture workspaces are excluded.
+        assert!(files.iter().all(|f| !f.rel.contains("/fixtures/")));
+        // Aux classification.
+        let log = files.iter().find(|f| f.rel == "crates/fsd/src/log.rs");
+        assert!(log.is_some_and(|f| !f.is_aux && f.crate_key == "fsd"));
+    }
+}

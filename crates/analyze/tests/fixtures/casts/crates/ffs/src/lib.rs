@@ -1,0 +1,10 @@
+#![deny(unsafe_code)]
+use cedar_disk::SECTOR_BYTES;
+
+pub fn count(v: &[u8]) -> u16 {
+    v.len() as u16
+}
+
+pub fn sb() -> u32 {
+    SECTOR_BYTES as u32
+}

@@ -1,0 +1,2 @@
+#![deny(unsafe_code)]
+pub const SECTOR_BYTES: usize = 512;

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub fn sectors(bytes: usize) -> usize {
+    bytes.div_ceil(512)
+}

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub fn peek(disk: &mut SimDisk) {
+    let _ = disk.read_labels(0, 1);
+}

@@ -1,0 +1,4 @@
+#![deny(unsafe_code)]
+use cedar_fsd::FsdVolume;
+
+pub fn upward(_v: &FsdVolume) {}

@@ -1,0 +1,3 @@
+#![deny(unsafe_code)]
+pub fn forward(s: &Shared) { let a = s.alpha.lock(); let b = s.beta.lock(); drop(b); drop(a); }
+pub fn reverse(s: &Shared) { let b = s.beta.lock(); let a = s.alpha.lock(); drop(a); drop(b); }

@@ -1,0 +1,5 @@
+pub fn settle(v: &mut Vol) {
+    let g = v.mu.lock();
+    v.disk.write_meta();
+    drop(g);
+}

@@ -1,0 +1,14 @@
+#![deny(unsafe_code)]
+
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(super::risky(Some(2)), 2);
+        Some(2).unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+#![deny(unsafe_code)]
+
+pub fn uncovered(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

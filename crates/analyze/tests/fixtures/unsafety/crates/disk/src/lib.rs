@@ -1,0 +1,3 @@
+pub fn danger(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,6 @@
+#![deny(unsafe_code)]
+
+pub fn documented(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` points at a live byte.
+    unsafe { *p }
+}

@@ -1,0 +1,79 @@
+//! The two ratchet guarantees, proven against the real workspace:
+//!
+//! 1. The tree as committed is clean under the checked-in allowlist
+//!    (`cedar-lint --workspace` exits 0 — this is the CI gate).
+//! 2. The ratchet actually bites: copying the workspace aside and adding
+//!    one new `unwrap()` to a covered crate produces a `panic-ratchet`
+//!    finding under the same allowlist.
+
+use cedar_analyze::allowlist::Allowlist;
+use cedar_analyze::{run, Config};
+use std::path::{Path, PathBuf};
+
+/// The real workspace root (two levels above this crate).
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_workspace_is_clean_under_checked_in_allowlist() {
+    let root = workspace_root();
+    let allow = Allowlist::load(&root.join("cedar-lint.allow")).expect("allowlist");
+    let report = run(&root, &Config::cedar(), &allow).expect("analysis");
+    assert!(report.ok(), "workspace has findings:\n{}", report.human());
+}
+
+/// Copies every workspace `.rs` file (and the allowlist) into `dst`,
+/// preserving relative paths and skipping fixture trees.
+fn copy_workspace(root: &Path, dst: &Path) {
+    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                let rel = p.strip_prefix(root).expect("inside root");
+                if rel.to_string_lossy().contains("fixtures") {
+                    continue;
+                }
+                let to = dst.join(rel);
+                std::fs::create_dir_all(to.parent().expect("parent")).expect("mkdir");
+                std::fs::copy(&p, &to).expect("copy source file");
+            }
+        }
+    }
+    std::fs::copy(root.join("cedar-lint.allow"), dst.join("cedar-lint.allow"))
+        .expect("copy allowlist");
+}
+
+#[test]
+fn ratchet_catches_a_new_unwrap_in_a_covered_crate() {
+    let root = workspace_root();
+    let dst = std::env::temp_dir().join(format!("cedar-lint-ratchet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_workspace(&root, &dst);
+
+    // Inject one new panic site into cedar-fsd's library code.
+    std::fs::write(
+        dst.join("crates/fsd/src/injected.rs"),
+        "pub fn oops(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("write injected file");
+
+    let allow = Allowlist::load(&dst.join("cedar-lint.allow")).expect("allowlist");
+    let report = run(&dst, &Config::cedar(), &allow).expect("analysis");
+    let caught = report.findings.iter().any(|f| {
+        f.rule == "panic-ratchet" && f.file == "crates/fsd/src/injected.rs" && f.item == "oops"
+    });
+    let human = report.human();
+    let _ = std::fs::remove_dir_all(&dst);
+    assert!(caught, "injected unwrap was not flagged:\n{human}");
+}

@@ -134,7 +134,7 @@ fn bench_log() {
         })
         .collect();
     bench("log_encode_record_14_pages", 5000, || {
-        std::hint::black_box(encode_record(&images, 1, 1, true));
+        std::hint::black_box(encode_record(&images, 1, 1, true).unwrap());
     });
 }
 

@@ -12,6 +12,7 @@
 //! file needs.
 
 use cedar_bench::Table;
+use cedar_disk::SECTOR_BYTES;
 use cedar_vol::{AllocPolicy, Allocator, Run, RunTable, Vam};
 use cedar_workload::sizes::{small_file_shares, SizeDistribution};
 
@@ -36,7 +37,7 @@ fn churn(policy: AllocPolicy) -> FragResult {
     // tenth forever; delete random victims to hold occupancy near 40 %.
     let mut failures = 0;
     for i in 0..30_000 {
-        let pages = (sizes.sample() as u32).div_ceil(512).max(1);
+        let pages = (sizes.sample() as u32).div_ceil(SECTOR_BYTES as u32).max(1);
         match alloc.allocate(&mut vam, pages) {
             Ok(rt) => {
                 if i % 10 != 0 {

@@ -61,7 +61,7 @@ fn measure_ffs() -> Counts {
     let creates = io(&fs) - t0;
 
     // Cold buffer cache for the read-side rows.
-    fs.drop_caches();
+    fs.drop_caches().expect("cache flush");
     let t0 = io(&fs);
     assert_eq!(fs.list("d4").unwrap().len(), 100);
     let list = io(&fs) - t0;

@@ -109,7 +109,7 @@ fn ffs_stream(write: bool) -> Util {
         };
     }
     fs.create("big", &vec![0u8; bytes]).unwrap();
-    fs.drop_caches();
+    fs.drop_caches().expect("cache flush");
     let f = fs.open("big").unwrap();
     fs.disk_mut().reset_stats();
     let t0 = clock.now();

@@ -7,6 +7,8 @@
 //! everything is driven through, the multi-client scheduler driver,
 //! and table rendering.
 
+#![deny(unsafe_code)]
+
 pub mod adapters;
 pub mod driver;
 pub mod report;

@@ -15,6 +15,8 @@
 //! strings ordered lexicographically; entries are variable length, as Cedar
 //! file names are.
 
+#![deny(unsafe_code)]
+
 pub mod mem;
 pub mod node;
 pub mod store;

@@ -80,15 +80,18 @@ impl Node {
     /// Panics if the node does not fit (callers split before encoding).
     pub fn encode(&self, page_size: usize) -> Vec<u8> {
         assert!(self.fits(page_size), "node overflows page");
+        // Every length below is bounded by the fits() check (a page is far
+        // smaller than u16::MAX entries or bytes), so saturation never fires.
+        let len16 = |n: usize| u16::try_from(n).unwrap_or(u16::MAX).to_le_bytes();
         let mut out = vec![0u8; page_size];
         match self {
             Node::Leaf(entries) => {
                 out[0] = LEAF_TAG;
-                out[1..3].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                out[1..3].copy_from_slice(&len16(entries.len()));
                 let mut at = HEADER;
                 for (k, v) in entries {
-                    out[at..at + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
-                    out[at + 2..at + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+                    out[at..at + 2].copy_from_slice(&len16(k.len()));
+                    out[at + 2..at + 4].copy_from_slice(&len16(v.len()));
                     at += 4;
                     out[at..at + k.len()].copy_from_slice(k);
                     at += k.len();
@@ -99,12 +102,12 @@ impl Node {
             Node::Internal { keys, children } => {
                 assert_eq!(children.len(), keys.len() + 1, "malformed internal node");
                 out[0] = INTERNAL_TAG;
-                out[1..3].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                out[1..3].copy_from_slice(&len16(keys.len()));
                 let mut at = HEADER;
                 out[at..at + 4].copy_from_slice(&children[0].to_le_bytes());
                 at += 4;
                 for (k, c) in keys.iter().zip(&children[1..]) {
-                    out[at..at + 2].copy_from_slice(&(k.len() as u16).to_le_bytes());
+                    out[at..at + 2].copy_from_slice(&len16(k.len()));
                     at += 2;
                     out[at..at + k.len()].copy_from_slice(k);
                     at += k.len();
@@ -131,12 +134,14 @@ impl Node {
             *at += n;
             Ok(s)
         };
+        let le16 = |s: &[u8]| u16::from_le_bytes([s[0], s[1]]) as usize;
+        let le32 = |s: &[u8]| u32::from_le_bytes([s[0], s[1], s[2], s[3]]);
         match page[0] {
             LEAF_TAG => {
                 let mut entries = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
-                    let vlen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+                    let klen = le16(take(&mut at, 2)?);
+                    let vlen = le16(take(&mut at, 2)?);
                     let k = take(&mut at, klen)?.to_vec();
                     let v = take(&mut at, vlen)?.to_vec();
                     entries.push((k, v));
@@ -146,11 +151,11 @@ impl Node {
             INTERNAL_TAG => {
                 let mut children = Vec::with_capacity(count + 1);
                 let mut keys = Vec::with_capacity(count);
-                children.push(u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()));
+                children.push(le32(take(&mut at, 4)?));
                 for _ in 0..count {
-                    let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().unwrap()) as usize;
+                    let klen = le16(take(&mut at, 2)?);
                     keys.push(take(&mut at, klen)?.to_vec());
-                    children.push(u32::from_le_bytes(take(&mut at, 4)?.try_into().unwrap()));
+                    children.push(le32(take(&mut at, 4)?));
                 }
                 Ok(Node::Internal { keys, children })
             }

@@ -120,8 +120,8 @@ impl BootPage {
         w.u32(BOOT_MAGIC)
             .u32(self.nt_root)
             .u32(self.boot_count)
-            .u8(self.vam_valid as u8)
-            .u16(self.nt_bitmap.len() as u16);
+            .u8(u8::from(self.vam_valid))
+            .u16(u16::try_from(self.nt_bitmap.len()).unwrap_or(u16::MAX));
         for word in &self.nt_bitmap {
             w.u64(*word);
         }

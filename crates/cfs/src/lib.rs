@@ -27,6 +27,8 @@
 //! header, update the file name table, write the byte, and rewrite the
 //! header.
 
+#![deny(unsafe_code)]
+
 pub mod error;
 pub mod fs_impl;
 pub mod header;

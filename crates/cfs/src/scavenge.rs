@@ -115,7 +115,7 @@ impl CfsVolume {
                 // shrink the byte count accordingly.
                 header.byte_size = header
                     .byte_size
-                    .min(label_pages as u64 * cedar_disk::SECTOR_BYTES as u64);
+                    .min(label_pages as u64 * cedar_disk::SECTOR_BYTES_U64);
             }
             header.run_table = rt;
             live.insert(uid);
@@ -144,7 +144,7 @@ impl CfsVolume {
         }
 
         // Pass 3: relabel orphaned sectors free, batching contiguous runs.
-        report.orphan_sectors = orphans.len() as u32;
+        report.orphan_sectors = u32::try_from(orphans.len()).unwrap_or(u32::MAX);
         let mut i = 0;
         while i < orphans.len() {
             let start = orphans[i];

@@ -329,7 +329,9 @@ impl SimDisk {
         n: usize,
         expected: &[Label],
     ) -> Result<Vec<u8>> {
-        assert_eq!(expected.len(), n, "one expected label per sector");
+        if expected.len() != n {
+            return Err(DiskError::BadRequest("one expected label per sector"));
+        }
         self.check_range(start, n)?;
         self.stats.reads += 1;
         self.attribute(start);
@@ -365,11 +367,22 @@ impl SimDisk {
         expected: Option<&[Label]>,
         new_labels: Option<&[Label]>,
     ) -> Result<()> {
-        assert!(
-            data.len().is_multiple_of(SECTOR_BYTES),
-            "write length must be a whole number of sectors"
-        );
+        if !data.len().is_multiple_of(SECTOR_BYTES) {
+            return Err(DiskError::BadRequest(
+                "write length must be a whole number of sectors",
+            ));
+        }
         let n = data.len() / SECTOR_BYTES;
+        if let Some(exp) = expected {
+            if exp.len() != n {
+                return Err(DiskError::BadRequest("one expected label per sector"));
+            }
+        }
+        if let Some(labels) = new_labels {
+            if labels.len() != n {
+                return Err(DiskError::BadRequest("one new label per sector"));
+            }
+        }
         self.check_range(start, n)?;
         self.stats.writes += 1;
         self.attribute(start);
@@ -420,7 +433,6 @@ impl SimDisk {
         data: &[u8],
         expected: &[Label],
     ) -> Result<()> {
-        assert_eq!(expected.len(), data.len() / SECTOR_BYTES);
         self.write_inner(start, data, Some(expected), None)
     }
 
@@ -432,7 +444,6 @@ impl SimDisk {
         data: &[u8],
         labels: &[Label],
     ) -> Result<()> {
-        assert_eq!(labels.len(), data.len() / SECTOR_BYTES);
         self.write_inner(start, data, None, Some(labels))
     }
 
@@ -464,6 +475,9 @@ impl SimDisk {
         expected: Option<&[Label]>,
     ) -> Result<()> {
         let n = labels.len();
+        if expected.is_some_and(|exp| exp.len() != n) {
+            return Err(DiskError::BadRequest("one expected label per sector"));
+        }
         self.check_range(start, n)?;
         self.stats.label_ops += 1;
         self.attribute(start);

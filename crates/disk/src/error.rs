@@ -23,6 +23,10 @@ pub enum DiskError {
     },
     /// The address (or address + length) is beyond the end of the volume.
     OutOfRange(SectorAddr),
+    /// The caller handed the disk a malformed request (e.g. a write whose
+    /// length is not a whole number of sectors, or a label slice whose
+    /// length disagrees with the sector count).
+    BadRequest(&'static str),
     /// The machine crashed: a scheduled crash point fired. All further I/O
     /// fails with this error until the disk is rebooted with
     /// [`crate::SimDisk::reboot`]. File systems must unwind and recover.
@@ -42,6 +46,7 @@ impl fmt::Display for DiskError {
                 "label mismatch at sector {addr}: expected {expected:?}, found {found:?}"
             ),
             Self::OutOfRange(a) => write!(f, "sector {a} out of range"),
+            Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
             Self::Crashed => write!(f, "machine crashed"),
         }
     }

@@ -76,7 +76,11 @@ impl SimDisk {
             put_u32(&mut w, addr)?;
             put_u64(&mut w, label.uid)?;
             put_u32(&mut w, label.page)?;
-            w.write_all(&[label.kind as u8, damaged as u8, data.is_some() as u8])?;
+            w.write_all(&[
+                u8::from(label.kind),
+                u8::from(damaged),
+                u8::from(data.is_some()),
+            ])?;
             if let Some(d) = data {
                 w.write_all(d)?;
             }

@@ -33,6 +33,20 @@ pub enum PageKind {
     Boot = 6,
 }
 
+impl From<PageKind> for u8 {
+    fn from(k: PageKind) -> u8 {
+        match k {
+            PageKind::Free => 0,
+            PageKind::Header => 1,
+            PageKind::Data => 2,
+            PageKind::Leader => 3,
+            PageKind::NameTable => 4,
+            PageKind::Log => 5,
+            PageKind::Boot => 6,
+        }
+    }
+}
+
 /// A sector label: who owns this sector and what it is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Label {

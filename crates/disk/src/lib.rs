@@ -22,6 +22,8 @@
 //! All state is deterministic: the same sequence of operations produces the
 //! same sector contents, the same I/O counts and the same simulated times.
 
+#![deny(unsafe_code)]
+
 pub mod clock;
 pub mod cpu;
 pub mod disk;
@@ -46,6 +48,9 @@ pub use timing::DiskTiming;
 /// The Trident drives and the paper both use 512-byte sectors ("This is
 /// logged in seven 512 byte sectors", §5.4).
 pub const SECTOR_BYTES: usize = 512;
+
+/// Bytes per sector, as `u64` (for byte-offset arithmetic).
+pub const SECTOR_BYTES_U64: u64 = SECTOR_BYTES as u64;
 
 /// A sector address: linear index into the volume.
 pub type SectorAddr = u32;

@@ -103,11 +103,11 @@ impl CgState {
     /// Encodes into the group's header block.
     pub fn encode(&self, block_bytes: usize) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u16(self.inode_bitmap.len() as u16);
+        w.u16(u16::try_from(self.inode_bitmap.len()).unwrap_or(u16::MAX));
         for word in &self.inode_bitmap {
             w.u64(*word);
         }
-        w.u16(self.block_bitmap.len() as u16);
+        w.u16(u16::try_from(self.block_bitmap.len()).unwrap_or(u16::MAX));
         for word in &self.block_bitmap {
             w.u64(*word);
         }

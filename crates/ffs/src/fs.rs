@@ -11,7 +11,10 @@
 use crate::alloc::{block_to_slot, slot_to_block, slot_to_ino, CgState};
 use crate::inode::{Inode, InodeKind, NDIRECT, PTRS_PER_BLOCK};
 use crate::layout::FfsLayout;
-use crate::{BlockNo, FfsError, Ino, Result, BLOCK_BYTES, BLOCK_SECTORS};
+use crate::{
+    BlockNo, FfsError, Ino, Result, BLOCK_BYTES, BLOCK_SECTORS, BLOCK_SECTORS_U64,
+    BLOCK_SECTORS_US, INODE_BYTES,
+};
 use cedar_disk::{Cpu, CpuModel, DiskStats, SimClock, SimDisk};
 use std::collections::{BTreeSet, HashMap};
 
@@ -106,7 +109,7 @@ impl Ffs {
 
     /// Mounts an existing volume (reads the superblock and cg headers).
     pub fn mount(mut disk: SimDisk, config: FfsConfig) -> Result<Ffs> {
-        let sb = disk.read(0, BLOCK_SECTORS as usize)?;
+        let sb = disk.read(0, BLOCK_SECTORS_US)?;
         let layout = FfsLayout::decode_superblock(&sb).map_err(FfsError::Corrupt)?;
         let cpu = Cpu::new(disk.clock(), config.cpu);
         let mut fs = Ffs {
@@ -167,7 +170,7 @@ impl Ffs {
     pub fn free_sectors(&self) -> u64 {
         self.cgs
             .iter()
-            .map(|cg| cg.free_blocks(&self.layout) as u64 * BLOCK_SECTORS as u64)
+            .map(|cg| cg.free_blocks(&self.layout) as u64 * BLOCK_SECTORS_U64)
             .sum()
     }
 
@@ -188,15 +191,15 @@ impl Ffs {
 
     /// Drops every cached block (simulates a cold buffer cache). Dirty
     /// delayed writes are flushed first so no data is lost.
-    pub fn drop_caches(&mut self) {
+    pub fn drop_caches(&mut self) -> Result<()> {
         let dirty: Vec<BlockNo> = std::mem::take(&mut self.dirty).into_iter().collect();
         for b in dirty {
-            let bytes = self.cache[&b].clone();
-            self.disk
-                .write(b * BLOCK_SECTORS, &bytes)
-                .expect("flush before cache drop");
+            if let Some(bytes) = self.cache.get(&b).cloned() {
+                self.disk.write(b * BLOCK_SECTORS, &bytes)?;
+            }
         }
         self.cache.clear();
+        Ok(())
     }
 
     // ----- block and inode I/O ---------------------------------------------------
@@ -205,7 +208,7 @@ impl Ffs {
         if let Some(bytes) = self.cache.get(&b) {
             return Ok(bytes.clone());
         }
-        let bytes = self.disk.read(b * BLOCK_SECTORS, BLOCK_SECTORS as usize)?;
+        let bytes = self.disk.read(b * BLOCK_SECTORS, BLOCK_SECTORS_US)?;
         self.cache.insert(b, bytes.clone());
         Ok(bytes)
     }
@@ -230,7 +233,7 @@ impl Ffs {
     pub fn read_inode(&mut self, ino: Ino) -> Result<Inode> {
         let (block, off) = self.layout.inode_location(ino);
         let bytes = self.read_block(block)?;
-        Inode::decode(&bytes[off..off + 128])
+        Inode::decode(&bytes[off..off + INODE_BYTES])
     }
 
     /// Clears an inode on disk (fsck orphan repair).
@@ -264,7 +267,7 @@ impl Ffs {
             .get(&block)
             .cloned()
             .unwrap_or_else(|| vec![0u8; BLOCK_BYTES]);
-        bytes[off..off + 128].copy_from_slice(&inode.encode());
+        bytes[off..off + INODE_BYTES].copy_from_slice(&inode.encode());
         self.write_block_sync(block, bytes)
     }
 
@@ -325,20 +328,14 @@ impl Ffs {
                 return Ok(0);
             }
             let blk = self.read_block(inode.indirect)?;
-            return Ok(u32::from_le_bytes(
-                blk[i * 4..i * 4 + 4].try_into().unwrap(),
-            ));
+            return Ok(u32::from_le_bytes(blk_ptr(&blk, i)));
         }
         let i = i - PTRS_PER_BLOCK;
         if i >= PTRS_PER_BLOCK * PTRS_PER_BLOCK || inode.dindirect == 0 {
             return Ok(0);
         }
         let l1 = self.read_block(inode.dindirect)?;
-        let p = u32::from_le_bytes(
-            l1[(i / PTRS_PER_BLOCK) * 4..(i / PTRS_PER_BLOCK) * 4 + 4]
-                .try_into()
-                .unwrap(),
-        );
+        let p = u32::from_le_bytes(blk_ptr(&l1, i / PTRS_PER_BLOCK));
         if p == 0 {
             return Ok(0);
         }
@@ -407,8 +404,8 @@ impl Ffs {
         let mut out = Vec::new();
         let mut at = 0;
         while at + 6 <= bytes.len() {
-            let ino = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
-            let len = u16::from_le_bytes(bytes[at + 4..at + 6].try_into().unwrap()) as usize;
+            let ino = u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+            let len = u16::from_le_bytes([bytes[at + 4], bytes[at + 5]]) as usize;
             if ino == 0 && len == 0 {
                 break; // End of directory stream.
             }
@@ -423,14 +420,16 @@ impl Ffs {
         Ok(out)
     }
 
-    fn encode_dir(entries: &[(Ino, String)]) -> Vec<u8> {
+    fn encode_dir(entries: &[(Ino, String)]) -> Result<Vec<u8>> {
         let mut out = Vec::new();
         for (ino, name) in entries {
+            let len = u16::try_from(name.len())
+                .map_err(|_| FfsError::BadName(format!("name too long: {name:?}")))?;
             out.extend_from_slice(&ino.to_le_bytes());
-            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(&len.to_le_bytes());
             out.extend_from_slice(name.as_bytes());
         }
-        out
+        Ok(out)
     }
 
     /// Reads a directory's entries.
@@ -456,7 +455,7 @@ impl Ffs {
     fn write_dir(&mut self, ino: Ino, entries: &[(Ino, String)]) -> Result<()> {
         let mut inode = self.read_inode(ino)?;
         let old_bytes = self.read_file_bytes(&inode)?;
-        let bytes = Self::encode_dir(entries);
+        let bytes = Self::encode_dir(entries)?;
         let nblocks = bytes.len().div_ceil(BLOCK_BYTES).max(1);
         let g = self.layout.group_of_ino(ino);
         let mut prev = None;
@@ -599,7 +598,7 @@ impl Ffs {
             my_blocks.push(b);
             prev = Some(b);
         }
-        self.cpu.sectors(nblocks as u64 * BLOCK_SECTORS as u64);
+        self.cpu.sectors(nblocks as u64 * BLOCK_SECTORS_U64);
 
         // Synchronous: inode before directory, directory before return.
         self.write_inode(ino, &inode)?;
@@ -629,7 +628,7 @@ impl Ffs {
     /// request — the 4.2 BSD I/O pattern the interleave exists for).
     pub fn read_file(&mut self, file: &FfsFile) -> Result<Vec<u8>> {
         self.cpu
-            .sectors(file.inode.blocks() as u64 * BLOCK_SECTORS as u64);
+            .sectors(file.inode.blocks() as u64 * BLOCK_SECTORS_U64);
         self.read_file_bytes(&file.inode)
     }
 
@@ -639,7 +638,7 @@ impl Ffs {
             return Err(FfsError::OutOfRange);
         }
         let b = self.bmap(&file.inode, i)?;
-        self.cpu.sectors(BLOCK_SECTORS as u64);
+        self.cpu.sectors(BLOCK_SECTORS_U64);
         if b == 0 {
             Ok(vec![0u8; BLOCK_BYTES])
         } else {
@@ -711,7 +710,7 @@ impl Ffs {
 }
 
 fn blk_ptr(blk: &[u8], i: usize) -> [u8; 4] {
-    blk[i * 4..i * 4 + 4].try_into().unwrap()
+    [blk[i * 4], blk[i * 4 + 1], blk[i * 4 + 2], blk[i * 4 + 3]]
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@ impl Ffs {
         let io0 = self.disk_stats().total_ops();
         self.cpu().op();
         // Cold cache, as after a reboot.
-        self.drop_caches();
+        self.drop_caches()?;
 
         let layout = *self.layout();
 
@@ -118,7 +118,12 @@ impl Ffs {
                 mark_block(&mut cgs, &mut report, inode.dindirect);
                 let l1 = self.read_block(inode.dindirect)?;
                 for k in 0..PTRS_PER_BLOCK {
-                    let p = u32::from_le_bytes(l1[k * 4..k * 4 + 4].try_into().unwrap());
+                    let p = u32::from_le_bytes([
+                        l1[k * 4],
+                        l1[k * 4 + 1],
+                        l1[k * 4 + 2],
+                        l1[k * 4 + 3],
+                    ]);
                     if p != 0 {
                         mark_block(&mut cgs, &mut report, p);
                     }

@@ -1,7 +1,7 @@
 //! Inodes: 128 bytes, 10 direct blocks, one single-indirect and one
 //! double-indirect pointer (enough for ~64 MB files at 1 KB blocks).
 
-use crate::{BlockNo, FfsError, Result, BLOCK_BYTES};
+use crate::{BlockNo, FfsError, Result, BLOCK_BYTES, INODE_BYTES};
 use cedar_vol::codec::{Reader, Writer};
 
 /// Direct block pointers per inode.
@@ -20,6 +20,16 @@ pub enum InodeKind {
     File = 1,
     /// Directory.
     Dir = 2,
+}
+
+impl From<InodeKind> for u8 {
+    fn from(k: InodeKind) -> u8 {
+        match k {
+            InodeKind::Free => 0,
+            InodeKind::File => 1,
+            InodeKind::Dir => 2,
+        }
+    }
 }
 
 /// An in-memory inode.
@@ -75,10 +85,10 @@ impl Inode {
         NDIRECT + PTRS_PER_BLOCK + PTRS_PER_BLOCK * PTRS_PER_BLOCK
     }
 
-    /// Encodes into its 128-byte on-disk slot.
+    /// Encodes into its [`INODE_BYTES`]-byte on-disk slot.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u8(self.kind as u8)
+        w.u8(u8::from(self.kind))
             .u16(self.nlink)
             .u64(self.size)
             .u64(self.mtime);
@@ -87,8 +97,8 @@ impl Inode {
         }
         w.u32(self.indirect).u32(self.dindirect);
         let mut b = w.into_bytes();
-        assert!(b.len() <= 128);
-        b.resize(128, 0);
+        debug_assert!(b.len() <= INODE_BYTES);
+        b.resize(INODE_BYTES, 0);
         b
     }
 

@@ -10,15 +10,15 @@
 //! McKusick et al. introduced and §7 of the Cedar paper credits for the
 //! small inode traffic in the list/read benchmarks.
 
-use crate::{BlockNo, Ino, BLOCK_BYTES, BLOCK_SECTORS};
+use crate::{BlockNo, Ino, BLOCK_BYTES, BLOCK_SECTORS, INODE_BYTES};
 use cedar_disk::DiskGeometry;
 use cedar_vol::codec::{Reader, Writer};
 
 /// Magic number identifying the superblock.
 pub const SB_MAGIC: u32 = 0xFF5_0011;
 
-/// Inodes per inode block (128-byte inodes).
-pub const INODES_PER_BLOCK: u32 = (BLOCK_BYTES / 128) as u32;
+/// Inodes per inode block ([`INODE_BYTES`]-byte inodes).
+pub const INODES_PER_BLOCK: u32 = (BLOCK_BYTES / INODE_BYTES) as u32;
 
 /// The computed FFS layout.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,7 +101,7 @@ impl FfsLayout {
         let g = self.group_of_ino(ino);
         let within = ino % self.inodes_per_cg;
         let block = self.cg_inode_start(g) + within / INODES_PER_BLOCK;
-        let offset = (within % INODES_PER_BLOCK) as usize * 128;
+        let offset = (within % INODES_PER_BLOCK) as usize * INODE_BYTES;
         (block, offset)
     }
 

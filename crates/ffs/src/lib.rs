@@ -21,6 +21,8 @@
 //!   directory, rebuild the bitmaps (about seven minutes on the paper's
 //!   300 MB volume).
 
+#![deny(unsafe_code)]
+
 pub mod alloc;
 pub mod fs;
 pub mod fs_impl;
@@ -44,8 +46,17 @@ pub type Ino = u32;
 /// Sectors per FFS block.
 pub const BLOCK_SECTORS: u32 = 2;
 
+/// Sectors per FFS block, as `usize` (for buffer arithmetic).
+pub const BLOCK_SECTORS_US: usize = BLOCK_SECTORS as usize;
+
+/// Sectors per FFS block, as `u64` (for byte-offset arithmetic).
+pub const BLOCK_SECTORS_U64: u64 = BLOCK_SECTORS as u64;
+
 /// Bytes per FFS block.
-pub const BLOCK_BYTES: usize = BLOCK_SECTORS as usize * cedar_disk::SECTOR_BYTES;
+pub const BLOCK_BYTES: usize = BLOCK_SECTORS_US * cedar_disk::SECTOR_BYTES;
+
+/// Bytes per on-disk inode slot.
+pub const INODE_BYTES: usize = 128;
 
 /// Errors from FFS operations.
 #[derive(Clone, Debug, PartialEq, Eq)]

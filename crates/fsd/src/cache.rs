@@ -131,7 +131,7 @@ impl NtMeta {
         let mut w = Writer::new();
         w.u32(NT_META_MAGIC)
             .u32(self.root)
-            .u16(self.bitmap.len() as u16);
+            .u16(u16::try_from(self.bitmap.len()).unwrap_or(u16::MAX));
         for word in &self.bitmap {
             w.u64(*word);
         }

@@ -51,13 +51,15 @@ impl MemServer {
     pub fn publish(&mut self, name: &str, data: &[u8]) -> u32 {
         let stack = self.files.entry(name.to_string()).or_default();
         stack.push(data.to_vec());
-        stack.len() as u32
+        u32::try_from(stack.len()).unwrap_or(u32::MAX)
     }
 }
 
 impl FileServer for MemServer {
     fn newest_version(&mut self, name: &str) -> Option<u32> {
-        self.files.get(name).map(|s| s.len() as u32)
+        self.files
+            .get(name)
+            .map(|s| u32::try_from(s.len()).unwrap_or(u32::MAX))
     }
 
     fn fetch(&mut self, name: &str, version: u32) -> Option<Vec<u8>> {

@@ -152,8 +152,8 @@ impl FsdBootPage {
         let mut w = Writer::new();
         w.u32(BOOT_MAGIC)
             .u32(self.boot_count)
-            .u8(self.vam_valid as u8)
-            .u8(self.vam_logged as u8);
+            .u8(u8::from(self.vam_valid))
+            .u8(u8::from(self.vam_logged));
         let mut bytes = w.into_bytes();
         bytes.resize(SECTOR_BYTES, 0);
         bytes

@@ -28,6 +28,8 @@
 //! Crash recovery is a redo scan of the log plus, at worst, the VAM
 //! rebuild — one to twenty-five seconds against the scavenger's hour.
 
+#![deny(unsafe_code)]
+
 pub mod cache;
 pub mod entry;
 pub mod error;

@@ -148,12 +148,17 @@ pub struct Log {
 impl Log {
     /// Creates a fresh, empty log (used at format time and after boot-time
     /// redo empties the log). Call [`Self::write_meta`] afterwards to
-    /// persist the pointer.
-    pub fn fresh(start: SectorAddr, size: u32, boot_count: u32) -> Self {
-        let third_len = (size - DATA_START) / 3;
+    /// persist the pointer. Fails if the region cannot hold even a
+    /// one-page record per third.
+    pub fn fresh(start: SectorAddr, size: u32, boot_count: u32) -> Result<Self> {
+        let third_len = size.saturating_sub(DATA_START) / 3;
         let max_images = MAX_IMAGES_HARD.min(((third_len.saturating_sub(5)) / 2) as usize);
-        assert!(max_images >= 1, "log region too small: {size} sectors");
-        Self {
+        if max_images < 1 {
+            return Err(FsdError::Check(format!(
+                "log region too small: {size} sectors"
+            )));
+        }
+        Ok(Self {
             start,
             size,
             boot_count,
@@ -163,7 +168,7 @@ impl Log {
             live: VecDeque::new(),
             oldest: (DATA_START, 1),
             max_images,
-        }
+        })
     }
 
     /// Largest number of images a single record may carry on this log.
@@ -208,7 +213,8 @@ impl Log {
     }
 
     fn third_of(&self, offset: u32) -> u8 {
-        (((offset - DATA_START) / self.third_len()) as u8).min(2)
+        let t = offset.saturating_sub(DATA_START) / self.third_len().max(1);
+        u8::try_from(t).unwrap_or(2).min(2)
     }
 
     /// Writes the replicated meta pages (offsets 0 and 2 of the region).
@@ -257,7 +263,12 @@ impl Log {
         mut flush: impl FnMut(&mut SimDisk, u8) -> Result<()>,
     ) -> Result<(u64, u8)> {
         let n = images.len();
-        assert!(n > 0 && n <= self.max_images, "record of {n} images");
+        if n == 0 || n > self.max_images {
+            return Err(FsdError::Check(format!(
+                "record of {n} images (this log takes 1..={})",
+                self.max_images
+            )));
+        }
         let len = 2 * n as u32 + 5;
         let mut pos = self.write_pos;
         if pos + len > self.size {
@@ -292,7 +303,7 @@ impl Log {
         }
 
         let seq = self.next_seq;
-        let bytes = encode_record(images, seq, self.boot_count, group_end);
+        let bytes = encode_record(images, seq, self.boot_count, group_end)?;
         debug_assert_eq!(bytes.len(), len as usize * SECTOR_BYTES);
         // "Data spread over the disk can be logically and atomically
         // updated with a single disk write to the log."
@@ -307,18 +318,27 @@ impl Log {
     }
 }
 
-/// Encodes a record into its `2n + 5` sector on-disk form.
+/// Encodes a record into its `2n + 5` sector on-disk form. Fails on an
+/// oversized record or an image that is not exactly one sector.
 pub fn encode_record(
     images: &[(PageTarget, Vec<u8>)],
     seq: u64,
     boot_count: u32,
     group_end: bool,
-) -> Vec<u8> {
+) -> Result<Vec<u8>> {
     let n = images.len();
-    assert!(n <= MAX_IMAGES_HARD);
+    let n16 = u16::try_from(n)
+        .ok()
+        .filter(|_| n <= MAX_IMAGES_HARD)
+        .ok_or_else(|| FsdError::Check(format!("record of {n} images exceeds the hard cap")))?;
     let mut data = Vec::with_capacity(n * SECTOR_BYTES);
     for (_, img) in images {
-        assert_eq!(img.len(), SECTOR_BYTES, "image must be one sector");
+        if img.len() != SECTOR_BYTES {
+            return Err(FsdError::Check(format!(
+                "logged image must be one sector, got {} bytes",
+                img.len()
+            )));
+        }
         data.extend_from_slice(img);
     }
     let checksum = fnv1a(&data);
@@ -328,8 +348,8 @@ pub fn encode_record(
         .u32(HDR_MAGIC)
         .u64(seq)
         .u32(boot_count)
-        .u8(group_end as u8)
-        .u16(n as u16);
+        .u8(u8::from(group_end))
+        .u16(n16);
     for (t, _) in images {
         match t {
             PageTarget::NtSector { page, sector } => {
@@ -344,14 +364,14 @@ pub fn encode_record(
         }
     }
     let mut header = header.into_bytes();
-    assert!(header.len() <= SECTOR_BYTES, "header overflow");
+    debug_assert!(header.len() <= SECTOR_BYTES, "header overflow");
     header.resize(SECTOR_BYTES, 0);
 
     let mut end = Writer::new();
     end.u32(END_MAGIC)
         .u64(seq)
         .u32(boot_count)
-        .u16(n as u16)
+        .u16(n16)
         .u64(checksum);
     let mut end = end.into_bytes();
     end.resize(SECTOR_BYTES, 0);
@@ -364,7 +384,7 @@ pub fn encode_record(
     out.extend_from_slice(&end); // E
     out.extend_from_slice(&data); // D₁'..Dₙ'
     out.extend_from_slice(&end); // E'
-    out
+    Ok(out)
 }
 
 struct DecodedHeader {
@@ -454,7 +474,8 @@ fn read_record_at(
     let Some(header) = header else {
         return Ok(None);
     };
-    let n = header.targets.len() as u32;
+    // Bounded by decode_header's MAX_IMAGES_HARD check.
+    let n = u32::try_from(header.targets.len()).unwrap_or(u32::MAX);
     let len = 2 * n + 5;
     if offset + len > log_size {
         return Ok(None);
@@ -584,7 +605,7 @@ mod tests {
         // One data page → 7 sectors; 14 pages → 33; 39 pages → 83 (§5.4).
         for (n, sectors) in [(1usize, 7usize), (14, 33), (39, 83)] {
             let images: Vec<_> = (0..n).map(|i| nt(i as u32, 0, i as u8)).collect();
-            let bytes = encode_record(&images, 1, 1, true);
+            let bytes = encode_record(&images, 1, 1, true).unwrap();
             assert_eq!(bytes.len() / SECTOR_BYTES, sectors);
         }
     }
@@ -592,7 +613,7 @@ mod tests {
     #[test]
     fn append_then_scan_roundtrip() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         log.append(&mut d, &[nt(5, 0, 0xAA), nt(5, 1, 0xBB)], true, no_flush)
             .unwrap();
@@ -619,7 +640,7 @@ mod tests {
     #[test]
     fn empty_log_scans_to_nothing() {
         let mut d = disk();
-        let log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         let meta = Log::read_meta(&mut d, LOG_START).unwrap();
         assert!(scan_records(&mut d, LOG_START, LOG_SIZE, &meta)
@@ -630,7 +651,7 @@ mod tests {
     #[test]
     fn meta_survives_first_copy_damage() {
         let mut d = disk();
-        let log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         d.damage_sector(LOG_START);
         let meta = Log::read_meta(&mut d, LOG_START).unwrap();
@@ -640,7 +661,7 @@ mod tests {
     #[test]
     fn single_damaged_data_sector_recovered_from_copy() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
             .unwrap();
@@ -655,7 +676,7 @@ mod tests {
     #[test]
     fn two_adjacent_damaged_sectors_recovered() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
             .unwrap();
@@ -672,7 +693,7 @@ mod tests {
     #[test]
     fn header_damage_recovered_from_copy() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         log.append(&mut d, &[nt(1, 0, 3)], true, no_flush).unwrap();
         d.damage_sector(LOG_START + DATA_START); // H
@@ -688,7 +709,7 @@ mod tests {
     #[test]
     fn torn_record_write_is_not_replayed() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         log.append(&mut d, &[nt(1, 0, 1)], true, no_flush).unwrap();
         // Second append crashes after 4 sectors (H, blank, H', D₁) — the
@@ -711,7 +732,7 @@ mod tests {
     #[test]
     fn wraparound_chain_scans_correctly() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         // Each 10-image record is 25 sectors; 300/25 = 12 per lap. Write
         // 30: the log wraps twice.
@@ -733,7 +754,7 @@ mod tests {
     #[test]
     fn flush_called_once_per_entered_third() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         let mut entered: Vec<u8> = Vec::new();
         // 25-sector records; third boundaries at offsets 3, 103, 203.
@@ -756,7 +777,7 @@ mod tests {
     #[test]
     fn log_utilization_approaches_five_sixths() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         let mut samples = Vec::new();
         for i in 0..200u32 {
@@ -776,7 +797,7 @@ mod tests {
     #[test]
     fn stale_records_from_previous_lap_not_replayed() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         log.write_meta(&mut d).unwrap();
         for i in 0..20u8 {
             let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
@@ -791,11 +812,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "record of")]
     fn oversized_record_rejected() {
         let mut d = disk();
-        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         let images: Vec<_> = (0..49).map(|j| nt(j, 0, 0)).collect();
-        let _ = log.append(&mut d, &images, true, no_flush);
+        let err = log.append(&mut d, &images, true, no_flush).unwrap_err();
+        assert!(matches!(err, FsdError::Check(_)), "{err}");
+    }
+
+    #[test]
+    fn too_small_region_rejected() {
+        let err = Log::fresh(LOG_START, DATA_START + 6, 1).unwrap_err();
+        assert!(matches!(err, FsdError::Check(_)), "{err}");
     }
 }

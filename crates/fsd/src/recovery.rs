@@ -75,8 +75,12 @@ impl FsdVolume {
         };
 
         let (dlo, dhi) = layout.data_area();
+        let log = match Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count) {
+            Ok(log) => log,
+            Err(e) => return Err((e, disk)),
+        };
         let mut vol = FsdVolume {
-            log: Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count),
+            log,
             disk,
             cpu,
             layout,
@@ -269,7 +273,7 @@ fn redo_phase(
     let boot_bytes = boot.encode();
     disk.write(layout.boot_a, &boot_bytes)?;
     disk.write(layout.boot_b, &boot_bytes)?;
-    Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count).write_meta(disk)?;
+    Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count)?.write_meta(disk)?;
     report.redo_us = disk.clock().now() - t0;
     Ok((boot, vam_was_valid))
 }

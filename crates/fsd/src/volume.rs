@@ -25,7 +25,7 @@ use crate::log::{Log, PageTarget};
 use crate::{Result, NT_PAGE_SECTORS};
 use cedar_btree::{BTree, PageId};
 use cedar_disk::clock::Micros;
-use cedar_disk::{Cpu, CpuModel, DiskStats, SimClock, SimDisk, SECTOR_BYTES};
+use cedar_disk::{Cpu, CpuModel, DiskStats, SimClock, SimDisk, SECTOR_BYTES, SECTOR_BYTES_U64};
 use cedar_vol::{AllocPolicy, Allocator, FileName, Run, RunTable, Vam};
 use std::collections::{BTreeSet, HashMap};
 
@@ -186,7 +186,7 @@ impl FsdVolume {
 
         let (dlo, dhi) = layout.data_area();
         let mut vol = FsdVolume {
-            log: Log::fresh(layout.log_start, layout.log_sectors, 1),
+            log: Log::fresh(layout.log_start, layout.log_sectors, 1)?,
             alloc: Allocator::new(
                 AllocPolicy::SplitAreas {
                     small_threshold: config.small_threshold,
@@ -1080,7 +1080,7 @@ impl FsdVolume {
             return Err(FsdError::NoSpace);
         }
         file.entry.run_table = rt;
-        file.entry.byte_size = file.pages() as u64 * SECTOR_BYTES as u64;
+        file.entry.byte_size = file.pages() as u64 * SECTOR_BYTES_U64;
         let fname = file.name.clone();
         let entry = file.entry.clone();
         self.put_entry(&fname, &entry)?;
@@ -1099,7 +1099,7 @@ impl FsdVolume {
         for r in removed {
             self.vam.shadow_free_run(r);
         }
-        file.entry.byte_size = file.entry.byte_size.min(pages as u64 * SECTOR_BYTES as u64);
+        file.entry.byte_size = file.entry.byte_size.min(pages as u64 * SECTOR_BYTES_U64);
         let fname = file.name.clone();
         let entry = file.entry.clone();
         self.put_entry(&fname, &entry)?;

@@ -13,6 +13,8 @@
 //! the `model_validation` bench compares every prediction against the
 //! simulator, reproducing the paper's "within five percent" claim.
 
+#![deny(unsafe_code)]
+
 pub mod ops;
 pub mod script;
 

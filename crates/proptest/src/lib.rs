@@ -18,6 +18,8 @@
 //! * `prop_assert!`/`prop_assert_eq!` panic instead of returning
 //!   `TestCaseError`.
 
+#![deny(unsafe_code)]
+
 use std::ops::Range;
 
 /// Deterministic splitmix64 generator driving all strategies.

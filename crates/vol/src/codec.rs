@@ -44,17 +44,22 @@ impl<'a> Reader<'a> {
 
     /// Consumes a little-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, String> {
-        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().unwrap()))
+        let b = self.bytes(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
     }
 
     /// Consumes a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
     /// Consumes a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, String> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Consumes a `u16`-length-prefixed byte string.
@@ -118,10 +123,12 @@ impl Writer {
         self.bytes(&v.to_le_bytes())
     }
 
-    /// Appends a `u16`-length-prefixed byte string.
+    /// Appends a `u16`-length-prefixed byte string. Longer inputs are
+    /// truncated to `u16::MAX` bytes (callers validate name lengths long
+    /// before encoding).
     pub fn str16(&mut self, b: &[u8]) -> &mut Self {
-        assert!(b.len() <= u16::MAX as usize);
-        self.u16(b.len() as u16).bytes(b)
+        let n = u16::try_from(b.len()).unwrap_or(u16::MAX);
+        self.u16(n).bytes(&b[..n as usize])
     }
 }
 

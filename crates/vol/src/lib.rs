@@ -17,6 +17,8 @@
 //! * [`fs`] — the unified [`fs::FileSystem`] trait all three backends
 //!   (CFS, FSD, FFS) implement, with the shared [`fs::CedarFsError`].
 
+#![deny(unsafe_code)]
+
 pub mod alloc;
 pub mod codec;
 pub mod fs;

@@ -65,7 +65,7 @@ impl FileName {
         let name = std::str::from_utf8(name_part)
             .map_err(|_| "non-UTF-8 name".to_string())?
             .to_string();
-        let version = u32::from_be_bytes(tail[1..].try_into().unwrap());
+        let version = u32::from_be_bytes([tail[1], tail[2], tail[3], tail[4]]);
         Self::new(&name, version)
     }
 

@@ -137,7 +137,7 @@ impl RunTable {
     /// Encodes the table: `[count u16][ (start u32, len u32)* ]`.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        w.u16(self.runs.len() as u16);
+        w.u16(u16::try_from(self.runs.len()).unwrap_or(u16::MAX));
         for r in &self.runs {
             w.u32(r.start).u32(r.len);
         }

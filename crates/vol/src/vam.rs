@@ -193,7 +193,7 @@ impl Vam {
         if bytes.len() < 4 {
             return Err("VAM save truncated".into());
         }
-        let sectors = u32::from_le_bytes(bytes[..4].try_into().unwrap());
+        let sectors = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
         let n = (sectors as usize).div_ceil(64);
         if bytes.len() < 4 + n * 8 {
             return Err("VAM save truncated".into());
@@ -201,7 +201,16 @@ impl Vam {
         let mut words = Vec::with_capacity(n);
         for i in 0..n {
             let at = 4 + i * 8;
-            words.push(u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap()));
+            words.push(u64::from_le_bytes([
+                bytes[at],
+                bytes[at + 1],
+                bytes[at + 2],
+                bytes[at + 3],
+                bytes[at + 4],
+                bytes[at + 5],
+                bytes[at + 6],
+                bytes[at + 7],
+            ]));
         }
         Ok(Self {
             words,

@@ -8,6 +8,8 @@
 //! scheduler; [`memfs::MemFs`] is the in-memory model conformance
 //! tests compare real backends against.
 
+#![deny(unsafe_code)]
+
 pub mod makedo;
 pub mod memfs;
 pub mod multi;

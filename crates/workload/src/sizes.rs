@@ -10,7 +10,7 @@
 use crate::rng::WorkloadRng;
 
 /// Sector size used for the sector-count arithmetic.
-const SECTOR: u64 = 512;
+const SECTOR: u64 = cedar_disk::SECTOR_BYTES_U64;
 
 /// A two-population file-size sampler.
 #[derive(Clone, Debug)]

@@ -15,7 +15,7 @@
 //! cedarfs stat    vol.img
 //! ```
 
-use cedar_fs_repro::disk::{SimClock, SimDisk};
+use cedar_fs_repro::disk::{SimClock, SimDisk, SECTOR_BYTES_U64};
 use cedar_fs_repro::fsd::{FsdConfig, FsdVolume, RecoveryReport};
 use cedar_fs_repro::vol::fs::FileSystem;
 use std::process::ExitCode;
@@ -164,7 +164,7 @@ fn run() -> Result<(), String> {
                 g.cylinders,
                 g.heads,
                 g.sectors_per_track,
-                g.total_sectors() as u64 * 512 / 1_000_000
+                g.total_sectors() as u64 * SECTOR_BYTES_U64 / 1_000_000
             );
             println!(
                 "layout: log {} sectors @ {}, name table {} pages x2 (@ {} and {})",
@@ -173,7 +173,7 @@ fn run() -> Result<(), String> {
             println!(
                 "free: {} sectors ({} MB)",
                 vol.free_sectors(),
-                vol.free_sectors() as u64 * 512 / 1_000_000
+                vol.free_sectors() as u64 * SECTOR_BYTES_U64 / 1_000_000
             );
             finish(vol, image, false)
         }

@@ -76,6 +76,8 @@
 //! See `DESIGN.md` for the system inventory and the experiment index, and
 //! `EXPERIMENTS.md` for paper-vs-measured results of every table.
 
+#![deny(unsafe_code)]
+
 /// The simulated Trident-class disk: geometry, timing, labels, faults.
 pub use cedar_disk as disk;
 

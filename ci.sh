@@ -7,3 +7,5 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
+# Asserts scheduled submission never regresses above the in-order baseline.
+cargo run --release -p cedar-bench --bin io_sched -- --smoke

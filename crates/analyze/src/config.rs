@@ -29,6 +29,13 @@ pub struct Config {
     pub raw_io_crates: Vec<&'static str>,
     /// Method names that constitute raw sector I/O on a `…disk` receiver.
     pub io_methods: Vec<&'static str>,
+    /// Batch-submission discipline: (file, functions) forming the
+    /// multi-sector commit/recovery hot paths. A raw disk call inside one
+    /// of these functions is a finding — those paths must submit through
+    /// `cedar_disk::sched` batches so barriers and C-SCAN ordering apply.
+    /// Deliberate single-sector or replica-fallback readers (`read_meta`,
+    /// `read_boot_page`, `read_saved_vam`) are simply not listed.
+    pub batch_io_fns: Vec<(&'static str, Vec<&'static str>)>,
     /// Files (by relative path) allowed to address log-region sectors.
     pub log_region_files: Vec<&'static str>,
     /// Identifier tokens that address the log region.
@@ -107,6 +114,20 @@ impl Config {
                 "read_allow_damage",
                 "read_labels",
                 "write_labels",
+            ],
+            batch_io_fns: vec![
+                ("crates/fsd/src/log.rs", vec!["append", "write_meta"]),
+                (
+                    "crates/fsd/src/volume.rs",
+                    vec![
+                        "force",
+                        "flush_third",
+                        "sync_home_all",
+                        "write_boot_pages",
+                        "save_vam_and_mark_valid",
+                    ],
+                ),
+                ("crates/fsd/src/recovery.rs", vec!["redo_phase"]),
             ],
             log_region_files: vec![
                 "crates/fsd/src/log.rs",

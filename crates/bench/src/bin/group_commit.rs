@@ -20,8 +20,8 @@
 //! 7-sector record, records under load average tens of sectors (paper:
 //! typically 33, max observed 83).
 
-use cedar_bench::Table;
-use cedar_disk::{SimClock, SimDisk};
+use cedar_bench::{disk_breakdown, Table};
+use cedar_disk::{DiskStats, SimClock, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume};
 
 const CACHED: usize = 300;
@@ -34,6 +34,7 @@ struct RunResult {
     records: u64,
     avg_record: f64,
     max_record: u64,
+    disk: DiskStats,
 }
 
 fn run_with_interval(commit_interval_us: u64) -> RunResult {
@@ -101,6 +102,7 @@ fn run_with(commit_interval_us: u64, log_sectors: u32) -> RunResult {
         avg_record: (stats.log_sectors_written - stats0.log_sectors_written) as f64
             / records.max(1) as f64,
         max_record: stats.max_record_sectors,
+        disk: vol.disk_stats(),
     }
 }
 
@@ -145,6 +147,9 @@ fn main() {
         "2.34x".into(),
     ]);
     t.print();
+    println!();
+    println!("{}", disk_breakdown("per-op commit", &ungrouped.disk));
+    println!("{}", disk_breakdown("group commit ", &grouped.disk));
 
     let mut t = Table::new(
         "Log record sizes (sectors; a record with n pages is 2n + 5 sectors)",

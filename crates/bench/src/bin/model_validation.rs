@@ -10,7 +10,8 @@
 //! simulator for the steady-state operations of Table 2. The
 //! `--scripts` flag prints every script in the paper's §6 style.
 
-use cedar_bench::{cfs_t300, Table};
+use cedar_bench::{cfs_t300, disk_breakdown, Table};
+use cedar_disk::DiskStats;
 use cedar_model::ops::ModelParams;
 use cedar_model::{cfs_ops, fsd_ops};
 
@@ -27,7 +28,7 @@ fn mean_us(clock: &cedar_disk::SimClock, iters: usize, mut f: impl FnMut(usize))
 /// Measured steady-state times for (small create, open, small delete,
 /// read page) — the operations whose scripts assume a warm cache and
 /// same-directory locality.
-fn measure_cfs() -> Vec<(String, u64)> {
+fn measure_cfs() -> (Vec<(String, u64)>, DiskStats) {
     let mut vol = cfs_t300();
     let clock = vol.clock();
     for i in 0..ITERS {
@@ -46,15 +47,18 @@ fn measure_cfs() -> Vec<(String, u64)> {
     let delete = mean_us(&clock, ITERS, |i| {
         vol.delete(&format!("d/s{i:03}"), None).unwrap();
     });
-    vec![
-        ("CFS small create".into(), create),
-        ("CFS open".into(), open),
-        ("CFS small delete".into(), delete),
-        ("CFS read page".into(), read_page),
-    ]
+    (
+        vec![
+            ("CFS small create".into(), create),
+            ("CFS open".into(), open),
+            ("CFS small delete".into(), delete),
+            ("CFS read page".into(), read_page),
+        ],
+        vol.disk_stats(),
+    )
 }
 
-fn measure_fsd() -> Vec<(String, u64)> {
+fn measure_fsd() -> (Vec<(String, u64)>, DiskStats) {
     // A huge commit interval keeps the group-commit daemon out of the
     // per-operation timings: the scripts model the pure operations.
     let mut vol = cedar_fsd::FsdVolume::format(
@@ -84,12 +88,15 @@ fn measure_fsd() -> Vec<(String, u64)> {
     let delete = mean_us(&clock, ITERS, |i| {
         vol.delete(&format!("d/s{i:03}"), None).unwrap();
     });
-    vec![
-        ("FSD small create".into(), create),
-        ("FSD open".into(), open),
-        ("FSD small delete".into(), delete),
-        ("FSD read page".into(), read_page),
-    ]
+    (
+        vec![
+            ("FSD small create".into(), create),
+            ("FSD open".into(), open),
+            ("FSD small delete".into(), delete),
+            ("FSD read page".into(), read_page),
+        ],
+        vol.disk_stats(),
+    )
 }
 
 fn main() {
@@ -107,7 +114,9 @@ fn main() {
     for p in cfs_ops(&params).into_iter().chain(fsd_ops(&params)) {
         predictions.push((p.name.clone(), p.total_us));
     }
-    let measured: Vec<(String, u64)> = measure_cfs().into_iter().chain(measure_fsd()).collect();
+    let (cfs_measured, cfs_disk) = measure_cfs();
+    let (fsd_measured, fsd_disk) = measure_fsd();
+    let measured: Vec<(String, u64)> = cfs_measured.into_iter().chain(fsd_measured).collect();
 
     let mut t = Table::new(
         "Model prediction vs simulator measurement",
@@ -130,6 +139,9 @@ fn main() {
         ]);
     }
     t.print();
+    println!();
+    println!("{}", disk_breakdown("CFS", &cfs_disk));
+    println!("{}", disk_breakdown("FSD", &fsd_disk));
     println!(
         "\nWorst-case error {worst:.1}% (the paper reports \"almost always\n\
          within five percent\" for its simple operations).\n\

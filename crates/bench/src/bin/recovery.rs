@@ -10,13 +10,13 @@
 //! the paper's file-size distribution, plus a sweep of FSD recovery
 //! time against population.
 
-use cedar_bench::{cfs_t300, ffs_t300, populate, Table};
-use cedar_disk::{SimClock, SimDisk};
+use cedar_bench::{cfs_t300, disk_breakdown, ffs_t300, populate, Table};
+use cedar_disk::{DiskStats, SimClock, SimDisk};
 use cedar_fsd::FsdConfig;
 
 const FILES: usize = 3000;
 
-fn fsd_recovery_with(files: usize, log_vam: bool) -> cedar_fsd::RecoveryReport {
+fn fsd_recovery_with(files: usize, log_vam: bool) -> (cedar_fsd::RecoveryReport, DiskStats) {
     let config = FsdConfig {
         log_vam,
         ..FsdConfig::default()
@@ -33,7 +33,8 @@ fn fsd_recovery_with(files: usize, log_vam: bool) -> cedar_fsd::RecoveryReport {
     let mut disk = vol.into_disk();
     disk.crash_now();
     disk.reboot();
-    let (_vol, report) = cedar_fsd::FsdVolume::boot(
+    let before = disk.stats();
+    let (vol, report) = cedar_fsd::FsdVolume::boot(
         disk,
         FsdConfig {
             log_vam,
@@ -42,14 +43,15 @@ fn fsd_recovery_with(files: usize, log_vam: bool) -> cedar_fsd::RecoveryReport {
     )
     .unwrap();
     assert_eq!(report.vam_reconstructed, !log_vam);
-    report
+    let stats = vol.disk_stats().since(&before);
+    (report, stats)
 }
 
 fn fsd_recovery(files: usize) -> cedar_fsd::RecoveryReport {
-    fsd_recovery_with(files, false)
+    fsd_recovery_with(files, false).0
 }
 
-fn cfs_scavenge(files: usize) -> cedar_cfs::scavenge::ScavengeReport {
+fn cfs_scavenge(files: usize) -> (cedar_cfs::scavenge::ScavengeReport, DiskStats) {
     let mut vol = cfs_t300();
     populate(&mut vol, "pop", files, 5);
     let mut disk = vol.into_disk();
@@ -58,25 +60,31 @@ fn cfs_scavenge(files: usize) -> cedar_cfs::scavenge::ScavengeReport {
     let (mut vol, loaded) =
         cedar_cfs::CfsVolume::boot(disk, cedar_cfs::CfsConfig::default()).unwrap();
     assert!(!loaded);
-    vol.scavenge().unwrap()
+    let before = vol.disk_stats();
+    let report = vol.scavenge().unwrap();
+    let stats = vol.disk_stats().since(&before);
+    (report, stats)
 }
 
-fn ffs_fsck(files: usize) -> cedar_ffs::FsckReport {
+fn ffs_fsck(files: usize) -> (cedar_ffs::FsckReport, DiskStats) {
     let mut fs = ffs_t300();
     populate(&mut fs, "pop", files, 5);
     let mut disk = fs.into_disk();
     disk.crash_now();
     disk.reboot();
+    let before = disk.stats();
     let mut fs = cedar_ffs::Ffs::mount(disk, cedar_ffs::FfsConfig::default()).unwrap();
-    fs.fsck().unwrap()
+    let report = fs.fsck().unwrap();
+    let stats = fs.disk_stats().since(&before);
+    (report, stats)
 }
 
 fn main() {
     println!("Reproducing the recovery-time comparison ({FILES} files on a 300 MB volume)");
 
-    let fsd = fsd_recovery(FILES);
-    let ffs = ffs_fsck(FILES);
-    let cfs = cfs_scavenge(FILES);
+    let (fsd, fsd_disk) = fsd_recovery_with(FILES, false);
+    let (ffs, ffs_disk) = ffs_fsck(FILES);
+    let (cfs, cfs_disk) = cfs_scavenge(FILES);
 
     let mut t = Table::new(
         "Crash recovery on a moderately full 300 MB volume",
@@ -118,6 +126,10 @@ fn main() {
          recovered {} files\nand relabelled {} orphan sectors.",
         fsd.records_replayed, fsd.images_redone, cfs.files_recovered, cfs.orphan_sectors
     );
+    println!();
+    println!("{}", disk_breakdown("FSD recovery ", &fsd_disk));
+    println!("{}", disk_breakdown("4.3 BSD fsck ", &ffs_disk));
+    println!("{}", disk_breakdown("CFS scavenge ", &cfs_disk));
 
     // The scaling sweep: VAM reconstruction grows with the name table,
     // not the volume.
@@ -140,8 +152,8 @@ fn main() {
     // case crash recovery time from about twenty five seconds to about
     // two seconds. VAM logging was not done since it was a complicated
     // modification" — here it is done, behind `FsdConfig::log_vam`.
-    let base = fsd_recovery_with(FILES, false);
-    let logged = fsd_recovery_with(FILES, true);
+    let (base, _) = fsd_recovery_with(FILES, false);
+    let (logged, _) = fsd_recovery_with(FILES, true);
     let mut t = Table::new(
         "Ablation: the §5.3 VAM-logging extension (3000 files)",
         &[

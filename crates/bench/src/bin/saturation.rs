@@ -15,9 +15,9 @@
 //! (hand-rolled — the build environment has no serde).
 
 use cedar_bench::driver::{drive_clients, MultiClientRun};
-use cedar_bench::report::f2;
+use cedar_bench::report::{disk_breakdown, disk_breakdown_json, f2};
 use cedar_bench::Table;
-use cedar_disk::{SimClock, SimDisk};
+use cedar_disk::{DiskStats, SimClock, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume, SchedConfig};
 use cedar_workload::{multi_client_workload, MultiClientParams};
 
@@ -38,17 +38,17 @@ fn volume() -> FsdVolume {
     .expect("format FSD")
 }
 
-fn run_for(clients: usize) -> MultiClientRun {
+fn run_for(clients: usize) -> (MultiClientRun, DiskStats) {
     let scripts = multi_client_workload(MultiClientParams {
         clients,
         ..Default::default()
     });
-    let (_vol, run) =
+    let (vol, run) =
         drive_clients(volume(), SchedConfig::default(), &scripts).expect("drive clients");
-    run
+    (run, vol.disk_stats())
 }
 
-fn json_row(clients: usize, r: &MultiClientRun) -> String {
+fn json_row(clients: usize, r: &MultiClientRun, disk: &DiskStats) -> String {
     let rep = &r.report;
     format!(
         concat!(
@@ -58,7 +58,7 @@ fn json_row(clients: usize, r: &MultiClientRun) -> String {
             "\"internal_settles\": {}, \"empty_windows\": {}, ",
             "\"batch_mean\": {:.3}, \"batch_max\": {}, ",
             "\"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p90\": {}, ",
-            "\"p99\": {}, \"max\": {}}}, \"duration_s\": {:.3}}}"
+            "\"p99\": {}, \"max\": {}}}, \"duration_s\": {:.3}, \"disk\": {}}}"
         ),
         clients,
         rep.ops,
@@ -76,6 +76,7 @@ fn json_row(clients: usize, r: &MultiClientRun) -> String {
         rep.latency.p99_us,
         rep.latency.max_us,
         r.duration_us as f64 / 1e6,
+        disk_breakdown_json(disk),
     )
 }
 
@@ -83,7 +84,13 @@ fn main() {
     println!("Group-commit saturation: 1 to 64 MakeDo clients on one FSD volume");
     println!("(0.5 s commit window, simulated T-300, Dorado CPU costs)");
 
-    let runs: Vec<(usize, MultiClientRun)> = CLIENTS.iter().map(|&n| (n, run_for(n))).collect();
+    let runs: Vec<(usize, MultiClientRun, DiskStats)> = CLIENTS
+        .iter()
+        .map(|&n| {
+            let (run, disk) = run_for(n);
+            (n, run, disk)
+        })
+        .collect();
 
     let mut t = Table::new(
         "Log forces per metadata operation vs concurrency (§5.4)",
@@ -98,7 +105,7 @@ fn main() {
             "p99 lat (ms)",
         ],
     );
-    for (n, r) in &runs {
+    for (n, r, _) in &runs {
         t.row(&[
             n.to_string(),
             r.report.ops.to_string(),
@@ -111,15 +118,19 @@ fn main() {
         ]);
     }
     t.print();
+    println!();
+    for (n, _, disk) in &runs {
+        println!("{}", disk_breakdown(&format!("{n:>2} clients"), disk));
+    }
 
     println!("\nJSON:");
     println!("{{");
     println!("  \"bench\": \"saturation\",");
     println!("  \"window_us\": 500000,");
     println!("  \"rows\": [");
-    for (i, (n, r)) in runs.iter().enumerate() {
+    for (i, (n, r, disk)) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
-        println!("{}{}", json_row(*n, r), comma);
+        println!("{}{}", json_row(*n, r, disk), comma);
     }
     println!("  ]");
     println!("}}");
@@ -127,8 +138,8 @@ fn main() {
     // The claim under test: amortization strictly improves with
     // concurrency across the whole 1 → 64 sweep.
     for pair in runs.windows(2) {
-        let (n0, r0) = &pair[0];
-        let (n1, r1) = &pair[1];
+        let (n0, r0, _) = &pair[0];
+        let (n1, r1, _) = &pair[1];
         assert!(
             r1.report.forces_per_op < r0.report.forces_per_op,
             "forces/op must fall {} → {} clients ({:.4} vs {:.4})",

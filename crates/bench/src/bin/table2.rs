@@ -9,7 +9,8 @@
 //! what factor) is the reproduction target.
 
 use cedar_bench::report::f2;
-use cedar_bench::{cfs_t300, fsd_t300, ms, populate, Table};
+use cedar_bench::{cfs_t300, disk_breakdown, fsd_t300, ms, populate, Table};
+use cedar_disk::DiskStats;
 
 const POP_FILES: usize = 4000;
 const SMALL_ITERS: usize = 40;
@@ -34,6 +35,7 @@ struct Measured {
     large_delete: u64,
     read_page: u64,
     recovery_s: f64,
+    disk: DiskStats,
 }
 
 fn measure_cfs() -> Measured {
@@ -84,6 +86,7 @@ fn measure_cfs() -> Measured {
         cedar_cfs::CfsVolume::boot(disk, cedar_cfs::CfsConfig::default()).expect("boot CFS");
     assert!(!vam_ok, "crash must invalidate the VAM hint");
     let report = vol.scavenge().expect("scavenge");
+    let disk = vol.disk_stats();
     Measured {
         small_create,
         large_create,
@@ -93,6 +96,7 @@ fn measure_cfs() -> Measured {
         large_delete,
         read_page,
         recovery_s: report.duration_us as f64 / 1e6,
+        disk,
     }
 }
 
@@ -135,9 +139,10 @@ fn measure_fsd() -> Measured {
     let mut disk = vol.into_disk();
     disk.crash_now();
     disk.reboot();
-    let (_vol, report) =
+    let (vol, report) =
         cedar_fsd::FsdVolume::boot(disk, cedar_fsd::FsdConfig::default()).expect("boot FSD");
     assert!(report.vam_reconstructed);
+    let disk = vol.disk_stats();
     Measured {
         small_create,
         large_create,
@@ -147,6 +152,7 @@ fn measure_fsd() -> Measured {
         large_delete,
         read_page,
         recovery_s: report.total_us() as f64 / 1e6,
+        disk,
     }
 }
 
@@ -234,4 +240,13 @@ fn main() {
         "100+".into(),
     ]);
     t.print();
+    println!();
+    println!(
+        "{}",
+        disk_breakdown("CFS (whole run incl. scavenge)", &cfs.disk)
+    );
+    println!(
+        "{}",
+        disk_breakdown("FSD (whole run incl. recovery)", &fsd.disk)
+    );
 }

@@ -6,7 +6,7 @@
 //! numbers include its amortized log forces. Both systems are driven
 //! through the same `FileSystem` trait.
 
-use cedar_bench::{cfs_t300, fsd_t300, FileSystem, Table};
+use cedar_bench::{cfs_t300, disk_breakdown, fsd_t300, FileSystem, Table};
 use cedar_workload::{makedo_workload, steps::run, MakeDoParams};
 
 struct Counts {
@@ -57,8 +57,10 @@ fn measure(fs: &mut dyn FileSystem) -> Counts {
 fn main() {
     println!("Reproducing Table 3: CFS vs FSD disk I/Os");
 
-    let cfs = measure(&mut cfs_t300());
-    let fsd = measure(&mut fsd_t300());
+    let mut cfs_fs = cfs_t300();
+    let cfs = measure(&mut cfs_fs);
+    let mut fsd_fs = fsd_t300();
+    let fsd = measure(&mut fsd_fs);
 
     let mut t = Table::new(
         "Table 3. CFS to FSD Performance Measured in Disk I/O's",
@@ -102,6 +104,9 @@ fn main() {
     );
     row("MakeDo", cfs.makedo, fsd.makedo, "1975", "1299", "1.52");
     t.print();
+    println!();
+    println!("{}", disk_breakdown("CFS", &cfs_fs.stats().disk));
+    println!("{}", disk_breakdown("FSD", &fsd_fs.stats().disk));
     println!(
         "\nNote: an FSD list of files whose name-table pages are still cached\n\
          from their creation measures zero I/Os (the paper's 3 I/Os were\n\

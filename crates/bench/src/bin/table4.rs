@@ -10,12 +10,14 @@
 //! cache is small and shared with file data, so the list and read rows
 //! are measured from a cold cache (fsck-style `drop_caches`).
 
-use cedar_bench::{ffs_t300, fsd_t300, Table};
+use cedar_bench::{disk_breakdown, ffs_t300, fsd_t300, Table};
+use cedar_disk::DiskStats;
 
 struct Counts {
     creates: u64,
     list: u64,
     reads: u64,
+    disk: DiskStats,
 }
 
 fn measure_fsd() -> Counts {
@@ -44,6 +46,7 @@ fn measure_fsd() -> Counts {
         creates,
         list,
         reads,
+        disk: vol.disk_stats(),
     }
 }
 
@@ -76,6 +79,7 @@ fn measure_ffs() -> Counts {
         creates,
         list,
         reads,
+        disk: fs.disk_stats(),
     }
 }
 
@@ -125,4 +129,7 @@ fn main() {
         "1.05",
     );
     t.print();
+    println!();
+    println!("{}", disk_breakdown("FSD    ", &fsd.disk));
+    println!("{}", disk_breakdown("4.3 BSD", &ffs.disk));
 }

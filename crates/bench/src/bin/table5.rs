@@ -21,8 +21,8 @@
 //! write path's per-block cost (allocation + copyin) is what drove
 //! 4.2 BSD to 95 % CPU.
 
-use cedar_bench::Table;
-use cedar_disk::SECTOR_BYTES;
+use cedar_bench::{disk_breakdown, Table};
+use cedar_disk::{DiskStats, SECTOR_BYTES};
 
 /// Streamed file size: 4 MB.
 const FILE_PAGES: u32 = 8192;
@@ -35,6 +35,7 @@ const FSD_REQ_PREP_US: u64 = 1_000;
 struct Util {
     cpu_pct: f64,
     bw_pct: f64,
+    disk: DiskStats,
 }
 
 fn fsd_stream(write: bool) -> Util {
@@ -78,6 +79,7 @@ fn fsd_stream(write: bool) -> Util {
     Util {
         cpu_pct: 100.0 * cpu_us as f64 / elapsed,
         bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+        disk: stats,
     }
 }
 
@@ -106,6 +108,7 @@ fn ffs_stream(write: bool) -> Util {
         return Util {
             cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0),
             bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+            disk: stats,
         };
     }
     fs.create("big", &vec![0u8; bytes]).unwrap();
@@ -123,6 +126,7 @@ fn ffs_stream(write: bool) -> Util {
     Util {
         cpu_pct: 100.0 * (cpu_us as f64 / elapsed).min(1.0),
         bw_pct: 100.0 * stats.transfer_us as f64 / elapsed,
+        disk: stats,
     }
 }
 
@@ -167,4 +171,9 @@ fn main() {
     ]);
     t.print();
     println!("\n(paper columns are %CPU / %bandwidth)");
+    println!();
+    println!("{}", disk_breakdown("FSD read    ", &fsd_r.disk));
+    println!("{}", disk_breakdown("FSD write   ", &fsd_w.disk));
+    println!("{}", disk_breakdown("4.2 read    ", &ffs_r.disk));
+    println!("{}", disk_breakdown("4.2 write   ", &ffs_w.disk));
 }

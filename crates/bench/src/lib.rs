@@ -16,5 +16,5 @@ pub mod setup;
 
 pub use adapters::{CedarFsError, FileSystem};
 pub use driver::{drive_clients, MultiClientRun};
-pub use report::Table;
+pub use report::{disk_breakdown, disk_breakdown_json, Table};
 pub use setup::{cfs_t300, ffs_t300, fsd_t300, ms, populate};

@@ -1,5 +1,7 @@
 //! Plain-text table rendering in the paper's style.
 
+use cedar_disk::DiskStats;
+
 /// A simple aligned table.
 #[derive(Clone, Debug)]
 pub struct Table {
@@ -74,6 +76,65 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Renders the §6 disk-time breakdown — the components of `busy_us`
+/// (seek / rotation / lost revolutions / transfer) with their shares —
+/// as one line for the bench binaries.
+pub fn disk_breakdown(label: &str, s: &DiskStats) -> String {
+    let busy = s.busy_us();
+    let pct = |part: u64| {
+        if busy == 0 {
+            0.0
+        } else {
+            100.0 * part as f64 / busy as f64
+        }
+    };
+    format!(
+        concat!(
+            "{}: disk busy {:.3} s = seek {:.3} s ({:.0}%) ",
+            "+ rotation {:.3} s ({:.0}%) + lost-rev {:.3} s ({:.0}%, {} revs) ",
+            "+ transfer {:.3} s ({:.0}%)"
+        ),
+        label,
+        busy as f64 / 1e6,
+        s.seek_us as f64 / 1e6,
+        pct(s.seek_us),
+        s.rotation_us as f64 / 1e6,
+        pct(s.rotation_us),
+        s.lost_rev_us as f64 / 1e6,
+        pct(s.lost_rev_us),
+        s.lost_revolutions,
+        s.transfer_us as f64 / 1e6,
+        pct(s.transfer_us),
+    )
+}
+
+/// The same breakdown as a JSON object fragment (hand-rolled — no serde
+/// in the build environment).
+pub fn disk_breakdown_json(s: &DiskStats) -> String {
+    format!(
+        concat!(
+            "{{\"busy_us\": {}, \"seek_us\": {}, \"rotation_us\": {}, ",
+            "\"lost_rev_us\": {}, \"lost_revolutions\": {}, \"transfer_us\": {}, ",
+            "\"reads\": {}, \"writes\": {}, \"label_ops\": {}, ",
+            "\"sectors_read\": {}, \"sectors_written\": {}, \"seeks\": {}, ",
+            "\"short_seeks\": {}}}"
+        ),
+        s.busy_us(),
+        s.seek_us,
+        s.rotation_us,
+        s.lost_rev_us,
+        s.lost_revolutions,
+        s.transfer_us,
+        s.reads,
+        s.writes,
+        s.label_ops,
+        s.sectors_read,
+        s.sectors_written,
+        s.seeks,
+        s.short_seeks,
+    )
+}
+
 /// Formats a speed-up/ratio with two decimals and an `×`.
 pub fn ratio(a: f64, b: f64) -> String {
     format!("{:.2}x", a / b)
@@ -99,5 +160,30 @@ mod tests {
     fn wrong_arity_panics() {
         let mut t = Table::new("t", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn breakdown_components_and_json_agree() {
+        let s = DiskStats {
+            seek_us: 1_000_000,
+            rotation_us: 500_000,
+            lost_rev_us: 250_000,
+            lost_revolutions: 15,
+            transfer_us: 250_000,
+            ..Default::default()
+        };
+        let line = disk_breakdown("run", &s);
+        assert!(line.contains("disk busy 2.000 s"));
+        assert!(line.contains("seek 1.000 s (50%)"));
+        assert!(line.contains("lost-rev 0.250 s (12%, 15 revs)"));
+        let json = disk_breakdown_json(&s);
+        assert!(json.contains("\"busy_us\": 2000000"));
+        assert!(json.contains("\"lost_revolutions\": 15"));
+    }
+
+    #[test]
+    fn breakdown_of_idle_disk_has_no_nans() {
+        let line = disk_breakdown("idle", &DiskStats::default());
+        assert!(line.contains("(0%)"));
     }
 }

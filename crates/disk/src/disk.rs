@@ -210,8 +210,42 @@ impl SimDisk {
         let target_angle = chs.sector as Micros * sector_us;
         let now_angle = self.clock.now() % rev;
         let wait = (target_angle + rev - now_angle) % rev;
-        self.stats.rotation_us += wait;
+        // Waits of ≥ ¾ revolution are the paper's §6 "lost revolution":
+        // the sector just went by and the platter must come all the way
+        // around. Classified separately so schedulers get the credit.
+        if wait * 4 >= rev * 3 {
+            self.stats.lost_revolutions += 1;
+            self.stats.lost_rev_us += wait;
+        } else {
+            self.stats.rotation_us += wait;
+        }
         self.clock.advance(wait);
+    }
+
+    /// The cylinder the head currently sits on.
+    pub fn head_cylinder(&self) -> u32 {
+        self.current_cylinder
+    }
+
+    /// Estimates, without charging anything, the positioning cost (seek +
+    /// rotational wait) of starting a transfer at `addr` right now. The
+    /// rotational wait accounts for the platter angle *after* the seek
+    /// completes, mirroring [`Self::position_to`] exactly. Schedulers use
+    /// this to pick the rotationally closest request.
+    pub fn position_cost_us(&self, addr: SectorAddr) -> Micros {
+        let chs = self.geometry.to_chs(addr);
+        let distance = self.current_cylinder.abs_diff(chs.cylinder);
+        let seek = if distance > 0 {
+            self.timing.seek_us(distance)
+        } else {
+            0
+        };
+        let sector_us = self.timing.sector_us();
+        let rev = sector_us * self.timing.sectors_per_track as Micros;
+        let target_angle = chs.sector as Micros * sector_us;
+        let now_angle = (self.clock.now() + seek) % rev;
+        let wait = (target_angle + rev - now_angle) % rev;
+        seek + wait
     }
 
     /// Charges transfer time for one sector and handles track/cylinder
@@ -691,7 +725,40 @@ mod tests {
         // The angular revolution: sector time × sectors per track.
         let rev = d.timing().sector_us() * d.timing().sectors_per_track as u64;
         let transfer3 = 3 * d.timing().sector_us();
-        assert_eq!(delta.rotation_us, rev - transfer3);
+        // 13/16 of a revolution: over the ¾ threshold, so it is booked
+        // as a lost revolution rather than ordinary rotational latency.
+        assert_eq!(delta.lost_rev_us, rev - transfer3);
+        assert_eq!(delta.lost_revolutions, 1);
+        assert_eq!(delta.rotation_us, 0);
+    }
+
+    #[test]
+    fn short_rotational_wait_is_not_a_lost_revolution() {
+        let mut d = SimDisk::tiny();
+        d.read(0, 1).unwrap();
+        let before = d.stats();
+        d.read(3, 1).unwrap(); // Two sectors ahead of the head: short wait.
+        let delta = d.stats().since(&before);
+        assert_eq!(delta.rotation_us, 2 * d.timing().sector_us());
+        assert_eq!(delta.lost_revolutions, 0);
+        assert_eq!(delta.lost_rev_us, 0);
+    }
+
+    #[test]
+    fn position_cost_estimate_matches_charged_cost() {
+        let mut d = SimDisk::tiny();
+        d.read(0, 1).unwrap();
+        let spc = d.geometry().sectors_per_cylinder();
+        for addr in [3u32, 9, spc * 7 + 5, spc * 40 + 1] {
+            let est = d.position_cost_us(addr);
+            let before = d.stats();
+            let t0 = d.clock().now();
+            d.read(addr, 1).unwrap();
+            let charged = d.clock().now() - t0 - d.timing().sector_us();
+            assert_eq!(est, charged, "estimate for sector {addr}");
+            let delta = d.stats().since(&before);
+            assert_eq!(est, delta.seek_us + delta.rotation_us + delta.lost_rev_us);
+        }
     }
 
     #[test]

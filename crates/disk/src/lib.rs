@@ -31,6 +31,7 @@ pub mod error;
 pub mod geometry;
 pub mod image;
 pub mod label;
+pub mod sched;
 pub mod stats;
 pub mod timing;
 
@@ -40,6 +41,7 @@ pub use disk::{CrashPlan, SimDisk};
 pub use error::DiskError;
 pub use geometry::DiskGeometry;
 pub use label::{Label, PageKind};
+pub use sched::{IoBatch, IoOp, IoOutput, IoPolicy};
 pub use stats::DiskStats;
 pub use timing::DiskTiming;
 

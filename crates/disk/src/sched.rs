@@ -1,0 +1,761 @@
+//! Batched request submission with write barriers and rotation-aware
+//! scheduling.
+//!
+//! The paper's §6 performance model is built from seeks, short seeks,
+//! rotational latencies, lost revolutions and transfer time — quantities
+//! that only a controller seeing *several* requests at once can trade
+//! against each other. This module is that controller: callers build an
+//! [`IoBatch`] of read/write requests separated by explicit **write
+//! barriers**, and [`execute`] runs each barrier-delimited window in
+//! C-SCAN order (ascending sector address with wrap-around), starting the
+//! sweep at whichever request costs the fewest microseconds of seek +
+//! rotation from the head's current position, and coalescing physically
+//! adjacent same-kind requests into single transfers.
+//!
+//! # Ordering and crash semantics
+//!
+//! Requests *within* a window may execute in any order and may be merged;
+//! requests in different windows never reorder across the barrier between
+//! them. Because the simulator's [`CrashPlan`](crate::CrashPlan) fires
+//! after a fixed number of *executed* sector writes, a crash scheduled
+//! mid-batch lands inside exactly one window: every earlier window is
+//! fully durable, every later window never started, and only the crash
+//! window itself exposes the reordering. This is the contract the FSD
+//! log relies on — data sectors and their copies in one window, a
+//! barrier, then the commit record.
+//!
+//! Two requests whose sector ranges overlap have a data dependency, so
+//! the scheduler inserts an *implicit* barrier between them: submission
+//! order is program order for conflicting requests, exactly as on the
+//! real channel.
+//!
+//! # Error semantics
+//!
+//! On the first failing request the batch aborts. Requests scheduled
+//! before the failure (in *executed* order, not submission order) have
+//! taken effect; later ones have not. Callers that need op-granular
+//! error isolation (label checks, damage probes) should use
+//! [`IoOp::ReadAllowDamage`] or submit those requests alone.
+
+use crate::clock::Micros;
+use crate::disk::SimDisk;
+use crate::label::Label;
+use crate::{Result, SectorAddr, SECTOR_BYTES};
+
+/// How a batch is executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IoPolicy {
+    /// Execute requests exactly in submission order, one `SimDisk` call
+    /// each — the naive baseline the bench compares against.
+    InOrder,
+    /// C-SCAN within each barrier window, rotation-aware start,
+    /// adjacent-request coalescing.
+    #[default]
+    Cscan,
+}
+
+/// One request in a batch. Mirrors the `SimDisk` data and label-plane
+/// operations one-to-one.
+#[derive(Clone, Debug)]
+pub enum IoOp {
+    /// `SimDisk::read(start, n)`.
+    Read { start: SectorAddr, n: usize },
+    /// `SimDisk::read_allow_damage(start, n)`.
+    ReadAllowDamage { start: SectorAddr, n: usize },
+    /// `SimDisk::read_checked(start, expected.len(), &expected)`.
+    ReadChecked {
+        start: SectorAddr,
+        expected: Vec<Label>,
+    },
+    /// `SimDisk::read_labels(start, n)`.
+    ReadLabels { start: SectorAddr, n: usize },
+    /// `SimDisk::write(start, &data)`.
+    Write { start: SectorAddr, data: Vec<u8> },
+    /// `SimDisk::write_checked(start, &data, &expected)`.
+    WriteChecked {
+        start: SectorAddr,
+        data: Vec<u8>,
+        expected: Vec<Label>,
+    },
+    /// `SimDisk::write_with_labels(start, &data, &labels)`.
+    WriteWithLabels {
+        start: SectorAddr,
+        data: Vec<u8>,
+        labels: Vec<Label>,
+    },
+    /// `SimDisk::write_labels(start, &labels, expected)`.
+    WriteLabels {
+        start: SectorAddr,
+        labels: Vec<Label>,
+        expected: Option<Vec<Label>>,
+    },
+}
+
+impl IoOp {
+    /// First sector of the request.
+    pub fn start(&self) -> SectorAddr {
+        match self {
+            IoOp::Read { start, .. }
+            | IoOp::ReadAllowDamage { start, .. }
+            | IoOp::ReadChecked { start, .. }
+            | IoOp::ReadLabels { start, .. }
+            | IoOp::Write { start, .. }
+            | IoOp::WriteChecked { start, .. }
+            | IoOp::WriteWithLabels { start, .. }
+            | IoOp::WriteLabels { start, .. } => *start,
+        }
+    }
+
+    /// Number of sectors the request touches (data rounded up).
+    pub fn sectors(&self) -> u64 {
+        match self {
+            IoOp::Read { n, .. } | IoOp::ReadAllowDamage { n, .. } | IoOp::ReadLabels { n, .. } => {
+                *n as u64
+            }
+            IoOp::ReadChecked { expected, .. } => expected.len() as u64,
+            IoOp::Write { data, .. }
+            | IoOp::WriteChecked { data, .. }
+            | IoOp::WriteWithLabels { data, .. } => data.len().div_ceil(SECTOR_BYTES) as u64,
+            IoOp::WriteLabels { labels, .. } => labels.len() as u64,
+        }
+    }
+
+    /// Whether the request mutates the platter (data or label plane).
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            IoOp::Write { .. }
+                | IoOp::WriteChecked { .. }
+                | IoOp::WriteWithLabels { .. }
+                | IoOp::WriteLabels { .. }
+        )
+    }
+
+    /// Coalescing class: two adjacent requests merge into one transfer
+    /// only if they are the same kind of channel operation.
+    fn kind(&self) -> u8 {
+        match self {
+            IoOp::Read { .. } => 0,
+            IoOp::ReadAllowDamage { .. } => 1,
+            IoOp::ReadChecked { .. } => 2,
+            IoOp::ReadLabels { .. } => 3,
+            IoOp::Write { .. } => 4,
+            IoOp::WriteChecked { .. } => 5,
+            IoOp::WriteWithLabels { .. } => 6,
+            // Label writes with and without a verify pass are different
+            // channel programs; keep them apart.
+            IoOp::WriteLabels { expected: None, .. } => 7,
+            IoOp::WriteLabels {
+                expected: Some(_), ..
+            } => 8,
+        }
+    }
+
+    fn range(&self) -> (u64, u64) {
+        let s = self.start() as u64;
+        (s, s + self.sectors())
+    }
+
+    fn overlaps(&self, other: &IoOp) -> bool {
+        let (a0, a1) = self.range();
+        let (b0, b1) = other.range();
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// The result of one request, index-aligned with the submission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IoOutput {
+    /// A write completed.
+    Done,
+    /// Data from `Read`/`ReadChecked`.
+    Data(Vec<u8>),
+    /// Data plus per-sector damage mask from `ReadAllowDamage`.
+    DataMask(Vec<u8>, Vec<bool>),
+    /// Labels from `ReadLabels`.
+    Labels(Vec<Label>),
+}
+
+impl IoOutput {
+    /// Extracts `Data`; `None` means the caller mismatched request and
+    /// output shapes (a submission bug, surfaced as a typed error).
+    pub fn into_data(self) -> Option<Vec<u8>> {
+        match self {
+            IoOutput::Data(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Extracts `DataMask`, `None` on a shape mismatch.
+    pub fn into_data_mask(self) -> Option<(Vec<u8>, Vec<bool>)> {
+        match self {
+            IoOutput::DataMask(d, m) => Some((d, m)),
+            _ => None,
+        }
+    }
+
+    /// Extracts `Labels`, `None` on a shape mismatch.
+    pub fn into_labels(self) -> Option<Vec<Label>> {
+        match self {
+            IoOutput::Labels(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Item {
+    Op(IoOp),
+    Barrier,
+}
+
+/// An ordered list of requests and barriers awaiting execution.
+#[derive(Clone, Debug, Default)]
+pub struct IoBatch {
+    items: Vec<Item>,
+    ops: usize,
+}
+
+impl IoBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a request; returns its index into [`execute`]'s output.
+    pub fn push(&mut self, op: IoOp) -> usize {
+        self.items.push(Item::Op(op));
+        self.ops += 1;
+        self.ops - 1
+    }
+
+    /// Appends a write barrier: nothing submitted after it may execute
+    /// before everything submitted before it is durable.
+    pub fn barrier(&mut self) {
+        if !self.items.is_empty() {
+            self.items.push(Item::Barrier);
+        }
+    }
+
+    /// Number of requests (barriers excluded).
+    pub fn len(&self) -> usize {
+        self.ops
+    }
+
+    /// Whether the batch holds no requests.
+    pub fn is_empty(&self) -> bool {
+        self.ops == 0
+    }
+}
+
+/// Splits a batch into its barrier-delimited windows, including the
+/// implicit barriers inserted between overlapping requests. Each window
+/// is a list of request indices in submission order. Public so the
+/// equivalence property tests can reason about exactly the windows the
+/// scheduler will use.
+pub fn windows(batch: &IoBatch) -> Vec<Vec<usize>> {
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_ops: Vec<&IoOp> = Vec::new();
+    let mut idx = 0usize;
+    for item in &batch.items {
+        match item {
+            Item::Barrier => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                    current_ops.clear();
+                }
+            }
+            Item::Op(op) => {
+                if current_ops.iter().any(|prev| prev.overlaps(op)) {
+                    out.push(std::mem::take(&mut current));
+                    current_ops.clear();
+                }
+                current.push(idx);
+                current_ops.push(op);
+                idx += 1;
+            }
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Executes a batch under `policy`, returning one [`IoOutput`] per
+/// request in submission order.
+pub fn execute(disk: &mut SimDisk, policy: IoPolicy, batch: &IoBatch) -> Result<Vec<IoOutput>> {
+    let mut outputs: Vec<Option<IoOutput>> = vec![None; batch.ops];
+    let ops: Vec<&IoOp> = batch
+        .items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Op(op) => Some(op),
+            Item::Barrier => None,
+        })
+        .collect();
+    match policy {
+        IoPolicy::InOrder => {
+            for (i, op) in ops.iter().enumerate() {
+                outputs[i] = Some(run_one(disk, op)?);
+            }
+        }
+        IoPolicy::Cscan => {
+            for window in windows(batch) {
+                run_window(disk, &ops, &window, &mut outputs)?;
+            }
+        }
+    }
+    // Every request lands in exactly one window, so every slot is filled;
+    // the fallback keeps this path panic-free.
+    Ok(outputs
+        .into_iter()
+        .map(|o| o.unwrap_or(IoOutput::Done))
+        .collect())
+}
+
+/// One window: sort by address, coalesce adjacent same-kind requests,
+/// start the C-SCAN sweep at the rotationally cheapest group.
+fn run_window(
+    disk: &mut SimDisk,
+    ops: &[&IoOp],
+    window: &[usize],
+    outputs: &mut [Option<IoOutput>],
+) -> Result<()> {
+    // Stable sort: equal addresses keep submission order (they cannot
+    // overlap — an implicit barrier would have split them — but empty
+    // requests can share a start).
+    let mut order: Vec<usize> = window.to_vec();
+    order.sort_by_key(|&i| ops[i].start());
+
+    // Greedy coalescing pass over the sorted requests.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        let op = ops[i];
+        let fits = groups.last().and_then(|g| g.last()).is_some_and(|&j| {
+            let last = ops[j];
+            last.kind() == op.kind() && last.range().1 == op.range().0 && op.sectors() > 0
+        });
+        match groups.last_mut() {
+            Some(g) if fits => g.push(i),
+            _ => groups.push(vec![i]),
+        }
+    }
+
+    // Rotational-position-aware start: the sweep begins at the group
+    // whose first sector costs the fewest microseconds of seek +
+    // rotation from where the head is right now, then proceeds in
+    // ascending address order with wrap-around (C-SCAN).
+    let start_group = groups
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, g)| disk.position_cost_us(ops[g[0]].start()))
+        .map(|(gi, _)| gi)
+        .unwrap_or(0);
+
+    for k in 0..groups.len() {
+        let g = &groups[(start_group + k) % groups.len()];
+        run_group(disk, ops, g, outputs)?;
+    }
+    Ok(())
+}
+
+/// Executes one coalesced group as a single `SimDisk` operation and
+/// splits the result back onto the member requests.
+fn run_group(
+    disk: &mut SimDisk,
+    ops: &[&IoOp],
+    group: &[usize],
+    outputs: &mut [Option<IoOutput>],
+) -> Result<()> {
+    if group.len() == 1 {
+        let i = group[0];
+        outputs[i] = Some(run_one(disk, ops[i])?);
+        return Ok(());
+    }
+    let start = ops[group[0]].start();
+    let counts: Vec<usize> = group.iter().map(|&i| ops[i].sectors() as usize).collect();
+    let total: usize = counts.iter().sum();
+    match ops[group[0]] {
+        IoOp::Read { .. } => {
+            let data = disk.read(start, total)?;
+            for (i, chunk) in split_bytes(&data, &counts, group) {
+                outputs[i] = Some(IoOutput::Data(chunk));
+            }
+        }
+        IoOp::ReadAllowDamage { .. } => {
+            let (data, mask) = disk.read_allow_damage(start, total)?;
+            let mut off = 0usize;
+            for (gi, &i) in group.iter().enumerate() {
+                let n = counts[gi];
+                outputs[i] = Some(IoOutput::DataMask(
+                    data[off * SECTOR_BYTES..(off + n) * SECTOR_BYTES].to_vec(),
+                    mask[off..off + n].to_vec(),
+                ));
+                off += n;
+            }
+        }
+        IoOp::ReadChecked { .. } => {
+            let mut expected: Vec<Label> = Vec::with_capacity(total);
+            for &i in group {
+                let IoOp::ReadChecked { expected: e, .. } = ops[i] else {
+                    unreachable!("group kind mismatch");
+                };
+                expected.extend_from_slice(e);
+            }
+            let data = disk.read_checked(start, total, &expected)?;
+            for (i, chunk) in split_bytes(&data, &counts, group) {
+                outputs[i] = Some(IoOutput::Data(chunk));
+            }
+        }
+        IoOp::ReadLabels { .. } => {
+            let labels = disk.read_labels(start, total)?;
+            let mut off = 0usize;
+            for (gi, &i) in group.iter().enumerate() {
+                let n = counts[gi];
+                outputs[i] = Some(IoOutput::Labels(labels[off..off + n].to_vec()));
+                off += n;
+            }
+        }
+        IoOp::Write { .. } => {
+            let mut data: Vec<u8> = Vec::with_capacity(total * SECTOR_BYTES);
+            for &i in group {
+                let IoOp::Write { data: d, .. } = ops[i] else {
+                    unreachable!("group kind mismatch");
+                };
+                data.extend_from_slice(d);
+            }
+            disk.write(start, &data)?;
+            mark_done(group, outputs);
+        }
+        IoOp::WriteChecked { .. } => {
+            let mut data: Vec<u8> = Vec::with_capacity(total * SECTOR_BYTES);
+            let mut expected: Vec<Label> = Vec::with_capacity(total);
+            for &i in group {
+                let IoOp::WriteChecked {
+                    data: d,
+                    expected: e,
+                    ..
+                } = ops[i]
+                else {
+                    unreachable!("group kind mismatch");
+                };
+                data.extend_from_slice(d);
+                expected.extend_from_slice(e);
+            }
+            disk.write_checked(start, &data, &expected)?;
+            mark_done(group, outputs);
+        }
+        IoOp::WriteWithLabels { .. } => {
+            let mut data: Vec<u8> = Vec::with_capacity(total * SECTOR_BYTES);
+            let mut labels: Vec<Label> = Vec::with_capacity(total);
+            for &i in group {
+                let IoOp::WriteWithLabels {
+                    data: d, labels: l, ..
+                } = ops[i]
+                else {
+                    unreachable!("group kind mismatch");
+                };
+                data.extend_from_slice(d);
+                labels.extend_from_slice(l);
+            }
+            disk.write_with_labels(start, &data, &labels)?;
+            mark_done(group, outputs);
+        }
+        IoOp::WriteLabels { .. } => {
+            let mut labels: Vec<Label> = Vec::with_capacity(total);
+            let mut expected: Vec<Label> = Vec::with_capacity(total);
+            let mut any_expected = false;
+            for &i in group {
+                let IoOp::WriteLabels {
+                    labels: l,
+                    expected: e,
+                    ..
+                } = ops[i]
+                else {
+                    unreachable!("group kind mismatch");
+                };
+                labels.extend_from_slice(l);
+                if let Some(e) = e {
+                    any_expected = true;
+                    expected.extend_from_slice(e);
+                }
+            }
+            let expected = any_expected.then_some(expected.as_slice());
+            disk.write_labels(start, &labels, expected)?;
+            mark_done(group, outputs);
+        }
+    }
+    Ok(())
+}
+
+fn split_bytes(data: &[u8], counts: &[usize], group: &[usize]) -> Vec<(usize, Vec<u8>)> {
+    let mut out = Vec::with_capacity(group.len());
+    let mut off = 0usize;
+    for (gi, &i) in group.iter().enumerate() {
+        let n = counts[gi];
+        out.push((
+            i,
+            data[off * SECTOR_BYTES..(off + n) * SECTOR_BYTES].to_vec(),
+        ));
+        off += n;
+    }
+    out
+}
+
+fn mark_done(group: &[usize], outputs: &mut [Option<IoOutput>]) {
+    for &i in group {
+        outputs[i] = Some(IoOutput::Done);
+    }
+}
+
+/// Executes a single request directly.
+fn run_one(disk: &mut SimDisk, op: &IoOp) -> Result<IoOutput> {
+    Ok(match op {
+        IoOp::Read { start, n } => IoOutput::Data(disk.read(*start, *n)?),
+        IoOp::ReadAllowDamage { start, n } => {
+            let (d, m) = disk.read_allow_damage(*start, *n)?;
+            IoOutput::DataMask(d, m)
+        }
+        IoOp::ReadChecked { start, expected } => {
+            IoOutput::Data(disk.read_checked(*start, expected.len(), expected)?)
+        }
+        IoOp::ReadLabels { start, n } => IoOutput::Labels(disk.read_labels(*start, *n)?),
+        IoOp::Write { start, data } => {
+            disk.write(*start, data)?;
+            IoOutput::Done
+        }
+        IoOp::WriteChecked {
+            start,
+            data,
+            expected,
+        } => {
+            disk.write_checked(*start, data, expected)?;
+            IoOutput::Done
+        }
+        IoOp::WriteWithLabels {
+            start,
+            data,
+            labels,
+        } => {
+            disk.write_with_labels(*start, data, labels)?;
+            IoOutput::Done
+        }
+        IoOp::WriteLabels {
+            start,
+            labels,
+            expected,
+        } => {
+            disk.write_labels(*start, labels, expected.as_deref())?;
+            IoOutput::Done
+        }
+    })
+}
+
+/// Convenience: the estimated positioning cost the scheduler minimizes,
+/// re-exported for benches and diagnostics.
+pub fn position_cost_us(disk: &SimDisk, addr: SectorAddr) -> Micros {
+    disk.position_cost_us(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CrashPlan;
+
+    fn sector_of(byte: u8) -> Vec<u8> {
+        vec![byte; SECTOR_BYTES]
+    }
+
+    #[test]
+    fn adjacent_writes_coalesce_into_one_transfer() {
+        let mut d = SimDisk::tiny();
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 20,
+            data: sector_of(1),
+        });
+        b.push(IoOp::Write {
+            start: 21,
+            data: sector_of(2),
+        });
+        b.push(IoOp::Write {
+            start: 22,
+            data: sector_of(3),
+        });
+        execute(&mut d, IoPolicy::Cscan, &b).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1, "three adjacent writes become one transfer");
+        assert_eq!(s.sectors_written, 3);
+        assert_eq!(d.peek_data(20).unwrap()[0], 1);
+        assert_eq!(d.peek_data(21).unwrap()[0], 2);
+        assert_eq!(d.peek_data(22).unwrap()[0], 3);
+    }
+
+    #[test]
+    fn scattered_reads_return_submission_order_results() {
+        let mut d = SimDisk::tiny();
+        d.write(40, &sector_of(4)).unwrap();
+        d.write(7, &sector_of(7)).unwrap();
+        let mut b = IoBatch::new();
+        let hi = b.push(IoOp::Read { start: 40, n: 1 });
+        let lo = b.push(IoOp::Read { start: 7, n: 1 });
+        let out = execute(&mut d, IoPolicy::Cscan, &b).unwrap();
+        assert_eq!(out[hi].clone().into_data().unwrap()[0], 4);
+        assert_eq!(out[lo].clone().into_data().unwrap()[0], 7);
+    }
+
+    #[test]
+    fn barrier_orders_windows_under_crash() {
+        // Window 1 writes a high address, window 2 a low one. C-SCAN
+        // would visit the low address first if they shared a window; the
+        // barrier must keep the high write strictly earlier, so a crash
+        // before any sector completes leaves BOTH unwritten, and a crash
+        // after one sector leaves exactly the high one written.
+        let mut d = SimDisk::tiny();
+        d.schedule_crash(CrashPlan {
+            after_sector_writes: 1,
+            damaged_tail: 0,
+        });
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 100,
+            data: sector_of(9),
+        });
+        b.barrier();
+        b.push(IoOp::Write {
+            start: 3,
+            data: sector_of(8),
+        });
+        assert!(execute(&mut d, IoPolicy::Cscan, &b).is_err());
+        d.reboot();
+        assert_eq!(d.peek_data(100).unwrap()[0], 9, "window 1 durable");
+        assert!(d.peek_data(3).is_none(), "window 2 never started");
+    }
+
+    #[test]
+    fn overlapping_writes_get_an_implicit_barrier() {
+        let mut d = SimDisk::tiny();
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 5,
+            data: sector_of(1),
+        });
+        b.push(IoOp::Write {
+            start: 5,
+            data: sector_of(2),
+        });
+        assert_eq!(windows(&b).len(), 2);
+        execute(&mut d, IoPolicy::Cscan, &b).unwrap();
+        assert_eq!(d.peek_data(5).unwrap()[0], 2, "program order wins");
+    }
+
+    #[test]
+    fn sweep_starts_at_rotationally_nearest_request() {
+        // Head parks just past sector 5 (after reading 0..6). Requests at
+        // sectors 2 and 8 on the same cylinder: ascending order would eat
+        // a near-full revolution reaching 2 first; the rotation-aware
+        // sweep grabs 8 on the fly and wraps to 2.
+        let run = |policy: IoPolicy| {
+            let mut d = SimDisk::tiny();
+            d.read(0, 6).unwrap();
+            let mut b = IoBatch::new();
+            b.push(IoOp::Write {
+                start: 2,
+                data: sector_of(1),
+            });
+            b.push(IoOp::Write {
+                start: 8,
+                data: sector_of(2),
+            });
+            execute(&mut d, policy, &b).unwrap();
+            d.stats().busy_us()
+        };
+        assert!(
+            run(IoPolicy::Cscan) < run(IoPolicy::InOrder),
+            "rotation-aware start must beat submission order here"
+        );
+    }
+
+    #[test]
+    fn in_order_policy_matches_direct_calls() {
+        let mut direct = SimDisk::tiny();
+        let mut batched = SimDisk::tiny();
+        direct.write(10, &sector_of(1)).unwrap();
+        direct.write(30, &sector_of(2)).unwrap();
+        let d1 = direct.read(10, 1).unwrap();
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 10,
+            data: sector_of(1),
+        });
+        b.push(IoOp::Write {
+            start: 30,
+            data: sector_of(2),
+        });
+        let r = b.push(IoOp::Read { start: 10, n: 1 });
+        let out = execute(&mut batched, IoPolicy::InOrder, &b).unwrap();
+        assert_eq!(out[r].clone().into_data().unwrap(), d1);
+        assert_eq!(direct.stats(), batched.stats());
+        assert_eq!(direct.clock().now(), batched.clock().now());
+    }
+
+    #[test]
+    fn mixed_kinds_do_not_coalesce() {
+        let mut d = SimDisk::tiny();
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 12,
+            data: sector_of(1),
+        });
+        b.push(IoOp::WriteLabels {
+            start: 13,
+            labels: vec![Label::FREE],
+            expected: None,
+        });
+        execute(&mut d, IoPolicy::Cscan, &b).unwrap();
+        let s = d.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.label_ops, 1);
+    }
+
+    #[test]
+    fn coalesced_label_reads_split_back_per_request() {
+        let mut d = SimDisk::tiny();
+        let l = Label::new(3, 1, crate::label::PageKind::Data);
+        d.write_labels(16, &[l, l, l, l], None).unwrap();
+        let mut b = IoBatch::new();
+        let a = b.push(IoOp::ReadLabels { start: 16, n: 2 });
+        let c = b.push(IoOp::ReadLabels { start: 18, n: 2 });
+        let out = execute(&mut d, IoPolicy::Cscan, &b).unwrap();
+        assert_eq!(
+            d.stats().label_ops,
+            2,
+            "one setup write + one coalesced read"
+        );
+        assert_eq!(out[a].clone().into_labels().unwrap(), vec![l, l]);
+        assert_eq!(out[c].clone().into_labels().unwrap(), vec![l, l]);
+    }
+
+    #[test]
+    fn explicit_barriers_split_windows() {
+        let mut b = IoBatch::new();
+        b.barrier(); // Leading barrier: no-op.
+        b.push(IoOp::Read { start: 0, n: 1 });
+        b.push(IoOp::Read { start: 5, n: 1 });
+        b.barrier();
+        b.barrier(); // Double barrier: still one split.
+        b.push(IoOp::Read { start: 9, n: 1 });
+        assert_eq!(windows(&b), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let mut d = SimDisk::tiny();
+        let b = IoBatch::new();
+        assert!(b.is_empty());
+        assert!(execute(&mut d, IoPolicy::Cscan, &b).unwrap().is_empty());
+        assert_eq!(d.stats().total_ops(), 0);
+    }
+}

@@ -28,10 +28,17 @@ pub struct DiskStats {
     pub short_seeks: u64,
     /// Time spent seeking.
     pub seek_us: Micros,
-    /// Time spent waiting for rotation.
+    /// Time spent waiting for rotation (waits shorter than the
+    /// lost-revolution threshold).
     pub rotation_us: Micros,
     /// Time spent transferring data.
     pub transfer_us: Micros,
+    /// Rotational waits of at least three quarters of a revolution —
+    /// the paper's §6 "lost revolution": the sector just passed under
+    /// the head and the drive must wait for it to come around again.
+    pub lost_revolutions: u64,
+    /// Time spent in lost revolutions (disjoint from `rotation_us`).
+    pub lost_rev_us: Micros,
 }
 
 impl DiskStats {
@@ -42,7 +49,7 @@ impl DiskStats {
 
     /// Total time the disk was busy.
     pub fn busy_us(&self) -> Micros {
-        self.seek_us + self.rotation_us + self.transfer_us
+        self.seek_us + self.rotation_us + self.lost_rev_us + self.transfer_us
     }
 
     /// Returns the difference `self - earlier`, for measuring a window.
@@ -58,6 +65,8 @@ impl DiskStats {
             seek_us: self.seek_us - earlier.seek_us,
             rotation_us: self.rotation_us - earlier.rotation_us,
             transfer_us: self.transfer_us - earlier.transfer_us,
+            lost_revolutions: self.lost_revolutions - earlier.lost_revolutions,
+            lost_rev_us: self.lost_rev_us - earlier.lost_rev_us,
         }
     }
 }
@@ -75,10 +84,11 @@ mod tests {
             seek_us: 10,
             rotation_us: 20,
             transfer_us: 30,
+            lost_rev_us: 40,
             ..Default::default()
         };
         assert_eq!(s.total_ops(), 6);
-        assert_eq!(s.busy_us(), 60);
+        assert_eq!(s.busy_us(), 100);
     }
 
     #[test]
@@ -86,15 +96,21 @@ mod tests {
         let a = DiskStats {
             reads: 5,
             sectors_read: 50,
+            lost_revolutions: 4,
+            lost_rev_us: 400,
             ..Default::default()
         };
         let b = DiskStats {
             reads: 2,
             sectors_read: 20,
+            lost_revolutions: 1,
+            lost_rev_us: 100,
             ..Default::default()
         };
         let d = a.since(&b);
         assert_eq!(d.reads, 3);
         assert_eq!(d.sectors_read, 30);
+        assert_eq!(d.lost_revolutions, 3);
+        assert_eq!(d.lost_rev_us, 300);
     }
 }

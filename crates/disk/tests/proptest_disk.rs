@@ -71,7 +71,10 @@ proptest! {
 
         // Accounting identities.
         let s = d.stats();
-        prop_assert_eq!(s.busy_us(), s.seek_us + s.rotation_us + s.transfer_us);
+        prop_assert_eq!(
+            s.busy_us(),
+            s.seek_us + s.rotation_us + s.lost_rev_us + s.transfer_us
+        );
         prop_assert_eq!(
             s.transfer_us,
             (s.sectors_read + s.sectors_written) * d.timing().sector_us()

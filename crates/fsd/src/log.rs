@@ -32,6 +32,7 @@
 
 use crate::error::FsdError;
 use crate::Result;
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
 use cedar_disk::{SectorAddr, SimDisk, SECTOR_BYTES};
 use cedar_vol::codec::{fnv1a, Reader, Writer};
 use std::collections::VecDeque;
@@ -143,6 +144,7 @@ pub struct Log {
     live: VecDeque<LiveRecord>,
     oldest: (u32, u64),
     max_images: usize,
+    policy: IoPolicy,
 }
 
 impl Log {
@@ -168,7 +170,13 @@ impl Log {
             live: VecDeque::new(),
             oldest: (DATA_START, 1),
             max_images,
+            policy: IoPolicy::default(),
         })
+    }
+
+    /// Sets the I/O scheduling policy used for record and meta writes.
+    pub fn set_policy(&mut self, policy: IoPolicy) {
+        self.policy = policy;
     }
 
     /// Largest number of images a single record may carry on this log.
@@ -225,8 +233,19 @@ impl Log {
             boot_count: self.boot_count,
         };
         let bytes = meta.encode();
-        disk.write(self.start, &bytes)?;
-        disk.write(self.start + 2, &bytes)?;
+        // Both copies in one window: they are identical, so their relative
+        // order is immaterial, and the scheduler takes whichever comes
+        // under the head first.
+        let mut batch = IoBatch::new();
+        batch.push(IoOp::Write {
+            start: self.start,
+            data: bytes.clone(),
+        });
+        batch.push(IoOp::Write {
+            start: self.start + 2,
+            data: bytes,
+        });
+        sched::execute(disk, self.policy, &batch)?;
         Ok(())
     }
 
@@ -306,8 +325,39 @@ impl Log {
         let bytes = encode_record(images, seq, self.boot_count, group_end)?;
         debug_assert_eq!(bytes.len(), len as usize * SECTOR_BYTES);
         // "Data spread over the disk can be logically and atomically
-        // updated with a single disk write to the log."
-        disk.write(self.start + pos, &bytes)?;
+        // updated with a single disk write to the log." The record goes
+        // out as two barrier-separated windows: headers and both data
+        // copies first, then the end pages. Recovery accepts a record
+        // only if an end page is valid, so the barrier guarantees that
+        // acceptance implies every data sector (or its copy) is durable —
+        // the commit record semantics of §5.3, independent of how the
+        // scheduler reorders within each window.
+        let n = n as u32;
+        let at = |sector: u32| self.start + pos + sector;
+        let sector_range = |lo: u32, hi: u32| {
+            bytes[lo as usize * SECTOR_BYTES..hi as usize * SECTOR_BYTES].to_vec()
+        };
+        let mut batch = IoBatch::new();
+        // Window 1: H, blank, H', D₁..Dₙ (contiguous) and D₁'..Dₙ'.
+        batch.push(IoOp::Write {
+            start: at(0),
+            data: sector_range(0, 3 + n),
+        });
+        batch.push(IoOp::Write {
+            start: at(4 + n),
+            data: sector_range(4 + n, 4 + 2 * n),
+        });
+        batch.barrier();
+        // Window 2: the commit record — E and its copy E'.
+        batch.push(IoOp::Write {
+            start: at(3 + n),
+            data: sector_range(3 + n, 4 + n),
+        });
+        batch.push(IoOp::Write {
+            start: at(4 + 2 * n),
+            data: sector_range(4 + 2 * n, 5 + 2 * n),
+        });
+        sched::execute(disk, self.policy, &batch)?;
         self.next_seq += 1;
         self.live.push_back(LiveRecord { offset: pos, seq });
         if self.live.len() == 1 {
@@ -446,12 +496,89 @@ fn decode_end(bytes: &[u8]) -> std::result::Result<DecodedEnd, String> {
     })
 }
 
+/// Read-ahead buffer for the recovery scan: instead of issuing one small
+/// read per record probe, the log region is pulled in track-sized chunks,
+/// batched and coalesced through the scheduler, and probes are then
+/// served from memory. Chunks load lazily, so the scan still reads only
+/// as far as the live chain reaches (plus one chunk of slack).
+struct ScanBuffer {
+    log_start: SectorAddr,
+    log_size: u32,
+    chunk: u32,
+    data: Vec<u8>,
+    mask: Vec<bool>,
+    loaded: Vec<bool>,
+}
+
+impl ScanBuffer {
+    fn new(disk: &SimDisk, log_start: SectorAddr, log_size: u32) -> Self {
+        let chunk = disk.geometry().sectors_per_track.max(1);
+        let chunks = log_size.div_ceil(chunk) as usize;
+        Self {
+            log_start,
+            log_size,
+            chunk,
+            data: vec![0u8; log_size as usize * SECTOR_BYTES],
+            mask: vec![false; log_size as usize],
+            loaded: vec![false; chunks],
+        }
+    }
+
+    /// Loads every not-yet-resident chunk covering `offset..offset + n`
+    /// in one batched submission (adjacent chunks coalesce into single
+    /// transfers).
+    fn ensure(&mut self, disk: &mut SimDisk, offset: u32, n: u32) -> Result<()> {
+        let lo = offset / self.chunk;
+        let hi = (offset + n - 1) / self.chunk;
+        let mut batch = IoBatch::new();
+        let mut pending: Vec<(u32, usize)> = Vec::new();
+        for c in lo..=hi {
+            if self.loaded[c as usize] {
+                continue;
+            }
+            let s = c * self.chunk;
+            let e = (s + self.chunk).min(self.log_size);
+            let idx = batch.push(IoOp::ReadAllowDamage {
+                start: self.log_start + s,
+                n: (e - s) as usize,
+            });
+            pending.push((c, idx));
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let mut out = sched::execute(disk, IoPolicy::Cscan, &batch)?;
+        for (c, idx) in pending.into_iter().rev() {
+            let (bytes, dmg) = std::mem::replace(&mut out[idx], cedar_disk::IoOutput::Done)
+                .into_data_mask()
+                .ok_or_else(|| FsdError::Check("scheduler returned a non-data output".into()))?;
+            let s = (c * self.chunk) as usize;
+            self.data[s * SECTOR_BYTES..s * SECTOR_BYTES + bytes.len()].copy_from_slice(&bytes);
+            self.mask[s..s + dmg.len()].copy_from_slice(&dmg);
+            self.loaded[c as usize] = true;
+        }
+        Ok(())
+    }
+
+    /// Reads `n` sectors at `offset` (within the log region), with the
+    /// same damage semantics as `SimDisk::read_allow_damage`.
+    fn read(&mut self, disk: &mut SimDisk, offset: u32, n: u32) -> Result<(Vec<u8>, Vec<bool>)> {
+        self.ensure(disk, offset, n)?;
+        let s = offset as usize;
+        let e = s + n as usize;
+        Ok((
+            self.data[s * SECTOR_BYTES..e * SECTOR_BYTES].to_vec(),
+            self.mask[s..e].to_vec(),
+        ))
+    }
+}
+
 /// Attempts to decode the record at `offset`; returns the record and its
 /// sector length, or `None` if no valid record with sequence `expected`
 /// starts there (end of log, torn write, or unrecoverable damage).
 fn read_record_at(
     disk: &mut SimDisk,
-    log_start: SectorAddr,
+    buf: &mut ScanBuffer,
     log_size: u32,
     offset: u32,
     expected_seq: u64,
@@ -461,7 +588,7 @@ fn read_record_at(
     }
     // Header pair: H at +0, H' at +2 (never both lost under the 1–2
     // consecutive sector failure model).
-    let (head_bytes, head_mask) = disk.read_allow_damage(log_start + offset, 3)?;
+    let (head_bytes, head_mask) = buf.read(disk, offset, 3)?;
     let header = [0usize, 2]
         .iter()
         .find_map(|&i| {
@@ -481,7 +608,7 @@ fn read_record_at(
         return Ok(None);
     }
     // Body: D₁..Dₙ, E, D₁'..Dₙ', E'.
-    let (body, mask) = disk.read_allow_damage(log_start + offset + 3, (2 * n + 2) as usize)?;
+    let (body, mask) = buf.read(disk, offset + 3, 2 * n + 2)?;
     let sector = |i: usize| &body[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
     let end = [n as usize, (2 * n + 1) as usize]
         .iter()
@@ -539,6 +666,7 @@ pub fn scan_records(
     log_size: u32,
     meta: &LogMeta,
 ) -> Result<Vec<LogRecord>> {
+    let mut buf = ScanBuffer::new(disk, log_start, log_size);
     let mut records = Vec::new();
     let mut pos = meta.oldest_offset;
     let mut expected = meta.oldest_seq;
@@ -546,7 +674,7 @@ pub fn scan_records(
         if pos + 5 > log_size {
             pos = DATA_START;
         }
-        match read_record_at(disk, log_start, log_size, pos, expected)? {
+        match read_record_at(disk, &mut buf, log_size, pos, expected)? {
             Some((rec, len)) => {
                 records.push(rec);
                 pos += len;
@@ -556,7 +684,7 @@ pub fn scan_records(
                 // The writer may have wrapped where we did not expect it.
                 if pos != DATA_START {
                     if let Some((rec, len)) =
-                        read_record_at(disk, log_start, log_size, DATA_START, expected)?
+                        read_record_at(disk, &mut buf, log_size, DATA_START, expected)?
                     {
                         records.push(rec);
                         pos = DATA_START + len;

@@ -19,6 +19,7 @@ use crate::volume::{FsdConfig, FsdVolume};
 use crate::{FsdError, Result};
 use cedar_btree::BTree;
 use cedar_disk::clock::Micros;
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
 use cedar_disk::{Cpu, SimDisk};
 use cedar_vol::{AllocPolicy, Allocator, Run, Vam};
 use std::collections::{BTreeSet, HashMap};
@@ -69,16 +70,18 @@ impl FsdVolume {
         let cpu = Cpu::new(disk.clock(), config.cpu);
         let mut report = RecoveryReport::default();
 
-        let (boot, vam_was_valid) = match redo_phase(&mut disk, &layout, &cpu, &mut report) {
-            Ok(x) => x,
-            Err(e) => return Err((e, disk)),
-        };
+        let (boot, vam_was_valid) =
+            match redo_phase(&mut disk, &layout, &cpu, config.io_policy, &mut report) {
+                Ok(x) => x,
+                Err(e) => return Err((e, disk)),
+            };
 
         let (dlo, dhi) = layout.data_area();
-        let log = match Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count) {
+        let mut log = match Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count) {
             Ok(log) => log,
             Err(e) => return Err((e, disk)),
         };
+        log.set_policy(config.io_policy);
         let mut vol = FsdVolume {
             log,
             disk,
@@ -104,6 +107,7 @@ impl FsdVolume {
             commit_stats: Default::default(),
             vam_baseline: None,
             vam_home: HashMap::new(),
+            io_policy: config.io_policy,
         };
         vol.last_force = vol.clock().now();
 
@@ -207,6 +211,7 @@ fn redo_phase(
     disk: &mut SimDisk,
     layout: &FsdLayout,
     cpu: &Cpu,
+    policy: IoPolicy,
     report: &mut RecoveryReport,
 ) -> Result<(FsdBootPage, bool)> {
     let t0 = disk.clock().now();
@@ -243,37 +248,42 @@ fn redo_phase(
         cpu.sectors(rec.images.len() as u64);
     }
     report.records_replayed = records.len() as u64;
-    let mut batch_start: Option<u32> = None;
-    let mut batch: Vec<u8> = Vec::new();
-    let flush = |disk: &mut SimDisk, start: Option<u32>, bytes: &mut Vec<u8>| -> Result<()> {
-        if let Some(start) = start {
-            disk.write(start, bytes)?;
+    if !final_images.is_empty() {
+        // One write per sector, one window: the addresses are unique, the
+        // map iterates in sorted order, and the scheduler coalesces
+        // contiguous runs into single transfers.
+        let mut redo = IoBatch::new();
+        for (addr, img) in &final_images {
+            redo.push(IoOp::Write {
+                start: *addr,
+                data: img.clone(),
+            });
         }
-        bytes.clear();
-        Ok(())
-    };
-    let mut prev: Option<u32> = None;
-    for (addr, img) in &final_images {
-        if prev.is_some_and(|p| p + 1 == *addr) {
-            batch.extend_from_slice(img);
-        } else {
-            flush(disk, batch_start, &mut batch)?;
-            batch_start = Some(*addr);
-            batch.extend_from_slice(img);
-        }
-        prev = Some(*addr);
+        sched::execute(disk, policy, &redo)?;
     }
-    flush(disk, batch_start, &mut batch)?;
 
     // New epoch: bump the boot count, clear the VAM flag on disk, and
-    // start a fresh (empty) log — the homes are now current.
+    // start a fresh (empty) log — the homes are now current. The redo
+    // sweep above was submitted separately, so it is durable before the
+    // boot pages change; a barrier keeps copy A ahead of copy B.
     let vam_was_valid = boot.vam_valid;
     boot.boot_count += 1;
     boot.vam_valid = false;
     let boot_bytes = boot.encode();
-    disk.write(layout.boot_a, &boot_bytes)?;
-    disk.write(layout.boot_b, &boot_bytes)?;
-    Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count)?.write_meta(disk)?;
+    let mut boots = IoBatch::new();
+    boots.push(IoOp::Write {
+        start: layout.boot_a,
+        data: boot_bytes.clone(),
+    });
+    boots.barrier();
+    boots.push(IoOp::Write {
+        start: layout.boot_b,
+        data: boot_bytes,
+    });
+    sched::execute(disk, policy, &boots)?;
+    let mut fresh = Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count)?;
+    fresh.set_policy(policy);
+    fresh.write_meta(disk)?;
     report.redo_us = disk.clock().now() - t0;
     Ok((boot, vam_was_valid))
 }

@@ -25,6 +25,7 @@ use crate::log::{Log, PageTarget};
 use crate::{Result, NT_PAGE_SECTORS};
 use cedar_btree::{BTree, PageId};
 use cedar_disk::clock::Micros;
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
 use cedar_disk::{Cpu, CpuModel, DiskStats, SimClock, SimDisk, SECTOR_BYTES, SECTOR_BYTES_U64};
 use cedar_vol::{AllocPolicy, Allocator, FileName, Run, RunTable, Vam};
 use std::collections::{BTreeSet, HashMap};
@@ -58,6 +59,11 @@ pub struct FsdConfig {
     /// The Dorado's real cache was bounded; the default keeps the whole
     /// table resident, which the benches note where it matters.
     pub cache_pages: usize,
+    /// I/O submission policy for multi-sector batch paths (log forces,
+    /// home-page writeback, recovery scans). [`IoPolicy::InOrder`] is the
+    /// measurement baseline; the default C-SCAN order is what the real
+    /// Trident microcode queue approximated.
+    pub io_policy: IoPolicy,
 }
 
 impl Default for FsdConfig {
@@ -70,6 +76,7 @@ impl Default for FsdConfig {
             small_threshold: 32,
             log_vam: false,
             cache_pages: 0,
+            io_policy: IoPolicy::default(),
         }
     }
 }
@@ -160,6 +167,8 @@ pub struct FsdVolume {
     /// Logged VAM sectors awaiting their home writes: index → (image,
     /// log third).
     pub(crate) vam_home: HashMap<u32, (Vec<u8>, u8)>,
+    /// Submission order for batched I/O (log forces, home writeback).
+    pub(crate) io_policy: IoPolicy,
 }
 
 /// Crate-private alias so `recovery.rs` can construct the volume without
@@ -214,7 +223,9 @@ impl FsdVolume {
             commit_stats: CommitStats::default(),
             vam_baseline: None,
             vam_home: HashMap::new(),
+            io_policy: config.io_policy,
         };
+        vol.log.set_policy(config.io_policy);
         vol.log.write_meta(&mut vol.disk)?;
 
         // Seed the meta page and the empty tree — in cache only.
@@ -421,6 +432,7 @@ impl FsdVolume {
 
         // Append in record-sized chunks, remembering each image's third.
         let max = self.log.max_images();
+        let policy = self.io_policy;
         let mut thirds: HashMap<usize, u8> = HashMap::new(); // image index → third
         let mut base = 0usize;
         while base < images.len() {
@@ -440,7 +452,16 @@ impl FsdVolume {
             let _ = &vam_home;
             let is_last = base + chunk.len() >= images.len();
             let (_seq, third) = log.append(disk, chunk, is_last, |disk, t| {
-                flush_third(disk, layout, cache, leaders, vam_home, t, commit_stats)
+                flush_third(
+                    disk,
+                    layout,
+                    cache,
+                    leaders,
+                    vam_home,
+                    t,
+                    commit_stats,
+                    policy,
+                )
             })?;
             for i in base..base + chunk.len() {
                 thirds.insert(i, third);
@@ -518,40 +539,49 @@ impl FsdVolume {
     }
 
     /// Writes home every page and leader with logged-but-unwritten state
-    /// (controlled shutdown, and after format).
+    /// (controlled shutdown, and after format). All home writes go to
+    /// disjoint sectors, so they form one scheduler window: sorted,
+    /// coalesced, swept in C-SCAN order.
     fn sync_home_all(&mut self) -> Result<()> {
-        let FsdVolume {
-            ref mut disk,
-            ref mut cache,
-            ref mut leaders,
-            ref layout,
-            ..
-        } = *self;
-        for (&id, p) in cache.pages.iter_mut() {
+        // Collect in logical order — both replicas of a page together,
+        // pages by id, then leaders, then VAM sectors. That is the
+        // submission order the naive in-order policy executes (exactly
+        // the old synchronous loop); the C-SCAN policy re-sorts it.
+        let mut writes: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut ids: Vec<PageId> = self.cache.pages.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let Some(p) = self.cache.pages.get_mut(&id) else {
+                continue;
+            };
             if p.needs_home {
                 let img = p.baseline.as_ref().expect("logged page has baseline");
-                disk.write(layout.nt_a_sector(id), img)?;
-                disk.write(layout.nt_b_sector(id), img)?;
+                writes.push((self.layout.nt_a_sector(id), img.clone()));
+                writes.push((self.layout.nt_b_sector(id), img.clone()));
                 p.needs_home = false;
             }
             p.last_logged_third = None;
         }
-        for (&addr, ls) in leaders.iter_mut() {
-            if let Some((img, _)) = ls.logged.take() {
-                disk.write(addr, &img)?;
+        let mut addrs: Vec<u32> = self.leaders.keys().copied().collect();
+        addrs.sort_unstable();
+        for addr in addrs {
+            if let Some(ls) = self.leaders.get_mut(&addr) {
+                if let Some((img, _)) = ls.logged.take() {
+                    writes.push((addr, img));
+                }
             }
         }
-        leaders.retain(|_, ls| ls.unlogged.is_some() || ls.logged.is_some());
-        let pending: Vec<(u32, Vec<u8>)> = self
-            .vam_home
-            .drain()
-            .map(|(i, (img, _))| (i, img))
-            .collect();
-        for (index, img) in pending {
-            self.disk.write(self.layout.vam_a + index, &img)?;
-            self.disk.write(self.layout.vam_b + index, &img)?;
+        self.leaders
+            .retain(|_, ls| ls.unlogged.is_some() || ls.logged.is_some());
+        let mut indexes: Vec<u32> = self.vam_home.keys().copied().collect();
+        indexes.sort_unstable();
+        for index in indexes {
+            if let Some((img, _)) = self.vam_home.remove(&index) {
+                writes.push((self.layout.vam_a + index, img.clone()));
+                writes.push((self.layout.vam_b + index, img));
+            }
         }
-        Ok(())
+        write_home_batch(&mut self.disk, self.io_policy, writes)
     }
 
     /// The VAM serialized and padded to the save area's sector count.
@@ -562,9 +592,18 @@ impl FsdVolume {
     }
 
     pub(crate) fn save_vam_and_mark_valid(&mut self) -> Result<()> {
+        // Both save-area copies in one window (at most one can be torn by
+        // a crash; the boot pages marking them valid follow in a separate
+        // submission, so validity never precedes durability).
         let bytes = self.padded_vam_bytes();
-        self.disk.write(self.layout.vam_a, &bytes)?;
-        self.disk.write(self.layout.vam_b, &bytes)?;
+        write_home_batch(
+            &mut self.disk,
+            self.io_policy,
+            vec![
+                (self.layout.vam_a, bytes.clone()),
+                (self.layout.vam_b, bytes.clone()),
+            ],
+        )?;
         self.boot.vam_valid = true;
         self.write_boot_pages()?;
         self.vam_hint_on_disk = true;
@@ -576,9 +615,20 @@ impl FsdVolume {
     }
 
     pub(crate) fn write_boot_pages(&mut self) -> Result<()> {
+        // Copy A must be durable before copy B starts (recovery trusts A
+        // unless it is damaged), so a barrier separates them.
         let bytes = self.boot.encode();
-        self.disk.write(self.layout.boot_a, &bytes)?;
-        self.disk.write(self.layout.boot_b, &bytes)?;
+        let mut batch = IoBatch::new();
+        batch.push(IoOp::Write {
+            start: self.layout.boot_a,
+            data: bytes.clone(),
+        });
+        batch.barrier();
+        batch.push(IoOp::Write {
+            start: self.layout.boot_b,
+            data: bytes,
+        });
+        sched::execute(&mut self.disk, self.io_policy, &batch)?;
         Ok(())
     }
 
@@ -1172,7 +1222,9 @@ impl FsdVolume {
 }
 
 /// Writes home every page and leader whose only log copy lives in third
-/// `t`, which is about to be reclaimed (§5.3).
+/// `t`, which is about to be reclaimed (§5.3). The writes all target
+/// disjoint sectors, so the whole flush is one scheduler window.
+#[allow(clippy::too_many_arguments)]
 fn flush_third(
     disk: &mut SimDisk,
     layout: &FsdLayout,
@@ -1181,26 +1233,38 @@ fn flush_third(
     vam_home: &mut HashMap<u32, (Vec<u8>, u8)>,
     t: u8,
     stats: &mut CommitStats,
+    policy: IoPolicy,
 ) -> Result<()> {
-    for (&id, p) in cache.pages.iter_mut() {
+    let mut writes: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut ids: Vec<PageId> = cache.pages.keys().copied().collect();
+    ids.sort_unstable();
+    for id in ids {
+        let Some(p) = cache.pages.get_mut(&id) else {
+            continue;
+        };
         if p.last_logged_third == Some(t) {
             if p.needs_home {
                 // Write the *baseline* (last committed image), never the
                 // possibly-uncommitted current image.
                 let img = p.baseline.as_ref().expect("logged page has baseline");
-                disk.write(layout.nt_a_sector(id), img)?;
-                disk.write(layout.nt_b_sector(id), img)?;
+                writes.push((layout.nt_a_sector(id), img.clone()));
+                writes.push((layout.nt_b_sector(id), img.clone()));
                 p.needs_home = false;
                 stats.third_flush_pages += 1;
             }
             p.last_logged_third = None;
         }
     }
+    let mut addrs: Vec<u32> = leaders.keys().copied().collect();
+    addrs.sort_unstable();
     let mut done: Vec<u32> = Vec::new();
-    for (&addr, ls) in leaders.iter_mut() {
+    for addr in addrs {
+        let Some(ls) = leaders.get_mut(&addr) else {
+            continue;
+        };
         if let Some((img, third)) = &ls.logged {
             if *third == t {
-                disk.write(addr, img)?;
+                writes.push((addr, img.clone()));
                 ls.logged = None;
                 if ls.unlogged.is_none() {
                     done.push(addr);
@@ -1211,15 +1275,40 @@ fn flush_third(
     for addr in done {
         leaders.remove(&addr);
     }
-    let flushable: Vec<u32> = vam_home
+    let mut flushable: Vec<u32> = vam_home
         .iter()
         .filter(|(_, (_, third))| *third == t)
         .map(|(&i, _)| i)
         .collect();
+    flushable.sort_unstable();
     for index in flushable {
         let (img, _) = vam_home.remove(&index).expect("present");
-        disk.write(layout.vam_a + index, &img)?;
-        disk.write(layout.vam_b + index, &img)?;
+        writes.push((layout.vam_a + index, img.clone()));
+        writes.push((layout.vam_b + index, img));
     }
+    write_home_batch(disk, policy, writes)
+}
+
+/// Submits a set of disjoint home writes as one scheduler window. The
+/// caller supplies them in deterministic logical order (both replicas of
+/// each page together) — the order the in-order policy executes verbatim;
+/// under C-SCAN the window is re-sorted and physically adjacent images
+/// coalesce into single transfers.
+fn write_home_batch(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    writes: Vec<(u32, Vec<u8>)>,
+) -> Result<()> {
+    if writes.is_empty() {
+        return Ok(());
+    }
+    let mut batch = IoBatch::new();
+    for (addr, img) in writes {
+        batch.push(IoOp::Write {
+            start: addr,
+            data: img,
+        });
+    }
+    sched::execute(disk, policy, &batch)?;
     Ok(())
 }

@@ -3,20 +3,34 @@
 //! second is not significant" (§5.4) — but nothing *else* may be lost,
 //! and the name table must always be structurally intact.
 
-use cedar_disk::{CpuModel, CrashPlan, SimDisk};
+use cedar_disk::{CpuModel, CrashPlan, IoPolicy, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume};
 
-fn config() -> FsdConfig {
+/// The crash-ordering tests run under both submission policies: the
+/// scheduled (C-SCAN, the default) log-force/writeback path reorders
+/// writes within barrier windows, and recovery must hold regardless.
+const POLICIES: [IoPolicy; 2] = [IoPolicy::InOrder, IoPolicy::Cscan];
+
+fn config_with(io_policy: IoPolicy) -> FsdConfig {
     FsdConfig {
         nt_pages: 16,
         log_sectors: 128,
         cpu: CpuModel::FREE,
+        io_policy,
         ..FsdConfig::default()
     }
 }
 
+fn config() -> FsdConfig {
+    config_with(IoPolicy::default())
+}
+
+fn tiny_with(io_policy: IoPolicy) -> FsdVolume {
+    FsdVolume::format(SimDisk::tiny(), config_with(io_policy)).unwrap()
+}
+
 fn tiny() -> FsdVolume {
-    FsdVolume::format(SimDisk::tiny(), config()).unwrap()
+    tiny_with(IoPolicy::default())
 }
 
 /// Crashes the volume immediately and reboots it.
@@ -81,28 +95,33 @@ fn forced_delete_stays_deleted() {
 
 #[test]
 fn crash_mid_log_force_keeps_previous_commit() {
-    let mut v = tiny();
-    v.create("stable", b"v1").unwrap();
-    v.force().unwrap();
-    for i in 0..5 {
-        v.create(&format!("burst{i}"), b"x").unwrap();
+    for policy in POLICIES {
+        let mut v = tiny_with(policy);
+        v.create("stable", b"v1").unwrap();
+        v.force().unwrap();
+        for i in 0..5 {
+            v.create(&format!("burst{i}"), b"x").unwrap();
+        }
+        // The force's log write tears after 3 sectors.
+        v.disk_mut().schedule_crash(CrashPlan {
+            after_sector_writes: 3,
+            damaged_tail: 1,
+        });
+        let err = v.force().unwrap_err();
+        assert!(err.is_crash());
+        let mut disk = v.into_disk();
+        disk.reboot();
+        let (mut v2, _) = FsdVolume::boot(disk, config_with(policy)).unwrap();
+        // The torn record is ignored; the earlier commit is intact.
+        assert!(v2.open("stable", None).is_ok());
+        for i in 0..5 {
+            assert!(
+                v2.open(&format!("burst{i}"), None).is_err(),
+                "burst{i} under {policy:?}"
+            );
+        }
+        v2.verify().unwrap();
     }
-    // The force's log write tears after 3 sectors.
-    v.disk_mut().schedule_crash(CrashPlan {
-        after_sector_writes: 3,
-        damaged_tail: 1,
-    });
-    let err = v.force().unwrap_err();
-    assert!(err.is_crash());
-    let mut disk = v.into_disk();
-    disk.reboot();
-    let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
-    // The torn record is ignored; the earlier commit is intact.
-    assert!(v2.open("stable", None).is_ok());
-    for i in 0..5 {
-        assert!(v2.open(&format!("burst{i}"), None).is_err(), "burst{i}");
-    }
-    v2.verify().unwrap();
 }
 
 #[test]
@@ -110,38 +129,41 @@ fn multi_page_tree_update_is_atomic_across_crash() {
     // §5.8 error class 1: "multi-page B-tree updates were not atomic" in
     // CFS; logging fixes it. Force a commit whose record spans many page
     // images (splits), then crash at every prefix of the log write.
-    for crash_after in [0u64, 1, 2, 5, 9, 14, 20, 33] {
-        let mut v = tiny();
-        for i in 0..60 {
-            v.create(&format!("seed{i:02}"), b"s").unwrap();
-        }
-        v.force().unwrap();
-        for i in 0..30 {
-            v.create(&format!("burst{i:02}"), b"b").unwrap();
-        }
-        v.disk_mut().schedule_crash(CrashPlan {
-            after_sector_writes: crash_after,
-            damaged_tail: 1,
-        });
-        let _ = v.force(); // May or may not crash depending on record size.
-        let mut disk = v.into_disk();
-        disk.reboot();
-        let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
-        v2.verify()
-            .unwrap_or_else(|e| panic!("tree corrupt after crash at {crash_after}: {e}"));
-        // All seeds are committed and present.
-        for i in 0..60 {
-            assert!(
-                v2.open(&format!("seed{i:02}"), None).is_ok(),
-                "seed{i:02} lost, crash at {crash_after}"
-            );
-        }
-        // The burst is all-or-nothing only per force; individual files may
-        // exist iff the record landed. But the tree must be consistent and
-        // every present file readable.
-        for (name, _) in v2.list("burst").unwrap() {
-            let mut f = v2.open(&name.name, Some(name.version)).unwrap();
-            assert_eq!(v2.read_file(&mut f).unwrap(), b"b");
+    for policy in POLICIES {
+        for crash_after in [0u64, 1, 2, 5, 9, 14, 20, 33] {
+            let mut v = tiny_with(policy);
+            for i in 0..60 {
+                v.create(&format!("seed{i:02}"), b"s").unwrap();
+            }
+            v.force().unwrap();
+            for i in 0..30 {
+                v.create(&format!("burst{i:02}"), b"b").unwrap();
+            }
+            v.disk_mut().schedule_crash(CrashPlan {
+                after_sector_writes: crash_after,
+                damaged_tail: 1,
+            });
+            let _ = v.force(); // May or may not crash depending on record size.
+            let mut disk = v.into_disk();
+            disk.reboot();
+            let (mut v2, _) = FsdVolume::boot(disk, config_with(policy)).unwrap();
+            v2.verify().unwrap_or_else(|e| {
+                panic!("tree corrupt after crash at {crash_after} under {policy:?}: {e}")
+            });
+            // All seeds are committed and present.
+            for i in 0..60 {
+                assert!(
+                    v2.open(&format!("seed{i:02}"), None).is_ok(),
+                    "seed{i:02} lost, crash at {crash_after} under {policy:?}"
+                );
+            }
+            // The burst is all-or-nothing only per force; individual files may
+            // exist iff the record landed. But the tree must be consistent and
+            // every present file readable.
+            for (name, _) in v2.list("burst").unwrap() {
+                let mut f = v2.open(&name.name, Some(name.version)).unwrap();
+                assert_eq!(v2.read_file(&mut f).unwrap(), b"b");
+            }
         }
     }
 }
@@ -149,47 +171,51 @@ fn multi_page_tree_update_is_atomic_across_crash() {
 #[test]
 fn crash_during_home_flush_recovers() {
     // Drive the log around its thirds so home flushes happen, crashing
-    // during one of them.
-    let mut v = tiny();
-    for round in 0..14 {
-        for i in 0..8 {
-            v.create(&format!("r{round:02}f{i}"), b"data").unwrap();
+    // during one of them. Under the scheduled policy the flush's writes
+    // execute in C-SCAN order, so the crash tears a *reordered* window —
+    // recovery must not care.
+    for policy in POLICIES {
+        let mut v = tiny_with(policy);
+        for round in 0..14 {
+            for i in 0..8 {
+                v.create(&format!("r{round:02}f{i}"), b"data").unwrap();
+            }
+            v.force().unwrap();
         }
-        v.force().unwrap();
-    }
-    // Now schedule a crash a few sector-writes into future activity
-    // (which will include home flushes at third entries).
-    v.disk_mut().schedule_crash(CrashPlan {
-        after_sector_writes: 7,
-        damaged_tail: 2,
-    });
-    let mut round = 14;
-    loop {
-        let mut crashed = false;
-        for i in 0..8 {
-            if v.create(&format!("r{round:02}f{i}"), b"data").is_err() {
-                crashed = true;
+        // Now schedule a crash a few sector-writes into future activity
+        // (which will include home flushes at third entries).
+        v.disk_mut().schedule_crash(CrashPlan {
+            after_sector_writes: 7,
+            damaged_tail: 2,
+        });
+        let mut round = 14;
+        loop {
+            let mut crashed = false;
+            for i in 0..8 {
+                if v.create(&format!("r{round:02}f{i}"), b"data").is_err() {
+                    crashed = true;
+                    break;
+                }
+            }
+            if crashed || v.force().is_err() {
                 break;
             }
+            round += 1;
+            assert!(round < 100, "crash never fired under {policy:?}");
         }
-        if crashed || v.force().is_err() {
-            break;
-        }
-        round += 1;
-        assert!(round < 100, "crash never fired");
-    }
-    let mut disk = v.into_disk();
-    disk.reboot();
-    let (mut v2, _) = FsdVolume::boot(disk, config()).unwrap();
-    v2.verify().unwrap();
-    // Everything committed before round 14 must be present and readable.
-    for r in 0..14 {
-        for i in 0..8 {
-            let name = format!("r{r:02}f{i}");
-            let mut f = v2
-                .open(&name, None)
-                .unwrap_or_else(|e| panic!("{name} lost: {e}"));
-            assert_eq!(v2.read_file(&mut f).unwrap(), b"data");
+        let mut disk = v.into_disk();
+        disk.reboot();
+        let (mut v2, _) = FsdVolume::boot(disk, config_with(policy)).unwrap();
+        v2.verify().unwrap();
+        // Everything committed before round 14 must be present and readable.
+        for r in 0..14 {
+            for i in 0..8 {
+                let name = format!("r{r:02}f{i}");
+                let mut f = v2
+                    .open(&name, None)
+                    .unwrap_or_else(|e| panic!("{name} lost under {policy:?}: {e}"));
+                assert_eq!(v2.read_file(&mut f).unwrap(), b"data");
+            }
         }
     }
 }
@@ -209,30 +235,33 @@ fn double_crash_during_recovery_is_survivable() {
     disk.crash_now();
     disk.reboot();
     // Try recovery with a crash at several points into its redo writes;
-    // the torn image must recover fully on the next attempt.
-    for crash_after in [0u64, 1, 3, 5, 10] {
-        let mut attempt = disk.clone();
-        attempt.schedule_crash(CrashPlan {
-            after_sector_writes: crash_after,
-            damaged_tail: 1,
-        });
-        let torn = match FsdVolume::try_boot(attempt, config()) {
-            // Recovery finished before the crash budget ran out — fine.
-            Ok((mut v2, _)) => {
-                v2.verify().unwrap();
-                continue;
+    // the torn image must recover fully on the next attempt — under
+    // either submission policy (redo's home sweep is a scheduled batch).
+    for policy in POLICIES {
+        for crash_after in [0u64, 1, 3, 5, 10] {
+            let mut attempt = disk.clone();
+            attempt.schedule_crash(CrashPlan {
+                after_sector_writes: crash_after,
+                damaged_tail: 1,
+            });
+            let torn = match FsdVolume::try_boot(attempt, config_with(policy)) {
+                // Recovery finished before the crash budget ran out — fine.
+                Ok((mut v2, _)) => {
+                    v2.verify().unwrap();
+                    continue;
+                }
+                Err((e, torn)) => {
+                    assert!(e.is_crash(), "crash at {crash_after} under {policy:?}: {e}");
+                    torn
+                }
+            };
+            let mut torn = torn;
+            torn.reboot();
+            let (mut v3, _) = FsdVolume::boot(torn, config_with(policy)).unwrap();
+            v3.verify().unwrap();
+            for i in 0..20 {
+                assert!(v3.open(&format!("f{i:02}"), None).is_ok());
             }
-            Err((e, torn)) => {
-                assert!(e.is_crash(), "crash at {crash_after}: {e}");
-                torn
-            }
-        };
-        let mut torn = torn;
-        torn.reboot();
-        let (mut v3, _) = FsdVolume::boot(torn, config()).unwrap();
-        v3.verify().unwrap();
-        for i in 0..20 {
-            assert!(v3.open(&format!("f{i:02}"), None).is_ok());
         }
     }
 }

@@ -5,16 +5,17 @@
 //! tree is structurally consistent, and the reconstructed VAM agrees with
 //! the name table.
 
-use cedar_disk::{CpuModel, CrashPlan, SimDisk};
+use cedar_disk::{CpuModel, CrashPlan, IoPolicy, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn config() -> FsdConfig {
+fn config_with(io_policy: IoPolicy) -> FsdConfig {
     FsdConfig {
         nt_pages: 24,
         log_sectors: 160,
         cpu: CpuModel::FREE,
+        io_policy,
         ..FsdConfig::default()
     }
 }
@@ -106,7 +107,14 @@ proptest! {
         ops in proptest::collection::vec(arb_op(), 1..50),
         crash_after in 0u64..300,
     ) {
-        let mut v = FsdVolume::format(SimDisk::tiny(), config()).unwrap();
+        // Half the cases crash a C-SCAN-scheduled write stream, half the
+        // in-order baseline — recovery must land on a boundary either way.
+        let policy = if crash_after % 2 == 0 {
+            IoPolicy::Cscan
+        } else {
+            IoPolicy::InOrder
+        };
+        let mut v = FsdVolume::format(SimDisk::tiny(), config_with(policy)).unwrap();
         let mut committed: Model = Model::new(); // At the last force.
         let mut previous: Model = Model::new();  // At the force before.
         let mut live: Model = Model::new();      // Uncommitted truth.
@@ -162,7 +170,7 @@ proptest! {
 
         let mut disk = v.into_disk();
         disk.reboot();
-        let (mut v2, report) = FsdVolume::boot(disk, config()).unwrap();
+        let (mut v2, report) = FsdVolume::boot(disk, config_with(policy)).unwrap();
         // The VAM is reconstructed unless the crash beat the very first
         // mutation's hint-invalidation write to the disk — in which case
         // the saved VAM is still accurate and loading it is correct.

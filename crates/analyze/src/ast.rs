@@ -1,0 +1,330 @@
+//! Lightweight Rust AST produced by [`crate::parser`] — just enough
+//! structure for flow-sensitive rules: function bodies as statement lists,
+//! expressions with calls / method chains / branches, and match arms with
+//! their raw pattern tokens.
+//!
+//! The AST is deliberately lossy: types, generics, operators, and patterns
+//! are reduced to what the rules inspect. Operand order is preserved
+//! (left-to-right evaluation order), which is what the write-ahead rule
+//! depends on.
+
+/// Parsed file: every `fn` found anywhere in the file (top level, inside
+/// `impl`/`trait` blocks, inline modules, or nested in bodies), in source
+/// order.
+#[derive(Clone, Debug, Default)]
+pub struct Ast {
+    /// All function definitions.
+    pub fns: Vec<FnDef>,
+}
+
+/// One `fn` definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Enclosing inline `mod` path within the file (often empty).
+    pub module: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, if any (`FsdVolume` for
+    /// `impl FsdVolume { fn f() }`).
+    pub owner: Option<String>,
+    /// True only for unrestricted `pub` (not `pub(crate)`/`pub(super)`).
+    pub is_pub: bool,
+    /// True if the declared return type mentions `Result`.
+    pub returns_result: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Line of the closing brace (or the `;` for bodyless declarations).
+    pub end_line: u32,
+    /// Body; `None` for trait method declarations.
+    pub body: Option<Block>,
+}
+
+/// A `{ ... }` statement list.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `let pat[: ty] [= init] [else { .. }];`
+    Let {
+        /// Lower-case identifiers bound by the pattern (heuristic: every
+        /// lowercase-initial ident that is not `mut`/`ref`/`box`).
+        names: Vec<String>,
+        /// True when the pattern is exactly `_`.
+        wild: bool,
+        /// Initializer, if present.
+        init: Option<Expr>,
+        /// `else` block of a let-else.
+        else_block: Option<Block>,
+        /// Line of the `let`.
+        line: u32,
+    },
+    /// Expression statement (trailing `;` or not).
+    Expr(Expr),
+}
+
+/// One match arm.
+#[derive(Clone, Debug)]
+pub struct Arm {
+    /// Raw pattern (and guard) token texts; punctuation as single chars,
+    /// string literals as `""`.
+    pub pat: Vec<String>,
+    /// Arm body.
+    pub body: Expr,
+    /// Line of the first pattern token.
+    pub line: u32,
+}
+
+/// An expression. Prefix operators, casts, parentheses, and `?` are folded
+/// into their operand; binary chains become [`Expr::Seq`].
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// Path expression `a::b::c` (bare idents included).
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// Line of the first segment.
+        line: u32,
+    },
+    /// Call `callee(args)`.
+    Call {
+        /// Callee expression (usually a `Path`).
+        func: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// Line of the opening paren.
+        line: u32,
+    },
+    /// Method call `recv.name(args)`.
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// Line of the method name.
+        line: u32,
+    },
+    /// Field access `base.name` (tuple indices included).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Line of the field name.
+        line: u32,
+    },
+    /// Operand sequence in evaluation order: binary chains, tuples, array
+    /// literals, struct literals (path first, then field values), and
+    /// indexing (`base` then index). Operators are dropped.
+    Seq {
+        /// Operands in evaluation order.
+        items: Vec<Expr>,
+        /// Line of the first operand.
+        line: u32,
+    },
+    /// Block expression (incl. `unsafe { .. }`).
+    Block {
+        /// The block.
+        block: Block,
+        /// Line of the opening brace.
+        line: u32,
+    },
+    /// `if cond { then } [else alt]` (alt is a Block or a nested If).
+    If {
+        /// Condition (with any `let` pattern stripped).
+        cond: Box<Expr>,
+        /// Then block.
+        then: Block,
+        /// Else branch.
+        alt: Option<Box<Expr>>,
+        /// Line of the `if`.
+        line: u32,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arms in order.
+        arms: Vec<Arm>,
+        /// Line of the `match`.
+        line: u32,
+    },
+    /// `loop { body }`.
+    Loop {
+        /// Body.
+        body: Block,
+        /// Line of the `loop`.
+        line: u32,
+    },
+    /// `while cond { body }` (incl. `while let`).
+    While {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// Line of the `while`.
+        line: u32,
+    },
+    /// `for pat in iter { body }`.
+    For {
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// Line of the `for`.
+        line: u32,
+    },
+    /// Closure `|args| body` (params dropped).
+    Closure {
+        /// Body expression.
+        body: Box<Expr>,
+        /// Line of the opening `|`.
+        line: u32,
+    },
+    /// `return [value]`.
+    Ret {
+        /// Returned value.
+        value: Option<Box<Expr>>,
+        /// Line of the `return`.
+        line: u32,
+    },
+    /// Macro invocation; contents are opaque.
+    Macro {
+        /// Last path segment of the macro name.
+        name: String,
+        /// Line of the macro name.
+        line: u32,
+    },
+    /// Literal, `continue`, bare `break`, or other leaf.
+    Atom {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// Source line of the expression.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Seq { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::While { line, .. }
+            | Expr::For { line, .. }
+            | Expr::Closure { line, .. }
+            | Expr::Ret { line, .. }
+            | Expr::Macro { line, .. }
+            | Expr::Atom { line } => *line,
+        }
+    }
+
+    /// The simple name an expression ends in: `self.log` → `log`,
+    /// `log` → `log`, `a::b::c` → `c`. `None` for anything structured.
+    pub fn last_name(&self) -> Option<&str> {
+        match self {
+            Expr::Path { segs, .. } => segs.last().map(|s| s.as_str()),
+            Expr::Field { name, .. } => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// For a `Call`, the callee's final path segment (`sched::execute` →
+    /// `execute`). `None` for non-path callees.
+    pub fn callee_name(&self) -> Option<&str> {
+        match self {
+            Expr::Call { func, .. } => func.last_name(),
+            _ => None,
+        }
+    }
+}
+
+/// Calls `f` on every expression in the block, depth-first, in evaluation
+/// order (receivers before arguments, scrutinees before arms).
+pub fn walk_block(b: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &b.stmts {
+        match s {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(eb) = else_block {
+                    walk_block(eb, f);
+                }
+            }
+            Stmt::Expr(e) => walk_expr(e, f),
+        }
+    }
+}
+
+/// Calls `f` on `e` and every sub-expression, depth-first pre-order.
+pub fn walk_expr(e: &Expr, f: &mut impl FnMut(&Expr)) {
+    f(e);
+    match e {
+        Expr::Path { .. } | Expr::Macro { .. } | Expr::Atom { .. } => {}
+        Expr::Call { func, args, .. } => {
+            walk_expr(func, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Seq { items, .. } => {
+            for it in items {
+                walk_expr(it, f);
+            }
+        }
+        Expr::Block { block, .. } => walk_block(block, f),
+        Expr::If {
+            cond, then, alt, ..
+        } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(a) = alt {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                walk_expr(&arm.body, f);
+            }
+        }
+        Expr::Loop { body, .. } => walk_block(body, f),
+        Expr::While { cond, body, .. } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::Ret { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+    }
+}

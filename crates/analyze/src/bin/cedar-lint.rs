@@ -4,14 +4,18 @@
 //!
 //! ```text
 //! cedar-lint [--workspace] [--root <path>] [--allowlist <path>]
-//!            [--json] [--emit-allow]
+//!            [--format human|json|sarif] [--emit-allow]
 //! ```
 //!
-//! Scans the Cedar workspace for layering violations, panic sites,
+//! Scans the Cedar workspace for layering violations, write-ahead-order
+//! and barrier-discipline breaks, swallowed errors, panic sites,
 //! lock-order hazards, duplicated layout constants, truncating casts, and
 //! unsafe-code hygiene. Exits 0 when clean, 1 on findings (including stale
 //! allowlist entries), 2 on usage or I/O errors.
 //!
+//! `--format json` emits the flat machine-readable finding list;
+//! `--format sarif` emits SARIF 2.1.0 for CI artifact upload and review
+//! tooling (`--json` is kept as an alias for `--format json`).
 //! `--emit-allow` prints the current findings in allowlist format (for
 //! seeding `cedar-lint.allow`); the run itself exits 0.
 
@@ -20,28 +24,44 @@ use cedar_analyze::config::Config;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 struct Opts {
     root: Option<PathBuf>,
     allowlist: Option<PathBuf>,
-    json: bool,
+    format: Format,
     emit_allow: bool,
 }
 
 const USAGE: &str = "usage: cedar-lint [--workspace] [--root <path>] \
-                     [--allowlist <path>] [--json] [--emit-allow]";
+                     [--allowlist <path>] [--format human|json|sarif] \
+                     [--emit-allow]";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         root: None,
         allowlist: None,
-        json: false,
+        format: Format::Human,
         emit_allow: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--workspace" => {} // The default (and only) scan scope.
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                opts.format = match v.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format {other:?}\n{USAGE}")),
+                };
+            }
             "--emit-allow" => opts.emit_allow = true,
             "--root" => {
                 let v = it.next().ok_or("--root needs a path")?;
@@ -126,10 +146,10 @@ fn main() -> ExitCode {
     };
     match cedar_analyze::run(&root, &config, &allow) {
         Ok(report) => {
-            if opts.json {
-                println!("{}", report.json());
-            } else {
-                print!("{}", report.human());
+            match opts.format {
+                Format::Human => print!("{}", report.human()),
+                Format::Json => println!("{}", report.json()),
+                Format::Sarif => println!("{}", report.sarif()),
             }
             if report.ok() {
                 ExitCode::SUCCESS

@@ -56,6 +56,37 @@ pub struct Config {
     pub force_methods: Vec<&'static str>,
     /// Crates whose `src/lib.rs` must carry `#![deny(unsafe_code)]`.
     pub deny_unsafe_crates: Vec<&'static str>,
+    /// wal-order: files whose unrestricted-`pub` fns are the commit-unit
+    /// entry points (the `FsdVolume` public API).
+    pub wal_entry_files: Vec<&'static str>,
+    /// wal-order: files exempt from the rule (recovery redoes home writes
+    /// from the log itself, so it writes homes without a fresh append).
+    pub wal_exempt_files: Vec<&'static str>,
+    /// wal-order: (receiver name, method) pairs that append to the redo
+    /// log — the events that establish write-ahead protection.
+    pub wal_append_calls: Vec<(&'static str, &'static str)>,
+    /// wal-order: free functions that write home/leader/name-table
+    /// sectors — the events that require protection.
+    pub wal_write_fns: Vec<&'static str>,
+    /// barrier-discipline: (file, functions) where every `IoBatch` that is
+    /// executed must have called `barrier()` first (commit-record writes
+    /// go in the post-barrier window).
+    pub barrier_fns: Vec<(&'static str, Vec<&'static str>)>,
+    /// batch-io: callees that are deliberate single-sector/replica
+    /// fallback readers, exempt from the indirect raw-I/O check.
+    pub batch_io_fallback_fns: Vec<&'static str>,
+    /// error-flow: files forming the force/flush/recovery paths where
+    /// `Result` values must not be silently discarded.
+    pub error_flow_files: Vec<&'static str>,
+    /// error-flow: (file, functions) that probe replicas / torn records
+    /// and legitimately treat errors as data; exempt from the rule.
+    pub error_flow_fallback_fns: Vec<(&'static str, Vec<&'static str>)>,
+    /// error-flow: method names (beyond `io_methods`/`force_methods`)
+    /// whose `Result` must be handled on those paths.
+    pub error_must_handle: Vec<&'static str>,
+    /// error-flow: error-type idents whose variants a catch-all match arm
+    /// must not swallow.
+    pub error_type_idents: Vec<&'static str>,
 }
 
 impl Config {
@@ -187,6 +218,34 @@ impl Config {
                 "disk", "btree", "vol", "cfs", "fsd", "ffs", "model", "workload", "bench",
                 "proptest", "analyze", "root",
             ],
+            wal_entry_files: vec!["crates/fsd/src/volume.rs"],
+            wal_exempt_files: vec!["crates/fsd/src/recovery.rs"],
+            wal_append_calls: vec![("log", "append")],
+            wal_write_fns: vec!["write_home_batch"],
+            barrier_fns: vec![
+                ("crates/fsd/src/log.rs", vec!["append"]),
+                ("crates/fsd/src/layout.rs", vec!["write_replicas"]),
+            ],
+            batch_io_fallback_fns: vec!["read_meta", "read_boot_page", "read_saved_vam"],
+            error_flow_files: vec![
+                "crates/fsd/src/log.rs",
+                "crates/fsd/src/volume.rs",
+                "crates/fsd/src/recovery.rs",
+                "crates/fsd/src/sched.rs",
+                "crates/disk/src/sched.rs",
+            ],
+            error_flow_fallback_fns: vec![
+                (
+                    "crates/fsd/src/log.rs",
+                    vec!["read_meta", "read_record_at", "scan_records"],
+                ),
+                (
+                    "crates/fsd/src/recovery.rs",
+                    vec!["read_boot_page", "read_saved_vam"],
+                ),
+            ],
+            error_must_handle: vec!["execute"],
+            error_type_idents: vec!["DiskError", "FsdError"],
         }
     }
 }

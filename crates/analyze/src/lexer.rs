@@ -116,10 +116,28 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             b'"' => {
+                let start_line = line;
                 i = skip_string(b, i, &mut line);
                 out.tokens.push(Tok {
                     kind: TokKind::Str,
                     text: String::new(),
+                    line: start_line,
+                });
+            }
+            // Raw identifier `r#ident`: one Ident token with the `r#`
+            // stripped (so `r#match` compares equal to `match`-free names).
+            b'r' if i + 2 < b.len()
+                && b[i + 1] == b'#'
+                && (b[i + 2] == b'_' || (b[i + 2] as char).is_ascii_alphabetic()) =>
+            {
+                let start = i + 2;
+                i += 2;
+                while i < b.len() && (b[i] == b'_' || (b[i] as char).is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
                     line,
                 });
             }
@@ -174,8 +192,10 @@ pub fn lex(src: &str) -> Lexed {
                 while i < b.len()
                     && (b[i] == b'_' || b[i] == b'.' || (b[i] as char).is_ascii_alphanumeric())
                 {
-                    // `0..10` is a range, not a float: stop at `..`.
-                    if b[i] == b'.' && i + 1 < b.len() && b[i + 1] == b'.' {
+                    // `0..10` is a range and `0.method()` is a tuple-index
+                    // field access, not floats: only consume a `.` that is
+                    // directly followed by a digit.
+                    if b[i] == b'.' && !(i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()) {
                         break;
                     }
                     i += 1;
@@ -362,6 +382,44 @@ mod tests {
         let l = lex("a\nb\n\nc");
         let lines: Vec<_> = l.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_keeps_start_line() {
+        // The Str token must carry the line the literal *starts* on.
+        let l = lex("a \"one\ntwo\nthree\" b");
+        let strs: Vec<_> = l.tokens.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].line, 1);
+        // ...and line tracking stays correct for what follows.
+        assert!(l.tokens.iter().any(|t| t.is_ident("b") && t.line == 3));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_one_ident() {
+        let l = lex("let r#match = r#fn + other;");
+        let names: Vec<_> = idents("let r#match = r#fn + other;");
+        assert_eq!(names, vec!["let", "match", "fn", "other"]);
+        assert!(!l.tokens.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        assert_eq!(idents(r###"a r##"has "# inside"## b"###), vec!["a", "b"]);
+        assert_eq!(idents("a br#\"bytes\"# b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn tuple_index_field_access_is_not_a_float() {
+        let l = lex("pair.0.count() + 1.5");
+        let nums: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "1.5"]);
+        assert!(l.tokens.iter().any(|t| t.is_ident("count")));
     }
 
     #[test]

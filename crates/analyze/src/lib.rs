@@ -2,20 +2,37 @@
 //! workspace.
 //!
 //! The paper's reliability story rests on protocol obligations the Rust
-//! compiler cannot see: only the log module may address log-region sectors,
-//! the name table is always double-written, recovery must never panic
-//! mid-redo. This crate states those obligations as machine-checked rules
-//! over the workspace source, using a hand-rolled lexer (the build
-//! environment has no crates.io access, so no `syn`).
+//! compiler cannot see: the log append must precede the home write, only
+//! the log module may address log-region sectors, the name table is
+//! always double-written, recovery must never panic mid-redo. This crate
+//! states those obligations as machine-checked rules over the workspace
+//! source. It is dependency-free (no crates.io access, so no `syn`): a
+//! hand-rolled lexer feeds both the token-level rules and a
+//! recursive-descent parser ([`parser`]) whose lightweight AST ([`ast`])
+//! and workspace call graph ([`callgraph`]) power the flow-sensitive
+//! rules. A file the parser cannot handle is itself a finding
+//! (`parse-error`) — nothing silently escapes analysis.
 //!
 //! Rule families (each finding carries its rule id):
 //!
 //! * **layering** — import DAG between workspace crates, raw sector I/O
 //!   confined to the volume layer, log-region addressing confined to
 //!   `cedar_fsd::{log, recovery}`.
+//! * **wal-order** — every call path from a public `FsdVolume` op to a
+//!   home-sector write must be dominated by a `Log::append`/force in the
+//!   same commit unit (the §4 write-ahead rule, checked as a fixpoint
+//!   over per-function summaries).
+//! * **barrier-discipline** / **batch-io** — an `IoBatch` on a
+//!   configured commit path must `barrier()` before its commit window
+//!   executes; raw disk calls (direct or one helper deep) on the
+//!   multi-sector hot paths must go through `cedar_disk::sched` batches.
+//! * **error-flow** — no `let _ =`/`.ok()` discards of `Result` on
+//!   force/flush/recovery paths, and no `_ =>` arms swallowing
+//!   `DiskError`/`FsdError` variants.
 //! * **panic-ratchet** — no `unwrap()/expect()/panic!()` in non-test
 //!   library code; existing sites live in a checked-in allowlist that only
-//!   shrinks (new sites and stale entries both fail).
+//!   shrinks (new sites and stale entries both fail) and covers every
+//!   rule family.
 //! * **lock-order** — per-function lock acquisition sequences with one
 //!   level of intra-workspace call propagation; cycles in the lock-order
 //!   graph and locks held across disk-write/log-force calls on the commit
@@ -30,14 +47,17 @@
 //!   `// SAFETY:` comment.
 //!
 //! The `cedar-lint` binary scans the workspace (including this crate),
-//! prints a human table or JSON, and exits nonzero on findings — it is a
-//! tier-1 CI gate (see `ci.sh`).
+//! prints a human table, JSON, or SARIF 2.1.0 (`--format`), and exits
+//! nonzero on findings — it is a tier-1 CI gate (see `ci.sh`).
 
 #![deny(unsafe_code)]
 
 pub mod allowlist;
+pub mod ast;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -49,9 +69,10 @@ pub use report::Report;
 /// One finding: a rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`layering`, `panic-ratchet`, `lock-order`,
+    /// Rule id (`layering`, `wal-order`, `barrier-discipline`,
+    /// `batch-io`, `error-flow`, `panic-ratchet`, `lock-order`,
     /// `const-consistency`, `cast-safety`, `unsafe-hygiene`,
-    /// `stale-allowlist`).
+    /// `parse-error`, `stale-allowlist`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -110,12 +131,32 @@ pub fn run(
 ) -> Result<Report, AnalyzeError> {
     let files = workspace::load_workspace(root, config)?;
     let mut findings = Vec::new();
+    // A file the parser cannot handle silently escapes the flow rules, so
+    // a parse failure is itself a finding.
+    for f in &files {
+        if let Some((line, msg)) = &f.parse_error {
+            findings.push(Finding {
+                rule: "parse-error",
+                file: f.rel.clone(),
+                line: *line,
+                item: f.enclosing_fn(*line).to_string(),
+                snippet: "parse error".to_string(),
+                message: format!(
+                    "cedar-lint's parser failed here ({msg}); the flow rules \
+                     skipped this file — fix the parser or simplify the construct"
+                ),
+            });
+        }
+    }
     findings.extend(rules::layering::check(&files, config));
     findings.extend(rules::panics::check(&files, config));
     findings.extend(rules::locks::check(&files, config));
     findings.extend(rules::consts::check(&files, config));
     findings.extend(rules::casts::check(&files, config));
     findings.extend(rules::unsafety::check(&files, config));
+    findings.extend(rules::walorder::check(&files, config));
+    findings.extend(rules::barrier::check(&files, config));
+    findings.extend(rules::errorflow::check(&files, config));
     let (kept, stale) = allow.apply(findings);
     Ok(Report::new(kept, stale, files.len()))
 }

@@ -1,5 +1,8 @@
-//! Finding presentation: a human-readable table grouped by rule, and a
-//! hand-rolled JSON encoding (no serde — the analyzer is dependency-free).
+//! Finding presentation: a human-readable table grouped by rule, plus
+//! hand-rolled JSON and SARIF 2.1.0 encodings (no serde — the analyzer is
+//! dependency-free). The SARIF output is the machine-readable interchange
+//! form CI uploads as an artifact, so code-review tooling can annotate
+//! findings in place.
 
 use crate::Finding;
 use std::collections::BTreeMap;
@@ -95,6 +98,44 @@ impl Report {
         out.push_str("]}");
         out
     }
+
+    /// SARIF 2.1.0 encoding: one run, one result per finding, with the
+    /// rule set derived from the findings present. Findings without a
+    /// line (allowlist-level) report line 1 — SARIF regions are 1-based.
+    pub fn sarif(&self) -> String {
+        let mut rules: Vec<&str> = self.findings.iter().map(|f| f.rule).collect();
+        rules.sort_unstable();
+        rules.dedup();
+        let mut out = String::from("{");
+        out.push_str("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",");
+        out.push_str("\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+        out.push_str("\"name\":\"cedar-lint\",\"rules\":[");
+        for (i, r) in rules.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"id\":\"{}\"}}", escape(r));
+        }
+        out.push_str("]}},\"results\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\
+                 \"message\":{{\"text\":\"{}\"}},\"locations\":[{{\
+                 \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]}}",
+                escape(f.rule),
+                escape(&f.message),
+                escape(&f.file),
+                f.line.max(1)
+            );
+        }
+        out.push_str("]}]}");
+        out
+    }
 }
 
 /// JSON string escaping.
@@ -162,5 +203,38 @@ mod tests {
     fn json_escapes_quotes() {
         let r = Report::new(vec![finding("x", "a.rs", 1)], vec![], 1);
         assert!(r.json().contains("m \\\"quoted\\\""));
+    }
+
+    #[test]
+    fn sarif_shape_and_rule_dedup() {
+        let r = Report::new(
+            vec![
+                finding("wal-order", "a.rs", 3),
+                finding("wal-order", "b.rs", 7),
+            ],
+            vec![],
+            2,
+        );
+        let s = r.sarif();
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"cedar-lint\""));
+        // One rule entry despite two findings.
+        assert_eq!(s.matches("{\"id\":\"wal-order\"}").count(), 1);
+        assert_eq!(s.matches("\"ruleId\":\"wal-order\"").count(), 2);
+        assert!(s.contains("\"uri\":\"a.rs\""));
+        assert!(s.contains("\"startLine\":3"));
+    }
+
+    #[test]
+    fn sarif_clamps_line_zero() {
+        let r = Report::new(vec![finding("x", "a.rs", 0)], vec![], 1);
+        assert!(r.sarif().contains("\"startLine\":1"));
+    }
+
+    #[test]
+    fn sarif_clean_run_has_empty_results() {
+        let s = Report::new(vec![], vec![], 4).sarif();
+        assert!(s.contains("\"results\":[]"));
+        assert!(s.contains("\"rules\":[]"));
     }
 }

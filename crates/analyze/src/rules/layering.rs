@@ -10,10 +10,10 @@
 //!   a raw disk call whose arguments mention `log_start`/`log_sectors`
 //!   anywhere else is a finding (the paper's "only the logging code
 //!   touches the log" discipline, §5.3).
-//! * The multi-sector commit/recovery hot paths (log force, home-page
-//!   writeback, redo sweep) must submit through `cedar_disk::sched`
-//!   batches: a raw disk call inside one of the configured functions
-//!   bypasses the write barriers and C-SCAN ordering ("batch-io").
+//!
+//! The batch-io check (raw disk calls on the multi-sector commit paths)
+//! moved to `rules::barrier`, which re-bases it on the AST and the call
+//! graph.
 
 use crate::config::Config;
 use crate::lexer::TokKind;
@@ -28,7 +28,6 @@ pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
         check_imports(f, config, &mut out);
         check_raw_io(f, config, &mut out);
         check_log_region(f, config, &mut out);
-        check_batch_io(f, config, &mut out);
     }
     out
 }
@@ -170,45 +169,6 @@ fn check_log_region(f: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
     }
 }
 
-fn check_batch_io(f: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
-    let Some((_, fns)) = config.batch_io_fns.iter().find(|(rel, _)| *rel == f.rel) else {
-        return;
-    };
-    let io: Vec<&str> = config.io_methods.clone();
-    let toks = &f.tokens;
-    for i in 0..toks.len() {
-        let Some((method, name_idx)) = method_call_at(toks, i, &io) else {
-            continue;
-        };
-        if f.is_test_line(toks[name_idx].line) {
-            continue;
-        }
-        let recv = receiver_path(toks, i);
-        if recv
-            .last()
-            .is_none_or(|s| s != "disk" && !s.ends_with("_disk"))
-        {
-            continue;
-        }
-        let item = f.enclosing_fn(toks[name_idx].line).to_string();
-        if !fns.iter().any(|name| *name == item) {
-            continue; // A deliberate single-sector site outside the hot paths.
-        }
-        out.push(Finding {
-            rule: "batch-io",
-            file: f.rel.clone(),
-            line: toks[name_idx].line,
-            item,
-            snippet: format!("{}.{method}()", recv.join(".")),
-            message: format!(
-                "raw `{method}` on a multi-sector commit/recovery path: \
-                 submit through a `cedar_disk::sched` batch so write \
-                 barriers and C-SCAN ordering apply"
-            ),
-        });
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,52 +255,6 @@ mod tests {
             "crates/fsd/src/log.rs",
             "fsd",
             "fn ok(disk: &mut SimDisk, log_start: u32) { disk.write(log_start, &b); }\n",
-        );
-        assert!(check(&[f], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn raw_io_on_batch_path_flagged() {
-        let f = file(
-            "crates/fsd/src/volume.rs",
-            "fsd",
-            "impl FsdVolume {\n  fn sync_home_all(&mut self) { self.disk.write(a, &b); }\n}\n",
-        );
-        let out = check(&[f], &Config::cedar());
-        assert_eq!(out.len(), 1);
-        assert_eq!(out[0].rule, "batch-io");
-        assert!(out[0].message.contains("sched"));
-    }
-
-    #[test]
-    fn raw_io_outside_batch_fns_in_same_file_clean() {
-        // `read_page` is an op-time single read, not a batch path.
-        let f = file(
-            "crates/fsd/src/volume.rs",
-            "fsd",
-            "impl FsdVolume {\n  fn read_page(&mut self, s: u32) { self.disk.read(s, 1); }\n}\n",
-        );
-        assert!(check(&[f], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn single_sector_fallback_reader_clean() {
-        // `read_meta` probes the two log-meta replicas one sector at a
-        // time, tolerating damage — deliberately not a batch path.
-        let f = file(
-            "crates/fsd/src/log.rs",
-            "fsd",
-            "impl Log {\n  fn read_meta(&mut self, disk: &mut SimDisk) { disk.read(a, 1); }\n}\n",
-        );
-        assert!(check(&[f], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn batch_path_in_unlisted_file_clean() {
-        let f = file(
-            "crates/cfs/src/volume.rs",
-            "cfs",
-            "impl CfsVolume {\n  fn force(&mut self) { self.disk.write(a, &b); }\n}\n",
         );
         assert!(check(&[f], &Config::cedar()).is_empty());
     }

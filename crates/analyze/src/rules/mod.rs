@@ -1,12 +1,15 @@
 //! The rule families. Each module exposes
 //! `check(&[SourceFile], &Config) -> Vec<Finding>`.
 
+pub mod barrier;
 pub mod casts;
 pub mod consts;
+pub mod errorflow;
 pub mod layering;
 pub mod locks;
 pub mod panics;
 pub mod unsafety;
+pub mod walorder;
 
 use crate::lexer::{Tok, TokKind};
 

@@ -1,0 +1,495 @@
+//! wal-order: write-ahead discipline on the commit path.
+//!
+//! Hagmann's protocol (§4): a home/leader/name-table sector may be written
+//! only after the redo-log record covering it is on disk. This rule checks
+//! that statically: starting from every unrestricted-`pub` fn in the
+//! configured entry files (the `FsdVolume` public API), every call path
+//! that reaches a home-sector write (`wal_write_fns`) must first pass a
+//! log-append event (`wal_append_calls`), in evaluation order.
+//!
+//! Flow semantics, chosen to match how the commit path is actually shaped:
+//!
+//! * `if`/`match` merge with AND over the non-diverging branches (a branch
+//!   ending in `return`/`panic!` does not veto the others).
+//! * Loop bodies are assumed to execute at least once (the log force
+//!   appends in a chunk loop).
+//! * Closure arguments to an append call run under the append's
+//!   protection (`Log::append(.., |disk, t| flush(..))` is the pattern
+//!   that writes third entries inside the commit unit). Other closures
+//!   neither establish nor lose protection for their definer.
+//! * A call to a function that ends every path with an append counts as
+//!   an append; a call to a function containing an unprotected write is a
+//!   violation at the call site (reported with the callee's site).
+//!
+//! Recovery files are exempt: redo writes homes *from* the log, which is
+//! the protection.
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Finding;
+
+/// Per-function flow summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Summary {
+    /// Every fall-through path ends with write-ahead protection in force.
+    establishes: bool,
+    /// First unprotected home write reachable inside this fn (description
+    /// used in call-site messages).
+    unprot: Option<String>,
+}
+
+/// Runs the wal-order rule.
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    if config.wal_entry_files.is_empty() {
+        return Vec::new();
+    }
+    let cg = CallGraph::build(files);
+    let mut sums = vec![Summary::default(); cg.nodes.len()];
+    // Summaries to fixpoint (monotone in practice; the cap is a backstop).
+    for _ in 0..10 {
+        let mut next = Vec::with_capacity(sums.len());
+        for (i, file, def) in cg.iter() {
+            if skip_fn(file, def.line, config) {
+                next.push(Summary::default());
+                continue;
+            }
+            let Some(body) = &def.body else {
+                next.push(Summary::default());
+                continue;
+            };
+            let mut w = Walker::new(&cg, config, &sums, file);
+            w.block(body);
+            next.push(Summary {
+                establishes: w.logged,
+                unprot: w.viols.first().map(|v| {
+                    format!(
+                        "`{}` at {}:{} (in `{}`)",
+                        v.snippet, file.rel, v.line, def.name
+                    )
+                }),
+            });
+            let _ = i;
+        }
+        let changed = next != sums;
+        sums = next;
+        if !changed {
+            break;
+        }
+    }
+    // Findings: re-walk the public entry fns with converged summaries.
+    let mut out = Vec::new();
+    for (_, file, def) in cg.iter() {
+        if !config.wal_entry_files.iter().any(|p| *p == file.rel) {
+            continue;
+        }
+        if !def.is_pub || skip_fn(file, def.line, config) {
+            continue;
+        }
+        let Some(body) = &def.body else { continue };
+        let mut w = Walker::new(&cg, config, &sums, file);
+        w.block(body);
+        for v in w.viols {
+            out.push(Finding {
+                rule: "wal-order",
+                file: file.rel.clone(),
+                line: v.line,
+                item: def.name.clone(),
+                snippet: v.snippet,
+                message: v.message,
+            });
+        }
+    }
+    out
+}
+
+fn skip_fn(file: &SourceFile, line: u32, config: &Config) -> bool {
+    config.wal_exempt_files.iter().any(|p| *p == file.rel) || file.is_test_line(line)
+}
+
+#[derive(Clone, Debug)]
+struct Violation {
+    line: u32,
+    snippet: String,
+    message: String,
+}
+
+struct Walker<'a> {
+    cg: &'a CallGraph<'a>,
+    config: &'a Config,
+    sums: &'a [Summary],
+    file: &'a SourceFile,
+    /// Write-ahead protection currently in force on this path.
+    logged: bool,
+    /// This path has left the function (return / panic-family macro).
+    diverged: bool,
+    viols: Vec<Violation>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        cg: &'a CallGraph<'a>,
+        config: &'a Config,
+        sums: &'a [Summary],
+        file: &'a SourceFile,
+    ) -> Self {
+        Self {
+            cg,
+            config,
+            sums,
+            file,
+            logged: false,
+            diverged: false,
+            viols: Vec::new(),
+        }
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let {
+                    init, else_block, ..
+                } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    // A let-else's else block always diverges; treat it as
+                    // a side branch that does not affect the main path.
+                    if let Some(eb) = else_block {
+                        let (save_l, save_d) = (self.logged, self.diverged);
+                        self.block(eb);
+                        self.logged = save_l;
+                        self.diverged = save_d;
+                    }
+                }
+                Stmt::Expr(e) => self.expr(e),
+            }
+        }
+    }
+
+    /// Runs `f` as a branch from the current state; returns the branch's
+    /// end state (logged, diverged) and restores the walker.
+    fn branch(&mut self, f: impl FnOnce(&mut Self)) -> (bool, bool) {
+        let (save_l, save_d) = (self.logged, self.diverged);
+        f(self);
+        let end = (self.logged, self.diverged);
+        self.logged = save_l;
+        self.diverged = save_d;
+        end
+    }
+
+    fn merge2(&mut self, a: (bool, bool), b: (bool, bool)) {
+        match (a.1, b.1) {
+            (true, true) => self.diverged = true,
+            (true, false) => self.logged = b.0,
+            (false, true) => self.logged = a.0,
+            (false, false) => self.logged = a.0 && b.0,
+        }
+    }
+
+    fn violation(&mut self, line: u32, snippet: String, message: String) {
+        if self
+            .viols
+            .iter()
+            .any(|v| v.line == line && v.snippet == snippet)
+        {
+            return;
+        }
+        self.viols.push(Violation {
+            line,
+            snippet,
+            message,
+        });
+    }
+
+    /// Applies the events of a call once its arguments are evaluated:
+    /// write-event check, then callee-summary propagation.
+    fn call_events(&mut self, name: &str, line: u32, resolve: bool) {
+        if self.file.is_test_line(line) {
+            return;
+        }
+        if self.config.wal_write_fns.contains(&name) {
+            if !self.logged {
+                self.violation(
+                    line,
+                    format!("{name}(..) unlogged"),
+                    format!(
+                        "home-sector write (`{name}`) without a dominating \
+                         `Log::append` on this path — the write-ahead rule (§4) \
+                         requires the redo record on disk before the home write"
+                    ),
+                );
+            }
+            return;
+        }
+        if !resolve {
+            return;
+        }
+        let mut establishes = false;
+        for &node in self.cg.resolve(&self.file.crate_key, name) {
+            let s = &self.sums[node];
+            if !self.logged {
+                if let Some(site) = &s.unprot {
+                    self.violation(
+                        line,
+                        format!("{name}(..) reaches unlogged write"),
+                        format!(
+                            "call to `{name}` reaches a home-sector write with \
+                             no dominating `Log::append` on this path: {site}"
+                        ),
+                    );
+                }
+            }
+            establishes |= s.establishes;
+        }
+        if establishes {
+            self.logged = true;
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Path { .. } | Expr::Atom { .. } => {}
+            Expr::Macro { name, .. } => {
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) {
+                    self.diverged = true;
+                }
+            }
+            Expr::Call { func, args, line } => {
+                self.expr(func);
+                for a in args {
+                    self.expr(a);
+                }
+                if let Some(name) = func.last_name() {
+                    let name = name.to_string();
+                    self.call_events(&name, *line, true);
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                self.expr(recv);
+                let is_append = self
+                    .config
+                    .wal_append_calls
+                    .iter()
+                    .any(|(r, m)| *m == method && recv.last_name().is_some_and(|n| n == *r));
+                if is_append {
+                    // Closure args (the third-entry flush callback) run
+                    // under the append's protection.
+                    self.logged = true;
+                    for a in args {
+                        self.expr(a);
+                    }
+                    return;
+                }
+                for a in args {
+                    self.expr(a);
+                }
+                // Methods resolve through the call graph only on `self`
+                // (receiver typing is beyond a name-based graph).
+                let on_self = recv.last_name() == Some("self");
+                let method = method.clone();
+                self.call_events(&method, *line, on_self);
+            }
+            Expr::Field { base, .. } => self.expr(base),
+            Expr::Seq { items, .. } => {
+                for it in items {
+                    self.expr(it);
+                }
+            }
+            Expr::Block { block, .. } => self.block(block),
+            Expr::If {
+                cond, then, alt, ..
+            } => {
+                self.expr(cond);
+                let t = self.branch(|w| w.block(then));
+                let a = match alt {
+                    Some(alt) => self.branch(|w| w.expr(alt)),
+                    None => (self.logged, false),
+                };
+                self.merge2(t, a);
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee);
+                let ends: Vec<(bool, bool)> = arms
+                    .iter()
+                    .map(|arm| self.branch(|w| w.expr(&arm.body)))
+                    .collect();
+                if let Some(first) = ends.first().copied() {
+                    let mut acc = first;
+                    for e2 in ends.into_iter().skip(1) {
+                        // Fold pairwise through merge2 on a scratch state.
+                        let (save_l, save_d) = (self.logged, self.diverged);
+                        self.merge2(acc, e2);
+                        acc = (self.logged, self.diverged);
+                        self.logged = save_l;
+                        self.diverged = save_d;
+                    }
+                    self.logged = acc.0;
+                    self.diverged = self.diverged || acc.1;
+                }
+            }
+            Expr::Loop { body, .. } => self.block(body),
+            Expr::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Closure { body, .. } => {
+                // Checked under the current protection, but its effects do
+                // not escape to the definer (it may never run).
+                let _ = self.branch(|w| w.expr(body));
+            }
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+                self.diverged = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(src: &str) -> SourceFile {
+        SourceFile::parse("crates/fsd/src/volume.rs".into(), "fsd".into(), false, src)
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        check(&files, &Config::cedar())
+    }
+
+    #[test]
+    fn append_then_write_is_clean() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn commit(&mut self) { self.log.append(1); write_home_batch(2); }\n\
+             }\nfn write_home_batch(_x: u32) {}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn unlogged_direct_write_flagged() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn sloppy(&mut self) { write_home_batch(2); }\n\
+             }\nfn write_home_batch(_x: u32) {}\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "wal-order");
+        assert_eq!(out[0].item, "sloppy");
+        assert!(out[0].message.contains("write-ahead"));
+    }
+
+    #[test]
+    fn unlogged_write_via_helper_flagged_at_call_site() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn op(&mut self) { self.sync_all(); }\n\
+             fn sync_all(&mut self) { write_home_batch(2); }\n\
+             }\nfn write_home_batch(_x: u32) {}\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].item, "op");
+        assert!(out[0].message.contains("sync_all"));
+    }
+
+    #[test]
+    fn force_before_helper_protects_it() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn shutdown(&mut self) { self.force(); self.sync_all(); }\n\
+             pub fn force(&mut self) { self.log.append(1); }\n\
+             fn sync_all(&mut self) { write_home_batch(2); }\n\
+             }\nfn write_home_batch(_x: u32) {}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn one_branch_append_does_not_protect_merge() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn racy(&mut self, c: bool) {\n\
+               if c { self.log.append(1); }\n\
+               write_home_batch(2);\n\
+             }\n}\nfn write_home_batch(_x: u32) {}\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "append on one branch must not dominate");
+    }
+
+    #[test]
+    fn diverging_branch_does_not_veto() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn ok_path(&mut self) -> Result<(), ()> {\n\
+               if self.empty { return Ok(()); }\n\
+               self.log.append(1);\n\
+               write_home_batch(2);\n\
+               Ok(())\n\
+             }\n}\nfn write_home_batch(_x: u32) {}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn append_in_loop_protects_after() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn force(&mut self) {\n\
+               while self.more() { self.log.append(1); }\n\
+               write_home_batch(2);\n\
+             }\n}\nfn write_home_batch(_x: u32) {}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn closure_arg_of_append_is_protected() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn force(&mut self) {\n\
+               self.log.append(1, |d, t| write_home_batch(t));\n\
+             }\n}\nfn write_home_batch(_x: u8) {}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn plain_closure_write_is_flagged() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn lazy(&mut self) {\n\
+               self.defer(|| write_home_batch(2));\n\
+             }\n}\nfn write_home_batch(_x: u32) {}\n");
+        assert_eq!(run(vec![f]).len(), 1);
+    }
+
+    #[test]
+    fn private_and_recovery_fns_not_entries() {
+        let f = vol("impl FsdVolume {\n\
+             pub(crate) fn internal(&mut self) { write_home_batch(2); }\n\
+             fn helper(&mut self) { write_home_batch(2); }\n\
+             }\nfn write_home_batch(_x: u32) {}\n");
+        let rec = SourceFile::parse(
+            "crates/fsd/src/recovery.rs".into(),
+            "fsd".into(),
+            false,
+            "pub fn redo(x: u32) { write_home_batch(x); }\n",
+        );
+        assert!(run(vec![f, rec]).is_empty());
+    }
+
+    #[test]
+    fn vec_append_is_not_a_log_append() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn nope(&mut self, mut v: Vec<u8>) {\n\
+               self.scratch.append(&mut v);\n\
+               write_home_batch(2);\n\
+             }\n}\nfn write_home_batch(_x: u32) {}\n");
+        assert_eq!(run(vec![f]).len(), 1, "only `log.append` establishes");
+    }
+}

@@ -2,7 +2,9 @@
 //! rules need — which lines are test code, and which function each token
 //! falls in.
 
+use crate::ast::Ast;
 use crate::lexer::{lex, Comment, Tok, TokKind};
+use crate::parser;
 use std::path::Path;
 
 /// A lexed workspace file with structural annotations.
@@ -19,6 +21,10 @@ pub struct SourceFile {
     pub tokens: Vec<Tok>,
     /// Stripped comments (for `// SAFETY:` checks).
     pub comments: Vec<Comment>,
+    /// Parsed AST (empty on parse failure; see `parse_error`).
+    pub ast: Ast,
+    /// Parse failure, if any — surfaced as a `parse-error` finding.
+    pub parse_error: Option<(u32, String)>,
     /// Line ranges (inclusive) covered by `#[cfg(test)]` items or
     /// `#[test]` functions.
     test_spans: Vec<(u32, u32)>,
@@ -32,12 +38,18 @@ impl SourceFile {
         let lexed = lex(src);
         let test_spans = find_test_spans(&lexed.tokens);
         let fn_spans = find_fn_spans(&lexed.tokens);
+        let (ast, parse_error) = match parser::parse(&lexed.tokens) {
+            Ok(ast) => (ast, None),
+            Err(e) => (Ast::default(), Some((e.line, e.message))),
+        };
         Self {
             rel,
             crate_key,
             is_aux,
             tokens: lexed.tokens,
             comments: lexed.comments,
+            ast,
+            parse_error,
             test_spans,
             fn_spans,
         }

@@ -52,6 +52,92 @@ fn layering_fixture_flags_all_three_violations() {
 }
 
 #[test]
+fn walorder_fixture_flags_only_the_unlogged_path() {
+    let f = findings("walorder");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "wal-order");
+    assert_eq!(f[0].item, "unprotected_op");
+    assert!(f[0].message.contains("write-ahead"), "{}", f[0].message);
+}
+
+#[test]
+fn barrier_fixture_flags_unbarriered_execute_and_raw_io() {
+    let f = findings("barrier");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "barrier-discipline" && x.item == "append"),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| x.rule == "batch-io" && x.item == "sync_home_all"),
+        "{f:#?}"
+    );
+    // The barriered control path stays clean.
+    assert!(f.iter().all(|x| x.item != "write_meta"), "{f:#?}");
+}
+
+#[test]
+fn errorflow_fixture_flags_discard_and_catch_all() {
+    let f = findings("errorflow");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(f.iter().all(|x| x.rule == "error-flow"), "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| x.item == "force" && x.snippet.contains(".ok()")),
+        "{f:#?}"
+    );
+    assert!(f.iter().any(|x| x.item == "classify"), "{f:#?}");
+}
+
+#[test]
+fn sarif_output_matches_fixture_findings() {
+    let report = run(
+        &fixture_root("errorflow"),
+        &Config::cedar(),
+        &Allowlist::empty(),
+    )
+    .expect("fixture analysis");
+    let s = report.sarif();
+    assert!(s.contains("\"version\":\"2.1.0\""), "{s}");
+    assert!(s.contains("{\"id\":\"error-flow\"}"), "{s}");
+    assert!(s.contains("\"uri\":\"crates/fsd/src/log.rs\""), "{s}");
+    // Every finding's line appears as a 1-based SARIF region.
+    for f in &report.findings {
+        assert!(
+            s.contains(&format!("\"startLine\":{}", f.line.max(1))),
+            "missing region for {f:#?} in {s}"
+        );
+    }
+    assert_eq!(
+        s.matches("\"ruleId\":\"error-flow\"").count(),
+        report.findings.len(),
+        "{s}"
+    );
+}
+
+#[test]
+fn allowlist_ratchets_the_new_rule_families_too() {
+    // The flow-rule findings can be burned into the shrink-only
+    // allowlist like any legacy family…
+    let base = findings("errorflow");
+    assert!(!base.is_empty());
+    let allow = Allowlist::parse(&Allowlist::emit(&base)).expect("emitted allowlist parses");
+    let report = run(&fixture_root("errorflow"), &Config::cedar(), &allow).expect("allowed run");
+    assert!(report.ok(), "{:#?}", report.findings);
+    // …and once the sites are fixed, the entries go stale and fail the
+    // run until deleted (the ratchet only shrinks).
+    let stale = run(&fixture_root("clean"), &Config::cedar(), &allow).expect("stale run");
+    assert!(!stale.ok());
+    assert!(
+        stale.findings.iter().all(|f| f.rule == "stale-allowlist"),
+        "{:#?}",
+        stale.findings
+    );
+}
+
+#[test]
 fn panics_fixture_flags_covered_crate_only() {
     let f = findings("panics");
     // One finding: the non-test unwrap in fsd. The unwrap in the test

@@ -1,0 +1,29 @@
+impl Log {
+    /// Violation: the batch executes with no barrier before the commit
+    /// record, so both windows can reorder into one.
+    pub fn append(&mut self, disk: &mut SimDisk) -> Result<()> {
+        let mut batch = IoBatch::new();
+        batch.push(IoOp::Write {
+            start: self.head,
+            data: self.page(),
+        });
+        sched::execute(disk, self.policy, &batch)?;
+        Ok(())
+    }
+
+    /// Control: replica A is barriered ahead of replica B.
+    pub fn write_meta(&mut self, disk: &mut SimDisk) -> Result<()> {
+        let mut batch = IoBatch::new();
+        batch.push(IoOp::Write {
+            start: self.meta_a,
+            data: self.meta(),
+        });
+        batch.barrier();
+        batch.push(IoOp::Write {
+            start: self.meta_b,
+            data: self.meta(),
+        });
+        sched::execute(disk, self.policy, &batch)?;
+        Ok(())
+    }
+}

@@ -1,5 +1,5 @@
 use cedar_disk::SimDisk;
 
-pub fn init(disk: &mut SimDisk, log_start: u32, buf: &[u8]) {
-    let _ = disk.write(log_start, buf);
+pub fn init(disk: &mut SimDisk, log_start: u32, buf: &[u8]) -> Result<(), DiskError> {
+    disk.write(log_start, buf)
 }

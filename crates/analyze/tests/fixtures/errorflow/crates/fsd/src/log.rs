@@ -1,0 +1,20 @@
+impl Log {
+    /// Violation: the write error disappears into `.ok()`.
+    pub fn force(&mut self, disk: &mut SimDisk) {
+        disk.write(self.head, &self.buf).ok();
+    }
+
+    /// Violation: the catch-all arm swallows every future DiskError
+    /// variant.
+    pub fn classify(e: DiskError) -> u8 {
+        match e {
+            DiskError::Crashed => 1,
+            _ => 0,
+        }
+    }
+
+    /// Control: errors propagate.
+    pub fn good(&mut self, disk: &mut SimDisk) -> Result<(), DiskError> {
+        disk.write(self.head, &self.buf)
+    }
+}

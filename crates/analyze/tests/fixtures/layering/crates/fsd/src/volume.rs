@@ -1,3 +1,3 @@
-pub fn sneak(disk: &mut SimDisk, log_start: u32, buf: &[u8]) {
-    let _ = disk.write(log_start, buf);
+pub fn sneak(disk: &mut SimDisk, log_start: u32, buf: &[u8]) -> Result<(), DiskError> {
+    disk.write(log_start, buf)
 }

@@ -1,0 +1,15 @@
+impl FsdVolume {
+    /// Violation: a public op reaches a home-sector write with no
+    /// `Log::append` dominating it.
+    pub fn unprotected_op(&mut self) -> Result<()> {
+        write_home_batch(&mut self.disk, self.policy, self.writes())?;
+        Ok(())
+    }
+
+    /// Control: the append makes the same write WAL-protected.
+    pub fn protected_op(&mut self) -> Result<()> {
+        self.log.append(&mut self.disk, self.images())?;
+        write_home_batch(&mut self.disk, self.policy, self.writes())?;
+        Ok(())
+    }
+}

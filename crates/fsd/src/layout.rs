@@ -16,7 +16,8 @@
 //! replicated" (§5.8): the boot page and the log meta page each live in
 //! two non-adjacent sectors.
 
-use cedar_disk::{DiskGeometry, SectorAddr, SECTOR_BYTES};
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
+use cedar_disk::{DiskGeometry, SectorAddr, SimDisk, SECTOR_BYTES};
 use cedar_vol::codec::{Reader, Writer};
 
 use crate::NT_PAGE_SECTORS;
@@ -131,6 +132,32 @@ impl FsdLayout {
     pub fn is_system(&self, addr: SectorAddr) -> bool {
         addr < self.small_start || (self.nt_a_start..self.central_end).contains(&addr)
     }
+}
+
+/// Writes one page image to both of its replica sectors: copy A must be
+/// durable before copy B starts (booting trusts A unless it is damaged,
+/// §5.8), so a barrier separates the two writes. Every replicated-page
+/// writer (boot pages at mount/commit, the new-epoch bump in recovery)
+/// goes through here so the A-barrier-B discipline lives in one place.
+pub(crate) fn write_replicas(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    a: SectorAddr,
+    b: SectorAddr,
+    bytes: Vec<u8>,
+) -> crate::Result<()> {
+    let mut batch = IoBatch::new();
+    batch.push(IoOp::Write {
+        start: a,
+        data: bytes.clone(),
+    });
+    batch.barrier();
+    batch.push(IoOp::Write {
+        start: b,
+        data: bytes,
+    });
+    sched::execute(disk, policy, &batch)?;
+    Ok(())
 }
 
 /// The FSD boot page, replicated at sectors 0 and 2.

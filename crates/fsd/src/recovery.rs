@@ -265,22 +265,11 @@ fn redo_phase(
     // New epoch: bump the boot count, clear the VAM flag on disk, and
     // start a fresh (empty) log — the homes are now current. The redo
     // sweep above was submitted separately, so it is durable before the
-    // boot pages change; a barrier keeps copy A ahead of copy B.
+    // boot pages change.
     let vam_was_valid = boot.vam_valid;
     boot.boot_count += 1;
     boot.vam_valid = false;
-    let boot_bytes = boot.encode();
-    let mut boots = IoBatch::new();
-    boots.push(IoOp::Write {
-        start: layout.boot_a,
-        data: boot_bytes.clone(),
-    });
-    boots.barrier();
-    boots.push(IoOp::Write {
-        start: layout.boot_b,
-        data: boot_bytes,
-    });
-    sched::execute(disk, policy, &boots)?;
+    crate::layout::write_replicas(disk, policy, layout.boot_a, layout.boot_b, boot.encode())?;
     let mut fresh = Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count)?;
     fresh.set_policy(policy);
     fresh.write_meta(disk)?;

@@ -410,7 +410,11 @@ impl FsdVolume {
         if self.vam_baseline.is_some() {
             self.vam.commit_shadow();
             let current = self.padded_vam_bytes();
-            let baseline = self.vam_baseline.as_ref().expect("checked");
+            let Some(baseline) = self.vam_baseline.as_ref() else {
+                return Err(FsdError::Check(
+                    "VAM baseline missing under VAM logging".to_string(),
+                ));
+            };
             for i in 0..self.layout.vam_sectors {
                 let range = i as usize * SECTOR_BYTES..(i as usize + 1) * SECTOR_BYTES;
                 if current[range.clone()] != baseline[range.clone()] {
@@ -518,7 +522,11 @@ impl FsdVolume {
                     .iter()
                     .find(|(tg, _)| *tg == PageTarget::Leader { addr })
                     .map(|(_, i)| i.clone())
-                    .expect("leader image present");
+                    .ok_or_else(|| {
+                        FsdError::Check(format!(
+                            "logged leader {addr} has no image in the commit record"
+                        ))
+                    })?;
                 ls.logged = Some((img, t));
             }
         }
@@ -528,7 +536,11 @@ impl FsdVolume {
                 .iter()
                 .find(|(tg, _)| *tg == PageTarget::VamSector { index })
                 .map(|(_, i)| i.clone())
-                .expect("VAM image present");
+                .ok_or_else(|| {
+                    FsdError::Check(format!(
+                        "logged VAM sector {index} has no image in the commit record"
+                    ))
+                })?;
             self.vam_home.insert(index, (img, t));
         }
 
@@ -555,7 +567,11 @@ impl FsdVolume {
                 continue;
             };
             if p.needs_home {
-                let img = p.baseline.as_ref().expect("logged page has baseline");
+                let Some(img) = p.baseline.as_ref() else {
+                    return Err(FsdError::Check(format!(
+                        "page {id} needs a home write but has no baseline image"
+                    )));
+                };
                 writes.push((self.layout.nt_a_sector(id), img.clone()));
                 writes.push((self.layout.nt_b_sector(id), img.clone()));
                 p.needs_home = false;
@@ -615,21 +631,13 @@ impl FsdVolume {
     }
 
     pub(crate) fn write_boot_pages(&mut self) -> Result<()> {
-        // Copy A must be durable before copy B starts (recovery trusts A
-        // unless it is damaged), so a barrier separates them.
-        let bytes = self.boot.encode();
-        let mut batch = IoBatch::new();
-        batch.push(IoOp::Write {
-            start: self.layout.boot_a,
-            data: bytes.clone(),
-        });
-        batch.barrier();
-        batch.push(IoOp::Write {
-            start: self.layout.boot_b,
-            data: bytes,
-        });
-        sched::execute(&mut self.disk, self.io_policy, &batch)?;
-        Ok(())
+        crate::layout::write_replicas(
+            &mut self.disk,
+            self.io_policy,
+            self.layout.boot_a,
+            self.layout.boot_b,
+            self.boot.encode(),
+        )
     }
 
     fn invalidate_vam_hint(&mut self) -> Result<()> {
@@ -854,10 +862,10 @@ impl FsdVolume {
                 true
             })?;
         }
-        if versions.is_empty() {
-            return Err(FsdError::NotFound(name.to_string()));
-        }
-        let newest = versions.last().expect("non-empty").version;
+        let newest = match versions.last() {
+            Some(f) => f.version,
+            None => return Err(FsdError::NotFound(name.to_string())),
+        };
         for fname in versions {
             let mut entry = self.get_entry(&fname)?;
             entry.keep = keep;
@@ -1024,10 +1032,16 @@ impl FsdVolume {
         let mut at = page;
         if !file.leader_verified && file.entry.leader_addr != 0 {
             file.leader_verified = true;
-            let first = file.entry.run_table.extent_at(page);
-            if page == 0 && first.is_some_and(|e| e.start == file.entry.leader_addr + 1) {
+            let piggyback = if page == 0 {
                 // Piggyback the leader check on the first transfer (§5.7).
-                let extent = first.expect("checked");
+                file.entry
+                    .run_table
+                    .extent_at(page)
+                    .filter(|e| e.start == file.entry.leader_addr + 1)
+            } else {
+                None
+            };
+            if let Some(extent) = piggyback {
                 let take = extent.len.min(count);
                 out.extend(self.verify_leader(file, take as usize)?);
                 at += take;
@@ -1036,11 +1050,10 @@ impl FsdVolume {
             }
         }
         while at < page + count {
-            let extent = file
-                .entry
-                .run_table
-                .extent_at(at)
-                .expect("page within file");
+            let extent =
+                file.entry.run_table.extent_at(at).ok_or_else(|| {
+                    FsdError::Check(format!("page {at} missing from the run table"))
+                })?;
             let take = extent.len.min(page + count - at);
             out.extend(self.disk.read(extent.start, take as usize)?);
             at += take;
@@ -1063,11 +1076,10 @@ impl FsdVolume {
         let mut at = page;
         let mut off = 0usize;
         while at < page + count {
-            let extent = file
-                .entry
-                .run_table
-                .extent_at(at)
-                .expect("page within file");
+            let extent =
+                file.entry.run_table.extent_at(at).ok_or_else(|| {
+                    FsdError::Check(format!("page {at} missing from the run table"))
+                })?;
             let take = extent.len.min(page + count - at) as usize;
             self.disk
                 .write(extent.start, &data[off..off + take * SECTOR_BYTES])?;
@@ -1246,7 +1258,11 @@ fn flush_third(
             if p.needs_home {
                 // Write the *baseline* (last committed image), never the
                 // possibly-uncommitted current image.
-                let img = p.baseline.as_ref().expect("logged page has baseline");
+                let Some(img) = p.baseline.as_ref() else {
+                    return Err(FsdError::Check(format!(
+                        "page {id} needs a home write but has no baseline image"
+                    )));
+                };
                 writes.push((layout.nt_a_sector(id), img.clone()));
                 writes.push((layout.nt_b_sector(id), img.clone()));
                 p.needs_home = false;
@@ -1282,7 +1298,11 @@ fn flush_third(
         .collect();
     flushable.sort_unstable();
     for index in flushable {
-        let (img, _) = vam_home.remove(&index).expect("present");
+        let Some((img, _)) = vam_home.remove(&index) else {
+            return Err(FsdError::Check(format!(
+                "VAM home image {index} vanished mid-flush"
+            )));
+        };
         writes.push((layout.vam_a + index, img.clone()));
         writes.push((layout.vam_b + index, img));
     }

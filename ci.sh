@@ -9,3 +9,6 @@ cargo fmt --check
 cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
 # Asserts scheduled submission never regresses above the in-order baseline.
 cargo run --release -p cedar-bench --bin io_sched -- --smoke
+# Fault-injection campaign (reduced grid): every scenario must recover
+# to a commit boundary and every escalation rung must be exercised.
+cargo run --release -p cedar-bench --bin fault_campaign -- --smoke

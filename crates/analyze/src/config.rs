@@ -219,7 +219,11 @@ impl Config {
                 "proptest", "analyze", "root",
             ],
             wal_entry_files: vec!["crates/fsd/src/volume.rs"],
-            wal_exempt_files: vec!["crates/fsd/src/recovery.rs"],
+            // Recovery and scavenge rebuild home sectors from the log (or
+            // from leader pages) — by construction they run before any new
+            // WAL records exist, so the write-ahead obligation does not
+            // apply to them.
+            wal_exempt_files: vec!["crates/fsd/src/recovery.rs", "crates/fsd/src/scavenge.rs"],
             wal_append_calls: vec![("log", "append")],
             wal_write_fns: vec!["write_home_batch"],
             barrier_fns: vec![
@@ -232,6 +236,8 @@ impl Config {
                 "crates/fsd/src/volume.rs",
                 "crates/fsd/src/recovery.rs",
                 "crates/fsd/src/sched.rs",
+                "crates/fsd/src/spare.rs",
+                "crates/fsd/src/scavenge.rs",
                 "crates/disk/src/sched.rs",
             ],
             error_flow_fallback_fns: vec![
@@ -241,10 +247,18 @@ impl Config {
                 ),
                 (
                     "crates/fsd/src/recovery.rs",
-                    vec!["read_boot_page", "read_saved_vam"],
+                    vec!["read_boot_page", "read_saved_vam", "redo_leaders"],
+                ),
+                // The scavenger is a deliberate best-effort reader: it
+                // salvages what it can from damaged media and records the
+                // rest as losses, so swallowed per-sector errors are the
+                // point, not a bug.
+                (
+                    "crates/fsd/src/scavenge.rs",
+                    vec!["scan_leaders", "old_boot_hint"],
                 ),
             ],
-            error_must_handle: vec!["execute"],
+            error_must_handle: vec!["execute", "execute_partial"],
             error_type_idents: vec!["DiskError", "FsdError"],
         }
     }

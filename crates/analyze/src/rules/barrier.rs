@@ -231,14 +231,16 @@ fn collect_expr(e: &Expr, evs: &mut Vec<Ev>) {
             let Some(name) = recv.last_name() else { return };
             if method == "barrier" {
                 evs.push(Ev::Barrier(name.to_string()));
-            } else if method == "execute" {
+            } else if method == "execute" || method == "execute_partial" {
                 // `disk.execute(&batch)` form.
                 if let Some(arg) = batch_arg(x) {
                     evs.push(Ev::Execute(arg, *line));
                 }
             }
         }
-        Expr::Call { func, line, .. } if func.last_name() == Some("execute") => {
+        Expr::Call { func, line, .. }
+            if matches!(func.last_name(), Some("execute" | "execute_partial")) =>
+        {
             if let Some(arg) = batch_arg(x) {
                 evs.push(Ev::Execute(arg, *line));
             }
@@ -353,6 +355,42 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].rule, "barrier-discipline");
         assert!(out[0].message.contains("post-barrier"));
+    }
+
+    #[test]
+    fn execute_partial_without_barrier_flagged() {
+        // The partial-success variant carries the same ordering
+        // obligation as `execute`: skipping the barrier before the
+        // commit window is a violation either way.
+        let f = file(
+            "crates/fsd/src/log.rs",
+            "fsd",
+            "impl Log {\n  fn append(&mut self, disk: &mut SimDisk) {\n\
+               let mut batch = IoBatch::new();\n\
+               batch.push(op);\n\
+               let r = sched::execute_partial(disk, policy, &batch);\n\
+             }\n}\n",
+        );
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "barrier-discipline");
+        assert!(out[0].snippet.contains("batch"));
+    }
+
+    #[test]
+    fn execute_partial_after_barrier_clean() {
+        let f = file(
+            "crates/fsd/src/log.rs",
+            "fsd",
+            "impl Log {\n  fn append(&mut self, disk: &mut SimDisk) {\n\
+               let mut batch = IoBatch::new();\n\
+               batch.push(op);\n\
+               batch.barrier();\n\
+               batch.push(end);\n\
+               let r = sched::execute_partial(disk, policy, &batch);\n\
+             }\n}\n",
+        );
+        assert!(run(vec![f]).is_empty());
     }
 
     #[test]

@@ -61,6 +61,21 @@ fn walorder_fixture_flags_only_the_unlogged_path() {
 }
 
 #[test]
+fn scavenge_exemption_is_scoped_to_the_scavenge_file() {
+    // The scavenger rewrites home sectors from leader pages with no log
+    // append — by construction the log is what was lost — so scavenge.rs
+    // sits in `wal_exempt_files`. The exemption must be scoped: the same
+    // unlogged write through a non-exempt helper still fires.
+    let f = findings("scavenge");
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!(f[0].rule, "wal-order");
+    assert_eq!(f[0].item, "unprotected_op");
+    // Neither the exempt path nor the logged control path fires.
+    assert!(f.iter().all(|x| x.item != "op_via_scavenge"), "{f:#?}");
+    assert!(f.iter().all(|x| x.item != "protected_op"), "{f:#?}");
+}
+
+#[test]
 fn barrier_fixture_flags_unbarriered_execute_and_raw_io() {
     let f = findings("barrier");
     assert_eq!(f.len(), 2, "{f:#?}");

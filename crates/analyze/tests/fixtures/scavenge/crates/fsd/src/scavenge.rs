@@ -1,0 +1,6 @@
+/// Scavenge rebuild: writes recovered name-table homes with no log
+/// append in sight. Legitimate — the log is the thing that was lost —
+/// and exempted by `wal_exempt_files`, scoped to this file only.
+pub fn rebuild_homes(disk: &mut SimDisk) -> Result<()> {
+    write_home_batch(disk, policy, writes())
+}

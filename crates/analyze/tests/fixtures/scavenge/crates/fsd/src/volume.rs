@@ -1,0 +1,26 @@
+impl FsdVolume {
+    /// Violation: an unlogged home write through a non-exempt helper in
+    /// this file. The scavenge exemption must not leak here.
+    pub fn unprotected_op(&mut self) -> Result<()> {
+        helper_write(&mut self.disk)?;
+        Ok(())
+    }
+
+    /// Clean: the rebuild path lives in scavenge.rs, which is wal-exempt —
+    /// a scavenge rewrites homes from leader pages before any log exists.
+    pub fn op_via_scavenge(&mut self) -> Result<()> {
+        rebuild_homes(&mut self.disk)?;
+        Ok(())
+    }
+
+    /// Control: the append makes the same write WAL-protected.
+    pub fn protected_op(&mut self) -> Result<()> {
+        self.log.append(&mut self.disk, self.images())?;
+        helper_write(&mut self.disk)?;
+        Ok(())
+    }
+}
+
+fn helper_write(disk: &mut SimDisk) -> Result<()> {
+    write_home_batch(disk, policy, writes())
+}

@@ -1,0 +1,580 @@
+//! `fault_campaign` — the media-fault injection campaign (E-FAULT).
+//!
+//! Enumerates (media-fault shape × crash point × torn tail) over a
+//! MakeDo workload on a tiny FSD volume and checks every recovered
+//! volume against an in-memory [`MemFs`] model: the surviving state
+//! must be exactly the last commit boundary, the boundary before it
+//! (the crash tore the in-flight force), or the full live state (the
+//! in-flight group landed whole). A separate block destroys both log
+//! meta replicas after a clean shutdown so recovery has to climb past
+//! replica repair to the leader-page scavenger — there the recovered
+//! volume must equal the live model exactly.
+//!
+//! MakeDo file sizes are capped so the script fits the 1 MB campaign
+//! volume; the script shape (names, versions, deletes, recreation
+//! order) is unchanged.
+//!
+//! `--smoke` runs a reduced grid for CI. The full run writes
+//! `BENCH_fault_campaign.json` and enforces the campaign gates:
+//! at least 200 scenarios, zero failures, and every rung of the
+//! escalation ladder (redo, replica scrub, scavenge) exercised.
+
+use cedar_bench::adapters::{CedarFsError, FileSystem, FsdVolume};
+use cedar_bench::Table;
+use cedar_disk::{CpuModel, CrashPlan, FaultPlan, SimDisk};
+use cedar_fsd::{FsdConfig, RecoveryRung};
+use cedar_workload::steps::{run_step, Step, WorkloadStats};
+use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
+
+/// Volume configuration for every scenario: tiny geometry, free CPU
+/// (media behaviour is what is under test, not timing).
+fn config() -> FsdConfig {
+    FsdConfig {
+        nt_pages: 48,
+        log_sectors: 128,
+        cpu: CpuModel::FREE,
+        ..FsdConfig::default()
+    }
+}
+
+/// Largest file the campaign volume accepts without churn; MakeDo
+/// sizes above this are clamped.
+const MAX_FILE_BYTES: u64 = 2_500;
+
+/// Measured steps between explicit syncs (the commit boundaries the
+/// oracle snapshots).
+const SYNC_EVERY: usize = 7;
+
+/// One media-fault shape, resolved against the live volume after the
+/// setup phase (so log-cursor-relative targets are meaningful).
+struct FaultKind {
+    name: &'static str,
+    plan: fn(&FsdVolume) -> FaultPlan,
+}
+
+/// The fault grid. Latent faults fail once and are repaired by the
+/// first successful rewrite; transient faults only cost revolutions;
+/// grown defects reject writes forever and must be remapped to spares.
+const KINDS: &[FaultKind] = &[
+    FaultKind {
+        name: "clean",
+        plan: |_| FaultPlan::none(),
+    },
+    FaultKind {
+        name: "latent-boot",
+        plan: |v| FaultPlan::none().with_latent(v.layout().boot_a),
+    },
+    FaultKind {
+        name: "latent-nt",
+        plan: |v| FaultPlan::none().with_latent(v.layout().nt_a_sector(1)),
+    },
+    FaultKind {
+        name: "latent-nt-pair",
+        plan: |v| {
+            FaultPlan::none()
+                .with_latent(v.layout().nt_a_sector(0))
+                .with_latent(v.layout().nt_a_sector(2))
+        },
+    },
+    FaultKind {
+        name: "latent-log-meta",
+        plan: |v| FaultPlan::none().with_latent(v.layout().log_start),
+    },
+    FaultKind {
+        name: "latent-log-tail",
+        plan: |v| FaultPlan::none().with_latent(v.next_log_sector()),
+    },
+    FaultKind {
+        name: "latent-vam",
+        plan: |v| FaultPlan::none().with_latent(v.layout().vam_a),
+    },
+    FaultKind {
+        name: "transient-nt",
+        plan: |v| FaultPlan::none().with_transient(v.layout().nt_a_sector(1), 2),
+    },
+    FaultKind {
+        name: "transient-log",
+        plan: |v| FaultPlan::none().with_transient(v.next_log_sector(), 1),
+    },
+    FaultKind {
+        name: "latent-mixed",
+        plan: |v| {
+            let l = v.layout();
+            FaultPlan::none()
+                .with_latent(l.boot_a)
+                .with_latent(l.nt_a_sector(3))
+                .with_latent(l.log_start)
+        },
+    },
+    FaultKind {
+        name: "grown-log-next",
+        plan: |v| FaultPlan::none().with_grown(v.next_log_sector()),
+    },
+    FaultKind {
+        name: "grown-nt",
+        plan: |v| FaultPlan::none().with_grown(v.layout().nt_a_sector(2)),
+    },
+    FaultKind {
+        name: "grown-vam",
+        plan: |v| FaultPlan::none().with_grown(v.layout().vam_a),
+    },
+];
+
+/// What one scenario's boot did and which model boundary it matched.
+struct Outcome {
+    rung: RecoveryRung,
+    matched: &'static str,
+    scrubbed: u64,
+    remapped: u64,
+    boot_us: u64,
+}
+
+/// Per-kind tallies for the report table.
+#[derive(Default)]
+struct KindTally {
+    scenarios: u64,
+    redo: u64,
+    scrub: u64,
+    scavenge: u64,
+    matched_committed: u64,
+    matched_previous: u64,
+    matched_live: u64,
+    scrubbed: u64,
+    remapped: u64,
+    max_boot_us: u64,
+}
+
+impl KindTally {
+    fn absorb(&mut self, o: &Outcome) {
+        self.scenarios += 1;
+        match o.rung {
+            RecoveryRung::Redo => self.redo += 1,
+            RecoveryRung::ReplicaScrub => self.scrub += 1,
+            RecoveryRung::Scavenge => self.scavenge += 1,
+        }
+        match o.matched {
+            "committed" => self.matched_committed += 1,
+            "previous" => self.matched_previous += 1,
+            _ => self.matched_live += 1,
+        }
+        self.scrubbed += o.scrubbed;
+        self.remapped += o.remapped;
+        self.max_boot_us = self.max_boot_us.max(o.boot_us);
+    }
+}
+
+/// The MakeDo script with sizes clamped to the campaign volume.
+fn campaign_script() -> (Vec<Step>, Vec<Step>) {
+    let (setup, measured) = makedo_workload(MakeDoParams {
+        sources: 5,
+        interfaces: 8,
+        rounds: 2,
+        seed: 11,
+    });
+    let clamp = |steps: Vec<Step>| {
+        steps
+            .into_iter()
+            .map(|s| match s {
+                Step::Create { name, bytes } => Step::Create {
+                    name,
+                    bytes: bytes.min(MAX_FILE_BYTES),
+                },
+                other => other,
+            })
+            .collect()
+    };
+    (clamp(setup), clamp(measured))
+}
+
+/// True when the recovered volume's visible state (names and newest
+/// contents) equals the model's.
+fn matches_model(fs: &mut FsdVolume, model: &MemFs) -> bool {
+    let mut m = model.clone();
+    let mut want = match m.list("") {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let mut got = match FileSystem::list(fs, "") {
+        Ok(g) => g,
+        Err(_) => return false,
+    };
+    want.sort_by(|a, b| a.name.cmp(&b.name));
+    got.sort_by(|a, b| a.name.cmp(&b.name));
+    if want.len() != got.len() {
+        return false;
+    }
+    for (w, g) in want.iter().zip(&got) {
+        if w.name != g.name {
+            return false;
+        }
+        let want_data = match m.read(&w.name) {
+            Ok(d) => d,
+            Err(_) => return false,
+        };
+        match FileSystem::read(fs, &g.name) {
+            Ok(d) if d == want_data => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// Replays the setup phase on both the volume and the model, then
+/// syncs. Returns the synced volume and model, or why it failed.
+fn setup_volume(setup: &[Step]) -> Result<(FsdVolume, MemFs), String> {
+    let mut v =
+        FsdVolume::format(SimDisk::tiny(), config()).map_err(|e| format!("format failed: {e}"))?;
+    let mut live = MemFs::default();
+    let mut stats = WorkloadStats::default();
+    for step in setup {
+        run_step(step, &mut v, &mut stats).map_err(|e| format!("setup step failed: {e}"))?;
+        run_step(step, &mut live, &mut stats)
+            .map_err(|e| format!("model setup step failed: {e}"))?;
+    }
+    v.sync().map_err(|e| format!("setup sync failed: {e}"))?;
+    Ok((v, live))
+}
+
+/// One crash scenario: install the fault plan, schedule the crash,
+/// replay the measured phase with periodic syncs, then reboot and
+/// check the recovered state against the commit-boundary models.
+fn run_crash_scenario(
+    kind: &FaultKind,
+    crash_after: u64,
+    damaged_tail: u8,
+    setup: &[Step],
+    measured: &[Step],
+) -> Result<Outcome, String> {
+    let (mut v, mut live) = setup_volume(setup)?;
+    let plan = (kind.plan)(&v);
+    v.disk_mut().set_fault_plan(&plan);
+    v.disk_mut().schedule_crash(CrashPlan {
+        after_sector_writes: crash_after,
+        damaged_tail,
+    });
+
+    let mut committed = live.clone();
+    let mut previous = committed.clone();
+    let mut stats = WorkloadStats::default();
+    let mut crashed = false;
+    for (i, step) in measured.iter().enumerate() {
+        match run_step(step, &mut v, &mut stats) {
+            Ok(()) => {
+                run_step(step, &mut live, &mut stats)
+                    .map_err(|e| format!("model diverged on {step:?}: {e}"))?;
+            }
+            Err(e) if e.is_crash() => {
+                crashed = true;
+                break;
+            }
+            // The tiny volume may legitimately fill; skip the step on
+            // both sides. A NotFound is only benign if the model agrees
+            // the name is absent (its create was one of the skips).
+            Err(CedarFsError::NoSpace) => {}
+            Err(CedarFsError::NotFound(n)) if live.read(&n).is_err() => {}
+            Err(e) => return Err(format!("non-crash failure on {step:?}: {e}")),
+        }
+        if i % SYNC_EVERY == SYNC_EVERY - 1 {
+            match v.sync() {
+                Ok(()) => {
+                    previous = committed;
+                    committed = live.clone();
+                }
+                Err(e) if e.is_crash() => {
+                    crashed = true;
+                    break;
+                }
+                Err(e) => return Err(format!("sync failed: {e}")),
+            }
+        }
+    }
+    if !crashed {
+        v.disk_mut().crash_now();
+    }
+
+    let mut disk = v.into_disk();
+    disk.reboot();
+    let (mut v2, report) =
+        FsdVolume::boot(disk, config()).map_err(|e| format!("boot failed: {e}"))?;
+    v2.verify().map_err(|e| format!("verify failed: {e}"))?;
+
+    let matched = if matches_model(&mut v2, &committed) {
+        "committed"
+    } else if matches_model(&mut v2, &previous) {
+        "previous"
+    } else if matches_model(&mut v2, &live) {
+        "live"
+    } else {
+        return Err("recovered state matches no commit boundary".into());
+    };
+    Ok(Outcome {
+        rung: report.rung,
+        matched,
+        scrubbed: report.scrubbed_sectors,
+        remapped: report.remapped_sectors,
+        boot_us: report.total_us(),
+    })
+}
+
+/// How a scavenge scenario wounds the cleanly shut-down disk.
+struct ScavengeCase {
+    name: &'static str,
+    /// (soft-damage targets, hard-damage targets) resolved from the
+    /// volume before shutdown; both log meta replicas always die.
+    extra_soft: fn(&FsdVolume) -> Vec<u32>,
+    hard_metas: bool,
+}
+
+const SCAVENGE_CASES: &[ScavengeCase] = &[
+    ScavengeCase {
+        name: "soft-both-metas",
+        extra_soft: |_| Vec::new(),
+        hard_metas: false,
+    },
+    ScavengeCase {
+        name: "hard-both-metas",
+        extra_soft: |_| Vec::new(),
+        hard_metas: true,
+    },
+    ScavengeCase {
+        name: "metas+boot-a",
+        extra_soft: |v| vec![v.layout().boot_a],
+        hard_metas: false,
+    },
+    ScavengeCase {
+        name: "metas+nt-page",
+        extra_soft: |v| vec![v.layout().nt_a_sector(1)],
+        hard_metas: false,
+    },
+];
+
+/// One scavenge scenario: run the whole script, shut down cleanly,
+/// destroy both log meta replicas (plus the case's extras), and boot.
+/// With no in-flight work the scavenged volume must equal the live
+/// model exactly.
+fn run_scavenge_scenario(
+    case: &ScavengeCase,
+    setup: &[Step],
+    measured: &[Step],
+) -> Result<Outcome, String> {
+    let (mut v, mut live) = setup_volume(setup)?;
+    let mut stats = WorkloadStats::default();
+    for step in measured {
+        match run_step(step, &mut v, &mut stats) {
+            Ok(()) => {
+                run_step(step, &mut live, &mut stats)
+                    .map_err(|e| format!("model diverged on {step:?}: {e}"))?;
+            }
+            Err(CedarFsError::NoSpace) => {}
+            Err(CedarFsError::NotFound(n)) if live.read(&n).is_err() => {}
+            Err(e) => return Err(format!("workload failure on {step:?}: {e}")),
+        }
+    }
+    let meta_a = v.layout().log_start;
+    let meta_b = v.layout().log_start + 2;
+    let extras = (case.extra_soft)(&v);
+    v.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let mut disk = v.into_disk();
+    if case.hard_metas {
+        disk.hard_damage_sector(meta_a);
+        disk.hard_damage_sector(meta_b);
+    } else {
+        disk.damage_sector(meta_a);
+        disk.damage_sector(meta_b);
+    }
+    for s in extras {
+        disk.damage_sector(s);
+    }
+    disk.reboot();
+    let (mut v2, report) =
+        FsdVolume::boot(disk, config()).map_err(|e| format!("boot failed: {e}"))?;
+    v2.verify().map_err(|e| format!("verify failed: {e}"))?;
+    if report.rung != RecoveryRung::Scavenge {
+        return Err(format!("expected scavenge rung, got {:?}", report.rung));
+    }
+    if !matches_model(&mut v2, &live) {
+        return Err("scavenged state does not equal the live model".into());
+    }
+    Ok(Outcome {
+        rung: report.rung,
+        matched: "live",
+        scrubbed: report.scrubbed_sectors,
+        remapped: report.remapped_sectors,
+        boot_us: report.total_us(),
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (setup, measured) = campaign_script();
+
+    // The grid. Crash points are measured in sector writes from the
+    // end of setup; the tail tears 0..=2 trailing sectors. The points
+    // around 45–132 land inside forces on this script, so some crashes
+    // tear the in-flight commit record (matching `previous`) or cut it
+    // exactly at the group boundary (matching `live`).
+    let (kinds, crash_afters, tails): (Vec<&FaultKind>, Vec<u64>, Vec<u8>) = if smoke {
+        let keep = [
+            "clean",
+            "latent-boot",
+            "latent-nt",
+            "latent-log-meta",
+            "grown-log-next",
+        ];
+        (
+            KINDS.iter().filter(|k| keep.contains(&k.name)).collect(),
+            vec![10, 91],
+            vec![0, 1, 2],
+        )
+    } else {
+        (
+            KINDS.iter().collect(),
+            vec![3, 10, 25, 45, 70, 91, 117, 150],
+            vec![0, 1, 2],
+        )
+    };
+
+    let mut tallies: Vec<(&str, KindTally)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+    let mut overall = KindTally::default();
+
+    for kind in &kinds {
+        let mut tally = KindTally::default();
+        for &crash_after in &crash_afters {
+            for &tail in &tails {
+                match run_crash_scenario(kind, crash_after, tail, &setup, &measured) {
+                    Ok(o) => {
+                        tally.absorb(&o);
+                        overall.absorb(&o);
+                    }
+                    Err(e) => {
+                        overall.scenarios += 1;
+                        failures.push(format!(
+                            "{} crash={crash_after} tail={tail}: {e}",
+                            kind.name
+                        ));
+                    }
+                }
+            }
+        }
+        tallies.push((kind.name, tally));
+    }
+
+    let mut scavenge_tally = KindTally::default();
+    for case in SCAVENGE_CASES {
+        match run_scavenge_scenario(case, &setup, &measured) {
+            Ok(o) => {
+                scavenge_tally.absorb(&o);
+                overall.absorb(&o);
+            }
+            Err(e) => {
+                overall.scenarios += 1;
+                failures.push(format!("scavenge {}: {e}", case.name));
+            }
+        }
+    }
+    tallies.push(("scavenge-block", scavenge_tally));
+
+    let mut t = Table::new(
+        "fault campaign (per fault kind)",
+        &[
+            "fault kind",
+            "runs",
+            "redo",
+            "scrub",
+            "scavenge",
+            "=committed",
+            "=previous",
+            "=live",
+            "scrubbed",
+            "remapped",
+            "max boot ms",
+        ],
+    );
+    for (name, k) in &tallies {
+        t.row(&[
+            (*name).to_string(),
+            k.scenarios.to_string(),
+            k.redo.to_string(),
+            k.scrub.to_string(),
+            k.scavenge.to_string(),
+            k.matched_committed.to_string(),
+            k.matched_previous.to_string(),
+            k.matched_live.to_string(),
+            k.scrubbed.to_string(),
+            k.remapped.to_string(),
+            format!("{:.3}", k.max_boot_us as f64 / 1e3),
+        ]);
+    }
+    println!();
+    t.print();
+
+    println!(
+        "\n{} scenarios: {} redo / {} replica-scrub / {} scavenge; \
+         {} sectors scrubbed, {} remapped; {} failures",
+        overall.scenarios,
+        overall.redo,
+        overall.scrub,
+        overall.scavenge,
+        overall.scrubbed,
+        overall.remapped,
+        failures.len()
+    );
+    for f in &failures {
+        println!("FAIL {f}");
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fault_campaign\",\n",
+            "  \"workload\": \"makedo\",\n",
+            "  \"scenarios\": {},\n",
+            "  \"failures\": {},\n",
+            "  \"rungs\": {{\"redo\": {}, \"replica_scrub\": {}, \"scavenge\": {}}},\n",
+            "  \"matched\": {{\"committed\": {}, \"previous\": {}, \"live\": {}}},\n",
+            "  \"scrubbed_sectors\": {},\n",
+            "  \"remapped_sectors\": {},\n",
+            "  \"max_boot_us\": {}\n",
+            "}}\n"
+        ),
+        overall.scenarios,
+        failures.len(),
+        overall.redo,
+        overall.scrub,
+        overall.scavenge,
+        overall.matched_committed,
+        overall.matched_previous,
+        overall.matched_live,
+        overall.scrubbed,
+        overall.remapped,
+        overall.max_boot_us,
+    );
+    print!("\nJSON:\n{json}");
+
+    // Campaign gates: every scenario recovers to a commit boundary and
+    // every rung of the escalation ladder is exercised.
+    assert!(failures.is_empty(), "{} scenario failures", failures.len());
+    assert!(
+        overall.redo >= 1 && overall.scrub >= 1 && overall.scavenge >= 1,
+        "escalation ladder not fully exercised: redo={} scrub={} scavenge={}",
+        overall.redo,
+        overall.scrub,
+        overall.scavenge
+    );
+    if smoke {
+        println!(
+            "\nsmoke OK: {} scenarios, all rungs exercised, zero failures",
+            overall.scenarios
+        );
+    } else {
+        assert!(
+            overall.scenarios >= 200,
+            "campaign too small: {} scenarios",
+            overall.scenarios
+        );
+        std::fs::write("BENCH_fault_campaign.json", &json)
+            .expect("write BENCH_fault_campaign.json");
+        println!("\nwrote BENCH_fault_campaign.json");
+    }
+}

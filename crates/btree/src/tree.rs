@@ -741,7 +741,7 @@ mod tests {
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             let k = key((x >> 33) as u32 % 200);
-            if x % 3 == 0 {
+            if x.is_multiple_of(3) {
                 let got = t.delete(&mut s, &k).unwrap();
                 assert_eq!(got, model.remove(&k), "step {step}");
             } else {

@@ -298,9 +298,9 @@ mod tests {
         let report = v.scavenge().unwrap();
         assert_eq!(report.files_recovered, 10);
         assert_eq!(report.damaged_headers, 0);
-        for i in 0..10 {
+        for (i, data) in datas.iter().enumerate() {
             let f = v.open(&format!("dir/f{i}"), None).unwrap();
-            assert_eq!(v.read_file(&f).unwrap(), datas[i]);
+            assert_eq!(&v.read_file(&f).unwrap(), data);
         }
     }
 

@@ -33,6 +33,7 @@
 
 use crate::clock::{Micros, SimClock};
 use crate::error::DiskError;
+use crate::fault::FaultPlan;
 use crate::geometry::DiskGeometry;
 use crate::label::Label;
 use crate::stats::DiskStats;
@@ -48,6 +49,13 @@ struct SectorState {
     label: Label,
     /// Detectably damaged (torn write or injected flaw).
     damaged: bool,
+    /// Latent flaw: fails on first touch, then behaves like `damaged`
+    /// (a rewrite repairs it). See [`crate::fault::FaultPlan`].
+    latent: bool,
+    /// Pending transient read retries (each costs a revolution).
+    transient_fails: u8,
+    /// Grown defect: permanently dead; rewriting does not repair.
+    hard_bad: bool,
 }
 
 impl Default for SectorState {
@@ -56,6 +64,9 @@ impl Default for SectorState {
             data: None,
             label: Label::FREE,
             damaged: false,
+            latent: false,
+            transient_fails: 0,
+            hard_bad: false,
         }
     }
 }
@@ -299,6 +310,64 @@ impl SimDisk {
         true
     }
 
+    // ----- fault internals ---------------------------------------------------
+
+    /// Consumes any pending transient fault at `addr`: the controller
+    /// rereads the sector on the next revolution(s), so each retry costs
+    /// one full revolution, charged as a lost revolution.
+    fn retry_transient(&mut self, addr: SectorAddr) {
+        let fails = self.sectors[addr as usize].transient_fails.min(2);
+        if fails == 0 {
+            return;
+        }
+        self.sectors[addr as usize].transient_fails = 0;
+        let rev = self.timing.sector_us() * self.timing.sectors_per_track as Micros;
+        for _ in 0..fails {
+            self.stats.lost_revolutions += 1;
+            self.stats.lost_rev_us += rev;
+            self.stats.transient_retries += 1;
+            self.clock.advance(rev);
+        }
+    }
+
+    /// Applies fault semantics as sector `addr` passes under the head on
+    /// a read: fires latent flaws, charges transient retries. Returns
+    /// `true` if the sector must be treated as damaged.
+    fn fault_on_read(&mut self, addr: SectorAddr) -> bool {
+        if self.sectors[addr as usize].hard_bad {
+            self.stats.media_faults += 1;
+            return true;
+        }
+        if self.sectors[addr as usize].latent {
+            let s = &mut self.sectors[addr as usize];
+            s.latent = false;
+            s.damaged = true;
+            self.stats.media_faults += 1;
+            return true;
+        }
+        self.retry_transient(addr);
+        self.sectors[addr as usize].damaged
+    }
+
+    /// Applies fault semantics for a write to sector `addr`: a grown
+    /// defect rejects the write outright; a latent flaw is discovered by
+    /// the write's verify pass (the write fails) but cleared, so a retry
+    /// repairs the sector.
+    fn fault_on_write(&mut self, addr: SectorAddr) -> Option<DiskError> {
+        let s = &mut self.sectors[addr as usize];
+        if s.hard_bad {
+            self.stats.media_faults += 1;
+            return Some(DiskError::BadSector(addr));
+        }
+        if s.latent {
+            s.latent = false;
+            s.damaged = true;
+            self.stats.media_faults += 1;
+            return Some(DiskError::BadSector(addr));
+        }
+        None
+    }
+
     // ----- data I/O ---------------------------------------------------------
 
     /// Reads `n` sectors starting at `start`.
@@ -315,11 +384,10 @@ impl SimDisk {
             let addr = start + i as u32;
             self.charge_transfer(addr, i == 0);
             self.stats.sectors_read += 1;
-            let s = &self.sectors[addr as usize];
-            if s.damaged {
+            if self.fault_on_read(addr) {
                 return Err(DiskError::BadSector(addr));
             }
-            match &s.data {
+            match &self.sectors[addr as usize].data {
                 Some(d) => out.extend_from_slice(&d[..]),
                 None => out.extend_from_slice(&[0u8; SECTOR_BYTES]),
             }
@@ -345,9 +413,9 @@ impl SimDisk {
             let addr = start + i as u32;
             self.charge_transfer(addr, i == 0);
             self.stats.sectors_read += 1;
-            let s = &self.sectors[addr as usize];
-            mask.push(s.damaged);
-            match (&s.data, s.damaged) {
+            let dmg = self.fault_on_read(addr);
+            mask.push(dmg);
+            match (&self.sectors[addr as usize].data, dmg) {
                 (Some(d), false) => out.extend_from_slice(&d[..]),
                 _ => out.extend_from_slice(&[0u8; SECTOR_BYTES]),
             }
@@ -375,10 +443,10 @@ impl SimDisk {
             let addr = start + i as u32;
             self.charge_transfer(addr, i == 0);
             self.stats.sectors_read += 1;
-            let s = &self.sectors[addr as usize];
-            if s.damaged {
+            if self.fault_on_read(addr) {
                 return Err(DiskError::BadSector(addr));
             }
+            let s = &self.sectors[addr as usize];
             if s.label != want {
                 return Err(DiskError::LabelMismatch {
                     addr,
@@ -436,6 +504,11 @@ impl SimDisk {
                         found,
                     });
                 }
+            }
+            if let Some(e) = self.fault_on_write(addr) {
+                // The write fails at the bad sector; everything before it
+                // in this transfer is already durable.
+                return Err(e);
             }
             if self.maybe_crash(addr, op_end) {
                 return Err(DiskError::Crashed);
@@ -571,6 +644,32 @@ impl SimDisk {
         self.sectors[addr as usize].damaged = true;
     }
 
+    /// Marks a sector as a grown defect: permanently dead, rewriting does
+    /// not repair it (the remap-to-spare case).
+    pub fn hard_damage_sector(&mut self, addr: SectorAddr) {
+        self.sectors[addr as usize].hard_bad = true;
+    }
+
+    /// Installs a media [`FaultPlan`]. Out-of-range addresses are ignored
+    /// rather than rejected, so campaign generators can over-approximate.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        for &a in &plan.latent {
+            if let Some(s) = self.sectors.get_mut(a as usize) {
+                s.latent = true;
+            }
+        }
+        for &(a, n) in &plan.transient {
+            if let Some(s) = self.sectors.get_mut(a as usize) {
+                s.transient_fails = n.min(2);
+            }
+        }
+        for &a in &plan.grown {
+            if let Some(s) = self.sectors.get_mut(a as usize) {
+                s.hard_bad = true;
+            }
+        }
+    }
+
     /// Simulates a wild write: sector data is overwritten out-of-band
     /// (no timing, no stats, label untouched) — the kind of memory-smash
     /// corruption the label plane exists to catch.
@@ -596,6 +695,12 @@ impl SimDisk {
     /// Returns whether a sector is damaged, without timing or stats.
     pub fn peek_damaged(&self, addr: SectorAddr) -> bool {
         self.sectors[addr as usize].damaged
+    }
+
+    /// Returns whether a sector is a grown (permanent) defect, without
+    /// timing or stats.
+    pub fn peek_hard_bad(&self, addr: SectorAddr) -> bool {
+        self.sectors[addr as usize].hard_bad
     }
 
     /// Restores one sector's persistent state (image loading).
@@ -937,6 +1042,89 @@ mod tests {
         assert_eq!(d.region_ops()["data"], 2);
         d.reset_stats();
         assert!(d.region_ops().is_empty());
+    }
+
+    #[test]
+    fn latent_fault_fires_once_then_rewrite_repairs() {
+        let mut d = SimDisk::tiny();
+        d.write(20, &sector_of(9)).unwrap();
+        d.set_fault_plan(&FaultPlan::none().with_latent(20));
+        // First touch discovers the flaw...
+        assert!(matches!(d.read(20, 1), Err(DiskError::BadSector(20))));
+        assert!(d.peek_damaged(20));
+        // ...and from then on it is an ordinary damaged sector: a rewrite
+        // repairs it.
+        d.write(20, &sector_of(7)).unwrap();
+        assert_eq!(d.read(20, 1).unwrap()[0], 7);
+        assert_eq!(d.stats().media_faults, 1);
+    }
+
+    #[test]
+    fn latent_fault_discovered_by_write_fails_then_retry_succeeds() {
+        let mut d = SimDisk::tiny();
+        d.set_fault_plan(&FaultPlan::none().with_latent(21));
+        assert!(matches!(
+            d.write(21, &sector_of(1)),
+            Err(DiskError::BadSector(21))
+        ));
+        // The flaw is now known; the retry repairs the sector.
+        d.write(21, &sector_of(2)).unwrap();
+        assert_eq!(d.read(21, 1).unwrap()[0], 2);
+    }
+
+    #[test]
+    fn latent_fault_mid_transfer_keeps_prefix_durable() {
+        let mut d = SimDisk::tiny();
+        d.set_fault_plan(&FaultPlan::none().with_latent(12));
+        assert!(matches!(
+            d.write(10, &sector_of(4).repeat(4)),
+            Err(DiskError::BadSector(12))
+        ));
+        assert_eq!(d.read(10, 2).unwrap()[0], 4); // Prefix durable.
+        assert_eq!(d.peek_data(13), None); // Suffix never written.
+    }
+
+    #[test]
+    fn transient_fault_retries_invisibly_but_charges_revolutions() {
+        let mut d = SimDisk::tiny();
+        d.write(30, &sector_of(3)).unwrap();
+        d.set_fault_plan(&FaultPlan::none().with_transient(30, 2));
+        let before = d.stats();
+        assert_eq!(d.read(30, 1).unwrap()[0], 3); // Succeeds transparently.
+        let delta = d.stats().since(&before);
+        let rev = d.timing().sector_us() * d.timing().sectors_per_track as u64;
+        assert_eq!(delta.transient_retries, 2);
+        assert!(delta.lost_rev_us >= 2 * rev);
+        // The fault is consumed: the next read is clean.
+        let before = d.stats();
+        d.read(30, 1).unwrap();
+        assert_eq!(d.stats().since(&before).transient_retries, 0);
+    }
+
+    #[test]
+    fn grown_defect_fails_reads_and_writes_permanently() {
+        let mut d = SimDisk::tiny();
+        d.write(40, &sector_of(1)).unwrap();
+        d.set_fault_plan(&FaultPlan::none().with_grown(40));
+        assert!(matches!(d.read(40, 1), Err(DiskError::BadSector(40))));
+        // Rewriting does NOT repair a grown defect.
+        assert!(matches!(
+            d.write(40, &sector_of(2)),
+            Err(DiskError::BadSector(40))
+        ));
+        assert!(matches!(d.read(40, 1), Err(DiskError::BadSector(40))));
+        assert!(d.peek_hard_bad(40));
+        // Damage-tolerant reads mask it instead of failing.
+        let (_, mask) = d.read_allow_damage(40, 1).unwrap();
+        assert!(mask[0]);
+    }
+
+    #[test]
+    fn fault_plan_out_of_range_addresses_ignored() {
+        let mut d = SimDisk::tiny();
+        let total = d.geometry().total_sectors();
+        d.set_fault_plan(&FaultPlan::none().with_latent(total + 5).with_grown(total));
+        assert!(d.read(0, 1).is_ok());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Deterministic media-fault injection.
+//!
+//! [`crate::CrashPlan`] models the paper's *torn write* — a machine crash
+//! mid-transfer. A [`FaultPlan`] models the media itself going bad (§5.8's
+//! error classes 2–5 all start from a bad sector somewhere):
+//!
+//! * **latent** bad sectors: the platter surface degraded while the sector
+//!   sat idle; the flaw is discovered on the *first touch* (read or write),
+//!   which fails with [`crate::DiskError::BadSector`]. A subsequent rewrite
+//!   reformats the sector and succeeds — the paper's "rewriting it repairs
+//!   it" soft-error model.
+//! * **transient** read errors: a marginal sector needs one or two extra
+//!   revolutions before the controller's retry reads it cleanly. Retries
+//!   are invisible to software but charged through the timing model as
+//!   lost revolutions and counted in [`crate::DiskStats`].
+//! * **grown** defects: the sector is permanently dead. Reads and writes
+//!   both fail with `BadSector` forever; rewriting does *not* repair it.
+//!   These are what forces the file system to remap into a spare region.
+//!
+//! All three are per-sector, installed up front, and fire deterministically,
+//! so a fault-injection campaign enumerating plans is reproducible.
+
+use crate::SectorAddr;
+
+/// A deterministic set of media faults to install on a [`crate::SimDisk`]
+/// via [`crate::SimDisk::set_fault_plan`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Sectors whose flaw is discovered (and fails) on first touch.
+    pub latent: Vec<SectorAddr>,
+    /// `(sector, retries)` pairs: the next read of `sector` costs
+    /// `retries` extra revolutions before succeeding (capped at 2 by the
+    /// disk — real controllers give up long before that matters here).
+    pub transient: Vec<(SectorAddr, u8)>,
+    /// Permanently dead sectors: every read and write fails, rewriting
+    /// does not repair.
+    pub grown: Vec<SectorAddr>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.latent.is_empty() && self.transient.is_empty() && self.grown.is_empty()
+    }
+
+    /// Adds a latent bad sector.
+    pub fn with_latent(mut self, addr: SectorAddr) -> Self {
+        self.latent.push(addr);
+        self
+    }
+
+    /// Adds a transient read fault of `retries` extra revolutions.
+    pub fn with_transient(mut self, addr: SectorAddr, retries: u8) -> Self {
+        self.transient.push((addr, retries));
+        self
+    }
+
+    /// Adds a grown (permanent) defect.
+    pub fn with_grown(mut self, addr: SectorAddr) -> Self {
+        self.grown.push(addr);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::none()
+            .with_latent(5)
+            .with_transient(6, 2)
+            .with_grown(7);
+        assert!(!p.is_empty());
+        assert_eq!(p.latent, vec![5]);
+        assert_eq!(p.transient, vec![(6, 2)]);
+        assert_eq!(p.grown, vec![7]);
+        assert!(FaultPlan::none().is_empty());
+    }
+}

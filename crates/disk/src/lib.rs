@@ -28,6 +28,7 @@ pub mod clock;
 pub mod cpu;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod label;
@@ -39,9 +40,10 @@ pub use clock::{Micros, SimClock};
 pub use cpu::{Cpu, CpuModel};
 pub use disk::{CrashPlan, SimDisk};
 pub use error::DiskError;
+pub use fault::FaultPlan;
 pub use geometry::DiskGeometry;
 pub use label::{Label, PageKind};
-pub use sched::{IoBatch, IoOp, IoOutput, IoPolicy};
+pub use sched::{IoBatch, IoOp, IoOutput, IoPolicy, OpResult};
 pub use stats::DiskStats;
 pub use timing::DiskTiming;
 

@@ -31,14 +31,20 @@
 //!
 //! # Error semantics
 //!
-//! On the first failing request the batch aborts. Requests scheduled
+//! [`execute`] aborts on the first failing request. Requests scheduled
 //! before the failure (in *executed* order, not submission order) have
 //! taken effect; later ones have not. Callers that need op-granular
-//! error isolation (label checks, damage probes) should use
-//! [`IoOp::ReadAllowDamage`] or submit those requests alone.
+//! error isolation — the scrub/remap paths that want to know *which*
+//! sector went bad and resubmit the rest — use [`execute_partial`]: it
+//! returns one [`OpResult`] per request, re-probing a failed coalesced
+//! group one request at a time to attribute the damage, finishing the
+//! rest of the window, and marking every request in later windows
+//! [`OpResult::Skipped`] (the barrier contract: nothing after a barrier
+//! may become durable while something before it failed).
 
 use crate::clock::Micros;
 use crate::disk::SimDisk;
+use crate::error::DiskError;
 use crate::label::Label;
 use crate::{Result, SectorAddr, SECTOR_BYTES};
 
@@ -283,6 +289,105 @@ pub fn windows(batch: &IoBatch) -> Vec<Vec<usize>> {
     out
 }
 
+/// The per-request outcome of [`execute_partial`], index-aligned with
+/// submission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpResult {
+    /// The request completed.
+    Ok(IoOutput),
+    /// The request failed (the error names the offending sector for
+    /// `BadSector`/`LabelMismatch`); requests it was coalesced with were
+    /// re-probed individually and have their own results.
+    Failed(DiskError),
+    /// The request sits after a barrier behind a failure and was never
+    /// attempted.
+    Skipped,
+}
+
+impl OpResult {
+    /// Extracts a completed output.
+    pub fn into_output(self) -> Option<IoOutput> {
+        match self {
+            OpResult::Ok(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The failure, if any.
+    pub fn error(&self) -> Option<&DiskError> {
+        match self {
+            OpResult::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Executes a batch under `policy`, returning one [`OpResult`] per
+/// request: failing requests are isolated instead of aborting the batch,
+/// so callers can scrub/remap the named sector and resubmit. Only
+/// [`DiskError::Crashed`] (the machine is gone) aborts the whole call.
+///
+/// A failed coalesced transfer is re-probed one member request at a
+/// time to attribute the damage; data-plane requests are idempotent, so
+/// the re-probe is safe. Remaining requests in the same window still
+/// run; every request in later windows is [`OpResult::Skipped`].
+pub fn execute_partial(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    batch: &IoBatch,
+) -> Result<Vec<OpResult>> {
+    let ops: Vec<&IoOp> = batch
+        .items
+        .iter()
+        .filter_map(|it| match it {
+            Item::Op(op) => Some(op),
+            Item::Barrier => None,
+        })
+        .collect();
+    let mut results: Vec<OpResult> = vec![OpResult::Skipped; batch.ops];
+    let mut failed = false;
+    for window in windows(batch) {
+        if failed {
+            break; // Later windows stay Skipped.
+        }
+        let groups = match policy {
+            IoPolicy::InOrder => window.iter().map(|&i| vec![i]).collect(),
+            IoPolicy::Cscan => plan_window(disk, &ops, &window),
+        };
+        for group in &groups {
+            let mut outputs: Vec<Option<IoOutput>> = vec![None; batch.ops];
+            match run_group(disk, &ops, group, &mut outputs) {
+                Ok(()) => {
+                    for &i in group {
+                        results[i] = OpResult::Ok(outputs[i].take().unwrap_or(IoOutput::Done));
+                    }
+                }
+                Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+                Err(e) => {
+                    if group.len() == 1 {
+                        results[group[0]] = OpResult::Failed(e);
+                        failed = true;
+                        continue;
+                    }
+                    // Re-probe the coalesced members individually to find
+                    // out which of them hit the bad sector.
+                    for &i in group {
+                        match run_one(disk, ops[i]) {
+                            Ok(o) => results[i] = OpResult::Ok(o),
+                            Err(DiskError::Crashed) => return Err(DiskError::Crashed),
+                            Err(e) => {
+                                results[i] = OpResult::Failed(e);
+                                failed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(results)
+}
+
 /// Executes a batch under `policy`, returning one [`IoOutput`] per
 /// request in submission order.
 pub fn execute(disk: &mut SimDisk, policy: IoPolicy, batch: &IoBatch) -> Result<Vec<IoOutput>> {
@@ -315,14 +420,10 @@ pub fn execute(disk: &mut SimDisk, policy: IoPolicy, batch: &IoBatch) -> Result<
         .collect())
 }
 
-/// One window: sort by address, coalesce adjacent same-kind requests,
-/// start the C-SCAN sweep at the rotationally cheapest group.
-fn run_window(
-    disk: &mut SimDisk,
-    ops: &[&IoOp],
-    window: &[usize],
-    outputs: &mut [Option<IoOutput>],
-) -> Result<()> {
+/// Plans one window: sort by address, coalesce adjacent same-kind
+/// requests, rotate so the sweep starts at the rotationally cheapest
+/// group. Returns the coalesced groups in execution order.
+fn plan_window(disk: &SimDisk, ops: &[&IoOp], window: &[usize]) -> Vec<Vec<usize>> {
     // Stable sort: equal addresses keep submission order (they cannot
     // overlap — an implicit barrier would have split them — but empty
     // requests can share a start).
@@ -353,10 +454,19 @@ fn run_window(
         .min_by_key(|(_, g)| disk.position_cost_us(ops[g[0]].start()))
         .map(|(gi, _)| gi)
         .unwrap_or(0);
+    groups.rotate_left(start_group);
+    groups
+}
 
-    for k in 0..groups.len() {
-        let g = &groups[(start_group + k) % groups.len()];
-        run_group(disk, ops, g, outputs)?;
+/// One window: plan it, then run each coalesced group.
+fn run_window(
+    disk: &mut SimDisk,
+    ops: &[&IoOp],
+    window: &[usize],
+    outputs: &mut [Option<IoOutput>],
+) -> Result<()> {
+    for g in plan_window(disk, ops, window) {
+        run_group(disk, ops, &g, outputs)?;
     }
     Ok(())
 }
@@ -748,6 +858,115 @@ mod tests {
         b.barrier(); // Double barrier: still one split.
         b.push(IoOp::Read { start: 9, n: 1 });
         assert_eq!(windows(&b), vec![vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn execute_partial_isolates_bad_sector_in_coalesced_group() {
+        let mut d = SimDisk::tiny();
+        for a in 20..23 {
+            d.write(a, &sector_of(a as u8)).unwrap();
+        }
+        d.damage_sector(21);
+        let mut b = IoBatch::new();
+        let r0 = b.push(IoOp::Read { start: 20, n: 1 });
+        let r1 = b.push(IoOp::Read { start: 21, n: 1 });
+        let r2 = b.push(IoOp::Read { start: 22, n: 1 });
+        let out = execute_partial(&mut d, IoPolicy::Cscan, &b).unwrap();
+        assert_eq!(
+            out[r0].clone().into_output().unwrap().into_data().unwrap()[0],
+            20
+        );
+        assert_eq!(out[r1].error(), Some(&DiskError::BadSector(21)));
+        assert_eq!(
+            out[r2].clone().into_output().unwrap().into_data().unwrap()[0],
+            22
+        );
+    }
+
+    #[test]
+    fn execute_partial_skips_windows_after_a_failure() {
+        let mut d = SimDisk::tiny();
+        d.hard_damage_sector(40);
+        let mut b = IoBatch::new();
+        let w0 = b.push(IoOp::Write {
+            start: 40,
+            data: sector_of(1),
+        });
+        let w1 = b.push(IoOp::Write {
+            start: 50,
+            data: sector_of(2),
+        });
+        b.barrier();
+        let w2 = b.push(IoOp::Write {
+            start: 60,
+            data: sector_of(3),
+        });
+        let out = execute_partial(&mut d, IoPolicy::Cscan, &b).unwrap();
+        assert_eq!(out[w0].error(), Some(&DiskError::BadSector(40)));
+        // Same window: still attempted.
+        assert_eq!(out[w1], OpResult::Ok(IoOutput::Done));
+        assert_eq!(d.peek_data(50).unwrap()[0], 2);
+        // Post-barrier window: never started.
+        assert_eq!(out[w2], OpResult::Skipped);
+        assert!(d.peek_data(60).is_none());
+    }
+
+    #[test]
+    fn execute_partial_mid_write_failure_keeps_executed_prefix() {
+        let mut d = SimDisk::tiny();
+        d.hard_damage_sector(31);
+        let mut b = IoBatch::new();
+        let w0 = b.push(IoOp::Write {
+            start: 30,
+            data: sector_of(7),
+        });
+        let w1 = b.push(IoOp::Write {
+            start: 31,
+            data: sector_of(8),
+        });
+        let out = execute_partial(&mut d, IoPolicy::Cscan, &b).unwrap();
+        // The coalesced transfer failed at 31; the re-probe shows 30
+        // succeeded and is durable.
+        assert_eq!(out[w0], OpResult::Ok(IoOutput::Done));
+        assert_eq!(out[w1].error(), Some(&DiskError::BadSector(31)));
+        assert_eq!(d.peek_data(30).unwrap()[0], 7);
+    }
+
+    #[test]
+    fn execute_partial_crash_still_aborts() {
+        let mut d = SimDisk::tiny();
+        d.schedule_crash(CrashPlan {
+            after_sector_writes: 0,
+            damaged_tail: 0,
+        });
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 5,
+            data: sector_of(1),
+        });
+        assert_eq!(
+            execute_partial(&mut d, IoPolicy::Cscan, &b),
+            Err(DiskError::Crashed)
+        );
+    }
+
+    #[test]
+    fn execute_partial_all_ok_matches_execute() {
+        let mut d1 = SimDisk::tiny();
+        let mut d2 = SimDisk::tiny();
+        let mut b = IoBatch::new();
+        b.push(IoOp::Write {
+            start: 10,
+            data: sector_of(1),
+        });
+        b.barrier();
+        b.push(IoOp::Read { start: 10, n: 1 });
+        let full = execute(&mut d1, IoPolicy::Cscan, &b).unwrap();
+        let partial = execute_partial(&mut d2, IoPolicy::Cscan, &b).unwrap();
+        for (f, p) in full.into_iter().zip(partial) {
+            assert_eq!(OpResult::Ok(f), p);
+        }
+        assert_eq!(d1.clock().now(), d2.clock().now());
     }
 
     #[test]

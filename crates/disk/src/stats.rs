@@ -39,6 +39,12 @@ pub struct DiskStats {
     pub lost_revolutions: u64,
     /// Time spent in lost revolutions (disjoint from `rotation_us`).
     pub lost_rev_us: Micros,
+    /// Controller read retries for transient faults (each also books one
+    /// lost revolution — the sector must come around again).
+    pub transient_retries: u64,
+    /// Injected media faults that fired: latent flaws discovered and
+    /// grown-defect touches (each surfaced as a `BadSector` error).
+    pub media_faults: u64,
 }
 
 impl DiskStats {
@@ -67,6 +73,8 @@ impl DiskStats {
             transfer_us: self.transfer_us - earlier.transfer_us,
             lost_revolutions: self.lost_revolutions - earlier.lost_revolutions,
             lost_rev_us: self.lost_rev_us - earlier.lost_rev_us,
+            transient_retries: self.transient_retries - earlier.transient_retries,
+            media_faults: self.media_faults - earlier.media_faults,
         }
     }
 }

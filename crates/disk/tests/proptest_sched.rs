@@ -116,7 +116,7 @@ fn populated_disk() -> SimDisk {
         d.write(s, &vec![(s % 251) as u8; n * SECTOR_BYTES])
             .unwrap();
     }
-    d.write_labels(100, &vec![Label::new(7, 0, PageKind::Leader); 8], None)
+    d.write_labels(100, &[Label::new(7, 0, PageKind::Leader); 8], None)
         .unwrap();
     d
 }

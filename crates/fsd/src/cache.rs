@@ -19,9 +19,11 @@
 //!   cache and the pending-commit set.
 
 use crate::layout::FsdLayout;
-use crate::{NT_PAGE_BYTES, NT_PAGE_SECTORS};
+use crate::spare::{self, SpareMap};
+use crate::{FsdError, NT_PAGE_BYTES, NT_PAGE_SECTORS};
 use cedar_btree::{PageId, PageStore, StoreError};
-use cedar_disk::{Cpu, DiskError, SimDisk};
+use cedar_disk::sched::IoPolicy;
+use cedar_disk::{Cpu, DiskError, SimDisk, SECTOR_BYTES};
 use cedar_vol::codec::{Reader, Writer};
 use std::collections::{BTreeSet, HashMap};
 
@@ -191,12 +193,17 @@ fn to_store_err(e: DiskError) -> StoreError {
 
 /// The logged page store backing the FSD name-table B-tree.
 pub struct FsdNtStore<'a> {
-    /// The disk (reads only; writes stay in the cache).
+    /// The disk (reads, plus scrub rewrites of damaged replica sectors).
     pub disk: &'a mut SimDisk,
     /// CPU charger.
     pub cpu: &'a Cpu,
     /// Volume layout.
     pub layout: &'a FsdLayout,
+    /// I/O policy for scrub rewrites.
+    pub policy: IoPolicy,
+    /// Bad-sector remap table: reads translate through it, and a scrub
+    /// whose rewrite fails grows it.
+    pub spare: &'a mut SpareMap,
     /// The page cache.
     pub cache: &'a mut NtCache,
     /// Pages dirtied since the last group commit.
@@ -212,15 +219,17 @@ impl FsdNtStore<'_> {
             return Ok(p.image.clone());
         }
         // "When a page is read, both copies are read and checked." A
-        // damaged copy is silently repaired from its twin at the next
-        // home write.
+        // damaged copy is scrubbed from its twin immediately: a second
+        // media fault must not find the damage still in place.
+        let at_a = self.layout.nt_a_sector(id);
+        let at_b = self.layout.nt_b_sector(id);
         let (a, a_mask) = self
-            .disk
-            .read_allow_damage(self.layout.nt_a_sector(id), NT_PAGE_SECTORS as usize)
+            .spare
+            .read_allow_damage(self.disk, at_a, NT_PAGE_SECTORS as usize)
             .map_err(to_store_err)?;
         let (b, b_mask) = self
-            .disk
-            .read_allow_damage(self.layout.nt_b_sector(id), NT_PAGE_SECTORS as usize)
+            .spare
+            .read_allow_damage(self.disk, at_b, NT_PAGE_SECTORS as usize)
             .map_err(to_store_err)?;
         let a_ok = a_mask.iter().all(|&d| !d);
         let b_ok = b_mask.iter().all(|&d| !d);
@@ -233,7 +242,7 @@ impl FsdNtStore<'_> {
             // consecutive sectors die, so A and B never lose the same one.
             let mut img = Vec::with_capacity(NT_PAGE_BYTES);
             for i in 0..NT_PAGE_SECTORS as usize {
-                let range = i * cedar_disk::SECTOR_BYTES..(i + 1) * cedar_disk::SECTOR_BYTES;
+                let range = i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES;
                 if !a_mask[i] {
                     img.extend_from_slice(&a[range]);
                 } else if !b_mask[i] {
@@ -246,13 +255,36 @@ impl FsdNtStore<'_> {
             }
             img
         };
+        let mut needs_home = false;
+        if !a_ok || !b_ok {
+            let mut writes = Vec::new();
+            for i in 0..NT_PAGE_SECTORS as usize {
+                let range = i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES;
+                if a_mask[i] {
+                    self.spare.note_damaged(at_a + i as u32);
+                    writes.push((at_a + i as u32, image[range.clone()].to_vec()));
+                }
+                if b_mask[i] {
+                    self.spare.note_damaged(at_b + i as u32);
+                    writes.push((at_b + i as u32, image[range].to_vec()));
+                }
+            }
+            if let Err(e) = spare::scrub_batch(self.disk, self.policy, self.spare, writes) {
+                if matches!(e, FsdError::Disk(DiskError::Crashed)) {
+                    return Err(StoreError::Crashed);
+                }
+                // Spare slots exhausted: fall back to the pre-sparing
+                // behavior and leave the repair to the next home write.
+                needs_home = true;
+            }
+        }
         self.cache.pages.insert(
             id,
             CachedPage {
                 image: image.clone(),
                 baseline: Some(image.clone()),
                 last_logged_third: None,
-                needs_home: !a_ok || !b_ok,
+                needs_home,
                 last_used: stamp,
             },
         );
@@ -321,7 +353,7 @@ impl PageStore for FsdNtStore<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cedar_disk::{CpuModel, DiskGeometry, SimClock};
+    use cedar_disk::{CpuModel, DiskGeometry};
 
     fn setup() -> (SimDisk, Cpu, FsdLayout) {
         let disk = SimDisk::tiny();
@@ -357,10 +389,13 @@ mod tests {
         let (mut disk, cpu, layout) = setup();
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };
@@ -381,10 +416,13 @@ mod tests {
             .unwrap();
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };
@@ -407,16 +445,60 @@ mod tests {
         disk.damage_sector(layout.nt_a_sector(2));
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };
         assert_eq!(store.read_page(2).unwrap(), vec![1u8; NT_PAGE_BYTES]);
-        // The page is flagged for a repairing home write.
-        assert!(store.cache.pages[&2].needs_home);
+        // The damaged copy was scrubbed from its twin on the spot: no
+        // pending home write remains and copy A reads clean again.
+        assert!(!store.cache.pages[&2].needs_home);
+        assert_eq!(store.spare.scrubbed, 1);
+        assert_eq!(
+            store.disk.read(layout.nt_a_sector(2), 1).unwrap(),
+            vec![1u8; cedar_disk::SECTOR_BYTES]
+        );
+    }
+
+    #[test]
+    fn grown_defect_under_nt_read_is_remapped() {
+        let (mut disk, cpu, layout) = setup();
+        disk.write(layout.nt_a_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        disk.write(layout.nt_b_sector(2), &vec![1u8; NT_PAGE_BYTES])
+            .unwrap();
+        // A permanently dead sector in copy A: the scrub rewrite fails
+        // too, so the sector is remapped into the spare region.
+        disk.hard_damage_sector(layout.nt_a_sector(2));
+        let mut cache = NtCache::new();
+        let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
+        let mut store = FsdNtStore {
+            disk: &mut disk,
+            cpu: &cpu,
+            layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
+            cache: &mut cache,
+            pending: &mut pending,
+        };
+        assert_eq!(store.read_page(2).unwrap(), vec![1u8; NT_PAGE_BYTES]);
+        assert!(!store.cache.pages[&2].needs_home);
+        assert_eq!(store.spare.remapped, 1);
+        assert_eq!(
+            store.spare.translate(layout.nt_a_sector(2)),
+            layout.spare_start
+        );
+        // A fresh store built over the same spare map reads the page back
+        // whole through the remap table.
+        store.cache.pages.clear();
+        assert_eq!(store.read_page(2).unwrap(), vec![1u8; NT_PAGE_BYTES]);
     }
 
     #[test]
@@ -431,10 +513,13 @@ mod tests {
         disk.damage_sector(layout.nt_b_sector(2) + 1);
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };
@@ -448,10 +533,13 @@ mod tests {
         disk.damage_sector(layout.nt_b_sector(2));
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };
@@ -463,10 +551,13 @@ mod tests {
         let (mut disk, cpu, layout) = setup();
         let mut cache = NtCache::new();
         let mut pending = BTreeSet::new();
+        let mut spare = SpareMap::for_layout(&layout);
         let mut store = FsdNtStore {
             disk: &mut disk,
             cpu: &cpu,
             layout: &layout,
+            policy: IoPolicy::InOrder,
+            spare: &mut spare,
             cache: &mut cache,
             pending: &mut pending,
         };

@@ -16,7 +16,7 @@
 //! replicated" (§5.8): the boot page and the log meta page each live in
 //! two non-adjacent sectors.
 
-use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy, OpResult};
 use cedar_disk::{DiskGeometry, SectorAddr, SimDisk, SECTOR_BYTES};
 use cedar_vol::codec::{Reader, Writer};
 
@@ -24,6 +24,10 @@ use crate::NT_PAGE_SECTORS;
 
 /// Magic number identifying an FSD boot page.
 pub const BOOT_MAGIC: u32 = 0xF5D_B007;
+
+/// Sectors reserved in the spare region for remapping grown defects
+/// (§5.8's "bad pages in the file system's own data structures").
+pub const SPARE_SECTORS: u32 = 16;
 
 /// Computed sector layout of an FSD volume.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,6 +44,11 @@ pub struct FsdLayout {
     pub vam_b: SectorAddr,
     /// Sectors per VAM save copy.
     pub vam_sectors: u32,
+    /// First sector of the spare region: replacement sectors that grown
+    /// (permanent) defects in the metadata regions are remapped into.
+    pub spare_start: SectorAddr,
+    /// Sectors in the spare region.
+    pub spare_sectors: u32,
     /// First sector of the small-file data area.
     pub small_start: SectorAddr,
     /// First sector of name-table region copy A.
@@ -78,7 +87,8 @@ impl FsdLayout {
         let vam_sectors = vam_bytes.div_ceil(SECTOR_BYTES) as u32;
         let vam_a = 4;
         let vam_b = vam_a + vam_sectors + 1; // One blank between copies.
-        let small_start = vam_b + vam_sectors;
+        let spare_start = vam_b + vam_sectors;
+        let small_start = spare_start + SPARE_SECTORS;
 
         let nt_sectors = nt_pages * NT_PAGE_SECTORS;
         let central_len = 2 * nt_sectors + log_sectors;
@@ -99,6 +109,8 @@ impl FsdLayout {
             vam_a,
             vam_b,
             vam_sectors,
+            spare_start,
+            spare_sectors: SPARE_SECTORS,
             small_start,
             nt_a_start,
             log_start,
@@ -139,6 +151,12 @@ impl FsdLayout {
 /// §5.8), so a barrier separates the two writes. Every replicated-page
 /// writer (boot pages at mount/commit, the new-epoch bump in recovery)
 /// goes through here so the A-barrier-B discipline lives in one place.
+///
+/// A first failure on a copy may be a latent flaw that the retry's
+/// rewrite repairs; a second is a grown defect. Boot and VAM-save
+/// sectors are not remappable (the spare map is *recorded on* the boot
+/// page), so the page survives as long as at least one copy is durable —
+/// booting falls back to the other copy.
 pub(crate) fn write_replicas(
     disk: &mut SimDisk,
     policy: IoPolicy,
@@ -146,22 +164,48 @@ pub(crate) fn write_replicas(
     b: SectorAddr,
     bytes: Vec<u8>,
 ) -> crate::Result<()> {
-    let mut batch = IoBatch::new();
-    batch.push(IoOp::Write {
-        start: a,
-        data: bytes.clone(),
-    });
-    batch.barrier();
-    batch.push(IoOp::Write {
-        start: b,
-        data: bytes,
-    });
-    sched::execute(disk, policy, &batch)?;
-    Ok(())
+    let targets = [a, b];
+    let mut durable = [false; 2];
+    let mut failures = [0u8; 2];
+    loop {
+        let mut batch = IoBatch::new();
+        let mut slots = Vec::new();
+        for (i, &at) in targets.iter().enumerate() {
+            if durable[i] || failures[i] >= 2 {
+                continue;
+            }
+            if !slots.is_empty() {
+                batch.barrier();
+            }
+            batch.push(IoOp::Write {
+                start: at,
+                data: bytes.clone(),
+            });
+            slots.push(i);
+        }
+        if slots.is_empty() {
+            break;
+        }
+        let results = sched::execute_partial(disk, policy, &batch)?;
+        for (r, &i) in results.iter().zip(&slots) {
+            match r {
+                OpResult::Ok(_) => durable[i] = true,
+                OpResult::Failed(_) => failures[i] += 1,
+                OpResult::Skipped => {}
+            }
+        }
+    }
+    if durable[0] || durable[1] {
+        Ok(())
+    } else {
+        Err(crate::FsdError::Check(format!(
+            "both replica sectors {a} and {b} are bad"
+        )))
+    }
 }
 
 /// The FSD boot page, replicated at sectors 0 and 2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FsdBootPage {
     /// Boots so far (part of uid generation and log-record validation).
     pub boot_count: u32,
@@ -171,6 +215,11 @@ pub struct FsdBootPage {
     /// area is a base image that log redo patches, so it stays valid
     /// across crashes.
     pub vam_logged: bool,
+    /// Bad-sector remap table: `(logical, physical)` pairs redirecting
+    /// grown defects in the metadata regions into the spare region. Every
+    /// metadata read and write translates through this table, so it must
+    /// be readable before anything else — hence it lives on the boot page.
+    pub spare_map: Vec<(u32, u32)>,
 }
 
 impl FsdBootPage {
@@ -180,8 +229,13 @@ impl FsdBootPage {
         w.u32(BOOT_MAGIC)
             .u32(self.boot_count)
             .u8(u8::from(self.vam_valid))
-            .u8(u8::from(self.vam_logged));
+            .u8(u8::from(self.vam_logged))
+            .u16(u16::try_from(self.spare_map.len()).unwrap_or(u16::MAX));
+        for &(logical, phys) in &self.spare_map {
+            w.u32(logical).u32(phys);
+        }
         let mut bytes = w.into_bytes();
+        assert!(bytes.len() <= SECTOR_BYTES, "boot page overflows a sector");
         bytes.resize(SECTOR_BYTES, 0);
         bytes
     }
@@ -192,10 +246,21 @@ impl FsdBootPage {
         if r.u32()? != BOOT_MAGIC {
             return Err("bad FSD boot page magic".into());
         }
+        let boot_count = r.u32()?;
+        let vam_valid = r.u8()? != 0;
+        let vam_logged = r.u8()? != 0;
+        let n = r.u16()?;
+        let mut spare_map = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let logical = r.u32()?;
+            let phys = r.u32()?;
+            spare_map.push((logical, phys));
+        }
         Ok(Self {
-            boot_count: r.u32()?,
-            vam_valid: r.u8()? != 0,
-            vam_logged: r.u8()? != 0,
+            boot_count,
+            vam_valid,
+            vam_logged,
+            spare_map,
         })
     }
 }
@@ -209,6 +274,8 @@ mod tests {
         let l = FsdLayout::compute(&DiskGeometry::TRIDENT_T300, 0, 0);
         assert!(l.boot_b > l.boot_a + 1, "boot copies must not be adjacent");
         assert!(l.vam_b > l.vam_a + l.vam_sectors, "VAM copies not adjacent");
+        assert_eq!(l.spare_start, l.vam_b + l.vam_sectors);
+        assert_eq!(l.small_start, l.spare_start + l.spare_sectors);
         assert!(l.small_start < l.nt_a_start);
         assert_eq!(l.log_start, l.nt_a_start + l.nt_pages * 2);
         assert_eq!(l.nt_b_start, l.log_start + l.log_sectors);
@@ -242,6 +309,7 @@ mod tests {
         let l = FsdLayout::compute(&DiskGeometry::TINY, 16, 128);
         assert!(l.is_system(0));
         assert!(l.is_system(l.vam_a));
+        assert!(l.is_system(l.spare_start));
         assert!(l.is_system(l.nt_a_start));
         assert!(l.is_system(l.log_start));
         assert!(l.is_system(l.nt_b_start));
@@ -255,8 +323,22 @@ mod tests {
             boot_count: 9,
             vam_valid: true,
             vam_logged: true,
+            spare_map: vec![(120, 40), (77, 41)],
         };
         assert_eq!(FsdBootPage::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn boot_page_spare_map_fits_in_sector() {
+        let b = FsdBootPage {
+            boot_count: 1,
+            vam_valid: false,
+            vam_logged: true,
+            spare_map: (0..SPARE_SECTORS).map(|i| (1000 + i, 40 + i)).collect(),
+        };
+        let bytes = b.encode();
+        assert_eq!(bytes.len(), SECTOR_BYTES);
+        assert_eq!(FsdBootPage::decode(&bytes).unwrap(), b);
     }
 
     #[test]

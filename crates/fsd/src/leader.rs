@@ -10,18 +10,26 @@
 //! The leader sits on the sector immediately before the first data page,
 //! so verifying it costs only one extra sector transfer piggybacked on the
 //! first data access (§5.7).
+//!
+//! Beyond the paper's Table 1 fields, this leader carries the file's full
+//! name key and encoded name-table entry under a checksum, plus a
+//! `deleted` tombstone flag. During normal operation these are only extra
+//! cross-check material; they exist so that a *scavenge* — the last rung
+//! of recovery, when both the log and the name-table replicas are lost —
+//! can rebuild the name table and free map from leader pages alone
+//! (CFS recovered from its hardware labels the same way, §2).
 
 use crate::entry::FileEntry;
 use crate::error::FsdError;
 use cedar_disk::SECTOR_BYTES;
-use cedar_vol::codec::{Reader, Writer};
-use cedar_vol::Run;
+use cedar_vol::codec::{fnv1a, Reader, Writer};
+use cedar_vol::{FileName, Run};
 
 /// Magic number identifying a leader page.
 pub const LEADER_MAGIC: u32 = 0xF5D_1EAD;
 
 /// A decoded leader page.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LeaderPage {
     /// The owning file's uid.
     pub uid: u64,
@@ -30,53 +38,116 @@ pub struct LeaderPage {
     pub preamble: Run,
     /// Checksum of the full run table (Table 1).
     pub run_checksum: u64,
+    /// The file was deleted: this leader is a tombstone, written when the
+    /// delete commits so a later scavenge does not resurrect the file.
+    pub deleted: bool,
+    /// The file's B-tree name key ([`FileName::to_key`]).
+    pub name_key: Vec<u8>,
+    /// The file's encoded name-table entry ([`FileEntry::encode`]), as of
+    /// the last leader write.
+    pub entry_bytes: Vec<u8>,
 }
 
 impl LeaderPage {
     /// Builds the leader for a file entry.
-    pub fn for_entry(entry: &FileEntry) -> Self {
+    pub fn for_entry(name: &FileName, entry: &FileEntry) -> Self {
         Self {
             uid: entry.uid,
             preamble: entry.run_table.preamble(),
             run_checksum: entry.run_table.checksum(),
+            deleted: false,
+            name_key: name.to_key(),
+            entry_bytes: entry.encode(),
         }
     }
 
-    /// Encodes into one sector.
+    /// Builds the tombstone leader written when `entry` is deleted.
+    pub fn tombstone(name: &FileName, entry: &FileEntry) -> Self {
+        Self {
+            deleted: true,
+            ..Self::for_entry(name, entry)
+        }
+    }
+
+    /// Decodes the embedded name-table entry.
+    pub fn entry(&self) -> Result<FileEntry, FsdError> {
+        FileEntry::decode(&self.entry_bytes)
+    }
+
+    /// Decodes the embedded file name.
+    pub fn file_name(&self) -> Result<FileName, FsdError> {
+        FileName::from_key(&self.name_key)
+            .map_err(|m| FsdError::Check(format!("leader name key: {m}")))
+    }
+
+    /// Encodes into one sector: magic, payload length, payload checksum,
+    /// payload. The checksum lets a scavenger distinguish a genuine
+    /// leader from data that happens to start with the magic.
     pub fn encode(&self) -> Vec<u8> {
-        let mut w = Writer::new();
-        w.u32(LEADER_MAGIC)
-            .u64(self.uid)
+        let mut p = Writer::new();
+        p.u64(self.uid)
             .u32(self.preamble.start)
             .u32(self.preamble.len)
-            .u64(self.run_checksum);
+            .u64(self.run_checksum)
+            .u8(u8::from(self.deleted))
+            .str16(&self.name_key)
+            .str16(&self.entry_bytes);
+        let payload = p.into_bytes();
+        let mut w = Writer::new();
+        w.u32(LEADER_MAGIC)
+            .u16(u16::try_from(payload.len()).unwrap_or(u16::MAX))
+            .u64(fnv1a(&payload))
+            .bytes(&payload);
         let mut bytes = w.into_bytes();
+        assert!(
+            bytes.len() <= SECTOR_BYTES,
+            "leader page overflows a sector"
+        );
         bytes.resize(SECTOR_BYTES, 0);
         bytes
     }
 
-    /// Decodes from a sector.
+    /// Decodes from a sector, verifying the payload checksum.
     pub fn decode(bytes: &[u8]) -> Result<Self, FsdError> {
         let mut r = Reader::new(bytes);
         let bad = |m: String| FsdError::Check(format!("leader page: {m}"));
         if r.u32().map_err(bad)? != LEADER_MAGIC {
             return Err(FsdError::Check("bad leader magic".into()));
         }
+        let payload_len = r.u16().map_err(bad)? as usize;
+        let checksum = r.u64().map_err(bad)?;
+        let payload = r.bytes(payload_len).map_err(bad)?;
+        if fnv1a(payload) != checksum {
+            return Err(FsdError::Check("leader payload checksum mismatch".into()));
+        }
+        let mut p = Reader::new(payload);
         Ok(Self {
-            uid: r.u64().map_err(bad)?,
-            preamble: Run::new(r.u32().map_err(bad)?, r.u32().map_err(bad)?),
-            run_checksum: r.u64().map_err(bad)?,
+            uid: p.u64().map_err(bad)?,
+            preamble: Run::new(p.u32().map_err(bad)?, p.u32().map_err(bad)?),
+            run_checksum: p.u64().map_err(bad)?,
+            deleted: p.u8().map_err(bad)? != 0,
+            name_key: p.str16().map_err(bad)?.to_vec(),
+            entry_bytes: p.str16().map_err(bad)?.to_vec(),
         })
     }
 
     /// Verifies this leader against the name-table entry — the mutual
     /// check of §5.2. Returns a [`FsdError::Check`] describing the first
     /// mismatch.
-    pub fn verify(&self, entry: &FileEntry) -> Result<(), FsdError> {
+    pub fn verify(&self, name: &FileName, entry: &FileEntry) -> Result<(), FsdError> {
+        if self.deleted {
+            return Err(FsdError::Check("leader is a delete tombstone".into()));
+        }
         if self.uid != entry.uid {
             return Err(FsdError::Check(format!(
                 "leader uid {} != entry uid {}",
                 self.uid, entry.uid
+            )));
+        }
+        if self.name_key != name.to_key() {
+            return Err(FsdError::Check(format!(
+                "leader names {:?}, entry looked up as {name}",
+                self.file_name().map(|n| n.to_string())
             )));
         }
         if self.preamble != entry.run_table.preamble() {
@@ -95,6 +166,10 @@ mod tests {
     use crate::entry::EntryKind;
     use cedar_vol::RunTable;
 
+    fn name() -> FileName {
+        FileName::new("docs/plan.tioga", 3).unwrap()
+    }
+
     fn entry() -> FileEntry {
         FileEntry {
             kind: EntryKind::Local,
@@ -109,35 +184,63 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let l = LeaderPage::for_entry(&entry());
+        let l = LeaderPage::for_entry(&name(), &entry());
         assert_eq!(LeaderPage::decode(&l.encode()).unwrap(), l);
+    }
+
+    #[test]
+    fn embedded_entry_and_name_decode_back() {
+        let l = LeaderPage::for_entry(&name(), &entry());
+        assert_eq!(l.entry().unwrap(), entry());
+        assert_eq!(l.file_name().unwrap(), name());
+    }
+
+    #[test]
+    fn tombstone_roundtrips_and_fails_verify() {
+        let t = LeaderPage::tombstone(&name(), &entry());
+        let back = LeaderPage::decode(&t.encode()).unwrap();
+        assert!(back.deleted);
+        assert!(back.verify(&name(), &entry()).is_err());
     }
 
     #[test]
     fn verify_accepts_matching_entry() {
         let e = entry();
-        LeaderPage::for_entry(&e).verify(&e).unwrap();
+        LeaderPage::for_entry(&name(), &e)
+            .verify(&name(), &e)
+            .unwrap();
     }
 
     #[test]
     fn verify_rejects_uid_mismatch() {
         let e = entry();
-        let mut l = LeaderPage::for_entry(&e);
+        let mut l = LeaderPage::for_entry(&name(), &e);
         l.uid = 98;
-        assert!(l.verify(&e).is_err());
+        assert!(l.verify(&name(), &e).is_err());
+    }
+
+    #[test]
+    fn verify_rejects_name_mismatch() {
+        let e = entry();
+        let l = LeaderPage::for_entry(&name(), &e);
+        let other = FileName::new("docs/plan.tioga", 4).unwrap();
+        assert!(l.verify(&other, &e).is_err());
     }
 
     #[test]
     fn verify_rejects_run_table_change() {
         let mut e = entry();
-        let l = LeaderPage::for_entry(&e);
+        let l = LeaderPage::for_entry(&name(), &e);
         e.run_table.push(Run::new(900, 1));
-        assert!(l.verify(&e).is_err());
+        assert!(l.verify(&name(), &e).is_err());
     }
 
     #[test]
-    fn decode_rejects_garbage() {
+    fn decode_rejects_garbage_and_corruption() {
         assert!(LeaderPage::decode(&[0u8; SECTOR_BYTES]).is_err());
         assert!(LeaderPage::decode(&[]).is_err());
+        let mut bytes = LeaderPage::for_entry(&name(), &entry()).encode();
+        bytes[20] ^= 0xFF; // Flip a payload byte: checksum must catch it.
+        assert!(LeaderPage::decode(&bytes).is_err());
     }
 }

@@ -39,7 +39,9 @@ pub mod layout;
 pub mod leader;
 pub mod log;
 pub mod recovery;
+pub mod scavenge;
 pub mod sched;
+pub mod spare;
 pub mod volume;
 
 pub use entry::{EntryKind, FileEntry};
@@ -47,8 +49,10 @@ pub use error::FsdError;
 pub use fscache::{CachingFs, FileServer, MemServer};
 pub use layout::FsdLayout;
 pub use leader::LeaderPage;
-pub use recovery::RecoveryReport;
+pub use recovery::{RecoveryReport, RecoveryRung};
+pub use scavenge::ScavengeSummary;
 pub use sched::{ClientHandle, CommitScheduler, LatencyStats, SchedConfig, SchedReport};
+pub use spare::SpareMap;
 pub use volume::{FsdConfig, FsdFile, FsdVolume};
 
 /// Result alias for FSD operations.

@@ -31,6 +31,7 @@
 //! page zero of the log region, replicated in page two.
 
 use crate::error::FsdError;
+use crate::spare::{self, SpareMap};
 use crate::Result;
 use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
 use cedar_disk::{SectorAddr, SimDisk, SECTOR_BYTES};
@@ -196,6 +197,12 @@ impl Log {
         self.live.len()
     }
 
+    /// Log-region offset where the next record will start (fault-injection
+    /// campaigns aim media faults at upcoming log writes with this).
+    pub fn next_record_offset(&self) -> u32 {
+        self.write_pos
+    }
+
     /// Sectors of log data area currently holding live records
     /// (for the 5/6-utilization measurement).
     pub fn live_span_sectors(&self) -> u32 {
@@ -226,45 +233,75 @@ impl Log {
     }
 
     /// Writes the replicated meta pages (offsets 0 and 2 of the region).
-    pub fn write_meta(&self, disk: &mut SimDisk) -> Result<()> {
+    /// Both copies go out in one window (they are identical, so their
+    /// relative order is immaterial); a sector that fails is rewritten
+    /// and, if it fails again, remapped through `spare`.
+    pub fn write_meta(&self, disk: &mut SimDisk, spare: &mut SpareMap) -> Result<()> {
         let meta = LogMeta {
             oldest_offset: self.oldest.0,
             oldest_seq: self.oldest.1,
             boot_count: self.boot_count,
         };
         let bytes = meta.encode();
-        // Both copies in one window: they are identical, so their relative
-        // order is immaterial, and the scheduler takes whichever comes
-        // under the head first.
-        let mut batch = IoBatch::new();
-        batch.push(IoOp::Write {
-            start: self.start,
-            data: bytes.clone(),
-        });
-        batch.push(IoOp::Write {
-            start: self.start + 2,
-            data: bytes,
-        });
-        sched::execute(disk, self.policy, &batch)?;
-        Ok(())
+        spare::scrub_batch(
+            disk,
+            self.policy,
+            spare,
+            vec![(self.start, bytes.clone()), (self.start + 2, bytes)],
+        )
     }
 
-    /// Reads the meta page, falling back to the replica on damage.
-    pub fn read_meta(disk: &mut SimDisk, log_start: SectorAddr) -> Result<LogMeta> {
+    /// Reads the meta page, falling back to the replica on damage — and
+    /// *scrubbing* the failed copy from the survivor's bytes on the way,
+    /// so a second media fault cannot strand the volume with a single
+    /// copy. A copy whose rewrite also fails is remapped through `spare`.
+    pub fn read_meta(
+        disk: &mut SimDisk,
+        policy: IoPolicy,
+        spare: &mut SpareMap,
+        log_start: SectorAddr,
+    ) -> Result<LogMeta> {
+        let mut good: Option<(LogMeta, Vec<u8>)> = None;
+        let mut damaged: Vec<SectorAddr> = Vec::new();
+        let mut stale: Vec<SectorAddr> = Vec::new();
         for addr in [log_start, log_start + 2] {
-            match disk.read(addr, 1) {
-                Ok(bytes) => {
-                    if let Ok(meta) = LogMeta::decode(&bytes) {
-                        return Ok(meta);
+            let (bytes, mask) = spare
+                .read_allow_damage(disk, addr, 1)
+                .map_err(FsdError::Disk)?;
+            if mask[0] {
+                damaged.push(addr);
+                continue;
+            }
+            match LogMeta::decode(&bytes) {
+                Ok(meta) => {
+                    if good.is_none() {
+                        good = Some((meta, bytes));
                     }
                 }
-                Err(cedar_disk::DiskError::Crashed) => {
-                    return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
-                }
-                Err(_) => continue,
+                Err(_) => stale.push(addr),
             }
         }
-        Err(FsdError::Check("both log meta copies unreadable".into()))
+        let Some((meta, bytes)) = good else {
+            return Err(FsdError::Check("both log meta copies unreadable".into()));
+        };
+        if !damaged.is_empty() || !stale.is_empty() {
+            for &addr in &damaged {
+                spare.note_damaged(addr);
+            }
+            let writes = damaged
+                .iter()
+                .chain(&stale)
+                .map(|&addr| (addr, bytes.clone()))
+                .collect();
+            if let Err(e) = spare::scrub_batch(disk, policy, spare, writes) {
+                if e.is_crash() {
+                    return Err(e);
+                }
+                // The scrub could not stick (spare slots exhausted): the
+                // surviving copy still serves this boot.
+            }
+        }
+        Ok(meta)
     }
 
     /// Appends one record. `flush` is called once for each third the
@@ -277,9 +314,10 @@ impl Log {
     pub fn append(
         &mut self,
         disk: &mut SimDisk,
+        spare: &mut SpareMap,
         images: &[(PageTarget, Vec<u8>)],
         group_end: bool,
-        mut flush: impl FnMut(&mut SimDisk, u8) -> Result<()>,
+        mut flush: impl FnMut(&mut SimDisk, &mut SpareMap, u8) -> Result<()>,
     ) -> Result<(u64, u8)> {
         let n = images.len();
         if n == 0 || n > self.max_images {
@@ -303,7 +341,7 @@ impl Log {
             entered.push(t_end);
         }
         for &t in &entered {
-            flush(disk, t)?;
+            flush(disk, spare, t)?;
             // Drop live records in the reclaimed third.
             while let Some(front) = self.live.front() {
                 if self.third_of(front.offset) == t {
@@ -317,7 +355,7 @@ impl Log {
                 .front()
                 .map(|r| (r.offset, r.seq))
                 .unwrap_or((pos, self.next_seq));
-            self.write_meta(disk)?;
+            self.write_meta(disk, spare)?;
             self.current_third = t;
         }
 
@@ -334,30 +372,41 @@ impl Log {
         // scheduler reorders within each window.
         let n = n as u32;
         let at = |sector: u32| self.start + pos + sector;
-        let sector_range = |lo: u32, hi: u32| {
-            bytes[lo as usize * SECTOR_BYTES..hi as usize * SECTOR_BYTES].to_vec()
-        };
-        let mut batch = IoBatch::new();
-        // Window 1: H, blank, H', D₁..Dₙ (contiguous) and D₁'..Dₙ'.
-        batch.push(IoOp::Write {
-            start: at(0),
-            data: sector_range(0, 3 + n),
-        });
-        batch.push(IoOp::Write {
-            start: at(4 + n),
-            data: sector_range(4 + n, 4 + 2 * n),
-        });
-        batch.barrier();
-        // Window 2: the commit record — E and its copy E'.
-        batch.push(IoOp::Write {
-            start: at(3 + n),
-            data: sector_range(3 + n, 4 + n),
-        });
-        batch.push(IoOp::Write {
-            start: at(4 + 2 * n),
-            data: sector_range(4 + 2 * n, 5 + 2 * n),
-        });
-        sched::execute(disk, self.policy, &batch)?;
+        let sector_range =
+            |lo: u32, hi: u32| &bytes[lo as usize * SECTOR_BYTES..hi as usize * SECTOR_BYTES];
+        // Media faults inside the record are retried by rewriting the
+        // whole record — every sector is exclusively owned by it, so the
+        // rewrite is idempotent — escalating a twice-failed sector into a
+        // spare-region remap. The barrier holds in every round: the end
+        // pages only ever go out in a window after the headers and data
+        // landed, so a crash mid-retry still cannot yield an accepted
+        // record with missing data.
+        let mut done = false;
+        for _ in 0..spare::MAX_ROUNDS {
+            let mut batch = IoBatch::new();
+            let mut tags = Vec::new();
+            // Window 1: H, blank, H', D₁..Dₙ (contiguous) and D₁'..Dₙ'.
+            tags.extend(spare.push_write(&mut batch, at(0), sector_range(0, 3 + n)));
+            tags.extend(spare.push_write(&mut batch, at(4 + n), sector_range(4 + n, 4 + 2 * n)));
+            batch.barrier();
+            // Window 2: the commit record — E and its copy E'.
+            tags.extend(spare.push_write(&mut batch, at(3 + n), sector_range(3 + n, 4 + n)));
+            tags.extend(spare.push_write(
+                &mut batch,
+                at(4 + 2 * n),
+                sector_range(4 + 2 * n, 5 + 2 * n),
+            ));
+            let results = sched::execute_partial(disk, self.policy, &batch)?;
+            if !spare.absorb(&results, &tags)? {
+                done = true;
+                break;
+            }
+        }
+        if !done {
+            return Err(FsdError::Check(
+                "media-fault retry limit exceeded on log append".into(),
+            ));
+        }
         self.next_seq += 1;
         self.live.push_back(LiveRecord { offset: pos, seq });
         if self.live.len() == 1 {
@@ -526,35 +575,50 @@ impl ScanBuffer {
 
     /// Loads every not-yet-resident chunk covering `offset..offset + n`
     /// in one batched submission (adjacent chunks coalesce into single
-    /// transfers).
-    fn ensure(&mut self, disk: &mut SimDisk, offset: u32, n: u32) -> Result<()> {
+    /// transfers). Chunk reads split wherever the remap table makes the
+    /// physical run discontiguous, so a remapped log sector is read from
+    /// its spare-region home.
+    fn ensure(&mut self, disk: &mut SimDisk, spare: &SpareMap, offset: u32, n: u32) -> Result<()> {
         let lo = offset / self.chunk;
         let hi = (offset + n - 1) / self.chunk;
         let mut batch = IoBatch::new();
         let mut pending: Vec<(u32, usize)> = Vec::new();
+        let mut chunks: Vec<u32> = Vec::new();
         for c in lo..=hi {
             if self.loaded[c as usize] {
                 continue;
             }
             let s = c * self.chunk;
             let e = (s + self.chunk).min(self.log_size);
-            let idx = batch.push(IoOp::ReadAllowDamage {
-                start: self.log_start + s,
-                n: (e - s) as usize,
-            });
-            pending.push((c, idx));
+            let mut i = s;
+            while i < e {
+                let phys = spare.translate(self.log_start + i);
+                let mut len = 1u32;
+                while i + len < e && spare.translate(self.log_start + i + len) == phys + len {
+                    len += 1;
+                }
+                let idx = batch.push(IoOp::ReadAllowDamage {
+                    start: phys,
+                    n: len as usize,
+                });
+                pending.push((i, idx));
+                i += len;
+            }
+            chunks.push(c);
         }
         if batch.is_empty() {
             return Ok(());
         }
         let mut out = sched::execute(disk, IoPolicy::Cscan, &batch)?;
-        for (c, idx) in pending.into_iter().rev() {
+        for (s, idx) in pending.into_iter().rev() {
             let (bytes, dmg) = std::mem::replace(&mut out[idx], cedar_disk::IoOutput::Done)
                 .into_data_mask()
                 .ok_or_else(|| FsdError::Check("scheduler returned a non-data output".into()))?;
-            let s = (c * self.chunk) as usize;
+            let s = s as usize;
             self.data[s * SECTOR_BYTES..s * SECTOR_BYTES + bytes.len()].copy_from_slice(&bytes);
             self.mask[s..s + dmg.len()].copy_from_slice(&dmg);
+        }
+        for c in chunks {
             self.loaded[c as usize] = true;
         }
         Ok(())
@@ -562,8 +626,14 @@ impl ScanBuffer {
 
     /// Reads `n` sectors at `offset` (within the log region), with the
     /// same damage semantics as `SimDisk::read_allow_damage`.
-    fn read(&mut self, disk: &mut SimDisk, offset: u32, n: u32) -> Result<(Vec<u8>, Vec<bool>)> {
-        self.ensure(disk, offset, n)?;
+    fn read(
+        &mut self,
+        disk: &mut SimDisk,
+        spare: &SpareMap,
+        offset: u32,
+        n: u32,
+    ) -> Result<(Vec<u8>, Vec<bool>)> {
+        self.ensure(disk, spare, offset, n)?;
         let s = offset as usize;
         let e = s + n as usize;
         Ok((
@@ -578,6 +648,7 @@ impl ScanBuffer {
 /// starts there (end of log, torn write, or unrecoverable damage).
 fn read_record_at(
     disk: &mut SimDisk,
+    spare: &SpareMap,
     buf: &mut ScanBuffer,
     log_size: u32,
     offset: u32,
@@ -588,7 +659,7 @@ fn read_record_at(
     }
     // Header pair: H at +0, H' at +2 (never both lost under the 1–2
     // consecutive sector failure model).
-    let (head_bytes, head_mask) = buf.read(disk, offset, 3)?;
+    let (head_bytes, head_mask) = buf.read(disk, spare, offset, 3)?;
     let header = [0usize, 2]
         .iter()
         .find_map(|&i| {
@@ -608,7 +679,7 @@ fn read_record_at(
         return Ok(None);
     }
     // Body: D₁..Dₙ, E, D₁'..Dₙ', E'.
-    let (body, mask) = buf.read(disk, offset + 3, 2 * n + 2)?;
+    let (body, mask) = buf.read(disk, spare, offset + 3, 2 * n + 2)?;
     let sector = |i: usize| &body[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
     let end = [n as usize, (2 * n + 1) as usize]
         .iter()
@@ -664,6 +735,7 @@ pub fn scan_records(
     disk: &mut SimDisk,
     log_start: SectorAddr,
     log_size: u32,
+    spare: &SpareMap,
     meta: &LogMeta,
 ) -> Result<Vec<LogRecord>> {
     let mut buf = ScanBuffer::new(disk, log_start, log_size);
@@ -674,7 +746,7 @@ pub fn scan_records(
         if pos + 5 > log_size {
             pos = DATA_START;
         }
-        match read_record_at(disk, &mut buf, log_size, pos, expected)? {
+        match read_record_at(disk, spare, &mut buf, log_size, pos, expected)? {
             Some((rec, len)) => {
                 records.push(rec);
                 pos += len;
@@ -684,7 +756,7 @@ pub fn scan_records(
                 // The writer may have wrapped where we did not expect it.
                 if pos != DATA_START {
                     if let Some((rec, len)) =
-                        read_record_at(disk, &mut buf, log_size, DATA_START, expected)?
+                        read_record_at(disk, spare, &mut buf, log_size, DATA_START, expected)?
                     {
                         records.push(rec);
                         pos = DATA_START + len;
@@ -724,7 +796,7 @@ mod tests {
         (PageTarget::NtSector { page, sector }, img(tag))
     }
 
-    fn no_flush(_: &mut SimDisk, _: u8) -> Result<()> {
+    fn no_flush(_: &mut SimDisk, _: &mut SpareMap, _: u8) -> Result<()> {
         Ok(())
     }
 
@@ -741,19 +813,27 @@ mod tests {
     #[test]
     fn append_then_scan_roundtrip() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        log.append(&mut d, &[nt(5, 0, 0xAA), nt(5, 1, 0xBB)], true, no_flush)
-            .unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         log.append(
             &mut d,
+            &mut sp,
+            &[nt(5, 0, 0xAA), nt(5, 1, 0xBB)],
+            true,
+            no_flush,
+        )
+        .unwrap();
+        log.append(
+            &mut d,
+            &mut sp,
             &[(PageTarget::Leader { addr: 900 }, img(0xCC))],
             true,
             no_flush,
         )
         .unwrap();
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].seq, 1);
         assert_eq!(recs[0].images.len(), 2);
@@ -768,10 +848,11 @@ mod tests {
     #[test]
     fn empty_log_scans_to_nothing() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        assert!(scan_records(&mut d, LOG_START, LOG_SIZE, &meta)
+        log.write_meta(&mut d, &mut sp).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        assert!(scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta)
             .unwrap()
             .is_empty());
     }
@@ -779,24 +860,110 @@ mod tests {
     #[test]
     fn meta_survives_first_copy_damage() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         d.damage_sector(LOG_START);
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
         assert_eq!(meta.oldest_offset, DATA_START);
+    }
+
+    #[test]
+    fn read_meta_scrubs_damaged_copy_back() {
+        let mut d = disk();
+        let mut sp = SpareMap::disabled();
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        d.damage_sector(LOG_START);
+        Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        // The damaged copy A was rewritten from copy B: both copies now
+        // read clean, so a follow-on fault on copy B is survivable.
+        assert_eq!(sp.scrubbed, 1);
+        let (_, mask) = d.read_allow_damage(LOG_START, 1).unwrap();
+        assert_eq!(mask, vec![false]);
+    }
+
+    #[test]
+    fn both_meta_copies_lost_is_a_check_error() {
+        let mut d = disk();
+        let mut sp = SpareMap::disabled();
+        let log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        d.hard_damage_sector(LOG_START);
+        d.hard_damage_sector(LOG_START + 2);
+        let err = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap_err();
+        assert!(matches!(err, FsdError::Check(_)), "{err}");
+    }
+
+    #[test]
+    fn append_remaps_grown_log_sector_and_commits() {
+        use cedar_disk::FaultPlan;
+        let mut d = disk();
+        // Spare slots at sectors 10..14; the whole log region remappable.
+        let mut sp = SpareMap::new(10, 4, vec![(LOG_START, LOG_START + LOG_SIZE)]);
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        // A grown defect under D₁ of the first record (offset 3 + 3).
+        d.set_fault_plan(&FaultPlan::none().with_grown(LOG_START + DATA_START + 3));
+        log.append(
+            &mut d,
+            &mut sp,
+            &[nt(1, 0, 0x5A), nt(2, 0, 0x6B)],
+            true,
+            no_flush,
+        )
+        .unwrap();
+        assert_eq!(sp.remapped, 1);
+        // The record replays whole through the remap table.
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].images[0].1, img(0x5A));
+    }
+
+    #[test]
+    fn append_scrubs_latent_log_sector() {
+        use cedar_disk::FaultPlan;
+        let mut d = disk();
+        let mut sp = SpareMap::disabled();
+        let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        // A latent flaw under the end page: discovered by the write,
+        // repaired by the rewrite, no remap needed.
+        d.set_fault_plan(&FaultPlan::none().with_latent(LOG_START + DATA_START + 5));
+        log.append(
+            &mut d,
+            &mut sp,
+            &[nt(1, 0, 0x11), nt(2, 0, 0x22)],
+            true,
+            no_flush,
+        )
+        .unwrap();
+        assert_eq!(sp.scrubbed, 1);
+        assert_eq!(sp.remapped, 0);
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
+        assert_eq!(recs.len(), 1);
     }
 
     #[test]
     fn single_damaged_data_sector_recovered_from_copy() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
-            .unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        log.append(
+            &mut d,
+            &mut sp,
+            &[nt(1, 0, 0x11), nt(2, 0, 0x22)],
+            true,
+            no_flush,
+        )
+        .unwrap();
         // Damage the first data original (record at offset 3; D₁ at +3).
         d.damage_sector(LOG_START + DATA_START + 3);
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].images[0].1, img(0x11));
     }
@@ -804,16 +971,23 @@ mod tests {
     #[test]
     fn two_adjacent_damaged_sectors_recovered() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        log.append(&mut d, &[nt(1, 0, 0x11), nt(2, 0, 0x22)], true, no_flush)
-            .unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        log.append(
+            &mut d,
+            &mut sp,
+            &[nt(1, 0, 0x11), nt(2, 0, 0x22)],
+            true,
+            no_flush,
+        )
+        .unwrap();
         // The paper's failure model: two consecutive sectors die. Take out
         // D₂ and E (offsets +4 and +5 of the record at 3).
         d.damage_sector(LOG_START + DATA_START + 4);
         d.damage_sector(LOG_START + DATA_START + 5);
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].images[1].1, img(0x22));
     }
@@ -821,13 +995,15 @@ mod tests {
     #[test]
     fn header_damage_recovered_from_copy() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        log.append(&mut d, &[nt(1, 0, 3)], true, no_flush).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        log.append(&mut d, &mut sp, &[nt(1, 0, 3)], true, no_flush)
+            .unwrap();
         d.damage_sector(LOG_START + DATA_START); // H
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
         assert_eq!(
-            scan_records(&mut d, LOG_START, LOG_SIZE, &meta)
+            scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta)
                 .unwrap()
                 .len(),
             1
@@ -837,9 +1013,11 @@ mod tests {
     #[test]
     fn torn_record_write_is_not_replayed() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
-        log.append(&mut d, &[nt(1, 0, 1)], true, no_flush).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
+        log.append(&mut d, &mut sp, &[nt(1, 0, 1)], true, no_flush)
+            .unwrap();
         // Second append crashes after 4 sectors (H, blank, H', D₁) — the
         // end page never lands.
         d.schedule_crash(CrashPlan {
@@ -847,12 +1025,12 @@ mod tests {
             damaged_tail: 1,
         });
         let err = log
-            .append(&mut d, &[nt(2, 0, 2), nt(3, 0, 3)], true, no_flush)
+            .append(&mut d, &mut sp, &[nt(2, 0, 2), nt(3, 0, 3)], true, no_flush)
             .unwrap_err();
         assert!(err.is_crash());
         d.reboot();
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         assert_eq!(recs.len(), 1, "only the first record survives");
         assert_eq!(recs[0].seq, 1);
     }
@@ -860,16 +1038,18 @@ mod tests {
     #[test]
     fn wraparound_chain_scans_correctly() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         // Each 10-image record is 25 sectors; 300/25 = 12 per lap. Write
         // 30: the log wraps twice.
         for i in 0..30u8 {
             let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
-            log.append(&mut d, &images, true, no_flush).unwrap();
+            log.append(&mut d, &mut sp, &images, true, no_flush)
+                .unwrap();
         }
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         assert!(!recs.is_empty());
         // The chain is consecutive and ends at the newest record.
         for w in recs.windows(2) {
@@ -882,13 +1062,14 @@ mod tests {
     #[test]
     fn flush_called_once_per_entered_third() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         let mut entered: Vec<u8> = Vec::new();
         // 25-sector records; third boundaries at offsets 3, 103, 203.
         for i in 0..13u8 {
             let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
-            log.append(&mut d, &images, true, |_, t| {
+            log.append(&mut d, &mut sp, &images, true, |_, _, t| {
                 entered.push(t);
                 Ok(())
             })
@@ -905,12 +1086,14 @@ mod tests {
     #[test]
     fn log_utilization_approaches_five_sixths() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         let mut samples = Vec::new();
         for i in 0..200u32 {
             let images: Vec<_> = (0..10).map(|j| nt(j, 0, i as u8)).collect();
-            log.append(&mut d, &images, true, no_flush).unwrap();
+            log.append(&mut d, &mut sp, &images, true, no_flush)
+                .unwrap();
             if i > 50 {
                 samples.push(log.live_span_sectors() as f64 / log.data_sectors() as f64);
             }
@@ -925,14 +1108,16 @@ mod tests {
     #[test]
     fn stale_records_from_previous_lap_not_replayed() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
-        log.write_meta(&mut d).unwrap();
+        log.write_meta(&mut d, &mut sp).unwrap();
         for i in 0..20u8 {
             let images: Vec<_> = (0..10).map(|j| nt(j, 0, i)).collect();
-            log.append(&mut d, &images, true, no_flush).unwrap();
+            log.append(&mut d, &mut sp, &images, true, no_flush)
+                .unwrap();
         }
-        let meta = Log::read_meta(&mut d, LOG_START).unwrap();
-        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &meta).unwrap();
+        let meta = Log::read_meta(&mut d, IoPolicy::InOrder, &mut sp, LOG_START).unwrap();
+        let recs = scan_records(&mut d, LOG_START, LOG_SIZE, &sp, &meta).unwrap();
         // Every replayed record must carry a seq >= the meta pointer's.
         assert!(recs.iter().all(|r| r.seq >= meta.oldest_seq));
         // And the newest record is present.
@@ -942,9 +1127,12 @@ mod tests {
     #[test]
     fn oversized_record_rejected() {
         let mut d = disk();
+        let mut sp = SpareMap::disabled();
         let mut log = Log::fresh(LOG_START, LOG_SIZE, 1).unwrap();
         let images: Vec<_> = (0..49).map(|j| nt(j, 0, 0)).collect();
-        let err = log.append(&mut d, &images, true, no_flush).unwrap_err();
+        let err = log
+            .append(&mut d, &mut sp, &images, true, no_flush)
+            .unwrap_err();
         assert!(matches!(err, FsdError::Check(_)), "{err}");
     }
 

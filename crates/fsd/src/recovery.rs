@@ -11,21 +11,52 @@
 //! scavenge) to 25 seconds worst case (log redo plus VAM rebuild).
 //! Recovery is idempotent — a crash *during* recovery simply means the
 //! next boot redoes the same images.
-
+//!
+//! # The escalation ladder
+//!
+//! Media faults (§5.8) escalate recovery through three rungs, reported in
+//! [`RecoveryReport::rung`]:
+//!
+//! 1. **Redo** — the plain log replay above; every structure read clean.
+//! 2. **Replica scrub** — some replicated structure (boot page, log meta,
+//!    log record sector, saved VAM, name-table page) had a damaged copy.
+//!    The survivor serves the read and the damaged copy is rewritten from
+//!    it; a sector that stays bad after the rewrite is remapped into the
+//!    spare region ([`crate::spare::SpareMap`]).
+//! 3. **Scavenge** — the log (or the name table it protects) is beyond
+//!    replica repair. The volume is rebuilt from leader pages alone
+//!    ([`crate::scavenge`]), the way CFS recovered from hardware labels.
 use crate::cache::{FsdNtStore, NtCache, NtMeta};
 use crate::layout::{FsdBootPage, FsdLayout};
+use crate::leader::LeaderPage;
 use crate::log::{self, Log, PageTarget};
+use crate::scavenge::{self, ScavengeSummary};
+use crate::spare::{self, SpareMap};
 use crate::volume::{FsdConfig, FsdVolume};
 use crate::{FsdError, Result};
 use cedar_btree::BTree;
 use cedar_disk::clock::Micros;
-use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
-use cedar_disk::{Cpu, SimDisk};
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy, OpResult};
+use cedar_disk::{Cpu, SectorAddr, SimDisk, SECTOR_BYTES};
 use cedar_vol::{AllocPolicy, Allocator, Run, Vam};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The highest recovery rung a boot had to climb to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryRung {
+    /// Plain log redo; every structure read clean.
+    #[default]
+    Redo,
+    /// At least one replicated structure was repaired from its survivor
+    /// copy (scrubbed in place or remapped to a spare sector).
+    ReplicaScrub,
+    /// The log was beyond replica repair: the volume was rebuilt from
+    /// leader pages.
+    Scavenge,
+}
 
 /// What boot-time recovery did.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Log records replayed.
     pub records_replayed: u64,
@@ -40,18 +71,29 @@ pub struct RecoveryReport {
     pub redo_us: Micros,
     /// Simulated time spent loading or reconstructing the VAM.
     pub vam_us: Micros,
+    /// The highest rung of the escalation ladder this boot reached.
+    pub rung: RecoveryRung,
+    /// Damaged sectors rewritten in place from a surviving replica.
+    pub scrubbed_sectors: u64,
+    /// Permanently bad sectors remapped into the spare region.
+    pub remapped_sectors: u64,
+    /// Simulated time spent scavenging (rung 3 only).
+    pub scavenge_us: Micros,
+    /// What the scavenger found and lost (rung 3 only).
+    pub scavenge: Option<ScavengeSummary>,
 }
 
 impl RecoveryReport {
     /// Total recovery time.
     pub fn total_us(&self) -> Micros {
-        self.redo_us + self.vam_us
+        self.redo_us + self.vam_us + self.scavenge_us
     }
 }
 
 impl FsdVolume {
     /// Boots an FSD volume: replays the log, then loads or reconstructs
-    /// the VAM. This is the whole of FSD crash recovery.
+    /// the VAM — escalating to a replica scrub or a full scavenge when
+    /// the media demands it. This is the whole of FSD crash recovery.
     pub fn boot(disk: SimDisk, config: FsdConfig) -> Result<(FsdVolume, RecoveryReport)> {
         Self::try_boot(disk, config).map_err(|(e, _)| e)
     }
@@ -70,10 +112,13 @@ impl FsdVolume {
         let cpu = Cpu::new(disk.clock(), config.cpu);
         let mut report = RecoveryReport::default();
 
-        let (boot, vam_was_valid) =
+        let (boot, vam_was_valid, spare) =
             match redo_phase(&mut disk, &layout, &cpu, config.io_policy, &mut report) {
                 Ok(x) => x,
-                Err(e) => return Err((e, disk)),
+                Err(e) if e.is_crash() => return Err((e, disk)),
+                // Rung 3: the log chain (or a structure it needs) is
+                // beyond replica repair — rebuild from leader pages.
+                Err(e) => return scavenge::scavenge_boot(disk, config, report, e),
             };
 
         let (dlo, dhi) = layout.data_area();
@@ -108,12 +153,23 @@ impl FsdVolume {
             vam_baseline: None,
             vam_home: HashMap::new(),
             io_policy: config.io_policy,
+            spare,
         };
         vol.last_force = vol.clock().now();
 
         match vol.finish_boot(vam_was_valid, &mut report) {
-            Ok(()) => Ok((vol, report)),
-            Err(e) => Err((e, vol.into_disk())),
+            Ok(()) => {
+                report.scrubbed_sectors += vol.spare.scrubbed;
+                report.remapped_sectors += vol.spare.remapped;
+                if report.scrubbed_sectors + report.remapped_sectors > 0 {
+                    report.rung = RecoveryRung::ReplicaScrub;
+                }
+                Ok((vol, report))
+            }
+            Err(e) if e.is_crash() => Err((e, vol.into_disk())),
+            // Rung 3 from phase 2: the name table itself (needed for the
+            // VAM rebuild) is beyond replica repair.
+            Err(e) => scavenge::scavenge_boot(vol.into_disk(), config, report, e),
         }
     }
 
@@ -124,6 +180,8 @@ impl FsdVolume {
                 disk: &mut self.disk,
                 cpu: &self.cpu,
                 layout: &self.layout,
+                policy: self.io_policy,
+                spare: &mut self.spare,
                 cache: &mut self.cache,
                 pending: &mut self.pending_pages,
             };
@@ -141,7 +199,12 @@ impl FsdVolume {
         let trust_saved = vam_was_valid || self.boot.vam_logged;
         let mut need_rebuild = !trust_saved;
         if trust_saved {
-            match read_saved_vam(&mut self.disk, &self.layout) {
+            match read_saved_vam(
+                &mut self.disk,
+                &self.layout,
+                self.io_policy,
+                &mut self.spare,
+            ) {
                 Ok(vam) => self.vam = vam,
                 Err(e) if e.is_crash() => return Err(e),
                 // §5.8, error class 4: "the VAM can have disk errors;
@@ -182,6 +245,8 @@ impl FsdVolume {
                 disk: &mut self.disk,
                 cpu: &self.cpu,
                 layout: &self.layout,
+                policy: self.io_policy,
+                spare: &mut self.spare,
                 cache: &mut self.cache,
                 pending: &mut self.pending_pages,
             };
@@ -213,21 +278,24 @@ fn redo_phase(
     cpu: &Cpu,
     policy: IoPolicy,
     report: &mut RecoveryReport,
-) -> Result<(FsdBootPage, bool)> {
+) -> Result<(FsdBootPage, bool, SpareMap)> {
     let t0 = disk.clock().now();
 
-    // Boot page: copy A, falling back to copy B (§5.8, error class 5).
-    let mut boot = read_boot_page(disk, layout)?;
+    // Boot page: copy A, falling back to copy B (§5.8, error class 5),
+    // scrubbing a damaged copy back from the survivor. The remap table
+    // lives here, so it is available before any other structure is read.
+    let mut boot = read_boot_page(disk, layout, report)?;
+    let mut spare = SpareMap::with_entries(layout, &boot.spare_map);
 
     // Log redo: read the chain from the replicated meta pointer, compute
     // the final image of every touched sector in memory (records are in
     // sequence order, so the last image of a sector wins), then write
     // everything home in one sorted sweep with contiguous sectors merged
     // into single transfers. This is what keeps redo under two seconds.
-    let meta = Log::read_meta(disk, layout.log_start)?;
-    let records = log::scan_records(disk, layout.log_start, layout.log_sectors, &meta)?;
-    let mut final_images: std::collections::BTreeMap<u32, Vec<u8>> =
-        std::collections::BTreeMap::new();
+    let meta = Log::read_meta(disk, policy, &mut spare, layout.log_start)?;
+    let records = log::scan_records(disk, layout.log_start, layout.log_sectors, &spare, &meta)?;
+    let mut final_images: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
+    let mut leader_images: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
     for rec in &records {
         for (target, img) in &rec.images {
             match target {
@@ -236,7 +304,7 @@ fn redo_phase(
                     final_images.insert(layout.nt_b_sector(*page) + sector, img.clone());
                 }
                 PageTarget::Leader { addr } => {
-                    final_images.insert(*addr, img.clone());
+                    leader_images.insert(*addr, img.clone());
                 }
                 PageTarget::VamSector { index } => {
                     final_images.insert(layout.vam_a + index, img.clone());
@@ -252,63 +320,201 @@ fn redo_phase(
         // One write per sector, one window: the addresses are unique, the
         // map iterates in sorted order, and the scheduler coalesces
         // contiguous runs into single transfers.
-        let mut redo = IoBatch::new();
-        for (addr, img) in &final_images {
-            redo.push(IoOp::Write {
-                start: *addr,
-                data: img.clone(),
-            });
-        }
-        sched::execute(disk, policy, &redo)?;
+        spare::write_home_batch(disk, policy, &mut spare, final_images.into_iter().collect())?;
     }
+    redo_leaders(disk, policy, &spare, leader_images)?;
 
-    // New epoch: bump the boot count, clear the VAM flag on disk, and
-    // start a fresh (empty) log — the homes are now current. The redo
-    // sweep above was submitted separately, so it is durable before the
-    // boot pages change.
+    // New epoch: bump the boot count, clear the VAM flag on disk, record
+    // any sectors the sweep remapped, and start a fresh (empty) log — the
+    // homes are now current. The redo sweep above was submitted
+    // separately, so it is durable before the boot pages change.
     let vam_was_valid = boot.vam_valid;
     boot.boot_count += 1;
     boot.vam_valid = false;
+    boot.spare_map = spare.entries().to_vec();
+    spare.take_dirty();
     crate::layout::write_replicas(disk, policy, layout.boot_a, layout.boot_b, boot.encode())?;
     let mut fresh = Log::fresh(layout.log_start, layout.log_sectors, boot.boot_count)?;
     fresh.set_policy(policy);
-    fresh.write_meta(disk)?;
+    fresh.write_meta(disk, &mut spare)?;
     report.redo_us = disk.clock().now() - t0;
-    Ok((boot, vam_was_valid))
+    Ok((boot, vam_was_valid, spare))
 }
 
-/// Reads the boot page, preferring copy A.
-fn read_boot_page(disk: &mut SimDisk, layout: &FsdLayout) -> Result<FsdBootPage> {
+/// Applies logged leader images to their home sectors, best-effort.
+///
+/// Two guards protect sectors the log no longer speaks for:
+///
+/// * a home sector that decodes as a leader with a *newer* uid was
+///   reallocated and rewritten after this record was logged — skip;
+/// * a home sector that no longer decodes as a leader at all was
+///   reallocated as a **data** page (data writes are synchronous and
+///   never logged) — applying the stale leader would clobber it — skip.
+///
+/// And because the leader is a cross-check, "not ... needed for
+/// operation" (§5.2), a data-area sector that stays bad under the
+/// rewrite loses the check, never the boot: unlike the metadata sweep,
+/// persistent failures here are dropped, not escalated.
+fn redo_leaders(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    spare: &SpareMap,
+    images: BTreeMap<u32, Vec<u8>>,
+) -> Result<()> {
+    let mut writes: Vec<(SectorAddr, Vec<u8>)> = Vec::new();
+    for (addr, img) in images {
+        let (bytes, mask) = spare
+            .read_allow_damage(disk, addr, 1)
+            .map_err(FsdError::Disk)?;
+        let apply = if mask[0] {
+            true // Damaged home: the logged image is the only copy left.
+        } else {
+            match (LeaderPage::decode(&bytes), LeaderPage::decode(&img)) {
+                (Ok(home), Ok(logged)) => logged.uid >= home.uid,
+                (Ok(_), Err(_)) => true,
+                (Err(_), _) => false, // Reallocated as a data page.
+            }
+        };
+        if apply {
+            writes.push((addr, img));
+        }
+    }
+    for _ in 0..2 {
+        if writes.is_empty() {
+            return Ok(());
+        }
+        let mut batch = IoBatch::new();
+        let idxs: Vec<usize> = writes
+            .iter()
+            .map(|(addr, img)| {
+                batch.push(IoOp::Write {
+                    start: *addr,
+                    data: img.clone(),
+                })
+            })
+            .collect();
+        let results = sched::execute_partial(disk, policy, &batch)?;
+        let mut keep = Vec::new();
+        for (w, idx) in writes.into_iter().zip(idxs) {
+            if !matches!(results[idx], OpResult::Ok(_)) {
+                keep.push(w);
+            }
+        }
+        writes = keep;
+    }
+    Ok(())
+}
+
+/// Reads the boot page, preferring copy A and scrubbing a damaged copy
+/// back from the survivor. Boot pages sit outside the remappable ranges
+/// (the map must be readable before it can be applied), so replication
+/// is their only defence: a scrub rewrite that fails too is dropped.
+fn read_boot_page(
+    disk: &mut SimDisk,
+    layout: &FsdLayout,
+    report: &mut RecoveryReport,
+) -> Result<FsdBootPage> {
+    let mut good: Option<FsdBootPage> = None;
+    let mut bad: Vec<SectorAddr> = Vec::new();
     for addr in [layout.boot_a, layout.boot_b] {
         match disk.read(addr, 1) {
-            Ok(bytes) => {
-                if let Ok(b) = FsdBootPage::decode(&bytes) {
-                    return Ok(b);
+            Ok(bytes) => match FsdBootPage::decode(&bytes) {
+                Ok(b) => {
+                    if good.is_none() {
+                        good = Some(b);
+                    }
                 }
-            }
+                Err(_) => bad.push(addr),
+            },
             Err(cedar_disk::DiskError::Crashed) => {
                 return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
             }
-            Err(_) => continue,
+            Err(_) => bad.push(addr),
         }
     }
-    Err(FsdError::Check("both boot page copies unreadable".into()))
+    let Some(boot) = good else {
+        return Err(FsdError::Check("both boot page copies unreadable".into()));
+    };
+    if !bad.is_empty() {
+        let bytes = boot.encode();
+        for addr in bad {
+            match disk.write(addr, &bytes) {
+                Ok(()) => report.scrubbed_sectors += 1,
+                Err(cedar_disk::DiskError::Crashed) => {
+                    return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
+                }
+                Err(_) => {}
+            }
+        }
+    }
+    Ok(boot)
 }
 
-/// Reads the saved VAM, falling back to its replica.
-fn read_saved_vam(disk: &mut SimDisk, layout: &FsdLayout) -> Result<Vam> {
-    for addr in [layout.vam_a, layout.vam_b] {
-        match disk.read(addr, layout.vam_sectors as usize) {
-            Ok(bytes) => {
-                if let Ok(v) = Vam::from_bytes(&bytes) {
-                    return Ok(v);
-                }
+/// Reads the saved VAM: per-sector cross-copy salvage (a sector damaged
+/// in one copy is taken from the other), then a scrub writing damaged
+/// sectors back from the survivor image.
+fn read_saved_vam(
+    disk: &mut SimDisk,
+    layout: &FsdLayout,
+    policy: IoPolicy,
+    spare: &mut SpareMap,
+) -> Result<Vam> {
+    let n = layout.vam_sectors as usize;
+    let (a, am) = spare
+        .read_allow_damage(disk, layout.vam_a, n)
+        .map_err(FsdError::Disk)?;
+    let (b, bm) = spare
+        .read_allow_damage(disk, layout.vam_b, n)
+        .map_err(FsdError::Disk)?;
+    // Prefer a whole clean copy; otherwise splice the readable sectors
+    // (both copies are written from one image in one window, so any mix
+    // that passes the checksum is that committed image).
+    let mut candidates: Vec<Vec<u8>> = Vec::new();
+    if !am.iter().any(|&d| d) {
+        candidates.push(a.clone());
+    }
+    if !bm.iter().any(|&d| d) {
+        candidates.push(b.clone());
+    }
+    if am.iter().zip(&bm).all(|(&x, &y)| !x || !y) {
+        let mut mix = a.clone();
+        for (i, &damaged) in am.iter().enumerate() {
+            let range = i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES;
+            if damaged {
+                mix[range.clone()].copy_from_slice(&b[range]);
             }
-            Err(cedar_disk::DiskError::Crashed) => {
-                return Err(FsdError::Disk(cedar_disk::DiskError::Crashed))
-            }
-            Err(_) => continue,
+        }
+        candidates.push(mix);
+    }
+    let mut chosen: Option<(Vam, Vec<u8>)> = None;
+    for c in candidates {
+        if let Ok(v) = Vam::from_bytes(&c) {
+            chosen = Some((v, c));
+            break;
         }
     }
-    Err(FsdError::Check("both VAM save copies unreadable".into()))
+    let Some((vam, image)) = chosen else {
+        return Err(FsdError::Check("both VAM save copies unreadable".into()));
+    };
+    // Scrub every damaged save-area sector back from the chosen image.
+    let mut writes: Vec<(SectorAddr, Vec<u8>)> = Vec::new();
+    for i in 0..n {
+        let range = i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES;
+        if am[i] {
+            spare.note_damaged(layout.vam_a + i as u32);
+            writes.push((layout.vam_a + i as u32, image[range.clone()].to_vec()));
+        }
+        if bm[i] {
+            spare.note_damaged(layout.vam_b + i as u32);
+            writes.push((layout.vam_b + i as u32, image[range].to_vec()));
+        }
+    }
+    if let Err(e) = spare::scrub_batch(disk, policy, spare, writes) {
+        if e.is_crash() {
+            return Err(e);
+        }
+        // Spare slots exhausted: the damage stays, but the image is in
+        // hand and the caller can still rebuild the VAM if it worsens.
+    }
+    Ok(vam)
 }

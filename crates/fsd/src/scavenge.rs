@@ -1,0 +1,362 @@
+//! The scavenger: last-rung recovery from leader pages alone.
+//!
+//! CFS "depended on the label check to catch errors" and could rebuild
+//! its metadata from the per-sector hardware labels — at the cost of an
+//! hour-long scan (§2, Table 2). FSD dropped the labels, so when *both*
+//! the log and its replicated anchors are beyond repair there is nothing
+//! for redo recovery to work with. The extended leader pages
+//! ([`crate::leader`]) restore the CFS property in software: each one
+//! carries the file's name key and full name-table entry under a
+//! checksum, so a sweep of the data areas can rebuild the name table and
+//! the free map from scratch.
+//!
+//! The scavenger is deliberately conservative:
+//!
+//! * a sector only counts as a leader if it decodes, its payload
+//!   checksum holds, its embedded entry points back at the sector it was
+//!   read from, and every run lies inside the data areas;
+//! * delete tombstones are honoured — a deleted file whose tombstone
+//!   reached the disk is not resurrected;
+//! * when two leaders claim the same name or the same sectors, the
+//!   higher uid (the later write) wins and the loss is reported;
+//! * everything it cannot prove is reported in [`ScavengeSummary`], not
+//!   silently dropped.
+//!
+//! Known, reported losses: symbolic links (no leader page), entries
+//! whose leader home write had not happened by the crash (recovered at
+//! their previous state), and files whose leader sector itself died.
+
+use crate::cache::{FsdNtStore, NtCache, NtMeta};
+use crate::entry::FileEntry;
+use crate::layout::{FsdBootPage, FsdLayout};
+use crate::leader::LeaderPage;
+use crate::log::Log;
+use crate::recovery::{RecoveryReport, RecoveryRung};
+use crate::spare::SpareMap;
+use crate::volume::{FsdConfig, FsdVolume, MAX_RUNS};
+use crate::{FsdError, Result};
+use cedar_btree::BTree;
+use cedar_disk::{Cpu, DiskError, SectorAddr, SimDisk, SECTOR_BYTES};
+use cedar_vol::{AllocPolicy, Allocator, FileName, Run, Vam};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// What a scavenge found, rebuilt, and lost.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScavengeSummary {
+    /// The redo-recovery error that forced the escalation.
+    pub cause: String,
+    /// Valid leader pages found in the data areas (live + tombstones).
+    pub leaders_found: u64,
+    /// Live files rebuilt into the fresh name table.
+    pub files_rebuilt: u64,
+    /// Delete tombstones honoured (files *not* resurrected).
+    pub tombstones: u64,
+    /// Data-area sectors that could not be read at all.
+    pub unreadable_sectors: u64,
+    /// Files dropped, with the reason (stale duplicate, overlapping
+    /// claims, undecodable payload).
+    pub losses: Vec<String>,
+}
+
+/// Rung 3 of recovery: rebuilds the volume from leader pages after
+/// `cause` stopped the redo path. Consumes the disk like
+/// [`FsdVolume::try_boot`] and extends its `report`.
+#[allow(clippy::result_large_err)]
+pub(crate) fn scavenge_boot(
+    mut disk: SimDisk,
+    config: FsdConfig,
+    mut report: RecoveryReport,
+    cause: FsdError,
+) -> std::result::Result<(FsdVolume, RecoveryReport), (FsdError, SimDisk)> {
+    let t0 = disk.clock().now();
+    let layout = FsdLayout::compute(disk.geometry(), config.nt_pages, config.log_sectors);
+    let cpu = Cpu::new(disk.clock(), config.cpu);
+
+    // Best-effort boot-page read: the old boot count (so new uids stay
+    // above every recovered one) and the remap table. Both have safe
+    // fallbacks — uids also carry their epoch, and a lost remap table
+    // only costs the remapped sectors, which the scan reports.
+    let (old_boot_count, spare_entries) = match old_boot_hint(&mut disk, &layout) {
+        Ok(x) => x,
+        Err(e) => return Err((e, disk)),
+    };
+    let spare = SpareMap::with_entries(&layout, &spare_entries);
+
+    let mut summary = ScavengeSummary {
+        cause: cause.to_string(),
+        ..Default::default()
+    };
+    let mut found: HashMap<Vec<u8>, LeaderPage> = HashMap::new();
+    if let Err(e) = scan_leaders(&mut disk, &layout, &mut summary, &mut found) {
+        return Err((e, disk));
+    }
+
+    // Dedup overlapping claims, newest (highest uid) first, honouring
+    // tombstones; collect the files to rebuild and the epoch floor.
+    let mut kept: Vec<LeaderPage> = found.into_values().collect();
+    kept.sort_by_key(|l| std::cmp::Reverse(l.uid));
+    let mut max_epoch = 0u32;
+    let mut claimed: HashSet<SectorAddr> = HashSet::new();
+    let mut files: Vec<(FileName, FileEntry)> = Vec::new();
+    for l in kept {
+        max_epoch = max_epoch.max((l.uid >> 32) as u32);
+        if l.deleted {
+            summary.tombstones += 1;
+            continue;
+        }
+        let (Ok(name), Ok(entry)) = (l.file_name(), l.entry()) else {
+            summary
+                .losses
+                .push(format!("uid {}: undecodable leader payload", l.uid));
+            continue;
+        };
+        let mut sectors: Vec<SectorAddr> = vec![entry.leader_addr];
+        for r in entry.run_table.runs() {
+            sectors.extend(r.start..r.end());
+        }
+        if sectors.iter().any(|s| claimed.contains(s)) {
+            summary
+                .losses
+                .push(format!("{name}: sectors overlap a newer file"));
+            continue;
+        }
+        claimed.extend(sectors);
+        files.push((name, entry));
+    }
+    summary.files_rebuilt = files.len() as u64;
+    let boot_count = old_boot_count.max(max_epoch) + 1;
+
+    // Free map: everything in the data areas except what the recovered
+    // files claim (the same §5.5 rule as a VAM rebuild).
+    let mut vam = Vam::new_all_allocated(layout.total_sectors);
+    vam.free_run(Run::new(
+        layout.small_start,
+        layout.nt_a_start - layout.small_start,
+    ));
+    vam.free_run(Run::new(
+        layout.central_end,
+        layout.total_sectors - layout.central_end,
+    ));
+    for (_, entry) in &files {
+        vam.allocate_run(Run::new(entry.leader_addr, 1));
+        for r in entry.run_table.runs() {
+            vam.allocate_run(*r);
+        }
+    }
+
+    // A fresh volume over the scavenged state — same skeleton as
+    // `FsdVolume::format`, but with the recovered VAM and entries.
+    let (dlo, dhi) = layout.data_area();
+    let log = match Log::fresh(layout.log_start, layout.log_sectors, boot_count) {
+        Ok(mut log) => {
+            log.set_policy(config.io_policy);
+            log
+        }
+        Err(e) => return Err((e, disk)),
+    };
+    let mut vol = FsdVolume {
+        log,
+        disk,
+        cpu,
+        layout,
+        boot: FsdBootPage {
+            boot_count,
+            vam_valid: false,
+            vam_logged: config.log_vam,
+            spare_map: spare.entries().to_vec(),
+        },
+        tree: BTree::open(0),
+        cache: NtCache::with_capacity(config.cache_pages),
+        pending_pages: BTreeSet::new(),
+        leaders: HashMap::new(),
+        vam,
+        alloc: Allocator::new(
+            AllocPolicy::SplitAreas {
+                small_threshold: config.small_threshold,
+            },
+            dlo,
+            dhi,
+        ),
+        uid_counter: 0,
+        last_force: 0,
+        commit_interval: config.commit_interval_us,
+        vam_hint_on_disk: false,
+        commit_stats: Default::default(),
+        vam_baseline: None,
+        vam_home: HashMap::new(),
+        io_policy: config.io_policy,
+        spare,
+    };
+    vol.last_force = vol.clock().now();
+
+    match rebuild(&mut vol, config, &files) {
+        Ok(()) => {
+            report.rung = RecoveryRung::Scavenge;
+            report.scrubbed_sectors += vol.spare.scrubbed;
+            report.remapped_sectors += vol.spare.remapped;
+            report.scavenge_us = vol.clock().now() - t0;
+            report.scavenge = Some(summary);
+            Ok((vol, report))
+        }
+        Err(e) => Err((e, vol.into_disk())),
+    }
+}
+
+/// Sweeps both data areas in track-sized chunks collecting provable
+/// leader pages; duplicates by name key resolve to the higher uid.
+fn scan_leaders(
+    disk: &mut SimDisk,
+    layout: &FsdLayout,
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
+) -> Result<()> {
+    let chunk = disk.geometry().sectors_per_track.max(1);
+    for (lo, hi) in [
+        (layout.small_start, layout.nt_a_start),
+        (layout.central_end, layout.total_sectors),
+    ] {
+        let mut at = lo;
+        while at < hi {
+            let n = chunk.min(hi - at);
+            let (bytes, mask) = disk
+                .read_allow_damage(at, n as usize)
+                .map_err(FsdError::Disk)?;
+            for i in 0..n as usize {
+                if mask[i] {
+                    summary.unreadable_sectors += 1;
+                    continue;
+                }
+                let sector = &bytes[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
+                let Ok(leader) = LeaderPage::decode(sector) else {
+                    continue;
+                };
+                consider(layout, summary, found, at + i as u32, leader);
+            }
+            at += n;
+        }
+    }
+    Ok(())
+}
+
+/// Admits a decoded leader if it proves it belongs at `addr`; resolves
+/// name-key duplicates to the higher uid.
+fn consider(
+    layout: &FsdLayout,
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
+    addr: SectorAddr,
+    leader: LeaderPage,
+) {
+    let Ok(entry) = leader.entry() else {
+        return;
+    };
+    // A logged or copied leader image elsewhere on disk points at its
+    // true home, not at the sector it was read from.
+    if entry.leader_addr != addr || !runs_sane(layout, &entry) {
+        return;
+    }
+    summary.leaders_found += 1;
+    match found.entry(leader.name_key.clone()) {
+        std::collections::hash_map::Entry::Occupied(mut o) => {
+            let (winner, loser) = if leader.uid > o.get().uid {
+                (Some(leader), o.get().clone())
+            } else {
+                (None, leader)
+            };
+            if !loser.deleted {
+                summary.losses.push(format!(
+                    "{}: stale duplicate uid {} superseded",
+                    loser
+                        .file_name()
+                        .map_or_else(|_| "<unnamed>".to_string(), |n| n.to_string()),
+                    loser.uid
+                ));
+            }
+            if let Some(w) = winner {
+                o.insert(w);
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(v) => {
+            v.insert(leader);
+        }
+    }
+}
+
+/// A recovered entry is only trusted if every sector it claims lies in
+/// the data areas.
+fn runs_sane(layout: &FsdLayout, entry: &FileEntry) -> bool {
+    let in_data = |start: SectorAddr, end: SectorAddr| {
+        (start >= layout.small_start && end <= layout.nt_a_start)
+            || (start >= layout.central_end && end <= layout.total_sectors)
+    };
+    entry.run_table.runs().len() <= MAX_RUNS
+        && in_data(entry.leader_addr, entry.leader_addr + 1)
+        && entry
+            .run_table
+            .runs()
+            .iter()
+            .all(|r| r.len > 0 && in_data(r.start, r.end()))
+}
+
+/// Writes the scavenged state out as a fresh, fully durable volume:
+/// empty log, new name table holding the recovered entries, saved VAM.
+fn rebuild(vol: &mut FsdVolume, config: FsdConfig, files: &[(FileName, FileEntry)]) -> Result<()> {
+    {
+        let FsdVolume {
+            ref mut log,
+            ref mut disk,
+            ref mut spare,
+            ..
+        } = *vol;
+        log.write_meta(disk, spare)?;
+    }
+    {
+        let mut store = FsdNtStore {
+            disk: &mut vol.disk,
+            cpu: &vol.cpu,
+            layout: &vol.layout,
+            policy: vol.io_policy,
+            spare: &mut vol.spare,
+            cache: &mut vol.cache,
+            pending: &mut vol.pending_pages,
+        };
+        use cedar_btree::PageStore;
+        store.write_page(0, &NtMeta::new(vol.layout.nt_pages).encode())?;
+        vol.tree = BTree::create(&mut store)?;
+    }
+    for (name, entry) in files {
+        vol.put_entry(name, entry)?;
+    }
+    vol.force()?;
+    vol.sync_home_all()?;
+    vol.save_vam_and_mark_valid()?;
+    if config.log_vam {
+        vol.vam_baseline = Some(vol.padded_vam_bytes());
+    }
+    Ok(())
+}
+
+/// Best-effort read of the old boot pages for the boot count and the
+/// remap table; either copy serves, neither is required.
+fn old_boot_hint(
+    disk: &mut SimDisk,
+    layout: &FsdLayout,
+) -> Result<(u32, Vec<(SectorAddr, SectorAddr)>)> {
+    let mut count = 0u32;
+    let mut entries: Vec<(SectorAddr, SectorAddr)> = Vec::new();
+    for addr in [layout.boot_a, layout.boot_b] {
+        match disk.read(addr, 1) {
+            Ok(bytes) => {
+                if let Ok(b) = FsdBootPage::decode(&bytes) {
+                    if b.boot_count >= count {
+                        count = b.boot_count;
+                        entries = b.spare_map;
+                    }
+                }
+            }
+            Err(DiskError::Crashed) => return Err(FsdError::Disk(DiskError::Crashed)),
+            Err(_) => continue,
+        }
+    }
+    Ok((count, entries))
+}

@@ -1,0 +1,501 @@
+//! Bad-sector sparing and scrub-on-write.
+//!
+//! §5.8 of the paper classifies the errors Cedar volumes actually saw;
+//! classes 2–5 all start from a bad sector in a file-system data
+//! structure. The FSD's answer here has two levels:
+//!
+//! * **scrub**: a sector that fails once is assumed to be a latent media
+//!   flaw — rewriting it repairs it (the Trident soft-error model). Every
+//!   writer below retries failed sectors by rewriting them.
+//! * **remap**: a sector that fails *again* after a rewrite is a grown
+//!   (permanent) defect. It is remapped to a replacement sector in the
+//!   spare region, and the `(logical, physical)` pair is recorded in the
+//!   [`SpareMap`]. The table is persisted on the boot page
+//!   ([`crate::layout::FsdBootPage::spare_map`]) so it is available
+//!   before any other structure is read at boot.
+//!
+//! All metadata I/O translates logical addresses through the map. File
+//! data sectors are *not* remapped — a dead data sector loses that page,
+//! which the paper accepts (class 5) — and neither are the boot pages
+//! themselves, which rely on replication instead (the map must be
+//! readable before it can be applied).
+
+use std::collections::HashMap;
+
+use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy, OpResult};
+use cedar_disk::{DiskError, SectorAddr, SimDisk, SECTOR_BYTES};
+
+use crate::layout::FsdLayout;
+use crate::{FsdError, Result};
+
+/// Failures tolerated per logical sector before it is remapped: the
+/// first may be a latent flaw the rewrite repairs, the second is a
+/// grown defect.
+const FAILS_BEFORE_REMAP: u8 = 2;
+
+/// Rounds the retry engine will run before declaring the media
+/// unrecoverable. Each round either finishes, repairs a latent flaw, or
+/// consumes a spare slot, so this bound is far past any plausible plan.
+pub(crate) const MAX_ROUNDS: usize = 64;
+
+/// Maps one pushed write back to the logical sectors it covers, so a
+/// per-sector failure can be attributed (`idx` is the op's index in the
+/// batch; the op spans `len` sectors from `logical`, written at `phys`).
+#[derive(Clone, Copy, Debug)]
+pub struct OpTag {
+    idx: usize,
+    logical: SectorAddr,
+    phys: SectorAddr,
+    len: u32,
+}
+
+/// The bad-sector remap table plus the per-sector failure ledger that
+/// decides when to grow it.
+#[derive(Clone, Debug, Default)]
+pub struct SpareMap {
+    spare_start: SectorAddr,
+    spare_len: u32,
+    /// Half-open `[lo, hi)` address ranges eligible for remapping.
+    remappable: Vec<(SectorAddr, SectorAddr)>,
+    /// `(logical, physical)` redirections, unordered, at most one per
+    /// logical sector.
+    entries: Vec<(SectorAddr, SectorAddr)>,
+    /// Spare slots consumed so far (slots are never reused: a re-remap
+    /// whose spare sector also died takes a fresh one).
+    slots_used: u32,
+    /// The table changed since it was last written to the boot page.
+    dirty: bool,
+    /// Consecutive failures per logical sector, cleared by a successful
+    /// rewrite.
+    fails: HashMap<SectorAddr, u8>,
+    /// Damaged sectors repaired in place by a rewrite.
+    pub scrubbed: u64,
+    /// Sectors redirected into the spare region.
+    pub remapped: u64,
+}
+
+impl SpareMap {
+    /// A map with sparing disabled: nothing is remappable and no spare
+    /// slots exist. Translation is the identity; a second failure on any
+    /// sector is fatal. For tests and tools that bypass the FSD layout.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A map with an explicit spare region and remappable ranges
+    /// (half-open `[lo, hi)`).
+    pub fn new(
+        spare_start: SectorAddr,
+        spare_len: u32,
+        remappable: Vec<(SectorAddr, SectorAddr)>,
+    ) -> Self {
+        Self {
+            spare_start,
+            spare_len,
+            remappable,
+            ..Self::default()
+        }
+    }
+
+    /// An empty map for a freshly formatted volume on `layout`: the VAM
+    /// save area and the central metadata region (both name-table copies
+    /// and the log) are remappable; boot pages and file data are not.
+    pub fn for_layout(layout: &FsdLayout) -> Self {
+        Self::new(
+            layout.spare_start,
+            layout.spare_sectors,
+            vec![
+                (layout.vam_a, layout.spare_start),
+                (layout.nt_a_start, layout.central_end),
+            ],
+        )
+    }
+
+    /// Rebuilds the map recorded on a boot page.
+    pub fn with_entries(layout: &FsdLayout, entries: &[(u32, u32)]) -> Self {
+        let mut map = Self::for_layout(layout);
+        map.entries = entries.to_vec();
+        map.slots_used = entries
+            .iter()
+            .map(|&(_, phys)| phys.saturating_sub(layout.spare_start) + 1)
+            .max()
+            .unwrap_or(0);
+        map
+    }
+
+    /// The physical sector behind `logical`.
+    pub fn translate(&self, logical: SectorAddr) -> SectorAddr {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == logical)
+            .map_or(logical, |&(_, p)| p)
+    }
+
+    /// Current remap table, for persisting onto the boot page.
+    pub fn entries(&self) -> &[(SectorAddr, SectorAddr)] {
+        &self.entries
+    }
+
+    /// Returns whether the table changed since the last call, clearing
+    /// the flag. The caller must rewrite the boot page when `true`.
+    pub fn take_dirty(&mut self) -> bool {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Records that a read found `logical` damaged, so the upcoming
+    /// scrub rewrite is charged as a repair — and escalates to a remap
+    /// if the rewrite fails too.
+    pub fn note_damaged(&mut self, logical: SectorAddr) {
+        self.fails.entry(logical).or_insert(FAILS_BEFORE_REMAP - 1);
+    }
+
+    /// Pushes the write of `data` at logical sector `logical_start` onto
+    /// `batch`, split wherever the remap table makes the physical run
+    /// discontiguous. Returns one tag per pushed op for [`Self::absorb`].
+    pub fn push_write(
+        &self,
+        batch: &mut IoBatch,
+        logical_start: SectorAddr,
+        data: &[u8],
+    ) -> Vec<OpTag> {
+        assert_eq!(data.len() % SECTOR_BYTES, 0, "partial-sector write");
+        let total = (data.len() / SECTOR_BYTES) as u32;
+        let mut tags = Vec::new();
+        let mut i = 0u32;
+        while i < total {
+            let phys = self.translate(logical_start + i);
+            let mut len = 1u32;
+            while i + len < total && self.translate(logical_start + i + len) == phys + len {
+                len += 1;
+            }
+            let bytes =
+                data[(i as usize) * SECTOR_BYTES..((i + len) as usize) * SECTOR_BYTES].to_vec();
+            let idx = batch.push(IoOp::Write {
+                start: phys,
+                data: bytes,
+            });
+            tags.push(OpTag {
+                idx,
+                logical: logical_start + i,
+                phys,
+                len,
+            });
+            i += len;
+        }
+        tags
+    }
+
+    /// Folds one round of [`sched::execute_partial`] results into the
+    /// ledger: successful writes clear (and count) any pending damage,
+    /// `BadSector` failures charge the named sector and remap it once it
+    /// exhausts its strikes. Returns `true` if any op must be retried.
+    pub fn absorb(&mut self, results: &[OpResult], tags: &[OpTag]) -> Result<bool> {
+        let mut retry = false;
+        for t in tags {
+            match &results[t.idx] {
+                OpResult::Ok(_) => {
+                    for s in 0..t.len {
+                        if self.fails.remove(&(t.logical + s)).is_some() {
+                            self.scrubbed += 1;
+                        }
+                    }
+                }
+                OpResult::Failed(DiskError::BadSector(phys)) => {
+                    retry = true;
+                    let logical = t.logical + (phys - t.phys);
+                    let n = self.fails.entry(logical).or_insert(0);
+                    *n = n.saturating_add(1);
+                    if *n >= FAILS_BEFORE_REMAP {
+                        self.remap(logical)?;
+                    }
+                }
+                OpResult::Failed(e) => return Err(e.clone().into()),
+                OpResult::Skipped => retry = true,
+            }
+        }
+        Ok(retry)
+    }
+
+    /// Redirects `logical` to a fresh spare slot.
+    fn remap(&mut self, logical: SectorAddr) -> Result<()> {
+        if !self
+            .remappable
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&logical))
+        {
+            return Err(FsdError::Check(format!(
+                "sector {logical} is permanently bad and not remappable"
+            )));
+        }
+        if self.slots_used >= self.spare_len {
+            return Err(FsdError::Check(format!(
+                "spare region exhausted remapping sector {logical}"
+            )));
+        }
+        let phys = self.spare_start + self.slots_used;
+        self.slots_used += 1;
+        match self.entries.iter_mut().find(|(l, _)| *l == logical) {
+            Some(e) => e.1 = phys,
+            None => self.entries.push((logical, phys)),
+        }
+        // The sector restarts with a clean record at its new home, so a
+        // latent flaw in the spare sector gets its own rewrite chance.
+        self.fails.remove(&logical);
+        self.dirty = true;
+        self.remapped += 1;
+        Ok(())
+    }
+
+    /// [`SimDisk::read_allow_damage`] through the remap table: reads `n`
+    /// logical sectors from `start`, splitting wherever the physical run
+    /// is discontiguous, and reassembles data and damage mask in logical
+    /// order.
+    pub fn read_allow_damage(
+        &self,
+        disk: &mut SimDisk,
+        start: SectorAddr,
+        n: usize,
+    ) -> cedar_disk::Result<(Vec<u8>, Vec<bool>)> {
+        if self.entries.is_empty() {
+            return disk.read_allow_damage(start, n);
+        }
+        let mut data = Vec::with_capacity(n * SECTOR_BYTES);
+        let mut mask = Vec::with_capacity(n);
+        let total = n as u32;
+        let mut i = 0u32;
+        while i < total {
+            let phys = self.translate(start + i);
+            let mut len = 1u32;
+            while i + len < total && self.translate(start + i + len) == phys + len {
+                len += 1;
+            }
+            let (d, m) = disk.read_allow_damage(phys, len as usize)?;
+            data.extend_from_slice(&d);
+            mask.extend_from_slice(&m);
+            i += len;
+        }
+        Ok((data, mask))
+    }
+}
+
+/// Writes home-location images (name-table pages, leader pages, VAM
+/// save patches) after their log record is durable, translating through
+/// the remap table and retrying per-sector failures: a first failure is
+/// rewritten in place (latent-flaw repair), a second is remapped to the
+/// spare region. Whole-image rewrites are idempotent — every sector is
+/// exclusively owned by its page — so each round resubmits everything
+/// not yet durable.
+pub(crate) fn write_home_batch(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    spare: &mut SpareMap,
+    writes: Vec<(SectorAddr, Vec<u8>)>,
+) -> Result<()> {
+    run_spared_writes(disk, policy, spare, &writes)
+}
+
+/// Read-path repair: rewrites replica sectors that a read found damaged
+/// from the survivor copy's bytes. Deliberately a different entry point
+/// from [`write_home_batch`]: scrubs restore *existing* committed state,
+/// so they are legal before a log append (the wal-order rule keys on the
+/// `write_home_batch` name for writes that must follow one).
+pub(crate) fn scrub_batch(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    spare: &mut SpareMap,
+    writes: Vec<(SectorAddr, Vec<u8>)>,
+) -> Result<()> {
+    run_spared_writes(disk, policy, spare, &writes)
+}
+
+fn run_spared_writes(
+    disk: &mut SimDisk,
+    policy: IoPolicy,
+    spare: &mut SpareMap,
+    writes: &[(SectorAddr, Vec<u8>)],
+) -> Result<()> {
+    for _ in 0..MAX_ROUNDS {
+        let mut batch = IoBatch::new();
+        let mut tags = Vec::new();
+        for (start, data) in writes {
+            tags.append(&mut spare.push_write(&mut batch, *start, data));
+        }
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let results = sched::execute_partial(disk, policy, &batch)?;
+        if !spare.absorb(&results, &tags)? {
+            return Ok(());
+        }
+    }
+    Err(FsdError::Check(
+        "media-fault retry limit exceeded on home write".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_disk::{DiskGeometry, DiskTiming, FaultPlan, SimClock};
+
+    fn layout() -> FsdLayout {
+        FsdLayout::compute(&DiskGeometry::TINY, 16, 128)
+    }
+
+    fn disk() -> SimDisk {
+        SimDisk::new(DiskGeometry::TINY, DiskTiming::TINY, SimClock::new())
+    }
+
+    #[test]
+    fn translate_is_identity_until_remapped() {
+        let l = layout();
+        let map = SpareMap::for_layout(&l);
+        assert_eq!(map.translate(l.nt_a_start), l.nt_a_start);
+        let map = SpareMap::with_entries(&l, &[(l.nt_a_start, l.spare_start)]);
+        assert_eq!(map.translate(l.nt_a_start), l.spare_start);
+        assert_eq!(map.translate(l.nt_a_start + 1), l.nt_a_start + 1);
+    }
+
+    #[test]
+    fn with_entries_reserves_used_slots() {
+        let l = layout();
+        let map = SpareMap::with_entries(&l, &[(l.nt_a_start, l.spare_start + 3)]);
+        assert_eq!(map.slots_used, 4);
+    }
+
+    #[test]
+    fn latent_flaw_is_scrubbed_in_place() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        d.set_fault_plan(&FaultPlan::none().with_latent(l.nt_a_start + 1));
+        let data = vec![7u8; 2 * SECTOR_BYTES];
+        write_home_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(l.nt_a_start, data)],
+        )
+        .unwrap();
+        assert_eq!(map.scrubbed, 1);
+        assert_eq!(map.remapped, 0);
+        assert!(map.entries().is_empty());
+        assert_eq!(
+            d.read(l.nt_a_start, 2).unwrap(),
+            vec![7u8; 2 * SECTOR_BYTES]
+        );
+    }
+
+    #[test]
+    fn grown_defect_is_remapped_to_spare() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        let bad = l.nt_a_start + 1;
+        d.set_fault_plan(&FaultPlan::none().with_grown(bad));
+        let data: Vec<u8> = (0..2 * SECTOR_BYTES).map(|i| i as u8).collect();
+        write_home_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(l.nt_a_start, data.clone())],
+        )
+        .unwrap();
+        assert_eq!(map.remapped, 1);
+        assert_eq!(map.entries(), &[(bad, l.spare_start)]);
+        assert!(map.take_dirty());
+        assert!(!map.take_dirty());
+        // The image reads back whole through the map.
+        let (got, mask) = map.read_allow_damage(&mut d, l.nt_a_start, 2).unwrap();
+        assert_eq!(got, data);
+        assert_eq!(mask, vec![false, false]);
+    }
+
+    #[test]
+    fn unremappable_grown_defect_is_an_error() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        // A data sector in the big-file area: outside every remappable range.
+        let bad = l.central_end + 5;
+        d.set_fault_plan(&FaultPlan::none().with_grown(bad));
+        let err = write_home_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(bad, vec![1u8; SECTOR_BYTES])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsdError::Check(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn note_damaged_escalates_failed_scrub_to_remap() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        let bad = l.nt_b_start;
+        d.set_fault_plan(&FaultPlan::none().with_grown(bad));
+        // A read found the sector damaged; the scrub write then fails once
+        // and the sector goes straight to the spare region.
+        map.note_damaged(bad);
+        scrub_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(bad, vec![9u8; SECTOR_BYTES])],
+        )
+        .unwrap();
+        assert_eq!(map.remapped, 1);
+        assert_eq!(map.translate(bad), l.spare_start);
+    }
+
+    #[test]
+    fn note_damaged_counts_successful_scrub() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        map.note_damaged(l.nt_a_start);
+        scrub_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(l.nt_a_start, vec![3u8; SECTOR_BYTES])],
+        )
+        .unwrap();
+        assert_eq!(map.scrubbed, 1);
+        assert_eq!(map.remapped, 0);
+    }
+
+    #[test]
+    fn spare_exhaustion_is_an_error() {
+        let l = layout();
+        let mut d = disk();
+        let mut map = SpareMap::for_layout(&l);
+        map.spare_len = 1;
+        d.set_fault_plan(
+            &FaultPlan::none()
+                .with_grown(l.nt_a_start)
+                .with_grown(l.nt_a_start + 1),
+        );
+        let err = write_home_batch(
+            &mut d,
+            IoPolicy::InOrder,
+            &mut map,
+            vec![(l.nt_a_start, vec![0u8; 2 * SECTOR_BYTES])],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FsdError::Check(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn push_write_splits_on_translation_boundaries() {
+        let l = layout();
+        let map = SpareMap::with_entries(&l, &[(l.nt_a_start + 1, l.spare_start)]);
+        let mut batch = IoBatch::new();
+        let tags = map.push_write(&mut batch, l.nt_a_start, &vec![0u8; 3 * SECTOR_BYTES]);
+        // [a], [spare], [a+2]: three discontiguous physical runs.
+        assert_eq!(tags.len(), 3);
+        assert_eq!(batch.len(), 3);
+    }
+}

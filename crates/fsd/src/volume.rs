@@ -22,11 +22,14 @@ use crate::error::FsdError;
 use crate::layout::{FsdBootPage, FsdLayout};
 use crate::leader::LeaderPage;
 use crate::log::{Log, PageTarget};
+use crate::spare::{self, SpareMap};
 use crate::{Result, NT_PAGE_SECTORS};
 use cedar_btree::{BTree, PageId};
 use cedar_disk::clock::Micros;
-use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
-use cedar_disk::{Cpu, CpuModel, DiskStats, SimClock, SimDisk, SECTOR_BYTES, SECTOR_BYTES_U64};
+use cedar_disk::sched::IoPolicy;
+use cedar_disk::{
+    Cpu, CpuModel, DiskStats, SectorAddr, SimClock, SimDisk, SECTOR_BYTES, SECTOR_BYTES_U64,
+};
 use cedar_vol::{AllocPolicy, Allocator, FileName, Run, RunTable, Vam};
 use std::collections::{BTreeSet, HashMap};
 
@@ -138,6 +141,8 @@ macro_rules! nt_store {
             disk: &mut $self.disk,
             cpu: &$self.cpu,
             layout: &$self.layout,
+            policy: $self.io_policy,
+            spare: &mut $self.spare,
             cache: &mut $self.cache,
             pending: &mut $self.pending_pages,
         }
@@ -169,6 +174,9 @@ pub struct FsdVolume {
     pub(crate) vam_home: HashMap<u32, (Vec<u8>, u8)>,
     /// Submission order for batched I/O (log forces, home writeback).
     pub(crate) io_policy: IoPolicy,
+    /// Bad-sector remap table (persisted on the boot page) plus the
+    /// strike ledger deciding when a flaky sector gets remapped.
+    pub(crate) spare: SpareMap,
 }
 
 /// Crate-private alias so `recovery.rs` can construct the volume without
@@ -210,6 +218,7 @@ impl FsdVolume {
                 boot_count: 1,
                 vam_valid: false,
                 vam_logged: config.log_vam,
+                spare_map: Vec::new(),
             },
             tree: BTree::open(0),
             cache: NtCache::with_capacity(config.cache_pages),
@@ -224,9 +233,18 @@ impl FsdVolume {
             vam_baseline: None,
             vam_home: HashMap::new(),
             io_policy: config.io_policy,
+            spare: SpareMap::for_layout(&layout),
         };
         vol.log.set_policy(config.io_policy);
-        vol.log.write_meta(&mut vol.disk)?;
+        {
+            let FsdVolume {
+                ref mut log,
+                ref mut disk,
+                ref mut spare,
+                ..
+            } = vol;
+            log.write_meta(disk, spare)?;
+        }
 
         // Seed the meta page and the empty tree — in cache only.
         {
@@ -266,6 +284,24 @@ impl FsdVolume {
     /// Disk statistics so far.
     pub fn disk_stats(&self) -> DiskStats {
         self.disk.stats()
+    }
+
+    /// Media-fault repair counters since mount: sectors scrubbed (a
+    /// damaged replica rewritten in place from its survivor) and sectors
+    /// remapped into the spare region.
+    pub fn media_stats(&self) -> (u64, u64) {
+        (self.spare.scrubbed, self.spare.remapped)
+    }
+
+    /// The persistent bad-sector remap table (logical home → spare slot).
+    pub fn spare_entries(&self) -> &[(SectorAddr, SectorAddr)] {
+        self.spare.entries()
+    }
+
+    /// Absolute sector where the next log record will start. Fault
+    /// campaigns use this to aim media faults at the upcoming force.
+    pub fn next_log_sector(&self) -> SectorAddr {
+        self.layout.log_start + self.log.next_record_offset()
     }
 
     /// The simulation clock.
@@ -448,6 +484,7 @@ impl FsdVolume {
                 ref mut leaders,
                 ref layout,
                 ref mut commit_stats,
+                ref mut spare,
                 ..
             } = *self;
             let FsdVolume {
@@ -455,13 +492,14 @@ impl FsdVolume {
             } = *self;
             let _ = &vam_home;
             let is_last = base + chunk.len() >= images.len();
-            let (_seq, third) = log.append(disk, chunk, is_last, |disk, t| {
+            let (_seq, third) = log.append(disk, spare, chunk, is_last, |disk, spare, t| {
                 flush_third(
                     disk,
                     layout,
                     cache,
                     leaders,
                     vam_home,
+                    spare,
                     t,
                     commit_stats,
                     policy,
@@ -547,6 +585,12 @@ impl FsdVolume {
         // The commit is durable: shadow-freed pages become allocatable
         // (§5.5).
         self.vam.commit_shadow();
+
+        // Any sector remapped during this force must reach the boot page
+        // before the remapped data matters to a reboot.
+        if self.spare.take_dirty() {
+            self.write_boot_pages()?;
+        }
         Ok(())
     }
 
@@ -554,7 +598,7 @@ impl FsdVolume {
     /// (controlled shutdown, and after format). All home writes go to
     /// disjoint sectors, so they form one scheduler window: sorted,
     /// coalesced, swept in C-SCAN order.
-    fn sync_home_all(&mut self) -> Result<()> {
+    pub(crate) fn sync_home_all(&mut self) -> Result<()> {
         // Collect in logical order — both replicas of a page together,
         // pages by id, then leaders, then VAM sectors. That is the
         // submission order the naive in-order policy executes (exactly
@@ -597,7 +641,11 @@ impl FsdVolume {
                 writes.push((self.layout.vam_b + index, img));
             }
         }
-        write_home_batch(&mut self.disk, self.io_policy, writes)
+        spare::write_home_batch(&mut self.disk, self.io_policy, &mut self.spare, writes)?;
+        if self.spare.take_dirty() {
+            self.write_boot_pages()?;
+        }
+        Ok(())
     }
 
     /// The VAM serialized and padded to the save area's sector count.
@@ -612,9 +660,10 @@ impl FsdVolume {
         // a crash; the boot pages marking them valid follow in a separate
         // submission, so validity never precedes durability).
         let bytes = self.padded_vam_bytes();
-        write_home_batch(
+        spare::write_home_batch(
             &mut self.disk,
             self.io_policy,
+            &mut self.spare,
             vec![
                 (self.layout.vam_a, bytes.clone()),
                 (self.layout.vam_b, bytes.clone()),
@@ -631,6 +680,8 @@ impl FsdVolume {
     }
 
     pub(crate) fn write_boot_pages(&mut self) -> Result<()> {
+        self.boot.spare_map = self.spare.entries().to_vec();
+        self.spare.take_dirty();
         crate::layout::write_replicas(
             &mut self.disk,
             self.io_policy,
@@ -722,7 +773,7 @@ impl FsdVolume {
         FileEntry::decode(&raw)
     }
 
-    fn put_entry(&mut self, fname: &FileName, entry: &FileEntry) -> Result<()> {
+    pub(crate) fn put_entry(&mut self, fname: &FileName, entry: &FileEntry) -> Result<()> {
         let mut tree = self.tree;
         {
             let mut store = nt_store!(self);
@@ -792,6 +843,7 @@ impl FsdVolume {
             }
             return Err(FsdError::NoSpace);
         }
+        self.cancel_stale_leaders(rt_all.runs());
         let first = rt_all.runs()[0];
         let leader_addr = first.start;
         let mut run_table = RunTable::new();
@@ -818,7 +870,7 @@ impl FsdVolume {
 
         // The one synchronous I/O: leader + leading data in a single
         // write, remaining extents after.
-        let leader = LeaderPage::for_entry(&entry);
+        let leader = LeaderPage::for_entry(&fname, &entry);
         let mut buf = leader.encode();
         let first_data = ((first.len - 1) as usize * SECTOR_BYTES).min(data.len());
         let mut chunk = data[..first_data].to_vec();
@@ -958,7 +1010,7 @@ impl FsdVolume {
         });
         if let Some(img) = in_memory {
             let leader = LeaderPage::decode(&img)?;
-            leader.verify(&file.entry)?;
+            leader.verify(&file.name, &file.entry)?;
             if extra == 0 {
                 return Ok(Vec::new());
             }
@@ -966,7 +1018,7 @@ impl FsdVolume {
         }
         let raw = self.disk.read(file.entry.leader_addr, 1 + extra)?;
         let leader = LeaderPage::decode(&raw[..SECTOR_BYTES])?;
-        leader.verify(&file.entry)?;
+        leader.verify(&file.name, &file.entry)?;
         Ok(raw[SECTOR_BYTES..].to_vec())
     }
 
@@ -1141,12 +1193,13 @@ impl FsdVolume {
             }
             return Err(FsdError::NoSpace);
         }
+        self.cancel_stale_leaders(rt.runs());
         file.entry.run_table = rt;
         file.entry.byte_size = file.pages() as u64 * SECTOR_BYTES_U64;
         let fname = file.name.clone();
         let entry = file.entry.clone();
         self.put_entry(&fname, &entry)?;
-        self.stage_leader(&entry);
+        self.stage_leader(&fname, &entry);
         self.force_if_bulky()?;
         Ok(())
     }
@@ -1165,18 +1218,26 @@ impl FsdVolume {
         let fname = file.name.clone();
         let entry = file.entry.clone();
         self.put_entry(&fname, &entry)?;
-        self.stage_leader(&entry);
+        self.stage_leader(&fname, &entry);
         Ok(())
     }
 
     /// Stages a new leader image for lazy (logged, then piggybacked or
     /// third-entry) writing.
-    fn stage_leader(&mut self, entry: &FileEntry) {
+    fn stage_leader(&mut self, name: &FileName, entry: &FileEntry) {
         if entry.leader_addr == 0 {
             return;
         }
-        let img = LeaderPage::for_entry(entry).encode();
+        let img = LeaderPage::for_entry(name, entry).encode();
         self.leaders.entry(entry.leader_addr).or_default().unlogged = Some(img);
+    }
+
+    /// Drops staged leader images that fall inside freshly allocated
+    /// runs: those sectors now belong to a new file, so a stale leader
+    /// (or delete tombstone) write-back would corrupt its data.
+    fn cancel_stale_leaders(&mut self, runs: &[Run]) {
+        self.leaders
+            .retain(|&addr, _| !runs.iter().any(|r| r.contains(addr)));
     }
 
     /// Deletes a version of `name` (the newest when `version` is `None`).
@@ -1197,7 +1258,12 @@ impl FsdVolume {
         self.update_meta_root()?;
         if entry.leader_addr != 0 {
             self.vam.shadow_free_run(Run::new(entry.leader_addr, 1));
-            self.leaders.remove(&entry.leader_addr);
+            // Stage a tombstone over the old leader so a later scavenge
+            // (rebuilding the name table from leader pages) does not
+            // resurrect the deleted file. Cancelled if the sector is
+            // reallocated before it reaches the disk.
+            let img = LeaderPage::tombstone(&fname, &entry).encode();
+            self.leaders.entry(entry.leader_addr).or_default().unlogged = Some(img);
         }
         for r in entry.run_table.runs() {
             self.vam.shadow_free_run(*r);
@@ -1243,6 +1309,7 @@ fn flush_third(
     cache: &mut NtCache,
     leaders: &mut HashMap<u32, LeaderStateOpaque>,
     vam_home: &mut HashMap<u32, (Vec<u8>, u8)>,
+    spare: &mut SpareMap,
     t: u8,
     stats: &mut CommitStats,
     policy: IoPolicy,
@@ -1306,29 +1373,5 @@ fn flush_third(
         writes.push((layout.vam_a + index, img.clone()));
         writes.push((layout.vam_b + index, img));
     }
-    write_home_batch(disk, policy, writes)
-}
-
-/// Submits a set of disjoint home writes as one scheduler window. The
-/// caller supplies them in deterministic logical order (both replicas of
-/// each page together) — the order the in-order policy executes verbatim;
-/// under C-SCAN the window is re-sorted and physically adjacent images
-/// coalesce into single transfers.
-fn write_home_batch(
-    disk: &mut SimDisk,
-    policy: IoPolicy,
-    writes: Vec<(u32, Vec<u8>)>,
-) -> Result<()> {
-    if writes.is_empty() {
-        return Ok(());
-    }
-    let mut batch = IoBatch::new();
-    for (addr, img) in writes {
-        batch.push(IoOp::Write {
-            start: addr,
-            data: img,
-        });
-    }
-    sched::execute(disk, policy, &batch)?;
-    Ok(())
+    spare::write_home_batch(disk, policy, spare, writes)
 }

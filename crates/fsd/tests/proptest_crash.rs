@@ -1,11 +1,18 @@
-//! Property test: for *any* operation stream and *any* crash point, FSD
-//! recovers to a group-commit boundary — the recovered name table equals
-//! the model at the last completed force (or the force in flight, if its
-//! whole group landed), every surviving version's content is intact, the
-//! tree is structurally consistent, and the reconstructed VAM agrees with
-//! the name table.
+//! Property test: for *any* operation stream, *any* crash point, and *any*
+//! replica-covered media-fault plan, FSD recovers to a group-commit
+//! boundary — the recovered name table equals the model at the last
+//! completed force (or the force in flight, if its whole group landed),
+//! every surviving version's content is intact, the tree is structurally
+//! consistent, and the reconstructed VAM agrees with the name table.
+//!
+//! The fault plans stick to latent and transient flaws on *replicated or
+//! retried* sectors (name-table copy A, log data area, VAM copy A, boot
+//! page A): §5.8's failure model says those never cost data, so they must
+//! not change which boundary recovery lands on. Grown defects and
+//! both-copies-lost cases escalate the recovery ladder and are enumerated
+//! systematically by the `fault_campaign` bench instead.
 
-use cedar_disk::{CpuModel, CrashPlan, IoPolicy, SimDisk};
+use cedar_disk::{CpuModel, CrashPlan, FaultPlan, IoPolicy, SimDisk};
 use cedar_fsd::{FsdConfig, FsdVolume};
 use proptest::prelude::*;
 use std::collections::BTreeMap;
@@ -36,6 +43,30 @@ fn arb_op() -> impl Strategy<Value = Op> {
         1 => Just(Op::Force),
         1 => Just(Op::Idle),
     ]
+}
+
+/// A media fault aimed at a replica-covered region: `(region, offset,
+/// latent)` resolves against the volume layout once it exists. `latent`
+/// false means a transient read fault (one extra revolution).
+type FaultSpec = (u8, u8, bool);
+
+fn resolve_faults(v: &FsdVolume, specs: &[FaultSpec]) -> FaultPlan {
+    let l = *v.layout();
+    let mut plan = FaultPlan::none();
+    for &(region, offset, latent) in specs {
+        let addr = match region % 4 {
+            0 => l.nt_a_sector(u32::from(offset) % l.nt_pages),
+            1 => l.log_start + 3 + u32::from(offset) % (l.log_sectors - 3),
+            2 => l.vam_a + u32::from(offset) % l.vam_sectors,
+            _ => l.boot_a,
+        };
+        plan = if latent {
+            plan.with_latent(addr)
+        } else {
+            plan.with_transient(addr, 1 + offset % 2)
+        };
+    }
+    plan
 }
 
 /// name → stack of version contents (bottom = version 1).
@@ -106,6 +137,8 @@ proptest! {
     fn recovery_lands_on_a_commit_boundary(
         ops in proptest::collection::vec(arb_op(), 1..50),
         crash_after in 0u64..300,
+        faults in proptest::collection::vec(
+            (0u8..4, any::<u8>(), any::<bool>()), 0..4),
     ) {
         // Half the cases crash a C-SCAN-scheduled write stream, half the
         // in-order baseline — recovery must land on a boundary either way.
@@ -115,6 +148,11 @@ proptest! {
             IoPolicy::InOrder
         };
         let mut v = FsdVolume::format(SimDisk::tiny(), config_with(policy)).unwrap();
+        // Media flaws develop under the workload and under recovery; the
+        // flags persist across the crash, so whichever path touches the
+        // sector first discovers the fault.
+        let plan = resolve_faults(&v, &faults);
+        v.disk_mut().set_fault_plan(&plan);
         let mut committed: Model = Model::new(); // At the last force.
         let mut previous: Model = Model::new();  // At the force before.
         let mut live: Model = Model::new();      // Uncommitted truth.

@@ -4,8 +4,8 @@
 //! where the paper says so, CFS failing the same way it originally did.
 
 use cedar_fs_repro::cfs::{CfsConfig, CfsError, CfsVolume};
-use cedar_fs_repro::disk::{CrashPlan, SimClock, SimDisk};
-use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
+use cedar_fs_repro::disk::{CrashPlan, FaultPlan, SimDisk};
+use cedar_fs_repro::fsd::{FsdConfig, FsdVolume, RecoveryRung};
 
 fn fsd_config() -> FsdConfig {
     FsdConfig {
@@ -224,6 +224,90 @@ fn class6_log_record_damage() {
     );
     let mut f = fsd.open("committed", None).unwrap();
     assert_eq!(fsd.read_file(&mut f).unwrap(), b"precious");
+}
+
+/// Scrub-on-read: a latent bad sector discovered under a name-table read
+/// is not just tolerated via the replica — the damaged copy is rewritten
+/// from the survivor, so the page is back to two good copies afterwards.
+#[test]
+fn latent_nt_sector_is_scrubbed_on_read() {
+    let mut fsd = tiny_fsd();
+    for i in 0..40 {
+        fsd.create(&format!("f{i:02}"), b"data").unwrap();
+    }
+    fsd.shutdown().unwrap();
+    let layout = *fsd.layout();
+    let bad = layout.nt_a_sector(1);
+    let mut d = fsd.into_disk();
+    d.reboot();
+    let (mut fsd, _) = FsdVolume::boot(d, fsd_config()).unwrap();
+    // The flaw develops after boot, on a page not yet in cache.
+    fsd.disk_mut()
+        .set_fault_plan(&FaultPlan::none().with_latent(bad));
+    // Touching the table discovers the flaw; every file stays readable.
+    assert_eq!(fsd.list("").unwrap().len(), 40);
+    fsd.verify().unwrap();
+    let (scrubbed, _) = fsd.media_stats();
+    assert!(
+        scrubbed >= 1,
+        "the bad copy was rewritten, not just skipped"
+    );
+    // The scrub stuck: the once-bad sector reads clean again.
+    assert!(fsd.disk_mut().read(bad, 1).is_ok());
+}
+
+/// Last rung of the ladder: with *both* log-meta replicas gone the redo
+/// scan cannot even start, and recovery escalates to a scavenge that
+/// rebuilds the name table and VAM from leader pages.
+#[test]
+fn lost_log_meta_replicas_escalate_to_scavenge() {
+    let mut fsd = tiny_fsd();
+    for i in 0..12 {
+        fsd.create(&format!("sc/f{i:02}"), &vec![i as u8; 1024])
+            .unwrap();
+    }
+    fsd.shutdown().unwrap();
+    let layout = *fsd.layout();
+    let mut d = fsd.into_disk();
+    d.damage_sector(layout.log_start); // Meta copy A.
+    d.damage_sector(layout.log_start + 2); // Meta copy B.
+    let (mut fsd, report) = FsdVolume::boot(d, fsd_config()).unwrap();
+    assert_eq!(report.rung, RecoveryRung::Scavenge);
+    let summary = report.scavenge.expect("scavenge summary");
+    assert_eq!(summary.files_rebuilt, 12);
+    fsd.verify().unwrap();
+    for i in 0..12 {
+        let mut f = fsd.open(&format!("sc/f{i:02}"), None).unwrap();
+        assert_eq!(fsd.read_file(&mut f).unwrap(), vec![i as u8; 1024]);
+    }
+    // The rebuilt volume is a normal volume: the next boot is rung one.
+    fsd.shutdown().unwrap();
+    let (_, report2) = FsdVolume::boot(fsd.into_disk(), fsd_config()).unwrap();
+    assert_eq!(report2.rung, RecoveryRung::Redo);
+}
+
+/// Grown defect under the log force itself: the append retries, remaps
+/// the dead sector into the spare region, and the commit still succeeds —
+/// and the remap table survives reboot so recovery replays through it.
+#[test]
+fn grown_defect_during_force_is_remapped_and_commit_succeeds() {
+    let mut fsd = tiny_fsd();
+    // Permanently kill the sector the next record's header will land on.
+    let bad = fsd.next_log_sector();
+    fsd.disk_mut().hard_damage_sector(bad);
+    fsd.create("survivor", b"still here").unwrap();
+    fsd.force().unwrap();
+    let (_, remapped) = fsd.media_stats();
+    assert!(remapped >= 1, "the dead log sector was remapped");
+    assert!(!fsd.spare_entries().is_empty());
+    // The commit is real: it replays through the remap table after a crash.
+    let mut d = fsd.into_disk();
+    d.crash_now();
+    d.reboot();
+    let (mut fsd, report) = FsdVolume::boot(d, fsd_config()).unwrap();
+    assert!(report.records_replayed >= 1);
+    let mut f = fsd.open("survivor", None).unwrap();
+    assert_eq!(fsd.read_file(&mut f).unwrap(), b"still here");
 }
 
 /// The CFS contrast for class 3: a bad page in its *unreplicated* name

@@ -7,6 +7,9 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
+# Saturation (smoke): the full simulated §5.4 curve plus a reduced
+# threaded sweep — throughput must climb and forces/op must fall.
+cargo run --release -p cedar-bench --bin saturation -- --smoke
 # Asserts scheduled submission never regresses above the in-order baseline.
 cargo run --release -p cedar-bench --bin io_sched -- --smoke
 # Fault-injection campaign (reduced grid): every scenario must recover

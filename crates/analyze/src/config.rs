@@ -87,6 +87,16 @@ pub struct Config {
     /// error-flow: error-type idents whose variants a catch-all match arm
     /// must not swallow.
     pub error_type_idents: Vec<&'static str>,
+    /// fs-api: (file, trait name) of the shared-reference service trait —
+    /// every method inside that trait block must take `&self`.
+    pub fs_trait: (&'static str, &'static str),
+    /// fs-api: files in the concurrent engine where a lock guard held
+    /// across an epoch wait is a finding.
+    pub epoch_wait_files: Vec<&'static str>,
+    /// fs-api: blocking method names a guard must not be live across.
+    /// Distinct from `force_methods`: that list includes `write`, which
+    /// collides with `RwLock::write` in the engine.
+    pub epoch_wait_methods: Vec<&'static str>,
 }
 
 impl Config {
@@ -204,6 +214,7 @@ impl Config {
                 "crates/fsd/src/sched.rs",
                 "crates/fsd/src/volume.rs",
                 "crates/fsd/src/log.rs",
+                "crates/fsd/src/engine.rs",
             ],
             force_methods: vec![
                 "write",
@@ -236,6 +247,7 @@ impl Config {
                 "crates/fsd/src/volume.rs",
                 "crates/fsd/src/recovery.rs",
                 "crates/fsd/src/sched.rs",
+                "crates/fsd/src/engine.rs",
                 "crates/fsd/src/spare.rs",
                 "crates/fsd/src/scavenge.rs",
                 "crates/disk/src/sched.rs",
@@ -257,9 +269,24 @@ impl Config {
                     "crates/fsd/src/scavenge.rs",
                     vec!["scan_leaders", "old_boot_hint"],
                 ),
+                // Engine teardown joins the log-writer best-effort; a
+                // panicked writer already poisoned the engine, so the
+                // join result adds nothing.
+                ("crates/fsd/src/engine.rs", vec!["drop"]),
             ],
             error_must_handle: vec!["execute", "execute_partial"],
             error_type_idents: vec!["DiskError", "FsdError"],
+            fs_trait: ("crates/vol/src/fs.rs", "FileSystem"),
+            epoch_wait_files: vec!["crates/fsd/src/engine.rs", "crates/fsd/src/sched.rs"],
+            epoch_wait_methods: vec![
+                "wait",
+                "wait_timeout",
+                "wait_while",
+                "recv",
+                "recv_timeout",
+                "join",
+                "force",
+            ],
         }
     }
 }

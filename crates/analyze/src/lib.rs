@@ -42,6 +42,11 @@
 //! * **cast-safety** — truncating `as` casts in sector/page arithmetic
 //!   (`.len() as u16`, narrowing casts of computed values, width-changing
 //!   casts of layout constants).
+//! * **fs-api** — the public `FileSystem` service trait stays
+//!   shared-reference (`&self` on every method; exclusive verbs belong on
+//!   `FsBackend`), and in the concurrent engine no lock guard is live
+//!   across an epoch wait (`force`, condvar waits, channel recv, join)
+//!   unless the wait consumes the guard (`cvar.wait(guard)`).
 //! * **unsafe-hygiene** — every library crate declares
 //!   `#![deny(unsafe_code)]` (or `forbid`); any `unsafe` elsewhere needs a
 //!   `// SAFETY:` comment.
@@ -70,9 +75,9 @@ pub use report::Report;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
     /// Rule id (`layering`, `wal-order`, `barrier-discipline`,
-    /// `batch-io`, `error-flow`, `panic-ratchet`, `lock-order`,
-    /// `const-consistency`, `cast-safety`, `unsafe-hygiene`,
-    /// `parse-error`, `stale-allowlist`).
+    /// `batch-io`, `error-flow`, `fs-api`, `panic-ratchet`,
+    /// `lock-order`, `const-consistency`, `cast-safety`,
+    /// `unsafe-hygiene`, `parse-error`, `stale-allowlist`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -157,6 +162,7 @@ pub fn run(
     findings.extend(rules::walorder::check(&files, config));
     findings.extend(rules::barrier::check(&files, config));
     findings.extend(rules::errorflow::check(&files, config));
+    findings.extend(rules::fsapi::check(&files, config));
     let (kept, stale) = allow.apply(findings);
     Ok(Report::new(kept, stale, files.len()))
 }

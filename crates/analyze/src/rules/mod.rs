@@ -5,6 +5,7 @@ pub mod barrier;
 pub mod casts;
 pub mod consts;
 pub mod errorflow;
+pub mod fsapi;
 pub mod layering;
 pub mod locks;
 pub mod panics;

@@ -192,6 +192,30 @@ fn locks_fixture_reports_cycle_with_both_sites_and_force_hold() {
 }
 
 #[test]
+fn fsapi_fixture_flags_mut_trait_method_and_guard_across_force() {
+    let f = findings("fsapi");
+    assert!(f.iter().all(|x| x.rule == "fs-api"), "{f:#?}");
+    assert_eq!(f.len(), 2, "{f:#?}");
+    // `FileSystem::create` takes `&mut self`; `FsBackend::create` (the
+    // exclusive-borrow trait) is the sanctioned home and stays clean.
+    assert!(
+        f.iter().any(|x| x.file == "crates/vol/src/fs.rs"
+            && x.item == "create"
+            && x.message.contains("&mut self")),
+        "{f:#?}"
+    );
+    // `publish` holds a `plock` guard across `force()`; the condvar
+    // hand-off in `wait_for_work` and the scope-released guard in
+    // `submit` are both clean.
+    assert!(
+        f.iter().any(|x| x.file == "crates/fsd/src/engine.rs"
+            && x.item == "publish"
+            && x.snippet.contains("held across force()")),
+        "{f:#?}"
+    );
+}
+
+#[test]
 fn consts_fixture_flags_duplicated_literal_not_definition() {
     let f = findings("consts");
     assert_eq!(f.len(), 1, "{f:#?}");

@@ -1,0 +1,25 @@
+impl Engine {
+    pub fn publish(&self) -> Result<(), FsdError> {
+        let g = plock(&self.stats);
+        self.vol.force()?;
+        g.bump();
+        Ok(())
+    }
+
+    pub fn wait_for_work(&self) -> u64 {
+        let mut sig = plock(&self.signal);
+        while sig.epoch == 0 {
+            sig = self.wake.wait(sig);
+        }
+        sig.epoch
+    }
+
+    pub fn submit(&self) -> Result<(), FsdError> {
+        {
+            let mut q = plock(&self.queue);
+            q.push(1);
+        }
+        self.slot.wait();
+        Ok(())
+    }
+}

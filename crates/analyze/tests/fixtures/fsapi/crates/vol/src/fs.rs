@@ -1,0 +1,8 @@
+pub trait FileSystem {
+    fn open(&self, name: &str) -> Result<u32, FsError>;
+    fn create(&mut self, name: &str, bytes: &[u8]) -> Result<u32, FsError>;
+}
+
+pub trait FsBackend {
+    fn create(&mut self, name: &str, bytes: &[u8]) -> Result<u32, FsError>;
+}

@@ -12,7 +12,7 @@
 pub use cedar_cfs::CfsVolume;
 pub use cedar_ffs::Ffs;
 pub use cedar_fsd::FsdVolume;
-pub use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsStats};
+pub use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsBackend, FsStats, Session, SyncFs};
 
 #[cfg(test)]
 mod tests {
@@ -30,7 +30,7 @@ mod tests {
         };
         let (setup, measured) = makedo_workload(params);
 
-        let mut cfs = CfsVolume::format(
+        let cfs = CfsVolume::format(
             SimDisk::tiny(),
             cedar_cfs::CfsConfig {
                 nt_pages: 32,
@@ -38,7 +38,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut fsd = FsdVolume::format(
+        let fsd = FsdVolume::format(
             SimDisk::tiny(),
             cedar_fsd::FsdConfig {
                 nt_pages: 48,
@@ -48,7 +48,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut ffs = Ffs::format(
+        let ffs = Ffs::format(
             SimDisk::tiny(),
             cedar_ffs::FfsConfig {
                 cpu: CpuModel::FREE,
@@ -57,7 +57,10 @@ mod tests {
         )
         .unwrap();
 
-        let backends: [&mut dyn FileSystem; 3] = [&mut cfs, &mut fsd, &mut ffs];
+        let cfs = SyncFs::new(cfs);
+        let fsd = SyncFs::new(fsd);
+        let ffs = SyncFs::new(ffs);
+        let backends: [&dyn FileSystem; 3] = [&cfs, &fsd, &ffs];
         for fs in backends {
             let s = run(&setup, fs).unwrap();
             let m = run(&measured, fs).unwrap();

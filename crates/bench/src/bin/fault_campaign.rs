@@ -19,11 +19,11 @@
 //! at least 200 scenarios, zero failures, and every rung of the
 //! escalation ladder (redo, replica scrub, scavenge) exercised.
 
-use cedar_bench::adapters::{CedarFsError, FileSystem, FsdVolume};
+use cedar_bench::adapters::{CedarFsError, FsBackend, FsdVolume};
 use cedar_bench::Table;
 use cedar_disk::{CpuModel, CrashPlan, FaultPlan, SimDisk};
 use cedar_fsd::{FsdConfig, RecoveryRung};
-use cedar_workload::steps::{run_step, Step, WorkloadStats};
+use cedar_workload::steps::{run_step_backend, Step, WorkloadStats};
 use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
 
 /// Volume configuration for every scenario: tiny geometry, free CPU
@@ -194,7 +194,7 @@ fn matches_model(fs: &mut FsdVolume, model: &MemFs) -> bool {
         Ok(w) => w,
         Err(_) => return false,
     };
-    let mut got = match FileSystem::list(fs, "") {
+    let mut got = match FsBackend::list(fs, "") {
         Ok(g) => g,
         Err(_) => return false,
     };
@@ -211,7 +211,7 @@ fn matches_model(fs: &mut FsdVolume, model: &MemFs) -> bool {
             Ok(d) => d,
             Err(_) => return false,
         };
-        match FileSystem::read(fs, &g.name) {
+        match FsBackend::read(fs, &g.name) {
             Ok(d) if d == want_data => {}
             _ => return false,
         }
@@ -227,8 +227,9 @@ fn setup_volume(setup: &[Step]) -> Result<(FsdVolume, MemFs), String> {
     let mut live = MemFs::default();
     let mut stats = WorkloadStats::default();
     for step in setup {
-        run_step(step, &mut v, &mut stats).map_err(|e| format!("setup step failed: {e}"))?;
-        run_step(step, &mut live, &mut stats)
+        run_step_backend(step, &mut v, &mut stats)
+            .map_err(|e| format!("setup step failed: {e}"))?;
+        run_step_backend(step, &mut live, &mut stats)
             .map_err(|e| format!("model setup step failed: {e}"))?;
     }
     v.sync().map_err(|e| format!("setup sync failed: {e}"))?;
@@ -258,9 +259,9 @@ fn run_crash_scenario(
     let mut stats = WorkloadStats::default();
     let mut crashed = false;
     for (i, step) in measured.iter().enumerate() {
-        match run_step(step, &mut v, &mut stats) {
+        match run_step_backend(step, &mut v, &mut stats) {
             Ok(()) => {
-                run_step(step, &mut live, &mut stats)
+                run_step_backend(step, &mut live, &mut stats)
                     .map_err(|e| format!("model diverged on {step:?}: {e}"))?;
             }
             Err(e) if e.is_crash() => {
@@ -360,9 +361,9 @@ fn run_scavenge_scenario(
     let (mut v, mut live) = setup_volume(setup)?;
     let mut stats = WorkloadStats::default();
     for step in measured {
-        match run_step(step, &mut v, &mut stats) {
+        match run_step_backend(step, &mut v, &mut stats) {
             Ok(()) => {
-                run_step(step, &mut live, &mut stats)
+                run_step_backend(step, &mut live, &mut stats)
                     .map_err(|e| format!("model diverged on {step:?}: {e}"))?;
             }
             Err(CedarFsError::NoSpace) => {}

@@ -1,5 +1,4 @@
-//! E-SAT — group-commit saturation: log forces per operation vs client
-//! count.
+//! E-SAT — group-commit saturation, simulated and threaded.
 //!
 //! §5.4: "if a log force is done when other transactions are trying to
 //! commit, … all of the transactions that were committing during this
@@ -8,20 +7,56 @@
 //! a handful of operations per half-second window, so each force is
 //! amortized over few operations; as more clients share the volume,
 //! each window batches more work and the forces-per-operation curve
-//! falls roughly as 1/N — the effect this sweep demonstrates on the
-//! simulated clock, 1 to 64 clients, fully deterministically.
+//! falls roughly as 1/N.
 //!
-//! Output: a human table plus a machine-readable JSON document
-//! (hand-rolled — the build environment has no serde).
+//! The bench demonstrates this twice:
+//!
+//! 1. **Simulated sweep** (1 → 64 clients): the deterministic
+//!    interleaved driver on the simulated clock — reproduces the
+//!    paper's amortization curve exactly, every run.
+//! 2. **Threaded sweep** (1 → 256 → 1024 OS threads): real
+//!    `std::thread` clients holding owned `Session`s on one
+//!    [`FsdEngine`], whose log-writer thread forms group-commit epochs
+//!    and paces simulated disk time into wall time. This answers the
+//!    question the simulation cannot: throughput must keep climbing
+//!    with thread count until `DiskStats` shows the *disk* — not a
+//!    lock — is the bottleneck (busy ≥ 90 % of wall), and forces/op at
+//!    256 threads must match the simulated 64-client amortization
+//!    (≤ 0.021).
+//!
+//! Output: human tables plus machine-readable JSON (hand-rolled — the
+//! build environment has no serde). The full run writes
+//! `BENCH_saturation_mt.json`; `--smoke` (CI) runs the full simulated
+//! sweep plus a reduced threaded slice.
 
-use cedar_bench::driver::{drive_clients, MultiClientRun};
+use cedar_bench::driver::{
+    drive_clients, drive_threads, populate_setup, MultiClientRun, ThreadedRun,
+};
 use cedar_bench::report::{disk_breakdown, disk_breakdown_json, f2};
 use cedar_bench::Table;
-use cedar_disk::{DiskStats, SimClock, SimDisk};
-use cedar_fsd::{FsdConfig, FsdVolume, SchedConfig};
-use cedar_workload::{multi_client_workload, MultiClientParams};
+use cedar_disk::{CpuModel, DiskStats, SimClock, SimDisk};
+use cedar_fsd::{EngineConfig, FsdConfig, FsdEngine, FsdVolume, SchedConfig};
+use cedar_workload::{multi_client_workload, MakeDoParams, MultiClientParams};
+use std::sync::Arc;
 
-const CLIENTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const SIM_CLIENTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const MT_THREADS: [usize; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 1024];
+const MT_THREADS_SMOKE: [usize; 3] = [1, 4, 16];
+
+/// Wall seconds per simulated second for the threaded sweep: both the
+/// engine's disk pacer and the clients' think-time sleeps use it, so
+/// the two timescales agree. 0.02 keeps the full sweep under a minute
+/// while leaving per-epoch disk time (~ms of wall) far above
+/// thread-scheduling noise.
+const PACE_SCALE: f64 = 0.02;
+
+/// The threaded acceptance gate: forces/op at 256 threads must be at
+/// least as amortized as the simulated 64-client figure.
+const MT_FORCES_PER_OP_GATE: f64 = 0.021;
+
+/// Disk-is-the-bottleneck threshold: paced simulated busy time as a
+/// fraction of wall.
+const SATURATED_BUSY_FRAC: f64 = 0.90;
 
 fn volume() -> FsdVolume {
     FsdVolume::format(
@@ -38,7 +73,22 @@ fn volume() -> FsdVolume {
     .expect("format FSD")
 }
 
-fn run_for(clients: usize) -> (MultiClientRun, DiskStats) {
+/// The threaded sweep's volume: same disk and log, free CPU — the
+/// question under test is lock-vs-disk scaling, so simulated CPU cost
+/// (which models a single 1987 processor) is turned off.
+fn mt_volume() -> FsdVolume {
+    FsdVolume::format(
+        SimDisk::trident_t300(SimClock::new()),
+        FsdConfig {
+            log_sectors: 12_288,
+            cpu: CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .expect("format FSD")
+}
+
+fn sim_run_for(clients: usize) -> (MultiClientRun, DiskStats) {
     let scripts = multi_client_workload(MultiClientParams {
         clients,
         ..Default::default()
@@ -48,7 +98,41 @@ fn run_for(clients: usize) -> (MultiClientRun, DiskStats) {
     (run, vol.disk_stats())
 }
 
-fn json_row(clients: usize, r: &MultiClientRun, disk: &DiskStats) -> String {
+/// One threaded configuration: fresh volume, populate, start the paced
+/// engine, run one OS thread per client script, shut down, verify.
+fn mt_run_for(threads: usize) -> ThreadedRun {
+    let scripts = multi_client_workload(MultiClientParams {
+        clients: threads,
+        // Small per-client scripts keep the 1024-thread configuration's
+        // total op count (and the populated volume) within bounds.
+        makedo: MakeDoParams {
+            sources: 2,
+            interfaces: 3,
+            rounds: 1,
+            seed: 0, // replaced per client
+        },
+        ..Default::default()
+    });
+    let expected: u64 = scripts.iter().map(|c| c.steps.len() as u64).sum();
+    let vol = populate_setup(mt_volume(), &scripts).expect("populate");
+    let engine = Arc::new(
+        FsdEngine::start(
+            vol,
+            EngineConfig {
+                pace_scale: Some(PACE_SCALE),
+                ..Default::default()
+            },
+        )
+        .expect("start engine"),
+    );
+    let run = drive_threads(&engine, &scripts, PACE_SCALE).expect("drive threads");
+    assert_eq!(run.stats.steps, expected, "every step must complete");
+    let mut vol = FsdEngine::shutdown_arc(engine).expect("shutdown engine");
+    vol.verify().expect("verify after threaded run");
+    run
+}
+
+fn sim_json_row(clients: usize, r: &MultiClientRun, disk: &DiskStats) -> String {
     let rep = &r.report;
     format!(
         concat!(
@@ -80,14 +164,41 @@ fn json_row(clients: usize, r: &MultiClientRun, disk: &DiskStats) -> String {
     )
 }
 
-fn main() {
+fn mt_json_row(threads: usize, r: &ThreadedRun) -> String {
+    format!(
+        concat!(
+            "    {{\"threads\": {}, \"ops\": {}, \"log_forces\": {}, ",
+            "\"forces_per_op\": {:.6}, \"epochs\": {}, \"batch_max\": {}, ",
+            "\"read_hits\": {}, \"read_misses\": {}, \"retries\": {}, ",
+            "\"wall_s\": {:.3}, \"ops_per_sec\": {:.1}, ",
+            "\"disk_busy_us\": {}, \"busy_frac\": {:.3}}}"
+        ),
+        threads,
+        r.engine.ops,
+        r.engine.log_forces,
+        r.engine.forces_per_op(),
+        r.engine.epochs,
+        r.engine.batch_max,
+        r.engine.read_hits,
+        r.engine.read_misses,
+        r.retries,
+        r.wall.as_secs_f64(),
+        r.ops_per_sec(),
+        r.disk_busy_us(),
+        r.disk_busy_fraction(PACE_SCALE),
+    )
+}
+
+/// The simulated sweep and its §5.4 monotonicity assertion. Returns
+/// the 64-client forces/op as the threaded sweep's reference.
+fn simulated_sweep() -> f64 {
     println!("Group-commit saturation: 1 to 64 MakeDo clients on one FSD volume");
     println!("(0.5 s commit window, simulated T-300, Dorado CPU costs)");
 
-    let runs: Vec<(usize, MultiClientRun, DiskStats)> = CLIENTS
+    let runs: Vec<(usize, MultiClientRun, DiskStats)> = SIM_CLIENTS
         .iter()
         .map(|&n| {
-            let (run, disk) = run_for(n);
+            let (run, disk) = sim_run_for(n);
             (n, run, disk)
         })
         .collect();
@@ -130,7 +241,7 @@ fn main() {
     println!("  \"rows\": [");
     for (i, (n, r, disk)) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
-        println!("{}{}", json_row(*n, r, disk), comma);
+        println!("{}{}", sim_json_row(*n, r, disk), comma);
     }
     println!("  ]");
     println!("}}");
@@ -150,4 +261,170 @@ fn main() {
         );
     }
     println!("\nforces/op falls strictly monotonically from 1 through 64 clients.");
+    runs.last()
+        .map(|(_, r, _)| r.report.forces_per_op)
+        .unwrap_or(0.0)
+}
+
+/// The threaded sweep: real OS threads against one engine, with the
+/// saturation and amortization gates. Returns the JSON document.
+fn threaded_sweep(threads: &[usize], sim_64_forces_per_op: Option<f64>, smoke: bool) -> String {
+    println!(
+        "\nThreaded saturation: {} OS-thread clients on one FsdEngine",
+        threads
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    println!("(pace {PACE_SCALE} wall-s per sim-s, free CPU, one owned Session per thread)");
+
+    let runs: Vec<(usize, ThreadedRun)> = threads.iter().map(|&n| (n, mt_run_for(n))).collect();
+
+    let mut t = Table::new(
+        "Throughput and forces/op vs OS threads (group commit across threads)",
+        &[
+            "threads",
+            "ops",
+            "ops/s",
+            "forces",
+            "forces/op",
+            "epochs",
+            "batch max",
+            "read hits",
+            "retries",
+            "busy frac",
+        ],
+    );
+    for (n, r) in &runs {
+        t.row(&[
+            n.to_string(),
+            r.engine.ops.to_string(),
+            format!("{:.0}", r.ops_per_sec()),
+            r.engine.log_forces.to_string(),
+            format!("{:.4}", r.engine.forces_per_op()),
+            r.engine.epochs.to_string(),
+            r.engine.batch_max.to_string(),
+            r.engine.read_hits.to_string(),
+            r.retries.to_string(),
+            format!("{:.3}", r.disk_busy_fraction(PACE_SCALE)),
+        ]);
+    }
+    t.print();
+
+    // Where the disk becomes the bottleneck: the first configuration
+    // whose paced simulated busy time covers ≥ 90 % of wall time.
+    let saturated_at = runs
+        .iter()
+        .position(|(_, r)| r.disk_busy_fraction(PACE_SCALE) >= SATURATED_BUSY_FRAC);
+
+    let json = {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"saturation_mt\",\n");
+        s.push_str(&format!("  \"pace_scale\": {PACE_SCALE},\n"));
+        s.push_str(&format!(
+            "  \"saturated_busy_frac\": {SATURATED_BUSY_FRAC},\n"
+        ));
+        s.push_str(&format!(
+            "  \"saturated_at_threads\": {},\n",
+            saturated_at.map_or("null".to_string(), |i| runs[i].0.to_string())
+        ));
+        s.push_str(&format!(
+            "  \"sim_64_forces_per_op\": {},\n",
+            sim_64_forces_per_op.map_or("null".to_string(), |f| format!("{f:.6}"))
+        ));
+        s.push_str(&format!(
+            "  \"forces_per_op_gate\": {MT_FORCES_PER_OP_GATE},\n"
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, (n, r)) in runs.iter().enumerate() {
+            let comma = if i + 1 < runs.len() { "," } else { "" };
+            s.push_str(&format!("{}{}\n", mt_json_row(*n, r), comma));
+        }
+        s.push_str("  ]\n");
+        s.push_str("}\n");
+        s
+    };
+    println!("\nJSON:\n{json}");
+
+    // Gate 1: throughput climbs with thread count until the disk — not
+    // a lock — is the bottleneck.
+    let last_checked = saturated_at.unwrap_or(runs.len() - 1);
+    for i in 0..last_checked {
+        let (n0, r0) = &runs[i];
+        let (n1, r1) = &runs[i + 1];
+        assert!(
+            r1.ops_per_sec() > r0.ops_per_sec(),
+            "throughput must climb below saturation: {} threads {:.0} ops/s \
+             vs {} threads {:.0} ops/s",
+            n0,
+            r0.ops_per_sec(),
+            n1,
+            r1.ops_per_sec(),
+        );
+    }
+    if smoke {
+        // The reduced sweep may not reach saturation; the climb above
+        // plus force sharing is the CI signal.
+        let first = &runs[0].1;
+        let last = &runs[runs.len() - 1].1;
+        assert!(
+            last.engine.forces_per_op() < first.engine.forces_per_op(),
+            "threads must share forces: {:.4}/op at {} threads vs {:.4}/op at 1",
+            last.engine.forces_per_op(),
+            runs[runs.len() - 1].0,
+            first.engine.forces_per_op(),
+        );
+        println!(
+            "smoke OK: throughput climbs 1 → {} threads, forces/op falls \
+             {:.4} → {:.4}",
+            runs[runs.len() - 1].0,
+            first.engine.forces_per_op(),
+            last.engine.forces_per_op(),
+        );
+    } else {
+        let sat = saturated_at.expect("the sweep must drive the disk to ≥ 90 % busy");
+        println!(
+            "disk saturates at {} threads (busy {:.1} % of wall); throughput \
+             climbs monotonically up to that point.",
+            runs[sat].0,
+            runs[sat].1.disk_busy_fraction(PACE_SCALE) * 100.0,
+        );
+        // Gate 2: at 256 threads the engine amortizes forces at least
+        // as well as the simulated 64-client run (0.021 forces/op).
+        let (_, r256) = runs
+            .iter()
+            .find(|(n, _)| *n == 256)
+            .expect("full sweep includes 256 threads");
+        assert!(
+            r256.engine.forces_per_op() <= MT_FORCES_PER_OP_GATE,
+            "forces/op at 256 threads must be ≤ {MT_FORCES_PER_OP_GATE}, got {:.4}",
+            r256.engine.forces_per_op(),
+        );
+        println!(
+            "forces/op at 256 threads: {:.4} (gate {MT_FORCES_PER_OP_GATE}, \
+             simulated 64-client reference {:.4})",
+            r256.engine.forces_per_op(),
+            sim_64_forces_per_op.unwrap_or(f64::NAN),
+        );
+    }
+    json
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        // CI mode: the full simulated sweep (deterministic and cheap,
+        // with its §5.4 monotonicity assertion) plus a reduced threaded
+        // slice — enough to catch a lock on the hot path without tying
+        // up a small runner with 1024 threads.
+        simulated_sweep();
+        threaded_sweep(&MT_THREADS_SMOKE, None, true);
+        return;
+    }
+    let sim_64 = simulated_sweep();
+    let json = threaded_sweep(&MT_THREADS, Some(sim_64), false);
+    std::fs::write("BENCH_saturation_mt.json", &json).expect("write BENCH_saturation_mt.json");
+    println!("\nwrote BENCH_saturation_mt.json");
 }

@@ -6,7 +6,7 @@
 //! numbers include its amortized log forces. Both systems are driven
 //! through the same `FileSystem` trait.
 
-use cedar_bench::{cfs_t300, disk_breakdown, fsd_t300, FileSystem, Table};
+use cedar_bench::{cfs_t300, disk_breakdown, fsd_t300, FileSystem, SyncFs, Table};
 use cedar_workload::{makedo_workload, steps::run, MakeDoParams};
 
 struct Counts {
@@ -16,13 +16,13 @@ struct Counts {
     makedo: u64,
 }
 
-fn ops(fs: &mut dyn FileSystem, f: impl FnOnce(&mut dyn FileSystem)) -> u64 {
+fn ops(fs: &dyn FileSystem, f: impl FnOnce(&dyn FileSystem)) -> u64 {
     let before = fs.stats().disk.total_ops();
     f(fs);
     fs.stats().disk.total_ops() - before
 }
 
-fn measure(fs: &mut dyn FileSystem) -> Counts {
+fn measure(fs: &dyn FileSystem) -> Counts {
     // 100 small creates (one data page each) in one directory.
     let creates = ops(fs, |fs| {
         for i in 0..100 {
@@ -57,10 +57,10 @@ fn measure(fs: &mut dyn FileSystem) -> Counts {
 fn main() {
     println!("Reproducing Table 3: CFS vs FSD disk I/Os");
 
-    let mut cfs_fs = cfs_t300();
-    let cfs = measure(&mut cfs_fs);
-    let mut fsd_fs = fsd_t300();
-    let fsd = measure(&mut fsd_fs);
+    let cfs_fs = SyncFs::new(cfs_t300());
+    let cfs = measure(&cfs_fs);
+    let fsd_fs = SyncFs::new(fsd_t300());
+    let fsd = measure(&fsd_fs);
 
     let mut t = Table::new(
         "Table 3. CFS to FSD Performance Measured in Disk I/O's",

@@ -14,7 +14,7 @@ pub mod driver;
 pub mod report;
 pub mod setup;
 
-pub use adapters::{CedarFsError, FileSystem};
-pub use driver::{drive_clients, MultiClientRun};
+pub use adapters::{CedarFsError, FileSystem, FsBackend, Session, SyncFs};
+pub use driver::{drive_clients, drive_threads, populate_setup, MultiClientRun, ThreadedRun};
 pub use report::{disk_breakdown, disk_breakdown_json, Table};
 pub use setup::{cfs_t300, ffs_t300, fsd_t300, ms, populate};

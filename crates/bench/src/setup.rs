@@ -31,10 +31,12 @@ pub fn ffs_t300() -> Ffs {
 }
 
 /// Populates a volume with `files` files drawn from the paper's size
-/// distribution under `prefix`, through the [`FileSystem`] trait.
-/// Returns the names.
+/// distribution under `prefix`, through the [`FsBackend`] trait
+/// (`cedar_vol::fs::FsBackend`) — population happens before any
+/// concurrent service starts, so the exclusive-borrow API is the
+/// honest one. Returns the names.
 pub fn populate(
-    fs: &mut dyn cedar_vol::fs::FileSystem,
+    fs: &mut dyn cedar_vol::fs::FsBackend,
     prefix: &str,
     files: usize,
     seed: u64,

@@ -1,11 +1,14 @@
-//! [`FileSystem`] implementation for [`CfsVolume`].
+//! [`FsBackend`] implementation for [`CfsVolume`].
 //!
 //! CFS is the all-synchronous baseline: every operation is durable the
-//! moment it returns, so [`FileSystem::sync`] is a no-op.
+//! moment it returns, so [`FsBackend::sync`] is a no-op. Services wrap
+//! the volume in `SyncFs` to expose the shared-reference `FileSystem`
+//! trait (CFS has no concurrent pipeline of its own — its design is
+//! inherently serial, writing labels and data synchronously in place).
 
 use crate::error::CfsError;
 use crate::volume::CfsVolume;
-use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsStats, CHUNK_PAGES};
+use cedar_vol::fs::{CedarFsError, FileInfo, FsBackend, FsStats, CHUNK_PAGES};
 
 impl From<CfsError> for CedarFsError {
     fn from(e: CfsError) -> Self {
@@ -23,7 +26,7 @@ impl From<CfsError> for CedarFsError {
     }
 }
 
-impl FileSystem for CfsVolume {
+impl FsBackend for CfsVolume {
     fn kind(&self) -> &'static str {
         "cfs"
     }
@@ -57,6 +60,14 @@ impl FileSystem for CfsVolume {
         }
         out.truncate(f.header.byte_size as usize);
         Ok(out)
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        // Cedar files are immutable: overwriting a name means creating
+        // its next version, exactly what `create` does for an existing
+        // name. The separate verb keeps the intent explicit at call
+        // sites.
+        FsBackend::create(self, name, data)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), CedarFsError> {
@@ -103,6 +114,7 @@ mod tests {
     use super::*;
     use crate::CfsConfig;
     use cedar_disk::{CpuModel, SimDisk};
+    use cedar_vol::fs::{FileSystem, SyncFs};
 
     fn vol() -> CfsVolume {
         CfsVolume::format(
@@ -116,12 +128,11 @@ mod tests {
     }
 
     #[test]
-    fn trait_roundtrip_and_versioning() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+    fn backend_roundtrip_and_versioning() {
+        let fs: &mut dyn FsBackend = &mut vol();
         assert_eq!(fs.kind(), "cfs");
         fs.create("d/a", b"one").unwrap();
-        let info = fs.create("d/a", b"two").unwrap();
+        let info = fs.write("d/a", b"two").unwrap();
         assert_eq!(info.version, 2);
         assert_eq!(fs.read("d/a").unwrap(), b"two");
         // The listing shows only the newest version.
@@ -134,9 +145,17 @@ mod tests {
     }
 
     #[test]
+    fn shared_reference_service_via_syncfs() {
+        let fs = SyncFs::new(vol());
+        let fs: &dyn FileSystem = &fs;
+        fs.create("d/a", b"one").unwrap();
+        assert_eq!(fs.open("d/a").unwrap().bytes, 3);
+        assert!(fs.stats().disk.reads + fs.stats().disk.writes > 0);
+    }
+
+    #[test]
     fn errors_map_to_shared_enum() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+        let fs: &mut dyn FsBackend = &mut vol();
         match fs.read("absent") {
             Err(CedarFsError::NotFound(n)) => assert_eq!(n, "absent"),
             other => panic!("expected NotFound, got {other:?}"),

@@ -5,8 +5,8 @@
 //! makes every benchmark deterministic, which is what lets us reproduce the
 //! paper's exact I/O counts and stable wall-clock shapes.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One microsecond, the base unit of simulated time.
 pub type Micros = u64;
@@ -14,8 +14,12 @@ pub type Micros = u64;
 /// A shared handle to the simulation clock.
 ///
 /// Cloning a `SimClock` yields another handle to the *same* clock; the disk
-/// and the file system each hold one. The clock is single-threaded by design
-/// (the paper's system is a single-user workstation file system).
+/// and the file system each hold one. The clock is an atomic counter, so
+/// handles may be read from any thread — in the concurrent engine the
+/// log-writer thread advances it while client threads sample it for
+/// reports. Advancing is still logically single-writer (the component
+/// doing simulated work owns the timeline); the atomics only make that
+/// ownership transferable across threads.
 ///
 /// # Examples
 ///
@@ -28,7 +32,7 @@ pub type Micros = u64;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SimClock {
-    now: Rc<Cell<Micros>>,
+    now: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -39,24 +43,19 @@ impl SimClock {
 
     /// Returns the current simulated time in microseconds.
     pub fn now(&self) -> Micros {
-        self.now.get()
+        self.now.load(Ordering::Acquire)
     }
 
     /// Advances the clock by `delta` microseconds.
     pub fn advance(&self, delta: Micros) {
-        self.now.set(self.now.get() + delta);
+        self.now.fetch_add(delta, Ordering::AcqRel);
     }
 
     /// Advances the clock to `target` if it is in the future; otherwise does
     /// nothing. Returns the amount of time actually waited.
     pub fn advance_to(&self, target: Micros) -> Micros {
-        let now = self.now.get();
-        if target > now {
-            self.now.set(target);
-            target - now
-        } else {
-            0
-        }
+        let prev = self.now.fetch_max(target, Ordering::AcqRel);
+        target.saturating_sub(prev)
     }
 }
 

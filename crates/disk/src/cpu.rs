@@ -60,7 +60,7 @@ impl CpuModel {
 pub struct Cpu {
     clock: SimClock,
     model: CpuModel,
-    total_us: std::rc::Rc<std::cell::Cell<Micros>>,
+    total_us: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl Cpu {
@@ -69,7 +69,7 @@ impl Cpu {
         Self {
             clock,
             model,
-            total_us: std::rc::Rc::new(std::cell::Cell::new(0)),
+            total_us: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
         }
     }
 
@@ -80,12 +80,13 @@ impl Cpu {
 
     /// Total CPU time charged so far.
     pub fn total_us(&self) -> Micros {
-        self.total_us.get()
+        self.total_us.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// Charges `us` microseconds of CPU time.
     pub fn charge(&self, us: Micros) {
-        self.total_us.set(self.total_us.get() + us);
+        self.total_us
+            .fetch_add(us, std::sync::atomic::Ordering::AcqRel);
         self.clock.advance(us);
     }
 

@@ -1,15 +1,18 @@
-//! [`FileSystem`] implementation for [`Ffs`].
+//! [`FsBackend`] implementation for [`Ffs`].
 //!
 //! FFS organizes files in a directory tree and has no versions, so this
 //! impl bridges the trait's flat versioned namespace: `create` makes
 //! missing parent directories and replaces an existing file (version is
 //! always 1), and `list` walks subdirectories recursively so a prefix
-//! query sees the same names the flat backends report.
+//! query sees the same names the flat backends report. Services wrap
+//! the volume in `SyncFs` to expose the shared-reference `FileSystem`
+//! trait (FFS has a single buffer cache, so its concurrency story is
+//! one lock).
 
 use crate::fs::Ffs;
 use crate::inode::InodeKind;
 use crate::{FfsError, Ino};
-use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsStats};
+use cedar_vol::fs::{CedarFsError, FileInfo, FsBackend, FsStats};
 
 impl From<FfsError> for CedarFsError {
     fn from(e: FfsError) -> Self {
@@ -46,7 +49,7 @@ fn ensure_parents(fs: &mut Ffs, name: &str) -> Result<(), CedarFsError> {
     Ok(())
 }
 
-impl FileSystem for Ffs {
+impl FsBackend for Ffs {
     fn kind(&self) -> &'static str {
         "ffs"
     }
@@ -87,6 +90,12 @@ impl FileSystem for Ffs {
             return Err(CedarFsError::WrongKind(name.to_string()));
         }
         Ok(self.read_file(&f)?)
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        // No versions on FFS: overwriting means replacing the file in
+        // place, which is what `create` does for an existing name.
+        FsBackend::create(self, name, data)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), CedarFsError> {
@@ -153,14 +162,13 @@ mod tests {
     }
 
     #[test]
-    fn trait_roundtrip_with_auto_mkdir_and_replace() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+    fn backend_roundtrip_with_auto_mkdir_and_replace() {
+        let fs: &mut dyn FsBackend = &mut vol();
         assert_eq!(fs.kind(), "ffs");
         // Parents spring into existence, as the flat backends' namespace
         // implies they must.
         fs.create("a/b/c.txt", b"one").unwrap();
-        let info = fs.create("a/b/c.txt", b"two!").unwrap();
+        let info = fs.write("a/b/c.txt", b"two!").unwrap();
         assert_eq!((info.version, info.bytes), (1, 4));
         assert_eq!(fs.read("a/b/c.txt").unwrap(), b"two!");
         fs.delete("a/b/c.txt").unwrap();
@@ -172,8 +180,7 @@ mod tests {
 
     #[test]
     fn list_walks_subdirectories() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+        let fs: &mut dyn FsBackend = &mut vol();
         fs.create("pkg/Source.mesa", b"m").unwrap();
         fs.create("pkg/deep/Inner.bcd", b"bb").unwrap();
         fs.create("cache/Other.bcd", b"o").unwrap();
@@ -191,8 +198,7 @@ mod tests {
 
     #[test]
     fn errors_map_to_shared_enum() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+        let fs: &mut dyn FsBackend = &mut vol();
         assert!(matches!(fs.read("nope"), Err(CedarFsError::NotFound(_))));
         fs.create("d/f", b"x").unwrap();
         assert!(matches!(fs.read("d"), Err(CedarFsError::WrongKind(_))));

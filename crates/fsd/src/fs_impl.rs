@@ -1,11 +1,14 @@
-//! [`FileSystem`] implementation for [`FsdVolume`].
+//! [`FsBackend`] implementation for [`FsdVolume`].
 //!
 //! FSD batches metadata in the cached name table and makes it durable at
-//! the group commit, so [`FileSystem::sync`] forces the log.
+//! the group commit, so [`FsBackend::sync`] forces the log. This is the
+//! raw single-owner backend; the concurrent shared-reference service is
+//! [`crate::FsdEngine`], which owns the volume on a dedicated log-writer
+//! thread and forms commit epochs across client threads.
 
 use crate::error::FsdError;
 use crate::volume::FsdVolume;
-use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsStats, CHUNK_PAGES};
+use cedar_vol::fs::{CedarFsError, FileInfo, FsBackend, FsStats, CHUNK_PAGES};
 
 impl From<FsdError> for CedarFsError {
     fn from(e: FsdError) -> Self {
@@ -23,7 +26,7 @@ impl From<FsdError> for CedarFsError {
     }
 }
 
-impl FileSystem for FsdVolume {
+impl FsBackend for FsdVolume {
     fn kind(&self) -> &'static str {
         "fsd"
     }
@@ -57,6 +60,13 @@ impl FileSystem for FsdVolume {
         }
         out.truncate(f.byte_size() as usize);
         Ok(out)
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        // FSD files are immutable Cedar files: overwriting a name means
+        // logging its next version, which `create` already does for an
+        // existing name.
+        FsBackend::create(self, name, data)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), CedarFsError> {
@@ -116,12 +126,12 @@ mod tests {
     }
 
     #[test]
-    fn trait_roundtrip_versioning_and_sync() {
+    fn backend_roundtrip_versioning_and_sync() {
         let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+        let fs: &mut dyn FsBackend = &mut v;
         assert_eq!(fs.kind(), "fsd");
         fs.create("d/a", b"one").unwrap();
-        let info = fs.create("d/a", b"two!").unwrap();
+        let info = fs.write("d/a", b"two!").unwrap();
         assert_eq!((info.version, info.bytes), (2, 4));
         assert_eq!(fs.read("d/a").unwrap(), b"two!");
         let listing = fs.list("d/").unwrap();
@@ -133,8 +143,7 @@ mod tests {
 
     #[test]
     fn errors_map_to_shared_enum() {
-        let mut v = vol();
-        let fs: &mut dyn FileSystem = &mut v;
+        let fs: &mut dyn FsBackend = &mut vol();
         assert!(matches!(
             fs.delete("missing"),
             Err(CedarFsError::NotFound(_))

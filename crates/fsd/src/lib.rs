@@ -31,6 +31,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod engine;
 pub mod entry;
 pub mod error;
 pub mod fs_impl;
@@ -44,6 +45,7 @@ pub mod sched;
 pub mod spare;
 pub mod volume;
 
+pub use engine::{EngineConfig, EngineStats, FsdEngine};
 pub use entry::{EntryKind, FileEntry};
 pub use error::FsdError;
 pub use fscache::{CachingFs, FileServer, MemServer};
@@ -51,7 +53,9 @@ pub use layout::FsdLayout;
 pub use leader::LeaderPage;
 pub use recovery::{RecoveryReport, RecoveryRung};
 pub use scavenge::ScavengeSummary;
-pub use sched::{ClientHandle, CommitScheduler, LatencyStats, SchedConfig, SchedReport};
+pub use sched::{
+    ClientHandle, CommitScheduler, LatencyStats, SchedConfig, SchedReport, SharedScheduler,
+};
 pub use spare::SpareMap;
 pub use volume::{FsdConfig, FsdFile, FsdVolume};
 

@@ -152,8 +152,8 @@ mod tests {
         use crate::memfs::MemFs;
         use crate::steps::run;
         let (setup, measured) = makedo_workload(MakeDoParams::default());
-        let mut m = MemFs::default();
-        run(&setup, &mut m).unwrap();
-        run(&measured, &mut m).unwrap();
+        let m = cedar_vol::fs::SyncFs::new(MemFs::default());
+        run(&setup, &m).unwrap();
+        run(&measured, &m).unwrap();
     }
 }

@@ -1,12 +1,14 @@
-//! An in-memory reference [`FileSystem`] with Cedar versioning
+//! An in-memory reference [`FsBackend`] with Cedar versioning
 //! semantics.
 //!
 //! Used as the *model* in conformance tests: replay a script against
 //! `MemFs` and against a real backend and the visible name → contents
 //! map must match. It simulates nothing — no clock, no disk — so its
-//! [`FileSystem::stats`] are all zero.
+//! [`FsBackend::stats`] are all zero. Wrap it in
+//! `cedar_vol::fs::SyncFs` when a shared-reference `FileSystem` model
+//! is needed (the concurrent conformance suite does exactly that).
 
-use cedar_vol::fs::{validate_name, CedarFsError, FileInfo, FileSystem, FsStats};
+use cedar_vol::fs::{validate_name, CedarFsError, FileInfo, FsBackend, FsStats};
 use std::collections::BTreeMap;
 
 /// In-memory versioned file store.
@@ -26,7 +28,7 @@ impl MemFs {
     }
 }
 
-impl FileSystem for MemFs {
+impl FsBackend for MemFs {
     fn kind(&self) -> &'static str {
         "mem"
     }
@@ -53,6 +55,11 @@ impl FileSystem for MemFs {
 
     fn read(&mut self, name: &str) -> Result<Vec<u8>, CedarFsError> {
         Ok(self.newest(name)?.0.clone())
+    }
+
+    fn write(&mut self, name: &str, data: &[u8]) -> Result<FileInfo, CedarFsError> {
+        // The model mirrors Cedar versioning: overwrite = next version.
+        FsBackend::create(self, name, data)
     }
 
     fn delete(&mut self, name: &str) -> Result<(), CedarFsError> {

@@ -142,9 +142,9 @@ mod tests {
             clients: 4,
             ..Default::default()
         });
-        let mut fs = MemFs::default();
+        let fs = cedar_vol::fs::SyncFs::new(MemFs::default());
         for c in &clients {
-            run(&c.setup, &mut fs).unwrap();
+            run(&c.setup, &fs).unwrap();
         }
         let mut stats = WorkloadStats::default();
         let mut cursors = vec![0usize; clients.len()];
@@ -152,7 +152,7 @@ mod tests {
             let mut progressed = false;
             for (i, c) in clients.iter().enumerate() {
                 if cursors[i] < c.steps.len() {
-                    run_step(&c.steps[cursors[i]].step, &mut fs, &mut stats).unwrap();
+                    run_step(&c.steps[cursors[i]].step, &fs, &mut stats).unwrap();
                     cursors[i] += 1;
                     progressed = true;
                 }

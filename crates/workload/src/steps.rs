@@ -1,10 +1,13 @@
 //! Workload steps and the replay loop.
 //!
 //! A workload is pure data — a vector of [`Step`]s — replayed against
-//! any backend through the [`FileSystem`] trait (`cedar_vol::fs`), so
-//! one generated script drives CFS, FSD, and FFS identically.
+//! any backend through the shared-reference [`FileSystem`] trait
+//! (`cedar_vol::fs`), so one generated script drives CFS, FSD, and FFS
+//! identically — from one thread or many (the replay loop takes
+//! `&dyn FileSystem`, so N threads can replay disjoint scripts against
+//! one service concurrently).
 
-use cedar_vol::fs::{CedarFsError, FileSystem};
+use cedar_vol::fs::{CedarFsError, FileSystem, FsBackend};
 
 /// One step of a replayable workload.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -93,7 +96,7 @@ pub fn content_for(name: &str, bytes: u64) -> Vec<u8> {
 /// Executes a single step, folding its effect into `stats`.
 pub fn run_step(
     step: &Step,
-    fs: &mut dyn FileSystem,
+    fs: &dyn FileSystem,
     stats: &mut WorkloadStats,
 ) -> Result<(), CedarFsError> {
     stats.steps += 1;
@@ -118,10 +121,48 @@ pub fn run_step(
 }
 
 /// Replays a workload against a file system.
-pub fn run(steps: &[Step], fs: &mut dyn FileSystem) -> Result<WorkloadStats, CedarFsError> {
+pub fn run(steps: &[Step], fs: &dyn FileSystem) -> Result<WorkloadStats, CedarFsError> {
     let mut stats = WorkloadStats::default();
     for step in steps {
         run_step(step, fs, &mut stats)?;
+    }
+    Ok(stats)
+}
+
+/// Executes a single step against an exclusively-held backend (for
+/// single-owner callers — fault-injection drivers, population phases —
+/// that hold a raw volume rather than a shared service).
+pub fn run_step_backend(
+    step: &Step,
+    fs: &mut dyn FsBackend,
+    stats: &mut WorkloadStats,
+) -> Result<(), CedarFsError> {
+    stats.steps += 1;
+    match step {
+        Step::Create { name, bytes } => {
+            let data = content_for(name, *bytes);
+            fs.create(name, &data)?;
+            stats.bytes_written += bytes;
+        }
+        Step::Read { name } => {
+            stats.bytes_read += fs.read(name)?.len() as u64;
+        }
+        Step::Touch { name } => {
+            fs.open(name)?;
+        }
+        Step::Delete { name } => fs.delete(name)?,
+        Step::List { prefix } => {
+            stats.listed += fs.list(prefix)?.len() as u64;
+        }
+    }
+    Ok(())
+}
+
+/// Replays a workload against an exclusively-held backend.
+pub fn run_backend(steps: &[Step], fs: &mut dyn FsBackend) -> Result<WorkloadStats, CedarFsError> {
+    let mut stats = WorkloadStats::default();
+    for step in steps {
+        run_step_backend(step, fs, &mut stats)?;
     }
     Ok(stats)
 }
@@ -130,6 +171,7 @@ pub fn run(steps: &[Step], fs: &mut dyn FileSystem) -> Result<WorkloadStats, Ced
 mod tests {
     use super::*;
     use crate::memfs::MemFs;
+    use cedar_vol::fs::SyncFs;
 
     #[test]
     fn replay_accumulates_stats() {
@@ -148,8 +190,8 @@ mod tests {
             },
             Step::Delete { name: "d/b".into() },
         ];
-        let mut fs = MemFs::default();
-        let stats = run(&steps, &mut fs).unwrap();
+        let fs = SyncFs::new(MemFs::default());
+        let stats = run(&steps, &fs).unwrap();
         assert_eq!(stats.steps, 5);
         assert_eq!(stats.bytes_written, 150);
         assert_eq!(stats.bytes_read, 100);
@@ -169,7 +211,7 @@ mod tests {
         let steps = vec![Step::Read {
             name: "absent".into(),
         }];
-        assert!(run(&steps, &mut MemFs::default()).is_err());
+        assert!(run(&steps, &SyncFs::new(MemFs::default())).is_err());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use cedar_fs_repro::disk::{SimClock, SimDisk, SECTOR_BYTES_U64};
 use cedar_fs_repro::fsd::{FsdConfig, FsdVolume, RecoveryReport};
-use cedar_fs_repro::vol::fs::FileSystem;
+use cedar_fs_repro::vol::fs::FsBackend;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -109,17 +109,16 @@ fn run() -> Result<(), String> {
             let data = std::fs::read(host).map_err(|e| format!("read {host}: {e}"))?;
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            // File operations go through the unified `FileSystem` trait —
+            // File operations go through the unified `FsBackend` trait —
             // the same interface the benches and conformance tests use.
-            let f =
-                FileSystem::create(&mut vol, name, &data).map_err(|e| format!("create: {e}"))?;
+            let f = FsBackend::create(&mut vol, name, &data).map_err(|e| format!("create: {e}"))?;
             println!("{} <- {} ({} bytes)", f.name, host, data.len());
             finish(vol, image, crash)
         }
         ["get", image, name] | ["get", image, name, _] => {
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            let data = FileSystem::read(&mut vol, name).map_err(|e| format!("read {name}: {e}"))?;
+            let data = FsBackend::read(&mut vol, name).map_err(|e| format!("read {name}: {e}"))?;
             match pos.get(3) {
                 Some(host) => {
                     std::fs::write(host, &data).map_err(|e| format!("write {host}: {e}"))?;
@@ -138,7 +137,7 @@ fn run() -> Result<(), String> {
             let prefix = pos.get(2).copied().unwrap_or("");
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            let listing = FileSystem::list(&mut vol, prefix).map_err(|e| format!("list: {e}"))?;
+            let listing = FsBackend::list(&mut vol, prefix).map_err(|e| format!("list: {e}"))?;
             for f in &listing {
                 println!("{:>10}  v{:<3}  {}", f.bytes, f.version, f.name);
             }
@@ -148,7 +147,7 @@ fn run() -> Result<(), String> {
         ["rm", image, name] => {
             let (mut vol, r) = boot(image)?;
             report_recovery(&r);
-            FileSystem::delete(&mut vol, name).map_err(|e| format!("delete: {e}"))?;
+            FsBackend::delete(&mut vol, name).map_err(|e| format!("delete: {e}"))?;
             println!("removed {name}");
             finish(vol, image, crash)
         }

@@ -10,30 +10,34 @@
 //! This crate is the facade: it re-exports every workspace crate and
 //! hosts the runnable examples and cross-crate integration tests.
 //!
-//! All three systems implement the unified [`FileSystem`]
-//! (`cedar_vol::fs::FileSystem`) trait — one interface, one
+//! All three systems speak one two-level API (`cedar_vol::fs`): the
+//! exclusive-borrow [`FsBackend`] trait every volume implements, and
+//! the shared-reference, `Send + Sync` [`FileSystem`] service trait
+//! that sessions and threads drive — one interface, one
 //! `CedarFsError`, identical visible semantics (a conformance test
-//! holds them to it) — and FSD additionally offers the §5.4
-//! multi-client [`CommitScheduler`](cedar_fsd::CommitScheduler), which
-//! batches operations from many clients into one log force per commit
-//! window.
+//! holds them to it). FSD additionally offers two concurrent services:
+//! the §5.4 deterministic [`CommitScheduler`](cedar_fsd::CommitScheduler)
+//! (simulated clients, one force per commit window) and the threaded
+//! [`FsdEngine`](cedar_fsd::FsdEngine) (real OS threads feeding a
+//! dedicated log-writer that forms group-commit epochs).
 //!
 //! [`FileSystem`]: cedar_vol::fs::FileSystem
+//! [`FsBackend`]: cedar_vol::fs::FsBackend
 //!
 //! ## Quick start
 //!
 //! ```
 //! use cedar_fs_repro::disk::{SimClock, SimDisk};
 //! use cedar_fs_repro::fsd::{FsdConfig, FsdVolume};
-//! use cedar_fs_repro::vol::fs::FileSystem; // the unified trait
+//! use cedar_fs_repro::vol::fs::{FsBackend, SyncFs, FileSystem};
 //!
 //! // A simulated 300 MB Trident-class drive, formatted as an FSD volume.
 //! let disk = SimDisk::trident_t300(SimClock::new());
 //! let mut vol = FsdVolume::format(disk, FsdConfig::default()).unwrap();
 //!
-//! // Create, read, list — through the same trait CFS and FFS implement
-//! // (a `&mut dyn FileSystem` works identically on every backend).
-//! let fs: &mut dyn FileSystem = &mut vol;
+//! // Single-owner callers use the exclusive-borrow backend trait —
+//! // the same verbs CFS and FFS implement.
+//! let fs: &mut dyn FsBackend = &mut vol;
 //! fs.create("docs/memo.tioga", b"group commit!").unwrap();
 //! assert_eq!(fs.read("docs/memo.tioga").unwrap(), b"group commit!");
 //! assert_eq!(fs.list("docs/").unwrap()[0].name, "docs/memo.tioga");
@@ -43,34 +47,44 @@
 //! let mut platters = vol.into_disk();
 //! platters.crash_now();
 //! platters.reboot();
-//! let (mut vol, report) = FsdVolume::boot(platters, FsdConfig::default()).unwrap();
-//! let fs: &mut dyn FileSystem = &mut vol;
-//! assert!(fs.open("docs/memo.tioga").is_ok());
+//! let (vol, report) = FsdVolume::boot(platters, FsdConfig::default()).unwrap();
 //! assert!(report.total_us() < 30_000_000, "recovery in seconds, not hours");
+//!
+//! // Shared-reference service over any backend: wrap it in `SyncFs`
+//! // and every method takes `&self` — ready for `Arc` + threads.
+//! let fs = SyncFs::new(vol);
+//! assert!(fs.open("docs/memo.tioga").is_ok());
 //! ```
 //!
-//! ## Group commit across clients (§5.4)
+//! ## Group commit across threads (§5.4)
 //!
 //! ```
+//! use std::sync::Arc;
 //! use cedar_fs_repro::disk::SimDisk;
-//! use cedar_fs_repro::fsd::{CommitScheduler, FsdConfig, FsdVolume, SchedConfig};
-//! use cedar_fs_repro::vol::fs::FileSystem;
+//! use cedar_fs_repro::fsd::{EngineConfig, FsdConfig, FsdEngine, FsdVolume};
+//! use cedar_fs_repro::vol::fs::{FileSystem, Session};
 //!
 //! let vol = FsdVolume::format(SimDisk::tiny(), FsdConfig::default()).unwrap();
-//! let mut sched = CommitScheduler::new(vol, SchedConfig::default());
+//! let engine = Arc::new(FsdEngine::start(vol, EngineConfig::default()).unwrap());
 //!
-//! // Eight clients, each a `FileSystem` handle over the shared batch.
-//! for client in 0..8 {
-//!     sched
-//!         .client(client)
-//!         .create(&format!("c{client}/out.bcd"), b"compiled")
-//!         .unwrap();
+//! // Eight OS threads, each an owned `Session` on the shared engine;
+//! // the log-writer thread batches their creates into shared forces.
+//! let threads: Vec<_> = (0..8)
+//!     .map(|client| {
+//!         let s = Session::new(Arc::clone(&engine) as Arc<dyn FileSystem>, client);
+//!         std::thread::spawn(move || {
+//!             s.create(&format!("c{}/out.bcd", s.id()), b"compiled")
+//!         })
+//!     })
+//!     .collect();
+//! for t in threads {
+//!     t.join().unwrap().unwrap();
 //! }
-//! let deadline = sched.now() + 500_000;
-//! sched.advance_to(deadline).unwrap(); // the window expires...
-//! let report = sched.report();
-//! assert_eq!(report.ops, 8);
-//! assert_eq!(report.log_forces, 1); // ...and ONE force commits all eight.
+//! let stats = engine.engine_stats();
+//! assert_eq!(stats.ops, 8);
+//! assert!(stats.log_forces <= stats.ops); // batching shares forces
+//! let vol = FsdEngine::shutdown_arc(engine).unwrap();
+//! assert_eq!(FsdEngine::start(vol, EngineConfig::default()).unwrap().list("").unwrap().len(), 8);
 //! ```
 //!
 //! See `DESIGN.md` for the system inventory and the experiment index, and

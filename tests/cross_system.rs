@@ -3,17 +3,22 @@
 //! systems differ in cost and robustness, never in semantics.
 //!
 //! The conformance harness replays a script against the in-memory model
-//! (`cedar_workload::MemFs`) and against CFS, FSD, FFS, and FSD behind
-//! the group-commit scheduler, then compares the *visible state*: the
-//! sorted (name, length, contents) of every live file.
+//! (`cedar_workload::MemFs`) and against CFS, FSD, FFS, the FSD
+//! group-commit scheduler, and the threaded FSD engine, then compares
+//! the *visible state*: the sorted (name, length, contents) of every
+//! live file. All backends are driven through the shared-reference
+//! service trait — raw volumes ride behind a `SyncFs` mutex adapter.
 
 use cedar_fs_repro::cfs::{CfsConfig, CfsVolume};
 use cedar_fs_repro::disk::{CpuModel, SimDisk};
 use cedar_fs_repro::ffs::{Ffs, FfsConfig};
-use cedar_fs_repro::fsd::{CommitScheduler, FsdConfig, FsdVolume, SchedConfig};
-use cedar_vol::fs::{CedarFsError, FileSystem};
+use cedar_fs_repro::fsd::{
+    CommitScheduler, EngineConfig, FsdConfig, FsdEngine, FsdVolume, SchedConfig, SharedScheduler,
+};
+use cedar_vol::fs::{CedarFsError, FileSystem, FsBackend, SyncFs};
 use cedar_workload::steps::{content_for, run, Step};
 use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
+use std::sync::Arc;
 
 fn cfs() -> CfsVolume {
     CfsVolume::format(
@@ -53,7 +58,7 @@ fn ffs() -> Ffs {
 /// Everything a client can observe: each live file's name, logical
 /// length, and full contents, sorted by name. (Version numbers are
 /// excluded — FFS has none.)
-fn visible_state(fs: &mut dyn FileSystem) -> Vec<(String, u64, Vec<u8>)> {
+fn visible_state(fs: &dyn FileSystem) -> Vec<(String, u64, Vec<u8>)> {
     let infos = fs.list("").unwrap();
     infos
         .into_iter()
@@ -101,15 +106,15 @@ fn conformance_script() -> Vec<Step> {
 fn conformance_script_equivalent_on_all_backends() {
     let script = conformance_script();
 
-    let mut model = MemFs::default();
-    run(&script, &mut model).unwrap();
-    let want = visible_state(&mut model);
+    let model = SyncFs::new(MemFs::default());
+    run(&script, &model).unwrap();
+    let want = visible_state(&model);
     assert_eq!(want.len(), 3, "a.mesa, b.mesa, sub/c.bcd");
 
-    let mut cfs = cfs();
-    let mut fsd = fsd();
-    let mut ffs = ffs();
-    let backends: [&mut dyn FileSystem; 3] = [&mut cfs, &mut fsd, &mut ffs];
+    let cfs = SyncFs::new(cfs());
+    let fsd = SyncFs::new(fsd());
+    let ffs = SyncFs::new(ffs());
+    let backends: [&dyn FileSystem; 3] = [&cfs, &fsd, &ffs];
     for fs in backends {
         let kind = fs.kind();
         run(&script, fs).unwrap();
@@ -127,12 +132,25 @@ fn conformance_script_equivalent_on_all_backends() {
         );
     }
 
-    // The scheduler is a fourth backend: same script through a client
-    // handle, batch-committed, same visible state.
-    let mut sched = CommitScheduler::new(fsd2(), SchedConfig::default());
-    run(&script, &mut sched.client(0)).unwrap();
-    let mut vol = sched.into_volume().unwrap();
-    assert_eq!(visible_state(&mut vol), want, "visible state via scheduler");
+    // The scheduler is a fourth backend: same script through an owned
+    // client handle, batch-committed, same visible state.
+    let shared = SharedScheduler::new(CommitScheduler::new(fsd2(), SchedConfig::default()));
+    run(&script, &shared.handle(0)).unwrap();
+    let vol = SyncFs::new(shared.into_volume().unwrap());
+    assert_eq!(visible_state(&vol), want, "visible state via scheduler");
+
+    // And the threaded engine is a fifth: same script through the
+    // log-writer pipeline, then read back from the raw volume it
+    // returns.
+    let engine = Arc::new(FsdEngine::start(fsd2(), EngineConfig::default()).unwrap());
+    run(&script, engine.as_ref()).unwrap();
+    assert_eq!(
+        visible_state(engine.as_ref()),
+        want,
+        "visible state via engine"
+    );
+    let vol = SyncFs::new(FsdEngine::shutdown_arc(engine).unwrap());
+    assert_eq!(visible_state(&vol), want, "visible state after engine");
 }
 
 /// A second FSD volume for the scheduler leg (fresh disk, same config).
@@ -150,15 +168,15 @@ fn makedo_final_state_identical_across_systems() {
     };
     let (setup, measured) = makedo_workload(params);
 
-    let mut model = MemFs::default();
-    run(&setup, &mut model).unwrap();
-    run(&measured, &mut model).unwrap();
-    let want = visible_state(&mut model);
+    let model = SyncFs::new(MemFs::default());
+    run(&setup, &model).unwrap();
+    run(&measured, &model).unwrap();
+    let want = visible_state(&model);
 
-    let mut cfs = cfs();
-    let mut fsd = fsd();
-    let mut ffs = ffs();
-    let backends: [&mut dyn FileSystem; 3] = [&mut cfs, &mut fsd, &mut ffs];
+    let cfs = SyncFs::new(cfs());
+    let fsd = SyncFs::new(fsd());
+    let ffs = SyncFs::new(ffs());
+    let backends: [&dyn FileSystem; 3] = [&cfs, &fsd, &ffs];
     for fs in backends {
         let kind = fs.kind();
         run(&setup, fs).unwrap();
@@ -172,15 +190,14 @@ fn makedo_final_state_identical_across_systems() {
 fn contents_survive_any_systems_full_cycle() {
     // Write → shutdown/sync → reboot → read, each system through its own
     // persistence path, all yielding the written bytes. (Boot and mount
-    // are backend-specific, so this test uses the raw APIs around the
-    // trait-driven read.)
+    // are backend-specific, so this test uses the raw backend APIs.)
     let data = content_for("cycle", 7000);
 
     let mut cfs = CfsVolume::format(SimDisk::tiny(), CfsConfig::default()).unwrap();
-    FileSystem::create(&mut cfs, "cycle", &data).unwrap();
+    FsBackend::create(&mut cfs, "cycle", &data).unwrap();
     cfs.shutdown().unwrap();
     let (mut cfs, _) = CfsVolume::boot(cfs.into_disk(), CfsConfig::default()).unwrap();
-    assert_eq!(FileSystem::read(&mut cfs, "cycle").unwrap(), data);
+    assert_eq!(FsBackend::read(&mut cfs, "cycle").unwrap(), data);
 
     let fsd_config = || FsdConfig {
         nt_pages: 64,
@@ -188,16 +205,16 @@ fn contents_survive_any_systems_full_cycle() {
         ..Default::default()
     };
     let mut fsd = FsdVolume::format(SimDisk::tiny(), fsd_config()).unwrap();
-    FileSystem::create(&mut fsd, "cycle", &data).unwrap();
+    FsBackend::create(&mut fsd, "cycle", &data).unwrap();
     fsd.shutdown().unwrap();
     let (mut fsd, _) = FsdVolume::boot(fsd.into_disk(), fsd_config()).unwrap();
-    assert_eq!(FileSystem::read(&mut fsd, "cycle").unwrap(), data);
+    assert_eq!(FsBackend::read(&mut fsd, "cycle").unwrap(), data);
 
     let mut ffs = Ffs::format(SimDisk::tiny(), FfsConfig::default()).unwrap();
-    FileSystem::create(&mut ffs, "cycle", &data).unwrap();
-    FileSystem::sync(&mut ffs).unwrap();
+    FsBackend::create(&mut ffs, "cycle", &data).unwrap();
+    FsBackend::sync(&mut ffs).unwrap();
     let mut ffs = Ffs::mount(ffs.into_disk(), FfsConfig::default()).unwrap();
-    assert_eq!(FileSystem::read(&mut ffs, "cycle").unwrap(), data);
+    assert_eq!(FsBackend::read(&mut ffs, "cycle").unwrap(), data);
 }
 
 #[test]
@@ -205,15 +222,17 @@ fn workload_steps_replay_deterministically() {
     // Two identical FSD volumes fed the same steps end in identical disk
     // states (the foundation of every measurement in this repo).
     let build = || {
-        let mut vol = FsdVolume::format(
-            SimDisk::tiny(),
-            FsdConfig {
-                nt_pages: 64,
-                log_sectors: 256,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let vol = SyncFs::new(
+            FsdVolume::format(
+                SimDisk::tiny(),
+                FsdConfig {
+                    nt_pages: 64,
+                    log_sectors: 256,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
+        );
         let steps = vec![
             Step::Create {
                 name: "a/x".into(),
@@ -228,7 +247,8 @@ fn workload_steps_replay_deterministically() {
                 prefix: "a/".into(),
             },
         ];
-        run(&steps, &mut vol).unwrap();
+        run(&steps, &vol).unwrap();
+        let mut vol = vol.into_inner();
         vol.force().unwrap();
         (vol.disk_stats(), vol.clock().now(), vol.free_sectors())
     };

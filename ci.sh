@@ -7,6 +7,21 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
+# Model-checked epoch hand-off: the engine built against the in-tree
+# loom shims, every interleaving within the preemption bound explored.
+cargo test --release -p cedar-fsd --features loom --test loom_engine
+# ThreadSanitizer lane over the concurrent conformance suite. Needs a
+# nightly toolchain with rust-src (for -Zbuild-std); skipped when the
+# host has neither, since the container cannot install components.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && [ -d "$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library" ]; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+        cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+        --release --test concurrent_conformance
+else
+    echo "tsan lane skipped: no nightly toolchain with rust-src"
+fi
 # Saturation (smoke): the full simulated §5.4 curve plus a reduced
 # threaded sweep — throughput must climb and forces/op must fall.
 cargo run --release -p cedar-bench --bin saturation -- --smoke

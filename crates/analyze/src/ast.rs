@@ -10,11 +10,38 @@
 
 /// Parsed file: every `fn` found anywhere in the file (top level, inside
 /// `impl`/`trait` blocks, inline modules, or nested in bodies), in source
-/// order.
+/// order, plus every braced `struct` definition.
 #[derive(Clone, Debug, Default)]
 pub struct Ast {
     /// All function definitions.
     pub fns: Vec<FnDef>,
+    /// All braced `struct` definitions (tuple/unit structs omitted —
+    /// the concurrency rules only reason about named shared fields).
+    pub structs: Vec<StructDef>,
+}
+
+/// A braced `struct` definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Named fields in declaration order.
+    pub fields: Vec<FieldDef>,
+    /// Line of the `struct` keyword.
+    pub line: u32,
+}
+
+/// One named struct field.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Type as a flat token-text list (`Mutex < Signal >` →
+    /// `["Mutex", "<", "Signal", ">"]`) — enough to classify the leading
+    /// wrapper and search for embedded sync types.
+    pub ty: Vec<String>,
+    /// Line of the field name.
+    pub line: u32,
 }
 
 /// One `fn` definition.
@@ -31,6 +58,12 @@ pub struct FnDef {
     pub is_pub: bool,
     /// True if the declared return type mentions `Result`.
     pub returns_result: bool,
+    /// Parameter binding names in order (`self` included for methods;
+    /// pattern parameters contribute their bound idents).
+    pub params: Vec<String>,
+    /// Parameter type token texts, flattened across all parameters —
+    /// lossy, but enough to ask "does any parameter mention `FsdVolume`".
+    pub param_tys: Vec<String>,
     /// Line of the `fn` keyword.
     pub line: u32,
     /// Line of the closing brace (or the `;` for bodyless declarations).
@@ -180,8 +213,13 @@ pub enum Expr {
         /// Line of the `for`.
         line: u32,
     },
-    /// Closure `|args| body` (params dropped).
+    /// Closure `[move] |args| body`.
     Closure {
+        /// Identifiers bound by the parameter list (same heuristic as
+        /// `Stmt::Let` pattern names).
+        params: Vec<String>,
+        /// True for `move |..|` closures.
+        is_move: bool,
         /// Body expression.
         body: Box<Expr>,
         /// Line of the opening `|`.

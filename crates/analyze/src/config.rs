@@ -49,10 +49,8 @@ pub struct Config {
     pub cast_const_idents: Vec<(&'static str, Vec<&'static str>)>,
     /// Duplicated-constant patterns.
     pub known_consts: Vec<KnownConst>,
-    /// Files forming the commit path: a lock held across a disk write or
-    /// log force here is a finding.
-    pub commit_path_files: Vec<&'static str>,
-    /// Method names that force/write on the commit path.
+    /// Method names that force/write on the commit path (used by the
+    /// error-flow rule's must-handle set).
     pub force_methods: Vec<&'static str>,
     /// Crates whose `src/lib.rs` must carry `#![deny(unsafe_code)]`.
     pub deny_unsafe_crates: Vec<&'static str>,
@@ -90,13 +88,44 @@ pub struct Config {
     /// fs-api: (file, trait name) of the shared-reference service trait —
     /// every method inside that trait block must take `&self`.
     pub fs_trait: (&'static str, &'static str),
-    /// fs-api: files in the concurrent engine where a lock guard held
-    /// across an epoch wait is a finding.
-    pub epoch_wait_files: Vec<&'static str>,
-    /// fs-api: blocking method names a guard must not be live across.
-    /// Distinct from `force_methods`: that list includes `write`, which
-    /// collides with `RwLock::write` in the engine.
-    pub epoch_wait_methods: Vec<&'static str>,
+    /// concurrency: files forming the threaded engine, where the
+    /// guard-across-blocking-call check applies (lock-order cycles are
+    /// checked workspace-wide).
+    pub concurrency_files: Vec<&'static str>,
+    /// concurrency: blocking method names a guard must not be live
+    /// across, directly or anywhere in the callee chain. Distinct from
+    /// `force_methods`: that list includes `write`, which collides with
+    /// `RwLock::write` in the engine.
+    pub blocking_methods: Vec<&'static str>,
+    /// concurrency: free functions that acquire and return a lock guard
+    /// (the engine's poison-recovering `plock`). Their own bodies are not
+    /// summarized — the lock is named by the call-site argument.
+    pub lock_acquire_fns: Vec<&'static str>,
+    /// concurrency: leading receiver segments stripped when naming a lock
+    /// (`self.shared.signal` and `shared.signal` are the same lock).
+    pub lock_root_segs: Vec<&'static str>,
+    /// concurrency: shared structs to verify with the field access
+    /// matrix — (defining file, struct name, plain fields exempted with a
+    /// documented reason). Every other field must be a `Mutex`/`RwLock`
+    /// (touched only to lock it), an atomic (touched only through its
+    /// methods), an `Arc` (COW clone/deref is safe), or a sync object.
+    pub shared_structs: Vec<(&'static str, &'static str, Vec<&'static str>)>,
+    /// concurrency: field types with interior synchronization beyond the
+    /// lock/atomic wrappers (safe to touch from any thread).
+    pub sync_types: Vec<&'static str>,
+    /// concurrency: atomic fields that publish state before a wake —
+    /// stores need `Release`/`AcqRel`/`SeqCst`, loads need
+    /// `Acquire`/`SeqCst`.
+    pub publish_atomics: Vec<&'static str>,
+    /// concurrency: types owned by the writer thread; a function with a
+    /// parameter naming one must be unreachable from client entry points.
+    pub owned_types: Vec<&'static str>,
+    /// concurrency: (file, type) whose methods are client-thread entry
+    /// points for the role-reachability check.
+    pub client_entry_owners: Vec<(&'static str, &'static str)>,
+    /// concurrency: lifecycle methods exempt from role reachability —
+    /// they run before the writer thread starts or after it is joined.
+    pub role_setup_fns: Vec<&'static str>,
 }
 
 impl Config {
@@ -110,11 +139,17 @@ impl Config {
         allowed_imports.insert("disk", vec![]);
         allowed_imports.insert("btree", vec![]);
         allowed_imports.insert("proptest", vec![]);
+        allowed_imports.insert("loom", vec![]);
         allowed_imports.insert("analyze", vec![]);
         allowed_imports.insert("vol", vec!["cedar_disk"]);
         allowed_imports.insert("model", vec!["cedar_disk"]);
         allowed_imports.insert("cfs", vec!["cedar_disk", "cedar_vol", "cedar_btree"]);
-        allowed_imports.insert("fsd", vec!["cedar_disk", "cedar_vol", "cedar_btree"]);
+        // `loom` is the in-tree model checker: the engine's sync module
+        // re-exports its shims under `--features loom`.
+        allowed_imports.insert(
+            "fsd",
+            vec!["cedar_disk", "cedar_vol", "cedar_btree", "loom"],
+        );
         allowed_imports.insert("ffs", vec!["cedar_disk", "cedar_vol"]);
         allowed_imports.insert("workload", vec!["cedar_disk", "cedar_vol"]);
         allowed_imports.insert(
@@ -210,12 +245,6 @@ impl Config {
                     defining_files: vec!["crates/ffs/src/lib.rs"],
                 },
             ],
-            commit_path_files: vec![
-                "crates/fsd/src/sched.rs",
-                "crates/fsd/src/volume.rs",
-                "crates/fsd/src/log.rs",
-                "crates/fsd/src/engine.rs",
-            ],
             force_methods: vec![
                 "write",
                 "write_checked",
@@ -227,7 +256,7 @@ impl Config {
             ],
             deny_unsafe_crates: vec![
                 "disk", "btree", "vol", "cfs", "fsd", "ffs", "model", "workload", "bench",
-                "proptest", "analyze", "root",
+                "proptest", "analyze", "loom", "root",
             ],
             wal_entry_files: vec!["crates/fsd/src/volume.rs"],
             // Recovery and scavenge rebuild home sectors from the log (or
@@ -277,8 +306,8 @@ impl Config {
             error_must_handle: vec!["execute", "execute_partial"],
             error_type_idents: vec!["DiskError", "FsdError"],
             fs_trait: ("crates/vol/src/fs.rs", "FileSystem"),
-            epoch_wait_files: vec!["crates/fsd/src/engine.rs", "crates/fsd/src/sched.rs"],
-            epoch_wait_methods: vec![
+            concurrency_files: vec!["crates/fsd/src/engine.rs", "crates/fsd/src/sched.rs"],
+            blocking_methods: vec![
                 "wait",
                 "wait_timeout",
                 "wait_while",
@@ -287,6 +316,25 @@ impl Config {
                 "join",
                 "force",
             ],
+            lock_acquire_fns: vec!["plock"],
+            lock_root_segs: vec!["self", "shared"],
+            shared_structs: vec![
+                // `cfg` is written once in `start()` before the writer
+                // thread spawns and is read-only after that.
+                ("crates/fsd/src/engine.rs", "EngineShared", vec!["cfg"]),
+                ("crates/fsd/src/engine.rs", "Slot", vec![]),
+                ("crates/fsd/src/engine.rs", "ClientQueue", vec![]),
+                ("crates/fsd/src/engine.rs", "FsdEngine", vec![]),
+            ],
+            // `Pacer` serializes itself on an internal `Mutex<Instant>`.
+            sync_types: vec!["Condvar", "Pacer"],
+            publish_atomics: vec!["epoch"],
+            owned_types: vec!["FsdVolume"],
+            client_entry_owners: vec![
+                ("crates/fsd/src/engine.rs", "FsdEngine"),
+                ("crates/vol/src/fs.rs", "Session"),
+            ],
+            role_setup_fns: vec!["start", "shutdown", "shutdown_arc", "stop_writer", "drop"],
         }
     }
 }

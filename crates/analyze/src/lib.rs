@@ -33,20 +33,29 @@
 //!   library code; existing sites live in a checked-in allowlist that only
 //!   shrinks (new sites and stale entries both fail) and covers every
 //!   rule family.
-//! * **lock-order** — per-function lock acquisition sequences with one
-//!   level of intra-workspace call propagation; cycles in the lock-order
-//!   graph and locks held across disk-write/log-force calls on the commit
-//!   path are findings.
+//! * **lock-graph** — an interprocedural lock graph: held-lock sets are
+//!   threaded through the call graph (fixpoint over function summaries),
+//!   so acquisition-order cycles across files and guards live across a
+//!   blocking call (`force`, condvar waits, channel recv, join) anywhere
+//!   in the callee chain are findings. The condvar hand-off
+//!   (`cvar.wait(guard)`) is the sanctioned exception.
+//! * **thread-roles** — the engine's shared structs get a field access
+//!   matrix: every touch of a shared field is through its owning
+//!   `Mutex`/`RwLock`, an atomic method, or a COW `Arc`; and functions
+//!   taking the writer-owned volume are unreachable from client entry
+//!   points.
+//! * **condvar-discipline** — every `Condvar` wait sits in a
+//!   predicate-rechecking loop, every notify is preceded by a state
+//!   write under the paired mutex, and the publish atomics use
+//!   `Release`/`Acquire` orderings.
 //! * **const-consistency** — integer literals duplicating layout constants
 //!   (`SECTOR_BYTES`, FFS block/inode sizes) instead of deriving them.
 //! * **cast-safety** — truncating `as` casts in sector/page arithmetic
 //!   (`.len() as u16`, narrowing casts of computed values, width-changing
 //!   casts of layout constants).
 //! * **fs-api** — the public `FileSystem` service trait stays
-//!   shared-reference (`&self` on every method; exclusive verbs belong on
-//!   `FsBackend`), and in the concurrent engine no lock guard is live
-//!   across an epoch wait (`force`, condvar waits, channel recv, join)
-//!   unless the wait consumes the guard (`cvar.wait(guard)`).
+//!   shared-reference (`&self` on every method; exclusive verbs belong
+//!   on `FsBackend`).
 //! * **unsafe-hygiene** — every library crate declares
 //!   `#![deny(unsafe_code)]` (or `forbid`); any `unsafe` elsewhere needs a
 //!   `// SAFETY:` comment.
@@ -71,13 +80,31 @@ pub mod workspace;
 pub use config::Config;
 pub use report::Report;
 
+/// Every rule id the analyzer can emit, in report order. SARIF output
+/// advertises this full set even on clean runs, so downstream tooling
+/// sees which checks ran, not just which fired.
+pub const RULE_IDS: &[&str] = &[
+    "layering",
+    "wal-order",
+    "barrier-discipline",
+    "batch-io",
+    "error-flow",
+    "panic-ratchet",
+    "lock-graph",
+    "thread-roles",
+    "condvar-discipline",
+    "const-consistency",
+    "cast-safety",
+    "fs-api",
+    "unsafe-hygiene",
+    "parse-error",
+    "stale-allowlist",
+];
+
 /// One finding: a rule violation at a source location.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Finding {
-    /// Rule id (`layering`, `wal-order`, `barrier-discipline`,
-    /// `batch-io`, `error-flow`, `fs-api`, `panic-ratchet`,
-    /// `lock-order`, `const-consistency`, `cast-safety`,
-    /// `unsafe-hygiene`, `parse-error`, `stale-allowlist`).
+    /// Rule id — one of [`RULE_IDS`].
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -155,7 +182,6 @@ pub fn run(
     }
     findings.extend(rules::layering::check(&files, config));
     findings.extend(rules::panics::check(&files, config));
-    findings.extend(rules::locks::check(&files, config));
     findings.extend(rules::consts::check(&files, config));
     findings.extend(rules::casts::check(&files, config));
     findings.extend(rules::unsafety::check(&files, config));
@@ -163,6 +189,7 @@ pub fn run(
     findings.extend(rules::barrier::check(&files, config));
     findings.extend(rules::errorflow::check(&files, config));
     findings.extend(rules::fsapi::check(&files, config));
+    findings.extend(rules::concurrency::check(&files, config));
     let (kept, stale) = allow.apply(findings);
     Ok(Report::new(kept, stale, files.len()))
 }

@@ -9,7 +9,7 @@
 //! operators and types (binary chains become `Seq`, casts and prefix
 //! operators fold into their operand).
 
-use crate::ast::{Arm, Ast, Block, Expr, FnDef, Stmt};
+use crate::ast::{Arm, Ast, Block, Expr, FieldDef, FnDef, Stmt, StructDef};
 use crate::lexer::{Tok, TokKind};
 
 /// A parse failure with its source line.
@@ -27,11 +27,15 @@ pub fn parse(tokens: &[Tok]) -> Result<Ast, ParseError> {
         t: tokens,
         i: 0,
         fns: Vec::new(),
+        structs: Vec::new(),
         module: Vec::new(),
         owner: Vec::new(),
     };
     p.items_until(false)?;
-    Ok(Ast { fns: p.fns })
+    Ok(Ast {
+        fns: p.fns,
+        structs: p.structs,
+    })
 }
 
 /// Keywords that never bind as pattern variable names.
@@ -41,6 +45,7 @@ struct Parser<'a> {
     t: &'a [Tok],
     i: usize,
     fns: Vec<FnDef>,
+    structs: Vec<StructDef>,
     module: Vec<String>,
     owner: Vec<Option<String>>,
 }
@@ -402,13 +407,41 @@ impl<'a> Parser<'a> {
             self.owner.pop();
             return r;
         }
-        if self.is_ident("struct") || self.is_ident("enum") || self.is_ident("union") {
+        if self.is_ident("struct") {
+            let line = self.line();
+            self.bump();
+            let name = self.take_ident("type name")?;
+            if self.is_punct('<') {
+                self.skip_generics()?;
+            }
+            // Unit `;`, tuple `(..) [where ..];`, or braced `{..}` — only
+            // the braced form declares named fields worth recording.
+            while !self.at_end() {
+                if self.eat_punct(';') {
+                    return Ok(());
+                }
+                if self.is_punct('{') {
+                    return self.struct_body(name, line);
+                }
+                if self.is_punct('(') || self.is_punct('[') {
+                    self.skip_balanced()?;
+                    continue;
+                }
+                if self.is_punct('<') {
+                    self.skip_generics()?;
+                    continue;
+                }
+                self.bump();
+            }
+            return Ok(());
+        }
+        if self.is_ident("enum") || self.is_ident("union") {
             self.bump();
             self.take_ident("type name")?;
             if self.is_punct('<') {
                 self.skip_generics()?;
             }
-            // Unit `;`, tuple `(..) [where ..];`, or braced `{..}`.
+            // Variants / fields are opaque to the rules.
             while !self.at_end() {
                 if self.eat_punct(';') {
                     return Ok(());
@@ -516,6 +549,136 @@ impl<'a> Parser<'a> {
         r
     }
 
+    /// Parses a braced struct body (cursor at `{`) and records the
+    /// definition. Field types are kept as flat token-text lists.
+    fn struct_body(&mut self, name: String, line: u32) -> Result<(), ParseError> {
+        self.bump(); // `{`
+        let mut fields = Vec::new();
+        loop {
+            self.skip_attrs()?;
+            if self.eat_punct('}') {
+                break;
+            }
+            if self.at_end() {
+                return Err(self.err("unclosed struct body"));
+            }
+            if self.eat_ident("pub") && self.is_punct('(') {
+                self.skip_balanced()?; // `pub(crate)` etc.
+            }
+            let field_line = self.line();
+            let fname = self.take_ident("field name")?;
+            self.expect_punct(':')?;
+            // Type tokens up to a `,` or the closing `}` at depth 0;
+            // `<`/`>` nesting guards commas inside generic arguments.
+            let mut ty = Vec::new();
+            let mut depth = 0usize;
+            let mut angle = 0usize;
+            loop {
+                if self.at_end() {
+                    return Err(self.err("unclosed struct field type"));
+                }
+                if depth == 0 && angle == 0 && (self.is_punct(',') || self.is_punct('}')) {
+                    break;
+                }
+                if self.punct2('-', '>') {
+                    ty.push("->".to_string());
+                    self.bump();
+                    self.bump();
+                    continue;
+                }
+                if let Some(t) = self.peek() {
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        depth = depth.saturating_sub(1);
+                    } else if t.is_punct('<') {
+                        angle += 1;
+                    } else if t.is_punct('>') {
+                        angle = angle.saturating_sub(1);
+                    }
+                    ty.push(t.kind_text());
+                }
+                self.bump();
+            }
+            self.eat_punct(',');
+            fields.push(FieldDef {
+                name: fname,
+                ty,
+                line: field_line,
+            });
+        }
+        self.structs.push(StructDef { name, fields, line });
+        Ok(())
+    }
+
+    /// Parses a fn parameter list (cursor at `(`), collecting bound names
+    /// (same heuristic as patterns, `self` included) and the flattened
+    /// type-token texts across all parameters.
+    fn fn_params(&mut self) -> Result<(Vec<String>, Vec<String>), ParseError> {
+        self.expect_punct('(')?;
+        let mut params = Vec::new();
+        let mut tys = Vec::new();
+        let mut in_type = false;
+        let mut depth = 0usize;
+        let mut angle = 0usize;
+        loop {
+            if self.at_end() {
+                return Err(self.err("unclosed fn parameter list"));
+            }
+            if depth == 0 && angle == 0 {
+                if self.is_punct(')') {
+                    self.bump();
+                    return Ok((params, tys));
+                }
+                if self.is_punct(',') {
+                    in_type = false;
+                    self.bump();
+                    continue;
+                }
+                if self.is_punct(':') && !self.punct2(':', ':') {
+                    in_type = true;
+                    self.bump();
+                    continue;
+                }
+            }
+            if self.punct2('-', '>') {
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.is_punct('#') {
+                self.skip_attr()?;
+                continue;
+            }
+            if let Some(t) = self.peek() {
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth = depth.saturating_sub(1);
+                } else if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') {
+                    angle = angle.saturating_sub(1);
+                } else if t.kind == TokKind::Ident {
+                    let txt = t.text.clone();
+                    if in_type {
+                        tys.push(txt);
+                    } else {
+                        let lower_start = txt
+                            .chars()
+                            .next()
+                            .map(|c| c.is_ascii_lowercase())
+                            .unwrap_or(false);
+                        if lower_start && !PAT_KEYWORDS.contains(&txt.as_str()) {
+                            params.push(txt);
+                        }
+                    }
+                }
+            }
+            self.bump();
+        }
+    }
+
     fn fn_item(&mut self, is_pub: bool) -> Result<(), ParseError> {
         let line = self.line();
         self.bump(); // `fn`
@@ -526,7 +689,7 @@ impl<'a> Parser<'a> {
         if !self.is_punct('(') {
             return Err(self.err(format!("expected `(` after fn {name}")));
         }
-        self.skip_balanced()?;
+        let (params, param_tys) = self.fn_params()?;
         let mut returns_result = false;
         if self.punct2('-', '>') {
             self.bump();
@@ -577,6 +740,8 @@ impl<'a> Parser<'a> {
             owner: self.owner.last().cloned().flatten(),
             is_pub,
             returns_result,
+            params,
+            param_tys,
             line,
             end_line,
             body,
@@ -883,12 +1048,12 @@ impl<'a> Parser<'a> {
     fn operand_base(&mut self, no_struct: bool, line: u32) -> Result<Expr, ParseError> {
         if self.eat_ident("move") {
             if self.is_punct('|') {
-                return self.closure(line);
+                return self.closure(line, true);
             }
             return Err(self.err("expected closure after `move`"));
         }
         if self.is_punct('|') {
-            return self.closure(line);
+            return self.closure(line, false);
         }
         if self.is_ident("if") {
             return self.if_expr();
@@ -1086,9 +1251,13 @@ impl<'a> Parser<'a> {
         Ok(Expr::Seq { items, line })
     }
 
-    fn closure(&mut self, line: u32) -> Result<Expr, ParseError> {
+    fn closure(&mut self, line: u32, is_move: bool) -> Result<Expr, ParseError> {
         self.expect_punct('|')?;
-        // Parameters: tokens to the closing `|` at depth 0.
+        // Parameters: tokens to the closing `|` at depth 0, collecting
+        // bound names; `:` switches to (skipped) type position until the
+        // next depth-0 `,`.
+        let mut params = Vec::new();
+        let mut in_type = false;
         let mut depth = 0usize;
         loop {
             if self.at_end() {
@@ -1097,6 +1266,16 @@ impl<'a> Parser<'a> {
             if depth == 0 && self.is_punct('|') {
                 self.bump();
                 break;
+            }
+            if depth == 0 && self.is_punct(',') {
+                in_type = false;
+                self.bump();
+                continue;
+            }
+            if depth == 0 && self.is_punct(':') && !self.punct2(':', ':') {
+                in_type = true;
+                self.bump();
+                continue;
             }
             if self.is_punct('(') || self.is_punct('[') {
                 depth += 1;
@@ -1107,6 +1286,18 @@ impl<'a> Parser<'a> {
             } else if self.is_punct('<') {
                 self.skip_generics()?;
             } else {
+                if !in_type {
+                    if let Some(txt) = self.ident_text() {
+                        let lower_start = txt
+                            .chars()
+                            .next()
+                            .map(|c| c.is_ascii_lowercase())
+                            .unwrap_or(false);
+                        if lower_start && !PAT_KEYWORDS.contains(&txt) && txt != "_" {
+                            params.push(txt.to_string());
+                        }
+                    }
+                }
                 self.bump();
             }
         }
@@ -1126,6 +1317,8 @@ impl<'a> Parser<'a> {
         }
         let body = self.expr(false)?;
         Ok(Expr::Closure {
+            params,
+            is_move,
             body: Box::new(body),
             line,
         })

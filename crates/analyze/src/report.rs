@@ -99,11 +99,14 @@ impl Report {
         out
     }
 
-    /// SARIF 2.1.0 encoding: one run, one result per finding, with the
-    /// rule set derived from the findings present. Findings without a
-    /// line (allowlist-level) report line 1 — SARIF regions are 1-based.
+    /// SARIF 2.1.0 encoding: one run, one result per finding. The driver
+    /// advertises the full [`crate::RULE_IDS`] registry (plus any ad-hoc
+    /// rule a finding carries), so clean runs still tell downstream
+    /// tooling which checks ran. Findings without a line
+    /// (allowlist-level) report line 1 — SARIF regions are 1-based.
     pub fn sarif(&self) -> String {
-        let mut rules: Vec<&str> = self.findings.iter().map(|f| f.rule).collect();
+        let mut rules: Vec<&str> = crate::RULE_IDS.to_vec();
+        rules.extend(self.findings.iter().map(|f| f.rule));
         rules.sort_unstable();
         rules.dedup();
         let mut out = String::from("{");
@@ -232,9 +235,13 @@ mod tests {
     }
 
     #[test]
-    fn sarif_clean_run_has_empty_results() {
+    fn sarif_clean_run_has_empty_results_but_full_rule_registry() {
         let s = Report::new(vec![], vec![], 4).sarif();
         assert!(s.contains("\"results\":[]"));
-        assert!(s.contains("\"rules\":[]"));
+        // Every registered rule id is advertised even with no findings —
+        // including the concurrency family.
+        for id in crate::RULE_IDS {
+            assert!(s.contains(&format!("{{\"id\":\"{id}\"}}")), "missing {id}");
+        }
     }
 }

@@ -1,31 +1,19 @@
 //! fs-api: the shared-reference service contract.
 //!
-//! The concurrent redesign rests on two obligations the compiler only
-//! half-enforces:
+//! The concurrent redesign rests on an obligation the compiler only
+//! half-enforces: the public `FileSystem` service trait takes `&self` on
+//! every method, so N sessions can share one service. A `&mut self`
+//! method added to the trait would silently push the whole workspace
+//! back to the exclusive-borrow world (every impl and every
+//! `Arc<dyn FileSystem>` call site would churn), so the trait's own file
+//! is linted: no `&mut self` inside the configured trait block. The
+//! exclusive-borrow verbs belong on `FsBackend`.
 //!
-//! * **Trait mutability** — the public `FileSystem` service trait takes
-//!   `&self` on every method, so N sessions can share one service.
-//!   A `&mut self` method added to the trait would silently push the
-//!   whole workspace back to the exclusive-borrow world (every impl
-//!   and every `Arc<dyn FileSystem>` call site would churn), so the
-//!   trait's own file is linted: no `&mut self` inside the configured
-//!   trait block. The exclusive-borrow verbs belong on `FsBackend`.
-//!
-//! * **Guards across epoch waits** — in the engine and scheduler files,
-//!   a `let`-bound lock guard (std `.lock()` or the poison-recovering
-//!   `plock(…)` helper) must not be live across a blocking call —
-//!   `force`, condvar `wait`/`wait_timeout`/`wait_while`, channel
-//!   `recv`/`recv_timeout`, or thread `join`. A guard held across such
-//!   a wait serializes every client behind the sleeper — exactly the
-//!   lock-shaped bottleneck the log-writer design exists to avoid.
-//!   The sanctioned exception is the condvar hand-off, where the wait
-//!   *consumes* the guard (`cvar.wait(state)`): a wait whose arguments
-//!   mention the guard variable is exempt. Scope exits (`}`) and
-//!   explicit `drop(guard)` release guards.
+//! The guard-across-blocking-call check that used to live here is now
+//! interprocedural and belongs to [`crate::rules::concurrency`].
 
 use crate::config::Config;
 use crate::lexer::{Tok, TokKind};
-use crate::rules::matching_paren;
 use crate::source::SourceFile;
 use crate::Finding;
 
@@ -35,9 +23,6 @@ pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     for f in files {
         if f.rel == config.fs_trait.0 {
             out.extend(trait_takes_shared_self(f, config.fs_trait.1));
-        }
-        if config.epoch_wait_files.iter().any(|p| *p == f.rel) {
-            out.extend(guard_across_wait(f, config));
         }
     }
     out
@@ -88,168 +73,6 @@ fn trait_takes_shared_self(f: &SourceFile, trait_name: &str) -> Vec<Finding> {
     out
 }
 
-/// A live lock guard.
-#[derive(Clone, Debug)]
-struct Guard {
-    name: String,
-    depth: i32,
-    line: u32,
-}
-
-/// Flags `let`-bound lock guards live across blocking calls, with the
-/// condvar hand-off exemption.
-fn guard_across_wait(f: &SourceFile, config: &Config) -> Vec<Finding> {
-    let toks = &f.tokens;
-    let mut out = Vec::new();
-    for (fn_name, start, end) in f.fn_spans() {
-        if f.is_test_line(*start) {
-            continue;
-        }
-        let span: Vec<usize> = (0..toks.len())
-            .filter(|&i| toks[i].line >= *start && toks[i].line <= *end)
-            .collect();
-        let mut depth = 0i32;
-        let mut guards: Vec<Guard> = Vec::new();
-        let mut flagged = false;
-        for (si, &i) in span.iter().enumerate() {
-            let t = &toks[i];
-            if t.is_punct('{') {
-                depth += 1;
-            } else if t.is_punct('}') {
-                depth -= 1;
-                guards.retain(|g| g.depth <= depth);
-            } else if t.is_ident("let") {
-                if let Some(g) = guard_binding(toks, i, depth) {
-                    guards.push(g);
-                }
-            } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
-                // `drop(g)` (or `mem::drop(g)`) releases the guard.
-                let close = matching_paren(toks, i + 1);
-                for dropped in toks.iter().take(close).skip(i + 2) {
-                    if dropped.kind == TokKind::Ident {
-                        guards.retain(|g| g.name != dropped.text);
-                    }
-                }
-            } else if t.is_punct('.')
-                && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Ident)
-                && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
-                && config
-                    .epoch_wait_methods
-                    .iter()
-                    .any(|m| toks[i + 1].text == *m)
-            {
-                if flagged || guards.is_empty() {
-                    continue;
-                }
-                let method = toks[i + 1].text.clone();
-                // Condvar hand-off: a wait that consumes the guard
-                // (mentions it in its arguments) is the sanctioned
-                // blocking-with-guard pattern.
-                let close = matching_paren(toks, i + 2);
-                let consumes = (i + 3..close).any(|j| {
-                    toks[j].kind == TokKind::Ident && guards.iter().any(|g| g.name == toks[j].text)
-                });
-                if consumes {
-                    continue;
-                }
-                let g = &guards[0];
-                out.push(Finding {
-                    rule: "fs-api",
-                    file: f.rel.clone(),
-                    line: toks[i + 1].line,
-                    item: fn_name.clone(),
-                    snippet: format!("{} held across {method}()", g.name),
-                    message: format!(
-                        "lock guard `{}` (acquired line {}) is live across \
-                         `{method}()`: a guard held across an epoch wait \
-                         serializes every client behind the sleeper — \
-                         release it first (scope or `drop`), or hand it to \
-                         the condvar (`cvar.wait(guard)`)",
-                        g.name, g.line,
-                    ),
-                });
-                flagged = true; // One finding per function is enough signal.
-            }
-            let _ = si;
-        }
-    }
-    out
-}
-
-/// If the `let` at `i` binds a lock guard, returns it. Recognized
-/// acquisitions: a right-hand side whose first call is `plock(…)`, or
-/// one containing `.lock(…)` not immediately re-chained into a
-/// non-guard method (`x.lock().pop()` is a temporary; the
-/// poison-recovery `match … { Err(p) => p.into_inner() }` still yields
-/// the guard).
-fn guard_binding(toks: &[Tok], i: usize, depth: i32) -> Option<Guard> {
-    let mut j = i + 1;
-    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
-        j += 1;
-    }
-    let name_tok = toks.get(j)?;
-    if name_tok.kind != TokKind::Ident {
-        return None;
-    }
-    if !toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
-        return None;
-    }
-    let rhs = j + 2;
-    let end = statement_end(toks, rhs);
-    // `let g = plock(&m);` — the helper returns the guard directly.
-    let first = toks.get(rhs)?;
-    let plock_rhs = (first.is_ident("plock")
-        || (first.is_ident("match") && toks.get(rhs + 1).is_some_and(|t| t.is_ident("plock"))))
-        && (rhs..end).any(|k| toks[k].is_ident("plock"));
-    if plock_rhs {
-        return Some(Guard {
-            name: name_tok.text.clone(),
-            depth,
-            line: name_tok.line,
-        });
-    }
-    // `let g = <recv>.lock()…;` — a guard unless immediately re-chained
-    // into a method that is not the poison-recovery idiom.
-    for k in rhs..end {
-        if toks[k].is_punct('.')
-            && toks.get(k + 1).is_some_and(|t| t.is_ident("lock"))
-            && toks.get(k + 2).is_some_and(|t| t.is_punct('('))
-        {
-            let close = matching_paren(toks, k + 2);
-            let chained = toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
-                && toks.get(close + 2).is_some_and(|t| {
-                    t.kind == TokKind::Ident
-                        && !matches!(t.text.as_str(), "into_inner" | "unwrap" | "expect")
-                });
-            if chained {
-                return None;
-            }
-            return Some(Guard {
-                name: name_tok.text.clone(),
-                depth,
-                line: name_tok.line,
-            });
-        }
-    }
-    None
-}
-
-/// Token index just past the statement starting at `from` (its `;` at
-/// nesting level zero, or the end of the token stream).
-fn statement_end(toks: &[Tok], from: usize) -> usize {
-    let mut level = 0i32;
-    for (k, t) in toks.iter().enumerate().skip(from) {
-        if t.is_punct('(') || t.is_punct('{') || t.is_punct('[') {
-            level += 1;
-        } else if t.is_punct(')') || t.is_punct('}') || t.is_punct(']') {
-            level -= 1;
-        } else if t.is_punct(';') && level <= 0 {
-            return k;
-        }
-    }
-    toks.len()
-}
-
 /// Index of the matching `}` for the `{` at `open` (or the last token).
 fn matching_brace(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0i32;
@@ -274,10 +97,6 @@ mod tests {
         SourceFile::parse("crates/vol/src/fs.rs".into(), "vol".into(), false, src)
     }
 
-    fn engine_file(src: &str) -> SourceFile {
-        SourceFile::parse("crates/fsd/src/engine.rs".into(), "fsd".into(), false, src)
-    }
-
     #[test]
     fn mut_self_in_service_trait_flagged() {
         let src = "pub trait FileSystem {\n\
@@ -297,80 +116,5 @@ mod tests {
                    pub trait FsBackend { fn create(&mut self) -> u32; }\n\
                    impl Thing { fn poke(&mut self) {} }\n";
         assert!(check(&[trait_file(src)], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn guard_across_force_flagged() {
-        let src = "fn publish(&self) { let g = plock(&self.stats); self.vol.force(); }\n";
-        let out = check(&[engine_file(src)], &Config::cedar());
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].snippet.contains("g held across force()"));
-    }
-
-    #[test]
-    fn guard_across_condvar_wait_without_handoff_flagged() {
-        let src = "fn block(&self) { let q = plock(&self.queue); self.cv.wait(other); }\n";
-        let out = check(&[engine_file(src)], &Config::cedar());
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].snippet.contains("q held across wait()"));
-    }
-
-    #[test]
-    fn condvar_handoff_consuming_the_guard_is_exempt() {
-        let src = "fn block(&self) {\n\
-                   let mut state = plock(&self.state);\n\
-                   loop { state = self.cv.wait(state); }\n\
-                   }\n";
-        assert!(check(&[engine_file(src)], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn scope_exit_releases_the_guard() {
-        let src = "fn submit(&self) {\n\
-                   { let mut q = plock(&self.queue); q.push(1); }\n\
-                   self.slot.wait();\n\
-                   }\n";
-        assert!(check(&[engine_file(src)], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn explicit_drop_releases_the_guard() {
-        let src = "fn submit(&self) {\n\
-                   let q = self.queue.lock();\n\
-                   drop(q);\n\
-                   self.slot.wait();\n\
-                   }\n";
-        assert!(check(&[engine_file(src)], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn lock_temporary_is_not_a_guard() {
-        let src = "fn submit(&self) { let v = self.queue.lock().pop(); self.slot.wait(); }\n";
-        assert!(check(&[engine_file(src)], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn poison_recovery_match_is_still_a_guard() {
-        let src = "fn publish(&self) {\n\
-                   let g = match self.stats.lock() { Ok(g) => g, Err(p) => p.into_inner() };\n\
-                   self.done.join();\n\
-                   }\n";
-        let out = check(&[engine_file(src)], &Config::cedar());
-        assert_eq!(out.len(), 1, "{out:?}");
-        assert!(out[0].snippet.contains("join()"));
-    }
-
-    #[test]
-    fn files_off_the_epoch_wait_list_are_exempt() {
-        let src = "fn f(&self) { let g = plock(&self.x); self.vol.force(); }\n";
-        let f = SourceFile::parse("crates/cfs/src/volume.rs".into(), "cfs".into(), false, src);
-        assert!(check(&[f], &Config::cedar()).is_empty());
-    }
-
-    #[test]
-    fn test_code_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n\
-                   fn f() { let g = plock(&X); Y.force(); }\n}\n";
-        assert!(check(&[engine_file(src)], &Config::cedar()).is_empty());
     }
 }

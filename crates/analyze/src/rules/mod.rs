@@ -3,11 +3,11 @@
 
 pub mod barrier;
 pub mod casts;
+pub mod concurrency;
 pub mod consts;
 pub mod errorflow;
 pub mod fsapi;
 pub mod layering;
-pub mod locks;
 pub mod panics;
 pub mod unsafety;
 pub mod walorder;

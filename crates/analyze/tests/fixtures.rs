@@ -164,53 +164,63 @@ fn panics_fixture_flags_covered_crate_only() {
 }
 
 #[test]
-fn locks_fixture_reports_cycle_with_both_sites_and_force_hold() {
-    let f = findings("locks");
-    assert!(f.iter().all(|x| x.rule == "lock-order"), "{f:#?}");
+fn concurrency_fixture_flags_cycle_callee_hold_wait_and_ordering() {
+    let f = findings("concurrency");
+    // Cross-file acquisition-order cycle: `forward` in lib.rs vs
+    // `reverse` in sched.rs — one finding naming both sites.
     let cycle = f
         .iter()
-        .find(|x| x.snippet.starts_with("cycle:"))
+        .find(|x| x.rule == "lock-graph" && x.snippet.starts_with("cycle:"))
         .expect("cycle finding");
-    // Both conflicting acquisition sites are named with file:line —
-    // `forward` on line 2 and `reverse` on line 3 of the fixture lib.rs.
     assert!(
         cycle.message.contains("crates/fsd/src/lib.rs:2"),
         "{}",
         cycle.message
     );
     assert!(
-        cycle.message.contains("crates/fsd/src/lib.rs:3"),
+        cycle.message.contains("crates/fsd/src/sched.rs"),
         "{}",
         cycle.message
     );
-    // The commit-path file holds a guard across a meta write.
+    // `drain` holds a guard while calling `settle`, which blocks on
+    // `force()` one call deep — caught interprocedurally.
     assert!(
-        f.iter().any(|x| x.file == "crates/fsd/src/sched.rs"
-            && x.snippet.contains("held across write_meta()")),
+        f.iter().any(|x| x.rule == "lock-graph"
+            && x.item == "drain"
+            && x.snippet.contains("held across settle()")
+            && x.message.contains("force()")),
         "{f:#?}"
     );
+    // `bad_wait` waits outside a predicate loop; the loop in `good_wait`
+    // is the sanctioned shape and stays clean.
+    assert!(
+        f.iter().any(|x| x.rule == "condvar-discipline"
+            && x.item == "bad_wait"
+            && x.snippet.contains("outside loop")),
+        "{f:#?}"
+    );
+    assert!(f.iter().all(|x| x.item != "good_wait"), "{f:#?}");
+    // `publish` stores the epoch Relaxed before the wake.
+    assert!(
+        f.iter().any(|x| x.rule == "condvar-discipline"
+            && x.item == "publish"
+            && x.snippet.contains("epoch.store ordering")),
+        "{f:#?}"
+    );
+    assert_eq!(f.len(), 4, "{f:#?}");
 }
 
 #[test]
-fn fsapi_fixture_flags_mut_trait_method_and_guard_across_force() {
+fn fsapi_fixture_flags_mut_trait_method_only() {
     let f = findings("fsapi");
     assert!(f.iter().all(|x| x.rule == "fs-api"), "{f:#?}");
-    assert_eq!(f.len(), 2, "{f:#?}");
+    assert_eq!(f.len(), 1, "{f:#?}");
     // `FileSystem::create` takes `&mut self`; `FsBackend::create` (the
     // exclusive-borrow trait) is the sanctioned home and stays clean.
     assert!(
         f.iter().any(|x| x.file == "crates/vol/src/fs.rs"
             && x.item == "create"
             && x.message.contains("&mut self")),
-        "{f:#?}"
-    );
-    // `publish` holds a `plock` guard across `force()`; the condvar
-    // hand-off in `wait_for_work` and the scope-released guard in
-    // `submit` are both clean.
-    assert!(
-        f.iter().any(|x| x.file == "crates/fsd/src/engine.rs"
-            && x.item == "publish"
-            && x.snippet.contains("held across force()")),
         "{f:#?}"
     );
 }

@@ -1,0 +1,32 @@
+pub struct Slot {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Slot {
+    // Violation: the wait is not inside a predicate-rechecking loop.
+    pub fn bad_wait(&self) -> u32 {
+        let g = plock(&self.state);
+        let g = match self.cv.wait(g) { Ok(x) => x, Err(p) => p.into_inner() };
+        *g
+    }
+
+    // Control: same hand-off, predicate retested around the wait.
+    pub fn good_wait(&self) -> u32 {
+        let mut g = plock(&self.state);
+        loop {
+            if *g != 0 { return *g; }
+            g = match self.cv.wait(g) { Ok(x) => x, Err(p) => p.into_inner() };
+        }
+    }
+
+    // Violation: the epoch store publishing the state is Relaxed, so the
+    // write under the mutex may not be visible to an Acquire reader.
+    pub fn publish(&self, e: u64) {
+        let mut g = plock(&self.state);
+        *g = 1;
+        drop(g);
+        self.epoch.store(e, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+}

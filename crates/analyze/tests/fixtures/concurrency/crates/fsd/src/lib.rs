@@ -1,3 +1,4 @@
 #![deny(unsafe_code)]
 pub fn forward(s: &Shared) { let a = s.alpha.lock(); let b = s.beta.lock(); drop(b); drop(a); }
-pub fn reverse(s: &Shared) { let b = s.beta.lock(); let a = s.alpha.lock(); drop(a); drop(b); }
+pub mod engine;
+pub mod sched;

@@ -1,0 +1,14 @@
+// `reverse` takes the same two locks as `lib.rs::forward` in the
+// opposite order — a cross-file acquisition-order cycle. `drain` holds a
+// guard while calling `settle`, which blocks on `force()` one call deep.
+pub fn reverse(s: &Shared) { let b = s.beta.lock(); let a = s.alpha.lock(); drop(a); drop(b); }
+
+pub fn settle(v: &Vol) {
+    v.disk.force();
+}
+
+pub fn drain(s: &Shared, v: &Vol) {
+    let g = plock(&s.signal);
+    settle(v);
+    drop(g);
+}

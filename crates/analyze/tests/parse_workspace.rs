@@ -3,7 +3,8 @@
 //! rules (wal-order, barrier-discipline, error-flow) silently skip that
 //! file, so this test keeps the parser honest as the codebase grows.
 
-use cedar_analyze::{workspace, Config};
+use cedar_analyze::allowlist::Allowlist;
+use cedar_analyze::{run, workspace, Config};
 use std::path::Path;
 
 fn workspace_root() -> &'static Path {
@@ -37,4 +38,31 @@ fn every_workspace_file_parses() {
     // error check above).
     let fns: usize = files.iter().map(|f| f.ast.fns.len()).sum();
     assert!(fns > 200, "suspiciously few parsed functions: {fns}");
+    // The concurrency rules also need struct bodies (field access
+    // matrix) and fn parameter lists (thread-role reachability).
+    let structs: usize = files.iter().map(|f| f.ast.structs.len()).sum();
+    assert!(structs > 20, "suspiciously few parsed structs: {structs}");
+    assert!(
+        files
+            .iter()
+            .flat_map(|f| &f.ast.fns)
+            .any(|d| !d.params.is_empty()),
+        "no parsed fn parameters"
+    );
+}
+
+#[test]
+fn full_rule_run_emits_no_parse_error_findings() {
+    // Same gate, through the public pipeline: a clean tree must never
+    // carry `parse-error` findings (which would mean the flow rules
+    // silently skipped a file while the run still looked green under an
+    // allowlist).
+    let report =
+        run(workspace_root(), &Config::cedar(), &Allowlist::empty()).expect("workspace analysis");
+    let parse_errors: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "parse-error")
+        .collect();
+    assert!(parse_errors.is_empty(), "{parse_errors:#?}");
 }

@@ -57,13 +57,14 @@
 //! returns the volume so a test can reboot the disk and watch recovery
 //! replay the log to the last commit boundary.
 
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::thread::{JoinHandle, ThreadId};
+use crate::sync::{Condvar, Mutex, MutexGuard, RwLock};
 use crate::volume::{CommitStats, FsdVolume};
 use cedar_disk::Micros;
 use cedar_vol::fs::{CedarFsError, FileInfo, FileSystem, FsBackend, FsStats};
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
-use std::thread::{JoinHandle, ThreadId};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Engine tuning.
@@ -210,7 +211,11 @@ struct Signal {
 
 /// Locks a mutex, recovering from poison (a panicked peer does not
 /// corrupt the protected data — every durable invariant lives in the
-/// WAL underneath).
+/// WAL underneath). This is the engine's only answer to poison: no
+/// `unwrap` on a `LockResult` anywhere, so a client thread that dies
+/// mid-operation can never wedge the writer or other clients. The
+/// loom harness (`tests/loom_engine.rs`) exercises the recovery under
+/// model-checked interleavings of a crashing schedule.
 fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     match m.lock() {
         Ok(g) => g,
@@ -328,7 +333,7 @@ impl EngineShared {
 
     /// The calling thread's queue, created on first use.
     fn my_queue(&self) -> Result<Arc<ClientQueue>, CedarFsError> {
-        let tid = std::thread::current().id();
+        let tid = crate::sync::thread::current().id();
         let mut reg = plock(&self.registry);
         if let Some(&i) = reg.by_thread.get(&tid) {
             return Ok(Arc::clone(&reg.queues[i]));
@@ -391,8 +396,19 @@ impl FsdEngine {
     /// serving. The volume's own interval commit daemon is disabled:
     /// from here on, the log-writer does all forcing.
     pub fn start(mut vol: FsdVolume, cfg: EngineConfig) -> Result<Self, CedarFsError> {
-        assert!(cfg.max_batch_ops >= 1, "batch bound must admit one op");
-        assert!(cfg.shards >= 1, "need at least one cache shard");
+        // Config errors are the caller's to handle, not a panic: the
+        // engine refuses to start rather than dividing by a zero shard
+        // count or spinning on an empty batch bound later.
+        if cfg.max_batch_ops < 1 {
+            return Err(CedarFsError::Busy(
+                "engine config: max_batch_ops must admit at least one op".into(),
+            ));
+        }
+        if cfg.shards < 1 {
+            return Err(CedarFsError::Busy(
+                "engine config: need at least one cache shard".into(),
+            ));
+        }
         vol.set_commit_interval(Micros::MAX);
         // Warm the name index so reads are served without queueing from
         // the first operation.
@@ -427,7 +443,7 @@ impl FsdEngine {
             cfg,
         });
         let writer_shared = Arc::clone(&shared);
-        let handle = std::thread::Builder::new()
+        let handle = crate::sync::thread::Builder::new()
             .name("fsd-log-writer".into())
             .spawn(move || writer_loop(vol, writer_shared, baseline))
             .map_err(|e| CedarFsError::Busy(format!("cannot spawn log-writer: {e}")))?;
@@ -1007,5 +1023,25 @@ mod tests {
         e.create("a", b"1").unwrap();
         let vol = e.shutdown().unwrap();
         drop(vol);
+    }
+
+    #[test]
+    fn degenerate_config_is_a_typed_error_not_a_panic() {
+        let cfg = EngineConfig {
+            max_batch_ops: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            FsdEngine::start(vol(256), cfg),
+            Err(CedarFsError::Busy(_))
+        ));
+        let cfg = EngineConfig {
+            shards: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            FsdEngine::start(vol(256), cfg),
+            Err(CedarFsError::Busy(_))
+        ));
     }
 }

@@ -43,6 +43,7 @@ pub mod recovery;
 pub mod scavenge;
 pub mod sched;
 pub mod spare;
+pub mod sync;
 pub mod volume;
 
 pub use engine::{EngineConfig, EngineStats, FsdEngine};

@@ -1,0 +1,169 @@
+//! Model-checked epoch hand-off for the threaded FSD engine.
+//!
+//! Built only under `--features loom`, which swaps the engine's
+//! `crate::sync` re-exports for the in-tree model checker's shims:
+//!
+//! ```text
+//! cargo test -p cedar-fsd --features loom --test loom_engine
+//! ```
+//!
+//! Each test runs a tiny engine workload under [`loom::Model`], which
+//! enumerates thread interleavings (every lock, condvar, atomic, spawn,
+//! and join is a scheduling point) depth-first with a preemption bound.
+//! The properties checked are the ones a stress test can only sample:
+//!
+//! * **enqueue → force → publish → wake**: an acknowledged create is
+//!   readable by its client and, after join, by everyone — in every
+//!   explored schedule, including the ones where the writer wakes
+//!   before/after the client parks on its slot.
+//! * **shutdown drain**: shutdown completes queued work, never
+//!   deadlocks against the writer, and hands back a volume holding
+//!   every acknowledged file.
+//! * **poison on crash**: a disk power-fail during a force poisons the
+//!   engine (later submissions fail fast) in every schedule, and
+//!   shutdown still returns the volume.
+//!
+//! The schedule caps below bound CI time; the model prints a note when
+//! a cap truncates exploration rather than silently passing.
+
+#![cfg(feature = "loom")]
+
+use cedar_disk::{CpuModel, CrashPlan, SimDisk};
+use cedar_fsd::engine::{EngineConfig, FsdEngine};
+use cedar_fsd::volume::FsdVolume;
+use cedar_fsd::FsdConfig;
+use cedar_vol::fs::{FileSystem, FsBackend};
+use std::sync::Arc;
+
+fn small_vol() -> FsdVolume {
+    FsdVolume::format(
+        SimDisk::tiny(),
+        FsdConfig {
+            nt_pages: 96,
+            log_sectors: 256,
+            cpu: CpuModel::FREE,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Small shard/batch bounds keep per-schedule work low; pacing must be
+/// off so wall-clock time is never a scheduling concern.
+fn small_cfg() -> EngineConfig {
+    EngineConfig {
+        max_batch_ops: 4,
+        shards: 1,
+        cache_entries_per_shard: 8,
+        pace_scale: None,
+    }
+}
+
+#[test]
+fn epoch_handoff_acknowledged_create_is_readable() {
+    loom::Model {
+        preemption_bound: 2,
+        max_schedules: 300,
+    }
+    .check(|| {
+        let e = Arc::new(FsdEngine::start(small_vol(), small_cfg()).unwrap());
+        let e2 = Arc::clone(&e);
+        let client = loom::thread::spawn(move || {
+            // Acknowledge means the epoch forced: the write must be
+            // readable by its own submitter immediately (read-your-
+            // writes through the published COW index).
+            e2.create("a", b"payload").unwrap();
+            assert_eq!(e2.read("a").unwrap(), b"payload");
+        });
+        client.join().unwrap();
+        // After the client joined, the publish must be visible to any
+        // other thread too.
+        assert_eq!(e.read("a").unwrap(), b"payload");
+        let mut vol = FsdEngine::shutdown_arc(e).unwrap();
+        assert_eq!(FsBackend::read(&mut vol, "a").unwrap(), b"payload");
+    });
+}
+
+#[test]
+fn two_clients_epochs_merge_without_loss() {
+    loom::Model {
+        preemption_bound: 2,
+        max_schedules: 300,
+    }
+    .check(|| {
+        let e = Arc::new(FsdEngine::start(small_vol(), small_cfg()).unwrap());
+        let hs: Vec<_> = [("c0/f", b"zero".as_slice()), ("c1/f", b"one".as_slice())]
+            .into_iter()
+            .map(|(name, data)| {
+                let e = Arc::clone(&e);
+                loom::thread::spawn(move || {
+                    e.create(name, data).unwrap();
+                    assert_eq!(e.read(name).unwrap(), data);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        // Whatever order the two epochs committed in, neither write may
+        // shadow the other in the published index.
+        assert_eq!(e.read("c0/f").unwrap(), b"zero");
+        assert_eq!(e.read("c1/f").unwrap(), b"one");
+        drop(e);
+    });
+}
+
+#[test]
+fn shutdown_drains_and_returns_every_acknowledged_file() {
+    loom::Model {
+        preemption_bound: 2,
+        max_schedules: 300,
+    }
+    .check(|| {
+        let e = Arc::new(FsdEngine::start(small_vol(), small_cfg()).unwrap());
+        let e2 = Arc::clone(&e);
+        let client = loom::thread::spawn(move || {
+            e2.create("d/x", b"1").unwrap();
+            e2.create("d/y", b"22").unwrap();
+        });
+        client.join().unwrap();
+        // Shutdown must drain (both acknowledged creates durable) and
+        // must not deadlock against the writer's wake protocol in any
+        // schedule.
+        let mut vol = FsdEngine::shutdown_arc(e).unwrap();
+        assert_eq!(FsBackend::list(&mut vol, "d/").unwrap().len(), 2);
+        assert!(vol.verify().is_ok());
+    });
+}
+
+#[test]
+fn crash_during_force_poisons_in_every_schedule() {
+    loom::Model {
+        preemption_bound: 2,
+        max_schedules: 300,
+    }
+    .check(|| {
+        let mut vol = small_vol();
+        // The very next durable sector write power-fails the disk, so
+        // the first epoch's force reports the crash.
+        vol.disk_mut().schedule_crash(CrashPlan {
+            after_sector_writes: 0,
+            damaged_tail: 1,
+        });
+        let e = Arc::new(FsdEngine::start(vol, small_cfg()).unwrap());
+        let e2 = Arc::clone(&e);
+        let client = loom::thread::spawn(move || {
+            // The op's epoch never commits: the submitter gets the
+            // crash error back, never a false Ok.
+            assert!(e2.create("doomed", b"x").is_err());
+        });
+        client.join().unwrap();
+        // The crash must have poisoned the engine — fail-fast, with no
+        // schedule where a later submission sneaks through.
+        assert!(e.poisoned().is_some());
+        assert!(e.create("late", b"y").is_err());
+        // The writer reports the error rather than dying: shutdown
+        // still hands the volume back.
+        assert!(FsdEngine::shutdown_arc(e).is_ok());
+    });
+}

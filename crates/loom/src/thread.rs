@@ -1,0 +1,127 @@
+//! Drop-in `std::thread` shims: spawned threads register with the
+//! calling thread's model scheduler (when one is running) and park
+//! until chosen; `join` blocks at the model level first, so the real
+//! `JoinHandle::join` returns immediately afterwards. Outside a model
+//! everything forwards straight to std.
+
+use crate::sched;
+use std::io;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::thread::{current, Result, ThreadId};
+
+/// Thread factory mirroring `std::thread::Builder`.
+#[derive(Debug)]
+pub struct Builder {
+    inner: std::thread::Builder,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self {
+            inner: std::thread::Builder::new(),
+        }
+    }
+
+    /// Names the thread-to-be.
+    pub fn name(self, name: String) -> Self {
+        Self {
+            inner: self.inner.name(name),
+        }
+    }
+
+    /// Spawns the thread. Under a model, the child is registered with
+    /// the scheduler and parks until first chosen; the spawn itself is
+    /// a scheduling point for the parent.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if let Some((s, me)) = sched::current() {
+            let tid = s.register();
+            let s2 = Arc::clone(&s);
+            let real = self.inner.spawn(move || {
+                sched::set_current(Some((Arc::clone(&s2), tid)));
+                s2.first_turn(tid);
+                let r = catch_unwind(AssertUnwindSafe(f));
+                s2.finish(tid, r.is_err());
+                match r {
+                    Ok(v) => v,
+                    Err(p) => resume_unwind(p),
+                }
+            })?;
+            s.yield_now(me);
+            Ok(JoinHandle {
+                real,
+                tid: Some(tid),
+            })
+        } else {
+            Ok(JoinHandle {
+                real: self.inner.spawn(f)?,
+                tid: None,
+            })
+        }
+    }
+}
+
+/// Spawns a thread with default settings — see [`Builder::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Owned permission to join a thread, mirroring
+/// `std::thread::JoinHandle`.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    real: std::thread::JoinHandle<T>,
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, yielding its result (`Err` with
+    /// the panic payload if it panicked). Under a model the wait is a
+    /// scheduling point that blocks at the model level.
+    pub fn join(self) -> Result<T> {
+        if let Some(tid) = self.tid {
+            if let Some((s, me)) = sched::current() {
+                s.join_wait(me, tid);
+            }
+        }
+        self.real.join()
+    }
+}
+
+/// Sleeps under std; under a model, a plain scheduling point (model
+/// time does not advance — a sleep-based schedule is just one more
+/// interleaving to explore).
+pub fn sleep(dur: Duration) {
+    if sched::current().is_some() {
+        sched::yield_point();
+    } else {
+        std::thread::sleep(dur);
+    }
+}
+
+/// Cooperatively gives up the current timeslice: a scheduling point
+/// under a model, `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    if sched::current().is_some() {
+        sched::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

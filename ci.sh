@@ -10,6 +10,9 @@ cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
 # Model-checked epoch hand-off: the engine built against the in-tree
 # loom shims, every interleaving within the preemption bound explored.
 cargo test --release -p cedar-fsd --features loom --test loom_engine
+# Model-checked scan hand-off: the bounded reader/worker channel behind
+# the parallel scavenger, explored under the in-tree loom shims.
+cargo test --release -p cedar-disk --features loom --test loom_scan
 # ThreadSanitizer lane over the concurrent conformance suite. Needs a
 # nightly toolchain with rust-src (for -Zbuild-std); skipped when the
 # host has neither, since the container cannot install components.
@@ -30,3 +33,6 @@ cargo run --release -p cedar-bench --bin io_sched -- --smoke
 # Fault-injection campaign (reduced grid): every scenario must recover
 # to a commit boundary and every escalation rung must be exercised.
 cargo run --release -p cedar-bench --bin fault_campaign -- --smoke
+# Scavenge & VAM-rebuild scaling (smoke): parallel and serial recovery
+# scans must agree exactly on a small population.
+cargo run --release -p cedar-bench --bin scavenge_scale -- --smoke

@@ -136,7 +136,9 @@ impl Config {
         // lower layers; `bench`, the CLI and the facade go through the
         // `FileSystem` trait for file operations (enforced separately by
         // the raw-I/O check) but may name lower crates for setup.
-        allowed_imports.insert("disk", vec![]);
+        // `loom` is in-tree: `disk`'s scan channel model-checks against
+        // its shims under `--features loom`.
+        allowed_imports.insert("disk", vec!["loom"]);
         allowed_imports.insert("btree", vec![]);
         allowed_imports.insert("proptest", vec![]);
         allowed_imports.insert("loom", vec![]);
@@ -280,6 +282,7 @@ impl Config {
                 "crates/fsd/src/spare.rs",
                 "crates/fsd/src/scavenge.rs",
                 "crates/disk/src/sched.rs",
+                "crates/disk/src/scan.rs",
             ],
             error_flow_fallback_fns: vec![
                 (
@@ -306,7 +309,12 @@ impl Config {
             error_must_handle: vec!["execute", "execute_partial"],
             error_type_idents: vec!["DiskError", "FsdError"],
             fs_trait: ("crates/vol/src/fs.rs", "FileSystem"),
-            concurrency_files: vec!["crates/fsd/src/engine.rs", "crates/fsd/src/sched.rs"],
+            concurrency_files: vec![
+                "crates/fsd/src/engine.rs",
+                "crates/fsd/src/sched.rs",
+                "crates/disk/src/scan.rs",
+                "crates/fsd/src/scavenge.rs",
+            ],
             blocking_methods: vec![
                 "wait",
                 "wait_timeout",
@@ -325,6 +333,9 @@ impl Config {
                 ("crates/fsd/src/engine.rs", "Slot", vec![]),
                 ("crates/fsd/src/engine.rs", "ClientQueue", vec![]),
                 ("crates/fsd/src/engine.rs", "FsdEngine", vec![]),
+                // `capacity` is set at construction and never written
+                // again; reads from any thread see the same value.
+                ("crates/disk/src/scan.rs", "ScanChannel", vec!["capacity"]),
             ],
             // `Pacer` serializes itself on an internal `Mutex<Instant>`.
             sync_types: vec!["Condvar", "Pacer"],

@@ -35,6 +35,7 @@ mod tests {
             cedar_cfs::CfsConfig {
                 nt_pages: 32,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();

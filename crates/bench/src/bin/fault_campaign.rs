@@ -29,10 +29,15 @@ use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
 /// Volume configuration for every scenario: tiny geometry, free CPU
 /// (media behaviour is what is under test, not timing).
 fn config() -> FsdConfig {
+    config_with(1)
+}
+
+fn config_with(scavenge_workers: usize) -> FsdConfig {
     FsdConfig {
         nt_pages: 48,
         log_sectors: 128,
         cpu: CpuModel::FREE,
+        scavenge_workers,
         ..FsdConfig::default()
     }
 }
@@ -324,6 +329,9 @@ struct ScavengeCase {
     /// volume before shutdown; both log meta replicas always die.
     extra_soft: fn(&FsdVolume) -> Vec<u32>,
     hard_metas: bool,
+    /// Scavenger decode/verify workers: 1 is the serial pipeline, more
+    /// runs the parallel checker — same required outcome either way.
+    workers: usize,
 }
 
 const SCAVENGE_CASES: &[ScavengeCase] = &[
@@ -331,21 +339,31 @@ const SCAVENGE_CASES: &[ScavengeCase] = &[
         name: "soft-both-metas",
         extra_soft: |_| Vec::new(),
         hard_metas: false,
+        workers: 1,
     },
     ScavengeCase {
         name: "hard-both-metas",
         extra_soft: |_| Vec::new(),
         hard_metas: true,
+        workers: 1,
     },
     ScavengeCase {
         name: "metas+boot-a",
         extra_soft: |v| vec![v.layout().boot_a],
         hard_metas: false,
+        workers: 1,
     },
     ScavengeCase {
         name: "metas+nt-page",
         extra_soft: |v| vec![v.layout().nt_a_sector(1)],
         hard_metas: false,
+        workers: 1,
+    },
+    ScavengeCase {
+        name: "parallel-scavenger",
+        extra_soft: |v| vec![v.layout().nt_a_sector(1)],
+        hard_metas: true,
+        workers: 8,
     },
 ];
 
@@ -387,8 +405,8 @@ fn run_scavenge_scenario(
         disk.damage_sector(s);
     }
     disk.reboot();
-    let (mut v2, report) =
-        FsdVolume::boot(disk, config()).map_err(|e| format!("boot failed: {e}"))?;
+    let (mut v2, report) = FsdVolume::boot(disk, config_with(case.workers))
+        .map_err(|e| format!("boot failed: {e}"))?;
     v2.verify().map_err(|e| format!("verify failed: {e}"))?;
     if report.rung != RecoveryRung::Scavenge {
         return Err(format!("expected scavenge rung, got {:?}", report.rung));

@@ -14,6 +14,7 @@ pub fn cfs_t300() -> CfsVolume {
         CfsConfig {
             nt_pages: 0,
             cpu: CpuModel::DORADO,
+            scavenge_workers: 1,
         },
     )
     .expect("format CFS")

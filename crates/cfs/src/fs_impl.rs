@@ -122,6 +122,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 32,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap()

@@ -23,7 +23,7 @@ use cedar_btree::BTree;
 use cedar_disk::sched::{self, IoBatch, IoOp, IoPolicy};
 use cedar_disk::{clock::Micros, Label, PageKind};
 use cedar_vol::{Run, RunTable, Vam};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// What a scavenge found and did.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -47,6 +47,7 @@ impl CfsVolume {
     /// crash corrupts the name table or invalidates the VAM hint.
     pub fn scavenge(&mut self) -> Result<ScavengeReport> {
         let mut report = ScavengeReport::default();
+        let workers = self.scavenge_workers.max(1);
         let (disk, cpu, layout, ..) = self.parts();
         let t0 = disk.clock().now();
         let io0 = disk.stats().total_ops();
@@ -73,23 +74,50 @@ impl CfsVolume {
                     .ok_or_else(|| CfsError::Corrupt("label scan output shape".into()))?,
             );
         }
-        cpu.labels(total as u64);
-
         // Interpret: collect per-file sectors (page-numbered) and header
-        // addresses.
+        // addresses. This is the scavenger's dominant CPU cost (the Mesa
+        // label interpretation, §5.3), so with `workers > 1` the label
+        // snapshot shards into contiguous address ranges, one worker
+        // each, charged as the critical path; shards merge back in
+        // address order, so the result is identical to the serial pass.
         let mut file_sectors: HashMap<u64, Vec<(u32, u32)>> = HashMap::new();
         let mut headers: Vec<(u64, u32)> = Vec::new();
-        for (addr, label) in labels.iter().enumerate() {
-            let addr = addr as u32;
-            match label.kind {
-                PageKind::Data => {
-                    file_sectors
-                        .entry(label.uid)
-                        .or_default()
-                        .push((label.page, addr));
+        if workers <= 1 {
+            cpu.labels(total as u64);
+            interpret_labels(&labels, 0, &mut file_sectors, &mut headers);
+        } else {
+            let t1 = disk.clock().now();
+            let shard_len = (total as usize).div_ceil(workers).max(1);
+            let mut worker_us = Vec::new();
+            let joined = std::thread::scope(|s| {
+                let handles: Vec<_> = labels
+                    .chunks(shard_len)
+                    .enumerate()
+                    .map(|(i, shard)| {
+                        let mut wcpu = cpu.worker();
+                        s.spawn(move || {
+                            let mut fs = HashMap::new();
+                            let mut hs = Vec::new();
+                            wcpu.labels(shard.len() as u64);
+                            interpret_labels(shard, (i * shard_len) as u32, &mut fs, &mut hs);
+                            (fs, hs, wcpu.into_us())
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+            });
+            let mut shards = Vec::with_capacity(joined.len());
+            for r in joined {
+                let (fs, hs, us) = join_worker(r)?;
+                worker_us.push(us);
+                shards.push((fs, hs));
+            }
+            cpu.join_parallel(t1, &worker_us);
+            for (fs, hs) in shards {
+                for (uid, mut v) in fs {
+                    file_sectors.entry(uid).or_default().append(&mut v);
                 }
-                PageKind::Header if label.page == 0 => headers.push((label.uid, addr)),
-                _ => {}
+                headers.extend(hs);
             }
         }
 
@@ -114,28 +142,71 @@ impl CfsVolume {
             });
         }
         let header_raw = sched::execute(disk, IoPolicy::Cscan, &fetch)?;
+        let outs: Vec<Option<(Vec<u8>, Vec<bool>)>> = header_raw
+            .into_iter()
+            .map(|out| out.into_data_mask())
+            .collect();
+        // Decode/verify each header against the label snapshot — pure
+        // per-header work, sharded across workers like the label pass.
+        // The cross-file steps (run-table rebuild, liveness) stay in the
+        // in-order merge below.
+        let decoded: Vec<Option<FileHeader>> = if workers <= 1 {
+            headers
+                .iter()
+                .zip(&outs)
+                .map(|(&(uid, haddr), out)| {
+                    let h = decode_header(&labels, uid, haddr, out.as_ref());
+                    if h.is_some() {
+                        cpu.entries(1);
+                    }
+                    h
+                })
+                .collect()
+        } else {
+            let t2 = disk.clock().now();
+            let shard_len = headers.len().div_ceil(workers).max(1);
+            let mut worker_us = Vec::new();
+            let joined = std::thread::scope(|s| {
+                let labels = &labels;
+                let handles: Vec<_> = headers
+                    .chunks(shard_len)
+                    .zip(outs.chunks(shard_len))
+                    .map(|(hs, os)| {
+                        let mut wcpu = cpu.worker();
+                        s.spawn(move || {
+                            let v: Vec<Option<FileHeader>> = hs
+                                .iter()
+                                .zip(os)
+                                .map(|(&(uid, haddr), out)| {
+                                    let h = decode_header(labels, uid, haddr, out.as_ref());
+                                    if h.is_some() {
+                                        wcpu.entries(1);
+                                    }
+                                    h
+                                })
+                                .collect();
+                            (v, wcpu.into_us())
+                        })
+                    })
+                    .collect::<Vec<_>>();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+            });
+            let mut all = Vec::with_capacity(headers.len());
+            for r in joined {
+                let (v, us) = join_worker(r)?;
+                worker_us.push(us);
+                all.extend(v);
+            }
+            cpu.join_parallel(t2, &worker_us);
+            all
+        };
         let mut recovered: Vec<(FileHeader, u32)> = Vec::new();
         let mut live: HashSet<u64> = HashSet::new();
-        for (&(uid, haddr), out) in headers.iter().zip(header_raw) {
-            let Some((raw, mask)) = out.into_data_mask() else {
+        for (&(uid, haddr), header) in headers.iter().zip(decoded) {
+            let Some(header) = header else {
                 report.damaged_headers += 1;
                 continue;
             };
-            let labels_ok = (0..HEADER_SECTORS)
-                .all(|i| labels[(haddr + i) as usize] == Label::new(uid, i, PageKind::Header));
-            let decoded = if labels_ok && mask.iter().all(|&damaged| !damaged) {
-                FileHeader::decode(&raw)
-            } else {
-                Err(CfsError::Corrupt("damaged or mislabelled header".into()))
-            };
-            let header = match decoded {
-                Ok(h) => h,
-                Err(_) => {
-                    report.damaged_headers += 1;
-                    continue;
-                }
-            };
-            cpu.entries(1);
             // Rebuild the run table from the labels: the labels are the
             // ground truth for which sectors the file owns.
             let mut sectors = file_sectors.remove(&uid).unwrap_or_default();
@@ -156,25 +227,36 @@ impl CfsVolume {
         }
 
         // Build the new VAM from the labels: everything not owned by a
-        // surviving file (and outside the system areas) is free.
-        let mut vam = Vam::new_all_allocated(total);
+        // surviving file (and outside the system areas) is free. With
+        // `workers > 1` the data area shards into contiguous ranges,
+        // each worker building a partial free map, merged back with a
+        // word-level OR (orphan lists concatenate in shard order, so
+        // they stay address-ascending).
         let (dlo, dhi) = layout.data_area();
-        let mut orphans: Vec<u32> = Vec::new();
-        for addr in dlo..dhi {
-            let label = labels[addr as usize];
-            let orphan = match label.kind {
-                PageKind::Free => {
-                    vam.free_run(Run::new(addr, 1));
-                    false
-                }
-                PageKind::Data | PageKind::Header | PageKind::Leader => !live.contains(&label.uid),
-                _ => false,
-            };
-            if orphan {
-                orphans.push(addr);
-                vam.free_run(Run::new(addr, 1));
+        let (vam, orphans) = if workers <= 1 {
+            vam_shard(&labels, &live, total, dlo, dhi)
+        } else {
+            let span = (dhi - dlo).div_ceil(workers as u32).max(1);
+            let joined = std::thread::scope(|s| {
+                let (labels, live) = (&labels, &live);
+                let handles: Vec<_> = (0..workers as u32)
+                    .map(|i| {
+                        let lo = (dlo + i * span).min(dhi);
+                        let hi = (lo + span).min(dhi);
+                        s.spawn(move || vam_shard(labels, live, total, lo, hi))
+                    })
+                    .collect::<Vec<_>>();
+                handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+            });
+            let mut vam = Vam::new_all_allocated(total);
+            let mut orphans = Vec::new();
+            for r in joined {
+                let (part, mut os) = join_worker(r)?;
+                vam.merge_or(&part);
+                orphans.append(&mut os);
             }
-        }
+            (vam, orphans)
+        };
 
         // Pass 3: relabel orphaned sectors free — all runs in one
         // scheduler window (they are disjoint by construction).
@@ -196,36 +278,32 @@ impl CfsVolume {
         }
         sched::execute(disk, IoPolicy::Cscan, &relabel)?;
 
-        // Rebuild the name table from scratch, write-through, in disk
-        // discovery order (effectively random name order — part of why
-        // the real scavenger was so slow).
+        // Rewrite each recovered header (its run table may have been
+        // corrected from the labels), then rebuild the name table
+        // bottom-up: sort the entries once and bulk-load the B-tree —
+        // one page write per node instead of N root-to-leaf insertions
+        // in disk discovery order (part of why the real scavenger was
+        // so slow).
         let mut boot = BootPage::new(layout.nt_pages);
         let mut cache = HashMap::new();
         let mut boot_dirty = false;
         let layout_copy = *layout;
-        let mut tree = {
-            let mut store = CfsNtStore {
-                disk,
-                cpu,
-                layout: &layout_copy,
-                cache: &mut cache,
-                boot: &mut boot,
-                boot_dirty: &mut boot_dirty,
-            };
-            BTree::create(&mut store)?
-        };
+        let mut pairs: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for (header, haddr) in &recovered {
             let entry = NtEntry {
                 uid: header.uid,
                 header_addr: *haddr,
                 keep: header.keep,
             };
-            // Rewrite the header too: the run table may have been
-            // corrected from the labels.
             let hlabels: Vec<Label> = (0..HEADER_SECTORS)
                 .map(|i| Label::new(header.uid, i, PageKind::Header))
                 .collect();
             disk.write_checked(*haddr, &header.encode(), &hlabels)?;
+            pairs.insert(header.name.to_key(), entry.encode());
+        }
+        cpu.entries(pairs.len() as u64);
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = pairs.into_iter().collect();
+        let tree = {
             let mut store = CfsNtStore {
                 disk,
                 cpu,
@@ -234,9 +312,8 @@ impl CfsVolume {
                 boot: &mut boot,
                 boot_dirty: &mut boot_dirty,
             };
-            tree.insert(&mut store, &header.name.to_key(), &entry.encode())?;
-            cpu.entries(1);
-        }
+            BTree::bulk_load(&mut store, &pairs)?
+        };
         report.files_recovered = recovered.len();
 
         // Install the rebuilt state (the boot count carries forward inside
@@ -252,6 +329,84 @@ impl CfsVolume {
     }
 }
 
+/// Converts a scavenge worker's join result into a typed error: a
+/// panicked worker must degrade into [`CfsError`], never abort the
+/// recovery that is already underway.
+fn join_worker<T>(r: std::thread::Result<T>) -> std::result::Result<T, CfsError> {
+    r.map_err(|_| CfsError::Corrupt("scavenge worker panicked".into()))
+}
+
+/// Interprets one contiguous shard of the label snapshot (starting at
+/// absolute address `base`): per-file data sectors keyed by uid and
+/// header-page-0 addresses, both in address order within the shard.
+fn interpret_labels(
+    labels: &[Label],
+    base: u32,
+    file_sectors: &mut HashMap<u64, Vec<(u32, u32)>>,
+    headers: &mut Vec<(u64, u32)>,
+) {
+    for (i, label) in labels.iter().enumerate() {
+        let addr = base + i as u32;
+        match label.kind {
+            PageKind::Data => {
+                file_sectors
+                    .entry(label.uid)
+                    .or_default()
+                    .push((label.page, addr));
+            }
+            PageKind::Header if label.page == 0 => headers.push((label.uid, addr)),
+            _ => {}
+        }
+    }
+}
+
+/// Pure per-header validation and decode against the label snapshot:
+/// every header sector's label must match and read clean.
+fn decode_header(
+    labels: &[Label],
+    uid: u64,
+    haddr: u32,
+    out: Option<&(Vec<u8>, Vec<bool>)>,
+) -> Option<FileHeader> {
+    let (raw, mask) = out?;
+    let labels_ok = (0..HEADER_SECTORS)
+        .all(|i| labels[(haddr + i) as usize] == Label::new(uid, i, PageKind::Header));
+    if !labels_ok || mask.iter().any(|&damaged| damaged) {
+        return None;
+    }
+    FileHeader::decode(raw).ok()
+}
+
+/// Builds the free map and orphan list for one contiguous range of the
+/// data area: free-labelled sectors are free, sectors owned by no
+/// surviving file are orphans (freed and relabelled by the caller).
+fn vam_shard(
+    labels: &[Label],
+    live: &HashSet<u64>,
+    total_sectors: u32,
+    lo: u32,
+    hi: u32,
+) -> (Vam, Vec<u32>) {
+    let mut vam = Vam::new_all_allocated(total_sectors);
+    let mut orphans = Vec::new();
+    for addr in lo..hi {
+        let label = labels[addr as usize];
+        let orphan = match label.kind {
+            PageKind::Free => {
+                vam.free_run(Run::new(addr, 1));
+                false
+            }
+            PageKind::Data | PageKind::Header | PageKind::Leader => !live.contains(&label.uid),
+            _ => false,
+        };
+        if orphan {
+            orphans.push(addr);
+            vam.free_run(Run::new(addr, 1));
+        }
+    }
+    (vam, orphans)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +419,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap()
@@ -290,6 +446,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();
@@ -342,6 +499,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();
@@ -368,6 +526,10 @@ mod tests {
         assert_eq!(v.read_file(&s).unwrap(), b"ok");
     }
 
+    /// The parallel scavenger must beat the serial one by at least this
+    /// factor on a label-interpretation-bound (Dorado CPU) volume.
+    const PARALLEL_SPEEDUP_FLOOR: u64 = 2;
+
     #[test]
     fn scavenge_is_expensive_in_time() {
         let mut v = tiny();
@@ -384,6 +546,58 @@ mod tests {
             report.duration_us >= 2048 * sector_us,
             "duration = {}",
             report.duration_us
+        );
+
+        // Comparative gate: with real (Dorado) CPU costs the label
+        // interpretation dominates, so spreading it across workers must
+        // cut the simulated scavenge time by the configured factor —
+        // while recovering exactly the same state.
+        let mut serial = CfsVolume::format(
+            SimDisk::tiny(),
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::DORADO,
+                scavenge_workers: 1,
+            },
+        )
+        .unwrap();
+        for i in 0..20 {
+            serial
+                .create(&format!("f{i}"), &vec![i as u8; 512])
+                .unwrap();
+        }
+        let disk = serial.into_disk();
+        let parallel_disk = disk.clone();
+        let (mut serial, _) = CfsVolume::boot(
+            disk,
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::DORADO,
+                scavenge_workers: 1,
+            },
+        )
+        .unwrap();
+        let (mut parallel, _) = CfsVolume::boot(
+            parallel_disk,
+            CfsConfig {
+                nt_pages: 16,
+                cpu: CpuModel::DORADO,
+                scavenge_workers: 8,
+            },
+        )
+        .unwrap();
+        let sr = serial.scavenge().unwrap();
+        let pr = parallel.scavenge().unwrap();
+        assert_eq!(sr.files_recovered, pr.files_recovered);
+        assert_eq!(sr.damaged_headers, pr.damaged_headers);
+        assert_eq!(sr.orphan_sectors, pr.orphan_sectors);
+        assert_eq!(sr.ios, pr.ios);
+        assert!(
+            sr.duration_us >= PARALLEL_SPEEDUP_FLOOR * pr.duration_us,
+            "serial {} vs parallel {} — speedup below {}x",
+            sr.duration_us,
+            pr.duration_us,
+            PARALLEL_SPEEDUP_FLOOR
         );
     }
 }

@@ -31,6 +31,12 @@ pub struct CfsConfig {
     pub nt_pages: u32,
     /// CPU cost table.
     pub cpu: CpuModel,
+    /// Decode/verify workers for the scavenger's label- and
+    /// header-interpretation stages. `1` is the historical serial
+    /// scavenger; larger values spread the Mesa-style label
+    /// interpretation (the dominant CPU cost, §5.3) across workers,
+    /// charged as the critical path.
+    pub scavenge_workers: usize,
 }
 
 impl Default for CfsConfig {
@@ -38,6 +44,7 @@ impl Default for CfsConfig {
         Self {
             nt_pages: 0,
             cpu: CpuModel::DORADO,
+            scavenge_workers: 1,
         }
     }
 }
@@ -91,6 +98,8 @@ pub struct CfsVolume {
     /// Whether the on-disk boot page currently claims a valid VAM hint;
     /// the first mutation must clear it so a crash forces reconstruction.
     vam_hint_on_disk: bool,
+    /// Scavenger decode/verify workers (from [`CfsConfig`]).
+    pub(crate) scavenge_workers: usize,
 }
 
 impl CfsVolume {
@@ -130,6 +139,7 @@ impl CfsVolume {
             vam,
             uid_counter: 0,
             vam_hint_on_disk: false,
+            scavenge_workers: config.scavenge_workers,
         };
         let mut store = nt_store!(vol);
         vol.tree = BTree::create(&mut store)?;
@@ -176,6 +186,7 @@ impl CfsVolume {
             vam,
             uid_counter: 0,
             vam_hint_on_disk: false,
+            scavenge_workers: config.scavenge_workers,
         };
         vol.write_boot()?;
         Ok((vol, vam_loaded))
@@ -761,6 +772,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap()
@@ -923,6 +935,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();
@@ -944,6 +957,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();
@@ -965,6 +979,7 @@ mod tests {
             CfsConfig {
                 nt_pages: 16,
                 cpu: CpuModel::FREE,
+                scavenge_workers: 1,
             },
         )
         .unwrap();

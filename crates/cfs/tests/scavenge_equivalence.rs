@@ -10,9 +10,14 @@ use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn config() -> CfsConfig {
+    config_with(1)
+}
+
+fn config_with(workers: usize) -> CfsConfig {
     CfsConfig {
         nt_pages: 32,
         cpu: CpuModel::FREE,
+        scavenge_workers: workers,
     }
 }
 
@@ -104,6 +109,67 @@ proptest! {
                 let got = vol.read_file(&f).unwrap();
                 prop_assert_eq!(&got, &stack[i], "{}!{}", fname, ver);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_scavenge_equals_serial(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        workers in 2usize..9,
+    ) {
+        let mut vol = CfsVolume::format(SimDisk::tiny(), config()).unwrap();
+        for op in &ops {
+            match op {
+                Op::Create(n, bytes) => {
+                    let data: Vec<u8> = (0..*bytes).map(|i| (i % 251) as u8).collect();
+                    match vol.create(&name(*n), &data) {
+                        Ok(_) | Err(cedar_cfs::CfsError::NoSpace) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("create: {e}"))),
+                    }
+                }
+                Op::Delete(n) => match vol.delete(&name(*n), None) {
+                    Ok(()) | Err(cedar_cfs::CfsError::NotFound(_)) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("delete: {e}"))),
+                },
+            }
+        }
+
+        // Obliterate the name table, crash, and scavenge the same image
+        // twice — one worker vs many. Everything but the simulated clock
+        // and I/O tally must agree.
+        let nt_start = vol.layout().nt_start;
+        let nt_len = vol.layout().nt_pages * 4;
+        for s in nt_start..nt_start + nt_len {
+            vol.disk_mut().wild_write(s, 0xDE);
+        }
+        let mut serial_disk = vol.into_disk();
+        serial_disk.crash_now();
+        serial_disk.reboot();
+        let mut parallel_disk = serial_disk.clone();
+        parallel_disk.reboot();
+
+        let (mut sv, _) = CfsVolume::boot(serial_disk, config()).unwrap();
+        let (mut pv, _) = CfsVolume::boot(parallel_disk, config_with(workers)).unwrap();
+        let sr = sv.scavenge().unwrap();
+        let pr = pv.scavenge().unwrap();
+        prop_assert_eq!(sr.files_recovered, pr.files_recovered);
+        prop_assert_eq!(sr.damaged_headers, pr.damaged_headers);
+        prop_assert_eq!(sr.orphan_sectors, pr.orphan_sectors);
+
+        sv.verify().unwrap();
+        pv.verify().unwrap();
+        prop_assert_eq!(sv.free_sectors(), pv.free_sectors());
+        let s_list = sv.list_names("").unwrap();
+        let p_list = pv.list_names("").unwrap();
+        prop_assert_eq!(&s_list, &p_list);
+        for (n, _) in &s_list {
+            let sf = sv.open(&n.name, Some(n.version)).unwrap();
+            let pf = pv.open(&n.name, Some(n.version)).unwrap();
+            prop_assert_eq!(
+                sv.read_file(&sf).unwrap(),
+                pv.read_file(&pf).unwrap(),
+                "{}!{}", n.name, n.version
+            );
         }
     }
 }

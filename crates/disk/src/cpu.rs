@@ -114,6 +114,89 @@ impl Cpu {
     pub fn labels(&self, n: u64) {
         self.charge(self.model.label_interpret_us * n);
     }
+
+    /// Creates a local accumulator for one worker of a parallel stage.
+    pub fn worker(&self) -> WorkerCpu {
+        WorkerCpu {
+            model: self.model,
+            accumulated_us: 0,
+        }
+    }
+
+    /// Joins a parallel stage that started at simulated time
+    /// `started_at` and whose workers accumulated `worker_us`
+    /// microseconds each (see [`WorkerCpu::into_us`]).
+    ///
+    /// The *sum* of the workers' time is added to [`Cpu::total_us`] — it
+    /// is all real CPU work for %CPU accounting — but the clock advances
+    /// only to `started_at + max(worker_us)`: on parallel hardware the
+    /// elapsed time of the stage is its critical path, the slowest
+    /// worker. (Any I/O or serial charges that happened concurrently may
+    /// already have pushed the clock past that point, in which case the
+    /// stage's CPU time was fully hidden behind them and the clock does
+    /// not move.)
+    pub fn join_parallel(&self, started_at: Micros, worker_us: &[Micros]) {
+        let sum: Micros = worker_us.iter().sum();
+        let max = worker_us.iter().copied().max().unwrap_or(0);
+        self.total_us
+            .fetch_add(sum, std::sync::atomic::Ordering::AcqRel);
+        self.clock.advance_to(started_at.saturating_add(max));
+    }
+}
+
+/// A per-worker CPU accumulator for parallel stages.
+///
+/// On the simulated machine every [`Cpu::charge`] advances the one
+/// shared clock, which models a *single* CPU: concurrent charges
+/// serialize. A parallel stage instead hands each worker a `WorkerCpu`,
+/// which accumulates charges locally without touching the clock; at the
+/// join, [`Cpu::join_parallel`] folds the workers' totals back in —
+/// summing them for %CPU, advancing the clock by the maximum.
+///
+/// The accumulator is plain data (`Send`), so it can move into a worker
+/// thread and come back out through its join handle or a channel.
+#[derive(Clone, Debug)]
+pub struct WorkerCpu {
+    model: CpuModel,
+    accumulated_us: Micros,
+}
+
+impl WorkerCpu {
+    /// The cost table (shared with the parent [`Cpu`]).
+    pub fn model(&self) -> &CpuModel {
+        &self.model
+    }
+
+    /// Microseconds accumulated so far.
+    pub fn accumulated_us(&self) -> Micros {
+        self.accumulated_us
+    }
+
+    /// Consumes the accumulator, yielding its total for
+    /// [`Cpu::join_parallel`].
+    pub fn into_us(self) -> Micros {
+        self.accumulated_us
+    }
+
+    /// Accumulates `us` microseconds of CPU time locally.
+    pub fn charge(&mut self, us: Micros) {
+        self.accumulated_us = self.accumulated_us.saturating_add(us);
+    }
+
+    /// Accumulates the cost of handling `n` name-table entries.
+    pub fn entries(&mut self, n: u64) {
+        self.charge(self.model.entry_us * n);
+    }
+
+    /// Accumulates the cost of moving `n` sectors of data.
+    pub fn sectors(&mut self, n: u64) {
+        self.charge(self.model.per_sector_us * n);
+    }
+
+    /// Accumulates the cost of interpreting `n` labels.
+    pub fn labels(&mut self, n: u64) {
+        self.charge(self.model.label_interpret_us * n);
+    }
 }
 
 #[cfg(test)]
@@ -146,5 +229,37 @@ mod tests {
         let view = cpu.clone();
         cpu.sectors(10);
         assert_eq!(view.total_us(), 600);
+    }
+
+    #[test]
+    fn workers_accumulate_without_advancing_clock() {
+        let clock = SimClock::new();
+        let cpu = Cpu::new(clock.clone(), CpuModel::DORADO);
+        let mut w = cpu.worker();
+        w.labels(3);
+        w.entries(1);
+        assert_eq!(w.accumulated_us(), 3 * 2_000 + 900);
+        assert_eq!(clock.now(), 0);
+        assert_eq!(cpu.total_us(), 0);
+    }
+
+    #[test]
+    fn join_sums_totals_but_advances_clock_by_max() {
+        let clock = SimClock::new();
+        let cpu = Cpu::new(clock.clone(), CpuModel::DORADO);
+        clock.advance(1_000);
+        cpu.join_parallel(1_000, &[5_000, 2_000, 7_000]);
+        assert_eq!(cpu.total_us(), 14_000);
+        assert_eq!(clock.now(), 1_000 + 7_000);
+    }
+
+    #[test]
+    fn join_never_moves_clock_backwards() {
+        let clock = SimClock::new();
+        let cpu = Cpu::new(clock.clone(), CpuModel::DORADO);
+        clock.advance(50_000); // concurrent I/O already passed the join
+        cpu.join_parallel(10_000, &[1_000]);
+        assert_eq!(clock.now(), 50_000);
+        assert_eq!(cpu.total_us(), 1_000);
     }
 }

@@ -32,17 +32,20 @@ pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod label;
+pub mod scan;
 pub mod sched;
 pub mod stats;
+pub mod sync;
 pub mod timing;
 
 pub use clock::{Micros, SimClock};
-pub use cpu::{Cpu, CpuModel};
+pub use cpu::{Cpu, CpuModel, WorkerCpu};
 pub use disk::{CrashPlan, SimDisk};
 pub use error::DiskError;
 pub use fault::FaultPlan;
 pub use geometry::DiskGeometry;
 pub use label::{Label, PageKind};
+pub use scan::{ScanChannel, ScanChunk};
 pub use sched::{IoBatch, IoOp, IoOutput, IoPolicy, OpResult};
 pub use stats::DiskStats;
 pub use timing::DiskTiming;

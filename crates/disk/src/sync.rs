@@ -1,0 +1,22 @@
+//! Synchronization primitives for the parallel scan machinery,
+//! swappable for the in-tree `loom` model checker.
+//!
+//! [`scan`](crate::scan) takes its lock, condvar, and thread types from
+//! this module instead of `std` directly. In a normal build these
+//! re-exports *are* the std types — zero cost. Under `--features loom`
+//! they become the model checker's shims, whose every acquisition,
+//! wait, notify, spawn, and join is a scheduling point, so
+//! `tests/loom_scan.rs` can enumerate the reader → worker → merge
+//! hand-off interleavings exhaustively (within a preemption bound).
+//! This mirrors `cedar_fsd::sync`, which does the same swap for the
+//! threaded group-commit engine.
+
+#[cfg(feature = "loom")]
+pub use loom::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(feature = "loom")]
+pub use loom::thread;
+
+#[cfg(not(feature = "loom"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "loom"))]
+pub use std::thread;

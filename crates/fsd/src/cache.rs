@@ -22,6 +22,7 @@ use crate::layout::FsdLayout;
 use crate::spare::{self, SpareMap};
 use crate::{FsdError, NT_PAGE_BYTES, NT_PAGE_SECTORS};
 use cedar_btree::{PageId, PageStore, StoreError};
+use cedar_disk::scan;
 use cedar_disk::sched::IoPolicy;
 use cedar_disk::{Cpu, DiskError, SimDisk, SECTOR_BYTES};
 use cedar_vol::codec::{Reader, Writer};
@@ -29,6 +30,15 @@ use std::collections::{BTreeSet, HashMap};
 
 /// Magic number identifying the name-table meta page.
 pub const NT_META_MAGIC: u32 = 0xF5D_3E7B;
+
+/// Bytes of header (magic, root, word count) at the front of meta page 0.
+const NT_META_HEADER_BYTES: usize = 10;
+
+/// Bitmap words that fit in meta page 0 after the header.
+pub const NT_META_P0_WORDS: usize = (NT_PAGE_BYTES - NT_META_HEADER_BYTES) / 8;
+
+/// Bitmap words per continuation meta page (raw `u64`s, no header).
+pub const NT_META_CONT_WORDS: usize = NT_PAGE_BYTES / 8;
 
 /// A cached name-table page.
 #[derive(Clone, Debug)]
@@ -109,53 +119,138 @@ impl NtCache {
     }
 }
 
-/// The decoded name-table meta page (logical page 0).
+/// The decoded name-table meta record (logical page 0 and, on volumes
+/// whose allocation bitmap outgrows one page, raw continuation pages
+/// 1..K — all pre-marked allocated so the tree never claims them).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NtMeta {
-    /// Root page of the name-table B-tree.
+    /// Root page of the name-table B-tree (always in page 0, at a fixed
+    /// byte offset, so root-only readers never need the full bitmap).
     pub root: u32,
-    /// Page-allocation bitmap (bit set ⇒ page in use; bit 0 is the meta
-    /// page itself).
+    /// Page-allocation bitmap (bit set ⇒ page in use; bits 0..K cover
+    /// the meta pages themselves).
     pub bitmap: Vec<u64>,
 }
 
 impl NtMeta {
-    /// A fresh meta page for `nt_pages` logical pages, with only the meta
-    /// page itself allocated.
+    /// Meta pages needed for a bitmap of `words` `u64` words.
+    pub fn meta_pages_for_words(words: usize) -> usize {
+        1 + words
+            .saturating_sub(NT_META_P0_WORDS)
+            .div_ceil(NT_META_CONT_WORDS)
+    }
+
+    /// Meta pages needed for a volume with `nt_pages` logical pages.
+    pub fn meta_pages_for(nt_pages: u32) -> usize {
+        Self::meta_pages_for_words((nt_pages as usize).div_ceil(64))
+    }
+
+    /// Meta pages this instance occupies.
+    pub fn meta_pages(&self) -> usize {
+        Self::meta_pages_for_words(self.bitmap.len())
+    }
+
+    /// Index of the meta page holding bitmap word `w`.
+    pub fn meta_page_of_word(w: usize) -> usize {
+        if w < NT_META_P0_WORDS {
+            0
+        } else {
+            1 + (w - NT_META_P0_WORDS) / NT_META_CONT_WORDS
+        }
+    }
+
+    /// A fresh meta record for `nt_pages` logical pages, with only the
+    /// meta pages themselves allocated.
     pub fn new(nt_pages: u32) -> Self {
-        let mut bitmap = vec![0u64; (nt_pages as usize).div_ceil(64)];
-        bitmap[0] |= 1; // Page 0 is the meta page.
+        let words = (nt_pages as usize).div_ceil(64);
+        let mut bitmap = vec![0u64; words];
+        for page in 0..Self::meta_pages_for_words(words) as u32 {
+            bitmap[page as usize / 64] |= 1 << (page % 64);
+        }
         Self { root: 0, bitmap }
     }
 
-    /// Encodes into a full name-table page.
+    /// Encodes a single-page meta into a full name-table page. Panics if
+    /// the bitmap spills past page 0 — use [`NtMeta::encode_pages`] then.
     pub fn encode(&self) -> Vec<u8> {
+        assert_eq!(self.meta_pages(), 1, "NT meta overflow — use encode_pages");
+        self.encode_pages().swap_remove(0)
+    }
+
+    /// Encodes into one page image per meta page: page 0 carries the
+    /// header plus the first [`NT_META_P0_WORDS`] words, continuation
+    /// pages carry raw words (no word ever spans a page boundary).
+    pub fn encode_pages(&self) -> Vec<Vec<u8>> {
+        let mut pages = Vec::with_capacity(self.meta_pages());
+        let head = self.bitmap.len().min(NT_META_P0_WORDS);
         let mut w = Writer::new();
+        // The word count is bounded far below `u16::MAX` by the layout
+        // (a saturated count would fail `decode_pages`'s page-count
+        // check loudly rather than alias a smaller bitmap).
         w.u32(NT_META_MAGIC)
             .u32(self.root)
             .u16(u16::try_from(self.bitmap.len()).unwrap_or(u16::MAX));
-        for word in &self.bitmap {
+        for word in &self.bitmap[..head] {
             w.u64(*word);
         }
-        let mut bytes = w.into_bytes();
-        assert!(bytes.len() <= NT_PAGE_BYTES, "NT meta overflow");
-        bytes.resize(NT_PAGE_BYTES, 0);
-        bytes
+        let mut p0 = w.into_bytes();
+        p0.resize(NT_PAGE_BYTES, 0);
+        pages.push(p0);
+        for chunk in self.bitmap[head..].chunks(NT_META_CONT_WORDS) {
+            let mut w = Writer::new();
+            for word in chunk {
+                w.u64(*word);
+            }
+            let mut p = w.into_bytes();
+            p.resize(NT_PAGE_BYTES, 0);
+            pages.push(p);
+        }
+        pages
     }
 
-    /// Decodes from a name-table page.
+    /// Decodes a single-page meta from a name-table page.
     pub fn decode(bytes: &[u8]) -> Result<Self, String> {
-        let mut r = Reader::new(bytes);
+        Self::decode_pages(std::slice::from_ref(&bytes.to_vec()))
+    }
+
+    /// Decodes from meta page images (page 0 first, then continuations).
+    pub fn decode_pages(pages: &[Vec<u8>]) -> Result<Self, String> {
+        let p0 = pages.first().ok_or_else(|| "empty NT meta".to_string())?;
+        let mut r = Reader::new(p0);
         if r.u32()? != NT_META_MAGIC {
             return Err("bad NT meta magic".into());
         }
         let root = r.u32()?;
         let words = r.u16()? as usize;
+        let need = Self::meta_pages_for_words(words);
+        if pages.len() < need {
+            return Err(format!(
+                "NT meta: {words}-word bitmap spans {need} pages, got {}",
+                pages.len()
+            ));
+        }
         let mut bitmap = Vec::with_capacity(words);
-        for _ in 0..words {
+        for _ in 0..words.min(NT_META_P0_WORDS) {
             bitmap.push(r.u64()?);
         }
+        for page in pages[1..need].iter() {
+            let take = (words - bitmap.len()).min(NT_META_CONT_WORDS);
+            let mut r = Reader::new(page);
+            for _ in 0..take {
+                bitmap.push(r.u64()?);
+            }
+        }
         Ok(Self { root, bitmap })
+    }
+
+    /// Reads just the root pointer from meta page 0. Valid whatever the
+    /// bitmap's page span — the header never leaves page 0.
+    pub fn decode_root(bytes: &[u8]) -> Result<u32, String> {
+        let mut r = Reader::new(bytes);
+        if r.u32()? != NT_META_MAGIC {
+            return Err("bad NT meta magic".into());
+        }
+        r.u32()
     }
 
     /// Allocates a page from the bitmap.
@@ -291,6 +386,105 @@ impl FsdNtStore<'_> {
         self.cache.evict_to_capacity(self.pending);
         Ok(image)
     }
+
+    /// Batch-reads the home copies of `ids` into the cache with large
+    /// C-SCAN transfers — the recovery-scan fast path for whole-table
+    /// walks such as the VAM rebuild, replacing two seek+rotate round
+    /// trips per page with one ascending sweep per copy. Pages already
+    /// cached (redo may hold newer images than home), pages with
+    /// sectors remapped into the spare region, and pages damaged in
+    /// either copy are left to the usual dual-copy
+    /// [`FsdNtStore::read_through`], which checks and scrubs on demand.
+    pub fn prefetch_pages(&mut self, ids: &[PageId]) -> Result<(), StoreError> {
+        let remapped: std::collections::HashSet<u32> = self
+            .spare
+            .entries()
+            .iter()
+            .map(|&(logical, _)| logical)
+            .collect();
+        let mut want: Vec<PageId> = ids
+            .iter()
+            .copied()
+            .filter(|id| !self.cache.pages.contains_key(id))
+            .filter(|&id| {
+                (0..NT_PAGE_SECTORS).all(|i| {
+                    !remapped.contains(&(self.layout.nt_a_sector(id) + i))
+                        && !remapped.contains(&(self.layout.nt_b_sector(id) + i))
+                })
+            })
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        if want.is_empty() {
+            return Ok(());
+        }
+        // One range per contiguous page run, per copy: reads never
+        // conflict, so the whole batch is a single barrier-free window
+        // the scheduler services in C-SCAN order.
+        let mut runs: Vec<(usize, usize)> = Vec::new(); // (index into want, pages)
+        for (i, &id) in want.iter().enumerate() {
+            match runs.last_mut() {
+                Some((s, n)) if want[*s] + *n as u32 == id => *n += 1,
+                _ => runs.push((i, 1)),
+            }
+        }
+        let mut ranges: Vec<(u32, usize)> = Vec::with_capacity(runs.len() * 2);
+        for &(s, n) in &runs {
+            ranges.push((
+                self.layout.nt_a_sector(want[s]),
+                n * NT_PAGE_SECTORS as usize,
+            ));
+        }
+        for &(s, n) in &runs {
+            ranges.push((
+                self.layout.nt_b_sector(want[s]),
+                n * NT_PAGE_SECTORS as usize,
+            ));
+        }
+        let chunks = scan::read_chunks(self.disk, self.policy, &ranges, 0).map_err(to_store_err)?;
+        let (a_chunks, b_chunks) = chunks.split_at(runs.len());
+        for (&(s, n), (a, b)) in runs.iter().zip(a_chunks.iter().zip(b_chunks)) {
+            for j in 0..n {
+                let lo = j * NT_PAGE_SECTORS as usize;
+                let hi = lo + NT_PAGE_SECTORS as usize;
+                if a.damaged[lo..hi].iter().any(|&d| d) || b.damaged[lo..hi].iter().any(|&d| d) {
+                    continue; // read_through will salvage and scrub.
+                }
+                let image = a.bytes[lo * SECTOR_BYTES..hi * SECTOR_BYTES].to_vec();
+                let stamp = self.cache.stamp();
+                self.cache.pages.insert(
+                    want[s + j],
+                    CachedPage {
+                        image: image.clone(),
+                        baseline: Some(image),
+                        last_logged_third: None,
+                        needs_home: false,
+                        last_used: stamp,
+                    },
+                );
+            }
+        }
+        self.cache.evict_to_capacity(self.pending);
+        Ok(())
+    }
+
+    /// Reads and decodes the full (possibly multi-page) NT meta.
+    pub fn read_meta(&mut self) -> Result<NtMeta, StoreError> {
+        let k = NtMeta::meta_pages_for(self.layout.nt_pages);
+        let mut pages = Vec::with_capacity(k);
+        for id in 0..k as u32 {
+            pages.push(self.read_through(id)?);
+        }
+        NtMeta::decode_pages(&pages).map_err(StoreError::Io)
+    }
+
+    /// Writes every meta page back (cache-only, like any page write).
+    pub fn write_meta(&mut self, meta: &NtMeta) -> Result<(), StoreError> {
+        for (id, page) in meta.encode_pages().into_iter().enumerate() {
+            self.write_page(id as u32, &page)?;
+        }
+        Ok(())
+    }
 }
 
 impl PageStore for FsdNtStore<'_> {
@@ -332,18 +526,21 @@ impl PageStore for FsdNtStore<'_> {
     }
 
     fn alloc_page(&mut self) -> Result<PageId, StoreError> {
-        let meta_raw = self.read_through(0)?;
-        let mut meta = NtMeta::decode(&meta_raw).map_err(StoreError::Io)?;
+        let mut meta = self.read_meta()?;
         let page = meta.alloc(self.layout.nt_pages).ok_or(StoreError::Full)?;
-        self.write_page(0, &meta.encode())?;
+        // Only the meta page holding the flipped bit is dirtied.
+        let idx = NtMeta::meta_page_of_word(page as usize / 64);
+        let image = meta.encode_pages().swap_remove(idx);
+        self.write_page(idx as u32, &image)?;
         Ok(page)
     }
 
     fn free_page(&mut self, id: PageId) -> Result<(), StoreError> {
-        let meta_raw = self.read_through(0)?;
-        let mut meta = NtMeta::decode(&meta_raw).map_err(StoreError::Io)?;
+        let mut meta = self.read_meta()?;
         meta.free(id);
-        self.write_page(0, &meta.encode())?;
+        let idx = NtMeta::meta_page_of_word(id as usize / 64);
+        let image = meta.encode_pages().swap_remove(idx);
+        self.write_page(idx as u32, &image)?;
         self.cache.pages.remove(&id);
         self.pending.remove(&id);
         Ok(())
@@ -372,6 +569,39 @@ mod tests {
         let decoded = NtMeta::decode(&m.encode()).unwrap();
         assert_eq!(decoded, m);
         assert!(decoded.in_use(1));
+    }
+
+    #[test]
+    fn meta_multi_page_roundtrip() {
+        // 20 000 pages → 313 bitmap words → 3 meta pages.
+        let mut m = NtMeta::new(20_000);
+        assert_eq!(m.meta_pages(), 3);
+        for p in 0..3 {
+            assert!(m.in_use(p), "meta page {p} must be pre-allocated");
+        }
+        assert_eq!(m.alloc(20_000), Some(3));
+        // Claim a page whose bitmap word lives on a continuation page.
+        let far = 19_999;
+        let (w, b) = (far as usize / 64, far % 64);
+        m.bitmap[w] |= 1 << b;
+        m.root = 9;
+        let pages = m.encode_pages();
+        assert_eq!(pages.len(), 3);
+        let decoded = NtMeta::decode_pages(&pages).unwrap();
+        assert_eq!(decoded, m);
+        assert!(decoded.in_use(far));
+        assert_eq!(NtMeta::decode_root(&pages[0]).unwrap(), 9);
+        assert_eq!(NtMeta::meta_page_of_word(w), 2);
+        // Page 0 alone is enough for the root but not the bitmap.
+        assert!(NtMeta::decode_pages(&pages[..1]).is_err());
+    }
+
+    #[test]
+    fn meta_single_page_layout_unchanged() {
+        // Small volumes keep the one-page encoding bit for bit.
+        let m = NtMeta::new(128);
+        assert_eq!(m.meta_pages(), 1);
+        assert_eq!(m.encode(), m.encode_pages().remove(0));
     }
 
     #[test]

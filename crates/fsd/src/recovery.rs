@@ -157,7 +157,7 @@ impl FsdVolume {
         };
         vol.last_force = vol.clock().now();
 
-        match vol.finish_boot(vam_was_valid, &mut report) {
+        match vol.finish_boot(vam_was_valid, config.scavenge_workers, &mut report) {
             Ok(()) => {
                 report.scrubbed_sectors += vol.spare.scrubbed;
                 report.remapped_sectors += vol.spare.remapped;
@@ -174,7 +174,12 @@ impl FsdVolume {
     }
 
     /// Phase 2: reattach the tree and establish the VAM.
-    fn finish_boot(&mut self, vam_was_valid: bool, report: &mut RecoveryReport) -> Result<()> {
+    fn finish_boot(
+        &mut self,
+        vam_was_valid: bool,
+        workers: usize,
+        report: &mut RecoveryReport,
+    ) -> Result<()> {
         let root = {
             let mut store = FsdNtStore {
                 disk: &mut self.disk,
@@ -188,7 +193,7 @@ impl FsdVolume {
             let raw = store
                 .read_through(0)
                 .map_err(cedar_btree::BTreeError::Store)?;
-            NtMeta::decode(&raw).map_err(FsdError::Check)?.root
+            NtMeta::decode_root(&raw).map_err(FsdError::Check)?
         };
         self.tree = BTree::open(root);
 
@@ -214,7 +219,7 @@ impl FsdVolume {
         }
         if need_rebuild {
             report.vam_reconstructed = true;
-            report.files_scanned = self.reconstruct_vam()?;
+            report.files_scanned = self.reconstruct_vam(workers)?;
         }
         if self.boot.vam_logged {
             // New log epoch: write a fresh base image and restart the
@@ -228,7 +233,13 @@ impl FsdVolume {
 
     /// Rebuilds the VAM by walking the name table: everything in the data
     /// area is free except the pages the entries claim (§5.5).
-    fn reconstruct_vam(&mut self) -> Result<u64> {
+    ///
+    /// The tree walk is serial — it owns the spindle — but with
+    /// `workers > 1` the entry decoding shards across CPU workers, each
+    /// building a partial claimed-sector bitmap; the shards merge with a
+    /// word-level OR and subtract from the base free map, which is
+    /// bit-identical to the serial allocate-per-run loop.
+    fn reconstruct_vam(&mut self, workers: usize) -> Result<u64> {
         let mut vam = Vam::new_all_allocated(self.layout.total_sectors);
         vam.free_run(Run::new(
             self.layout.small_start,
@@ -250,21 +261,84 @@ impl FsdVolume {
                 cache: &mut self.cache,
                 pending: &mut self.pending_pages,
             };
+            // Batch-read the whole allocated table up front: the walk
+            // then runs from the cache instead of paying two seek+rotate
+            // round trips per page.
+            let meta = store.read_meta().map_err(cedar_btree::BTreeError::Store)?;
+            let in_use: Vec<u32> = (0..self.layout.nt_pages)
+                .filter(|&p| meta.in_use(p))
+                .collect();
+            store
+                .prefetch_pages(&in_use)
+                .map_err(cedar_btree::BTreeError::Store)?;
             tree.for_each(&mut store, &mut |_, v| {
                 entries.push(v.to_vec());
                 true
             })?;
         }
         let files = entries.len() as u64;
-        self.cpu.entries(files);
-        for raw in entries {
-            let entry = crate::entry::FileEntry::decode(&raw)?;
-            if entry.leader_addr != 0 {
-                vam.allocate_run(Run::new(entry.leader_addr, 1));
+        if workers <= 1 || entries.is_empty() {
+            self.cpu.entries(files);
+            for raw in entries {
+                let entry = crate::entry::FileEntry::decode(&raw)?;
+                if entry.leader_addr != 0 {
+                    vam.allocate_run(Run::new(entry.leader_addr, 1));
+                }
+                for r in entry.run_table.runs() {
+                    vam.allocate_run(*r);
+                }
             }
-            for r in entry.run_table.runs() {
-                vam.allocate_run(*r);
+        } else {
+            let t0 = self.clock().now();
+            let total_sectors = self.layout.total_sectors;
+            let shard_len = entries.len().div_ceil(workers);
+            let cpu = &self.cpu;
+            let shards: Vec<Result<(Vam, cedar_disk::clock::Micros)>> = std::thread::scope(|s| {
+                let handles: Vec<_> = entries
+                    .chunks(shard_len)
+                    .map(|shard| {
+                        let mut wcpu = cpu.worker();
+                        s.spawn(move || {
+                            let mut claimed = Vam::new_all_allocated(total_sectors);
+                            wcpu.entries(shard.len() as u64);
+                            for raw in shard {
+                                let entry = crate::entry::FileEntry::decode(raw)?;
+                                if entry.leader_addr != 0 {
+                                    claimed.free_run(Run::new(entry.leader_addr, 1));
+                                }
+                                for r in entry.run_table.runs() {
+                                    claimed.free_run(*r);
+                                }
+                            }
+                            Ok((claimed, wcpu.into_us()))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or(Err(FsdError::Check("VAM rebuild worker died".into())))
+                    })
+                    .collect()
+            });
+            let mut claimed = Vam::new_all_allocated(total_sectors);
+            let mut worker_us = Vec::with_capacity(shards.len());
+            let mut first_err = None;
+            for shard in shards {
+                match shard {
+                    Ok((part, us)) => {
+                        claimed.merge_or(&part);
+                        worker_us.push(us);
+                    }
+                    Err(e) => first_err = first_err.or(Some(e)),
+                }
             }
+            self.cpu.join_parallel(t0, &worker_us);
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+            vam.subtract(&claimed);
         }
         self.vam = vam;
         Ok(files)

@@ -36,9 +36,11 @@ use crate::spare::SpareMap;
 use crate::volume::{FsdConfig, FsdVolume, MAX_RUNS};
 use crate::{FsdError, Result};
 use cedar_btree::BTree;
+use cedar_disk::scan::{self, ScanChannel, ScanChunk};
+use cedar_disk::sched::IoPolicy;
 use cedar_disk::{Cpu, DiskError, SectorAddr, SimDisk, SECTOR_BYTES};
 use cedar_vol::{AllocPolicy, Allocator, FileName, Run, Vam};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 /// What a scavenge found, rebuilt, and lost.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -87,7 +89,15 @@ pub(crate) fn scavenge_boot(
         ..Default::default()
     };
     let mut found: HashMap<Vec<u8>, LeaderPage> = HashMap::new();
-    if let Err(e) = scan_leaders(&mut disk, &layout, &mut summary, &mut found) {
+    if let Err(e) = scan_leaders(
+        &mut disk,
+        &cpu,
+        &layout,
+        config.io_policy,
+        config.scavenge_workers,
+        &mut summary,
+        &mut found,
+    ) {
         return Err((e, disk));
     }
 
@@ -202,59 +212,309 @@ pub(crate) fn scavenge_boot(
     }
 }
 
-/// Sweeps both data areas in track-sized chunks collecting provable
-/// leader pages; duplicates by name key resolve to the higher uid.
-fn scan_leaders(
-    disk: &mut SimDisk,
-    layout: &FsdLayout,
-    summary: &mut ScavengeSummary,
-    found: &mut HashMap<Vec<u8>, LeaderPage>,
-) -> Result<()> {
-    let chunk = disk.geometry().sectors_per_track.max(1);
+/// Tracks per striding window. The scan plans its reads window by
+/// window so the run tables of leaders merged *two* windows back can
+/// stride the reader past file-interior sectors (see
+/// [`window_ranges`]); eight tracks keeps the windows large enough for
+/// C-SCAN sweeps while the pipeline stays two windows deep.
+const TRACKS_PER_WINDOW: u32 = 8;
+
+/// The decode output for one [`ScanChunk`]: leaders that prove they
+/// belong at the sector they were read from, in sector order. This is
+/// the unit that flows back from the decode workers; `seq` restores
+/// submission order at the merge.
+struct ChunkResult {
+    seq: usize,
+    scanned: u64,
+    unreadable: u64,
+    candidates: Vec<LeaderPage>,
+}
+
+/// Pure per-chunk decode/verify: the worker half of the pipeline.
+/// Address-local checks only (decode, checksum, self-pointing entry,
+/// sane runs) — cross-file rules (duplicates, overlaps) need global
+/// state and stay in the merge.
+fn decode_chunk(layout: &FsdLayout, chunk: &ScanChunk) -> ChunkResult {
+    let mut out = ChunkResult {
+        seq: chunk.seq,
+        scanned: chunk.sectors() as u64,
+        unreadable: 0,
+        candidates: Vec::new(),
+    };
+    for i in 0..chunk.sectors() {
+        if chunk.damaged[i] {
+            out.unreadable += 1;
+            continue;
+        }
+        let sector = &chunk.bytes[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
+        let Ok(leader) = LeaderPage::decode(sector) else {
+            continue;
+        };
+        let Ok(entry) = leader.entry() else {
+            continue;
+        };
+        // A logged or copied leader image elsewhere on disk points at
+        // its true home, not at the sector it was read from.
+        if entry.leader_addr == chunk.start + i as u32 && runs_sane(layout, &entry) {
+            out.candidates.push(leader);
+        }
+    }
+    out
+}
+
+/// Splits both data areas into striding windows of whole tracks.
+fn build_windows(layout: &FsdLayout, window_sectors: u32) -> Vec<(SectorAddr, SectorAddr)> {
+    let mut windows = Vec::new();
     for (lo, hi) in [
         (layout.small_start, layout.nt_a_start),
         (layout.central_end, layout.total_sectors),
     ] {
         let mut at = lo;
         while at < hi {
-            let n = chunk.min(hi - at);
-            let (bytes, mask) = disk
-                .read_allow_damage(at, n as usize)
-                .map_err(FsdError::Disk)?;
-            for i in 0..n as usize {
-                if mask[i] {
-                    summary.unreadable_sectors += 1;
-                    continue;
-                }
-                let sector = &bytes[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
-                let Ok(leader) = LeaderPage::decode(sector) else {
-                    continue;
-                };
-                consider(layout, summary, found, at + i as u32, leader);
-            }
-            at += n;
+            let end = (at + window_sectors).min(hi);
+            windows.push((at, end));
+            at = end;
         }
+    }
+    windows
+}
+
+/// Read ranges for one window, striding past sectors the `skip` map
+/// marks (a [`Vam`] reused as a bitmap: free ⇒ skip). Ranges are capped
+/// at a track so chunks stay worker-sized.
+fn window_ranges(
+    skip: &Vam,
+    lo: SectorAddr,
+    hi: SectorAddr,
+    max_len: u32,
+) -> Vec<(SectorAddr, usize)> {
+    let mut ranges = Vec::new();
+    let mut at = lo;
+    while at < hi {
+        if skip.is_free(at) {
+            at += 1;
+            continue;
+        }
+        let mut end = at + 1;
+        while end < hi && end - at < max_len && !skip.is_free(end) {
+            end += 1;
+        }
+        ranges.push((at, (end - at) as usize));
+        at = end;
+    }
+    ranges
+}
+
+/// Folds one chunk's candidates into the global state, in sector order.
+/// Live (non-tombstone) candidates also stride the skip map past their
+/// file-interior sectors: those are data, not leaders, so windows ≥ two
+/// ahead never read them. The window lag means a *stale* live leader
+/// whose runs cover a newer file's leader sector can hide it — the
+/// documented striding trade, impossible after a clean shutdown (home
+/// leaders are synced) and acceptable for last-rung recovery.
+fn merge_chunk(
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
+    skip: &mut Vam,
+    result: ChunkResult,
+) {
+    summary.unreadable_sectors += result.unreadable;
+    for leader in result.candidates {
+        if !leader.deleted {
+            if let Ok(entry) = leader.entry() {
+                for r in entry.run_table.runs() {
+                    skip.free_run(*r);
+                }
+            }
+        }
+        admit(summary, found, leader);
+    }
+}
+
+/// Sweeps both data areas collecting provable leader pages; duplicates
+/// by name key resolve to the higher uid.
+///
+/// Both paths run the same two-windows-deep pipeline over the same
+/// striding plan, so they read the same sectors and merge in the same
+/// order — the parallel scan is bit-identical to the serial one, only
+/// its decode CPU is spread across workers and charged as the critical
+/// path.
+#[allow(clippy::too_many_arguments)]
+fn scan_leaders(
+    disk: &mut SimDisk,
+    cpu: &Cpu,
+    layout: &FsdLayout,
+    policy: IoPolicy,
+    workers: usize,
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
+) -> Result<()> {
+    let track = disk.geometry().sectors_per_track.max(1);
+    let windows = build_windows(layout, track * TRACKS_PER_WINDOW);
+    if workers <= 1 {
+        scan_serial(disk, cpu, layout, policy, track, &windows, summary, found)
+    } else {
+        scan_parallel(
+            disk, cpu, layout, policy, track, workers, &windows, summary, found,
+        )
+    }
+}
+
+/// The serial pipeline: read window i, decode it inline, then merge
+/// window i−1 — so ranges for window i+1 see exactly the merges of
+/// windows ≤ i−1, the same lag the parallel path keeps.
+#[allow(clippy::too_many_arguments)]
+fn scan_serial(
+    disk: &mut SimDisk,
+    cpu: &Cpu,
+    layout: &FsdLayout,
+    policy: IoPolicy,
+    track: u32,
+    windows: &[(SectorAddr, SectorAddr)],
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
+) -> Result<()> {
+    let mut skip = Vam::new_all_allocated(layout.total_sectors);
+    let mut pending: Vec<ChunkResult> = Vec::new();
+    let mut seq = 0usize;
+    for &(lo, hi) in windows {
+        let ranges = window_ranges(&skip, lo, hi, track);
+        let chunks = scan::read_chunks(disk, policy, &ranges, seq).map_err(FsdError::Disk)?;
+        seq += chunks.len();
+        let results: Vec<ChunkResult> = chunks
+            .iter()
+            .map(|c| {
+                let r = decode_chunk(layout, c);
+                cpu.sectors(r.scanned);
+                cpu.entries(r.candidates.len() as u64);
+                r
+            })
+            .collect();
+        for r in pending.drain(..) {
+            merge_chunk(summary, found, &mut skip, r);
+        }
+        pending = results;
+    }
+    for r in pending {
+        merge_chunk(summary, found, &mut skip, r);
     }
     Ok(())
 }
 
-/// Admits a decoded leader if it proves it belongs at `addr`; resolves
-/// name-key duplicates to the higher uid.
-fn consider(
+/// The parallel pipeline: the reader owns the spindle and feeds decode
+/// workers through a bounded [`ScanChannel`]; results come back tagged
+/// with their submission `seq` and a reorder buffer restores address
+/// order before the merge, so the outcome is identical to the serial
+/// scan. Worker CPU accumulates off-clock and joins as the critical
+/// path.
+#[allow(clippy::too_many_arguments)]
+fn scan_parallel(
+    disk: &mut SimDisk,
+    cpu: &Cpu,
     layout: &FsdLayout,
+    policy: IoPolicy,
+    track: u32,
+    workers: usize,
+    windows: &[(SectorAddr, SectorAddr)],
     summary: &mut ScavengeSummary,
     found: &mut HashMap<Vec<u8>, LeaderPage>,
-    addr: SectorAddr,
+) -> Result<()> {
+    let t0 = disk.clock().now();
+    let chunk_ch: ScanChannel<ScanChunk> = ScanChannel::new(workers * 2);
+    // Results are small and the reorder buffer is unbounded anyway; an
+    // unbounded result leg means workers never block sending, so the
+    // reader can finish submitting a window before draining the last —
+    // a bounded leg there could deadlock the pipeline.
+    let result_ch: ScanChannel<ChunkResult> = ScanChannel::new(usize::MAX);
+    let mut worker_us: Vec<u64> = Vec::new();
+    let mut scan_err: Option<FsdError> = None;
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let (rx, tx) = (&chunk_ch, &result_ch);
+                let mut wcpu = cpu.worker();
+                s.spawn(move || {
+                    while let Some(chunk) = rx.recv() {
+                        let r = decode_chunk(layout, &chunk);
+                        wcpu.sectors(r.scanned);
+                        wcpu.entries(r.candidates.len() as u64);
+                        if !tx.send(r) {
+                            break;
+                        }
+                    }
+                    wcpu.into_us()
+                })
+            })
+            .collect();
+
+        let mut skip = Vam::new_all_allocated(layout.total_sectors);
+        let mut reorder: BTreeMap<usize, ChunkResult> = BTreeMap::new();
+        let mut next_merge = 0usize;
+        let mut seq = 0usize;
+        for (i, &(lo, hi)) in windows.iter().enumerate() {
+            let window_start_seq = seq;
+            let ranges = window_ranges(&skip, lo, hi, track);
+            let chunks = match scan::read_chunks(disk, policy, &ranges, seq) {
+                Ok(c) => c,
+                Err(e) => {
+                    scan_err = Some(FsdError::Disk(e));
+                    break;
+                }
+            };
+            seq += chunks.len();
+            for c in chunks {
+                if !chunk_ch.send(c) {
+                    break;
+                }
+            }
+            // Before planning window i+1, merge all of window i−1 (its
+            // chunks are every seq below this window's first).
+            if i > 0 {
+                while next_merge < window_start_seq {
+                    let Some(r) = result_ch.recv() else { break };
+                    reorder.insert(r.seq, r);
+                    while let Some(r) = reorder.remove(&next_merge) {
+                        merge_chunk(summary, found, &mut skip, r);
+                        next_merge += 1;
+                    }
+                }
+            }
+        }
+        chunk_ch.close();
+        if scan_err.is_none() {
+            // Drain the tail (the last two windows' results).
+            while next_merge < seq {
+                let Some(r) = result_ch.recv() else { break };
+                reorder.insert(r.seq, r);
+                while let Some(r) = reorder.remove(&next_merge) {
+                    merge_chunk(summary, found, &mut skip, r);
+                    next_merge += 1;
+                }
+            }
+        }
+        result_ch.close();
+        for h in handles {
+            if let Ok(us) = h.join() {
+                worker_us.push(us);
+            }
+        }
+    });
+
+    cpu.join_parallel(t0, &worker_us);
+    match scan_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Admits a verified candidate leader; resolves name-key duplicates to
+/// the higher uid.
+fn admit(
+    summary: &mut ScavengeSummary,
+    found: &mut HashMap<Vec<u8>, LeaderPage>,
     leader: LeaderPage,
 ) {
-    let Ok(entry) = leader.entry() else {
-        return;
-    };
-    // A logged or copied leader image elsewhere on disk points at its
-    // true home, not at the sector it was read from.
-    if entry.leader_addr != addr || !runs_sane(layout, &entry) {
-        return;
-    }
     summary.leaders_found += 1;
     match found.entry(leader.name_key.clone()) {
         std::collections::hash_map::Entry::Occupied(mut o) => {
@@ -310,6 +570,52 @@ fn rebuild(vol: &mut FsdVolume, config: FsdConfig, files: &[(FileName, FileEntry
         } = *vol;
         log.write_meta(disk, spare)?;
     }
+    // Bottom-up bulk load: encode the recovered entries once, sort them
+    // by key, and pack the tree leaves-first — one page write per node,
+    // instead of N root-to-leaf insertions re-dirtying the same pages.
+    // Entry encoding is embarrassingly parallel, so it shards across the
+    // configured workers like the scan's decode stage; the output is the
+    // concatenation of the shards either way.
+    let workers = config.scavenge_workers.max(1);
+    let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = if workers == 1 || files.len() < workers {
+        vol.cpu.entries(files.len() as u64);
+        files
+            .iter()
+            .map(|(name, entry)| (name.to_key(), entry.encode()))
+            .collect()
+    } else {
+        let t0 = vol.clock().now();
+        let shard_len = files.len().div_ceil(workers);
+        let joined = std::thread::scope(|s| {
+            let handles: Vec<_> = files
+                .chunks(shard_len)
+                .map(|shard| {
+                    let mut wcpu = vol.cpu.worker();
+                    s.spawn(move || {
+                        let pairs: Vec<(Vec<u8>, Vec<u8>)> = shard
+                            .iter()
+                            .map(|(name, entry)| (name.to_key(), entry.encode()))
+                            .collect();
+                        wcpu.entries(shard.len() as u64);
+                        (pairs, wcpu.into_us())
+                    })
+                })
+                .collect::<Vec<_>>();
+            handles.into_iter().map(|h| h.join()).collect::<Vec<_>>()
+        });
+        let mut shards = Vec::with_capacity(joined.len());
+        let mut worker_us = Vec::with_capacity(joined.len());
+        for r in joined {
+            let (pairs, us) = r.map_err(|_| {
+                FsdError::Check("entry-encode worker panicked during scavenge rebuild".into())
+            })?;
+            shards.push(pairs);
+            worker_us.push(us);
+        }
+        vol.cpu.join_parallel(t0, &worker_us);
+        shards.into_iter().flatten().collect()
+    };
+    pairs.sort();
     {
         let mut store = FsdNtStore {
             disk: &mut vol.disk,
@@ -320,13 +626,10 @@ fn rebuild(vol: &mut FsdVolume, config: FsdConfig, files: &[(FileName, FileEntry
             cache: &mut vol.cache,
             pending: &mut vol.pending_pages,
         };
-        use cedar_btree::PageStore;
-        store.write_page(0, &NtMeta::new(vol.layout.nt_pages).encode())?;
-        vol.tree = BTree::create(&mut store)?;
+        store.write_meta(&NtMeta::new(vol.layout.nt_pages))?;
+        vol.tree = BTree::bulk_load(&mut store, &pairs)?;
     }
-    for (name, entry) in files {
-        vol.put_entry(name, entry)?;
-    }
+    vol.update_meta_root()?;
     vol.force()?;
     vol.sync_home_all()?;
     vol.save_vam_and_mark_valid()?;

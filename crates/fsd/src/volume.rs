@@ -67,6 +67,13 @@ pub struct FsdConfig {
     /// measurement baseline; the default C-SCAN order is what the real
     /// Trident microcode queue approximated.
     pub io_policy: IoPolicy,
+    /// Decode/verify workers for the recovery-scan paths (scavenge and
+    /// VAM reconstruction). `1` keeps the serial pipeline; larger values
+    /// run pFSCK-style parallel checking: the reader stage still owns
+    /// the single spindle, but leader decoding, entry verification and
+    /// free-map sharding spread across this many CPU workers, charged as
+    /// the critical path ([`cedar_disk::Cpu::join_parallel`]).
+    pub scavenge_workers: usize,
 }
 
 impl Default for FsdConfig {
@@ -80,6 +87,7 @@ impl Default for FsdConfig {
             log_vam: false,
             cache_pages: 0,
             io_policy: IoPolicy::default(),
+            scavenge_workers: 1,
         }
     }
 }
@@ -249,8 +257,7 @@ impl FsdVolume {
         // Seed the meta page and the empty tree — in cache only.
         {
             let mut store = nt_store!(vol);
-            use cedar_btree::PageStore;
-            store.write_page(0, &NtMeta::new(vol.layout.nt_pages).encode())?;
+            store.write_meta(&NtMeta::new(vol.layout.nt_pages))?;
             vol.tree = BTree::create(&mut store)?;
         }
         vol.update_meta_root()?;
@@ -403,12 +410,12 @@ impl FsdVolume {
         // Collect changed sector images: diff each dirty page against its
         // baseline so a page dirtied fifty times still logs once.
         let mut images: Vec<(PageTarget, Vec<u8>)> = Vec::new();
-        let mut logged_pages: Vec<PageId> = Vec::new();
+        let mut logged_pages: Vec<(PageId, bool)> = Vec::new();
         for &id in &self.pending_pages {
             let Some(p) = self.cache.pages.get(&id) else {
                 continue;
             };
-            let mut any = false;
+            let mut changed_sectors = 0usize;
             for s in 0..NT_PAGE_SECTORS as usize {
                 let range = s * SECTOR_BYTES..(s + 1) * SECTOR_BYTES;
                 let changed = match &p.baseline {
@@ -423,11 +430,11 @@ impl FsdVolume {
                         },
                         p.image[range].to_vec(),
                     ));
-                    any = true;
+                    changed_sectors += 1;
                 }
             }
-            if any {
-                logged_pages.push(id);
+            if changed_sectors > 0 {
+                logged_pages.push((id, changed_sectors == NT_PAGE_SECTORS as usize));
             }
         }
         let mut logged_leaders: Vec<u32> = Vec::new();
@@ -525,7 +532,7 @@ impl FsdVolume {
                 .position(|(t, _)| t == want)
                 .and_then(|i| thirds.get(&i).copied())
         };
-        for id in logged_pages {
+        for (id, full) in logged_pages {
             // The page's newest images are in the chunk holding its last
             // sector; conservatively use its *first* image's third (the
             // earliest to be reclaimed).
@@ -549,7 +556,19 @@ impl FsdVolume {
             });
             if let Some(p) = self.cache.pages.get_mut(&id) {
                 p.baseline = Some(p.image.clone());
-                p.last_logged_third = t;
+                // A partial log (some sectors unchanged this force) leaves
+                // the newest image of the quiet sectors riding an *older*
+                // third — a continuously-hot page (the allocation bitmap,
+                // whose write frontier only advances) would otherwise keep
+                // its tag on the newest third forever, never get flushed
+                // by the reclaim sweep, and lose its quiet sectors once
+                // the log lapped them. Keep the older tag in that case so
+                // the full baseline goes home before that third reclaims;
+                // advance it only when the whole page was logged or the
+                // home copy is current.
+                if full || p.last_logged_third.is_none() {
+                    p.last_logged_third = t;
+                }
                 p.needs_home = true;
             }
         }
@@ -714,18 +733,19 @@ impl FsdVolume {
 
     /// Keeps the meta page's root pointer in step with the tree (a
     /// cache-only write, committed with everything else).
-    fn update_meta_root(&mut self) -> Result<()> {
+    pub(crate) fn update_meta_root(&mut self) -> Result<()> {
         let root = self.tree.root();
         let mut store = nt_store!(self);
-        let raw = store
+        let mut raw = store
             .read_through(0)
             .map_err(cedar_btree::BTreeError::Store)?;
-        let mut meta = NtMeta::decode(&raw).map_err(FsdError::Check)?;
-        if meta.root != root {
-            meta.root = root;
+        // The root lives at a fixed offset in page 0; patching it in
+        // place leaves the (possibly multi-page) bitmap untouched.
+        if NtMeta::decode_root(&raw).map_err(FsdError::Check)? != root {
+            raw[4..8].copy_from_slice(&root.to_le_bytes());
             use cedar_btree::PageStore;
             store
-                .write_page(0, &meta.encode())
+                .write_page(0, &raw)
                 .map_err(cedar_btree::BTreeError::Store)?;
         }
         Ok(())
@@ -1374,4 +1394,66 @@ fn flush_third(
         writes.push((layout.vam_b + index, img));
     }
     spare::write_home_batch(disk, policy, spare, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NT_PAGE_BYTES;
+    use cedar_btree::PageStore;
+
+    /// Regression: a page that stays hot in one sector while another
+    /// sector goes quiet must survive a crash after the log laps. The
+    /// per-sector diff in [`FsdVolume::force`] means the quiet sector's
+    /// newest image rides an old third; if the page's flush tag advanced
+    /// with every partial log, the reclaim sweep would never write it
+    /// home and the lap would destroy the only copy. (Observed in the
+    /// wild on the allocation bitmap, whose write frontier only moves
+    /// forward — crash recovery came back with a weeks-old free map.)
+    #[test]
+    fn quiet_sector_of_hot_page_survives_log_lap_crash() {
+        let config = FsdConfig {
+            nt_pages: 16,
+            log_sectors: 128,
+            cpu: CpuModel::FREE,
+            ..FsdConfig::default()
+        };
+        let mut v = FsdVolume::format(SimDisk::tiny(), config).unwrap();
+
+        // An out-of-tree page: distinctive content in sector 0, a
+        // counter in sector 1.
+        let page: PageId = 12;
+        let mut img = vec![0u8; NT_PAGE_BYTES];
+        for (i, b) in img[..SECTOR_BYTES].iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        nt_store!(v).write_page(page, &img).unwrap();
+        v.force().unwrap();
+        let quiet = img[..SECTOR_BYTES].to_vec();
+
+        // Dirty only sector 1 across enough forces to lap the 128-sector
+        // log several times (each force appends one 7-sector record).
+        let laps = 60u32;
+        for i in 0..laps {
+            img[SECTOR_BYTES..SECTOR_BYTES + 4].copy_from_slice(&i.to_le_bytes());
+            nt_store!(v).write_page(page, &img).unwrap();
+            v.force().unwrap();
+        }
+
+        let mut disk = v.into_disk();
+        disk.crash_now();
+        disk.reboot();
+        let (mut v2, _) = FsdVolume::boot(disk, config).unwrap();
+        let got = nt_store!(v2).read_through(page).unwrap();
+        assert_eq!(
+            &got[..SECTOR_BYTES],
+            &quiet[..],
+            "quiet sector lost across log lap + crash"
+        );
+        assert_eq!(
+            &got[SECTOR_BYTES..SECTOR_BYTES + 4],
+            &(laps - 1).to_le_bytes(),
+            "hot sector not recovered to the last force"
+        );
+    }
 }

@@ -46,28 +46,57 @@ impl Vam {
 
     /// Marks a run free (immediately allocatable).
     pub fn free_run(&mut self, run: Run) {
-        for a in run.start..run.end() {
-            assert!(a < self.sectors, "free of sector {a} out of range");
-            let (w, b) = (a as usize / 64, a % 64);
-            self.words[w] |= 1 << b;
-        }
+        assert!(
+            run.end() <= self.sectors,
+            "free of run {run:?} out of range"
+        );
+        for_run_words(&mut self.words, run, |w, m| *w |= m);
     }
 
     /// Marks a run allocated.
     pub fn allocate_run(&mut self, run: Run) {
-        for a in run.start..run.end() {
-            assert!(a < self.sectors, "allocate of sector {a} out of range");
-            let (w, b) = (a as usize / 64, a % 64);
-            self.words[w] &= !(1 << b);
-        }
+        assert!(
+            run.end() <= self.sectors,
+            "allocate of run {run:?} out of range"
+        );
+        for_run_words(&mut self.words, run, |w, m| *w &= !m);
     }
 
     /// Records a run in the shadow bitmap: freed by a delete that has not
     /// yet committed, so not yet allocatable.
     pub fn shadow_free_run(&mut self, run: Run) {
-        for a in run.start..run.end() {
-            let (w, b) = (a as usize / 64, a % 64);
-            self.shadow[w] |= 1 << b;
+        for_run_words(&mut self.shadow, run, |w, m| *w |= m);
+    }
+
+    /// ORs `other`'s free and shadow bits into this map, word-parallel.
+    ///
+    /// This is the parallel scavenger's shard merge: each worker builds
+    /// a partial map over its shard of the scan (claimed sectors, or
+    /// freed runs), and the merger folds the shards together with a
+    /// single pass over the words.
+    pub fn merge_or(&mut self, other: &Vam) {
+        assert_eq!(self.sectors, other.sectors, "VAM merge across volumes");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        for (s, o) in self.shadow.iter_mut().zip(&other.shadow) {
+            *s |= o;
+        }
+    }
+
+    /// Clears every free and shadow bit that is set in `other`,
+    /// word-parallel.
+    ///
+    /// Paired with [`Vam::merge_or`] for reconstruction in the allocate
+    /// direction: start from an all-free data area, merge the workers'
+    /// *claimed* bitmaps, then subtract the union from the free map.
+    pub fn subtract(&mut self, other: &Vam) {
+        assert_eq!(self.sectors, other.sectors, "VAM subtract across volumes");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        for (s, o) in self.shadow.iter_mut().zip(&other.shadow) {
+            *s &= !o;
         }
     }
 
@@ -220,6 +249,33 @@ impl Vam {
     }
 }
 
+/// A mask of `len` contiguous bits starting at `bit` (`bit + len ≤ 64`,
+/// `len ≥ 1`).
+fn mask(bit: u32, len: u32) -> u64 {
+    let block = if len == 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    block << bit
+}
+
+/// Applies `f(word, mask)` for each 64-bit word `run` touches, with
+/// `mask` selecting exactly the run's bits within that word — the
+/// word-parallel loop shared by free, allocate, and shadow-free. A run
+/// of S sectors costs ⌈S/64⌉ + 1 word operations instead of S bit
+/// operations.
+fn for_run_words(words: &mut [u64], run: Run, f: impl Fn(&mut u64, u64)) {
+    let end = run.end();
+    let mut a = run.start;
+    while a < end {
+        let word_end = (a / 64 + 1) * 64;
+        let upto = end.min(word_end);
+        f(&mut words[a as usize / 64], mask(a % 64, upto - a));
+        a = upto;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +373,60 @@ mod tests {
         assert_eq!(restored.shadow_count(), 0);
         assert!(restored.is_free(5));
         assert!(!restored.is_free(100));
+    }
+
+    #[test]
+    fn mask_covers_word_boundaries() {
+        assert_eq!(mask(0, 64), u64::MAX);
+        assert_eq!(mask(0, 1), 1);
+        assert_eq!(mask(63, 1), 1 << 63);
+        assert_eq!(mask(4, 3), 0b111 << 4);
+    }
+
+    #[test]
+    fn word_ops_cross_word_boundaries() {
+        let mut v = Vam::new_all_allocated(256);
+        // 60..=130 spans three words with partial ends.
+        v.free_run(Run::new(60, 71));
+        assert_eq!(v.free_count(), 71);
+        assert!(!v.is_free(59));
+        assert!(v.is_free(60));
+        assert!(v.is_free(130));
+        assert!(!v.is_free(131));
+        v.allocate_run(Run::new(64, 64)); // exactly one full word
+        assert_eq!(v.free_count(), 7);
+        assert!(v.is_free(63));
+        assert!(!v.is_free(64));
+        assert!(!v.is_free(127));
+        assert!(v.is_free(128));
+    }
+
+    #[test]
+    fn merge_or_unions_free_and_shadow() {
+        let mut a = Vam::new_all_allocated(200);
+        a.free_run(Run::new(0, 10));
+        a.shadow_free_run(Run::new(50, 5));
+        let mut b = Vam::new_all_allocated(200);
+        b.free_run(Run::new(5, 10));
+        b.shadow_free_run(Run::new(52, 5));
+        a.merge_or(&b);
+        assert_eq!(a.free_count(), 15);
+        assert_eq!(a.shadow_count(), 7);
+        assert!(a.is_free(0) && a.is_free(14) && !a.is_free(15));
+    }
+
+    #[test]
+    fn subtract_removes_claims_from_all_free() {
+        let mut free = Vam::new_all_allocated(128);
+        free.free_run(Run::new(0, 128));
+        let mut claimed = Vam::new_all_allocated(128);
+        claimed.free_run(Run::new(30, 40)); // "claimed" bits
+        free.subtract(&claimed);
+        assert_eq!(free.free_count(), 128 - 40);
+        assert!(free.is_free(29));
+        assert!(!free.is_free(30));
+        assert!(!free.is_free(69));
+        assert!(free.is_free(70));
     }
 
     #[test]

@@ -171,3 +171,156 @@ proptest! {
         prop_assert_eq!(decoded, rt);
     }
 }
+
+/// Reference bit-at-a-time VAM over a plain bool vector — the old
+/// implementation, kept as the oracle for the word-parallel mask path.
+#[derive(Clone)]
+struct BitVam {
+    free: Vec<bool>,
+    shadow: Vec<bool>,
+}
+
+impl BitVam {
+    fn new(sectors: u32) -> Self {
+        Self {
+            free: vec![false; sectors as usize],
+            shadow: vec![false; sectors as usize],
+        }
+    }
+
+    fn apply(&mut self, op: &VamOp) {
+        match *op {
+            VamOp::Free(r) => {
+                for a in r.start..r.end() {
+                    self.free[a as usize] = true;
+                }
+            }
+            VamOp::Allocate(r) => {
+                for a in r.start..r.end() {
+                    self.free[a as usize] = false;
+                }
+            }
+            VamOp::ShadowFree(r) => {
+                for a in r.start..r.end() {
+                    self.shadow[a as usize] = true;
+                }
+            }
+            VamOp::CommitShadow => {
+                for (f, s) in self.free.iter_mut().zip(self.shadow.iter_mut()) {
+                    *f |= *s;
+                    *s = false;
+                }
+            }
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum VamOp {
+    Free(Run),
+    Allocate(Run),
+    ShadowFree(Run),
+    CommitShadow,
+}
+
+fn arb_run(sectors: u32) -> impl Strategy<Value = Run> {
+    (0..sectors, 1u32..200).prop_map(move |(start, len)| {
+        let len = len.min(sectors - start);
+        Run::new(start, len.max(1))
+    })
+}
+
+fn arb_vam_ops(sectors: u32) -> impl Strategy<Value = Vec<VamOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => arb_run(sectors).prop_map(VamOp::Free),
+            3 => arb_run(sectors).prop_map(VamOp::Allocate),
+            2 => arb_run(sectors).prop_map(VamOp::ShadowFree),
+            1 => Just(VamOp::CommitShadow),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // The word-parallel mask path in `Vam` agrees bit-for-bit with the
+    // per-sector reference under arbitrary op sequences (runs placed
+    // anywhere relative to word boundaries, including the ragged last
+    // word).
+    #[test]
+    fn word_path_equals_bit_path(
+        sectors in 65u32..1500,
+        ops in arb_vam_ops(1500),
+    ) {
+        let mut vam = Vam::new_all_allocated(sectors);
+        let mut oracle = BitVam::new(sectors);
+        for op in &ops {
+            // Clip the op's run into range for this volume size.
+            let clipped = |r: Run| -> Option<Run> {
+                if r.start >= sectors { return None; }
+                Some(Run::new(r.start, r.len.min(sectors - r.start)))
+            };
+            let op = match *op {
+                VamOp::Free(r) => match clipped(r) { Some(r) => VamOp::Free(r), None => continue },
+                VamOp::Allocate(r) => match clipped(r) { Some(r) => VamOp::Allocate(r), None => continue },
+                VamOp::ShadowFree(r) => match clipped(r) { Some(r) => VamOp::ShadowFree(r), None => continue },
+                VamOp::CommitShadow => VamOp::CommitShadow,
+            };
+            match op {
+                VamOp::Free(r) => vam.free_run(r),
+                VamOp::Allocate(r) => vam.allocate_run(r),
+                VamOp::ShadowFree(r) => vam.shadow_free_run(r),
+                VamOp::CommitShadow => vam.commit_shadow(),
+            }
+            oracle.apply(&op);
+        }
+        prop_assert_eq!(
+            vam.free_count() as usize,
+            oracle.free.iter().filter(|&&f| f).count()
+        );
+        prop_assert_eq!(
+            vam.shadow_count() as usize,
+            oracle.shadow.iter().filter(|&&s| s).count()
+        );
+        for a in 0..sectors {
+            prop_assert_eq!(vam.is_free(a), oracle.free[a as usize], "sector {}", a);
+        }
+    }
+
+    // merge_or / subtract agree with per-sector set algebra.
+    #[test]
+    fn merge_and_subtract_match_set_algebra(
+        sectors in 65u32..1024,
+        a_runs in proptest::collection::vec(arb_run(1024), 0..20),
+        b_runs in proptest::collection::vec(arb_run(1024), 0..20),
+    ) {
+        let clip = |r: Run| -> Option<Run> {
+            if r.start >= sectors { return None; }
+            Some(Run::new(r.start, r.len.min(sectors - r.start)))
+        };
+        let mut a = Vam::new_all_allocated(sectors);
+        let mut b = Vam::new_all_allocated(sectors);
+        let mut set_a = vec![false; sectors as usize];
+        let mut set_b = vec![false; sectors as usize];
+        for r in a_runs.iter().filter_map(|&r| clip(r)) {
+            a.free_run(r);
+            for s in r.start..r.end() { set_a[s as usize] = true; }
+        }
+        for r in b_runs.iter().filter_map(|&r| clip(r)) {
+            b.free_run(r);
+            for s in r.start..r.end() { set_b[s as usize] = true; }
+        }
+
+        let mut union = a.clone();
+        union.merge_or(&b);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        for s in 0..sectors {
+            let (sa, sb) = (set_a[s as usize], set_b[s as usize]);
+            prop_assert_eq!(union.is_free(s), sa || sb);
+            prop_assert_eq!(diff.is_free(s), sa && !sb);
+        }
+    }
+}

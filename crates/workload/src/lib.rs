@@ -13,6 +13,7 @@
 pub mod makedo;
 pub mod memfs;
 pub mod multi;
+pub mod population;
 pub mod rng;
 pub mod sizes;
 pub mod steps;
@@ -20,5 +21,6 @@ pub mod steps;
 pub use makedo::{makedo_workload, MakeDoParams};
 pub use memfs::MemFs;
 pub use multi::{multi_client_workload, ClientScript, MultiClientParams, TimedStep};
+pub use population::{populate_scale, scale_name, scale_plan};
 pub use sizes::SizeDistribution;
 pub use steps::{Step, WorkloadStats};

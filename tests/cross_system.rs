@@ -26,6 +26,7 @@ fn cfs() -> CfsVolume {
         CfsConfig {
             nt_pages: 64,
             cpu: CpuModel::FREE,
+            ..Default::default()
         },
     )
     .unwrap()

@@ -7,6 +7,14 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
 cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace
+# The taint family alone (disk-taint / decode-coverage / taint-arith)
+# re-run for a per-family timing line; the full run above already
+# gates on it.
+cargo run --release -p cedar-analyze --bin cedar-lint -- --workspace --rule taint
+# Corrupted-image fuzz: random byte flips and label smashes over a live
+# image must end in repair or a typed error — serial and 8-way
+# parallel scavenge alike, never a panic.
+cargo test -q -p cedar-fsd --test fuzz_corrupt
 # Model-checked epoch hand-off: the engine built against the in-tree
 # loom shims, every interleaving within the preemption bound explored.
 cargo test --release -p cedar-fsd --features loom --test loom_engine
@@ -31,7 +39,8 @@ cargo run --release -p cedar-bench --bin saturation -- --smoke
 # Asserts scheduled submission never regresses above the in-order baseline.
 cargo run --release -p cedar-bench --bin io_sched -- --smoke
 # Fault-injection campaign (reduced grid): every scenario must recover
-# to a commit boundary and every escalation rung must be exercised.
+# to a commit boundary, every escalation rung must be exercised, and
+# the corrupt-block's rotten images must scavenge to a verifying tree.
 cargo run --release -p cedar-bench --bin fault_campaign -- --smoke
 # Scavenge & VAM-rebuild scaling (smoke): parallel and serial recovery
 # scans must agree exactly on a small population.

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cedar-lint [--workspace] [--root <path>] [--allowlist <path>]
-//!            [--format human|json|sarif] [--emit-allow]
+//!            [--format human|json|sarif] [--emit-allow] [--rule <family>]
 //! ```
 //!
 //! Scans the Cedar workspace for layering violations, write-ahead-order
@@ -18,6 +18,10 @@
 //! tooling (`--json` is kept as an alias for `--format json`).
 //! `--emit-allow` prints the current findings in allowlist format (for
 //! seeding `cedar-lint.allow`); the run itself exits 0.
+//! `--rule <family>` restricts the run to one rule family (a family name
+//! like `taint`/`concurrency`, or any rule id inside one); partial runs
+//! skip the stale-allowlist check. The human format prints per-family
+//! wall time so slow rules are visible as the analyzer grows.
 
 use cedar_analyze::allowlist::Allowlist;
 use cedar_analyze::config::Config;
@@ -35,11 +39,12 @@ struct Opts {
     allowlist: Option<PathBuf>,
     format: Format,
     emit_allow: bool,
+    rule: Option<String>,
 }
 
 const USAGE: &str = "usage: cedar-lint [--workspace] [--root <path>] \
                      [--allowlist <path>] [--format human|json|sarif] \
-                     [--emit-allow]";
+                     [--emit-allow] [--rule <family>]";
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
@@ -47,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         allowlist: None,
         format: Format::Human,
         emit_allow: false,
+        rule: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -70,6 +76,10 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
             "--allowlist" => {
                 let v = it.next().ok_or("--allowlist needs a path")?;
                 opts.allowlist = Some(PathBuf::from(v));
+            }
+            "--rule" => {
+                let v = it.next().ok_or("--rule needs a family name")?;
+                opts.rule = Some(v.clone());
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
@@ -144,7 +154,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match cedar_analyze::run(&root, &config, &allow) {
+    match cedar_analyze::run_filtered(&root, &config, &allow, opts.rule.as_deref()) {
         Ok(report) => {
             match opts.format {
                 Format::Human => print!("{}", report.human()),

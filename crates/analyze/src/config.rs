@@ -126,6 +126,43 @@ pub struct Config {
     /// concurrency: lifecycle methods exempt from role reachability —
     /// they run before the writer thread starts or after it is joined.
     pub role_setup_fns: Vec<&'static str>,
+    /// taint: files forming the recovery trust boundary — the only files
+    /// where taint findings are *emitted* (summaries are computed
+    /// workspace-wide so flows through shared helpers still resolve).
+    pub taint_files: Vec<&'static str>,
+    /// taint: call names whose results are raw on-disk bytes or values
+    /// decoded from them (the taint sources). Listed by last path
+    /// segment; resolution-independent so taint survives plumbing the
+    /// call graph cannot see (buffers, channels).
+    pub taint_source_calls: Vec<&'static str>,
+    /// taint: method/fn names whose *result* is safe regardless of the
+    /// receiver (bounded accessors, checked conversions, in-memory
+    /// lengths). `retain` additionally sanitizes its receiver in place.
+    pub taint_sanitizer_methods: Vec<&'static str>,
+    /// taint: validator functions — a call sanitizes the receiver and
+    /// every argument (`runs_sane(layout, &entry)` vouches for `entry`;
+    /// `meta.validate(log_size)` vouches for `meta`). The rule trusts
+    /// the callee to reject out-of-range values with a typed error.
+    pub taint_validator_calls: Vec<&'static str>,
+    /// taint: sink calls — panic-prone or region-critical operations a
+    /// tainted value must never steer. The second element is the
+    /// dangerous argument position (`None` = any argument); for
+    /// `write_checked` only the address (arg 0) matters — writing
+    /// tainted *bytes* to a validated address is exactly what redo does.
+    pub taint_sink_calls: Vec<(&'static str, Option<usize>)>,
+    /// taint: mutating collection methods that taint their receiver when
+    /// the *first* argument is tainted. First-argument-only encodes the
+    /// control/data split: `map.insert(addr, img)` taints the map only
+    /// if the key (an address that will steer I/O) is tainted, not when
+    /// merely the payload bytes are.
+    pub taint_collect_methods: Vec<&'static str>,
+    /// decode-coverage: (defining file, type, field) triples naming
+    /// on-disk struct fields that steer recovery. Each must be mentioned
+    /// inside a validator fn body or sit adjacent to a comparison /
+    /// sanitizer method somewhere in library code. A triple whose
+    /// defining file or type is absent from the scanned tree is skipped
+    /// (fixture workspaces stay independent).
+    pub decode_fields: Vec<(&'static str, &'static str, &'static str)>,
 }
 
 impl Config {
@@ -346,6 +383,73 @@ impl Config {
                 ("crates/vol/src/fs.rs", "Session"),
             ],
             role_setup_fns: vec!["start", "shutdown", "shutdown_arc", "stop_writer", "drop"],
+            taint_files: vec![
+                "crates/fsd/src/recovery.rs",
+                "crates/fsd/src/scavenge.rs",
+                "crates/fsd/src/log.rs",
+                "crates/fsd/src/spare.rs",
+                "crates/fsd/src/cache.rs",
+                "crates/cfs/src/scavenge.rs",
+            ],
+            taint_source_calls: vec![
+                "read_allow_damage",
+                "read_labels",
+                "into_data_mask",
+                "into_labels",
+                "read_chunks",
+                "recv",
+                "decode",
+                "decode_header",
+                "decode_end",
+                "read_meta",
+            ],
+            taint_sanitizer_methods: vec![
+                "retain", "min", "clamp", "len", "is_empty", "sectors", "count", "get", "try_from",
+                "try_into", "position",
+            ],
+            taint_validator_calls: vec!["runs_sane", "validate", "check_range"],
+            taint_sink_calls: vec![
+                // Layout address math asserts on out-of-range pages.
+                ("nt_a_sector", Some(0)),
+                ("nt_b_sector", Some(0)),
+                // VAM bitmap ops panic on out-of-range sectors.
+                ("allocate_run", Some(0)),
+                ("free_run", Some(0)),
+                // Allocation sized by a tainted length is an OOM.
+                ("with_capacity", Some(0)),
+                ("resize", Some(0)),
+                ("copy_from_slice", Some(0)),
+                // Address-steered I/O: the batch/map carries the targets.
+                ("write_checked", Some(0)),
+                ("write_home_batch", Some(3)),
+                ("scrub_batch", Some(3)),
+                ("redo_leaders", Some(3)),
+                ("read_allow_damage", Some(1)),
+                ("with_entries", Some(1)),
+                ("execute", Some(2)),
+                ("execute_partial", Some(2)),
+            ],
+            taint_collect_methods: vec![
+                "insert",
+                "push",
+                "push_back",
+                "extend",
+                "extend_from_slice",
+                "append",
+                "send",
+            ],
+            decode_fields: vec![
+                ("crates/fsd/src/log.rs", "LogMeta", "oldest_offset"),
+                ("crates/fsd/src/log.rs", "PageTarget", "page"),
+                ("crates/fsd/src/log.rs", "PageTarget", "sector"),
+                ("crates/fsd/src/log.rs", "PageTarget", "addr"),
+                ("crates/fsd/src/log.rs", "PageTarget", "index"),
+                ("crates/fsd/src/layout.rs", "FsdBootPage", "spare_map"),
+                ("crates/fsd/src/entry.rs", "FileEntry", "leader_addr"),
+                ("crates/fsd/src/entry.rs", "FileEntry", "run_table"),
+                ("crates/cfs/src/header.rs", "FileHeader", "byte_size"),
+                ("crates/cfs/src/header.rs", "FileHeader", "run_table"),
+            ],
         }
     }
 }

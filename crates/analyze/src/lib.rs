@@ -59,6 +59,14 @@
 //! * **unsafe-hygiene** — every library crate declares
 //!   `#![deny(unsafe_code)]` (or `forbid`); any `unsafe` elsewhere needs a
 //!   `// SAFETY:` comment.
+//! * **disk-taint** / **decode-coverage** / **taint-arith** — bytes
+//!   decoded from raw disk reads are tracked interprocedurally (fixpoint
+//!   taint summaries over the call graph) and must pass a recognized
+//!   sanitizer — dominating bounds check, `validate`/`runs_sane`, bounded
+//!   accessor — before steering a recovery sink (layout address math,
+//!   allocation lengths, VAM ops, batched I/O addresses); every
+//!   configured on-disk struct field must be covered by a validator, and
+//!   unchecked `+`/`*`/`<<` on tainted sector arithmetic is a finding.
 //!
 //! The `cedar-lint` binary scans the workspace (including this crate),
 //! prints a human table, JSON, or SARIF 2.1.0 (`--format`), and exits
@@ -97,8 +105,32 @@ pub const RULE_IDS: &[&str] = &[
     "cast-safety",
     "fs-api",
     "unsafe-hygiene",
+    "disk-taint",
+    "decode-coverage",
+    "taint-arith",
     "parse-error",
     "stale-allowlist",
+];
+
+/// Rule families as the CLI groups them (`cedar-lint --rule <family>`):
+/// one entry per `rules::*::check` pass, mapping the family name to the
+/// rule ids that pass can emit. The filter accepts either a family name
+/// or any one of its rule ids.
+pub const FAMILIES: &[(&str, &[&str])] = &[
+    ("layering", &["layering"]),
+    ("panics", &["panic-ratchet"]),
+    ("consts", &["const-consistency"]),
+    ("casts", &["cast-safety"]),
+    ("unsafety", &["unsafe-hygiene"]),
+    ("walorder", &["wal-order"]),
+    ("barrier", &["barrier-discipline", "batch-io"]),
+    ("errorflow", &["error-flow"]),
+    ("fsapi", &["fs-api"]),
+    (
+        "concurrency",
+        &["lock-graph", "thread-roles", "condvar-discipline"],
+    ),
+    ("taint", &["disk-taint", "decode-coverage", "taint-arith"]),
 ];
 
 /// One finding: a rule violation at a source location.
@@ -161,6 +193,39 @@ pub fn run(
     config: &Config,
     allow: &allowlist::Allowlist,
 ) -> Result<Report, AnalyzeError> {
+    run_filtered(root, config, allow, None)
+}
+
+/// Like [`run`], restricted to one rule family when `filter` is given
+/// (a [`FAMILIES`] name or any rule id inside one). Partial runs skip
+/// the stale-allowlist check — entries for unexecuted rules would all
+/// look stale — but `parse-error` findings are always included: a file
+/// the parser cannot handle escapes *every* family.
+pub fn run_filtered(
+    root: &std::path::Path,
+    config: &Config,
+    allow: &allowlist::Allowlist,
+    filter: Option<&str>,
+) -> Result<Report, AnalyzeError> {
+    if let Some(name) = filter {
+        if !FAMILIES
+            .iter()
+            .any(|(fam, ids)| *fam == name || ids.contains(&name))
+        {
+            return Err(AnalyzeError::BadRoot(format!(
+                "unknown rule family `{name}` (families: {})",
+                FAMILIES
+                    .iter()
+                    .map(|(f, _)| *f)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )));
+        }
+    }
+    let selected = |fam: &str, ids: &[&str]| match filter {
+        None => true,
+        Some(name) => fam == name || ids.contains(&name),
+    };
     let files = workspace::load_workspace(root, config)?;
     let mut findings = Vec::new();
     // A file the parser cannot handle silently escapes the flow rules, so
@@ -180,16 +245,37 @@ pub fn run(
             });
         }
     }
-    findings.extend(rules::layering::check(&files, config));
-    findings.extend(rules::panics::check(&files, config));
-    findings.extend(rules::consts::check(&files, config));
-    findings.extend(rules::casts::check(&files, config));
-    findings.extend(rules::unsafety::check(&files, config));
-    findings.extend(rules::walorder::check(&files, config));
-    findings.extend(rules::barrier::check(&files, config));
-    findings.extend(rules::errorflow::check(&files, config));
-    findings.extend(rules::fsapi::check(&files, config));
-    findings.extend(rules::concurrency::check(&files, config));
+    type CheckFn = fn(&[source::SourceFile], &Config) -> Vec<Finding>;
+    let passes: &[(&str, CheckFn)] = &[
+        ("layering", rules::layering::check),
+        ("panics", rules::panics::check),
+        ("consts", rules::consts::check),
+        ("casts", rules::casts::check),
+        ("unsafety", rules::unsafety::check),
+        ("walorder", rules::walorder::check),
+        ("barrier", rules::barrier::check),
+        ("errorflow", rules::errorflow::check),
+        ("fsapi", rules::fsapi::check),
+        ("concurrency", rules::concurrency::check),
+        ("taint", rules::taint::check),
+    ];
+    let mut timings = Vec::new();
+    for (fam, check) in passes {
+        let ids = FAMILIES
+            .iter()
+            .find(|(f, _)| f == fam)
+            .map(|(_, ids)| *ids)
+            .unwrap_or(&[]);
+        if !selected(fam, ids) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        findings.extend(check(&files, config));
+        timings.push((fam.to_string(), t0.elapsed().as_millis()));
+    }
     let (kept, stale) = allow.apply(findings);
-    Ok(Report::new(kept, stale, files.len()))
+    let stale = if filter.is_some() { Vec::new() } else { stale };
+    let mut report = Report::new(kept, stale, files.len());
+    report.timings = timings;
+    Ok(report)
 }

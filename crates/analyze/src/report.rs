@@ -16,6 +16,10 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub n_files: usize,
+    /// Per-family wall time in milliseconds, in execution order (empty
+    /// unless the caller recorded timings — keeps the growing analyzer
+    /// debuggable as families are added).
+    pub timings: Vec<(String, u128)>,
 }
 
 impl Report {
@@ -26,7 +30,11 @@ impl Report {
         findings.sort_by(|a, b| {
             (a.rule, &a.file, a.line, &a.snippet).cmp(&(b.rule, &b.file, b.line, &b.snippet))
         });
-        Self { findings, n_files }
+        Self {
+            findings,
+            n_files,
+            timings: Vec::new(),
+        }
     }
 
     /// True if the run is clean (exit code 0).
@@ -34,9 +42,18 @@ impl Report {
         self.findings.is_empty()
     }
 
-    /// Human-readable table, grouped by rule.
+    /// Human-readable table, grouped by rule, with per-family wall time
+    /// when the run recorded it.
     pub fn human(&self) -> String {
         let mut out = String::new();
+        if !self.timings.is_empty() {
+            let cells: Vec<String> = self
+                .timings
+                .iter()
+                .map(|(fam, ms)| format!("{fam} {ms}ms"))
+                .collect();
+            let _ = writeln!(out, "rule timings: {}", cells.join(", "));
+        }
         if self.ok() {
             let _ = writeln!(
                 out,

@@ -1,0 +1,1297 @@
+//! disk-taint / taint-arith / decode-coverage: prove that every on-disk
+//! byte is validated before it steers recovery.
+//!
+//! Cedar's robustness story (§4) is that recovery trusts nothing but
+//! self-certifying structures — but one page number or length decoded from
+//! a corrupted sector becomes a panic (`nt_a_sector`'s range assert, the
+//! VAM bitmap), an OOM (`with_capacity`), or a wild disk write (a spare
+//! map or redo target steering an `IoBatch`) during the one phase that
+//! must never fail. This family checks the discipline statically:
+//!
+//! * **sources** — raw disk reads and the typed decode helpers over their
+//!   bytes (`taint_source_calls`). A binding initialized from one is
+//!   tainted, and taint follows assignments, field accesses, method
+//!   chains, `match`/`if let`/`for` pattern bindings, and call returns.
+//! * **sanitizers** — a dominating `if`/`while` check whose condition
+//!   compares a tainted variable, bounded accessors / checked conversions
+//!   (`taint_sanitizer_methods`), and validator calls
+//!   (`taint_validator_calls`: `runs_sane`, `validate`) that vouch for
+//!   their receiver and arguments with a typed error.
+//! * **sinks** — panic-prone or region-critical calls
+//!   (`taint_sink_calls`): layout address math, VAM bitmap ops,
+//!   allocation lengths, and addresses handed to batched I/O.
+//!
+//! Flows are tracked interprocedurally with per-function summaries
+//! computed to fixpoint over the call graph (same shape as `wal-order`):
+//! whether the return value is disk-derived, which parameters flow to the
+//! return, and which parameters reach a sink unvalidated. A call passing
+//! a tainted argument to an unsafe parameter is a finding at the call
+//! site. Findings are only *emitted* for the recovery trust boundary
+//! (`taint_files`); summaries cover the whole workspace.
+//!
+//! **taint-arith** flags `+`/`*`/`<<` token-adjacent to a tainted
+//! variable before any range check — sector arithmetic that overflows in
+//! debug builds or fabricates wild addresses. (The lossy AST drops
+//! operators, so this is a token-level check on the variable's line;
+//! field-expression arithmetic is caught once the field is bound to a
+//! variable.)
+//!
+//! **decode-coverage** is the completeness backstop: every configured
+//! on-disk struct field (`decode_fields`) must be mentioned inside a
+//! validator fn body or sit adjacent to a comparison / sanitizer method
+//! somewhere in library code — so adding a field to an on-disk struct
+//! without teaching a validator about it is itself a finding.
+
+use crate::ast::{self, Arm, Block, Expr, FnDef, Stmt};
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Taint carried by one value: a disk-byte origin (with a human
+/// description of where it came from) and/or the set of parameters of the
+/// current function it derives from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Taint {
+    /// `Some(origin)` when the value derives from raw disk bytes.
+    src: Option<String>,
+    /// Parameter indices (into `FnDef::params`) the value derives from.
+    params: BTreeSet<usize>,
+}
+
+impl Taint {
+    fn clean() -> Self {
+        Self::default()
+    }
+
+    fn is_clean(&self) -> bool {
+        self.src.is_none() && self.params.is_empty()
+    }
+
+    fn union(&mut self, other: &Taint) {
+        if self.src.is_none() {
+            self.src = other.src.clone();
+        }
+        self.params.extend(other.params.iter().copied());
+    }
+}
+
+/// Per-function flow summary, computed to fixpoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct Summary {
+    /// The return value derives from raw disk bytes read inside.
+    returns_src: bool,
+    /// Parameters that flow (unsanitized) into the return value.
+    returns_params: BTreeSet<usize>,
+    /// Parameter index -> description of the first unvalidated use
+    /// (sink or arithmetic) it reaches inside this function.
+    unsafe_params: BTreeMap<usize, String>,
+}
+
+/// Runs the disk-taint family: `disk-taint`, `taint-arith`, and
+/// `decode-coverage`.
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut out = decode_coverage(files, config);
+    if config.taint_files.is_empty() {
+        return out;
+    }
+    let cg = CallGraph::build(files);
+    let mut sums = vec![Summary::default(); cg.nodes.len()];
+    // Summaries to fixpoint (monotone in practice; the cap is a backstop).
+    for _ in 0..10 {
+        let mut next = Vec::with_capacity(sums.len());
+        for (_, file, def) in cg.iter() {
+            if skip_fn(file, def.line) || def.body.is_none() {
+                next.push(Summary::default());
+                continue;
+            }
+            let mut w = Walker::new(&cg, config, &sums, file, def);
+            let ret = w.walk_fn();
+            next.push(Summary {
+                returns_src: ret.src.is_some(),
+                returns_params: ret.params,
+                unsafe_params: w.param_uses,
+            });
+        }
+        let changed = next != sums;
+        sums = next;
+        if !changed {
+            break;
+        }
+    }
+    // Findings: re-walk the trust-boundary files with converged summaries.
+    for (_, file, def) in cg.iter() {
+        if !config.taint_files.iter().any(|p| *p == file.rel) {
+            continue;
+        }
+        if skip_fn(file, def.line) || def.body.is_none() {
+            continue;
+        }
+        let mut w = Walker::new(&cg, config, &sums, file, def);
+        let _ = w.walk_fn();
+        for v in w.viols {
+            out.push(Finding {
+                rule: v.rule,
+                file: file.rel.clone(),
+                line: v.line,
+                item: def.name.clone(),
+                snippet: v.snippet,
+                message: v.message,
+            });
+        }
+    }
+    out
+}
+
+fn skip_fn(file: &SourceFile, line: u32) -> bool {
+    file.is_test_line(line)
+}
+
+#[derive(Clone, Debug)]
+struct Violation {
+    rule: &'static str,
+    line: u32,
+    snippet: String,
+    message: String,
+}
+
+struct Walker<'a> {
+    cg: &'a CallGraph<'a>,
+    config: &'a Config,
+    sums: &'a [Summary],
+    file: &'a SourceFile,
+    def: &'a FnDef,
+    /// Current taint of each live binding.
+    vars: BTreeMap<String, Taint>,
+    /// This path has left the function.
+    diverged: bool,
+    /// Taint accumulated by explicit `return value` expressions.
+    ret: Taint,
+    /// Source-taint violations (findings when the fn is in scope).
+    viols: Vec<Violation>,
+    /// Parameter-taint violations (the fn's unsafe-parameter summary).
+    param_uses: BTreeMap<usize, String>,
+    /// (line, var) pairs already reported for arithmetic.
+    arith_seen: BTreeSet<(u32, String)>,
+}
+
+impl<'a> Walker<'a> {
+    fn new(
+        cg: &'a CallGraph<'a>,
+        config: &'a Config,
+        sums: &'a [Summary],
+        file: &'a SourceFile,
+        def: &'a FnDef,
+    ) -> Self {
+        let mut vars = BTreeMap::new();
+        // Parameters start parameter-tainted (feeding the summary, never a
+        // direct finding). `self` is not seeded: field flows through the
+        // receiver are beyond a name-based analysis, and seeding it makes
+        // every method summary unsafe.
+        for (i, p) in def.params.iter().enumerate() {
+            if p != "self" {
+                vars.insert(
+                    p.clone(),
+                    Taint {
+                        src: None,
+                        params: BTreeSet::from([i]),
+                    },
+                );
+            }
+        }
+        Self {
+            cg,
+            config,
+            sums,
+            file,
+            def,
+            vars,
+            diverged: false,
+            ret: Taint::clean(),
+            viols: Vec::new(),
+            param_uses: BTreeMap::new(),
+            arith_seen: BTreeSet::new(),
+        }
+    }
+
+    /// Walks the whole body; returns the taint of the return value.
+    fn walk_fn(&mut self) -> Taint {
+        let Some(body) = self.def.body.as_ref() else {
+            return Taint::clean();
+        };
+        let mut tail = self.block(body);
+        let ret = std::mem::take(&mut self.ret);
+        tail.union(&ret);
+        tail
+    }
+
+    /// Walks a block; returns the taint of its tail expression.
+    fn block(&mut self, b: &Block) -> Taint {
+        let mut tail = Taint::clean();
+        for (i, s) in b.stmts.iter().enumerate() {
+            let last = i + 1 == b.stmts.len();
+            match s {
+                Stmt::Let {
+                    names,
+                    init,
+                    else_block,
+                    ..
+                } => {
+                    let t = match init {
+                        Some(e) => self.eval(e),
+                        None => Taint::clean(),
+                    };
+                    // A let-else's else block always diverges; walk it as a
+                    // side branch that does not affect the main path.
+                    if let Some(eb) = else_block {
+                        let (_, _) = self.branch(|w| w.block(eb));
+                    }
+                    for n in names {
+                        if t.is_clean() {
+                            self.vars.remove(n);
+                        } else {
+                            self.vars.insert(n.clone(), t.clone());
+                        }
+                    }
+                    tail = Taint::clean();
+                }
+                Stmt::Expr(e) => {
+                    let t = self.eval(e);
+                    tail = if last { t } else { Taint::clean() };
+                }
+            }
+        }
+        tail
+    }
+
+    /// Runs `f` as a branch from the current state; returns (value taint,
+    /// end state) and restores the walker's state.
+    #[allow(clippy::type_complexity)]
+    fn branch(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Taint,
+    ) -> (Taint, (BTreeMap<String, Taint>, bool)) {
+        let save_vars = self.vars.clone();
+        let save_div = self.diverged;
+        let t = f(self);
+        let end = (
+            std::mem::replace(&mut self.vars, save_vars),
+            std::mem::replace(&mut self.diverged, save_div),
+        );
+        (t, end)
+    }
+
+    /// Merges branch end states: taint survives if it survives any
+    /// non-diverging branch (union); all-diverged marks the path dead.
+    fn merge(&mut self, ends: Vec<(BTreeMap<String, Taint>, bool)>) {
+        let live: Vec<_> = ends.iter().filter(|(_, d)| !d).collect();
+        if live.is_empty() {
+            if !ends.is_empty() {
+                self.diverged = true;
+            }
+            return;
+        }
+        let mut merged: BTreeMap<String, Taint> = BTreeMap::new();
+        for (vars, _) in &live {
+            for (k, v) in vars.iter() {
+                merged.entry(k.clone()).or_default().union(v);
+            }
+        }
+        self.vars = merged;
+    }
+
+    fn taint_of_var(&self, name: &str) -> Taint {
+        self.vars.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Removes all taint from the variable (a dominating check or a
+    /// validator vouched for it).
+    fn sanitize_var(&mut self, name: &str) {
+        self.vars.remove(name);
+    }
+
+    fn violation(&mut self, rule: &'static str, line: u32, snippet: String, message: String) {
+        if self
+            .viols
+            .iter()
+            .any(|v| v.rule == rule && v.line == line && v.snippet == snippet)
+        {
+            return;
+        }
+        self.viols.push(Violation {
+            rule,
+            line,
+            snippet,
+            message,
+        });
+    }
+
+    /// Records an unvalidated use of a tainted value: a finding for
+    /// source taint, a summary entry for parameter taint.
+    fn unsafe_use(
+        &mut self,
+        rule: &'static str,
+        line: u32,
+        snippet: String,
+        t: &Taint,
+        what: &str,
+    ) {
+        if let Some(origin) = &t.src {
+            self.violation(
+                rule,
+                line,
+                snippet,
+                format!(
+                    "{what} steered by unvalidated on-disk bytes ({origin}) — \
+                     validate the decoded value (range check, `validate`, or \
+                     `runs_sane`) before it reaches this point"
+                ),
+            );
+        }
+        for &p in &t.params {
+            self.param_uses.entry(p).or_insert_with(|| {
+                format!(
+                    "{what} via parameter `{}` of `{}` at {}:{}",
+                    self.def.params.get(p).map(String::as_str).unwrap_or("?"),
+                    self.def.name,
+                    self.file.rel,
+                    line
+                )
+            });
+        }
+    }
+
+    /// taint-arith: a tainted variable token-adjacent to `+`/`*`/`<<` on
+    /// `line` is unchecked sector arithmetic.
+    fn check_arith(&mut self, name: &str, line: u32, t: &Taint) {
+        if t.is_clean() || self.arith_seen.contains(&(line, name.to_string())) {
+            return;
+        }
+        let Some(op) = arith_adjacent(self.file, line, name) else {
+            return;
+        };
+        self.arith_seen.insert((line, name.to_string()));
+        self.unsafe_use(
+            "taint-arith",
+            line,
+            format!("{name} {op} .."),
+            t,
+            &format!("unchecked `{op}` arithmetic on `{name}`"),
+        );
+    }
+
+    /// Applies call/sink/source/sanitizer semantics once receiver and
+    /// argument taints are known. `recv_t` is `None` for free calls.
+    fn call(
+        &mut self,
+        name: &str,
+        line: u32,
+        recv: Option<&Expr>,
+        recv_t: Option<&Taint>,
+        args: &[Expr],
+        arg_ts: &[Taint],
+    ) -> Taint {
+        let in_test = self.file.is_test_line(line);
+        // Sinks first: a tainted value steering one is the core finding.
+        if !in_test {
+            if let Some((_, pos)) = self
+                .config
+                .taint_sink_calls
+                .iter()
+                .find(|(n, _)| *n == name)
+            {
+                for (i, t) in arg_ts.iter().enumerate() {
+                    if pos.is_some_and(|p| p != i) || t.is_clean() {
+                        continue;
+                    }
+                    self.unsafe_use(
+                        "disk-taint",
+                        line,
+                        format!("{name}(arg {i})"),
+                        t,
+                        &format!("sink `{name}` (argument {i})"),
+                    );
+                }
+            }
+        }
+        // Sources: the result is disk bytes, whatever the arguments were.
+        if self.config.taint_source_calls.contains(&name) {
+            return Taint {
+                src: Some(format!("`{name}` at {}:{line}", self.file.rel)),
+                params: BTreeSet::new(),
+            };
+        }
+        // Validators vouch for their receiver and arguments.
+        if self.config.taint_validator_calls.contains(&name) {
+            if let Some(r) = recv {
+                if let Some(v) = root_var(r) {
+                    self.sanitize_var(&v);
+                }
+            }
+            for a in args {
+                if let Some(v) = root_var(a) {
+                    self.sanitize_var(&v);
+                }
+            }
+            return Taint::clean();
+        }
+        // Sanitizer methods: result is safe; `retain` prunes in place.
+        if self.config.taint_sanitizer_methods.contains(&name) {
+            if name == "retain" {
+                if let Some(r) = recv {
+                    if let Some(v) = root_var(r) {
+                        self.sanitize_var(&v);
+                    }
+                }
+            }
+            return Taint::clean();
+        }
+        // Mutating collection methods: a tainted *first* value (the
+        // key/address position — for a tuple argument, the tuple's first
+        // item) taints the receiver. Payload slots do not: a clean address
+        // carrying tainted bytes is exactly the safe shape.
+        if self.config.taint_collect_methods.contains(&name) {
+            let steer = match args.first() {
+                Some(Expr::Seq { items, .. }) if !items.is_empty() => self.eval(&items[0]),
+                _ => arg_ts.first().cloned().unwrap_or_default(),
+            };
+            if let Some(r) = recv {
+                if !steer.is_clean() {
+                    if let Some(v) = root_var(r) {
+                        let mut cur = self.taint_of_var(&v);
+                        cur.union(&steer);
+                        self.vars.insert(v, cur);
+                    }
+                }
+            }
+            return Taint::clean();
+        }
+        // Workspace callees: use the converged summary. A name resolving
+        // to many unrelated defs (`new`, `open`, `entry`) is ambiguity,
+        // not knowledge — treat it like an unknown callee instead of
+        // unioning every homonym's summary.
+        let nodes = self.cg.resolve(&self.file.crate_key, name);
+        if !nodes.is_empty() && nodes.len() <= 3 {
+            let mut result = Taint::clean();
+            for &node in nodes {
+                let sum = &self.sums[node];
+                let callee = self.cg.nodes[node].def;
+                let has_self = callee.params.first().is_some_and(|p| p == "self");
+                // Map call-site values onto callee parameter indices.
+                let mut mapped: Vec<(usize, &Taint)> = Vec::new();
+                if let (Some(t), true) = (recv_t, has_self) {
+                    mapped.push((0, t));
+                }
+                let off = usize::from(recv_t.is_some() && has_self);
+                for (i, t) in arg_ts.iter().enumerate() {
+                    mapped.push((i + off, t));
+                }
+                if sum.returns_src {
+                    result.union(&Taint {
+                        src: Some(format!("`{name}` at {}:{line}", self.file.rel)),
+                        params: BTreeSet::new(),
+                    });
+                }
+                for (p, t) in &mapped {
+                    if in_test || t.is_clean() {
+                        continue;
+                    }
+                    if sum.returns_params.contains(p) {
+                        result.union(t);
+                    }
+                    if let Some(site) = sum.unsafe_params.get(p) {
+                        self.unsafe_use(
+                            "disk-taint",
+                            line,
+                            format!("{name}(..) unvalidated"),
+                            t,
+                            &format!("call to `{name}` which reaches {site}"),
+                        );
+                    }
+                }
+            }
+            return result;
+        }
+        // Unknown callee (std / primitive): conservative pass-through.
+        let mut result = Taint::clean();
+        if let Some(t) = recv_t {
+            result.union(t);
+        }
+        for t in arg_ts {
+            result.union(t);
+        }
+        result
+    }
+
+    /// Sanitizes every tainted variable mentioned in a condition, if the
+    /// condition's token span contains a comparison (a real bounds/equality
+    /// check — `if let Ok(x) = ..` does not sanitize).
+    fn sanitize_by_cond(&mut self, cond: &Expr) {
+        let (mut lo, mut hi) = (u32::MAX, 0u32);
+        let mut mentioned: BTreeSet<String> = BTreeSet::new();
+        ast::walk_expr(cond, &mut |e| {
+            let l = e.line();
+            lo = lo.min(l);
+            hi = hi.max(l);
+            if let Expr::Path { segs, .. } = e {
+                if let Some(first) = segs.first() {
+                    if self.vars.contains_key(first) {
+                        mentioned.insert(first.clone());
+                    }
+                }
+            }
+        });
+        if mentioned.is_empty() || !span_has_comparison(self.file, lo, hi) {
+            return;
+        }
+        for v in mentioned {
+            self.sanitize_var(&v);
+        }
+    }
+
+    fn eval(&mut self, e: &Expr) -> Taint {
+        match e {
+            Expr::Atom { .. } => Taint::clean(),
+            Expr::Macro { name, .. } => {
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) {
+                    self.diverged = true;
+                }
+                Taint::clean()
+            }
+            Expr::Path { segs, line } => {
+                let Some(first) = segs.first() else {
+                    return Taint::clean();
+                };
+                let t = if segs.len() == 1 {
+                    self.taint_of_var(first)
+                } else {
+                    Taint::clean()
+                };
+                self.check_arith(first, *line, &t.clone());
+                t
+            }
+            Expr::Field { base, .. } => self.eval(base),
+            Expr::Seq { items, .. } => {
+                let mut t = Taint::clean();
+                for it in items {
+                    let ti = self.eval(it);
+                    t.union(&ti);
+                }
+                t
+            }
+            Expr::Call { func, args, line } => {
+                let arg_ts: Vec<Taint> = args.iter().map(|a| self.eval(a)).collect();
+                match func.last_name() {
+                    Some(name) => {
+                        let name = name.to_string();
+                        self.call(&name, *line, None, None, args, &arg_ts)
+                    }
+                    None => {
+                        let mut t = self.eval(func);
+                        for ti in &arg_ts {
+                            t.union(ti);
+                        }
+                        t
+                    }
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                let recv_t = self.eval(recv);
+                let arg_ts: Vec<Taint> = args.iter().map(|a| self.eval(a)).collect();
+                let method = method.clone();
+                self.call(&method, *line, Some(recv), Some(&recv_t), args, &arg_ts)
+            }
+            Expr::Block { block, .. } => self.block(block),
+            Expr::If {
+                cond, then, alt, ..
+            } => {
+                let cond_t = self.eval(cond);
+                self.sanitize_by_cond(cond);
+                // `if let` bindings live in the then-branch with the
+                // scrutinee's taint (pattern names come from the tokens —
+                // the AST strips let patterns from conditions).
+                let bind = let_pattern_names(self.file, e.line());
+                let (tt, te) = self.branch(|w| {
+                    for n in &bind {
+                        if cond_t.is_clean() {
+                            w.vars.remove(n);
+                        } else {
+                            w.vars.insert(n.clone(), cond_t.clone());
+                        }
+                    }
+                    w.block(then)
+                });
+                let (at, ae) = match alt {
+                    Some(a) => self.branch(|w| w.eval(a)),
+                    None => (Taint::clean(), (self.vars.clone(), false)),
+                };
+                let mut t = Taint::clean();
+                if !te.1 {
+                    t.union(&tt);
+                }
+                if !ae.1 {
+                    t.union(&at);
+                }
+                self.merge(vec![te, ae]);
+                t
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                let st = self.eval(scrutinee);
+                let mut ends = Vec::with_capacity(arms.len());
+                let mut t = Taint::clean();
+                for arm in arms {
+                    let bind = arm_pattern_names(arm);
+                    let (at, end) = self.branch(|w| {
+                        for n in &bind {
+                            if st.is_clean() {
+                                w.vars.remove(n);
+                            } else {
+                                w.vars.insert(n.clone(), st.clone());
+                            }
+                        }
+                        w.eval(&arm.body)
+                    });
+                    if !end.1 {
+                        t.union(&at);
+                    }
+                    ends.push(end);
+                }
+                self.merge(ends);
+                t
+            }
+            Expr::Loop { body, .. } => {
+                self.block(body);
+                Taint::clean()
+            }
+            Expr::While { cond, body, .. } => {
+                let cond_t = self.eval(cond);
+                self.sanitize_by_cond(cond);
+                // `while let` bindings (e.g. `while let Some(chunk) =
+                // rx.recv()`) carry the scrutinee's taint into the body.
+                let bind = let_pattern_names(self.file, e.line());
+                for n in &bind {
+                    if cond_t.is_clean() {
+                        self.vars.remove(n);
+                    } else {
+                        self.vars.insert(n.clone(), cond_t.clone());
+                    }
+                }
+                self.block(body);
+                Taint::clean()
+            }
+            Expr::For { iter, body, .. } => {
+                let iter_t = self.eval(iter);
+                let bind = for_pattern_names(self.file, e.line());
+                // `.enumerate()` makes the first pattern name a counter the
+                // iterator produced, not disk bytes.
+                let enumerated = matches!(iter.as_ref(), Expr::MethodCall { method, .. } if method == "enumerate");
+                for (i, n) in bind.iter().enumerate() {
+                    if iter_t.is_clean() || (enumerated && i == 0) {
+                        self.vars.remove(n);
+                    } else {
+                        self.vars.insert(n.clone(), iter_t.clone());
+                    }
+                }
+                self.block(body);
+                Taint::clean()
+            }
+            Expr::Closure { params, body, .. } => {
+                // Walked in isolation: closure parameters are clean (the
+                // adapter supplying them decides boundedness), effects stay
+                // local, but the *result* taint propagates to the adapter
+                // chain (`find_map(|s| decode(s))` yields disk bytes).
+                let (t, _) = self.branch(|w| {
+                    for p in params {
+                        w.vars.remove(p);
+                    }
+                    w.eval(body)
+                });
+                t
+            }
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    let t = self.eval(v);
+                    self.ret.union(&t);
+                }
+                self.diverged = true;
+                Taint::clean()
+            }
+        }
+    }
+}
+
+/// The simple variable a receiver/argument expression roots in:
+/// `entry` / `&entry` / `entry.run_table` / `entry.runs()` → `entry`.
+fn root_var(e: &Expr) -> Option<String> {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => Some(segs[0].clone()),
+        Expr::Field { base, .. } => root_var(base),
+        Expr::MethodCall { recv, .. } => root_var(recv),
+        Expr::Seq { items, .. } if items.len() == 1 => root_var(&items[0]),
+        _ => None,
+    }
+}
+
+/// Keywords never bound by a pattern.
+const NON_BINDING: &[&str] = &["mut", "ref", "box", "let", "if", "in", "move", "_"];
+
+fn binding_ident(text: &str) -> bool {
+    text.chars()
+        .next()
+        .map(|c| c.is_ascii_lowercase() || c == '_')
+        .unwrap_or(false)
+        && !NON_BINDING.contains(&text)
+}
+
+/// Lowercase idents bound by a `for` pattern: tokens between `for` and
+/// `in` on the loop's line.
+fn for_pattern_names(file: &SourceFile, line: u32) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut active = false;
+    for t in toks.iter().filter(|t| t.line == line) {
+        if t.is_ident("for") {
+            active = true;
+            continue;
+        }
+        if t.is_ident("in") && active {
+            break;
+        }
+        if active && t.kind == TokKind::Ident && binding_ident(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Lowercase idents bound by an `if let` / `while let` pattern: tokens
+/// between `let` and the `=` on the same line.
+fn let_pattern_names(file: &SourceFile, line: u32) -> Vec<String> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut active = false;
+    let on_line: Vec<_> = toks.iter().filter(|t| t.line == line).collect();
+    for (i, t) in on_line.iter().enumerate() {
+        if t.is_ident("let") {
+            active = true;
+            continue;
+        }
+        if active && t.is_punct('=') && !on_line.get(i + 1).is_some_and(|n| n.is_punct('=')) {
+            break;
+        }
+        if active && t.kind == TokKind::Ident && binding_ident(&t.text) {
+            out.push(t.text.clone());
+        }
+    }
+    out
+}
+
+/// Lowercase idents bound by a match arm's pattern (guard excluded).
+fn arm_pattern_names(arm: &Arm) -> Vec<String> {
+    arm.pat
+        .iter()
+        .take_while(|t| *t != "if")
+        .filter(|t| binding_ident(t))
+        .cloned()
+        .collect()
+}
+
+/// True if tokens in `lo..=hi` contain a comparison (`<`, `>`, `==`,
+/// `!=`) or a containment check — the shapes that make an `if` a real
+/// bounds check rather than a mere destructuring.
+fn span_has_comparison(file: &SourceFile, lo: u32, hi: u32) -> bool {
+    let toks = &file.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.line < lo || t.line > hi {
+            continue;
+        }
+        if t.is_ident("contains") {
+            return true;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        match t.kind {
+            // `<` / `>` — excluding `->` arrows and `=>` fat arrows.
+            TokKind::Punct('<') => return true,
+            TokKind::Punct('>') if !prev.is_some_and(|p| p.is_punct('-') || p.is_punct('=')) => {
+                return true;
+            }
+            // `==` / `!=` as adjacent single-char puncts.
+            TokKind::Punct('=') if prev.is_some_and(|p| p.is_punct('=') || p.is_punct('!')) => {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// If `name` on `line` is token-adjacent to binary `+`, `*`, or `<<`,
+/// returns the operator. Deref `*x` and references are excluded by
+/// requiring an operand on the outer side of the operator.
+fn arith_adjacent(file: &SourceFile, line: u32, name: &str) -> Option<&'static str> {
+    const KEYWORDS: &[&str] = &[
+        "if", "else", "return", "in", "match", "while", "let", "mut", "ref", "move", "break",
+        "continue", "for", "loop", "as",
+    ];
+    let toks = &file.tokens;
+    // Keywords are not operands: `if *n >= k` is a deref, not a product.
+    let operand = |i: usize| match toks.get(i) {
+        Some(t) => match &t.kind {
+            TokKind::Ident => !KEYWORDS.contains(&t.text.as_str()),
+            TokKind::Num => true,
+            _ => t.is_punct(')') || t.is_punct(']'),
+        },
+        None => false,
+    };
+    for (i, t) in toks.iter().enumerate() {
+        if t.line != line || !t.is_ident(name) {
+            continue;
+        }
+        // name + .. / name * .. / name << ..
+        if let Some(n) = toks.get(i + 1) {
+            if n.is_punct('+') {
+                return Some("+");
+            }
+            if n.is_punct('*')
+                && (operand(i + 2) || toks.get(i + 2).is_some_and(|t| t.is_punct('(')))
+            {
+                return Some("*");
+            }
+            if n.is_punct('<') && toks.get(i + 2).is_some_and(|t| t.is_punct('<')) {
+                return Some("<<");
+            }
+        }
+        // .. + name / .. * name / .. << name (outer side must end an
+        // operand, so `&name`, `*name` (deref), and `(name` stay clean).
+        if i >= 2 {
+            let op = &toks[i - 1];
+            if op.is_punct('+') && operand(i - 2) {
+                return Some("+");
+            }
+            if op.is_punct('*') && operand(i - 2) {
+                return Some("*");
+            }
+            if op.is_punct('<') && toks[i - 2].is_punct('<') && i >= 3 && operand(i - 3) {
+                return Some("<<");
+            }
+        }
+    }
+    None
+}
+
+/// decode-coverage: every configured on-disk field must be mentioned by a
+/// validator or sit next to a comparison / sanitizer somewhere in library
+/// code. Triples whose defining file or type is absent are skipped.
+fn decode_coverage(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (rel, ty, field) in &config.decode_fields {
+        let Some(def_file) = files.iter().find(|f| f.rel == *rel) else {
+            continue;
+        };
+        let Some(def_line) = type_def_line(def_file, ty) else {
+            continue;
+        };
+        if files
+            .iter()
+            .filter(|f| !f.is_aux)
+            .any(|f| field_sanitized(f, field, config))
+        {
+            continue;
+        }
+        out.push(Finding {
+            rule: "decode-coverage",
+            file: (*rel).to_string(),
+            line: def_line,
+            item: (*ty).to_string(),
+            snippet: (*field).to_string(),
+            message: format!(
+                "on-disk field `{ty}.{field}` is decoded in recovery but never \
+                 validated — no validator fn mentions it and no comparison or \
+                 bounded accessor guards it; a corrupted sector steers recovery \
+                 through it unchecked"
+            ),
+        });
+    }
+    out
+}
+
+/// Line of `struct T` / `enum T` in `file`, if defined there.
+fn type_def_line(file: &SourceFile, ty: &str) -> Option<u32> {
+    let toks = &file.tokens;
+    toks.windows(2).find_map(|w| {
+        if (w[0].is_ident("struct") || w[0].is_ident("enum")) && w[1].is_ident(ty) {
+            Some(w[1].line)
+        } else {
+            None
+        }
+    })
+}
+
+/// True if `file` contains a sanitizing mention of `field`: inside a
+/// validator fn's body, or `.field` within a few tokens of a comparison,
+/// or `.field.<sanitizer>(`.
+fn field_sanitized(file: &SourceFile, field: &str, config: &Config) -> bool {
+    let toks = &file.tokens;
+    // Validator bodies vouch for every field they mention.
+    for (name, a, b) in file.fn_spans() {
+        if !config.taint_validator_calls.contains(&name.as_str()) {
+            continue;
+        }
+        if toks
+            .iter()
+            .any(|t| t.line >= *a && t.line <= *b && t.is_ident(field))
+        {
+            return true;
+        }
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident(field) || file.is_test_line(t.line) {
+            continue;
+        }
+        if !i.checked_sub(1).is_some_and(|j| toks[j].is_punct('.')) {
+            continue;
+        }
+        // `.field` chained into a sanitizer method.
+        if toks.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && toks.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Ident
+                    && config.taint_sanitizer_methods.contains(&n.text.as_str())
+            })
+        {
+            return true;
+        }
+        // `.field` within a short window of a comparison.
+        let lo = i.saturating_sub(6);
+        let hi = (i + 7).min(toks.len());
+        for j in lo..hi {
+            let w = &toks[j];
+            let prev = j.checked_sub(1).map(|k| &toks[k]);
+            match w.kind {
+                TokKind::Punct('<') => return true,
+                TokKind::Punct('>')
+                    if !prev.is_some_and(|p| p.is_punct('-') || p.is_punct('=')) =>
+                {
+                    return true;
+                }
+                TokKind::Punct('=') if prev.is_some_and(|p| p.is_punct('=') || p.is_punct('!')) => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(src: &str) -> SourceFile {
+        SourceFile::parse(
+            "crates/fsd/src/recovery.rs".into(),
+            "fsd".into(),
+            false,
+            src,
+        )
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        check(&files, &Config::cedar())
+    }
+
+    #[test]
+    fn source_to_sink_is_flagged() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "disk-taint");
+        assert_eq!(out[0].item, "redo");
+        assert!(
+            out[0].message.contains("decode_header"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn dominating_comparison_sanitizes() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             if header.page >= layout.nt_pages { return; }\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn validator_call_sanitizes() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let entry = decode_header(buf);\n\
+             if !runs_sane(layout, &entry) { return; }\n\
+             vam.free_run(entry.run);\n\
+             }\n\
+             fn runs_sane(layout: &FsdLayout, entry: &FileEntry) -> bool { true }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn if_let_does_not_sanitize() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             if let Some(page) = header.page {\n\
+             layout.nt_a_sector(page);\n\
+             }\n}\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn unsafe_param_flagged_at_call_site() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             apply(layout, header.page);\n\
+             }\n\
+             fn apply(layout: &FsdLayout, page: u32) { layout.nt_a_sector(page); }\n");
+        let out = run(vec![f]);
+        // One finding at the call site in `redo`; `apply` itself has only
+        // parameter taint, which is a summary, not a finding.
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].item, "redo");
+        assert!(out[0].message.contains("apply"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn callee_guard_clears_the_summary() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             apply(layout, header.page);\n\
+             }\n\
+             fn apply(layout: &FsdLayout, page: u32) {\n\
+             if page >= layout.nt_pages { return; }\n\
+             layout.nt_a_sector(page);\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn returned_taint_propagates_through_helper() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = fetch(buf);\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n\
+             fn fetch(buf: &[u8]) -> Header { decode_header(buf) }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].item, "redo");
+    }
+
+    #[test]
+    fn tainted_arith_flagged() {
+        let f = rec("pub fn scan(buf: &[u8], log_size: u32) {\n\
+             let meta = decode_header(buf);\n\
+             let mut pos = meta.oldest_offset;\n\
+             let end = pos + 5;\n\
+             }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "taint-arith");
+        assert!(out[0].snippet.contains('+'), "{}", out[0].snippet);
+    }
+
+    #[test]
+    fn deref_is_not_arith() {
+        let f = rec("pub fn redo(m: &mut M, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             let x = *header;\n\
+             let y = (*header).clone();\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn enumerate_index_is_clean() {
+        let f = rec("pub fn scan(layout: &FsdLayout, buf: &[u8]) {\n\
+             let data = decode_header(buf);\n\
+             for (i, s) in data.chunks(512).enumerate() {\n\
+             layout.nt_a_sector(i as u32);\n\
+             }\n}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn for_binding_carries_iter_taint() {
+        let f = rec("pub fn redo(layout: &FsdLayout, buf: &[u8]) {\n\
+             let images = decode_header(buf);\n\
+             for (target, img) in &images {\n\
+             layout.nt_a_sector(target.page);\n\
+             }\n}\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn tainted_key_insert_taints_map_payload_does_not() {
+        let key = rec(
+            "pub fn bad(disk: &mut SimDisk, spare: &mut SpareMap, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             let mut m = BTreeMap::new();\n\
+             m.insert(header.addr, vec![0u8]);\n\
+             write_home_batch(disk, policy, spare, m);\n\
+             }\n",
+        );
+        let out = run(vec![key]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        let val = rec(
+            "pub fn ok(disk: &mut SimDisk, spare: &mut SpareMap, buf: &[u8], addr: u32) {\n\
+             let header = decode_header(buf);\n\
+             if addr > 0 { return; }\n\
+             let mut m = BTreeMap::new();\n\
+             m.insert(addr, header.bytes);\n\
+             write_home_batch(disk, policy, spare, m);\n\
+             }\n",
+        );
+        assert!(
+            run(vec![val]).is_empty(),
+            "payload taint must not flag the map"
+        );
+    }
+
+    #[test]
+    fn tuple_push_payload_slot_does_not_taint_batch() {
+        // `writes.push((clean_addr, tainted_image))` is the safe redo
+        // shape: validated address, raw bytes. Only the tuple's first
+        // item steers the collection.
+        let f = rec(
+            "pub fn scrub(disk: &mut SimDisk, spare: &mut SpareMap, buf: &[u8], at: u32) {\n\
+             let image = decode_header(buf);\n\
+             if at == 0 { return; }\n\
+             let mut writes = Vec::new();\n\
+             writes.push((at, image));\n\
+             scrub_batch(disk, policy, spare, writes);\n\
+             }\n",
+        );
+        assert!(run(vec![f]).is_empty());
+        let bad = rec(
+            "pub fn scrub(disk: &mut SimDisk, spare: &mut SpareMap, buf: &[u8]) {\n\
+             let image = decode_header(buf);\n\
+             let mut writes = Vec::new();\n\
+             writes.push((image.addr, vec![0u8]));\n\
+             scrub_batch(disk, policy, spare, writes);\n\
+             }\n",
+        );
+        assert_eq!(run(vec![bad]).len(), 1);
+    }
+
+    #[test]
+    fn deref_guard_is_not_multiplication() {
+        let f = rec("pub fn absorb(buf: &[u8]) {\n\
+             let n = decode_header(buf);\n\
+             if *n >= 3 { bump(); }\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn ambiguous_callee_names_are_pass_through() {
+        // Four unrelated `new` defs: resolution is ambiguity, not
+        // knowledge — the dangerous summary of one homonym must not
+        // contaminate calls to the others.
+        let lib = SourceFile::parse(
+            "crates/fsd/src/cache.rs".into(),
+            "fsd".into(),
+            false,
+            "impl A { pub fn new(layout: &FsdLayout, pages: u32) -> A {\n\
+             layout.nt_a_sector(pages); A }\n}\n\
+             impl B { pub fn new(x: u32) -> B { B } }\n\
+             impl C { pub fn new(x: u32) -> C { C } }\n\
+             impl D { pub fn new(x: u32) -> D { D } }\n",
+        );
+        let f = rec("pub fn redo(buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             let r = Run::new(header.start, 1);\n\
+             }\n");
+        assert!(run(vec![lib, f]).is_empty());
+    }
+
+    #[test]
+    fn closure_result_taints_adapter_chain() {
+        let f = rec("pub fn scan(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = [0usize].iter().find_map(|i| decode_header(buf));\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn findings_scoped_to_taint_files() {
+        let f = SourceFile::parse(
+            "crates/fsd/src/volume.rs".into(),
+            "fsd".into(),
+            false,
+            "pub fn op(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n",
+        );
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = rec("#[cfg(test)]\nmod tests {\n\
+             pub fn t(layout: &FsdLayout, buf: &[u8]) {\n\
+             let header = decode_header(buf);\n\
+             layout.nt_a_sector(header.page);\n\
+             }\n}\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn decode_coverage_flags_unvalidated_field_and_skips_absent_types() {
+        let log = SourceFile::parse(
+            "crates/fsd/src/log.rs".into(),
+            "fsd".into(),
+            false,
+            "pub struct LogMeta { pub oldest_offset: u32 }\n",
+        );
+        let out = run(vec![log]);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "decode-coverage");
+        assert_eq!(out[0].item, "LogMeta");
+        assert_eq!(out[0].snippet, "oldest_offset");
+        // Absent types (PageTarget, FsdBootPage, ...) are skipped silently.
+    }
+
+    #[test]
+    fn decode_coverage_satisfied_by_validator_mention() {
+        let log = SourceFile::parse(
+            "crates/fsd/src/log.rs".into(),
+            "fsd".into(),
+            false,
+            "pub struct LogMeta { pub oldest_offset: u32 }\n\
+             impl LogMeta {\n\
+             pub fn validate(&self, log_size: u32) -> Result<(), String> {\n\
+             if self.oldest_offset >= log_size { return Err(String::new()); }\n\
+             Ok(())\n\
+             }\n}\n",
+        );
+        assert!(run(vec![log]).is_empty());
+    }
+}

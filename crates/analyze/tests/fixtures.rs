@@ -266,3 +266,39 @@ fn unsafety_fixture_flags_missing_attr_and_undocumented_unsafe() {
         "{f:#?}"
     );
 }
+
+#[test]
+fn taint_fixture_flags_sink_arith_and_coverage_but_not_sanitized() {
+    let f = findings("taint");
+    // A raw decode steering layout address math.
+    assert!(
+        f.iter().any(|x| x.rule == "disk-taint"
+            && x.file == "crates/fsd/src/recovery.rs"
+            && x.item == "tainted_index"
+            && x.message.contains("nt_a_sector")),
+        "{f:#?}"
+    );
+    // The same decode reaching unchecked `+` arithmetic.
+    assert!(
+        f.iter().any(|x| x.rule == "taint-arith"
+            && x.item == "tainted_arith"
+            && x.snippet.contains('+')),
+        "{f:#?}"
+    );
+    // `LogMeta.oldest_offset` has no validator in the fixture; every
+    // `PageTarget` field is covered by one, so only LogMeta fires.
+    assert!(
+        f.iter().any(|x| x.rule == "decode-coverage"
+            && x.file == "crates/fsd/src/log.rs"
+            && x.item == "LogMeta"
+            && x.snippet == "oldest_offset"),
+        "{f:#?}"
+    );
+    assert!(
+        f.iter().all(|x| x.item != "PageTarget"),
+        "validator-covered fields must stay quiet: {f:#?}"
+    );
+    // The dominating bounds check in `sanitized_ok` launders the taint.
+    assert!(f.iter().all(|x| x.item != "sanitized_ok"), "{f:#?}");
+    assert_eq!(f.len(), 3, "{f:#?}");
+}

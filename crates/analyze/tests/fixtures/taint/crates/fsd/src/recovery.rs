@@ -1,0 +1,24 @@
+//! Taint fixture: one raw decode steering a layout sink (red), one raw
+//! decode reaching unchecked arithmetic (red), and a sanitizer-dominated
+//! control flow that must stay quiet (green).
+
+use crate::log::FsdLayout;
+
+pub fn tainted_index(layout: &FsdLayout, buf: &[u8]) {
+    let header = decode_header(buf);
+    layout.nt_a_sector(header.page, 0);
+}
+
+pub fn tainted_arith(buf: &[u8]) {
+    let meta = decode_header(buf);
+    let pos = meta.offset;
+    advance(pos + 5);
+}
+
+pub fn sanitized_ok(layout: &FsdLayout, buf: &[u8]) {
+    let header = decode_header(buf);
+    if header.page >= layout.nt_pages {
+        return;
+    }
+    layout.nt_a_sector(header.page, 0);
+}

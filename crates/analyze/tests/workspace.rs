@@ -77,3 +77,30 @@ fn ratchet_catches_a_new_unwrap_in_a_covered_crate() {
     let _ = std::fs::remove_dir_all(&dst);
     assert!(caught, "injected unwrap was not flagged:\n{human}");
 }
+
+#[test]
+fn taint_ratchet_catches_a_new_unvalidated_decode_in_recovery() {
+    let root = workspace_root();
+    let dst = std::env::temp_dir().join(format!("cedar-lint-taint-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    copy_workspace(&root, &dst);
+
+    // Splice a decode-steers-sink flow into the real recovery module.
+    let rec = dst.join("crates/fsd/src/recovery.rs");
+    let mut body = std::fs::read_to_string(&rec).expect("read recovery.rs");
+    body.push_str(
+        "\npub fn lint_probe(layout: &FsdLayout, buf: &[u8]) -> u32 {\n    \
+         let header = decode_header(buf);\n    \
+         layout.nt_a_sector(header.page, 0)\n}\n",
+    );
+    std::fs::write(&rec, body).expect("write recovery.rs");
+
+    let allow = Allowlist::load(&dst.join("cedar-lint.allow")).expect("allowlist");
+    let report = run(&dst, &Config::cedar(), &allow).expect("analysis");
+    let caught = report.findings.iter().any(|f| {
+        f.rule == "disk-taint" && f.file == "crates/fsd/src/recovery.rs" && f.item == "lint_probe"
+    });
+    let human = report.human();
+    let _ = std::fs::remove_dir_all(&dst);
+    assert!(caught, "injected tainted sink was not flagged:\n{human}");
+}

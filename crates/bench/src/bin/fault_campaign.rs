@@ -21,8 +21,8 @@
 
 use cedar_bench::adapters::{CedarFsError, FsBackend, FsdVolume};
 use cedar_bench::Table;
-use cedar_disk::{CpuModel, CrashPlan, FaultPlan, SimDisk};
-use cedar_fsd::{FsdConfig, RecoveryRung};
+use cedar_disk::{CpuModel, CrashPlan, FaultPlan, Label, PageKind, SimDisk};
+use cedar_fsd::{FsdConfig, FsdLayout, RecoveryRung};
 use cedar_workload::steps::{run_step_backend, Step, WorkloadStats};
 use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
 
@@ -423,6 +423,112 @@ fn run_scavenge_scenario(
     })
 }
 
+/// Out-of-band image rot (wild byte flips, label smashes) applied after
+/// a clean shutdown — §5.8's "malicious" class, outside the
+/// replica-covered fault model, so the gate is weaker than the boundary
+/// oracle: the forced scavenge must rebuild a *verifying* tree (rot may
+/// cost files, recorded as losses, but never consistency) and must not
+/// panic or refuse a scavengeable image.
+struct CorruptCase {
+    name: &'static str,
+    /// Rots the image; resolved against the pre-shutdown layout.
+    rot: fn(&mut SimDisk, &FsdLayout),
+    /// Scavenger workers for the forced-scavenge boot.
+    workers: usize,
+}
+
+/// First data-area sector carrying the given label kind.
+fn first_live(disk: &SimDisk, l: &FsdLayout, kind: PageKind) -> Option<u32> {
+    let (start, end) = l.data_area();
+    (start..end).find(|&a| disk.peek_label(a).kind == kind)
+}
+
+const CORRUPT_CASES: &[CorruptCase] = &[
+    CorruptCase {
+        name: "flip-leader-byte",
+        rot: |d, l| {
+            if let Some(a) = first_live(d, l, PageKind::Leader) {
+                d.corrupt_byte(a, 40, 0x40);
+            }
+        },
+        workers: 1,
+    },
+    CorruptCase {
+        name: "flip-nt-both-copies",
+        rot: |d, l| {
+            d.corrupt_byte(l.nt_a_sector(1), 17, 0x10);
+            d.corrupt_byte(l.nt_b_sector(1), 17, 0x10);
+        },
+        workers: 1,
+    },
+    CorruptCase {
+        name: "smash-data-label",
+        rot: |d, l| {
+            if let Some(a) = first_live(d, l, PageKind::Data) {
+                d.corrupt_label(a, Label::new(0xDEAD, 7, PageKind::Leader));
+            }
+        },
+        workers: 1,
+    },
+    CorruptCase {
+        name: "flip-log-record",
+        rot: |d, l| d.corrupt_byte(l.log_start + 4, 9, 0x04),
+        workers: 1,
+    },
+    CorruptCase {
+        name: "parallel-rot-scavenge",
+        rot: |d, l| {
+            if let Some(a) = first_live(d, l, PageKind::Leader) {
+                d.corrupt_byte(a, 8, 0x80);
+            }
+        },
+        workers: 8,
+    },
+];
+
+/// One corrupted-image scenario: run the whole script, shut down
+/// cleanly, rot the image out-of-band, destroy both log meta replicas,
+/// and boot. The scavenger trusted nothing but labels and
+/// software-check pages, so it must land a verifying tree.
+fn run_corrupt_scenario(
+    case: &CorruptCase,
+    setup: &[Step],
+    measured: &[Step],
+) -> Result<Outcome, String> {
+    let (mut v, _live) = setup_volume(setup)?;
+    let mut stats = WorkloadStats::default();
+    for step in measured {
+        match run_step_backend(step, &mut v, &mut stats) {
+            Ok(()) | Err(CedarFsError::NoSpace) | Err(CedarFsError::NotFound(_)) => {}
+            Err(e) => return Err(format!("workload failure on {step:?}: {e}")),
+        }
+    }
+    let layout = *v.layout();
+    v.shutdown().map_err(|e| format!("shutdown failed: {e}"))?;
+    let mut disk = v.into_disk();
+    (case.rot)(&mut disk, &layout);
+    disk.damage_sector(layout.log_start);
+    disk.damage_sector(layout.log_start + 2);
+    disk.reboot();
+    match FsdVolume::boot(disk, config_with(case.workers)) {
+        Ok((mut v2, report)) => {
+            v2.verify()
+                .map_err(|e| format!("rot accepted but tree inconsistent: {e}"))?;
+            if report.rung != RecoveryRung::Scavenge {
+                return Err(format!("expected scavenge rung, got {:?}", report.rung));
+            }
+            Ok(Outcome {
+                rung: report.rung,
+                matched: "live",
+                scrubbed: report.scrubbed_sectors,
+                remapped: report.remapped_sectors,
+                boot_us: report.total_us(),
+            })
+        }
+        Err(e) => Err(format!("typed refusal on a scavengeable image: {e}")),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (setup, measured) = campaign_script();
@@ -493,6 +599,21 @@ fn main() {
         }
     }
     tallies.push(("scavenge-block", scavenge_tally));
+
+    let mut corrupt_tally = KindTally::default();
+    for case in CORRUPT_CASES {
+        match run_corrupt_scenario(case, &setup, &measured) {
+            Ok(o) => {
+                corrupt_tally.absorb(&o);
+                overall.absorb(&o);
+            }
+            Err(e) => {
+                overall.scenarios += 1;
+                failures.push(format!("corrupt {}: {e}", case.name));
+            }
+        }
+    }
+    tallies.push(("corrupt-block", corrupt_tally));
 
     let mut t = Table::new(
         "fault campaign (per fault kind)",

@@ -290,6 +290,13 @@ impl CfsVolume {
         let layout_copy = *layout;
         let mut pairs: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
         for (header, haddr) in &recovered {
+            // Header addresses were derived from the label scan, but the
+            // rewrite is a raw disk write: re-check the range so a bad
+            // address degrades to a reported loss, not a wild write.
+            if *haddr > total.saturating_sub(HEADER_SECTORS) {
+                report.damaged_headers += 1;
+                continue;
+            }
             let entry = NtEntry {
                 uid: header.uid,
                 header_addr: *haddr,
@@ -370,7 +377,7 @@ fn decode_header(
 ) -> Option<FileHeader> {
     let (raw, mask) = out?;
     let labels_ok = (0..HEADER_SECTORS)
-        .all(|i| labels[(haddr + i) as usize] == Label::new(uid, i, PageKind::Header));
+        .all(|i| labels.get((haddr + i) as usize) == Some(&Label::new(uid, i, PageKind::Header)));
     if !labels_ok || mask.iter().any(|&damaged| damaged) {
         return None;
     }

@@ -678,6 +678,27 @@ impl SimDisk {
         s.data = Some(Box::new([byte; SECTOR_BYTES]));
     }
 
+    /// Flips one payload byte out-of-band (no timing, no stats, label and
+    /// damage flags untouched) — single-byte rot for corrupted-image
+    /// campaigns. A sector that was never written has no payload to rot;
+    /// the call is then a no-op.
+    pub fn corrupt_byte(&mut self, addr: SectorAddr, offset: usize, xor: u8) {
+        if let Some(s) = self.sectors.get_mut(addr as usize) {
+            if let Some(d) = s.data.as_mut() {
+                d[offset % SECTOR_BYTES] ^= xor;
+            }
+        }
+    }
+
+    /// Overwrites a sector's label out-of-band (corrupted-image
+    /// campaigns): the self-certifying plane itself goes bad, the case
+    /// the scavenger must survive without trusting anything else.
+    pub fn corrupt_label(&mut self, addr: SectorAddr, label: Label) {
+        if let Some(s) = self.sectors.get_mut(addr as usize) {
+            s.label = label;
+        }
+    }
+
     // ----- test/peek helpers ---------------------------------------------------
 
     /// Reads a sector's contents without timing or stats (test helper).

@@ -443,7 +443,19 @@ impl FsdNtStore<'_> {
         }
         let chunks = scan::read_chunks(self.disk, self.policy, &ranges, 0).map_err(to_store_err)?;
         let (a_chunks, b_chunks) = chunks.split_at(runs.len());
-        for (&(s, n), (a, b)) in runs.iter().zip(a_chunks.iter().zip(b_chunks)) {
+        for (ri, &(s, n)) in runs.iter().enumerate() {
+            let (a, b) = (&a_chunks[ri], &b_chunks[ri]);
+            // The chunk shapes came back from the I/O layer; a short one
+            // would slice out of bounds below. Skip it — `read_through`
+            // salvages on demand.
+            let need = n * NT_PAGE_SECTORS as usize;
+            if a.sectors() != need
+                || b.sectors() != need
+                || a.bytes.len() != need * SECTOR_BYTES
+                || b.bytes.len() != need * SECTOR_BYTES
+            {
+                continue;
+            }
             for j in 0..n {
                 let lo = j * NT_PAGE_SECTORS as usize;
                 let hi = lo + NT_PAGE_SECTORS as usize;

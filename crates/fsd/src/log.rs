@@ -74,6 +74,30 @@ pub enum PageTarget {
     },
 }
 
+impl PageTarget {
+    /// Checks that the decoded target addresses a sector this volume
+    /// actually has. A target is four bytes read off a possibly-corrupt
+    /// log sector; without this check a wild `page` panics in
+    /// `nt_a_sector`'s range assert and a wild `addr` steers a redo write
+    /// outside the data area — during the one phase that must not fail.
+    pub fn validate(&self, layout: &crate::layout::FsdLayout) -> Result<()> {
+        let ok = match self {
+            Self::NtSector { page, sector } => {
+                *page < layout.nt_pages && *sector < crate::NT_PAGE_SECTORS
+            }
+            Self::Leader { addr } => !layout.is_system(*addr) && *addr < layout.total_sectors,
+            Self::VamSector { index } => *index < layout.vam_sectors,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(FsdError::Check(format!(
+                "log record targets an impossible sector: {self:?}"
+            )))
+        }
+    }
+}
+
 /// A decoded log record.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogRecord {
@@ -122,6 +146,22 @@ impl LogMeta {
             oldest_seq: r.u64()?,
             boot_count: r.u32()?,
         })
+    }
+
+    /// Checks that the decoded scan start lies inside the log's data
+    /// area. The magic guards against reading a non-meta page, not
+    /// against a corrupted offset field on a genuine one: an offset past
+    /// the region would otherwise seed the record scan (and its `2n + 5`
+    /// stride arithmetic) with garbage.
+    pub fn validate(&self, log_size: u32) -> Result<()> {
+        if self.oldest_offset >= DATA_START && self.oldest_offset < log_size {
+            Ok(())
+        } else {
+            Err(FsdError::Check(format!(
+                "log meta oldest_offset {} outside data area {}..{}",
+                self.oldest_offset, DATA_START, log_size
+            )))
+        }
     }
 }
 
@@ -614,6 +654,15 @@ impl ScanBuffer {
             let (bytes, dmg) = std::mem::replace(&mut out[idx], cedar_disk::IoOutput::Done)
                 .into_data_mask()
                 .ok_or_else(|| FsdError::Check("scheduler returned a non-data output".into()))?;
+            // The transfer length came back from the I/O layer; a short or
+            // oversized chunk would slice out of bounds below.
+            if bytes.len() != dmg.len() * SECTOR_BYTES
+                || dmg.len() > self.mask.len().saturating_sub(s as usize)
+            {
+                return Err(FsdError::Check(
+                    "log scan returned a malformed chunk".into(),
+                ));
+            }
             let s = s as usize;
             self.data[s * SECTOR_BYTES..s * SECTOR_BYTES + bytes.len()].copy_from_slice(&bytes);
             self.mask[s..s + dmg.len()].copy_from_slice(&dmg);
@@ -654,7 +703,7 @@ fn read_record_at(
     offset: u32,
     expected_seq: u64,
 ) -> Result<Option<(LogRecord, u32)>> {
-    if offset + 5 > log_size {
+    if offset > log_size.saturating_sub(5) {
         return Ok(None);
     }
     // Header pair: H at +0, H' at +2 (never both lost under the 1–2
@@ -740,6 +789,9 @@ pub fn scan_records(
 ) -> Result<Vec<LogRecord>> {
     let mut buf = ScanBuffer::new(disk, log_start, log_size);
     let mut records = Vec::new();
+    // The meta page is disk input: a corrupted offset must fail typed
+    // here, not seed the record-stride arithmetic below.
+    meta.validate(log_size)?;
     let mut pos = meta.oldest_offset;
     let mut expected = meta.oldest_seq;
     loop {

@@ -372,6 +372,12 @@ fn redo_phase(
     let mut leader_images: BTreeMap<u32, Vec<u8>> = BTreeMap::new();
     for rec in &records {
         for (target, img) in &rec.images {
+            // Targets are four bytes off a log sector whose checksum
+            // covers transmission damage, not a hostile image: an
+            // impossible page/address must escalate to the scavenger
+            // rather than panic in address math or write outside the
+            // region the record claims (§5.8, error class 2).
+            target.validate(layout)?;
             match target {
                 PageTarget::NtSector { page, sector } => {
                     final_images.insert(layout.nt_a_sector(*page) + sector, img.clone());
@@ -540,6 +546,14 @@ fn read_saved_vam(
     let (b, bm) = spare
         .read_allow_damage(disk, layout.vam_b, n)
         .map_err(FsdError::Disk)?;
+    // Both reads asked for `n` sectors; a short buffer or mask would
+    // slice out of bounds in the splice below.
+    if a.len() != n * SECTOR_BYTES || am.len() != n || b.len() != n * SECTOR_BYTES || bm.len() != n
+    {
+        return Err(FsdError::Check(
+            "vam save read returned a malformed buffer".into(),
+        ));
+    }
     // Prefer a whole clean copy; otherwise splice the readable sectors
     // (both copies are written from one image in one window, so any mix
     // that passes the checksum is that committed image).

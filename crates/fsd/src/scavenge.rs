@@ -114,12 +114,26 @@ pub(crate) fn scavenge_boot(
             summary.tombstones += 1;
             continue;
         }
-        let (Ok(name), Ok(entry)) = (l.file_name(), l.entry()) else {
+        let Ok(entry) = l.entry() else {
             summary
                 .losses
                 .push(format!("uid {}: undecodable leader payload", l.uid));
             continue;
         };
+        let Ok(name) = l.file_name() else {
+            summary
+                .losses
+                .push(format!("uid {}: undecodable leader name", l.uid));
+            continue;
+        };
+        // The entry is a decoded disk payload: wild runs would balloon
+        // the claimed-sector set and panic the VAM rebuild below.
+        if !runs_sane(&layout, &entry) {
+            summary.losses.push(format!(
+                "{name}: entry claims sectors outside the data areas"
+            ));
+            continue;
+        }
         let mut sectors: Vec<SectorAddr> = vec![entry.leader_addr];
         for r in entry.run_table.runs() {
             sectors.extend(r.start..r.end());
@@ -315,15 +329,21 @@ fn window_ranges(
 fn merge_chunk(
     summary: &mut ScavengeSummary,
     found: &mut HashMap<Vec<u8>, LeaderPage>,
+    layout: &FsdLayout,
     skip: &mut Vam,
     result: ChunkResult,
 ) {
     summary.unreadable_sectors += result.unreadable;
     for leader in result.candidates {
+        // Candidates arrive runs_sane-checked by `decode_chunk`, but the
+        // skip bitmap panics on out-of-range sectors, so this merge must
+        // not depend on a gate in another function staying put.
         if !leader.deleted {
             if let Ok(entry) = leader.entry() {
-                for r in entry.run_table.runs() {
-                    skip.free_run(*r);
+                if runs_sane(layout, &entry) {
+                    for r in entry.run_table.runs() {
+                        skip.free_run(*r);
+                    }
                 }
             }
         }
@@ -391,12 +411,12 @@ fn scan_serial(
             })
             .collect();
         for r in pending.drain(..) {
-            merge_chunk(summary, found, &mut skip, r);
+            merge_chunk(summary, found, layout, &mut skip, r);
         }
         pending = results;
     }
     for r in pending {
-        merge_chunk(summary, found, &mut skip, r);
+        merge_chunk(summary, found, layout, &mut skip, r);
     }
     Ok(())
 }
@@ -475,7 +495,7 @@ fn scan_parallel(
                     let Some(r) = result_ch.recv() else { break };
                     reorder.insert(r.seq, r);
                     while let Some(r) = reorder.remove(&next_merge) {
-                        merge_chunk(summary, found, &mut skip, r);
+                        merge_chunk(summary, found, layout, &mut skip, r);
                         next_merge += 1;
                     }
                 }
@@ -488,7 +508,7 @@ fn scan_parallel(
                 let Some(r) = result_ch.recv() else { break };
                 reorder.insert(r.seq, r);
                 while let Some(r) = reorder.remove(&next_merge) {
-                    merge_chunk(summary, found, &mut skip, r);
+                    merge_chunk(summary, found, layout, &mut skip, r);
                     next_merge += 1;
                 }
             }

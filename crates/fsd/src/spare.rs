@@ -111,11 +111,28 @@ impl SpareMap {
         )
     }
 
-    /// Rebuilds the map recorded on a boot page.
+    /// Rebuilds the map recorded on a boot page. The boot page is disk
+    /// input: an entry whose logical sector is outside the remappable
+    /// ranges or whose physical sector is outside the spare region would
+    /// silently redirect reads anywhere on the volume, so such entries
+    /// are dropped (the cost is re-reading a sector that then fails and
+    /// is remapped afresh — the same path as a lost boot page).
     pub fn with_entries(layout: &FsdLayout, entries: &[(u32, u32)]) -> Self {
         let mut map = Self::for_layout(layout);
-        map.entries = entries.to_vec();
-        map.slots_used = entries
+        let spare_end = layout.spare_start + layout.spare_sectors;
+        map.entries = entries
+            .iter()
+            .filter(|&&(logical, phys)| {
+                map.remappable
+                    .iter()
+                    .any(|&(lo, hi)| logical >= lo && logical < hi)
+                    && phys >= layout.spare_start
+                    && phys < spare_end
+            })
+            .copied()
+            .collect();
+        map.slots_used = map
+            .entries
             .iter()
             .map(|&(_, phys)| phys.saturating_sub(layout.spare_start) + 1)
             .max()

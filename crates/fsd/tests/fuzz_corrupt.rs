@@ -1,0 +1,218 @@
+//! Corrupted-image property test (§4's robustness claim, pushed past
+//! §5.8's failure model): build a live volume, crash or cleanly shut it
+//! down, then rot the image out-of-band — byte flips in leader pages,
+//! name-table pages, log records, boot/VAM sectors, and label-plane
+//! smashes — and boot. Recovery must either land a structurally
+//! consistent tree or fail with a typed [`cedar_fsd::FsdError`]; it must
+//! never panic, and (because every decoded length is range-checked
+//! before it sizes an allocation) never allocate absurdly. When the
+//! in-place ladder accepts rotten state, a forced scavenge — which
+//! trusts nothing but labels and software-check pages — must still
+//! rebuild a verifying tree. Serial and 8-way-parallel scavenges must
+//! agree on the outcome.
+
+use cedar_disk::{CpuModel, Label, PageKind, SimDisk};
+use cedar_fsd::{FsdConfig, FsdLayout, FsdVolume, RecoveryRung};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn config_with(workers: usize) -> FsdConfig {
+    FsdConfig {
+        nt_pages: 24,
+        log_sectors: 160,
+        cpu: CpuModel::FREE,
+        scavenge_workers: workers,
+        ..FsdConfig::default()
+    }
+}
+
+/// One out-of-band corruption: `(region, sector offset, byte offset,
+/// flavor)`. `flavor` picks the xor mask / fake label so shrinking keeps
+/// cases minimal.
+type Rot = (u8, u16, u16, u8);
+
+/// Sectors in the data area carrying the given label kind — the live
+/// structures a blind flip would rarely hit on a mostly-empty volume.
+fn live_sectors(disk: &SimDisk, l: &FsdLayout, kind: PageKind) -> Vec<u32> {
+    let (start, end) = l.data_area();
+    (start..end)
+        .filter(|&a| disk.peek_label(a).kind == kind)
+        .collect()
+}
+
+fn pick(list: &[u32], off: u16) -> Option<u32> {
+    if list.is_empty() {
+        None
+    } else {
+        Some(list[usize::from(off) % list.len()])
+    }
+}
+
+fn apply_rot(disk: &mut SimDisk, l: &FsdLayout, rot: Rot) {
+    let (region, off, byteoff, flavor) = rot;
+    let xor = flavor | 1; // Never a no-op flip.
+    let addr = match region % 7 {
+        // Name-table pages: run tables and names rot under intact labels.
+        0 => Some(l.nt_a_sector(u32::from(off) % l.nt_pages)),
+        // Log records and log meta: redo's own input goes bad.
+        1 => Some(l.log_start + u32::from(off) % l.log_sectors),
+        // A live leader page: the software-check page itself.
+        2 => pick(&live_sectors(disk, l, PageKind::Leader), off),
+        // A live data page: committed file content.
+        3 => pick(&live_sectors(disk, l, PageKind::Data), off),
+        // Boot page A: the spare map and VAM-validity hints.
+        4 => Some(l.boot_a),
+        // Saved VAM copy A.
+        5 => Some(l.vam_a + u32::from(off) % l.vam_sectors),
+        // The self-certifying plane itself: a wild label on a live page.
+        _ => {
+            let kinds = [
+                PageKind::Free,
+                PageKind::Leader,
+                PageKind::Data,
+                PageKind::NameTable,
+                PageKind::Log,
+                PageKind::Boot,
+                PageKind::Header,
+            ];
+            let kind = if flavor % 2 == 0 {
+                PageKind::Leader
+            } else {
+                PageKind::Data
+            };
+            let fake = kinds[usize::from(flavor) % kinds.len()];
+            if let Some(a) = pick(&live_sectors(disk, l, kind), off) {
+                let label = Label::new(
+                    u64::from(flavor).wrapping_mul(0x9E37),
+                    u32::from(byteoff),
+                    fake,
+                );
+                disk.corrupt_label(a, label);
+            }
+            return;
+        }
+    };
+    if let Some(a) = addr {
+        disk.corrupt_byte(a, usize::from(byteoff), xor);
+    }
+}
+
+/// Listing plus per-file read *outcomes* (content, or "typed error") —
+/// reads over rotten sectors may fail, but they must fail typed and
+/// identically across worker counts.
+type Observed = BTreeMap<(String, u32), Option<Vec<u8>>>;
+
+fn observe(v: &mut FsdVolume) -> Result<(Observed, u32), TestCaseError> {
+    let listing = match v.list("") {
+        Ok(l) => l,
+        Err(e) => return Err(TestCaseError::fail(format!("list after verify: {e}"))),
+    };
+    let mut state = Observed::new();
+    for (n, _) in listing {
+        let content = v
+            .open(&n.name, Some(n.version))
+            .and_then(|mut f| v.read_file(&mut f))
+            .ok();
+        state.insert((n.name.clone(), n.version), content);
+    }
+    Ok((state, v.free_sectors()))
+}
+
+/// Boots the rotten image and walks the ladder to a verdict:
+/// `Ok(Some(state))` — a structurally consistent tree (possibly after a
+/// forced scavenge when the in-place rungs accepted or rejected rotten
+/// state); `Ok(None)` — recovery refused the image with a typed error
+/// end to end. Panics and post-scavenge inconsistency are test failures.
+fn recover(disk: &SimDisk, workers: usize) -> Result<Option<(Observed, u32)>, TestCaseError> {
+    let mut first = disk.clone();
+    first.reboot();
+    if let Ok((mut v, _report)) = FsdVolume::boot(first, config_with(workers)) {
+        if v.verify().is_ok() {
+            return observe(&mut v).map(Some);
+        }
+        // The fast rungs decoded rotten-but-plausible state (§5.8 calls
+        // this the "malicious crash" class); fall through to the rung
+        // that rebuilds from labels alone.
+    }
+    forced_scavenge(disk, workers)
+}
+
+/// Destroys both log-meta replicas so redo has nothing to anchor on and
+/// the ladder must bottom out in a full scavenge over the rotten image.
+/// If the scavenger accepts the volume, the tree it built must verify —
+/// it trusted nothing but labels and software-check pages, so rot can
+/// cost files (recorded as losses) but never consistency.
+fn forced_scavenge(
+    disk: &SimDisk,
+    workers: usize,
+) -> Result<Option<(Observed, u32)>, TestCaseError> {
+    let cfg = config_with(workers);
+    let meta_a = FsdLayout::compute(disk.geometry(), cfg.nt_pages, cfg.log_sectors).log_start;
+    let mut scav = disk.clone();
+    scav.damage_sector(meta_a);
+    scav.damage_sector(meta_a + 2);
+    scav.reboot();
+    match FsdVolume::boot(scav, cfg) {
+        Ok((mut v, report)) => {
+            prop_assert_eq!(report.rung, RecoveryRung::Scavenge);
+            if let Err(e) = v.verify() {
+                return Err(TestCaseError::fail(format!(
+                    "scavenge accepted an inconsistent tree: {e}"
+                )));
+            }
+            observe(&mut v).map(Some)
+        }
+        // A typed refusal (e.g. both boot pages rotten) is a legitimate
+        // end state — the volume is telling the operator it needs help.
+        Err(_) => Ok(None),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn corrupted_images_recover_or_fail_typed(
+        seeds in proptest::collection::vec((0u8..12, 1usize..900), 1..8),
+        rots in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>(), any::<u8>()), 1..6),
+        clean_shutdown in any::<bool>(),
+    ) {
+        let mut v = FsdVolume::format(SimDisk::tiny(), config_with(1)).unwrap();
+        for &(n, len) in &seeds {
+            let data = vec![n.wrapping_mul(37); len];
+            match v.create(&format!("file{n:02}"), &data) {
+                Ok(_) | Err(cedar_fsd::FsdError::NoSpace) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("create: {e}"))),
+            }
+        }
+        v.force().unwrap();
+        // Leave an uncommitted tail so the log holds live records.
+        match v.create("tail00", &[9u8; 700]) {
+            Ok(_) | Err(cedar_fsd::FsdError::NoSpace) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("tail create: {e}"))),
+        }
+        if clean_shutdown {
+            v.shutdown().unwrap();
+        } else {
+            v.disk_mut().crash_now();
+        }
+
+        let layout = *v.layout();
+        let mut disk = v.into_disk();
+        for &rot in &rots {
+            apply_rot(&mut disk, &layout, rot);
+        }
+
+        // The in-place ladder, serial vs parallel.
+        let serial = recover(&disk, 1)?;
+        let parallel = recover(&disk, 8)?;
+        prop_assert_eq!(serial, parallel);
+
+        // And the bottom rung unconditionally: every rotten image must
+        // survive a full scavenge, whatever the fast rungs thought.
+        let s_scav = forced_scavenge(&disk, 1)?;
+        let p_scav = forced_scavenge(&disk, 8)?;
+        prop_assert_eq!(s_scav, p_scav);
+    }
+}

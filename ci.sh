@@ -18,6 +18,9 @@ cargo test -q -p cedar-fsd --test fuzz_corrupt
 # Model-checked epoch hand-off: the engine built against the in-tree
 # loom shims, every interleaving within the preemption bound explored.
 cargo test --release -p cedar-fsd --features loom --test loom_engine
+# Model-checked log-writer -> shipper hand-off: a replication ack never
+# precedes the mode's durability point, in every explored schedule.
+cargo test --release -p cedar-fsd --features loom --test loom_repl
 # Model-checked scan hand-off: the bounded reader/worker channel behind
 # the parallel scavenger, explored under the in-tree loom shims.
 cargo test --release -p cedar-disk --features loom --test loom_scan
@@ -45,3 +48,7 @@ cargo run --release -p cedar-bench --bin fault_campaign -- --smoke
 # Scavenge & VAM-rebuild scaling (smoke): parallel and serial recovery
 # scans must agree exactly on a small population.
 cargo run --release -p cedar-bench --bin scavenge_scale -- --smoke
+# Log-shipping replication (smoke): per-mode ack/loss contracts — sync
+# and semi-sync failovers lose nothing acknowledged, async stays within
+# its lag bound, and both resync paths converge.
+cargo run --release -p cedar-bench --bin replication -- --smoke

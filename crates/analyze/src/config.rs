@@ -66,6 +66,20 @@ pub struct Config {
     /// wal-order: free functions that write home/leader/name-table
     /// sectors — the events that require protection.
     pub wal_write_fns: Vec<&'static str>,
+    /// repl-order: files whose `pub` fns seal replication frames (the
+    /// `FsdVolume` commit path).
+    pub repl_entry_files: Vec<&'static str>,
+    /// repl-order: calls that seal a record-carrying frame for the
+    /// shipper; each must be dominated by a `wal_append_calls` event.
+    pub repl_seal_fns: Vec<&'static str>,
+    /// repl-order: data-only seal helpers exempt from the domination
+    /// rule (their frames carry no log records).
+    pub repl_opaque_fns: Vec<&'static str>,
+    /// repl-order: shipping-layer files where home-sector writes are
+    /// forbidden — replica redo (`repl/replica.rs`) is the only writer.
+    pub repl_ship_files: Vec<&'static str>,
+    /// repl-order: write calls forbidden in the shipping layer.
+    pub repl_write_fns: Vec<&'static str>,
     /// barrier-discipline: (file, functions) where every `IoBatch` that is
     /// executed must have called `barrier()` first (commit-record writes
     /// go in the post-barrier window).
@@ -305,6 +319,25 @@ impl Config {
             wal_exempt_files: vec!["crates/fsd/src/recovery.rs", "crates/fsd/src/scavenge.rs"],
             wal_append_calls: vec![("log", "append")],
             wal_write_fns: vec!["write_home_batch"],
+            repl_entry_files: vec!["crates/fsd/src/volume.rs"],
+            repl_seal_fns: vec!["seal_repl_frame"],
+            // The data-only frame replicates unlogged data-page writes
+            // (§5.2 writes them direct-to-disk); it carries no records,
+            // so there is no append for it to follow.
+            repl_opaque_fns: vec!["seal_repl_data_frame"],
+            repl_ship_files: vec![
+                "crates/fsd/src/repl/mod.rs",
+                "crates/fsd/src/repl/session.rs",
+                "crates/fsd/src/repl/shipper.rs",
+            ],
+            repl_write_fns: vec![
+                "write",
+                "write_checked",
+                "write_with_labels",
+                "write_labels",
+                "write_home_batch",
+                "redo_leaders",
+            ],
             barrier_fns: vec![
                 ("crates/fsd/src/log.rs", vec!["append"]),
                 ("crates/fsd/src/layout.rs", vec!["write_replicas"]),
@@ -351,6 +384,7 @@ impl Config {
                 "crates/fsd/src/sched.rs",
                 "crates/disk/src/scan.rs",
                 "crates/fsd/src/scavenge.rs",
+                "crates/fsd/src/repl/shipper.rs",
             ],
             blocking_methods: vec![
                 "wait",
@@ -370,6 +404,13 @@ impl Config {
                 ("crates/fsd/src/engine.rs", "Slot", vec![]),
                 ("crates/fsd/src/engine.rs", "ClientQueue", vec![]),
                 ("crates/fsd/src/engine.rs", "FsdEngine", vec![]),
+                // `cfg` is written once before the shipper thread spawns
+                // and read-only after that (mode, retry policy).
+                (
+                    "crates/fsd/src/repl/shipper.rs",
+                    "ShipperShared",
+                    vec!["cfg"],
+                ),
                 // `capacity` is set at construction and never written
                 // again; reads from any thread see the same value.
                 ("crates/disk/src/scan.rs", "ScanChannel", vec!["capacity"]),
@@ -382,7 +423,17 @@ impl Config {
                 ("crates/fsd/src/engine.rs", "FsdEngine"),
                 ("crates/vol/src/fs.rs", "Session"),
             ],
-            role_setup_fns: vec!["start", "shutdown", "shutdown_arc", "stop_writer", "drop"],
+            role_setup_fns: vec![
+                "start",
+                "start_replicated",
+                "start_inner",
+                "shutdown",
+                "shutdown_arc",
+                "shutdown_replicated",
+                "stop_writer",
+                "stop_shipper",
+                "drop",
+            ],
             taint_files: vec![
                 "crates/fsd/src/recovery.rs",
                 "crates/fsd/src/scavenge.rs",

@@ -94,6 +94,7 @@ pub use report::Report;
 pub const RULE_IDS: &[&str] = &[
     "layering",
     "wal-order",
+    "repl-order",
     "barrier-discipline",
     "batch-io",
     "error-flow",
@@ -123,6 +124,7 @@ pub const FAMILIES: &[(&str, &[&str])] = &[
     ("casts", &["cast-safety"]),
     ("unsafety", &["unsafe-hygiene"]),
     ("walorder", &["wal-order"]),
+    ("repl", &["repl-order"]),
     ("barrier", &["barrier-discipline", "batch-io"]),
     ("errorflow", &["error-flow"]),
     ("fsapi", &["fs-api"]),
@@ -253,6 +255,7 @@ pub fn run_filtered(
         ("casts", rules::casts::check),
         ("unsafety", rules::unsafety::check),
         ("walorder", rules::walorder::check),
+        ("repl", rules::repl::check),
         ("barrier", rules::barrier::check),
         ("errorflow", rules::errorflow::check),
         ("fsapi", rules::fsapi::check),

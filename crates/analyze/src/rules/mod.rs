@@ -9,6 +9,7 @@ pub mod errorflow;
 pub mod fsapi;
 pub mod layering;
 pub mod panics;
+pub mod repl;
 pub mod taint;
 pub mod unsafety;
 pub mod walorder;

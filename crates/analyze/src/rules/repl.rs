@@ -1,0 +1,339 @@
+//! repl-order: log-shipping discipline for the replication subsystem.
+//!
+//! Two invariants keep the replica a prefix of the primary:
+//!
+//! 1. **Seal after append.** A record-carrying replication frame may be
+//!    sealed for shipping only after the `Log::append` covering those
+//!    records — the shipped frame is a copy of what the local log made
+//!    durable, never a preview of it. Checked flow-sensitively with the
+//!    wal-order walker: every path from a `pub` fn in
+//!    `repl_entry_files` that reaches a `repl_seal_fns` call must first
+//!    pass a `wal_append_calls` event. The data-only seal
+//!    (`repl_opaque_fns`) is exempt by design: data pages are written
+//!    direct-to-disk unlogged (§5.2), so their frames carry no records
+//!    and have no append to follow.
+//! 2. **Redo-path confinement.** The shipping layer (`repl_ship_files`:
+//!    session, shipper, frame types) moves bytes; it must never write
+//!    home/leader/name-table sectors itself. Replica-side home writes
+//!    belong exclusively to the redo path in `repl/replica.rs`, which
+//!    routes them through the same `write_home_batch` the recovery scan
+//!    uses. Any `repl_write_fns` call in a ship file is a finding.
+
+use crate::ast::{Block, Expr, Stmt};
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::source::SourceFile;
+use crate::Finding;
+
+use super::walorder::{flow_check, FlowSpec};
+
+/// Runs the repl-order rule.
+pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !config.repl_entry_files.is_empty() {
+        let spec = FlowSpec {
+            rule: "repl-order",
+            entry_files: &config.repl_entry_files,
+            exempt_files: &config.wal_exempt_files,
+            append_calls: &config.wal_append_calls,
+            write_fns: &config.repl_seal_fns,
+            opaque_fns: &config.repl_opaque_fns,
+            direct_msg: |name| {
+                format!(
+                    "replication frame sealed (`{name}`) without a dominating \
+                     `Log::append` on this path — a shipped record must be a \
+                     copy of what the local log already holds, so the seal \
+                     must follow the append of the same record"
+                )
+            },
+            via_msg: |name, site| {
+                format!(
+                    "call to `{name}` reaches a record-carrying frame seal \
+                     with no dominating `Log::append` on this path: {site}"
+                )
+            },
+        };
+        out.extend(flow_check(files, &spec));
+    }
+    out.extend(ship_confinement(files, config));
+    out
+}
+
+/// Flags home-sector writes in the shipping layer: the session/shipper
+/// move frames, the replica's redo path is the only writer.
+fn ship_confinement(files: &[SourceFile], config: &Config) -> Vec<Finding> {
+    if config.repl_ship_files.is_empty() {
+        return Vec::new();
+    }
+    let cg = CallGraph::build(files);
+    let mut out = Vec::new();
+    for (_, file, def) in cg.iter() {
+        if !config.repl_ship_files.iter().any(|p| *p == file.rel) {
+            continue;
+        }
+        let Some(body) = &def.body else { continue };
+        let mut scan = Scan {
+            config,
+            file,
+            item: &def.name,
+            out: &mut out,
+        };
+        scan.block(body);
+    }
+    out
+}
+
+/// Syntactic walk over every expression of a ship-file fn, flagging any
+/// call whose name is a configured home write. Unlike the flow walker
+/// this covers private fns and all paths — confinement is structural,
+/// not path-sensitive.
+struct Scan<'a> {
+    config: &'a Config,
+    file: &'a SourceFile,
+    item: &'a str,
+    out: &'a mut Vec<Finding>,
+}
+
+impl Scan<'_> {
+    fn hit(&mut self, name: &str, line: u32) {
+        if self.file.is_test_line(line) {
+            return;
+        }
+        if !self.config.repl_write_fns.contains(&name) {
+            return;
+        }
+        self.out.push(Finding {
+            rule: "repl-order",
+            file: self.file.rel.clone(),
+            line,
+            item: self.item.to_string(),
+            snippet: format!("{name}(..) in ship layer"),
+            message: format!(
+                "home-sector write (`{name}`) in the replication shipping \
+                 layer — replica-side home writes are confined to the redo \
+                 path in `repl/replica.rs`"
+            ),
+        });
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            match s {
+                Stmt::Let {
+                    init, else_block, ..
+                } => {
+                    if let Some(e) = init {
+                        self.expr(e);
+                    }
+                    if let Some(eb) = else_block {
+                        self.block(eb);
+                    }
+                }
+                Stmt::Expr(e) => self.expr(e),
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Path { .. } | Expr::Atom { .. } | Expr::Macro { .. } => {}
+            Expr::Call { func, args, line } => {
+                self.expr(func);
+                for a in args {
+                    self.expr(a);
+                }
+                if let Some(name) = func.last_name() {
+                    let name = name.to_string();
+                    self.hit(&name, *line);
+                }
+            }
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                line,
+            } => {
+                self.expr(recv);
+                for a in args {
+                    self.expr(a);
+                }
+                let method = method.clone();
+                self.hit(&method, *line);
+            }
+            Expr::Field { base, .. } => self.expr(base),
+            Expr::Seq { items, .. } => {
+                for it in items {
+                    self.expr(it);
+                }
+            }
+            Expr::Block { block, .. } => self.block(block),
+            Expr::If {
+                cond, then, alt, ..
+            } => {
+                self.expr(cond);
+                self.block(then);
+                if let Some(alt) = alt {
+                    self.expr(alt);
+                }
+            }
+            Expr::Match {
+                scrutinee, arms, ..
+            } => {
+                self.expr(scrutinee);
+                for arm in arms {
+                    self.expr(&arm.body);
+                }
+            }
+            Expr::Loop { body, .. } => self.block(body),
+            Expr::While { cond, body, .. } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            Expr::For { iter, body, .. } => {
+                self.expr(iter);
+                self.block(body);
+            }
+            Expr::Closure { body, .. } => self.expr(body),
+            Expr::Ret { value, .. } => {
+                if let Some(v) = value {
+                    self.expr(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vol(src: &str) -> SourceFile {
+        SourceFile::parse("crates/fsd/src/volume.rs".into(), "fsd".into(), false, src)
+    }
+
+    fn ship(src: &str) -> SourceFile {
+        SourceFile::parse(
+            "crates/fsd/src/repl/session.rs".into(),
+            "fsd".into(),
+            false,
+            src,
+        )
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Finding> {
+        check(&files, &Config::cedar())
+    }
+
+    #[test]
+    fn seal_after_append_is_clean() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn force(&mut self) {\n\
+               while self.more() { self.log.append(1); }\n\
+               self.seal_repl_frame(1, 2, 3);\n\
+             }\n\
+             fn seal_repl_frame(&mut self, _r: u32, _a: u64, _b: u64) {}\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn seal_without_append_flagged() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn leaky(&mut self) { self.seal_repl_frame(1, 2, 3); }\n\
+             fn seal_repl_frame(&mut self, _r: u32, _a: u64, _b: u64) {}\n\
+             }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "repl-order");
+        assert_eq!(out[0].item, "leaky");
+        assert!(out[0].message.contains("Log::append"));
+    }
+
+    #[test]
+    fn seal_on_one_branch_does_not_dominate() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn racy(&mut self, c: bool) {\n\
+               if c { self.log.append(1); }\n\
+               self.seal_repl_frame(1, 2, 3);\n\
+             }\n\
+             fn seal_repl_frame(&mut self, _r: u32, _a: u64, _b: u64) {}\n\
+             }\n");
+        assert_eq!(run(vec![f]).len(), 1);
+    }
+
+    #[test]
+    fn data_only_seal_is_exempt() {
+        // The record-less data frame has no append to follow: the helper
+        // is opaque, both as an entry fn and through call sites.
+        let f = vol("impl FsdVolume {\n\
+             pub fn force(&mut self) {\n\
+               if self.empty { self.seal_repl_data_frame(); return; }\n\
+               self.log.append(1);\n\
+               self.seal_repl_frame(1, 2, 3);\n\
+             }\n\
+             pub fn seal_repl_data_frame(&mut self) { self.seal_repl_frame(0, 0, 0); }\n\
+             fn seal_repl_frame(&mut self, _r: u32, _a: u64, _b: u64) {}\n\
+             }\n");
+        assert!(run(vec![f]).is_empty());
+    }
+
+    #[test]
+    fn unlogged_seal_via_helper_flagged_at_call_site() {
+        let f = vol("impl FsdVolume {\n\
+             pub fn op(&mut self) { self.ship_now(); }\n\
+             fn ship_now(&mut self) { self.seal_repl_frame(1, 2, 3); }\n\
+             fn seal_repl_frame(&mut self, _r: u32, _a: u64, _b: u64) {}\n\
+             }\n");
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].item, "op");
+        assert!(out[0].message.contains("ship_now"));
+    }
+
+    #[test]
+    fn ship_layer_home_write_flagged() {
+        let f = ship(
+            "impl ReplSession {\n\
+             fn sneaky(&mut self) { write_home_batch(1, 2, 3, 4); }\n\
+             }\nfn write_home_batch(_a: u32, _b: u32, _c: u32, _d: u32) {}\n",
+        );
+        let out = run(vec![f]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "repl-order");
+        assert_eq!(out[0].item, "sneaky");
+        assert!(out[0].message.contains("redo"));
+    }
+
+    #[test]
+    fn ship_layer_raw_write_method_flagged() {
+        let f = ship(
+            "impl ReplSession {\n\
+             fn patch(&mut self) { self.disk.write(7, &[0u8]); }\n\
+             }\n",
+        );
+        assert_eq!(run(vec![f]).len(), 1);
+    }
+
+    #[test]
+    fn replica_redo_path_is_allowed() {
+        let rep = SourceFile::parse(
+            "crates/fsd/src/repl/replica.rs".into(),
+            "fsd".into(),
+            false,
+            "impl Replica {\n\
+             pub fn apply(&mut self) { write_home_batch(1, 2, 3, 4); }\n\
+             }\nfn write_home_batch(_a: u32, _b: u32, _c: u32, _d: u32) {}\n",
+        );
+        assert!(run(vec![rep]).is_empty());
+    }
+
+    #[test]
+    fn ship_layer_link_send_is_not_a_write() {
+        let f = ship(
+            "impl ReplSession {\n\
+             fn pump(&mut self) { self.link.send(1, 2); }\n\
+             }\n",
+        );
+        assert!(run(vec![f]).is_empty());
+    }
+}

@@ -40,18 +40,70 @@ struct Summary {
     unprot: Option<String>,
 }
 
+/// A domination rule the flow walker can enforce: every path from a
+/// `pub` fn in `entry_files` that reaches a `write_fns` call must first
+/// pass an `append_calls` event. `repl-order` reuses the machinery with
+/// its own event sets (frame seals instead of home writes).
+pub(crate) struct FlowSpec<'a> {
+    /// Rule id stamped on findings.
+    pub rule: &'static str,
+    /// Files whose unrestricted-`pub` fns are the checked entry points.
+    pub entry_files: &'a [&'static str],
+    /// Files exempt from the rule entirely.
+    pub exempt_files: &'a [&'static str],
+    /// (receiver, method) pairs that establish protection.
+    pub append_calls: &'a [(&'static str, &'static str)],
+    /// Calls that require protection to be in force.
+    pub write_fns: &'a [&'static str],
+    /// Functions the rule treats as opaque: their bodies are not
+    /// summarized and calls to them propagate nothing (deliberate
+    /// carve-outs like the data-only frame seal).
+    pub opaque_fns: &'a [&'static str],
+    /// Message for a direct unprotected `write_fns` call.
+    pub direct_msg: fn(&str) -> String,
+    /// Message for a call that reaches one transitively (callee site
+    /// description appended).
+    pub via_msg: fn(&str, &str) -> String,
+}
+
 /// Runs the wal-order rule.
 pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     if config.wal_entry_files.is_empty() {
         return Vec::new();
     }
+    let spec = FlowSpec {
+        rule: "wal-order",
+        entry_files: &config.wal_entry_files,
+        exempt_files: &config.wal_exempt_files,
+        append_calls: &config.wal_append_calls,
+        write_fns: &config.wal_write_fns,
+        opaque_fns: &[],
+        direct_msg: |name| {
+            format!(
+                "home-sector write (`{name}`) without a dominating \
+                 `Log::append` on this path — the write-ahead rule (§4) \
+                 requires the redo record on disk before the home write"
+            )
+        },
+        via_msg: |name, site| {
+            format!(
+                "call to `{name}` reaches a home-sector write with \
+                 no dominating `Log::append` on this path: {site}"
+            )
+        },
+    };
+    flow_check(files, &spec)
+}
+
+/// Runs a [`FlowSpec`] domination rule over the workspace.
+pub(crate) fn flow_check(files: &[SourceFile], spec: &FlowSpec<'_>) -> Vec<Finding> {
     let cg = CallGraph::build(files);
     let mut sums = vec![Summary::default(); cg.nodes.len()];
     // Summaries to fixpoint (monotone in practice; the cap is a backstop).
     for _ in 0..10 {
         let mut next = Vec::with_capacity(sums.len());
         for (i, file, def) in cg.iter() {
-            if skip_fn(file, def.line, config) {
+            if skip_fn(file, def.line, spec) || spec.opaque_fns.iter().any(|f| *f == def.name) {
                 next.push(Summary::default());
                 continue;
             }
@@ -59,7 +111,7 @@ pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
                 next.push(Summary::default());
                 continue;
             };
-            let mut w = Walker::new(&cg, config, &sums, file);
+            let mut w = Walker::new(&cg, spec, &sums, file);
             w.block(body);
             next.push(Summary {
                 establishes: w.logged,
@@ -81,18 +133,21 @@ pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     // Findings: re-walk the public entry fns with converged summaries.
     let mut out = Vec::new();
     for (_, file, def) in cg.iter() {
-        if !config.wal_entry_files.iter().any(|p| *p == file.rel) {
+        if !spec.entry_files.iter().any(|p| *p == file.rel) {
             continue;
         }
-        if !def.is_pub || skip_fn(file, def.line, config) {
+        if !def.is_pub
+            || skip_fn(file, def.line, spec)
+            || spec.opaque_fns.iter().any(|f| *f == def.name)
+        {
             continue;
         }
         let Some(body) = &def.body else { continue };
-        let mut w = Walker::new(&cg, config, &sums, file);
+        let mut w = Walker::new(&cg, spec, &sums, file);
         w.block(body);
         for v in w.viols {
             out.push(Finding {
-                rule: "wal-order",
+                rule: spec.rule,
                 file: file.rel.clone(),
                 line: v.line,
                 item: def.name.clone(),
@@ -104,8 +159,8 @@ pub fn check(files: &[SourceFile], config: &Config) -> Vec<Finding> {
     out
 }
 
-fn skip_fn(file: &SourceFile, line: u32, config: &Config) -> bool {
-    config.wal_exempt_files.iter().any(|p| *p == file.rel) || file.is_test_line(line)
+fn skip_fn(file: &SourceFile, line: u32, spec: &FlowSpec<'_>) -> bool {
+    spec.exempt_files.iter().any(|p| *p == file.rel) || file.is_test_line(line)
 }
 
 #[derive(Clone, Debug)]
@@ -117,7 +172,7 @@ struct Violation {
 
 struct Walker<'a> {
     cg: &'a CallGraph<'a>,
-    config: &'a Config,
+    spec: &'a FlowSpec<'a>,
     sums: &'a [Summary],
     file: &'a SourceFile,
     /// Write-ahead protection currently in force on this path.
@@ -130,13 +185,13 @@ struct Walker<'a> {
 impl<'a> Walker<'a> {
     fn new(
         cg: &'a CallGraph<'a>,
-        config: &'a Config,
+        spec: &'a FlowSpec<'a>,
         sums: &'a [Summary],
         file: &'a SourceFile,
     ) -> Self {
         Self {
             cg,
-            config,
+            spec,
             sums,
             file,
             logged: false,
@@ -209,21 +264,17 @@ impl<'a> Walker<'a> {
         if self.file.is_test_line(line) {
             return;
         }
-        if self.config.wal_write_fns.contains(&name) {
+        if self.spec.write_fns.contains(&name) {
             if !self.logged {
                 self.violation(
                     line,
                     format!("{name}(..) unlogged"),
-                    format!(
-                        "home-sector write (`{name}`) without a dominating \
-                         `Log::append` on this path — the write-ahead rule (§4) \
-                         requires the redo record on disk before the home write"
-                    ),
+                    (self.spec.direct_msg)(name),
                 );
             }
             return;
         }
-        if !resolve {
+        if !resolve || self.spec.opaque_fns.contains(&name) {
             return;
         }
         let mut establishes = false;
@@ -234,10 +285,7 @@ impl<'a> Walker<'a> {
                     self.violation(
                         line,
                         format!("{name}(..) reaches unlogged write"),
-                        format!(
-                            "call to `{name}` reaches a home-sector write with \
-                             no dominating `Log::append` on this path: {site}"
-                        ),
+                        (self.spec.via_msg)(name, site),
                     );
                 }
             }
@@ -277,8 +325,8 @@ impl<'a> Walker<'a> {
             } => {
                 self.expr(recv);
                 let is_append = self
-                    .config
-                    .wal_append_calls
+                    .spec
+                    .append_calls
                     .iter()
                     .any(|(r, m)| *m == method && recv.last_name().is_some_and(|n| n == *r));
                 if is_append {

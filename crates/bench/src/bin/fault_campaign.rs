@@ -22,9 +22,10 @@
 use cedar_bench::adapters::{CedarFsError, FsBackend, FsdVolume};
 use cedar_bench::Table;
 use cedar_disk::{CpuModel, CrashPlan, FaultPlan, Label, PageKind, SimDisk};
-use cedar_fsd::{FsdConfig, FsdLayout, RecoveryRung};
+use cedar_fsd::{FsdConfig, FsdLayout, RecoveryRung, ReplMode, ReplSession, ReplSessionConfig};
 use cedar_workload::steps::{run_step_backend, Step, WorkloadStats};
 use cedar_workload::{makedo_workload, MakeDoParams, MemFs};
+use std::collections::VecDeque;
 
 /// Volume configuration for every scenario: tiny geometry, free CPU
 /// (media behaviour is what is under test, not timing).
@@ -529,6 +530,110 @@ fn run_corrupt_scenario(
     }
 }
 
+/// Replication failover block (ISSUE 10): the primary runs the measured
+/// script under a media-fault plan and a scheduled crash while shipping
+/// to a replica; when the primary dies, the replica is promoted and
+/// must land on an *acknowledged* commit boundary within the mode's
+/// loss bound — zero boundaries for sync and semi-sync, at most
+/// [`REPL_MAX_LAG`] for async.
+const REPL_MAX_LAG: usize = 4;
+
+/// Acked-boundary snapshots kept for the promotion oracle.
+const REPL_KEEP_BOUNDARIES: usize = REPL_MAX_LAG + 4;
+
+fn run_repl_scenario(
+    mode: ReplMode,
+    kind: &FaultKind,
+    crash_after: u64,
+    damaged_tail: u8,
+    setup: &[Step],
+    measured: &[Step],
+) -> Result<Outcome, String> {
+    let (v, mut live) = setup_volume(setup)?;
+    let mut cfg = ReplSessionConfig::for_mode(mode);
+    cfg.max_lag_frames = REPL_MAX_LAG;
+    let mut s =
+        ReplSession::new(v, config(), cfg).map_err(|e| format!("replica install failed: {e}"))?;
+    // Faults and the crash hit the primary only, after the install's
+    // full-state transfer (the clone starts healthy).
+    let plan = (kind.plan)(s.primary_mut());
+    s.primary_mut().disk_mut().set_fault_plan(&plan);
+    s.primary_mut().disk_mut().schedule_crash(CrashPlan {
+        after_sector_writes: crash_after,
+        damaged_tail,
+    });
+
+    let mut boundaries: VecDeque<(u64, MemFs)> = VecDeque::new();
+    let mut acked: u64 = 0;
+    let mut stats = WorkloadStats::default();
+    'steps: for (i, step) in measured.iter().enumerate() {
+        match run_step_backend(step, s.primary_mut(), &mut stats) {
+            Ok(()) => {
+                run_step_backend(step, &mut live, &mut stats)
+                    .map_err(|e| format!("model diverged on {step:?}: {e}"))?;
+            }
+            Err(e) if e.is_crash() => break 'steps,
+            Err(CedarFsError::NoSpace) => {}
+            Err(CedarFsError::NotFound(n)) if live.read(&n).is_err() => {}
+            Err(e) => return Err(format!("non-crash failure on {step:?}: {e}")),
+        }
+        if i % SYNC_EVERY == SYNC_EVERY - 1 {
+            match s.commit() {
+                Ok(()) => {
+                    acked += 1;
+                    boundaries.push_back((acked, live.clone()));
+                    while boundaries.len() > REPL_KEEP_BOUNDARIES {
+                        boundaries.pop_front();
+                    }
+                }
+                Err(e) if e.is_crash() => break 'steps,
+                // A torn force can surface as a retryable shipping
+                // refusal too; either way the boundary is unacked.
+                Err(e) if e.is_retryable() => {}
+                Err(e) => return Err(format!("commit failed: {e}")),
+            }
+        }
+    }
+
+    // The primary is dead (or the script ended): promote the replica.
+    let out = s.failover().map_err(|e| format!("failover failed: {e}"))?;
+    let mut v2 = out.volume;
+    v2.verify()
+        .map_err(|e| format!("promoted verify failed: {e}"))?;
+    let loss = if acked == 0 {
+        0
+    } else {
+        let mut found = None;
+        for (id, model) in boundaries.iter().rev() {
+            if matches_model(&mut v2, model) {
+                found = Some(acked - id);
+                break;
+            }
+        }
+        match found {
+            Some(l) => l,
+            None => return Err("promoted state matches no acknowledged boundary".into()),
+        }
+    };
+    let bound = match mode {
+        ReplMode::Sync | ReplMode::SemiSync => 0,
+        ReplMode::Async => REPL_MAX_LAG as u64,
+    };
+    if loss > bound {
+        return Err(format!(
+            "{} lost {loss} acknowledged boundaries (bound {bound})",
+            mode.name()
+        ));
+    }
+    Ok(Outcome {
+        rung: out.report.rung,
+        matched: if loss == 0 { "committed" } else { "previous" },
+        scrubbed: out.report.scrubbed_sectors,
+        remapped: out.report.remapped_sectors,
+        boot_us: out.failover_us,
+    })
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (setup, measured) = campaign_script();
@@ -614,6 +719,56 @@ fn main() {
         }
     }
     tallies.push(("corrupt-block", corrupt_tally));
+
+    // Replication failover block: primary media faults + crashes per
+    // acknowledgement mode, promoted replica checked against the acked
+    // commit boundaries (loss bound per mode).
+    let repl_keep = if smoke {
+        vec!["clean", "latent-nt"]
+    } else {
+        vec![
+            "clean",
+            "latent-nt",
+            "latent-log-meta",
+            "grown-nt",
+            "transient-nt",
+        ]
+    };
+    let repl_crashes: Vec<u64> = if smoke { vec![45] } else { vec![25, 70, 117] };
+    let repl_kinds: Vec<&FaultKind> = KINDS
+        .iter()
+        .filter(|k| repl_keep.contains(&k.name))
+        .collect();
+    let mut repl_scenarios = 0u64;
+    for mode in ReplMode::ALL {
+        let mut tally = KindTally::default();
+        for kind in &repl_kinds {
+            for &crash_after in &repl_crashes {
+                for tail in [0u8, 1] {
+                    repl_scenarios += 1;
+                    match run_repl_scenario(mode, kind, crash_after, tail, &setup, &measured) {
+                        Ok(o) => {
+                            tally.absorb(&o);
+                            overall.absorb(&o);
+                        }
+                        Err(e) => {
+                            overall.scenarios += 1;
+                            failures.push(format!(
+                                "repl {} {} crash={crash_after} tail={tail}: {e}",
+                                mode.name(),
+                                kind.name
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        match mode {
+            ReplMode::Sync => tallies.push(("repl-sync", tally)),
+            ReplMode::SemiSync => tallies.push(("repl-semi-sync", tally)),
+            ReplMode::Async => tallies.push(("repl-async", tally)),
+        }
+    }
 
     let mut t = Table::new(
         "fault campaign (per fault kind)",
@@ -701,6 +856,10 @@ fn main() {
         overall.redo,
         overall.scrub,
         overall.scavenge
+    );
+    assert!(
+        repl_scenarios >= 12,
+        "replication block too small: {repl_scenarios} scenarios"
     );
     if smoke {
         println!(

@@ -101,6 +101,24 @@ pub struct SimDisk {
     /// operation is attributed to the region holding its first sector.
     regions: Vec<(SectorAddr, SectorAddr, &'static str)>,
     region_ops: std::collections::HashMap<&'static str, u64>,
+    /// When present, every durably completed sector write (data or label)
+    /// is appended here. The replication tap drains this to mirror
+    /// unlogged data-area writes to the replica.
+    journal: Option<Vec<JournalEntry>>,
+}
+
+/// One durably completed sector write, as recorded by the write journal
+/// (see [`SimDisk::enable_write_journal`]). A data write carries the new
+/// sector image and, if the pass also rewrote the label, the new label; a
+/// label-only write carries just the label.
+#[derive(Clone, Debug)]
+pub struct JournalEntry {
+    /// Sector address written.
+    pub addr: SectorAddr,
+    /// New data contents, if the data field was rewritten.
+    pub data: Option<Vec<u8>>,
+    /// New label, if the label field was rewritten.
+    pub label: Option<Label>,
 }
 
 impl SimDisk {
@@ -128,6 +146,7 @@ impl SimDisk {
             crashed: false,
             regions: Vec::new(),
             region_ops: std::collections::HashMap::new(),
+            journal: None,
         }
     }
 
@@ -522,6 +541,13 @@ impl SimDisk {
                 s.label = labels[i];
             }
             self.stats.sectors_written += 1;
+            if let Some(journal) = &mut self.journal {
+                journal.push(JournalEntry {
+                    addr,
+                    data: Some(buf.to_vec()),
+                    label: new_labels.map(|l| l[i]),
+                });
+            }
         }
         Ok(())
     }
@@ -608,8 +634,65 @@ impl SimDisk {
             }
             self.sectors[addr as usize].label = labels[i];
             self.stats.sectors_written += 1;
+            if let Some(journal) = &mut self.journal {
+                journal.push(JournalEntry {
+                    addr,
+                    data: None,
+                    label: Some(labels[i]),
+                });
+            }
         }
         Ok(())
+    }
+
+    // ----- write journal and replica forking ----------------------------------
+
+    /// Starts recording every durably completed sector write (data and
+    /// label passes) into an in-memory journal. Replication taps this to
+    /// mirror unlogged data-area writes; see [`Self::drain_write_journal`].
+    pub fn enable_write_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Takes the accumulated [`JournalEntry`] list, leaving the journal
+    /// enabled and empty. Returns an empty vec when journaling is off.
+    pub fn drain_write_journal(&mut self) -> Vec<JournalEntry> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether the write journal is enabled.
+    pub fn write_journal_enabled(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Clones this disk's *logical* contents (sector data and labels) onto
+    /// fresh media driven by an independent `clock`. Media-fault state
+    /// (damage, latent and grown defects), pending crash plans, statistics
+    /// and the write journal do NOT carry over: a full-state transfer ships
+    /// bytes, not the donor's physical flaws. This is how a replica is
+    /// seeded and how the lapped-log full-transfer fallback works.
+    pub fn fork_with_clock(&self, clock: SimClock) -> SimDisk {
+        let mut fork = SimDisk::new(self.geometry, self.timing, clock);
+        for (i, s) in self.sectors.iter().enumerate() {
+            if s.data.is_some() || s.label != Label::FREE {
+                let t = &mut fork.sectors[i];
+                t.data = s.data.clone();
+                t.label = s.label;
+            }
+        }
+        fork.regions = self.regions.clone();
+        fork
+    }
+
+    /// Number of sectors whose data field has ever been written (the
+    /// payload a full-state transfer must ship).
+    pub fn materialized_sectors(&self) -> u32 {
+        self.sectors.iter().filter(|s| s.data.is_some()).count() as u32
     }
 
     // ----- faults and crashes -------------------------------------------------

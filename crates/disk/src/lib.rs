@@ -32,6 +32,7 @@ pub mod fault;
 pub mod geometry;
 pub mod image;
 pub mod label;
+pub mod link;
 pub mod scan;
 pub mod sched;
 pub mod stats;
@@ -40,11 +41,12 @@ pub mod timing;
 
 pub use clock::{Micros, SimClock};
 pub use cpu::{Cpu, CpuModel, WorkerCpu};
-pub use disk::{CrashPlan, SimDisk};
+pub use disk::{CrashPlan, JournalEntry, SimDisk};
 pub use error::DiskError;
 pub use fault::FaultPlan;
 pub use geometry::DiskGeometry;
 pub use label::{Label, PageKind};
+pub use link::{Link, LinkError, LinkPlan, LinkStats};
 pub use scan::{ScanChannel, ScanChunk};
 pub use sched::{IoBatch, IoOp, IoOutput, IoPolicy, OpResult};
 pub use stats::DiskStats;

@@ -57,6 +57,8 @@
 //! returns the volume so a test can reboot the disk and watch recovery
 //! replay the log to the last commit boundary.
 
+use crate::repl::replica::Replica;
+use crate::repl::shipper::{shipper_loop, ReplHandle, ShipperConfig, ShipperShared};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::thread::{JoinHandle, ThreadId};
 use crate::sync::{Condvar, Mutex, MutexGuard, RwLock};
@@ -273,6 +275,9 @@ struct EngineShared {
     ops: AtomicU64,
     read_hits: AtomicU64,
     pacer: Option<Pacer>,
+    /// When replicated: the shipper rendezvous the log-writer submits
+    /// sealed frames to after each force (see `repl::shipper`).
+    repl: Option<Arc<ShipperShared>>,
 }
 
 impl EngineShared {
@@ -389,13 +394,47 @@ impl EngineShared {
 pub struct FsdEngine {
     shared: Arc<EngineShared>,
     writer: Mutex<Option<JoinHandle<FsdVolume>>>,
+    /// The shipper thread, when started with [`Self::start_replicated`];
+    /// joins to the [`Replica`] it owns.
+    shipper: Mutex<Option<JoinHandle<Replica>>>,
 }
 
 impl FsdEngine {
     /// Moves `vol` onto a dedicated log-writer thread and starts
     /// serving. The volume's own interval commit daemon is disabled:
     /// from here on, the log-writer does all forcing.
-    pub fn start(mut vol: FsdVolume, cfg: EngineConfig) -> Result<Self, CedarFsError> {
+    pub fn start(vol: FsdVolume, cfg: EngineConfig) -> Result<Self, CedarFsError> {
+        Self::validate_cfg(&cfg)?;
+        Self::start_inner(vol, cfg, None, None)
+    }
+
+    /// [`Self::start`] with log-shipping replication: installs a
+    /// [`Replica`] (full-state transfer of the volume), spawns the
+    /// `fsd-shipper` thread, and from then on every group commit's
+    /// sealed frames are handed over with the acknowledgement
+    /// discipline of `ship.mode` — clients are not released before the
+    /// mode's durability point. `config` is the volume's own
+    /// [`crate::FsdConfig`], needed to boot the replica clone.
+    pub fn start_replicated(
+        mut vol: FsdVolume,
+        cfg: EngineConfig,
+        config: crate::FsdConfig,
+        ship: ShipperConfig,
+    ) -> Result<Self, CedarFsError> {
+        // Validate before spawning anything so no thread leaks on a
+        // refused start.
+        Self::validate_cfg(&cfg)?;
+        let replica = Replica::install(&mut vol, config).map_err(CedarFsError::from)?;
+        let shared_ship = Arc::new(ShipperShared::new(ship));
+        let ship_shared = Arc::clone(&shared_ship);
+        let handle = crate::sync::thread::Builder::new()
+            .name("fsd-shipper".into())
+            .spawn(move || shipper_loop(ship_shared, replica))
+            .map_err(|e| CedarFsError::Busy(format!("cannot spawn shipper: {e}")))?;
+        Self::start_inner(vol, cfg, Some(shared_ship), Some(handle))
+    }
+
+    fn validate_cfg(cfg: &EngineConfig) -> Result<(), CedarFsError> {
         // Config errors are the caller's to handle, not a panic: the
         // engine refuses to start rather than dividing by a zero shard
         // count or spinning on an empty batch bound later.
@@ -409,12 +448,35 @@ impl FsdEngine {
                 "engine config: need at least one cache shard".into(),
             ));
         }
+        Ok(())
+    }
+
+    fn start_inner(
+        mut vol: FsdVolume,
+        cfg: EngineConfig,
+        repl: Option<Arc<ShipperShared>>,
+        shipper: Option<JoinHandle<Replica>>,
+    ) -> Result<Self, CedarFsError> {
         vol.set_commit_interval(Micros::MAX);
         // Warm the name index so reads are served without queueing from
         // the first operation.
         let mut index = BTreeMap::new();
-        for info in FsBackend::list(&mut vol, "")? {
-            index.insert(info.name.clone(), info);
+        match FsBackend::list(&mut vol, "") {
+            Ok(infos) => {
+                for info in infos {
+                    index.insert(info.name.clone(), info);
+                }
+            }
+            Err(e) => {
+                // Refused start: don't leak a parked shipper thread.
+                if let Some(r) = &repl {
+                    r.request_stop();
+                }
+                if let Some(sh) = shipper {
+                    let _ = sh.join();
+                }
+                return Err(e);
+            }
         }
         let stats = FsBackend::stats(&vol);
         let baseline = vol.commit_stats();
@@ -440,16 +502,30 @@ impl FsdEngine {
             ops: AtomicU64::new(0),
             read_hits: AtomicU64::new(0),
             pacer: cfg.pace_scale.map(Pacer::new),
+            repl,
             cfg,
         });
         let writer_shared = Arc::clone(&shared);
-        let handle = crate::sync::thread::Builder::new()
+        let handle = match crate::sync::thread::Builder::new()
             .name("fsd-log-writer".into())
             .spawn(move || writer_loop(vol, writer_shared, baseline))
-            .map_err(|e| CedarFsError::Busy(format!("cannot spawn log-writer: {e}")))?;
+        {
+            Ok(h) => h,
+            Err(e) => {
+                // Don't leak a parked shipper if the writer can't start.
+                if let Some(r) = &shared.repl {
+                    r.request_stop();
+                }
+                if let Some(sh) = shipper {
+                    let _ = sh.join();
+                }
+                return Err(CedarFsError::Busy(format!("cannot spawn log-writer: {e}")));
+            }
+        };
         Ok(Self {
             shared,
             writer: Mutex::new(Some(handle)),
+            shipper: Mutex::new(shipper),
         })
     }
 
@@ -504,6 +580,47 @@ impl FsdEngine {
         }
         plock(&self.writer).take()
     }
+
+    /// Observability/fault-injection handle onto the shipper, if this
+    /// engine was started with [`Self::start_replicated`].
+    pub fn repl_handle(&self) -> Option<ReplHandle> {
+        self.shared.repl.as_ref().map(|r| ReplHandle {
+            shared: Arc::clone(r),
+        })
+    }
+
+    /// [`Self::shutdown`] for a replicated engine: stops the log-writer
+    /// (final drain + force, with its frames submitted under the
+    /// configured ack mode), then asks the shipper to drain its queue
+    /// and hands back both the primary volume and the [`Replica`].
+    /// Works after a crash-poisoning too — everything the shipper can
+    /// still ship is drained, so sync-mode acknowledgements stay
+    /// honest.
+    pub fn shutdown_replicated(self) -> Result<(FsdVolume, Replica), CedarFsError> {
+        let vol = match self.stop_writer() {
+            Some(h) => h
+                .join()
+                .map_err(|_| CedarFsError::Corrupt("log-writer thread panicked".into()))?,
+            None => return Err(CedarFsError::Busy("engine already shut down".into())),
+        };
+        let handle = self.stop_shipper();
+        match handle {
+            Some(h) => {
+                let replica = h
+                    .join()
+                    .map_err(|_| CedarFsError::Corrupt("shipper thread panicked".into()))?;
+                Ok((vol, replica))
+            }
+            None => Err(CedarFsError::Busy("engine is not replicated".into())),
+        }
+    }
+
+    fn stop_shipper(&self) -> Option<JoinHandle<Replica>> {
+        if let Some(r) = &self.shared.repl {
+            r.request_stop();
+        }
+        plock(&self.shipper).take()
+    }
 }
 
 impl Drop for FsdEngine {
@@ -511,6 +628,10 @@ impl Drop for FsdEngine {
         if let Some(h) = self.stop_writer() {
             // The volume is discarded; join only so the thread does not
             // outlive the engine.
+            let _ = h.join();
+        }
+        if let Some(h) = self.stop_shipper() {
+            // Likewise the replica: drained and discarded.
             let _ = h.join();
         }
     }
@@ -809,10 +930,34 @@ fn process_batch(
 
     match force_err {
         None => {
+            // Replication hand-off happens *before* any client slot
+            // completes: submit_and_wait blocks until the configured
+            // mode's durability point (replica applied for sync,
+            // received for semi-sync, bounded backlog for async), so an
+            // acknowledgement is never issued early. On a shipping
+            // failure the batch's clients get the retryable `Link`
+            // error — the epoch is still published (it is durable on
+            // the primary and the frames stay queued for retry), but
+            // nothing is acknowledged as replicated when it is not.
+            let repl_err: Option<CedarFsError> = match &shared.repl {
+                Some(r) if vol.repl_tap_enabled() => {
+                    r.submit_and_wait(vol.take_repl_frames()).err()
+                }
+                _ => None,
+            };
             publish_epoch(vol, shared, &held, baseline, batch_len);
             pace_epoch(vol, shared, last_sim_us);
-            for op in held {
-                op.slot.complete(op.result);
+            match repl_err {
+                None => {
+                    for op in held {
+                        op.slot.complete(op.result);
+                    }
+                }
+                Some(e) => {
+                    for op in held {
+                        op.slot.complete(Err(e.clone()));
+                    }
+                }
             }
         }
         Some(e) => {

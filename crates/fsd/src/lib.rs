@@ -40,6 +40,7 @@ pub mod layout;
 pub mod leader;
 pub mod log;
 pub mod recovery;
+pub mod repl;
 pub mod scavenge;
 pub mod sched;
 pub mod spare;
@@ -53,6 +54,10 @@ pub use fscache::{CachingFs, FileServer, MemServer};
 pub use layout::FsdLayout;
 pub use leader::LeaderPage;
 pub use recovery::{RecoveryReport, RecoveryRung};
+pub use repl::{
+    DataWrite, FailoverOutcome, ReplFrame, ReplHandle, ReplMode, ReplSession, ReplSessionConfig,
+    Replica, ReplicaStats, ResyncKind, ResyncOutcome, ShipperConfig, ShipperStats,
+};
 pub use scavenge::ScavengeSummary;
 pub use sched::{
     ClientHandle, CommitScheduler, LatencyStats, SchedConfig, SchedReport, SharedScheduler,

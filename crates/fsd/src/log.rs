@@ -225,6 +225,17 @@ impl Log {
         self.max_images
     }
 
+    /// Boot count of the epoch writing this log (stamped into every
+    /// record; the replication tap re-encodes shipped records with it).
+    pub fn boot_count(&self) -> u32 {
+        self.boot_count
+    }
+
+    /// Sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Sector images that fit into one third of the log as a single
     /// record chain (each image costs two sectors plus five of record
     /// overhead).
@@ -524,6 +535,62 @@ pub fn encode_record(
     out.extend_from_slice(&data); // D₁'..Dₙ'
     out.extend_from_slice(&end); // E'
     Ok(out)
+}
+
+/// A record decoded from its sealed `2n + 5` sector byte form — the
+/// replica side of log shipping uses this to turn a shipped record back
+/// into `(target, image)` pairs for continuous redo.
+#[derive(Clone, Debug)]
+pub struct DecodedRecord {
+    /// Record sequence number.
+    pub seq: u64,
+    /// Boot count of the writing epoch.
+    pub boot_count: u32,
+    /// Whether this record closes its commit group.
+    pub group_end: bool,
+    /// The logged sector images, in append order.
+    pub images: Vec<(PageTarget, Vec<u8>)>,
+}
+
+/// Decodes one sealed record from the exact bytes [`encode_record`]
+/// produced, verifying both header copies, the end-sector checksum, and
+/// the `2n + 5` framing. This is the replica's decode path: the record
+/// arrived over a link, not from the log region, so there is no damage
+/// mask — any mismatch is a transport-level corruption and an error.
+pub fn decode_record_bytes(bytes: &[u8]) -> Result<DecodedRecord> {
+    let fail = |m: &str| FsdError::Check(format!("shipped record rejected: {m}"));
+    if !bytes.len().is_multiple_of(SECTOR_BYTES) || bytes.len() < 5 * SECTOR_BYTES {
+        return Err(fail("not a whole 2n+5 sector record"));
+    }
+    let sector = |i: usize| &bytes[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES];
+    let hdr = decode_header(sector(0)).map_err(|e| fail(&e))?;
+    let n = hdr.targets.len();
+    if bytes.len() != (2 * n + 5) * SECTOR_BYTES {
+        return Err(fail("length disagrees with header page count"));
+    }
+    if sector(2) != sector(0) {
+        return Err(fail("header copies disagree"));
+    }
+    let data = &bytes[3 * SECTOR_BYTES..(3 + n) * SECTOR_BYTES];
+    let end = decode_end(sector(3 + n)).map_err(|e| fail(&e))?;
+    if end.seq != hdr.seq || end.boot_count != hdr.boot_count || end.n != n {
+        return Err(fail("end sector disagrees with header"));
+    }
+    if fnv1a(data) != end.checksum {
+        return Err(fail("image checksum mismatch"));
+    }
+    let images = hdr
+        .targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (*t, data[i * SECTOR_BYTES..(i + 1) * SECTOR_BYTES].to_vec()))
+        .collect();
+    Ok(DecodedRecord {
+        seq: hdr.seq,
+        boot_count: hdr.boot_count,
+        group_end: hdr.group_end,
+        images,
+    })
 }
 
 struct DecodedHeader {

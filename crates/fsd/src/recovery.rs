@@ -154,6 +154,7 @@ impl FsdVolume {
             vam_home: HashMap::new(),
             io_policy: config.io_policy,
             spare,
+            repl: None,
         };
         vol.last_force = vol.clock().now();
 

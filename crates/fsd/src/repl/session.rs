@@ -1,0 +1,409 @@
+//! Deterministic replication driver: one primary, one replica, one
+//! simulated link.
+//!
+//! [`ReplSession`] is the single-threaded counterpart of the concurrent
+//! [`crate::repl::shipper`] thread: the bench and the fault campaign
+//! drive it step by step, so every lag sample, retry, partition and
+//! failover is reproducible. The shipping protocol is identical in both:
+//! frames seal at [`crate::FsdVolume::force`], ship strictly in order,
+//! and the acknowledgement point is the mode's durability point.
+//!
+//! Bounded retention is what makes resync interesting: the session keeps
+//! at most [`ReplSessionConfig::retain_frames`] sealed-but-unshipped
+//! frames (the stand-in for the primary's finite log). A partition that
+//! outlives the buffer evicts frames, the replica's cursor is lapped,
+//! and [`ReplSession::resync`] must fall back from cursor replay to a
+//! full-state transfer.
+
+use crate::repl::replica::{Replica, ReplicaApplyError, ReplicaStats};
+use crate::repl::{ReplFrame, ReplMode};
+use crate::volume::{FsdConfig, FsdVolume};
+use cedar_disk::clock::Micros;
+use cedar_disk::{Link, LinkPlan, LinkStats, SECTOR_BYTES};
+use cedar_vol::fs::CedarFsError;
+use std::collections::{HashMap, VecDeque};
+
+/// Full-transfer chunk size in sectors (128 KB on the wire at a time,
+/// so bandwidth-limited links charge realistic serialization).
+const TRANSFER_CHUNK_SECTORS: usize = 256;
+
+/// Session configuration: the mode plus link fault/retry policy.
+#[derive(Clone, Debug)]
+pub struct ReplSessionConfig {
+    /// Acknowledgement mode.
+    pub mode: ReplMode,
+    /// Link latency/bandwidth/fault plan.
+    pub link: LinkPlan,
+    /// Retries per frame after the first attempt.
+    pub retry_attempts: u32,
+    /// Initial retry backoff (doubles per attempt); simulated time
+    /// advances by it, so a backoff can outlive a partition window.
+    pub backoff_us: Micros,
+    /// Sealed frames retained for cursor resync; older unshipped frames
+    /// are evicted (the primary's log has finite capacity).
+    pub retain_frames: usize,
+    /// Async mode: commits block once this many frames are unshipped.
+    pub max_lag_frames: usize,
+}
+
+impl ReplSessionConfig {
+    /// Defaults for `mode`: a healthy low-latency link, three retries
+    /// with 2 ms backoff, 64 retained frames, 8-frame async lag bound.
+    pub fn for_mode(mode: ReplMode) -> Self {
+        Self {
+            mode,
+            link: LinkPlan {
+                latency_us: 500,
+                bytes_per_sec: 10_000_000,
+                ..LinkPlan::default()
+            },
+            retry_attempts: 3,
+            backoff_us: 2_000,
+            retain_frames: 64,
+            max_lag_frames: 8,
+        }
+    }
+}
+
+/// How a [`ReplSession::resync`] converged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResyncKind {
+    /// The replica's cursor was still covered by retained frames: the
+    /// missing suffix was replayed over the link.
+    CursorReplay,
+    /// The retention buffer had lapped the cursor: full-state transfer.
+    FullTransfer,
+}
+
+/// Result of a catch-up resync.
+#[derive(Clone, Copy, Debug)]
+pub struct ResyncOutcome {
+    /// Which protocol leg converged.
+    pub kind: ResyncKind,
+    /// Frames replayed (cursor replay only).
+    pub frames: u64,
+    /// Sectors transferred (full transfer only).
+    pub sectors: u64,
+    /// Simulated time the resync took on the primary's clock.
+    pub resync_us: Micros,
+}
+
+/// Result of promoting the replica after primary failure.
+pub struct FailoverOutcome {
+    /// The promoted, serving volume.
+    pub volume: FsdVolume,
+    /// Boot-time recovery report of the promotion.
+    pub report: crate::recovery::RecoveryReport,
+    /// Simulated promotion time (buffered redo + boot) on the replica's
+    /// clock.
+    pub failover_us: Micros,
+    /// Frame cursor the promoted volume serves from.
+    pub promoted_cursor: u64,
+    /// Replica counters at promotion.
+    pub replica_stats: ReplicaStats,
+}
+
+/// One primary + one replica + one link, driven deterministically.
+pub struct ReplSession {
+    primary: FsdVolume,
+    replica: Replica,
+    link: Link,
+    cfg: ReplSessionConfig,
+    /// Sealed frames the replica has not yet received, oldest first.
+    unshipped: VecDeque<ReplFrame>,
+    /// Highest frame id evicted from `unshipped` (0 = none): if it
+    /// passes the replica's high-water mark, only a full transfer can
+    /// reconverge.
+    evicted_to: u64,
+    /// Primary-clock seal time per in-flight frame id (lag accounting).
+    seal_times: HashMap<u64, Micros>,
+    /// Commit-to-applied lag per frame, in simulated µs.
+    lag_samples: Vec<Micros>,
+    /// Highest frame id acknowledged at the mode's durability point.
+    acked_high: u64,
+}
+
+impl ReplSession {
+    /// Installs a replica of `primary` (full-state transfer) and starts
+    /// shipping with `cfg`. The primary gets its replication tap enabled.
+    pub fn new(
+        mut primary: FsdVolume,
+        config: FsdConfig,
+        cfg: ReplSessionConfig,
+    ) -> Result<Self, CedarFsError> {
+        let replica = Replica::install(&mut primary, config)?;
+        let link = Link::new(cfg.link.clone());
+        Ok(Self {
+            primary,
+            replica,
+            link,
+            cfg,
+            unshipped: VecDeque::new(),
+            evicted_to: 0,
+            seal_times: HashMap::new(),
+            lag_samples: Vec::new(),
+            acked_high: 0,
+        })
+    }
+
+    /// The primary volume (runs the client workload).
+    pub fn primary_mut(&mut self) -> &mut FsdVolume {
+        &mut self.primary
+    }
+
+    /// The link (fault injection: `force_down`, plan swaps).
+    pub fn link_mut(&mut self) -> &mut Link {
+        &mut self.link
+    }
+
+    /// Replica-side counters.
+    pub fn replica_stats(&self) -> ReplicaStats {
+        self.replica.stats()
+    }
+
+    /// Link-side counters.
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+
+    /// Commit-to-applied lag samples collected so far (simulated µs).
+    pub fn lag_samples(&self) -> &[Micros] {
+        &self.lag_samples
+    }
+
+    /// Frames sealed on the primary but not yet applied by the replica.
+    pub fn frames_behind(&self) -> usize {
+        self.unshipped.len() + self.replica.buffered()
+    }
+
+    /// Highest frame id acknowledged at the mode's durability point.
+    pub fn acked_high(&self) -> u64 {
+        self.acked_high
+    }
+
+    /// Whether only a full-state transfer can reconverge the replica.
+    pub fn needs_full_transfer(&self) -> bool {
+        self.evicted_to > self.replica.high_water()
+    }
+
+    /// Forces the primary's log and ships the sealed frames per the
+    /// session mode. `Ok` means the commit is acknowledged at the mode's
+    /// durability point; a [`CedarFsError::Link`] error means the commit
+    /// is durable on the primary but NOT acknowledged (retryable: heal
+    /// the link and call [`Self::resync`] or commit again).
+    pub fn commit(&mut self) -> Result<(), CedarFsError> {
+        self.primary.force().map_err(CedarFsError::from)?;
+        self.collect_sealed();
+        match self.cfg.mode {
+            ReplMode::Sync => {
+                self.drain_unshipped(true)?;
+            }
+            ReplMode::SemiSync => {
+                // Ack point: every frame received. Redo is continuous but
+                // off the ack path.
+                self.drain_unshipped(false)?;
+                self.replica.apply_received().map_err(apply_err)?;
+            }
+            ReplMode::Async => {
+                // Ack is local; ship opportunistically in the background
+                // and only block (with retries) at the lag bound.
+                if let Some(high) = self.unshipped.back().map(|f| f.id) {
+                    self.acked_high = self.acked_high.max(high);
+                }
+                self.try_drain_async();
+                if self.unshipped.len() > self.cfg.max_lag_frames {
+                    self.drain_unshipped(true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Async background pump: ships what the link will take, without
+    /// erroring or retrying. Also applies any received backlog.
+    pub fn pump(&mut self) {
+        self.collect_sealed();
+        self.try_drain_async();
+        let _ = self.replica.apply_received();
+    }
+
+    /// Catch-up after a partition (heals a manual partition first): a
+    /// log-cursor handshake decides between replaying retained frames
+    /// and a full-state transfer when the retention buffer has lapped
+    /// the replica's cursor.
+    pub fn resync(&mut self) -> Result<ResyncOutcome, CedarFsError> {
+        self.link.heal();
+        self.collect_sealed();
+        let t0 = self.primary.clock().now();
+        // The handshake: replica reports its high-water frame id; the
+        // primary compares against the oldest change it can still replay.
+        if self.needs_full_transfer() {
+            let sectors = u64::from(self.primary.disk.materialized_sectors());
+            self.ship_bytes(sectors as usize * SECTOR_BYTES)?;
+            self.replica.reseed(&mut self.primary)?;
+            self.unshipped.clear();
+            self.seal_times.clear();
+            self.evicted_to = 0;
+            self.acked_high = self.acked_high.max(self.replica.cursor());
+            Ok(ResyncOutcome {
+                kind: ResyncKind::FullTransfer,
+                frames: 0,
+                sectors,
+                resync_us: self.primary.clock().now() - t0,
+            })
+        } else {
+            let frames = self.unshipped.len() as u64;
+            self.drain_unshipped(true)?;
+            Ok(ResyncOutcome {
+                kind: ResyncKind::CursorReplay,
+                frames,
+                sectors: 0,
+                resync_us: self.primary.clock().now() - t0,
+            })
+        }
+    }
+
+    /// Simulates primary failure: abandons the primary and promotes the
+    /// replica at its current commit boundary. Anything unshipped is
+    /// lost — which is exactly what the per-mode loss bounds quantify.
+    pub fn failover(self) -> Result<FailoverOutcome, CedarFsError> {
+        let clock = self.replica.clock();
+        let stats = self.replica.stats();
+        let t0 = clock.now();
+        let promoted_cursor = self.replica.high_water();
+        let (volume, report) = self.replica.promote()?;
+        Ok(FailoverOutcome {
+            failover_us: clock.now() - t0,
+            volume,
+            report,
+            promoted_cursor,
+            replica_stats: stats,
+        })
+    }
+
+    /// Consumes the session, returning the primary volume (controlled
+    /// shutdown of replication).
+    pub fn into_primary(self) -> FsdVolume {
+        self.primary
+    }
+
+    // ----- internals ------------------------------------------------------------
+
+    /// Moves newly sealed frames into the bounded unshipped queue,
+    /// stamping seal times and evicting beyond the retention bound.
+    fn collect_sealed(&mut self) {
+        let now = self.primary.clock().now();
+        for frame in self.primary.take_repl_frames() {
+            self.seal_times.insert(frame.id, now);
+            self.unshipped.push_back(frame);
+        }
+        while self.unshipped.len() > self.cfg.retain_frames {
+            if let Some(f) = self.unshipped.pop_front() {
+                self.evicted_to = self.evicted_to.max(f.id);
+                self.seal_times.remove(&f.id);
+            }
+        }
+    }
+
+    /// Ships every unshipped frame in order with retry/backoff. When
+    /// `apply` is set the replica redoes each frame before the next
+    /// ships (sync mode / resync replay); otherwise frames are only
+    /// received (semi-sync ack point).
+    fn drain_unshipped(&mut self, apply: bool) -> Result<(), CedarFsError> {
+        while let Some(front) = self.unshipped.front() {
+            let wire = front.encoded_len();
+            self.ship_with_retry(wire)?;
+            let frame = match self.unshipped.pop_front() {
+                Some(f) => f,
+                None => break,
+            };
+            let id = frame.id;
+            if apply {
+                let rc = self.replica.clock();
+                let t0 = rc.now();
+                self.replica.receive_apply(frame).map_err(apply_err)?;
+                // The primary waits for the apply-then-ack in sync mode:
+                // charge the replica's redo time to the primary's clock.
+                self.primary.clock().advance(rc.now() - t0);
+            } else {
+                self.replica.receive(frame).map_err(apply_err)?;
+            }
+            self.acked_high = self.acked_high.max(id);
+            if let Some(sealed) = self.seal_times.remove(&id) {
+                self.lag_samples
+                    .push(self.primary.clock().now().saturating_sub(sealed));
+            }
+        }
+        Ok(())
+    }
+
+    /// Best-effort async shipping: single attempt per frame, stop at the
+    /// first link refusal, apply immediately (continuous redo).
+    fn try_drain_async(&mut self) {
+        while let Some(front) = self.unshipped.front() {
+            let now = self.primary.clock().now();
+            let Ok(delay) = self.link.send(now, front.encoded_len()) else {
+                return;
+            };
+            let Some(frame) = self.unshipped.pop_front() else {
+                return;
+            };
+            let id = frame.id;
+            // Background shipping does not stall the primary's clock;
+            // lag still accounts the wire delay.
+            if self.replica.receive_apply(frame).is_err() {
+                return;
+            }
+            if let Some(sealed) = self.seal_times.remove(&id) {
+                self.lag_samples.push((now + delay).saturating_sub(sealed));
+            }
+        }
+    }
+
+    /// One send with the session's retry/backoff policy. Advances the
+    /// primary clock by the wire delay (and by each backoff).
+    fn ship_with_retry(&mut self, bytes: usize) -> Result<Micros, CedarFsError> {
+        let mut backoff = self.cfg.backoff_us.max(1);
+        let mut attempt = 0;
+        loop {
+            let now = self.primary.clock().now();
+            match self.link.send(now, bytes) {
+                Ok(delay) => {
+                    self.primary.clock().advance(delay);
+                    return Ok(delay);
+                }
+                Err(e) if attempt < self.cfg.retry_attempts => {
+                    attempt += 1;
+                    let _ = e;
+                    self.primary.clock().advance(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Ships a bulk payload (full-state transfer) in chunks.
+    fn ship_bytes(&mut self, bytes: usize) -> Result<(), CedarFsError> {
+        let chunk = TRANSFER_CHUNK_SECTORS * SECTOR_BYTES;
+        let mut left = bytes;
+        while left > 0 {
+            let take = left.min(chunk);
+            self.ship_with_retry(take)?;
+            left -= take;
+        }
+        Ok(())
+    }
+}
+
+/// Maps a replica apply error to the filesystem error surface: gaps are
+/// retryable link-level losses (heal + resync), redo failures keep their
+/// own class.
+pub(crate) fn apply_err(e: ReplicaApplyError) -> CedarFsError {
+    match e {
+        ReplicaApplyError::Gap { expected, got } => CedarFsError::Link(format!(
+            "replica cursor gap (expected frame {expected}, got {got}); resync required"
+        )),
+        ReplicaApplyError::Fsd(e) => e.into(),
+    }
+}

@@ -210,6 +210,7 @@ pub(crate) fn scavenge_boot(
         vam_home: HashMap::new(),
         io_policy: config.io_policy,
         spare,
+        repl: None,
     };
     vol.last_force = vol.clock().now();
 

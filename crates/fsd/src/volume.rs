@@ -185,6 +185,11 @@ pub struct FsdVolume {
     /// Bad-sector remap table (persisted on the boot page) plus the
     /// strike ledger deciding when a flaky sector gets remapped.
     pub(crate) spare: SpareMap,
+    /// Replication tap: when present, every successful [`Self::force`]
+    /// seals one [`crate::repl::ReplFrame`] (re-encoded commit records
+    /// plus the data-area writes drained from the disk write journal)
+    /// for the shipper to stream to a replica.
+    pub(crate) repl: Option<crate::repl::ReplTap>,
 }
 
 /// Crate-private alias so `recovery.rs` can construct the volume without
@@ -242,6 +247,7 @@ impl FsdVolume {
             vam_home: HashMap::new(),
             io_policy: config.io_policy,
             spare: SpareMap::for_layout(&layout),
+            repl: None,
         };
         vol.log.set_policy(config.io_policy);
         {
@@ -382,6 +388,89 @@ impl FsdVolume {
         Ok(())
     }
 
+    // ----- replication tap ------------------------------------------------------
+
+    /// Enables the replication tap: from now on every successful
+    /// [`Self::force`] seals one [`crate::repl::ReplFrame`] carrying the
+    /// commit's sealed log records plus the unlogged data-area writes
+    /// mirrored from the disk write journal. Frames accumulate until
+    /// [`Self::take_repl_frames`] drains them.
+    pub fn enable_repl_tap(&mut self) {
+        self.disk.enable_write_journal();
+        // Anything already in the journal predates the replica's seed
+        // image and must not ship twice.
+        self.disk.drain_write_journal();
+        self.repl = Some(crate::repl::ReplTap::new());
+    }
+
+    /// Whether the replication tap is on.
+    pub fn repl_tap_enabled(&self) -> bool {
+        self.repl.is_some()
+    }
+
+    /// Drains the frames sealed since the last call (oldest first).
+    pub fn take_repl_frames(&mut self) -> Vec<crate::repl::ReplFrame> {
+        match self.repl.as_mut() {
+            Some(tap) => std::mem::take(&mut tap.frames),
+            None => Vec::new(),
+        }
+    }
+
+    /// Seals a record-less frame from whatever the write journal holds
+    /// (data writes between commits, shutdown home-write residue). No-op
+    /// when the tap is off or nothing was written.
+    pub fn seal_repl_data_frame(&mut self) {
+        self.seal_repl_frame(Vec::new(), 0, 0);
+    }
+
+    /// Seals one frame: `records` are this commit's sealed record bytes,
+    /// `data` is everything the write journal accumulated since the last
+    /// seal, minus log-region writes (the replica keeps its own log; the
+    /// records already carry the commit). Addresses in the journal are
+    /// physical, so a remapped log sector is recognized by reverse
+    /// translation through the remap table.
+    fn seal_repl_frame(&mut self, records: Vec<Vec<u8>>, first_seq: u64, last_seq: u64) {
+        if self.repl.is_none() {
+            return;
+        }
+        let entries = self.disk.drain_write_journal();
+        let log_lo = self.layout.log_start;
+        let log_hi = self.layout.log_start + self.layout.log_sectors;
+        let remap = self.spare.entries().to_vec();
+        let data: Vec<crate::repl::DataWrite> = entries
+            .into_iter()
+            .filter(|e| {
+                let logical = remap
+                    .iter()
+                    .find(|&&(_, phys)| phys == e.addr)
+                    .map(|&(l, _)| l)
+                    .unwrap_or(e.addr);
+                !(log_lo..log_hi).contains(&logical)
+            })
+            .map(|e| crate::repl::DataWrite {
+                addr: e.addr,
+                data: e.data,
+                label: e.label,
+            })
+            .collect();
+        let Some(tap) = self.repl.as_mut() else {
+            return;
+        };
+        if records.is_empty() && data.is_empty() {
+            return;
+        }
+        let frame = crate::repl::ReplFrame {
+            id: tap.next_frame,
+            first_seq,
+            last_seq,
+            records,
+            data,
+            spare: remap,
+        };
+        tap.next_frame += 1;
+        tap.frames.push(frame);
+    }
+
     // ----- group commit ---------------------------------------------------------
 
     /// Advances simulated time (an idle workstation) and lets the
@@ -471,8 +560,11 @@ impl FsdVolume {
         if images.is_empty() {
             // Nothing differs from the last committed state (e.g. a
             // create and delete of the same file cancelled out), so any
-            // shadow frees are trivially durable.
+            // shadow frees are trivially durable. Data-page writes are
+            // synchronous and never logged, so they may still need a
+            // (record-less) replication frame.
             self.vam.commit_shadow();
+            self.seal_repl_data_frame();
             return Ok(());
         }
         self.cpu.sectors(images.len() as u64);
@@ -481,6 +573,8 @@ impl FsdVolume {
         let max = self.log.max_images();
         let policy = self.io_policy;
         let mut thirds: HashMap<usize, u8> = HashMap::new(); // image index → third
+        let mut repl_records: Vec<Vec<u8>> = Vec::new();
+        let mut repl_seqs: Option<(u64, u64)> = None;
         let mut base = 0usize;
         while base < images.len() {
             let chunk = &images[base..(base + max).min(images.len())];
@@ -499,7 +593,7 @@ impl FsdVolume {
             } = *self;
             let _ = &vam_home;
             let is_last = base + chunk.len() >= images.len();
-            let (_seq, third) = log.append(disk, spare, chunk, is_last, |disk, spare, t| {
+            let (seq, third) = log.append(disk, spare, chunk, is_last, |disk, spare, t| {
                 flush_third(
                     disk,
                     layout,
@@ -512,6 +606,20 @@ impl FsdVolume {
                     policy,
                 )
             })?;
+            if self.repl.is_some() {
+                // Re-encode the exact sealed bytes the append just wrote:
+                // the replication stream ships records in their on-disk
+                // form, so the replica decodes with the same checks as
+                // boot-time recovery.
+                repl_records.push(crate::log::encode_record(
+                    chunk,
+                    seq,
+                    self.log.boot_count(),
+                    is_last,
+                )?);
+                let (first, _) = repl_seqs.unwrap_or((seq, seq));
+                repl_seqs = Some((first, seq));
+            }
             for i in base..base + chunk.len() {
                 thirds.insert(i, third);
             }
@@ -610,6 +718,11 @@ impl FsdVolume {
         if self.spare.take_dirty() {
             self.write_boot_pages()?;
         }
+
+        // The commit is on disk: seal it (plus the interval's data-area
+        // writes) as one replication frame.
+        let (first_seq, last_seq) = repl_seqs.unwrap_or((0, 0));
+        self.seal_repl_frame(repl_records, first_seq, last_seq);
         Ok(())
     }
 

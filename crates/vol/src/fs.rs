@@ -92,6 +92,10 @@ pub enum CedarFsError {
     /// The service cannot take the operation right now (a concurrent
     /// engine shutting down, or a full submission queue). Retryable.
     Busy(String),
+    /// The replication link failed (timeout, drop, or partition). The
+    /// write is durable on the primary but not acknowledged at the
+    /// replication mode's durability point. Retryable: links heal.
+    Link(String),
 }
 
 impl fmt::Display for CedarFsError {
@@ -106,6 +110,7 @@ impl fmt::Display for CedarFsError {
             Self::OutOfRange(m) => write!(f, "out of range: {m}"),
             Self::WrongKind(m) => write!(f, "wrong entry kind: {m}"),
             Self::Busy(m) => write!(f, "busy: {m}"),
+            Self::Link(m) => write!(f, "replication link: {m}"),
         }
     }
 }
@@ -115,6 +120,12 @@ impl std::error::Error for CedarFsError {}
 impl From<DiskError> for CedarFsError {
     fn from(e: DiskError) -> Self {
         Self::Disk(e)
+    }
+}
+
+impl From<cedar_disk::LinkError> for CedarFsError {
+    fn from(e: cedar_disk::LinkError) -> Self {
+        Self::Link(e.to_string())
     }
 }
 
@@ -155,6 +166,10 @@ impl CedarFsError {
             Self::NoSpace => ErrorClass::Retryable,
             Self::BadName(_) | Self::OutOfRange(_) | Self::WrongKind(_) => ErrorClass::Fatal,
             Self::Busy(_) => ErrorClass::Retryable,
+            // Timeouts, drops and partitions are the transient failures
+            // of a network: the retry/backoff loop in the shipper exists
+            // precisely for these.
+            Self::Link(_) => ErrorClass::Retryable,
         }
     }
 
@@ -497,6 +512,8 @@ mod tests {
         assert_eq!(CedarFsError::NoSpace.class(), ErrorClass::Retryable);
         assert!(CedarFsError::Busy("queue".into()).is_retryable());
         assert!(CedarFsError::Disk(DiskError::BadSector(7)).is_retryable());
+        assert!(CedarFsError::Link("timeout".into()).is_retryable());
+        assert!(CedarFsError::from(cedar_disk::LinkError::Down).is_retryable());
         assert_eq!(
             CedarFsError::Disk(DiskError::Crashed).class(),
             ErrorClass::Fatal
